@@ -1,0 +1,229 @@
+//! The global coordinator (GC).
+//!
+//! §2: "a dedicated global coordinator is in charge of a set of query
+//! engines … it collects and analyzes running statistics of each
+//! processor [and] makes coarse-grained adaptation decisions such as how
+//! many states to relocate from one processor to the other but *not
+//! which partition groups*". The coordinator therefore owns:
+//!
+//! * the pluggable [`AdaptationStrategy`] (lazy-disk / active-disk /
+//!   none),
+//! * the lifecycle of at most one in-flight [`RelocationRound`],
+//! * adaptation counters for reporting.
+//!
+//! It is runtime-agnostic: both the simulated and the threaded driver
+//! feed it statistics and protocol events and execute the actions it
+//! returns.
+
+use dcape_common::error::{DcapeError, Result};
+use dcape_common::ids::{EngineId, PartitionId};
+use dcape_common::time::VirtualTime;
+
+use crate::relocation::{Action, RelocationRound};
+use crate::stats::ClusterStats;
+use crate::strategy::{AdaptationStrategy, Decision, StrategyConfig};
+
+/// The global adaptation controller.
+#[derive(Debug)]
+pub struct GlobalCoordinator {
+    strategy: Box<dyn AdaptationStrategy>,
+    active_round: Option<RelocationRound>,
+    next_round: u64,
+    relocations_completed: u64,
+    relocations_aborted: u64,
+    force_spills_issued: u64,
+}
+
+impl GlobalCoordinator {
+    /// Build a coordinator running the given strategy.
+    pub fn new(strategy: &StrategyConfig) -> Self {
+        GlobalCoordinator {
+            strategy: strategy.build(),
+            active_round: None,
+            next_round: 0,
+            relocations_completed: 0,
+            relocations_aborted: 0,
+            force_spills_issued: 0,
+        }
+    }
+
+    /// The strategy's name (for reports).
+    pub fn strategy_name(&self) -> &'static str {
+        self.strategy.name()
+    }
+
+    /// Is a relocation round in flight?
+    pub fn relocation_active(&self) -> bool {
+        self.active_round.is_some()
+    }
+
+    /// Completed relocation rounds.
+    pub fn relocations_completed(&self) -> u64 {
+        self.relocations_completed
+    }
+
+    /// Aborted relocation rounds (sender had nothing to move).
+    pub fn relocations_aborted(&self) -> u64 {
+        self.relocations_aborted
+    }
+
+    /// Forced spills issued (active-disk).
+    pub fn force_spills_issued(&self) -> u64 {
+        self.force_spills_issued
+    }
+
+    /// Evaluate fresh statistics (the `sr_timer`/`lb_timer` expiry of
+    /// Algorithms 1–2) and return the decision the driver must execute.
+    ///
+    /// When the decision is [`Decision::Relocate`], the coordinator has
+    /// already opened the relocation round — the driver must send
+    /// `Cptv(amount)` (step 1) to the sender and later feed
+    /// [`GlobalCoordinator::on_ptv`] / \
+    /// [`GlobalCoordinator::on_transfer_ack`].
+    pub fn evaluate(&mut self, stats: &ClusterStats, now: VirtualTime) -> Result<Decision> {
+        let decision = self
+            .strategy
+            .decide(stats, now, self.relocation_active());
+        match &decision {
+            Decision::Relocate {
+                sender,
+                receiver,
+                amount,
+            } => {
+                let round =
+                    RelocationRound::begin(self.next_round, *sender, *receiver, *amount)?;
+                self.next_round += 1;
+                self.active_round = Some(round);
+            }
+            Decision::ForceSpill { .. } => {
+                self.force_spills_issued += 1;
+            }
+            Decision::None => {}
+        }
+        Ok(decision)
+    }
+
+    /// The id and amount of the active round (for issuing `Cptv`).
+    pub fn active_round_info(&self) -> Option<(u64, EngineId, EngineId, u64)> {
+        self.active_round
+            .as_ref()
+            .map(|r| (r.round(), r.sender(), r.receiver(), r.amount()))
+    }
+
+    /// Step 2: the sender's partition list arrived.
+    pub fn on_ptv(
+        &mut self,
+        from: EngineId,
+        round: u64,
+        parts: Vec<PartitionId>,
+    ) -> Result<Action> {
+        let active = self
+            .active_round
+            .as_mut()
+            .ok_or_else(|| DcapeError::protocol("ptv with no active relocation"))?;
+        let action = active.on_ptv(from, round, parts)?;
+        if matches!(action, Action::Abort) {
+            self.active_round = None;
+            self.relocations_aborted += 1;
+        }
+        Ok(action)
+    }
+
+    /// Step 6: the receiver's transfer ack arrived. Returns the final
+    /// remap-and-resume action and closes the round.
+    pub fn on_transfer_ack(&mut self, from: EngineId, round: u64) -> Result<Action> {
+        let active = self
+            .active_round
+            .as_mut()
+            .ok_or_else(|| DcapeError::protocol("transfer_ack with no active relocation"))?;
+        let action = active.on_transfer_ack(from, round)?;
+        debug_assert!(active.is_done());
+        self.active_round = None;
+        self.relocations_completed += 1;
+        Ok(action)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::test_support::report;
+    use dcape_common::time::VirtualDuration;
+
+    fn imbalanced() -> ClusterStats {
+        ClusterStats::new(vec![report(0, 1000, 1.0), report(1, 100, 1.0)])
+    }
+
+    fn lazy() -> GlobalCoordinator {
+        GlobalCoordinator::new(&StrategyConfig::LazyDisk {
+            theta_r: 0.8,
+            tau_m: VirtualDuration::ZERO,
+        })
+    }
+
+    #[test]
+    fn full_relocation_lifecycle() {
+        let mut gc = lazy();
+        assert!(!gc.relocation_active());
+        let d = gc.evaluate(&imbalanced(), VirtualTime::from_secs(1)).unwrap();
+        let Decision::Relocate { sender, receiver, amount } = d else {
+            panic!("expected relocation, got {d:?}");
+        };
+        assert!(gc.relocation_active());
+        let (round, s, r, a) = gc.active_round_info().unwrap();
+        assert_eq!((s, r, a), (sender, receiver, amount));
+
+        // While active, further evaluations do nothing.
+        let d2 = gc.evaluate(&imbalanced(), VirtualTime::from_secs(2)).unwrap();
+        assert_eq!(d2, Decision::None);
+
+        let action = gc
+            .on_ptv(sender, round, vec![PartitionId(1), PartitionId(2)])
+            .unwrap();
+        assert!(matches!(action, Action::PauseAndTransfer { .. }));
+        let action = gc.on_transfer_ack(receiver, round).unwrap();
+        assert!(matches!(action, Action::RemapAndResume { .. }));
+        assert!(!gc.relocation_active());
+        assert_eq!(gc.relocations_completed(), 1);
+        assert_eq!(gc.relocations_aborted(), 0);
+    }
+
+    #[test]
+    fn abort_on_empty_ptv() {
+        let mut gc = lazy();
+        let Decision::Relocate { sender, .. } =
+            gc.evaluate(&imbalanced(), VirtualTime::from_secs(1)).unwrap()
+        else {
+            panic!()
+        };
+        let (round, ..) = gc.active_round_info().unwrap();
+        let action = gc.on_ptv(sender, round, vec![]).unwrap();
+        assert_eq!(action, Action::Abort);
+        assert!(!gc.relocation_active());
+        assert_eq!(gc.relocations_aborted(), 1);
+        assert_eq!(gc.relocations_completed(), 0);
+    }
+
+    #[test]
+    fn protocol_events_without_round_are_errors() {
+        let mut gc = lazy();
+        assert!(gc.on_ptv(EngineId(0), 0, vec![]).is_err());
+        assert!(gc.on_transfer_ack(EngineId(0), 0).is_err());
+    }
+
+    #[test]
+    fn force_spill_counter() {
+        let mut gc = GlobalCoordinator::new(&StrategyConfig::ActiveDisk {
+            theta_r: 0.8,
+            tau_m: VirtualDuration::ZERO,
+            lambda: 2.0,
+            spill_fraction: 0.3,
+            force_spill_cap: 1 << 30,
+        });
+        let stats = ClusterStats::new(vec![report(0, 1000, 10.0), report(1, 950, 1.0)]);
+        let d = gc.evaluate(&stats, VirtualTime::from_secs(1)).unwrap();
+        assert!(matches!(d, Decision::ForceSpill { .. }));
+        assert_eq!(gc.force_spills_issued(), 1);
+        assert_eq!(gc.strategy_name(), "active-disk");
+    }
+}

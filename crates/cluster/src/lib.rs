@@ -1,0 +1,38 @@
+//! # dcape-cluster
+//!
+//! The distributed half of the reproduction: the global coordinator, the
+//! 8-step state-relocation protocol, the integrated adaptation
+//! strategies (lazy-disk / active-disk, §5), and two drivers that
+//! execute a partitioned query over a set of engines:
+//!
+//! * [`runtime::sim`] — deterministic virtual-time driver used by the
+//!   experiment harness (hour-long paper runs in seconds, identical
+//!   engine/strategy code);
+//! * [`runtime::threaded`] — one OS thread per query engine connected by
+//!   crossbeam channels, exercising the full asynchronous message
+//!   protocol, standing in for the paper's PC cluster.
+//!
+//! Supporting modules: [`placement`] (partition → engine map with the
+//! split operator's pause/buffer behaviour), [`netmodel`] (virtual-time
+//! transfer costs), [`stats`] (cluster-wide view of engine reports),
+//! [`messages`] (the protocol vocabulary), [`relocation`] (the
+//! coordinator-side protocol state machine), [`strategy`] and
+//! [`coordinator`].
+
+pub mod coordinator;
+pub mod messages;
+pub mod netmodel;
+pub mod placement;
+pub mod relocation;
+pub mod runtime;
+pub mod split;
+pub mod stats;
+pub mod strategy;
+
+pub use coordinator::GlobalCoordinator;
+pub use netmodel::NetworkModel;
+pub use placement::{PlacementMap, PlacementSpec};
+pub use runtime::sim::{SimConfig, SimDriver, SimReport};
+pub use split::SplitOperator;
+pub use stats::ClusterStats;
+pub use strategy::{Decision, StrategyConfig};

@@ -1,0 +1,184 @@
+//! The protocol vocabulary between the global coordinator (GC) and the
+//! query engines (QE).
+//!
+//! The relocation messages realize the 8-step sequence of Figure 8:
+//!
+//! 1. GC → sender: [`ToEngine::Cptv`] — compute partitions to vacate;
+//! 2. sender → GC: [`FromEngine::Ptv`] — the chosen partition list;
+//! 3. GC → split host: pause &amp; buffer the affected partitions
+//!    (handled by [`crate::placement::PlacementMap::pause`]);
+//! 4. GC → sender: [`ToEngine::SendStates`];
+//! 5. sender → receiver: [`ToEngine::InstallStates`] — the state
+//!    transfer itself;
+//! 6. receiver → GC: [`FromEngine::TransferAck`];
+//! 7. GC → split host: remap &amp; flush buffered tuples
+//!    ([`crate::placement::PlacementMap::remap_and_release`]);
+//! 8. GC → sender &amp; receiver: [`ToEngine::Resume`] — exit `sr_mode`.
+//!
+//! The same enums carry the data path ([`ToEngine::Data`]), the periodic
+//! statistics ([`FromEngine::Stats`]) and the active-disk strategy's
+//! forced-spill command ([`ToEngine::StartSpill`]), so the threaded
+//! runtime runs the entire system over two channel types.
+
+use dcape_common::ids::{EngineId, PartitionId};
+use dcape_common::time::VirtualTime;
+use dcape_common::tuple::Tuple;
+use dcape_engine::stats::EngineStatsReport;
+use dcape_storage::SpilledGroup;
+
+/// A relocated partition group in flight: snapshot plus carried
+/// `P_output` so the receiver resumes productivity accounting.
+#[derive(Debug, Clone)]
+pub struct GroupTransfer {
+    /// The group's content.
+    pub snapshot: SpilledGroup,
+    /// Carried cumulative output count.
+    pub output_count: u64,
+}
+
+/// Messages delivered *to* a query engine.
+#[derive(Debug)]
+pub enum ToEngine {
+    /// One routed data tuple for the given partition.
+    Data {
+        /// Target partition.
+        pid: PartitionId,
+        /// The tuple.
+        tuple: Tuple,
+    },
+    /// Step 1: compute partitions to vacate worth `amount` bytes.
+    Cptv {
+        /// Relocation round id.
+        round: u64,
+        /// Bytes to vacate.
+        amount: u64,
+    },
+    /// Step 4: extract the listed partitions and ship them to
+    /// `receiver`.
+    SendStates {
+        /// Relocation round id.
+        round: u64,
+        /// Partitions to move.
+        parts: Vec<PartitionId>,
+        /// Destination engine.
+        receiver: EngineId,
+    },
+    /// Step 5: install these relocated groups (sender → receiver).
+    InstallStates {
+        /// Relocation round id.
+        round: u64,
+        /// The groups.
+        groups: Vec<GroupTransfer>,
+    },
+    /// Step 8: the relocation round is over; return to normal mode.
+    Resume {
+        /// Relocation round id.
+        round: u64,
+    },
+    /// Active-disk force spill (`start_ss`, Algorithm 2).
+    StartSpill {
+        /// Bytes to spill.
+        amount: u64,
+    },
+    /// Ask for a statistics report (the threaded runtime's `sr_timer`).
+    ReportStats {
+        /// Virtual timestamp to stamp the report with.
+        now: VirtualTime,
+    },
+    /// Drive the engine's local `ss_timer` (threaded runtime pulse).
+    Tick {
+        /// Current virtual time.
+        now: VirtualTime,
+    },
+    /// Distributed cleanup, phase 1: end of input. Forward every
+    /// locally-spilled segment whose partition is owned elsewhere to
+    /// its owner (per the enclosed final placement), then report
+    /// readiness.
+    PrepareCleanup {
+        /// Final owner of every partition (index = partition id).
+        owners: Vec<EngineId>,
+    },
+    /// Distributed cleanup: segments forwarded from a peer for a
+    /// partition this engine owns.
+    ForwardedSegments {
+        /// The partition.
+        pid: PartitionId,
+        /// The peer's segments, in its local spill order.
+        segments: Vec<SpilledGroup>,
+    },
+    /// Distributed cleanup, phase 2: every engine is ready — run the
+    /// local merge for owned partitions, report, and stop.
+    StartCleanup,
+}
+
+/// Messages delivered *from* a query engine to the coordinator.
+#[derive(Debug)]
+pub enum FromEngine {
+    /// Step 2: the partitions this engine chose to vacate.
+    Ptv {
+        /// Relocation round id.
+        round: u64,
+        /// Sender engine.
+        engine: EngineId,
+        /// Chosen partitions.
+        parts: Vec<PartitionId>,
+    },
+    /// Step 6: the receiver installed the transferred state.
+    TransferAck {
+        /// Relocation round id.
+        round: u64,
+        /// Receiving engine.
+        engine: EngineId,
+        /// Accounted bytes installed.
+        bytes: u64,
+    },
+    /// Periodic statistics report.
+    Stats(EngineStatsReport),
+    /// Distributed cleanup: this engine has forwarded all non-owned
+    /// segments and is ready for the merge phase.
+    CleanupReady {
+        /// Reporting engine.
+        engine: EngineId,
+        /// Segments forwarded to peers.
+        forwarded: usize,
+    },
+    /// Distributed cleanup: the engine's local merge finished; final
+    /// counters.
+    CleanupDone {
+        /// Reporting engine.
+        engine: EngineId,
+        /// Results produced during the run-time phase.
+        runtime_output: u64,
+        /// Missing results produced by this engine's local merge.
+        cleanup_output: u64,
+        /// Spill operations this engine performed.
+        spill_count: u64,
+        /// Modeled virtual cost of the local merge (ms).
+        cleanup_cost_ms: u64,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_variants_construct_and_debug() {
+        let m = ToEngine::Cptv {
+            round: 1,
+            amount: 1024,
+        };
+        assert!(format!("{m:?}").contains("Cptv"));
+        let m = FromEngine::Ptv {
+            round: 1,
+            engine: EngineId(0),
+            parts: vec![PartitionId(3)],
+        };
+        assert!(format!("{m:?}").contains("Ptv"));
+        let g = GroupTransfer {
+            snapshot: SpilledGroup::empty(PartitionId(1), 3),
+            output_count: 42,
+        };
+        assert_eq!(g.output_count, 42);
+    }
+}

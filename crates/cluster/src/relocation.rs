@@ -1,0 +1,250 @@
+//! Coordinator-side state machine for one relocation round (Figure 8).
+//!
+//! The global coordinator drives each relocation through a strict
+//! sequence of phases; any out-of-order event is a protocol error, which
+//! is exactly the property the paper's protocol exists to guarantee
+//! ("no operator states should be missing or corrupted in the relocation
+//! process", §4.1). The machine is pure — it consumes events and emits
+//! the next commands — so both the simulated and the threaded runtime
+//! reuse it, and it is unit-testable without any concurrency.
+
+use dcape_common::error::{DcapeError, Result};
+use dcape_common::ids::{EngineId, PartitionId};
+
+/// Phases of one relocation round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Phase {
+    /// Step 1 sent; waiting for the sender's partition list (step 2).
+    WaitPtv,
+    /// Steps 3–5 issued: partitions paused, transfer under way; waiting
+    /// for the receiver's ack (step 6).
+    WaitAck,
+    /// Steps 7–8 done; the round is complete.
+    Done,
+}
+
+/// Commands the coordinator must issue next, as returned by the state
+/// machine's transitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// Pause the listed partitions at the splits (step 3), then tell
+    /// the sender to ship them to the receiver (steps 4–5).
+    PauseAndTransfer {
+        /// Partitions to pause and move.
+        parts: Vec<PartitionId>,
+        /// Sender engine.
+        sender: EngineId,
+        /// Receiver engine.
+        receiver: EngineId,
+    },
+    /// Remap the partitions to the receiver, flush buffered tuples
+    /// (step 7), and send both parties `Resume` (step 8).
+    RemapAndResume {
+        /// Moved partitions.
+        parts: Vec<PartitionId>,
+        /// Their new owner.
+        receiver: EngineId,
+    },
+    /// The sender had nothing to move (e.g. everything already spilled);
+    /// abort the round and resume immediately.
+    Abort,
+}
+
+/// One in-flight relocation round.
+#[derive(Debug)]
+pub struct RelocationRound {
+    round: u64,
+    sender: EngineId,
+    receiver: EngineId,
+    amount: u64,
+    parts: Vec<PartitionId>,
+    phase: Phase,
+}
+
+impl RelocationRound {
+    /// Begin a round: the coordinator has already sent `Cptv(amount)`
+    /// to the sender (step 1).
+    pub fn begin(round: u64, sender: EngineId, receiver: EngineId, amount: u64) -> Result<Self> {
+        if sender == receiver {
+            return Err(DcapeError::protocol(
+                "relocation sender and receiver must differ",
+            ));
+        }
+        Ok(RelocationRound {
+            round,
+            sender,
+            receiver,
+            amount,
+            parts: Vec::new(),
+            phase: Phase::WaitPtv,
+        })
+    }
+
+    /// Round id.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// The sender engine.
+    pub fn sender(&self) -> EngineId {
+        self.sender
+    }
+
+    /// The receiver engine.
+    pub fn receiver(&self) -> EngineId {
+        self.receiver
+    }
+
+    /// Bytes requested to move.
+    pub fn amount(&self) -> u64 {
+        self.amount
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> &Phase {
+        &self.phase
+    }
+
+    /// The partitions being moved (valid from step 2 onward).
+    pub fn parts(&self) -> &[PartitionId] {
+        &self.parts
+    }
+
+    /// Step 2 arrived: the sender chose `parts`.
+    pub fn on_ptv(&mut self, from: EngineId, round: u64, parts: Vec<PartitionId>) -> Result<Action> {
+        self.expect_phase(Phase::WaitPtv, "ptv")?;
+        self.expect_round(round, "ptv")?;
+        if from != self.sender {
+            return Err(DcapeError::protocol(format!(
+                "ptv from {from}, expected sender {}",
+                self.sender
+            )));
+        }
+        if parts.is_empty() {
+            self.phase = Phase::Done;
+            return Ok(Action::Abort);
+        }
+        self.parts = parts.clone();
+        self.phase = Phase::WaitAck;
+        Ok(Action::PauseAndTransfer {
+            parts,
+            sender: self.sender,
+            receiver: self.receiver,
+        })
+    }
+
+    /// Step 6 arrived: the receiver installed the state.
+    pub fn on_transfer_ack(&mut self, from: EngineId, round: u64) -> Result<Action> {
+        self.expect_phase(Phase::WaitAck, "transfer_ack")?;
+        self.expect_round(round, "transfer_ack")?;
+        if from != self.receiver {
+            return Err(DcapeError::protocol(format!(
+                "transfer_ack from {from}, expected receiver {}",
+                self.receiver
+            )));
+        }
+        self.phase = Phase::Done;
+        Ok(Action::RemapAndResume {
+            parts: self.parts.clone(),
+            receiver: self.receiver,
+        })
+    }
+
+    /// Is the round finished?
+    pub fn is_done(&self) -> bool {
+        self.phase == Phase::Done
+    }
+
+    fn expect_phase(&self, expected: Phase, event: &str) -> Result<()> {
+        if self.phase != expected {
+            return Err(DcapeError::protocol(format!(
+                "{event} in phase {:?} (expected {expected:?})",
+                self.phase
+            )));
+        }
+        Ok(())
+    }
+
+    fn expect_round(&self, round: u64, event: &str) -> Result<()> {
+        if round != self.round {
+            return Err(DcapeError::protocol(format!(
+                "{event} for round {round}, active round is {}",
+                self.round
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pids(ids: &[u32]) -> Vec<PartitionId> {
+        ids.iter().map(|&i| PartitionId(i)).collect()
+    }
+
+    #[test]
+    fn happy_path_walks_all_phases() {
+        let mut r = RelocationRound::begin(7, EngineId(0), EngineId(1), 1000).unwrap();
+        assert_eq!(*r.phase(), Phase::WaitPtv);
+        assert_eq!(r.round(), 7);
+        assert_eq!(r.amount(), 1000);
+
+        let action = r.on_ptv(EngineId(0), 7, pids(&[3, 5])).unwrap();
+        assert_eq!(
+            action,
+            Action::PauseAndTransfer {
+                parts: pids(&[3, 5]),
+                sender: EngineId(0),
+                receiver: EngineId(1),
+            }
+        );
+        assert_eq!(*r.phase(), Phase::WaitAck);
+        assert_eq!(r.parts(), pids(&[3, 5]).as_slice());
+
+        let action = r.on_transfer_ack(EngineId(1), 7).unwrap();
+        assert_eq!(
+            action,
+            Action::RemapAndResume {
+                parts: pids(&[3, 5]),
+                receiver: EngineId(1),
+            }
+        );
+        assert!(r.is_done());
+    }
+
+    #[test]
+    fn empty_ptv_aborts() {
+        let mut r = RelocationRound::begin(1, EngineId(0), EngineId(1), 10).unwrap();
+        assert_eq!(r.on_ptv(EngineId(0), 1, vec![]).unwrap(), Action::Abort);
+        assert!(r.is_done());
+    }
+
+    #[test]
+    fn wrong_order_rejected() {
+        let mut r = RelocationRound::begin(1, EngineId(0), EngineId(1), 10).unwrap();
+        assert!(r.on_transfer_ack(EngineId(1), 1).is_err(), "ack before ptv");
+        r.on_ptv(EngineId(0), 1, pids(&[1])).unwrap();
+        assert!(r.on_ptv(EngineId(0), 1, pids(&[1])).is_err(), "double ptv");
+    }
+
+    #[test]
+    fn wrong_party_rejected() {
+        let mut r = RelocationRound::begin(1, EngineId(0), EngineId(1), 10).unwrap();
+        assert!(r.on_ptv(EngineId(1), 1, pids(&[1])).is_err());
+        r.on_ptv(EngineId(0), 1, pids(&[1])).unwrap();
+        assert!(r.on_transfer_ack(EngineId(0), 1).is_err());
+    }
+
+    #[test]
+    fn wrong_round_rejected() {
+        let mut r = RelocationRound::begin(2, EngineId(0), EngineId(1), 10).unwrap();
+        assert!(r.on_ptv(EngineId(0), 3, pids(&[1])).is_err());
+    }
+
+    #[test]
+    fn self_relocation_rejected() {
+        assert!(RelocationRound::begin(1, EngineId(0), EngineId(0), 10).is_err());
+    }
+}

@@ -1,0 +1,11 @@
+//! Cluster drivers.
+//!
+//! Two executions of the same engine/coordinator code:
+//!
+//! * [`sim`] — deterministic, virtual-time, single-threaded; used by the
+//!   experiment harness to replay the paper's hour-long runs in seconds;
+//! * [`threaded`] — one OS thread per engine over crossbeam channels,
+//!   running the full asynchronous protocol of Figure 8.
+
+pub mod sim;
+pub mod threaded;

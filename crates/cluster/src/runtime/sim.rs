@@ -1,0 +1,562 @@
+//! The deterministic virtual-time cluster driver.
+//!
+//! Replays a whole experiment — stream generation, routing through the
+//! split operators' placement map, per-engine symmetric joins, the
+//! `ss_timer` spill pulse, the coordinator's periodic evaluation, and
+//! the full relocation protocol with tuple buffering — on a single
+//! thread against the virtual clock. Relocation transfers take modeled
+//! network time: tuples arriving for the affected partitions while the
+//! transfer is in flight are buffered at the splits and redelivered to
+//! the new owner afterwards, exactly as §4.1 describes.
+//!
+//! Determinism: same [`SimConfig`] ⇒ bit-identical run. That is what
+//! lets the repro harness regenerate the paper's figures reproducibly.
+
+use dcape_common::error::{DcapeError, Result};
+use dcape_common::ids::{EngineId, PartitionId};
+use dcape_common::time::{PeriodicTimer, VirtualDuration, VirtualTime};
+use dcape_common::tuple::Tuple;
+use dcape_engine::config::EngineConfig;
+use dcape_engine::engine::QueryEngine;
+use dcape_engine::sink::{CollectingSink, ResultSink};
+use dcape_engine::spill::cleanup::merge_segments_windowed;
+use dcape_metrics::Recorder;
+use dcape_storage::SpilledGroup;
+use dcape_streamgen::{StreamSetGenerator, StreamSetSpec};
+
+use crate::split::SplitOperator;
+
+use crate::coordinator::GlobalCoordinator;
+use crate::netmodel::NetworkModel;
+use crate::placement::{PlacementMap, PlacementSpec, Route};
+use crate::relocation::Action;
+use crate::strategy::{Decision, StrategyConfig};
+
+/// Configuration of one simulated cluster run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Number of query engines ("machines").
+    pub num_engines: usize,
+    /// Per-engine configuration (memory budget, spill knobs, join).
+    pub engine: EngineConfig,
+    /// Input workload.
+    pub workload: StreamSetSpec,
+    /// Initial partition placement.
+    pub placement: PlacementSpec,
+    /// Global adaptation strategy.
+    pub strategy: StrategyConfig,
+    /// How often engines report statistics and the coordinator
+    /// evaluates (`sr_timer` / `lb_timer`).
+    pub stats_interval: VirtualDuration,
+    /// How often the recorder samples throughput/memory series.
+    pub sample_interval: VirtualDuration,
+    /// Network model for relocation transfers.
+    pub network: NetworkModel,
+    /// Collect full results (tests); otherwise results are only counted.
+    pub collect_results: bool,
+}
+
+impl SimConfig {
+    /// Sensible defaults around a workload: 45 s stats interval, 60 s
+    /// sampling, gigabit network, round-robin placement.
+    pub fn new(
+        num_engines: usize,
+        engine: EngineConfig,
+        workload: StreamSetSpec,
+        strategy: StrategyConfig,
+    ) -> Self {
+        SimConfig {
+            num_engines,
+            engine,
+            workload,
+            placement: PlacementSpec::RoundRobin,
+            strategy,
+            stats_interval: VirtualDuration::from_secs(45),
+            sample_interval: VirtualDuration::from_secs(60),
+            network: NetworkModel::gigabit(),
+            collect_results: false,
+        }
+    }
+
+    /// Builder-style: set the initial placement.
+    pub fn with_placement(mut self, placement: PlacementSpec) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Builder-style: set the stats interval.
+    pub fn with_stats_interval(mut self, interval: VirtualDuration) -> Self {
+        self.stats_interval = interval;
+        self
+    }
+
+    /// Builder-style: set the sample interval.
+    pub fn with_sample_interval(mut self, interval: VirtualDuration) -> Self {
+        self.sample_interval = interval;
+        self
+    }
+
+    /// Builder-style: collect full results.
+    pub fn collecting(mut self) -> Self {
+        self.collect_results = true;
+        self
+    }
+}
+
+/// One completed relocation, for reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelocationEvent {
+    /// When the transfer completed.
+    pub at: VirtualTime,
+    /// Sender engine.
+    pub sender: EngineId,
+    /// Receiver engine.
+    pub receiver: EngineId,
+    /// Partitions moved.
+    pub parts: usize,
+    /// Accounted bytes moved.
+    pub bytes: u64,
+    /// Tuples buffered at the splits during the transfer.
+    pub buffered_tuples: usize,
+}
+
+/// Aggregated result of a simulated run.
+#[derive(Debug)]
+pub struct SimReport {
+    /// Results produced during the run-time phase.
+    pub runtime_output: u64,
+    /// Missing results produced by the cleanup phase.
+    pub cleanup_output: u64,
+    /// Per-engine modeled cleanup costs (ms of virtual time).
+    pub cleanup_cost_ms: Vec<u64>,
+    /// Completed relocations.
+    pub relocations: Vec<RelocationEvent>,
+    /// Forced spills issued by the coordinator.
+    pub force_spills: u64,
+    /// Local spill adaptations per engine.
+    pub spill_counts: Vec<u64>,
+    /// Recorded time series (throughput, memory, …).
+    pub recorder: Recorder,
+    /// Collected results, if `collect_results` was set: run-time phase.
+    pub runtime_results: Option<CollectingSink>,
+    /// Collected results, if `collect_results` was set: cleanup phase.
+    pub cleanup_results: Option<CollectingSink>,
+}
+
+impl SimReport {
+    /// Total results across both phases.
+    pub fn total_output(&self) -> u64 {
+        self.runtime_output + self.cleanup_output
+    }
+
+    /// Cluster cleanup wall time under per-engine parallelism: the
+    /// maximum per-engine cost (the paper's Figure 12 comparison).
+    pub fn cleanup_wall_ms(&self) -> u64 {
+        self.cleanup_cost_ms.iter().copied().max().unwrap_or(0)
+    }
+
+    /// A ready-to-print run summary: one row per engine plus totals.
+    pub fn summary_table(&self) -> dcape_metrics::Table {
+        let mut table = dcape_metrics::Table::new(&[
+            "engine",
+            "final output",
+            "spills",
+            "cleanup cost (ms)",
+        ]);
+        for (i, (spills, cost)) in self
+            .spill_counts
+            .iter()
+            .zip(&self.cleanup_cost_ms)
+            .enumerate()
+        {
+            let out = self
+                .recorder
+                .series(&format!("output/QE{i}"))
+                .and_then(|s| s.last())
+                .map(|(_, v)| v as u64)
+                .unwrap_or(0);
+            table.row(vec![
+                format!("QE{i}"),
+                format!("{out}"),
+                format!("{spills}"),
+                format!("{cost}"),
+            ]);
+        }
+        table.row(vec![
+            "total".into(),
+            format!("{}", self.runtime_output),
+            format!("{}", self.spill_counts.iter().sum::<u64>()),
+            format!("{} (wall)", self.cleanup_wall_ms()),
+        ]);
+        table
+    }
+}
+
+/// A relocation transfer in flight (between steps 5 and 6).
+#[derive(Debug)]
+struct InFlightTransfer {
+    round: u64,
+    receiver: EngineId,
+    parts: Vec<PartitionId>,
+    groups: Vec<(SpilledGroup, u64)>,
+    sender: EngineId,
+    bytes: u64,
+    complete_at: VirtualTime,
+}
+
+/// Counting/collecting output sink.
+#[derive(Debug, Default)]
+struct SimSink {
+    count: u64,
+    collect: Option<CollectingSink>,
+}
+
+impl ResultSink for SimSink {
+    fn emit(&mut self, parts: &[&Tuple]) {
+        self.count += 1;
+        if let Some(c) = &mut self.collect {
+            c.emit(parts);
+        }
+    }
+}
+
+/// The simulated cluster.
+#[derive(Debug)]
+pub struct SimDriver {
+    cfg: SimConfig,
+    engines: Vec<QueryEngine>,
+    placement: PlacementMap,
+    split: SplitOperator,
+    gc: GlobalCoordinator,
+    gen: StreamSetGenerator,
+    stats_timer: PeriodicTimer,
+    sample_timer: PeriodicTimer,
+    recorder: Recorder,
+    sink: SimSink,
+    in_flight: Option<InFlightTransfer>,
+    relocations: Vec<RelocationEvent>,
+    now: VirtualTime,
+}
+
+impl SimDriver {
+    /// Build a driver; validates the whole configuration.
+    pub fn new(cfg: SimConfig) -> Result<Self> {
+        if cfg.num_engines == 0 {
+            return Err(DcapeError::config("need at least one engine"));
+        }
+        if cfg.workload.num_streams != cfg.engine.join.num_streams {
+            return Err(DcapeError::config(
+                "workload stream count must match the join's",
+            ));
+        }
+        let gen = StreamSetGenerator::new(cfg.workload.clone())?;
+        let split = SplitOperator::new(
+            gen.partitioner(),
+            vec![StreamSetGenerator::JOIN_COLUMN; cfg.workload.num_streams],
+        )?;
+        let placement = PlacementMap::new(
+            &cfg.placement,
+            cfg.workload.num_partitions,
+            cfg.num_engines,
+        )?;
+        let engines = (0..cfg.num_engines)
+            .map(|i| QueryEngine::in_memory(EngineId(i as u16), cfg.engine.clone()))
+            .collect::<Result<Vec<_>>>()?;
+        let gc = GlobalCoordinator::new(&cfg.strategy);
+        let collect = cfg.collect_results.then(CollectingSink::new);
+        Ok(SimDriver {
+            stats_timer: PeriodicTimer::new(cfg.stats_interval, VirtualTime::ZERO),
+            sample_timer: PeriodicTimer::new(cfg.sample_interval, VirtualTime::ZERO),
+            recorder: Recorder::new(),
+            sink: SimSink {
+                count: 0,
+                collect,
+            },
+            in_flight: None,
+            relocations: Vec::new(),
+            now: VirtualTime::ZERO,
+            cfg,
+            engines,
+            placement,
+            split,
+            gc,
+            gen,
+        })
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> VirtualTime {
+        self.now
+    }
+
+    /// The recorder (read access while running).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// The placement map (read access for tests).
+    pub fn placement(&self) -> &PlacementMap {
+        &self.placement
+    }
+
+    /// The engines (read access for tests).
+    pub fn engines(&self) -> &[QueryEngine] {
+        &self.engines
+    }
+
+    /// Completed relocations so far.
+    pub fn relocations(&self) -> &[RelocationEvent] {
+        &self.relocations
+    }
+
+    /// Run until the virtual deadline.
+    pub fn run_until(&mut self, deadline: VirtualTime) -> Result<()> {
+        while self.gen.now() < deadline {
+            let batch = self.gen.generate_ticks(1);
+            self.now = batch.first().map(Tuple::ts).unwrap_or(self.now);
+            self.on_clock()?;
+            for tuple in batch {
+                self.route_and_process(tuple)?;
+            }
+        }
+        self.now = deadline;
+        self.on_clock()?;
+        Ok(())
+    }
+
+    /// Everything that reacts to the clock, independent of data:
+    /// transfer completion, engine `ss_timer`s, coordinator evaluation,
+    /// series sampling.
+    fn on_clock(&mut self) -> Result<()> {
+        // Complete an in-flight relocation transfer.
+        if let Some(t) = &self.in_flight {
+            if self.now >= t.complete_at {
+                self.complete_transfer()?;
+            }
+        }
+        // Local spill pulses + opportunistic reactivation.
+        for e in &mut self.engines {
+            e.tick(self.now)?;
+            e.maybe_reactivate(&mut self.sink)?;
+        }
+        // Coordinator evaluation.
+        if self.stats_timer.expired(self.now) {
+            self.stats_timer.reset(self.now);
+            self.evaluate_coordinator()?;
+        }
+        // Series sampling.
+        if self.sample_timer.expired(self.now) {
+            self.sample_timer.reset(self.now);
+            self.sample_series();
+            // Debug builds recompute memory accounting from scratch at
+            // every sample — any drift in the incremental bookkeeping
+            // fails the run immediately instead of skewing decisions.
+            #[cfg(debug_assertions)]
+            for e in &self.engines {
+                e.assert_accounting_consistent()?;
+            }
+        }
+        Ok(())
+    }
+
+    fn route_and_process(&mut self, tuple: Tuple) -> Result<()> {
+        let pid = self.split.classify(&tuple)?;
+        match self.placement.route(pid, tuple)? {
+            Route::Buffered => Ok(()),
+            Route::Deliver(engine, tuple) => {
+                self.engines[engine.index()].process(pid, tuple, &mut self.sink)?;
+                Ok(())
+            }
+        }
+    }
+
+    fn evaluate_coordinator(&mut self) -> Result<()> {
+        let reports: Vec<_> = self
+            .engines
+            .iter_mut()
+            .map(|e| e.report(self.now))
+            .collect();
+        let stats = crate::stats::ClusterStats::new(reports);
+        match self.gc.evaluate(&stats, self.now)? {
+            Decision::None => Ok(()),
+            Decision::ForceSpill { engine, amount } => {
+                self.engines[engine.index()].force_spill(amount, self.now)?;
+                Ok(())
+            }
+            Decision::Relocate {
+                sender,
+                receiver: _,
+                amount,
+            } => {
+                // Step 1 (Cptv) + step 2 (Ptv), synchronous in the sim.
+                let (round, s, _r, _a) = self
+                    .gc
+                    .active_round_info()
+                    .expect("relocation just opened");
+                debug_assert_eq!(s, sender);
+                self.engines[sender.index()].set_mode(dcape_engine::controller::Mode::Relocation);
+                let parts = self.engines[sender.index()].select_parts_to_move(amount);
+                match self.gc.on_ptv(sender, round, parts)? {
+                    Action::Abort => {
+                        self.engines[sender.index()]
+                            .set_mode(dcape_engine::controller::Mode::Normal);
+                        Ok(())
+                    }
+                    Action::PauseAndTransfer {
+                        parts,
+                        sender,
+                        receiver,
+                    } => {
+                        // Step 3: pause at the splits.
+                        self.placement.pause(&parts)?;
+                        // Steps 4–5: extract and ship; the transfer
+                        // completes after the modeled network time.
+                        self.engines[receiver.index()]
+                            .set_mode(dcape_engine::controller::Mode::Relocation);
+                        let groups = self.engines[sender.index()].extract_groups(&parts);
+                        let bytes: u64 =
+                            groups.iter().map(|(g, _)| g.state_bytes() as u64).sum();
+                        let cost = self.cfg.network.transfer_cost(bytes)
+                            + self.cfg.network.control_cost();
+                        self.in_flight = Some(InFlightTransfer {
+                            round,
+                            receiver,
+                            parts,
+                            groups,
+                            sender,
+                            bytes,
+                            complete_at: self.now + cost,
+                        });
+                        Ok(())
+                    }
+                    Action::RemapAndResume { .. } => Err(DcapeError::protocol(
+                        "remap before transfer completed",
+                    )),
+                }
+            }
+        }
+    }
+
+    fn complete_transfer(&mut self) -> Result<()> {
+        let t = self.in_flight.take().expect("caller checked");
+        // Step 5 completes: install at the receiver.
+        self.engines[t.receiver.index()].install_groups(t.groups)?;
+        // Step 6: ack; coordinator answers with remap-and-resume.
+        let action = self.gc.on_transfer_ack(t.receiver, t.round)?;
+        let Action::RemapAndResume { parts, receiver } = action else {
+            return Err(DcapeError::protocol("expected remap after ack"));
+        };
+        // Step 7: remap and flush buffered tuples to the new owner.
+        let released = self.placement.remap_and_release(&parts, receiver)?;
+        let mut buffered = 0usize;
+        for (pid, tuples) in released {
+            buffered += tuples.len();
+            for tuple in tuples {
+                self.engines[receiver.index()].process(pid, tuple, &mut self.sink)?;
+            }
+        }
+        // Step 8: resume.
+        self.engines[t.sender.index()].set_mode(dcape_engine::controller::Mode::Normal);
+        self.engines[t.receiver.index()].set_mode(dcape_engine::controller::Mode::Normal);
+        self.relocations.push(RelocationEvent {
+            at: self.now,
+            sender: t.sender,
+            receiver: t.receiver,
+            parts: t.parts.len(),
+            bytes: t.bytes,
+            buffered_tuples: buffered,
+        });
+        Ok(())
+    }
+
+    fn sample_series(&mut self) {
+        let total: u64 = self.sink.count;
+        self.recorder
+            .record("output/total", self.now, total as f64);
+        for e in &self.engines {
+            let id = e.id();
+            self.recorder.record(
+                &format!("mem/{id}"),
+                self.now,
+                e.memory_used() as f64,
+            );
+            self.recorder.record(
+                &format!("output/{id}"),
+                self.now,
+                e.total_output() as f64,
+            );
+        }
+    }
+
+    /// Finish the run: complete any pending transfer, then perform the
+    /// cluster-wide cleanup phase and assemble the report.
+    pub fn finish(mut self) -> Result<SimReport> {
+        if self.in_flight.is_some() {
+            self.complete_transfer()?;
+        }
+        self.sample_series();
+        let runtime_output = self.sink.count;
+        let runtime_results = self.sink.collect.take();
+
+        // Cluster-wide cleanup: for every partition, gather segments
+        // from ALL engines plus the memory-resident group from the
+        // current owner, and merge. Costs are attributed to the owner
+        // engine (work is executed where the partition lives).
+        let mut cleanup_sink = SimSink {
+            count: 0,
+            collect: self.cfg.collect_results.then(CollectingSink::new),
+        };
+        let cost_model = self.cfg.engine.cost;
+        let mut cost_ms = vec![0u64; self.engines.len()];
+        let join_columns = self.cfg.engine.join.join_columns.clone();
+
+        let mut spilled_pids: Vec<PartitionId> = self
+            .engines
+            .iter()
+            .flat_map(|e| e.spilled_partitions())
+            .collect();
+        spilled_pids.sort_unstable();
+        spilled_pids.dedup();
+
+        for pid in spilled_pids {
+            let owner = self.placement.owner(pid)?;
+            let mut segments: Vec<SpilledGroup> = Vec::new();
+            let mut io_ms = 0u64;
+            for e in &mut self.engines {
+                for meta in e.spilled_segment_metas(pid) {
+                    io_ms += cost_model.disk.io_cost(meta.state_bytes).as_millis();
+                }
+                segments.extend(e.take_spilled_segments(pid)?);
+            }
+            if let Some((resident, _)) = self.engines[owner.index()].extract_resident_group(pid)
+            {
+                segments.push(resident);
+            }
+            let outcome = merge_segments_windowed(
+                &join_columns,
+                self.cfg.engine.join.window,
+                segments,
+                &mut cleanup_sink,
+            )?;
+            let compute_us = outcome.scanned_tuples * cost_model.cleanup_scan_us_per_tuple
+                + outcome.missing_results * cost_model.cleanup_emit_us_per_result;
+            cost_ms[owner.index()] += io_ms + compute_us / 1000;
+        }
+
+        Ok(SimReport {
+            runtime_output,
+            cleanup_output: cleanup_sink.count,
+            cleanup_cost_ms: cost_ms,
+            relocations: std::mem::take(&mut self.relocations),
+            force_spills: self.gc.force_spills_issued(),
+            spill_counts: self
+                .engines
+                .iter()
+                .map(|e| e.spill_history().len() as u64)
+                .collect(),
+            recorder: std::mem::take(&mut self.recorder),
+            runtime_results,
+            cleanup_results: cleanup_sink.collect,
+        })
+    }
+}

@@ -1,0 +1,494 @@
+//! The threaded cluster runtime: one OS thread per query engine.
+//!
+//! This driver stands in for the paper's PC cluster: engines run
+//! concurrently, all coordination flows through channels as real
+//! asynchronous messages (the full Figure 8 sequence — `Cptv`, `Ptv`,
+//! pause-and-buffer, `SendStates`, engine-to-engine `InstallStates`,
+//! `TransferAck`, remap-and-flush, `Resume`), and the driver thread
+//! plays the roles of stream source, split operators, and global
+//! coordinator.
+//!
+//! Differences from the paper's deployment, by design:
+//!
+//! * Virtual time still paces timers (determinism of *decisions* is not
+//!   required here — thread interleaving varies — but totals are
+//!   invariant: every tuple is processed exactly once).
+//! * The cleanup phase is **distributed**, as in the paper: at
+//!   shutdown the driver broadcasts the final placement, every engine
+//!   forwards its non-owned spill segments to the partitions' owners
+//!   (engine-to-engine messages), and once all engines report ready,
+//!   each merges its owned partitions locally, in parallel, reporting
+//!   missing-result counts and its modeled merge cost (the wall time is
+//!   the max — T-cleanup-2's comparison).
+
+use std::thread;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use dcape_common::error::{DcapeError, Result};
+use dcape_common::ids::{EngineId, PartitionId};
+use dcape_common::time::{PeriodicTimer, VirtualTime};
+use dcape_engine::controller::Mode;
+use dcape_engine::engine::QueryEngine;
+use dcape_engine::sink::CountingSink;
+use dcape_streamgen::StreamSetGenerator;
+
+use crate::coordinator::GlobalCoordinator;
+use crate::messages::{FromEngine, GroupTransfer, ToEngine};
+use crate::placement::{PlacementMap, Route};
+use crate::relocation::Action;
+use crate::runtime::sim::SimConfig;
+use crate::stats::ClusterStats;
+use crate::strategy::Decision;
+
+/// Outcome of one threaded run.
+#[derive(Debug)]
+pub struct ThreadedReport {
+    /// Results produced during the run-time phase (all engines).
+    pub runtime_output: u64,
+    /// Missing results produced by the central cleanup merge.
+    pub cleanup_output: u64,
+    /// Completed relocation rounds.
+    pub relocations: u64,
+    /// Spill adaptations per engine.
+    pub spill_counts: Vec<u64>,
+    /// Forced spills issued.
+    pub force_spills: u64,
+    /// Modeled parallel cleanup wall time: max per-engine merge cost.
+    pub cleanup_wall_ms: u64,
+}
+
+impl ThreadedReport {
+    /// Total results across both phases.
+    pub fn total_output(&self) -> u64 {
+        self.runtime_output + self.cleanup_output
+    }
+}
+
+/// Run a complete experiment on real threads until `deadline` of
+/// virtual time, then shut down and merge the cleanup phase.
+pub fn run_threaded(cfg: SimConfig, deadline: VirtualTime) -> Result<ThreadedReport> {
+    if cfg.num_engines == 0 {
+        return Err(DcapeError::config("need at least one engine"));
+    }
+    let mut gen = StreamSetGenerator::new(cfg.workload.clone())?;
+    let mut split = crate::split::SplitOperator::new(
+        gen.partitioner(),
+        vec![StreamSetGenerator::JOIN_COLUMN; cfg.workload.num_streams],
+    )?;
+    let mut placement = PlacementMap::new(
+        &cfg.placement,
+        cfg.workload.num_partitions,
+        cfg.num_engines,
+    )?;
+    let mut gc = GlobalCoordinator::new(&cfg.strategy);
+
+    // Channel fabric.
+    let mut to_engines: Vec<Sender<ToEngine>> = Vec::with_capacity(cfg.num_engines);
+    let mut engine_rxs: Vec<Receiver<ToEngine>> = Vec::with_capacity(cfg.num_engines);
+    for _ in 0..cfg.num_engines {
+        let (tx, rx) = unbounded();
+        to_engines.push(tx);
+        engine_rxs.push(rx);
+    }
+    let (to_gc, from_engines) = unbounded::<FromEngine>();
+
+    // Spawn engine threads.
+    let mut handles = Vec::with_capacity(cfg.num_engines);
+    for (i, rx) in engine_rxs.into_iter().enumerate() {
+        let id = EngineId(i as u16);
+        let engine_cfg = cfg.engine.clone();
+        let to_gc = to_gc.clone();
+        let peers = to_engines.clone();
+        handles.push(
+            thread::Builder::new()
+                .name(format!("dcape-qe{i}"))
+                .spawn(move || engine_main(id, engine_cfg, rx, to_gc, peers))
+                .expect("spawn engine thread"),
+        );
+    }
+    drop(to_gc);
+
+    // Driver loop: source + splits + coordinator.
+    let mut stats_timer = PeriodicTimer::new(cfg.stats_interval, VirtualTime::ZERO);
+    let mut tick_timer = PeriodicTimer::new(
+        dcape_common::time::VirtualDuration::from_secs(1),
+        VirtualTime::ZERO,
+    );
+    let mut pending_stats: Vec<Option<dcape_engine::stats::EngineStatsReport>> =
+        vec![None; cfg.num_engines];
+    let mut awaiting_stats = false;
+    let mut relocations = 0u64;
+
+    let send_to = |txs: &[Sender<ToEngine>], e: EngineId, msg: ToEngine| -> Result<()> {
+        txs[e.index()]
+            .send(msg)
+            .map_err(|_| DcapeError::Disconnected(format!("engine {e} channel closed")))
+    };
+
+    while gen.now() < deadline {
+        let now = gen.now();
+        let batch = gen.generate_ticks(1);
+        for tuple in batch {
+            let pid = split.classify(&tuple)?;
+            match placement.route(pid, tuple)? {
+                Route::Buffered => {}
+                Route::Deliver(engine, tuple) => {
+                    send_to(&to_engines, engine, ToEngine::Data { pid, tuple })?;
+                }
+            }
+        }
+        if tick_timer.expired(now) {
+            tick_timer.reset(now);
+            for i in 0..cfg.num_engines {
+                send_to(&to_engines, EngineId(i as u16), ToEngine::Tick { now })?;
+            }
+        }
+        if stats_timer.expired(now) && !awaiting_stats && !gc.relocation_active() {
+            stats_timer.reset(now);
+            awaiting_stats = true;
+            pending_stats.iter_mut().for_each(|s| *s = None);
+            for i in 0..cfg.num_engines {
+                send_to(&to_engines, EngineId(i as u16), ToEngine::ReportStats { now })?;
+            }
+        }
+
+        // Drain coordinator inbox without blocking the data path.
+        while let Ok(msg) = from_engines.try_recv() {
+            handle_coordinator_msg(
+                msg,
+                &mut gc,
+                &mut placement,
+                &to_engines,
+                &mut pending_stats,
+                &mut awaiting_stats,
+                &mut relocations,
+                now,
+            )?;
+        }
+    }
+
+    // Quiesce: finish any in-flight relocation before shutdown so no
+    // state is lost mid-transfer.
+    while gc.relocation_active() || awaiting_stats {
+        let msg = from_engines
+            .recv()
+            .map_err(|_| DcapeError::Disconnected("engines hung up".into()))?;
+        handle_coordinator_msg(
+            msg,
+            &mut gc,
+            &mut placement,
+            &to_engines,
+            &mut pending_stats,
+            &mut awaiting_stats,
+            &mut relocations,
+            deadline,
+        )?;
+    }
+
+    // Flush any tuples still buffered (there should be none once no
+    // relocation is active — assert the protocol invariant).
+    debug_assert!(placement.paused_partitions().is_empty());
+
+    // Distributed cleanup, phase 1: every engine forwards its non-owned
+    // segments to the partition's owner (the paper's cleanup runs where
+    // the partition lives, in parallel across machines).
+    let owners: Vec<EngineId> = (0..placement.num_partitions())
+        .map(|i| placement.owner(PartitionId(i)))
+        .collect::<Result<_>>()?;
+    for tx in &to_engines {
+        tx.send(ToEngine::PrepareCleanup {
+            owners: owners.clone(),
+        })
+        .map_err(|_| DcapeError::Disconnected("engine channel closed".into()))?;
+    }
+    let mut ready = 0usize;
+    while ready < cfg.num_engines {
+        match from_engines
+            .recv()
+            .map_err(|_| DcapeError::Disconnected("engines hung up during cleanup".into()))?
+        {
+            FromEngine::CleanupReady { .. } => ready += 1,
+            other => {
+                return Err(DcapeError::protocol(format!(
+                    "unexpected message during cleanup prepare: {other:?}"
+                )))
+            }
+        }
+    }
+    // Phase 2: all forwards are enqueued ahead of StartCleanup in every
+    // engine's FIFO inbox (each engine forwarded before reporting
+    // ready, and we send StartCleanup only after every ready) — the
+    // merge can begin.
+    for tx in &to_engines {
+        tx.send(ToEngine::StartCleanup)
+            .map_err(|_| DcapeError::Disconnected("engine channel closed".into()))?;
+    }
+
+    let mut runtime_output = 0u64;
+    let mut cleanup_output = 0u64;
+    let mut cleanup_wall_ms = 0u64;
+    let mut spill_counts = vec![0u64; cfg.num_engines];
+    let mut remaining = cfg.num_engines;
+    while remaining > 0 {
+        match from_engines
+            .recv()
+            .map_err(|_| DcapeError::Disconnected("engines hung up during merge".into()))?
+        {
+            FromEngine::CleanupDone {
+                engine,
+                runtime_output: out,
+                cleanup_output: missed,
+                spill_count,
+                cleanup_cost_ms,
+            } => {
+                runtime_output += out;
+                cleanup_output += missed;
+                cleanup_wall_ms = cleanup_wall_ms.max(cleanup_cost_ms);
+                spill_counts[engine.index()] = spill_count;
+                remaining -= 1;
+            }
+            other => {
+                return Err(DcapeError::protocol(format!(
+                    "unexpected message during merge: {other:?}"
+                )))
+            }
+        }
+    }
+    for h in handles {
+        h.join()
+            .map_err(|_| DcapeError::Disconnected("engine thread panicked".into()))?;
+    }
+
+    Ok(ThreadedReport {
+        runtime_output,
+        cleanup_output,
+        relocations,
+        spill_counts,
+        force_spills: gc.force_spills_issued(),
+        cleanup_wall_ms,
+    })
+}
+
+/// Coordinator-side message handling (shared by the run loop and the
+/// quiesce loop).
+#[allow(clippy::too_many_arguments)]
+fn handle_coordinator_msg(
+    msg: FromEngine,
+    gc: &mut GlobalCoordinator,
+    placement: &mut PlacementMap,
+    to_engines: &[Sender<ToEngine>],
+    pending_stats: &mut [Option<dcape_engine::stats::EngineStatsReport>],
+    awaiting_stats: &mut bool,
+    relocations: &mut u64,
+    now: VirtualTime,
+) -> Result<()> {
+    let send = |e: EngineId, m: ToEngine| -> Result<()> {
+        to_engines[e.index()]
+            .send(m)
+            .map_err(|_| DcapeError::Disconnected(format!("engine {e} channel closed")))
+    };
+    match msg {
+        FromEngine::Stats(report) => {
+            let idx = report.engine.index();
+            pending_stats[idx] = Some(report);
+            if *awaiting_stats && pending_stats.iter().all(Option::is_some) {
+                *awaiting_stats = false;
+                let stats =
+                    ClusterStats::new(pending_stats.iter().flatten().copied().collect());
+                match gc.evaluate(&stats, now)? {
+                    Decision::None => {}
+                    Decision::ForceSpill { engine, amount } => {
+                        send(engine, ToEngine::StartSpill { amount })?;
+                    }
+                    Decision::Relocate { sender, .. } => {
+                        let (round, s, _r, amount) =
+                            gc.active_round_info().expect("round just opened");
+                        debug_assert_eq!(s, sender);
+                        send(sender, ToEngine::Cptv { round, amount })?;
+                    }
+                }
+            }
+            Ok(())
+        }
+        FromEngine::Ptv {
+            round,
+            engine,
+            parts,
+        } => match gc.on_ptv(engine, round, parts)? {
+            Action::Abort => send(engine, ToEngine::Resume { round }),
+            Action::PauseAndTransfer {
+                parts,
+                sender,
+                receiver,
+            } => {
+                placement.pause(&parts)?;
+                send(
+                    sender,
+                    ToEngine::SendStates {
+                        round,
+                        parts,
+                        receiver,
+                    },
+                )
+            }
+            Action::RemapAndResume { .. } => {
+                Err(DcapeError::protocol("remap action out of order"))
+            }
+        },
+        FromEngine::TransferAck { round, engine, .. } => {
+            match gc.on_transfer_ack(engine, round)? {
+                Action::RemapAndResume { parts, receiver } => {
+                    let released = placement.remap_and_release(&parts, receiver)?;
+                    for (pid, tuples) in released {
+                        for tuple in tuples {
+                            send(receiver, ToEngine::Data { pid, tuple })?;
+                        }
+                    }
+                    *relocations += 1;
+                    // Step 8: resume both parties. The sender is derivable
+                    // from the completed round's parts' previous owner; we
+                    // broadcast Resume — engines ignore stale rounds.
+                    for (i, _) in to_engines.iter().enumerate() {
+                        send(EngineId(i as u16), ToEngine::Resume { round })?;
+                    }
+                    Ok(())
+                }
+                other => Err(DcapeError::protocol(format!(
+                    "unexpected action after ack: {other:?}"
+                ))),
+            }
+        }
+        FromEngine::CleanupReady { .. } | FromEngine::CleanupDone { .. } => Err(
+            DcapeError::protocol("cleanup message before shutdown"),
+        ),
+    }
+}
+
+/// The engine thread body.
+fn engine_main(
+    id: EngineId,
+    cfg: dcape_engine::config::EngineConfig,
+    rx: Receiver<ToEngine>,
+    to_gc: Sender<FromEngine>,
+    peers: Vec<Sender<ToEngine>>,
+) {
+    let mut qe = match QueryEngine::in_memory(id, cfg) {
+        Ok(qe) => qe,
+        Err(e) => panic!("engine {id} failed to start: {e}"),
+    };
+    let mut sink = CountingSink::new();
+    let mut last_now = VirtualTime::ZERO;
+    for msg in rx.iter() {
+        let result: Result<bool> = (|| {
+            match msg {
+                ToEngine::Data { pid, tuple } => {
+                    qe.process(pid, tuple, &mut sink)?;
+                }
+                ToEngine::Tick { now } => {
+                    last_now = now;
+                    qe.tick(now)?;
+                }
+                ToEngine::ReportStats { now } => {
+                    last_now = now;
+                    let report = qe.report(now);
+                    let _ = to_gc.send(FromEngine::Stats(report));
+                }
+                ToEngine::Cptv { round, amount } => {
+                    qe.set_mode(Mode::Relocation);
+                    let parts = qe.select_parts_to_move(amount);
+                    let _ = to_gc.send(FromEngine::Ptv {
+                        round,
+                        engine: id,
+                        parts,
+                    });
+                }
+                ToEngine::SendStates {
+                    round,
+                    parts,
+                    receiver,
+                } => {
+                    let groups = qe
+                        .extract_groups(&parts)
+                        .into_iter()
+                        .map(|(snapshot, output_count)| GroupTransfer {
+                            snapshot,
+                            output_count,
+                        })
+                        .collect();
+                    let _ = peers[receiver.index()].send(ToEngine::InstallStates {
+                        round,
+                        groups,
+                    });
+                }
+                ToEngine::InstallStates { round, groups } => {
+                    qe.set_mode(Mode::Relocation);
+                    let bytes: u64 = groups
+                        .iter()
+                        .map(|g| g.snapshot.state_bytes() as u64)
+                        .sum();
+                    qe.install_groups(
+                        groups
+                            .into_iter()
+                            .map(|g| (g.snapshot, g.output_count))
+                            .collect(),
+                    )?;
+                    let _ = to_gc.send(FromEngine::TransferAck {
+                        round,
+                        engine: id,
+                        bytes,
+                    });
+                }
+                ToEngine::Resume { .. } => {
+                    qe.set_mode(Mode::Normal);
+                }
+                ToEngine::StartSpill { amount } => {
+                    qe.force_spill(amount, last_now)?;
+                }
+                ToEngine::PrepareCleanup { owners } => {
+                    // Forward segments of partitions owned elsewhere.
+                    let mut forwarded = 0usize;
+                    for pid in qe.spilled_partitions() {
+                        let owner = owners
+                            .get(pid.index())
+                            .copied()
+                            .ok_or_else(|| DcapeError::state(format!("no owner for {pid}")))?;
+                        if owner == id {
+                            continue;
+                        }
+                        let segments = qe.take_spilled_segments(pid)?;
+                        forwarded += segments.len();
+                        let _ = peers[owner.index()]
+                            .send(ToEngine::ForwardedSegments { pid, segments });
+                    }
+                    let _ = to_gc.send(FromEngine::CleanupReady {
+                        engine: id,
+                        forwarded,
+                    });
+                }
+                ToEngine::ForwardedSegments { segments, .. } => {
+                    qe.import_segments(segments)?;
+                }
+                ToEngine::StartCleanup => {
+                    // Local parallel merge over owned partitions.
+                    let mut sink = CountingSink::new();
+                    let report = qe.cleanup(&mut sink)?;
+                    let _ = to_gc.send(FromEngine::CleanupDone {
+                        engine: id,
+                        runtime_output: qe.total_output(),
+                        cleanup_output: sink.count(),
+                        spill_count: qe.spill_history().len() as u64,
+                        cleanup_cost_ms: report.virtual_cost.as_millis(),
+                    });
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        })();
+        match result {
+            Ok(true) => {}
+            Ok(false) => break,
+            Err(e) => panic!("engine {id} failed: {e}"),
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! The split operator (§2, Figure 2).
+//!
+//! "A split operator is inserted in front of each input stream of such a
+//! partitioned operator. This split operator partitions an input stream
+//! and sends the appropriate partitions to each machine that houses an
+//! instance of this partitioned operator."
+//!
+//! A [`SplitOperator`] owns the *classification* step — join-column
+//! extraction + partitioner — shared by every input stream of one
+//! partitioned operator (per-stream join columns supported). The
+//! *routing* step (partition → engine, with pause/buffer during
+//! relocations) lives in [`PlacementMap`](crate::placement::PlacementMap),
+//! which all splits of an operator share; both drivers compose the two.
+
+use dcape_common::error::{DcapeError, Result};
+use dcape_common::ids::PartitionId;
+use dcape_common::partition::Partitioner;
+use dcape_common::tuple::Tuple;
+
+/// Classifies tuples of a partitioned operator's input streams into
+/// partition IDs.
+#[derive(Debug, Clone)]
+pub struct SplitOperator {
+    partitioner: Partitioner,
+    /// Join-column index per input stream.
+    join_columns: Vec<usize>,
+    classified: u64,
+}
+
+impl SplitOperator {
+    /// Build a split for an operator with the given per-stream join
+    /// columns.
+    pub fn new(partitioner: Partitioner, join_columns: Vec<usize>) -> Result<Self> {
+        if join_columns.is_empty() {
+            return Err(DcapeError::config("split needs at least one stream"));
+        }
+        Ok(SplitOperator {
+            partitioner,
+            join_columns,
+            classified: 0,
+        })
+    }
+
+    /// The partition the tuple belongs to (by its stream's join column).
+    pub fn classify(&mut self, tuple: &Tuple) -> Result<PartitionId> {
+        let s = tuple.stream().index();
+        let column = *self
+            .join_columns
+            .get(s)
+            .ok_or_else(|| DcapeError::state(format!("stream {} not in split", tuple.stream())))?;
+        let key = tuple
+            .get(column)
+            .ok_or_else(|| DcapeError::state("tuple lacks join column"))?;
+        self.classified += 1;
+        Ok(self.partitioner.partition_of(key))
+    }
+
+    /// Tuples classified so far.
+    pub fn classified(&self) -> u64 {
+        self.classified
+    }
+
+    /// The underlying partitioner.
+    pub fn partitioner(&self) -> Partitioner {
+        self.partitioner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcape_common::ids::StreamId;
+    use dcape_common::tuple::TupleBuilder;
+
+    #[test]
+    fn classifies_by_per_stream_column() {
+        // Stream 0 joins on column 0; stream 1 on column 1.
+        let mut split =
+            SplitOperator::new(Partitioner::modulo(8), vec![0, 1]).unwrap();
+        let t0 = TupleBuilder::new(StreamId(0)).value(5i64).value(99i64).build();
+        let t1 = TupleBuilder::new(StreamId(1)).value(99i64).value(5i64).build();
+        assert_eq!(split.classify(&t0).unwrap(), PartitionId(5));
+        assert_eq!(split.classify(&t1).unwrap(), PartitionId(5));
+        assert_eq!(split.classified(), 2);
+        assert_eq!(split.partitioner().num_partitions(), 8);
+    }
+
+    #[test]
+    fn rejects_unknown_stream_and_missing_column() {
+        let mut split = SplitOperator::new(Partitioner::modulo(4), vec![0]).unwrap();
+        let bad_stream = TupleBuilder::new(StreamId(3)).value(1i64).build();
+        assert!(split.classify(&bad_stream).is_err());
+        let mut split2 = SplitOperator::new(Partitioner::modulo(4), vec![2]).unwrap();
+        let short = TupleBuilder::new(StreamId(0)).value(1i64).build();
+        assert!(split2.classify(&short).is_err());
+    }
+
+    #[test]
+    fn empty_split_rejected() {
+        assert!(SplitOperator::new(Partitioner::modulo(4), vec![]).is_err());
+    }
+}

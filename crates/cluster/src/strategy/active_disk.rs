@@ -1,0 +1,210 @@
+//! The active-disk strategy (Algorithm 2).
+
+use dcape_common::time::{VirtualDuration, VirtualTime};
+
+use crate::stats::ClusterStats;
+use crate::strategy::planner::{RelocationPlanner, RelocationScheme};
+use crate::strategy::{AdaptationStrategy, Decision};
+
+/// Active-disk: relocation first (as lazy-disk); when loads are already
+/// balanced (`M_least/M_max ≥ θ_r`) but the productivity gap
+/// `R_max/R_min` exceeds λ, proactively force the least productive
+/// engine to spill, freeing aggregate memory for productive partitions
+/// (§5.3). Cumulative forced spills are capped — "pushing more states
+/// than necessary could be counter-productive" (§5.3/§5.4).
+#[derive(Debug)]
+pub struct ActiveDisk {
+    planner: RelocationPlanner,
+    lambda: f64,
+    spill_fraction: f64,
+    force_spill_cap: u64,
+    forced_bytes: u64,
+    force_spills_triggered: u64,
+}
+
+impl ActiveDisk {
+    /// Create with relocation threshold θ_r, spacing τ_m, productivity
+    /// trigger λ, per-adaptation spill fraction, and the cumulative
+    /// forced-spill byte cap.
+    pub fn new(
+        theta_r: f64,
+        tau_m: VirtualDuration,
+        lambda: f64,
+        spill_fraction: f64,
+        force_spill_cap: u64,
+    ) -> Self {
+        assert!(lambda >= 1.0, "lambda must be >= 1");
+        assert!(
+            spill_fraction > 0.0 && spill_fraction <= 1.0,
+            "spill_fraction must be in (0, 1]"
+        );
+        ActiveDisk {
+            planner: RelocationPlanner::new(theta_r, tau_m, RelocationScheme::PairWise),
+            lambda,
+            spill_fraction,
+            force_spill_cap,
+            forced_bytes: 0,
+            force_spills_triggered: 0,
+        }
+    }
+
+    /// Relocations triggered so far.
+    pub fn relocations_triggered(&self) -> u64 {
+        self.planner.triggered()
+    }
+
+    /// Forced spills triggered so far.
+    pub fn force_spills_triggered(&self) -> u64 {
+        self.force_spills_triggered
+    }
+
+    /// Cumulative forced-spill bytes.
+    pub fn forced_bytes(&self) -> u64 {
+        self.forced_bytes
+    }
+}
+
+impl AdaptationStrategy for ActiveDisk {
+    fn name(&self) -> &'static str {
+        "active-disk"
+    }
+
+    fn decide(&mut self, stats: &ClusterStats, now: VirtualTime, active: bool) -> Decision {
+        if active {
+            return Decision::None;
+        }
+        // Lines 5–11: relocation has priority.
+        if let Some(d) = self.planner.next(stats, now) {
+            return d;
+        }
+        // Lines 12–18: loads balanced; compare productivity rates.
+        if stats.len() < 2 {
+            return Decision::None;
+        }
+        let ratio = stats.productivity_ratio();
+        // NaN-safe: only proceed when the gap strictly exceeds lambda.
+        if ratio.partial_cmp(&self.lambda) != Some(std::cmp::Ordering::Greater) {
+            return Decision::None;
+        }
+        let Some(min_prod) = stats.min_productivity() else {
+            return Decision::None;
+        };
+        // `computeAmountToSpill`, bounded by the remaining cap.
+        let want = ((min_prod.memory_used as f64) * self.spill_fraction) as u64;
+        let remaining_cap = self.force_spill_cap.saturating_sub(self.forced_bytes);
+        let amount = want.min(remaining_cap);
+        if amount == 0 {
+            return Decision::None;
+        }
+        self.forced_bytes += amount;
+        self.force_spills_triggered += 1;
+        Decision::ForceSpill {
+            engine: min_prod.engine,
+            amount,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::test_support::report;
+    use dcape_common::ids::EngineId;
+
+    fn active() -> ActiveDisk {
+        ActiveDisk::new(0.8, VirtualDuration::from_secs(45), 2.0, 0.5, 10_000)
+    }
+
+    #[test]
+    fn relocation_takes_priority() {
+        let mut s = active();
+        // Imbalanced load AND productivity gap: must relocate, not spill.
+        let stats = ClusterStats::new(vec![report(0, 1000, 10.0), report(1, 100, 1.0)]);
+        let d = s.decide(&stats, VirtualTime::from_secs(50), false);
+        assert!(matches!(d, Decision::Relocate { .. }));
+        assert_eq!(s.relocations_triggered(), 1);
+        assert_eq!(s.force_spills_triggered(), 0);
+    }
+
+    #[test]
+    fn force_spill_when_balanced_but_productivity_gap() {
+        let mut s = active();
+        let stats = ClusterStats::new(vec![report(0, 1000, 10.0), report(1, 900, 1.0)]);
+        let d = s.decide(&stats, VirtualTime::from_secs(50), false);
+        assert_eq!(
+            d,
+            Decision::ForceSpill {
+                engine: EngineId(1),
+                amount: 450, // 50% of 900
+            }
+        );
+        assert_eq!(s.forced_bytes(), 450);
+    }
+
+    #[test]
+    fn no_spill_below_lambda() {
+        let mut s = active();
+        let stats = ClusterStats::new(vec![report(0, 1000, 1.9), report(1, 900, 1.0)]);
+        assert_eq!(
+            s.decide(&stats, VirtualTime::from_secs(50), false),
+            Decision::None
+        );
+    }
+
+    #[test]
+    fn cap_limits_cumulative_forced_spill() {
+        let mut s = ActiveDisk::new(0.8, VirtualDuration::ZERO, 2.0, 1.0, 1000);
+        let stats = ClusterStats::new(vec![report(0, 1000, 10.0), report(1, 900, 1.0)]);
+        // First spill takes min(900, 1000) = 900.
+        let d = s.decide(&stats, VirtualTime::from_secs(1), false);
+        assert_eq!(
+            d,
+            Decision::ForceSpill {
+                engine: EngineId(1),
+                amount: 900,
+            }
+        );
+        // Second spill limited to the remaining 100.
+        let d = s.decide(&stats, VirtualTime::from_secs(2), false);
+        assert_eq!(
+            d,
+            Decision::ForceSpill {
+                engine: EngineId(1),
+                amount: 100,
+            }
+        );
+        // Cap exhausted.
+        assert_eq!(
+            s.decide(&stats, VirtualTime::from_secs(3), false),
+            Decision::None
+        );
+        assert_eq!(s.forced_bytes(), 1000);
+        assert_eq!(s.force_spills_triggered(), 2);
+    }
+
+    #[test]
+    fn suppressed_while_round_active() {
+        let mut s = active();
+        let stats = ClusterStats::new(vec![report(0, 1000, 10.0), report(1, 100, 1.0)]);
+        assert_eq!(
+            s.decide(&stats, VirtualTime::from_secs(50), true),
+            Decision::None
+        );
+    }
+
+    #[test]
+    fn infinite_productivity_ratio_triggers_spill() {
+        // One engine produced nothing in the window (rate 0) while the
+        // other produced plenty: ratio is infinite.
+        let mut s = active();
+        let stats = ClusterStats::new(vec![report(0, 1000, 5.0), report(1, 900, 0.0)]);
+        let d = s.decide(&stats, VirtualTime::from_secs(50), false);
+        assert!(matches!(d, Decision::ForceSpill { engine, .. } if engine == EngineId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda")]
+    fn bad_lambda_rejected() {
+        let _ = ActiveDisk::new(0.8, VirtualDuration::ZERO, 0.5, 0.3, 100);
+    }
+}

@@ -1,0 +1,103 @@
+//! The lazy-disk strategy (Algorithm 1).
+
+use dcape_common::time::{VirtualDuration, VirtualTime};
+
+use crate::stats::ClusterStats;
+use crate::strategy::planner::{RelocationPlanner, RelocationScheme};
+use crate::strategy::{AdaptationStrategy, Decision};
+
+/// Lazy-disk: "state spill is postponed until there is no main memory in
+/// the cluster that can hold the states from overloaded machines"
+/// (§5.1). Globally this is pure relocation — spill happens only as the
+/// engines' own last-resort `ss_timer` overflow reaction.
+#[derive(Debug)]
+pub struct LazyDisk {
+    planner: RelocationPlanner,
+}
+
+impl LazyDisk {
+    /// Create with the relocation threshold θ_r and minimum spacing τ_m
+    /// (pair-wise scheme, as in the paper).
+    pub fn new(theta_r: f64, tau_m: VirtualDuration) -> Self {
+        Self::with_scheme(theta_r, tau_m, RelocationScheme::PairWise)
+    }
+
+    /// Create with an explicit relocation scheme.
+    pub fn with_scheme(theta_r: f64, tau_m: VirtualDuration, scheme: RelocationScheme) -> Self {
+        LazyDisk {
+            planner: RelocationPlanner::new(theta_r, tau_m, scheme),
+        }
+    }
+
+    /// Relocations triggered so far.
+    pub fn relocations_triggered(&self) -> u64 {
+        self.planner.triggered()
+    }
+}
+
+impl AdaptationStrategy for LazyDisk {
+    fn name(&self) -> &'static str {
+        "lazy-disk"
+    }
+
+    fn decide(&mut self, stats: &ClusterStats, now: VirtualTime, active: bool) -> Decision {
+        if active {
+            return Decision::None;
+        }
+        self.planner.next(stats, now).unwrap_or(Decision::None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::test_support::report;
+    use dcape_common::ids::EngineId;
+
+    fn imbalanced() -> ClusterStats {
+        ClusterStats::new(vec![report(0, 1000, 1.0), report(1, 100, 1.0)])
+    }
+
+    #[test]
+    fn relocates_on_imbalance_and_counts() {
+        let mut s = LazyDisk::new(0.8, VirtualDuration::from_secs(45));
+        let d = s.decide(&imbalanced(), VirtualTime::from_secs(50), false);
+        assert_eq!(
+            d,
+            Decision::Relocate {
+                sender: EngineId(0),
+                receiver: EngineId(1),
+                amount: 450,
+            }
+        );
+        assert_eq!(s.relocations_triggered(), 1);
+    }
+
+    #[test]
+    fn suppressed_while_round_active() {
+        let mut s = LazyDisk::new(0.8, VirtualDuration::ZERO);
+        assert_eq!(
+            s.decide(&imbalanced(), VirtualTime::from_secs(50), true),
+            Decision::None
+        );
+        assert_eq!(s.relocations_triggered(), 0);
+    }
+
+    #[test]
+    fn never_force_spills() {
+        // Even with a huge productivity gap, lazy-disk only relocates.
+        let mut s = LazyDisk::new(0.8, VirtualDuration::ZERO);
+        let balanced_gap =
+            ClusterStats::new(vec![report(0, 1000, 100.0), report(1, 950, 1.0)]);
+        assert_eq!(
+            s.decide(&balanced_gap, VirtualTime::from_secs(50), false),
+            Decision::None
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "theta_r")]
+    fn bad_theta_rejected() {
+        let _ = LazyDisk::new(1.5, VirtualDuration::ZERO);
+    }
+}

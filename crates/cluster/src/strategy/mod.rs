@@ -1,0 +1,204 @@
+//! Integrated adaptation strategies (§5 of the paper).
+//!
+//! A strategy is the *global* half of the adaptation logic: given the
+//! latest cluster statistics it decides whether to trigger a relocation
+//! (and between whom), force a spill (active-disk only), or do nothing.
+//! The *local* halves — picking concrete partition groups, executing the
+//! spill — live in `dcape-engine`.
+//!
+//! * [`NoAdaptation`] — the "no-relocation" baseline: engines still
+//!   spill locally when their own memory overflows, but the coordinator
+//!   never intervenes.
+//! * [`LazyDisk`] — Algorithm 1: relocate whenever
+//!   `M_least/M_max < θ_r` (subject to the τ_m spacing of §4.2); spill
+//!   remains a purely local decision.
+//! * [`ActiveDisk`] — Algorithm 2: as lazy-disk, but when loads are
+//!   balanced and the productivity gap `R_max/R_min` exceeds λ, force
+//!   the least productive engine to spill, freeing aggregate memory for
+//!   the productive partitions — bounded by the force-spill cap
+//!   (the paper's `M_query − M_cluster` estimate, 100 MB in their runs).
+
+mod active_disk;
+mod lazy_disk;
+mod no_adaptation;
+pub mod planner;
+
+pub use active_disk::ActiveDisk;
+pub use lazy_disk::LazyDisk;
+pub use no_adaptation::NoAdaptation;
+pub use planner::{RelocationPlanner, RelocationScheme};
+
+use dcape_common::ids::EngineId;
+use dcape_common::time::{VirtualDuration, VirtualTime};
+
+use crate::stats::ClusterStats;
+
+/// A global adaptation decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Decision {
+    /// Nothing to do this round.
+    None,
+    /// Start a relocation: move `amount` bytes from `sender` to
+    /// `receiver` (the pair-wise scheme of §4).
+    Relocate {
+        /// Overloaded engine (`M_max`).
+        sender: EngineId,
+        /// Underloaded engine (`M_least`).
+        receiver: EngineId,
+        /// `(M_max - M_least) / 2` bytes.
+        amount: u64,
+    },
+    /// Force `engine` to spill `amount` bytes (active-disk only).
+    ForceSpill {
+        /// The low-productivity engine.
+        engine: EngineId,
+        /// Bytes to push.
+        amount: u64,
+    },
+}
+
+/// The global half of an adaptation strategy.
+pub trait AdaptationStrategy: std::fmt::Debug + Send {
+    /// Human-readable name (report labels).
+    fn name(&self) -> &'static str;
+
+    /// Inspect the latest statistics and decide.
+    ///
+    /// Called at every coordinator evaluation tick (`sr_timer` /
+    /// `lb_timer` expiry); must be cheap. `relocation_active` is true
+    /// while a relocation round is still in flight — strategies never
+    /// start overlapping adaptations.
+    fn decide(
+        &mut self,
+        stats: &ClusterStats,
+        now: VirtualTime,
+        relocation_active: bool,
+    ) -> Decision;
+}
+
+/// Declarative strategy configuration (what experiments specify).
+#[derive(Debug, Clone, PartialEq)]
+pub enum StrategyConfig {
+    /// No global adaptation.
+    NoAdaptation,
+    /// Lazy-disk (Algorithm 1).
+    LazyDisk {
+        /// Relocation trigger threshold θ_r.
+        theta_r: f64,
+        /// Minimum spacing between relocations τ_m.
+        tau_m: VirtualDuration,
+    },
+    /// Lazy-disk with the global-rebalance relocation scheme (multiple
+    /// planned pair moves per trigger — §4's "other models").
+    LazyDiskRebalance {
+        /// Relocation trigger threshold θ_r.
+        theta_r: f64,
+        /// Minimum spacing between plan triggers τ_m.
+        tau_m: VirtualDuration,
+    },
+    /// Active-disk (Algorithm 2).
+    ActiveDisk {
+        /// Relocation trigger threshold θ_r.
+        theta_r: f64,
+        /// Minimum spacing between relocations τ_m.
+        tau_m: VirtualDuration,
+        /// Productivity-gap trigger λ.
+        lambda: f64,
+        /// Fraction of the target engine's memory to force-spill per
+        /// adaptation (`computeAmountToSpill`).
+        spill_fraction: f64,
+        /// Cap on cumulative forced-spill bytes (the paper's
+        /// `M_query − M_cluster` bound; 100 MB in their experiments).
+        force_spill_cap: u64,
+    },
+}
+
+impl StrategyConfig {
+    /// Paper-default lazy-disk: θ_r = 0.8, τ_m = 45 s.
+    pub fn lazy_default() -> Self {
+        StrategyConfig::LazyDisk {
+            theta_r: 0.8,
+            tau_m: VirtualDuration::from_secs(45),
+        }
+    }
+
+    /// Paper-default active-disk: θ_r = 0.8, τ_m = 45 s, λ = 2.
+    pub fn active_default(force_spill_cap: u64) -> Self {
+        StrategyConfig::ActiveDisk {
+            theta_r: 0.8,
+            tau_m: VirtualDuration::from_secs(45),
+            lambda: 2.0,
+            spill_fraction: 0.3,
+            force_spill_cap,
+        }
+    }
+
+    /// Instantiate the strategy.
+    pub fn build(&self) -> Box<dyn AdaptationStrategy> {
+        match self {
+            StrategyConfig::NoAdaptation => Box::new(NoAdaptation),
+            StrategyConfig::LazyDisk { theta_r, tau_m } => {
+                Box::new(LazyDisk::new(*theta_r, *tau_m))
+            }
+            StrategyConfig::LazyDiskRebalance { theta_r, tau_m } => Box::new(
+                LazyDisk::with_scheme(*theta_r, *tau_m, RelocationScheme::GlobalRebalance),
+            ),
+            StrategyConfig::ActiveDisk {
+                theta_r,
+                tau_m,
+                lambda,
+                spill_fraction,
+                force_spill_cap,
+            } => Box::new(ActiveDisk::new(
+                *theta_r,
+                *tau_m,
+                *lambda,
+                *spill_fraction,
+                *force_spill_cap,
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use dcape_common::ids::EngineId;
+    use dcape_common::time::VirtualTime;
+    use dcape_engine::stats::EngineStatsReport;
+
+    /// Build a stats report with the fields strategies read.
+    pub fn report(engine: u16, mem: u64, rate: f64) -> EngineStatsReport {
+        EngineStatsReport {
+            engine: EngineId(engine),
+            at: VirtualTime::ZERO,
+            memory_used: mem,
+            memory_budget: 10_000,
+            num_groups: 10,
+            window_output: (rate * 10.0) as u64,
+            total_output: 0,
+            avg_productivity_rate: rate,
+            spilled_bytes: 0,
+            spill_count: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_builders_produce_named_strategies() {
+        assert_eq!(StrategyConfig::NoAdaptation.build().name(), "no-adaptation");
+        assert_eq!(StrategyConfig::lazy_default().build().name(), "lazy-disk");
+        assert_eq!(
+            StrategyConfig::active_default(100).build().name(),
+            "active-disk"
+        );
+        let rebalance = StrategyConfig::LazyDiskRebalance {
+            theta_r: 0.8,
+            tau_m: VirtualDuration::from_secs(45),
+        };
+        assert_eq!(rebalance.build().name(), "lazy-disk");
+    }
+}

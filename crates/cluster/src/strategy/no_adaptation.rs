@@ -1,0 +1,36 @@
+//! The "no-relocation" baseline.
+
+use dcape_common::time::VirtualTime;
+
+use crate::stats::ClusterStats;
+use crate::strategy::{AdaptationStrategy, Decision};
+
+/// Never intervenes globally. Engines still perform *local* spill when
+/// their own memory overflows — this is the paper's "no-relocation"
+/// comparison case (Figures 11 and 12).
+#[derive(Debug, Default)]
+pub struct NoAdaptation;
+
+impl AdaptationStrategy for NoAdaptation {
+    fn name(&self) -> &'static str {
+        "no-adaptation"
+    }
+
+    fn decide(&mut self, _stats: &ClusterStats, _now: VirtualTime, _active: bool) -> Decision {
+        Decision::None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::test_support::report;
+
+    #[test]
+    fn always_none() {
+        let mut s = NoAdaptation;
+        let stats = ClusterStats::new(vec![report(0, 10_000, 1.0), report(1, 0, 9.0)]);
+        assert_eq!(s.decide(&stats, VirtualTime::ZERO, false), Decision::None);
+        assert_eq!(s.name(), "no-adaptation");
+    }
+}

@@ -1,0 +1,276 @@
+//! Relocation planning: when and between whom to move state.
+//!
+//! §4: "Various schemes of relocation among a set of machines have been
+//! studied in the literature. Here we proceed with a simple model,
+//! namely a pair-wised state relocation scheme. Other models could
+//! fairly easily be incorporated into our framework." This module is
+//! that incorporation point:
+//!
+//! * [`RelocationScheme::PairWise`] — the paper's scheme: one move of
+//!   `(M_max − M_least)/2` bytes from the most- to the least-loaded
+//!   engine per trigger.
+//! * [`RelocationScheme::GlobalRebalance`] — when the trigger fires,
+//!   plan a whole set of moves that brings every engine toward the mean
+//!   load (greedy largest-surplus → largest-deficit matching), then
+//!   execute them as consecutive relocation rounds (the protocol still
+//!   moves one pair at a time — Figure 8 is per-pair).
+
+use dcape_common::ids::EngineId;
+use dcape_common::time::{VirtualDuration, VirtualTime};
+
+use crate::stats::ClusterStats;
+use crate::strategy::Decision;
+
+/// Which engines exchange state when the relocation trigger fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RelocationScheme {
+    /// The paper's pair-wise halving.
+    PairWise,
+    /// Plan a full mean-rebalancing set of pair moves per trigger.
+    GlobalRebalance,
+}
+
+/// Stateful relocation planner shared by the lazy- and active-disk
+/// strategies.
+#[derive(Debug)]
+pub struct RelocationPlanner {
+    theta_r: f64,
+    tau_m: VirtualDuration,
+    scheme: RelocationScheme,
+    last_trigger: Option<VirtualTime>,
+    /// Remaining planned moves (GlobalRebalance only).
+    queue: Vec<(EngineId, EngineId, u64)>,
+    triggered: u64,
+}
+
+impl RelocationPlanner {
+    /// Create a planner.
+    pub fn new(theta_r: f64, tau_m: VirtualDuration, scheme: RelocationScheme) -> Self {
+        assert!((0.0..=1.0).contains(&theta_r), "theta_r must be in [0, 1]");
+        RelocationPlanner {
+            theta_r,
+            tau_m,
+            scheme,
+            last_trigger: None,
+            queue: Vec::new(),
+            triggered: 0,
+        }
+    }
+
+    /// Relocation triggers so far (a GlobalRebalance plan counts once).
+    pub fn triggered(&self) -> u64 {
+        self.triggered
+    }
+
+    /// Moves still queued from the last plan.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Next relocation decision, if any. Called only when no round is in
+    /// flight.
+    pub fn next(&mut self, stats: &ClusterStats, now: VirtualTime) -> Option<Decision> {
+        // Drain a queued plan first — these moves were already decided.
+        if let Some((sender, receiver, amount)) = self.queue.pop() {
+            return Some(Decision::Relocate {
+                sender,
+                receiver,
+                amount,
+            });
+        }
+        if stats.len() < 2 {
+            return None;
+        }
+        if let Some(last) = self.last_trigger {
+            if now.since(last) < self.tau_m {
+                return None;
+            }
+        }
+        if stats.load_ratio() >= self.theta_r {
+            return None;
+        }
+        match self.scheme {
+            RelocationScheme::PairWise => {
+                let max = stats.max_load()?;
+                let min = stats.min_load()?;
+                let amount = (max.memory_used - min.memory_used) / 2;
+                if amount == 0 || max.engine == min.engine {
+                    return None;
+                }
+                self.last_trigger = Some(now);
+                self.triggered += 1;
+                Some(Decision::Relocate {
+                    sender: max.engine,
+                    receiver: min.engine,
+                    amount,
+                })
+            }
+            RelocationScheme::GlobalRebalance => {
+                let plan = plan_rebalance(stats);
+                let mut plan = plan;
+                let first = plan.pop()?;
+                // Remaining moves execute on subsequent evaluations.
+                self.queue = plan;
+                self.last_trigger = Some(now);
+                self.triggered += 1;
+                Some(Decision::Relocate {
+                    sender: first.0,
+                    receiver: first.1,
+                    amount: first.2,
+                })
+            }
+        }
+    }
+}
+
+/// Compute a greedy mean-rebalancing move set: surpluses (load above the
+/// mean) matched against deficits, largest first. Returned in reverse
+/// execution order (callers `pop()`).
+pub fn plan_rebalance(stats: &ClusterStats) -> Vec<(EngineId, EngineId, u64)> {
+    let n = stats.len() as u64;
+    if n < 2 {
+        return Vec::new();
+    }
+    let mean = stats.total_memory_used() / n;
+    let mut surpluses: Vec<(EngineId, u64)> = Vec::new();
+    let mut deficits: Vec<(EngineId, u64)> = Vec::new();
+    for r in stats.reports() {
+        if r.memory_used > mean {
+            surpluses.push((r.engine, r.memory_used - mean));
+        } else if r.memory_used < mean {
+            deficits.push((r.engine, mean - r.memory_used));
+        }
+    }
+    surpluses.sort_by_key(|&(e, s)| (std::cmp::Reverse(s), e));
+    deficits.sort_by_key(|&(e, d)| (std::cmp::Reverse(d), e));
+    let mut moves = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < surpluses.len() && j < deficits.len() {
+        let take = surpluses[i].1.min(deficits[j].1);
+        if take > 0 {
+            moves.push((surpluses[i].0, deficits[j].0, take));
+        }
+        surpluses[i].1 -= take;
+        deficits[j].1 -= take;
+        if surpluses[i].1 == 0 {
+            i += 1;
+        }
+        if deficits[j].1 == 0 {
+            j += 1;
+        }
+    }
+    // Reverse so `pop()` yields execution order (largest move first).
+    moves.reverse();
+    moves
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::test_support::report;
+
+    fn stats(loads: &[u64]) -> ClusterStats {
+        ClusterStats::new(
+            loads
+                .iter()
+                .enumerate()
+                .map(|(i, &m)| report(i as u16, m, 1.0))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn pairwise_matches_paper_formula() {
+        let mut p = RelocationPlanner::new(0.8, VirtualDuration::ZERO, RelocationScheme::PairWise);
+        let d = p.next(&stats(&[1000, 200]), VirtualTime::from_secs(1)).unwrap();
+        assert_eq!(
+            d,
+            Decision::Relocate {
+                sender: EngineId(0),
+                receiver: EngineId(1),
+                amount: 400,
+            }
+        );
+        assert_eq!(p.triggered(), 1);
+        assert_eq!(p.queued(), 0);
+    }
+
+    #[test]
+    fn plan_rebalance_matches_surplus_to_deficit() {
+        let s = stats(&[100, 80, 20, 0]);
+        // mean = 50; surpluses: e0 +50, e1 +30; deficits: e3 50, e2 30.
+        let mut plan = plan_rebalance(&s);
+        assert_eq!(plan.pop(), Some((EngineId(0), EngineId(3), 50)));
+        assert_eq!(plan.pop(), Some((EngineId(1), EngineId(2), 30)));
+        assert_eq!(plan.pop(), None);
+    }
+
+    #[test]
+    fn plan_rebalance_splits_one_surplus_across_deficits() {
+        let s = stats(&[90, 30, 30]);
+        // mean = 50; e0 +40; deficits: e1 20, e2 20.
+        let mut plan = plan_rebalance(&s);
+        let a = plan.pop().unwrap();
+        let b = plan.pop().unwrap();
+        assert_eq!(a.0, EngineId(0));
+        assert_eq!(b.0, EngineId(0));
+        assert_eq!(a.2 + b.2, 40);
+        assert!(plan.pop().is_none());
+    }
+
+    #[test]
+    fn global_rebalance_drains_plan_across_calls() {
+        let mut p = RelocationPlanner::new(
+            0.8,
+            VirtualDuration::from_secs(45),
+            RelocationScheme::GlobalRebalance,
+        );
+        let s = stats(&[100, 80, 20, 0]);
+        let d1 = p.next(&s, VirtualTime::from_secs(1)).unwrap();
+        assert_eq!(
+            d1,
+            Decision::Relocate {
+                sender: EngineId(0),
+                receiver: EngineId(3),
+                amount: 50,
+            }
+        );
+        assert_eq!(p.queued(), 1);
+        // Queued move executes immediately on the next call, ignoring
+        // tau_m (it belongs to the same plan).
+        let d2 = p.next(&s, VirtualTime::from_secs(2)).unwrap();
+        assert_eq!(
+            d2,
+            Decision::Relocate {
+                sender: EngineId(1),
+                receiver: EngineId(2),
+                amount: 30,
+            }
+        );
+        // Plan drained; a fresh trigger now respects tau_m.
+        assert_eq!(p.next(&s, VirtualTime::from_secs(3)), None);
+        assert!(p.next(&s, VirtualTime::from_secs(50)).is_some());
+        assert_eq!(p.triggered(), 2);
+    }
+
+    #[test]
+    fn quiet_when_balanced_or_single_engine() {
+        let mut p = RelocationPlanner::new(0.8, VirtualDuration::ZERO, RelocationScheme::PairWise);
+        assert_eq!(p.next(&stats(&[100, 95]), VirtualTime::from_secs(1)), None);
+        assert_eq!(p.next(&stats(&[100]), VirtualTime::from_secs(1)), None);
+        assert!(plan_rebalance(&stats(&[100])).is_empty());
+        assert!(plan_rebalance(&stats(&[50, 50])).is_empty());
+    }
+
+    #[test]
+    fn tau_m_respected_for_new_triggers() {
+        let mut p = RelocationPlanner::new(
+            0.8,
+            VirtualDuration::from_secs(45),
+            RelocationScheme::PairWise,
+        );
+        assert!(p.next(&stats(&[1000, 100]), VirtualTime::from_secs(1)).is_some());
+        assert_eq!(p.next(&stats(&[1000, 100]), VirtualTime::from_secs(30)), None);
+        assert!(p.next(&stats(&[1000, 100]), VirtualTime::from_secs(46)).is_some());
+    }
+}

@@ -1,0 +1,374 @@
+//! End-to-end correctness of the cluster drivers.
+//!
+//! The paper's protocol promise (§4.1): *no operator states should be
+//! missing or corrupted* across adaptations. The verifiable consequence:
+//! run-time results + cleanup results together equal the reference join
+//! of the full input, no matter how many spills and relocations happened
+//! in between, on both the simulated and the threaded driver.
+
+use std::collections::HashMap;
+
+use dcape_cluster::runtime::sim::{SimConfig, SimDriver};
+use dcape_cluster::runtime::threaded::run_threaded;
+use dcape_cluster::strategy::StrategyConfig;
+use dcape_cluster::PlacementSpec;
+use dcape_common::time::{VirtualDuration, VirtualTime};
+use dcape_engine::config::EngineConfig;
+use dcape_streamgen::{ArrivalPattern, StreamSetGenerator, StreamSetSpec};
+
+/// Count the reference-join results for a spec consumed up to `deadline`:
+/// for every (partition-respecting) join value, the product of the
+/// per-stream multiplicities.
+fn reference_result_count(spec: &StreamSetSpec, deadline: VirtualTime) -> u64 {
+    let mut gen = StreamSetGenerator::new(spec.clone()).unwrap();
+    let tuples = gen.generate_until(deadline);
+    let mut counts: HashMap<(u8, i64), u64> = HashMap::new();
+    for t in &tuples {
+        let key = t.values()[0].as_int().unwrap();
+        *counts.entry((t.stream().0, key)).or_default() += 1;
+    }
+    let keys: std::collections::HashSet<i64> = counts.keys().map(|(_, k)| *k).collect();
+    let mut total = 0u64;
+    for key in keys {
+        let mut product = 1u64;
+        for s in 0..spec.num_streams as u8 {
+            product *= counts.get(&(s, key)).copied().unwrap_or(0);
+        }
+        total += product;
+    }
+    total
+}
+
+fn small_workload(seed: u64) -> StreamSetSpec {
+    StreamSetSpec::uniform(24, 2400, 1, VirtualDuration::from_millis(30))
+        .with_payload_pad(200)
+        .with_seed(seed)
+}
+
+/// Engine config tight enough to force several spills during the run.
+fn tight_engine() -> EngineConfig {
+    EngineConfig::three_way(1 << 22, 600 << 10).with_spill_fraction(0.4)
+}
+
+#[test]
+fn sim_lazy_disk_no_loss_no_duplication() {
+    let deadline = VirtualTime::from_mins(5);
+    let spec = small_workload(11);
+    let reference = reference_result_count(&spec, deadline);
+    assert!(reference > 0);
+
+    let cfg = SimConfig::new(
+        3,
+        tight_engine(),
+        spec,
+        StrategyConfig::LazyDisk {
+            theta_r: 0.8,
+            tau_m: VirtualDuration::from_secs(45),
+        },
+    )
+    .with_placement(PlacementSpec::Fractions(vec![0.6, 0.2, 0.2]))
+    .with_stats_interval(VirtualDuration::from_secs(30))
+    .collecting();
+    let mut driver = SimDriver::new(cfg).unwrap();
+    driver.run_until(deadline).unwrap();
+    let report = driver.finish().unwrap();
+
+    assert!(
+        report.spill_counts.iter().sum::<u64>() > 0,
+        "workload must be memory constrained for this test to bite"
+    );
+    assert_eq!(
+        report.total_output(),
+        reference,
+        "runtime {} + cleanup {} != reference {reference}",
+        report.runtime_output,
+        report.cleanup_output
+    );
+
+    // No duplicates among collected results.
+    let mut ids = report.runtime_results.unwrap().identities();
+    ids.extend(report.cleanup_results.unwrap().identities());
+    let n = ids.len();
+    ids.sort();
+    ids.dedup();
+    assert_eq!(ids.len(), n, "duplicate results detected");
+}
+
+#[test]
+fn sim_relocations_happen_under_skew_and_preserve_results() {
+    let deadline = VirtualTime::from_mins(8);
+    let group_a: Vec<dcape_common::ids::PartitionId> =
+        (0..6).map(dcape_common::ids::PartitionId).collect();
+    let spec = small_workload(23).with_pattern(ArrivalPattern::AlternatingSkew {
+        group_a,
+        ratio: 10.0,
+        period: VirtualDuration::from_mins(2),
+    });
+    let reference = reference_result_count(&spec, deadline);
+
+    // Roomy memory: relocation-only regime (no spill).
+    let engine = EngineConfig::three_way(1 << 30, 1 << 29);
+    let cfg = SimConfig::new(
+        2,
+        engine,
+        spec,
+        StrategyConfig::LazyDisk {
+            theta_r: 0.9,
+            tau_m: VirtualDuration::from_secs(45),
+        },
+    )
+    .with_placement(PlacementSpec::Fractions(vec![0.5, 0.5]))
+    .with_stats_interval(VirtualDuration::from_secs(30));
+    let mut driver = SimDriver::new(cfg).unwrap();
+    driver.run_until(deadline).unwrap();
+    let relocations = driver.relocations().len();
+    let report = driver.finish().unwrap();
+
+    assert!(relocations > 0, "alternating skew must trigger relocations");
+    assert_eq!(report.spill_counts.iter().sum::<u64>(), 0);
+    assert_eq!(report.cleanup_output, 0, "nothing spilled, nothing missed");
+    assert_eq!(report.runtime_output, reference);
+}
+
+#[test]
+fn sim_active_disk_preserves_results_with_force_spills() {
+    use dcape_streamgen::{ClassAssignment, PartitionClass};
+    let deadline = VirtualTime::from_mins(5);
+    let mut spec = small_workload(37);
+    // Productivity gap: first half of partitions join rate 4, rest 1.
+    spec.classes = vec![
+        PartitionClass {
+            assignment: ClassAssignment::Fraction(0.5),
+            join_rate: 4,
+            tuple_range: 2400,
+        },
+        PartitionClass {
+            assignment: ClassAssignment::Fraction(0.5),
+            join_rate: 1,
+            tuple_range: 2400,
+        },
+    ];
+    let reference = reference_result_count(&spec, deadline);
+
+    let cfg = SimConfig::new(
+        3,
+        tight_engine(),
+        spec,
+        StrategyConfig::ActiveDisk {
+            theta_r: 0.8,
+            tau_m: VirtualDuration::from_secs(45),
+            lambda: 1.5,
+            spill_fraction: 0.3,
+            force_spill_cap: 1 << 20,
+        },
+    )
+    .with_stats_interval(VirtualDuration::from_secs(30));
+    let mut driver = SimDriver::new(cfg).unwrap();
+    driver.run_until(deadline).unwrap();
+    let report = driver.finish().unwrap();
+    assert_eq!(report.total_output(), reference);
+}
+
+#[test]
+fn sim_is_deterministic() {
+    let deadline = VirtualTime::from_mins(4);
+    let run = || {
+        let cfg = SimConfig::new(
+            2,
+            tight_engine(),
+            small_workload(5),
+            StrategyConfig::lazy_default(),
+        );
+        let mut d = SimDriver::new(cfg).unwrap();
+        d.run_until(deadline).unwrap();
+        let r = d.finish().unwrap();
+        (
+            r.runtime_output,
+            r.cleanup_output,
+            r.relocations.len(),
+            r.spill_counts.clone(),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn threaded_driver_matches_reference_and_sim_total() {
+    let deadline = VirtualTime::from_mins(5);
+    let spec = small_workload(42);
+    let reference = reference_result_count(&spec, deadline);
+
+    let make_cfg = || {
+        SimConfig::new(
+            3,
+            tight_engine(),
+            spec.clone(),
+            StrategyConfig::LazyDisk {
+                theta_r: 0.8,
+                tau_m: VirtualDuration::from_secs(45),
+            },
+        )
+        .with_placement(PlacementSpec::Fractions(vec![0.6, 0.2, 0.2]))
+        .with_stats_interval(VirtualDuration::from_secs(30))
+    };
+
+    let threaded = run_threaded(make_cfg(), deadline).unwrap();
+    assert_eq!(
+        threaded.total_output(),
+        reference,
+        "threaded driver lost or duplicated results"
+    );
+
+    let mut sim = SimDriver::new(make_cfg()).unwrap();
+    sim.run_until(deadline).unwrap();
+    let sim_report = sim.finish().unwrap();
+    assert_eq!(
+        sim_report.total_output(),
+        threaded.total_output(),
+        "sim and threaded drivers disagree on the total"
+    );
+}
+
+#[test]
+fn threaded_driver_relocates_under_skew() {
+    let deadline = VirtualTime::from_mins(5);
+    let group_a: Vec<dcape_common::ids::PartitionId> =
+        (0..6).map(dcape_common::ids::PartitionId).collect();
+    let spec = small_workload(77).with_pattern(ArrivalPattern::AlternatingSkew {
+        group_a,
+        ratio: 10.0,
+        period: VirtualDuration::from_mins(2),
+    });
+    let reference = reference_result_count(&spec, deadline);
+    let cfg = SimConfig::new(
+        2,
+        EngineConfig::three_way(1 << 30, 1 << 29),
+        spec,
+        StrategyConfig::LazyDisk {
+            theta_r: 0.9,
+            tau_m: VirtualDuration::from_secs(45),
+        },
+    )
+    .with_placement(PlacementSpec::Fractions(vec![0.5, 0.5]))
+    .with_stats_interval(VirtualDuration::from_secs(30));
+    let report = run_threaded(cfg, deadline).unwrap();
+    assert!(report.relocations > 0, "skew should force relocations");
+    assert_eq!(report.total_output(), reference);
+}
+
+#[test]
+fn global_rebalance_scheme_preserves_results_across_four_engines() {
+    let deadline = VirtualTime::from_mins(6);
+    let spec = small_workload(91);
+    let reference = reference_result_count(&spec, deadline);
+    // Heavily skewed four-engine placement; global rebalance plans
+    // multiple pair moves per trigger.
+    let cfg = SimConfig::new(
+        4,
+        EngineConfig::three_way(1 << 30, 1 << 29),
+        spec,
+        StrategyConfig::LazyDiskRebalance {
+            theta_r: 0.8,
+            tau_m: VirtualDuration::from_secs(45),
+        },
+    )
+    .with_placement(PlacementSpec::Fractions(vec![0.55, 0.25, 0.15, 0.05]))
+    .with_stats_interval(VirtualDuration::from_secs(30));
+    let mut driver = SimDriver::new(cfg).unwrap();
+    driver.run_until(deadline).unwrap();
+    let relocations = driver.relocations().len();
+    let report = driver.finish().unwrap();
+    assert!(relocations >= 2, "rebalance should move multiple pairs");
+    assert_eq!(report.runtime_output, reference);
+
+    // Memory ends up better balanced than it started.
+    let mems: Vec<u64> = driver_mems(&report);
+    let max = *mems.iter().max().unwrap();
+    let min = *mems.iter().min().unwrap();
+    assert!(
+        (min as f64) / (max.max(1) as f64) > 0.3,
+        "final loads should be balanced-ish: {mems:?}"
+    );
+}
+
+/// Final per-engine memory from the recorded series.
+fn driver_mems(report: &dcape_cluster::runtime::sim::SimReport) -> Vec<u64> {
+    (0..4u16)
+        .filter_map(|i| {
+            report
+                .recorder
+                .series(&format!("mem/QE{i}"))
+                .and_then(|s| s.last())
+                .map(|(_, v)| v as u64)
+        })
+        .collect()
+}
+
+#[test]
+fn threaded_active_disk_preserves_results() {
+    let deadline = VirtualTime::from_mins(5);
+    let spec = small_workload(123);
+    let reference = reference_result_count(&spec, deadline);
+    let cfg = SimConfig::new(
+        3,
+        tight_engine(),
+        spec,
+        StrategyConfig::ActiveDisk {
+            theta_r: 0.8,
+            tau_m: VirtualDuration::from_secs(45),
+            lambda: 1.5,
+            spill_fraction: 0.3,
+            force_spill_cap: 1 << 20,
+        },
+    )
+    .with_stats_interval(VirtualDuration::from_secs(30));
+    let report = run_threaded(cfg, deadline).unwrap();
+    assert_eq!(
+        report.total_output(),
+        reference,
+        "threaded active-disk lost or duplicated results"
+    );
+}
+
+#[test]
+fn runtime_reactivation_reduces_cleanup_debt_and_stays_exact() {
+    let deadline = VirtualTime::from_mins(6);
+    let spec = small_workload(55);
+    let reference = reference_result_count(&spec, deadline);
+
+    let run = |reactivate: bool| {
+        let mut engine = tight_engine();
+        if reactivate {
+            engine = engine.with_reactivation(0.5);
+        }
+        let cfg = SimConfig::new(
+            3,
+            engine,
+            spec.clone(),
+            StrategyConfig::LazyDisk {
+                theta_r: 0.8,
+                tau_m: VirtualDuration::from_secs(45),
+            },
+        )
+        .with_placement(PlacementSpec::Fractions(vec![0.6, 0.2, 0.2]))
+        .with_stats_interval(VirtualDuration::from_secs(30));
+        let mut driver = SimDriver::new(cfg).unwrap();
+        driver.run_until(deadline).unwrap();
+        driver.finish().unwrap()
+    };
+
+    let plain = run(false);
+    let reactivating = run(true);
+    assert!(plain.spill_counts.iter().sum::<u64>() > 0);
+    // Exactness holds either way.
+    assert_eq!(plain.total_output(), reference);
+    assert_eq!(reactivating.total_output(), reference);
+    // Reactivation pays the merge during the run, leaving less (or at
+    // most equal) debt for the post-run cleanup phase.
+    assert!(
+        reactivating.cleanup_output <= plain.cleanup_output,
+        "reactivation should shrink post-run cleanup: {} vs {}",
+        reactivating.cleanup_output,
+        plain.cleanup_output
+    );
+}

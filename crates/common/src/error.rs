@@ -1,0 +1,112 @@
+//! Workspace-wide error type.
+//!
+//! Hand-rolled (no `thiserror`) to stay within the approved dependency set.
+
+use std::fmt;
+use std::io;
+
+/// Convenient result alias used across all dcape crates.
+pub type Result<T, E = DcapeError> = std::result::Result<T, E>;
+
+/// The error type shared by every dcape crate.
+#[derive(Debug)]
+pub enum DcapeError {
+    /// Underlying I/O failure (spill files, etc.).
+    Io(io::Error),
+    /// A spilled segment or network frame failed to decode.
+    Codec(String),
+    /// The relocation / coordination protocol was violated
+    /// (unexpected message, wrong mode, missing ack).
+    Protocol(String),
+    /// Invalid configuration (thresholds, partition counts, …).
+    Config(String),
+    /// Operator state is inconsistent (missing partition group,
+    /// accounting drift, double-install).
+    State(String),
+    /// A channel to another component closed unexpectedly.
+    Disconnected(String),
+}
+
+impl DcapeError {
+    /// Shorthand for a [`DcapeError::Codec`] with a formatted message.
+    pub fn codec(msg: impl Into<String>) -> Self {
+        DcapeError::Codec(msg.into())
+    }
+
+    /// Shorthand for a [`DcapeError::Protocol`] with a formatted message.
+    pub fn protocol(msg: impl Into<String>) -> Self {
+        DcapeError::Protocol(msg.into())
+    }
+
+    /// Shorthand for a [`DcapeError::Config`] with a formatted message.
+    pub fn config(msg: impl Into<String>) -> Self {
+        DcapeError::Config(msg.into())
+    }
+
+    /// Shorthand for a [`DcapeError::State`] with a formatted message.
+    pub fn state(msg: impl Into<String>) -> Self {
+        DcapeError::State(msg.into())
+    }
+}
+
+impl fmt::Display for DcapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DcapeError::Io(e) => write!(f, "i/o error: {e}"),
+            DcapeError::Codec(m) => write!(f, "codec error: {m}"),
+            DcapeError::Protocol(m) => write!(f, "protocol error: {m}"),
+            DcapeError::Config(m) => write!(f, "config error: {m}"),
+            DcapeError::State(m) => write!(f, "state error: {m}"),
+            DcapeError::Disconnected(m) => write!(f, "disconnected: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DcapeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DcapeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for DcapeError {
+    fn from(e: io::Error) -> Self {
+        DcapeError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_kind_and_message() {
+        let e = DcapeError::protocol("unexpected ptv");
+        assert_eq!(e.to_string(), "protocol error: unexpected ptv");
+        let e = DcapeError::codec("short read");
+        assert!(e.to_string().contains("codec"));
+        let e = DcapeError::config("bad threshold");
+        assert!(e.to_string().contains("bad threshold"));
+        let e = DcapeError::state("missing group");
+        assert!(e.to_string().starts_with("state error"));
+    }
+
+    #[test]
+    fn io_error_converts_and_sources() {
+        let io = io::Error::new(io::ErrorKind::NotFound, "gone");
+        let e: DcapeError = io.into();
+        assert!(matches!(e, DcapeError::Io(_)));
+        use std::error::Error as _;
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn result_alias_defaults_to_dcape_error() {
+        fn fails() -> Result<()> {
+            Err(DcapeError::config("x"))
+        }
+        assert!(fails().is_err());
+    }
+}

@@ -1,0 +1,34 @@
+//! # dcape-common
+//!
+//! Shared foundation types for the `dcape` workspace, a reproduction of
+//! *"Optimizing State-Intensive Non-Blocking Queries Using Run-time
+//! Adaptation"* (Liu, Jbantova, Rundensteiner — ICDE 2007).
+//!
+//! This crate deliberately contains only the vocabulary that every other
+//! crate needs:
+//!
+//! * [`ids`] — strongly typed identifiers (partitions, engines, streams).
+//! * [`value`] / [`tuple`] — the row model flowing through operators.
+//! * [`time`] — virtual time, the clock abstraction that lets hour-long
+//!   paper experiments replay deterministically in seconds.
+//! * [`mem`] — explicit heap-size accounting, the substitute for the
+//!   paper's per-machine physical memory observations.
+//! * [`hash`] — a fast, deterministic hasher used for partitioning.
+//! * [`error`] — the workspace error type.
+
+pub mod error;
+pub mod hash;
+pub mod ids;
+pub mod mem;
+pub mod partition;
+pub mod time;
+pub mod tuple;
+pub mod value;
+
+pub use error::{DcapeError, Result};
+pub use ids::{EngineId, PartitionId, StreamId};
+pub use mem::{HeapSize, MemoryTracker};
+pub use partition::Partitioner;
+pub use time::{VirtualDuration, VirtualTime};
+pub use tuple::{Tuple, TupleBuilder};
+pub use value::Value;

@@ -1,0 +1,122 @@
+//! Mapping join values to partition IDs.
+//!
+//! The split operator in front of every input stream (§2, Figure 2)
+//! derives the partition ID from the join-column value. Any deterministic
+//! function works as long as *all* splits of one operator agree; we offer
+//! two:
+//!
+//! * [`Partitioner::Modulo`] — `value mod n` for integer keys. The
+//!   experiments use this because the generator can then *choose* which
+//!   partition a crafted value lands in (necessary to control
+//!   per-partition join rates and machine-targeted skew).
+//! * [`Partitioner::Hash`] — deterministic Fx hash of the value, the
+//!   general-purpose choice for arbitrary key types.
+
+use crate::ids::PartitionId;
+use crate::value::Value;
+
+/// Strategy for mapping a join-column value to one of `n` partitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Partitioner {
+    /// `abs(int value) mod n`; falls back to hashing for non-integers.
+    Modulo {
+        /// Total number of partitions `n`.
+        num_partitions: u32,
+    },
+    /// Deterministic hash of any value type, mod n.
+    Hash {
+        /// Total number of partitions `n`.
+        num_partitions: u32,
+    },
+}
+
+impl Partitioner {
+    /// Build a modulo partitioner.
+    pub fn modulo(num_partitions: u32) -> Self {
+        assert!(num_partitions > 0, "need at least one partition");
+        Partitioner::Modulo { num_partitions }
+    }
+
+    /// Build a hash partitioner.
+    pub fn hash(num_partitions: u32) -> Self {
+        assert!(num_partitions > 0, "need at least one partition");
+        Partitioner::Hash { num_partitions }
+    }
+
+    /// Total number of partitions this partitioner spreads over.
+    pub fn num_partitions(&self) -> u32 {
+        match self {
+            Partitioner::Modulo { num_partitions } | Partitioner::Hash { num_partitions } => {
+                *num_partitions
+            }
+        }
+    }
+
+    /// The partition the given join value belongs to.
+    pub fn partition_of(&self, value: &Value) -> PartitionId {
+        match self {
+            Partitioner::Modulo { num_partitions } => match value {
+                Value::Int(i) => PartitionId((i.unsigned_abs() % *num_partitions as u64) as u32),
+                other => PartitionId((other.partition_hash() % *num_partitions as u64) as u32),
+            },
+            Partitioner::Hash { num_partitions } => {
+                PartitionId((value.partition_hash() % *num_partitions as u64) as u32)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modulo_places_crafted_values_predictably() {
+        let p = Partitioner::modulo(16);
+        for pid in 0..16u32 {
+            for idx in 0..10u64 {
+                let v = Value::Int((idx * 16 + pid as u64) as i64);
+                assert_eq!(p.partition_of(&v), PartitionId(pid));
+            }
+        }
+    }
+
+    #[test]
+    fn modulo_handles_negative_ints() {
+        let p = Partitioner::modulo(10);
+        assert_eq!(p.partition_of(&Value::Int(-3)), PartitionId(3));
+    }
+
+    #[test]
+    fn hash_is_deterministic_and_in_range() {
+        let p = Partitioner::hash(32);
+        for i in 0..1000i64 {
+            let a = p.partition_of(&Value::Int(i));
+            let b = p.partition_of(&Value::Int(i));
+            assert_eq!(a, b);
+            assert!(a.0 < 32);
+        }
+    }
+
+    #[test]
+    fn hash_spreads_text_keys() {
+        let p = Partitioner::hash(8);
+        let mut seen = std::collections::HashSet::new();
+        for name in ["USD", "EUR", "GBP", "JPY", "CHF", "AUD", "CAD", "NZD", "SEK"] {
+            seen.insert(p.partition_of(&Value::text(name)));
+        }
+        assert!(seen.len() >= 3, "keys all collided: {seen:?}");
+    }
+
+    #[test]
+    fn num_partitions_accessor() {
+        assert_eq!(Partitioner::modulo(7).num_partitions(), 7);
+        assert_eq!(Partitioner::hash(9).num_partitions(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one partition")]
+    fn zero_partitions_rejected() {
+        let _ = Partitioner::modulo(0);
+    }
+}

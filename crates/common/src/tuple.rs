@@ -1,0 +1,229 @@
+//! The tuple model.
+//!
+//! A [`Tuple`] is an immutable row tagged with its origin stream, a
+//! per-stream sequence number, and the virtual arrival timestamp. Tuples
+//! are reference-counted: a tuple sitting in a join's operator state and
+//! the same tuple embedded in a downstream result share one allocation, so
+//! cloning on the hot path is an atomic increment.
+//!
+//! Memory accounting intentionally charges the *full* estimated size to
+//! every state that stores the tuple (see [`crate::mem`]): the paper's
+//! machines each hold their own physical copy, and partition groups are
+//! the unit whose sizes drive every adaptation decision.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::ids::StreamId;
+use crate::mem::HeapSize;
+use crate::time::VirtualTime;
+use crate::value::Value;
+
+/// Shared, immutable tuple payload.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TupleData {
+    /// Which input stream produced the tuple.
+    pub stream: StreamId,
+    /// Per-stream sequence number (0-based arrival order).
+    pub seq: u64,
+    /// Virtual arrival timestamp.
+    pub ts: VirtualTime,
+    /// Column values.
+    pub values: Box<[Value]>,
+}
+
+/// A reference-counted immutable tuple.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Tuple(Arc<TupleData>);
+
+impl Tuple {
+    /// Build a tuple directly from parts.
+    pub fn new(stream: StreamId, seq: u64, ts: VirtualTime, values: Vec<Value>) -> Self {
+        Tuple(Arc::new(TupleData {
+            stream,
+            seq,
+            ts,
+            values: values.into_boxed_slice(),
+        }))
+    }
+
+    /// Origin stream.
+    #[inline]
+    pub fn stream(&self) -> StreamId {
+        self.0.stream
+    }
+
+    /// Per-stream arrival sequence number.
+    #[inline]
+    pub fn seq(&self) -> u64 {
+        self.0.seq
+    }
+
+    /// Virtual arrival timestamp.
+    #[inline]
+    pub fn ts(&self) -> VirtualTime {
+        self.0.ts
+    }
+
+    /// All column values.
+    #[inline]
+    pub fn values(&self) -> &[Value] {
+        &self.0.values
+    }
+
+    /// The value in column `idx`, if present.
+    #[inline]
+    pub fn get(&self, idx: usize) -> Option<&Value> {
+        self.0.values.get(idx)
+    }
+
+    /// Column count.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.0.values.len()
+    }
+
+    /// Access to the shared payload (for codecs).
+    #[inline]
+    pub fn data(&self) -> &TupleData {
+        &self.0
+    }
+
+    /// A globally unique identity for result-dedup checks in tests:
+    /// (stream, seq) pairs are unique by construction.
+    #[inline]
+    pub fn identity(&self) -> (StreamId, u64) {
+        (self.0.stream, self.0.seq)
+    }
+}
+
+impl From<TupleData> for Tuple {
+    fn from(d: TupleData) -> Self {
+        Tuple(Arc::new(d))
+    }
+}
+
+impl HeapSize for Tuple {
+    fn heap_size(&self) -> usize {
+        // Fixed per-tuple overhead: Arc control block + TupleData inline
+        // fields + per-value enum slots; then variable payloads.
+        const ARC_OVERHEAD: usize = 16;
+        let inline = std::mem::size_of::<TupleData>();
+        let slots = self.0.values.len() * std::mem::size_of::<Value>();
+        let payload: usize = self.0.values.iter().map(Value::payload_bytes).sum();
+        ARC_OVERHEAD + inline + slots + payload
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}(", self.stream(), self.seq())?;
+        for (i, v) in self.values().iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Fluent builder for tuples, used heavily in tests and examples.
+#[derive(Debug, Default)]
+pub struct TupleBuilder {
+    stream: StreamId,
+    seq: u64,
+    ts: VirtualTime,
+    values: Vec<Value>,
+}
+
+impl TupleBuilder {
+    /// Start building a tuple for the given stream.
+    pub fn new(stream: StreamId) -> Self {
+        TupleBuilder {
+            stream,
+            ..Default::default()
+        }
+    }
+
+    /// Set the per-stream sequence number.
+    pub fn seq(mut self, seq: u64) -> Self {
+        self.seq = seq;
+        self
+    }
+
+    /// Set the virtual arrival timestamp.
+    pub fn ts(mut self, ts: VirtualTime) -> Self {
+        self.ts = ts;
+        self
+    }
+
+    /// Append one column value.
+    pub fn value(mut self, v: impl Into<Value>) -> Self {
+        self.values.push(v.into());
+        self
+    }
+
+    /// Append an accounting-only padding column of `n` virtual bytes.
+    pub fn pad(mut self, n: u32) -> Self {
+        self.values.push(Value::Pad(n));
+        self
+    }
+
+    /// Finish the tuple.
+    pub fn build(self) -> Tuple {
+        Tuple::new(self.stream, self.seq, self.ts, self.values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Tuple {
+        TupleBuilder::new(StreamId(1))
+            .seq(7)
+            .ts(VirtualTime::from_millis(30))
+            .value(42i64)
+            .value("EUR")
+            .pad(100)
+            .build()
+    }
+
+    #[test]
+    fn accessors() {
+        let t = t();
+        assert_eq!(t.stream(), StreamId(1));
+        assert_eq!(t.seq(), 7);
+        assert_eq!(t.ts().as_millis(), 30);
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t.get(0), Some(&Value::Int(42)));
+        assert_eq!(t.get(1).and_then(|v| v.as_text().map(str::to_owned)), Some("EUR".into()));
+        assert_eq!(t.get(9), None);
+        assert_eq!(t.identity(), (StreamId(1), 7));
+    }
+
+    #[test]
+    fn clone_is_shallow_and_equal() {
+        let a = t();
+        let b = a.clone();
+        assert_eq!(a, b);
+        // Same allocation: data pointers coincide.
+        assert!(std::ptr::eq(a.data(), b.data()));
+    }
+
+    #[test]
+    fn heap_size_counts_pad_and_text() {
+        let small = TupleBuilder::new(StreamId(0)).value(1i64).build();
+        let padded = TupleBuilder::new(StreamId(0)).value(1i64).pad(1000).build();
+        assert!(padded.heap_size() >= small.heap_size() + 1000 - std::mem::size_of::<Value>());
+        assert!(small.heap_size() > 0);
+    }
+
+    #[test]
+    fn display_mentions_stream_and_values() {
+        let s = t().to_string();
+        assert!(s.starts_with("S1#7("), "{s}");
+        assert!(s.contains("42"), "{s}");
+    }
+}

@@ -1,0 +1,798 @@
+//! The query engine: one machine of the paper's distributed system.
+//!
+//! Wires together the m-way join instance, the memory tracker, the spill
+//! store, and the local adaptation controller. The cluster layer drives
+//! a [`QueryEngine`] through five entry points:
+//!
+//! * [`QueryEngine::process`] — data path;
+//! * [`QueryEngine::tick`] — the `ss_timer` pulse (local spill trigger);
+//! * [`QueryEngine::force_spill`] — the `start_ss` command of the
+//!   active-disk strategy (Algorithm 2);
+//! * [`QueryEngine::select_parts_to_move`] /
+//!   [`QueryEngine::extract_groups`] / [`QueryEngine::install_groups`] —
+//!   the engine-side legs of the relocation protocol;
+//! * [`QueryEngine::cleanup`] — the post-run cleanup phase.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dcape_common::error::{DcapeError, Result};
+use dcape_common::ids::{EngineId, PartitionId};
+use dcape_common::mem::MemoryTracker;
+use dcape_common::time::{VirtualDuration, VirtualTime};
+use dcape_common::tuple::Tuple;
+use dcape_storage::{SpillBackend, SpillStore, SpilledGroup};
+
+use crate::config::EngineConfig;
+use crate::controller::{LocalController, Mode};
+use crate::operators::mjoin::MJoinOperator;
+use crate::sink::ResultSink;
+use crate::spill::cleanup::merge_segments_windowed;
+use crate::stats::EngineStatsReport;
+
+/// Result of one spill adaptation on one engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpillOutcome {
+    /// When the spill ran.
+    pub at: VirtualTime,
+    /// Partition groups pushed.
+    pub groups: Vec<PartitionId>,
+    /// Accounted state bytes freed.
+    pub state_bytes: u64,
+    /// Physically encoded bytes written.
+    pub encoded_bytes: u64,
+    /// Virtual-time disk cost of the writes.
+    pub io_cost: VirtualDuration,
+}
+
+/// Result of the cleanup phase on one engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CleanupReport {
+    /// Partitions that had disk-resident segments.
+    pub partitions: usize,
+    /// Missing results produced.
+    pub missing_results: u64,
+    /// Tuples scanned during merging.
+    pub scanned_tuples: u64,
+    /// Accounted state bytes read back from disk.
+    pub disk_state_bytes_read: u64,
+    /// Modeled virtual-time cost of the whole cleanup (I/O + compute).
+    pub virtual_cost: VirtualDuration,
+}
+
+/// One machine's query engine.
+#[derive(Debug)]
+pub struct QueryEngine {
+    id: EngineId,
+    cfg: EngineConfig,
+    join: MJoinOperator,
+    store: SpillStore,
+    tracker: Arc<MemoryTracker>,
+    controller: LocalController,
+    rng: StdRng,
+    spill_history: Vec<SpillOutcome>,
+    last_report_window: u64,
+}
+
+impl QueryEngine {
+    /// Build an engine over the given spill backend.
+    pub fn new(id: EngineId, cfg: EngineConfig, backend: Box<dyn SpillBackend>) -> Result<Self> {
+        cfg.validate()?;
+        let tracker = MemoryTracker::new(cfg.memory_budget);
+        let join = MJoinOperator::new(cfg.join.clone(), Arc::clone(&tracker))?;
+        let controller = LocalController::new(
+            cfg.ss_timer,
+            cfg.spill_threshold,
+            cfg.spill_fraction,
+            VirtualTime::ZERO,
+        );
+        Ok(QueryEngine {
+            rng: StdRng::seed_from_u64(0xE_0DD + id.0 as u64),
+            id,
+            join,
+            store: SpillStore::new(backend),
+            tracker,
+            controller,
+            cfg,
+            spill_history: Vec::new(),
+            last_report_window: 0,
+        })
+    }
+
+    /// Convenience: engine with an in-memory spill backend.
+    pub fn in_memory(id: EngineId, cfg: EngineConfig) -> Result<Self> {
+        Self::new(id, cfg, Box::new(dcape_storage::MemBackend::new()))
+    }
+
+    /// This engine's ID.
+    pub fn id(&self) -> EngineId {
+        self.id
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Current execution mode.
+    pub fn mode(&self) -> Mode {
+        self.controller.mode()
+    }
+
+    /// Transition execution mode (driven by the relocation protocol).
+    pub fn set_mode(&mut self, mode: Mode) {
+        self.controller.set_mode(mode);
+    }
+
+    /// Accounted memory in use.
+    pub fn memory_used(&self) -> u64 {
+        self.tracker.used()
+    }
+
+    /// Total results produced.
+    pub fn total_output(&self) -> u64 {
+        self.join.total_output()
+    }
+
+    /// The join operator (read access for drivers and tests).
+    pub fn join(&self) -> &MJoinOperator {
+        &self.join
+    }
+
+    /// The spill store (read access).
+    pub fn store(&self) -> &SpillStore {
+        &self.store
+    }
+
+    /// Spill operations performed so far.
+    pub fn spill_history(&self) -> &[SpillOutcome] {
+        &self.spill_history
+    }
+
+    /// Process one routed tuple. Returns the number of results emitted.
+    pub fn process(
+        &mut self,
+        pid: PartitionId,
+        tuple: Tuple,
+        sink: &mut dyn ResultSink,
+    ) -> Result<u64> {
+        self.join.process(pid, tuple, sink)
+    }
+
+    /// The `ss_timer` pulse: purge window-expired state (windowed
+    /// queries only), then spill if memory exceeded the threshold and
+    /// the engine is in normal mode (Algorithm 1, events at QE).
+    pub fn tick(&mut self, now: VirtualTime) -> Result<Option<SpillOutcome>> {
+        if self.cfg.join.window.is_some() {
+            let skip: dcape_common::hash::FxHashSet<PartitionId> =
+                self.store.partitions_with_segments().into_iter().collect();
+            self.join.purge_expired(now, &skip);
+        }
+        match self
+            .controller
+            .check_spill_trigger(now, self.tracker.used())
+        {
+            Some(amount) => Ok(Some(self.spill_bytes(amount, now)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// The active-disk `start_ss` command: spill `amount` bytes now,
+    /// regardless of the local threshold (Algorithm 2, lines 24–27).
+    pub fn force_spill(&mut self, amount: u64, now: VirtualTime) -> Result<SpillOutcome> {
+        self.spill_bytes(amount, now)
+    }
+
+    fn spill_bytes(&mut self, amount: u64, now: VirtualTime) -> Result<SpillOutcome> {
+        self.controller.set_mode(Mode::Spill);
+        let victims = self.cfg.victim_policy.select_victims(
+            self.join.group_stats_with(self.cfg.estimator),
+            amount,
+            &mut self.rng,
+        );
+        let mut outcome = SpillOutcome {
+            at: now,
+            groups: Vec::with_capacity(victims.len()),
+            state_bytes: 0,
+            encoded_bytes: 0,
+            io_cost: VirtualDuration::ZERO,
+        };
+        for pid in victims {
+            let Some((snapshot, freed)) = self.join.drain_group(pid) else {
+                continue;
+            };
+            let meta = self.store.spill_group(&snapshot)?;
+            outcome.groups.push(pid);
+            outcome.state_bytes += freed as u64;
+            outcome.encoded_bytes += meta.encoded_bytes;
+            outcome.io_cost = outcome.io_cost + self.cfg.cost.disk.io_cost(meta.state_bytes);
+        }
+        self.controller.set_mode(Mode::Normal);
+        self.spill_history.push(outcome.clone());
+        Ok(outcome)
+    }
+
+    /// `computePartsToMove`: the most productive groups up to `amount`
+    /// bytes (the local half of the relocation decision).
+    pub fn select_parts_to_move(&self, amount: u64) -> Vec<PartitionId> {
+        self.controller
+            .compute_parts_to_move(self.join.group_stats_with(self.cfg.estimator), amount)
+    }
+
+    /// Extract the given groups for relocation (releases their memory).
+    /// Unknown partitions are skipped — they may have been spilled
+    /// between selection and extraction.
+    pub fn extract_groups(&mut self, pids: &[PartitionId]) -> Vec<(SpilledGroup, u64)> {
+        pids.iter()
+            .filter_map(|pid| self.join.extract_group(*pid))
+            .collect()
+    }
+
+    /// Install relocated groups arriving from another engine.
+    pub fn install_groups(&mut self, groups: Vec<(SpilledGroup, u64)>) -> Result<()> {
+        for (snapshot, output) in groups {
+            self.join.install_group(snapshot, output)?;
+        }
+        Ok(())
+    }
+
+    /// Produce the periodic statistics report for the coordinator and
+    /// start a fresh sampling window.
+    pub fn report(&mut self, now: VirtualTime) -> EngineStatsReport {
+        // The stats cadence doubles as the per-group sampling window
+        // for the decaying productivity estimator.
+        if let crate::state::productivity::ProductivityEstimator::Decaying { alpha } =
+            self.cfg.estimator
+        {
+            self.join.close_productivity_windows(alpha);
+        }
+        let num_groups = self.join.group_count();
+        let (window_output, rate) = self.join.window_mut().take_window(num_groups);
+        self.last_report_window = window_output;
+        EngineStatsReport {
+            engine: self.id,
+            at: now,
+            memory_used: self.tracker.used(),
+            memory_budget: self.cfg.memory_budget,
+            num_groups,
+            window_output,
+            total_output: self.join.total_output(),
+            avg_productivity_rate: rate,
+            spilled_bytes: self.store.state_bytes_on_disk(),
+            spill_count: self.spill_history.len() as u64,
+        }
+    }
+
+    /// Partitions with disk-resident segments on this engine (sorted).
+    pub fn spilled_partitions(&self) -> Vec<PartitionId> {
+        self.store.partitions_with_segments()
+    }
+
+    /// Take (read + remove) all disk-resident segments of one partition,
+    /// in spill order — used by cluster-wide cleanup, where a partition's
+    /// segments may live on a different engine than its current owner
+    /// after relocations.
+    pub fn take_spilled_segments(&mut self, pid: PartitionId) -> Result<Vec<SpilledGroup>> {
+        self.store.take_segments(pid)
+    }
+
+    /// Read access to a partition's segment metadata (cost accounting).
+    pub fn spilled_segment_metas(&self, pid: PartitionId) -> &[dcape_storage::SegmentMeta] {
+        self.store.segments_of(pid)
+    }
+
+    /// Extract the memory-resident group of `pid`, if present (cleanup
+    /// and relocation use; releases its memory).
+    pub fn extract_resident_group(&mut self, pid: PartitionId) -> Option<(SpilledGroup, u64)> {
+        self.join.extract_group(pid)
+    }
+
+    /// Import segments that another engine spilled for a partition this
+    /// engine owns (distributed cleanup: segments are forwarded to the
+    /// owner before the parallel merge). Order among slices does not
+    /// affect the merge's correctness — slices are disjoint
+    /// co-residency epochs.
+    pub fn import_segments(&mut self, segments: Vec<SpilledGroup>) -> Result<()> {
+        for segment in segments {
+            self.store.spill_group(&segment)?;
+        }
+        Ok(())
+    }
+
+    /// Run the cleanup phase over every partition with disk-resident
+    /// segments, merging in the memory-resident group where present and
+    /// emitting the missing results into `sink`.
+    pub fn cleanup(&mut self, sink: &mut dyn ResultSink) -> Result<CleanupReport> {
+        let mut report = CleanupReport::default();
+        let cost = self.cfg.cost;
+        for pid in self.store.partitions_with_segments() {
+            // Disk I/O cost, from metadata (before consuming them).
+            for meta in self.store.segments_of(pid) {
+                report.virtual_cost = report.virtual_cost + cost.disk.io_cost(meta.state_bytes);
+                report.disk_state_bytes_read += meta.state_bytes;
+            }
+            let mut segments = self.store.take_segments(pid)?;
+            if let Some((resident, _output)) = self.join.extract_group(pid) {
+                segments.push(resident);
+            }
+            let outcome = merge_segments_windowed(
+                &self.cfg.join.join_columns,
+                self.cfg.join.window,
+                segments,
+                sink,
+            )?;
+            report.partitions += 1;
+            report.missing_results += outcome.missing_results;
+            report.scanned_tuples += outcome.scanned_tuples;
+        }
+        let compute_us = report.scanned_tuples * cost.cleanup_scan_us_per_tuple
+            + report.missing_results * cost.cleanup_emit_us_per_result;
+        report.virtual_cost =
+            report.virtual_cost + VirtualDuration::from_millis(compute_us / 1000);
+        Ok(report)
+    }
+
+    /// Run-time reactivation of one spilled partition (§3: "this state
+    /// cleanup process can be performed at any time when memory becomes
+    /// available"): merge the partition's disk-resident segments with
+    /// its memory-resident group, emit the missing results into `sink`,
+    /// and install the fully merged group back in memory — the
+    /// partition becomes *active* again.
+    ///
+    /// Returns `None` if the partition has no disk-resident segments.
+    /// Callers are responsible for checking that memory headroom exists.
+    pub fn reactivate_partition(
+        &mut self,
+        pid: PartitionId,
+        sink: &mut dyn ResultSink,
+    ) -> Result<Option<CleanupReport>> {
+        let mut report = CleanupReport::default();
+        let cost = self.cfg.cost;
+        if self.store.segments_of(pid).is_empty() {
+            return Ok(None);
+        }
+        for meta in self.store.segments_of(pid) {
+            report.virtual_cost = report.virtual_cost + cost.disk.io_cost(meta.state_bytes);
+            report.disk_state_bytes_read += meta.state_bytes;
+        }
+        let mut segments = self.store.take_segments(pid)?;
+        let mut carried_output = 0;
+        if let Some((resident, output)) = self.join.extract_group(pid) {
+            carried_output = output;
+            segments.push(resident);
+        }
+        let outcome = merge_segments_windowed(
+            &self.cfg.join.join_columns,
+            self.cfg.join.window,
+            segments.clone(),
+            sink,
+        )?;
+        report.partitions = 1;
+        report.missing_results = outcome.missing_results;
+        report.scanned_tuples = outcome.scanned_tuples;
+        let compute_us = report.scanned_tuples * cost.cleanup_scan_us_per_tuple
+            + report.missing_results * cost.cleanup_emit_us_per_result;
+        report.virtual_cost =
+            report.virtual_cost + VirtualDuration::from_millis(compute_us / 1000);
+
+        // Rebuild the merged in-memory group from all slices.
+        let mut merged = SpilledGroup::empty(pid, self.cfg.join.num_streams);
+        for segment in segments {
+            for (s, mut tuples) in segment.per_stream.into_iter().enumerate() {
+                merged.per_stream[s].append(&mut tuples);
+            }
+        }
+        self.join
+            .install_group(merged, carried_output + outcome.missing_results)?;
+        Ok(Some(report))
+    }
+
+    /// Opportunistic run-time reactivation: when the configured
+    /// watermark is set and memory is comfortably below the spill
+    /// threshold, pick the smallest spilled partition whose merged
+    /// state fits under the threshold and reactivate it. At most one
+    /// partition per call (drivers call this on their clock pulse).
+    pub fn maybe_reactivate(
+        &mut self,
+        sink: &mut dyn ResultSink,
+    ) -> Result<Option<CleanupReport>> {
+        let Some(watermark) = self.cfg.reactivate_watermark else {
+            return Ok(None);
+        };
+        let threshold = self.cfg.spill_threshold;
+        let used = self.tracker.used();
+        if used as f64 >= threshold as f64 * watermark {
+            return Ok(None);
+        }
+        // Smallest spilled partition (by accounted disk bytes) that
+        // fits back under the threshold.
+        let candidate = self
+            .store
+            .partitions_with_segments()
+            .into_iter()
+            .map(|pid| {
+                let bytes: u64 = self
+                    .store
+                    .segments_of(pid)
+                    .iter()
+                    .map(|m| m.state_bytes)
+                    .sum();
+                (bytes, pid)
+            })
+            .filter(|(bytes, _)| used + bytes < threshold)
+            .min();
+        match candidate {
+            Some((_, pid)) => self.reactivate_partition(pid, sink),
+            None => Ok(None),
+        }
+    }
+
+    /// Debug-only accounting drift check: recompute state bytes from
+    /// scratch and compare with the incremental tracker.
+    pub fn assert_accounting_consistent(&self) -> Result<()> {
+        let recomputed = self.join.recompute_state_bytes() as u64;
+        let tracked = self.tracker.used();
+        if recomputed != tracked {
+            return Err(DcapeError::state(format!(
+                "accounting drift on {}: tracked {tracked}, recomputed {recomputed}",
+                self.id
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CostModel, EngineConfig};
+    use crate::sink::{CollectingSink, CountingSink};
+    use crate::spill::policy::VictimPolicy;
+    use dcape_common::ids::StreamId;
+    use dcape_common::tuple::TupleBuilder;
+    use dcape_storage::DiskModel;
+
+    fn tpl(stream: u8, seq: u64, key: i64) -> Tuple {
+        TupleBuilder::new(StreamId(stream))
+            .seq(seq)
+            .ts(VirtualTime::from_millis(seq * 30))
+            .value(key)
+            .pad(100)
+            .build()
+    }
+
+    fn engine(budget: u64, threshold: u64) -> QueryEngine {
+        QueryEngine::in_memory(EngineId(0), EngineConfig::three_way(budget, threshold)).unwrap()
+    }
+
+    fn fill(e: &mut QueryEngine, keys: i64, reps: u64) -> u64 {
+        let mut sink = CountingSink::new();
+        for rep in 0..reps {
+            for key in 0..keys {
+                for s in 0..3u8 {
+                    e.process(
+                        PartitionId((key % 4) as u32),
+                        tpl(s, rep * keys as u64 + key as u64, key),
+                        &mut sink,
+                    )
+                    .unwrap();
+                }
+            }
+        }
+        sink.count()
+    }
+
+    #[test]
+    fn process_and_account() {
+        let mut e = engine(1 << 20, 1 << 19);
+        let results = fill(&mut e, 8, 3);
+        assert!(results > 0);
+        assert_eq!(e.total_output(), results);
+        e.assert_accounting_consistent().unwrap();
+        assert!(e.memory_used() > 0);
+    }
+
+    #[test]
+    fn tick_spills_when_over_threshold() {
+        // Tiny threshold so a few tuples overflow it.
+        let mut e = engine(1 << 20, 512);
+        fill(&mut e, 8, 4);
+        assert!(e.memory_used() > 512);
+        let outcome = e
+            .tick(VirtualTime::from_secs(10))
+            .unwrap()
+            .expect("spill should trigger");
+        assert!(!outcome.groups.is_empty());
+        assert!(outcome.state_bytes > 0);
+        assert!(outcome.io_cost > VirtualDuration::ZERO);
+        assert_eq!(e.spill_history().len(), 1);
+        assert_eq!(e.store().segment_count(), outcome.groups.len());
+        e.assert_accounting_consistent().unwrap();
+        // Below-threshold tick does nothing.
+        let mut quiet = engine(1 << 20, 1 << 19);
+        fill(&mut quiet, 2, 1);
+        assert!(quiet.tick(VirtualTime::from_secs(10)).unwrap().is_none());
+    }
+
+    #[test]
+    fn force_spill_ignores_threshold() {
+        let mut e = engine(1 << 20, 1 << 19);
+        fill(&mut e, 8, 2);
+        let used = e.memory_used();
+        let outcome = e.force_spill(used / 2, VirtualTime::from_secs(1)).unwrap();
+        assert!(outcome.state_bytes >= used / 2);
+        assert!(e.memory_used() < used);
+    }
+
+    #[test]
+    fn relocation_extract_install_round_trip() {
+        let mut a = engine(1 << 20, 1 << 19);
+        let mut b = engine(1 << 20, 1 << 19);
+        fill(&mut a, 8, 2);
+        let amount = a.memory_used() / 2;
+        let parts = a.select_parts_to_move(amount);
+        assert!(!parts.is_empty());
+        let groups = a.extract_groups(&parts);
+        assert_eq!(groups.len(), parts.len());
+        let moved_bytes: u64 = groups.iter().map(|(g, _)| g.state_bytes() as u64).sum();
+        b.install_groups(groups).unwrap();
+        assert!(moved_bytes > 0);
+        a.assert_accounting_consistent().unwrap();
+        b.assert_accounting_consistent().unwrap();
+        for pid in &parts {
+            assert!(b.join().has_group(*pid));
+            assert!(!a.join().has_group(*pid));
+        }
+    }
+
+    #[test]
+    fn report_closes_sampling_window() {
+        let mut e = engine(1 << 20, 1 << 19);
+        let produced = fill(&mut e, 4, 3);
+        let r1 = e.report(VirtualTime::from_secs(1));
+        assert_eq!(r1.window_output, produced);
+        assert_eq!(r1.total_output, produced);
+        assert!(r1.avg_productivity_rate > 0.0);
+        assert_eq!(r1.engine, EngineId(0));
+        // Fresh window is empty.
+        let r2 = e.report(VirtualTime::from_secs(2));
+        assert_eq!(r2.window_output, 0);
+        assert_eq!(r2.total_output, produced);
+    }
+
+    /// The central correctness property: run-time results + cleanup
+    /// results together equal the reference join, with no duplicates,
+    /// regardless of spills in between.
+    #[test]
+    fn spill_plus_cleanup_equals_reference_join() {
+        let cfg = EngineConfig::three_way(1 << 20, 1 << 19)
+            .with_policy(VictimPolicy::LeastProductive)
+            .with_cost(CostModel {
+                cleanup_scan_us_per_tuple: 0,
+                cleanup_emit_us_per_result: 0,
+                disk: DiskModel::free(),
+            });
+        let mut e = QueryEngine::new(EngineId(1), cfg, Box::new(dcape_storage::MemBackend::new()))
+            .unwrap();
+        let mut runtime_sink = CollectingSink::new();
+        let mut all_tuples: Vec<Tuple> = Vec::new();
+        let mut seq = 0u64;
+        // Interleave processing with forced spills.
+        for round in 0..6 {
+            for key in 0..6i64 {
+                for s in 0..3u8 {
+                    let t = tpl(s, seq, key);
+                    seq += 1;
+                    all_tuples.push(t.clone());
+                    e.process(PartitionId((key % 3) as u32), t, &mut runtime_sink)
+                        .unwrap();
+                }
+            }
+            if round % 2 == 1 {
+                e.force_spill(e.memory_used() / 2, VirtualTime::from_secs(round))
+                    .unwrap();
+            }
+        }
+        let mut cleanup_sink = CollectingSink::new();
+        let report = e.cleanup(&mut cleanup_sink).unwrap();
+        assert!(report.partitions > 0);
+        assert!(report.missing_results > 0);
+        assert_eq!(report.missing_results as usize, cleanup_sink.len());
+
+        // Reference join: all same-key triples.
+        let mut reference: Vec<Vec<(u8, u64)>> = Vec::new();
+        for a in all_tuples.iter().filter(|t| t.stream().0 == 0) {
+            for b in all_tuples.iter().filter(|t| t.stream().0 == 1) {
+                for c in all_tuples.iter().filter(|t| t.stream().0 == 2) {
+                    if a.get(0) == b.get(0) && b.get(0) == c.get(0) {
+                        reference.push(vec![(0, a.seq()), (1, b.seq()), (2, c.seq())]);
+                    }
+                }
+            }
+        }
+        reference.sort();
+        let mut produced = runtime_sink.identities();
+        produced.extend(cleanup_sink.identities());
+        produced.sort();
+        assert_eq!(produced, reference, "loss or duplication detected");
+    }
+
+    #[test]
+    fn cleanup_on_clean_engine_is_empty() {
+        let mut e = engine(1 << 20, 1 << 19);
+        fill(&mut e, 4, 1);
+        let mut sink = CountingSink::new();
+        let report = e.cleanup(&mut sink).unwrap();
+        assert_eq!(report.partitions, 0);
+        assert_eq!(sink.count(), 0);
+    }
+
+    #[test]
+    fn cleanup_cost_model_charges_io_and_compute() {
+        let mut e = engine(1 << 20, 512);
+        fill(&mut e, 8, 4);
+        e.force_spill(e.memory_used(), VirtualTime::from_secs(1))
+            .unwrap();
+        fill(&mut e, 8, 2);
+        let mut sink = CountingSink::new();
+        let report = e.cleanup(&mut sink).unwrap();
+        assert!(report.virtual_cost > VirtualDuration::ZERO);
+        assert!(report.disk_state_bytes_read > 0);
+        assert!(report.scanned_tuples > 0);
+    }
+
+    /// Reactivation mid-run: the partition becomes active again and the
+    /// overall result set stays exact.
+    #[test]
+    fn reactivate_partition_restores_activity_and_exactness() {
+        let cfg = EngineConfig::three_way(1 << 20, 1 << 19).with_cost(CostModel {
+            cleanup_scan_us_per_tuple: 1,
+            cleanup_emit_us_per_result: 1,
+            disk: DiskModel::default_2006(),
+        });
+        let mut e = QueryEngine::in_memory(EngineId(2), cfg).unwrap();
+        let mut sink = CollectingSink::new();
+        let mut all = Vec::new();
+        let mut seq = 0u64;
+        let feed = |e: &mut QueryEngine, sink: &mut CollectingSink, all: &mut Vec<Tuple>, key: i64, seq: &mut u64| {
+            for s in 0..3u8 {
+                let t = tpl(s, *seq, key);
+                *seq += 1;
+                all.push(t.clone());
+                e.process(PartitionId(0), t, sink).unwrap();
+            }
+        };
+        feed(&mut e, &mut sink, &mut all, 1, &mut seq);
+        feed(&mut e, &mut sink, &mut all, 1, &mut seq);
+        // Spill everything, then more tuples arrive (inactive period).
+        e.force_spill(u64::MAX / 2, VirtualTime::from_secs(1)).unwrap();
+        feed(&mut e, &mut sink, &mut all, 1, &mut seq);
+        // Reactivate: missing cross results emitted, state back in memory.
+        let report = e
+            .reactivate_partition(PartitionId(0), &mut sink)
+            .unwrap()
+            .expect("had segments");
+        assert!(report.missing_results > 0);
+        assert!(report.virtual_cost > VirtualDuration::ZERO);
+        assert_eq!(e.store().segment_count(), 0);
+        assert!(e.join().has_group(PartitionId(0)));
+        e.assert_accounting_consistent().unwrap();
+        // New tuples now join against the FULL merged state again.
+        feed(&mut e, &mut sink, &mut all, 1, &mut seq);
+
+        // Exactness: everything ever owed has been emitted.
+        let mut reference: Vec<Vec<(u8, u64)>> = Vec::new();
+        for a in all.iter().filter(|t| t.stream().0 == 0) {
+            for b in all.iter().filter(|t| t.stream().0 == 1) {
+                for c in all.iter().filter(|t| t.stream().0 == 2) {
+                    if a.get(0) == b.get(0) && b.get(0) == c.get(0) {
+                        reference.push(vec![(0, a.seq()), (1, b.seq()), (2, c.seq())]);
+                    }
+                }
+            }
+        }
+        reference.sort();
+        assert_eq!(sink.identities(), reference);
+        // Reactivating again is a no-op.
+        let mut sink2 = CountingSink::new();
+        assert!(e
+            .reactivate_partition(PartitionId(0), &mut sink2)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn invalid_config_rejected_at_construction() {
+        let cfg = EngineConfig::three_way(100, 200); // threshold > budget
+        assert!(QueryEngine::in_memory(EngineId(0), cfg).is_err());
+    }
+}
+
+#[cfg(test)]
+mod reactivation_tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use crate::sink::CountingSink;
+    use dcape_common::ids::StreamId;
+    use dcape_common::tuple::TupleBuilder;
+
+    fn tpl(stream: u8, seq: u64, key: i64) -> Tuple {
+        TupleBuilder::new(StreamId(stream))
+            .seq(seq)
+            .ts(VirtualTime::from_millis(seq * 30))
+            .value(key)
+            .pad(100)
+            .build()
+    }
+
+    #[test]
+    fn watermark_reactivates_when_memory_frees_up() {
+        let cfg = EngineConfig::three_way(1 << 20, 64 << 10).with_reactivation(0.5);
+        let mut e = QueryEngine::in_memory(EngineId(0), cfg).unwrap();
+        let mut sink = CountingSink::new();
+        for seq in 0..40u64 {
+            for s in 0..3u8 {
+                e.process(PartitionId((seq % 4) as u32), tpl(s, seq, (seq % 4) as i64), &mut sink)
+                    .unwrap();
+            }
+        }
+        // Spill everything: memory -> 0, disk has segments.
+        e.force_spill(u64::MAX / 2, VirtualTime::from_secs(1)).unwrap();
+        assert!(e.store().segment_count() > 0);
+        assert_eq!(e.memory_used(), 0);
+        // Memory is far below the watermark: reactivation fires.
+        let before = sink.count();
+        let report = e.maybe_reactivate(&mut sink).unwrap();
+        assert!(report.is_some());
+        assert!(e.memory_used() > 0, "state back in memory");
+        // Single spilled slice per pid => nothing was missing.
+        assert_eq!(sink.count(), before);
+        // Repeated calls drain the remaining partitions one at a time.
+        let mut rounds = 0;
+        while e.maybe_reactivate(&mut sink).unwrap().is_some() {
+            rounds += 1;
+            assert!(rounds < 100, "must terminate");
+        }
+        assert_eq!(e.store().segment_count(), 0);
+        e.assert_accounting_consistent().unwrap();
+    }
+
+    #[test]
+    fn no_watermark_means_no_reactivation() {
+        let cfg = EngineConfig::three_way(1 << 20, 64 << 10);
+        let mut e = QueryEngine::in_memory(EngineId(0), cfg).unwrap();
+        let mut sink = CountingSink::new();
+        for s in 0..3u8 {
+            e.process(PartitionId(0), tpl(s, 0, 0), &mut sink).unwrap();
+        }
+        e.force_spill(u64::MAX / 2, VirtualTime::from_secs(1)).unwrap();
+        assert!(e.maybe_reactivate(&mut sink).unwrap().is_none());
+        assert!(e.store().segment_count() > 0);
+    }
+
+    #[test]
+    fn reactivation_waits_for_headroom() {
+        // Watermark set, but memory sits above it: no reactivation.
+        let cfg = EngineConfig::three_way(1 << 20, 32 << 10).with_reactivation(0.1);
+        let mut e = QueryEngine::in_memory(EngineId(0), cfg).unwrap();
+        let mut sink = CountingSink::new();
+        for seq in 0..40u64 {
+            for s in 0..3u8 {
+                e.process(PartitionId((seq % 4) as u32), tpl(s, seq, (seq % 4) as i64), &mut sink)
+                    .unwrap();
+            }
+        }
+        // Spill half; remaining memory is above 10% of the threshold.
+        e.force_spill(e.memory_used() / 2, VirtualTime::from_secs(1)).unwrap();
+        assert!(e.memory_used() > (32 << 10) / 10);
+        assert!(e.maybe_reactivate(&mut sink).unwrap().is_none());
+    }
+
+    #[test]
+    fn invalid_watermark_rejected() {
+        let cfg = EngineConfig::three_way(1 << 20, 64 << 10).with_reactivation(1.5);
+        assert!(QueryEngine::in_memory(EngineId(0), cfg).is_err());
+    }
+}

@@ -1,0 +1,327 @@
+//! Streaming group-by aggregation.
+//!
+//! Non-blocking hash aggregation over a tuple stream: state is one
+//! accumulator row per group key, results are read out on demand. The
+//! intro's Query 1 (`SELECT brokerName, min(price) … GROUP BY
+//! brokerName`) maps onto this operator applied to the multi-join's
+//! output; `examples/financial_integration.rs` does exactly that.
+
+use dcape_common::error::{DcapeError, Result};
+use dcape_common::hash::FxHashMap;
+use dcape_common::tuple::Tuple;
+use dcape_common::value::Value;
+
+/// Supported aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggregateFunction {
+    /// Row count.
+    Count,
+    /// Sum of a numeric column.
+    Sum,
+    /// Minimum by total order.
+    Min,
+    /// Maximum by total order.
+    Max,
+    /// Arithmetic mean of a numeric column.
+    Avg,
+}
+
+/// One aggregate expression: a function over a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AggExpr {
+    /// The function.
+    pub func: AggregateFunction,
+    /// Input column index (ignored by `Count`).
+    pub column: usize,
+}
+
+#[derive(Debug, Clone)]
+enum Accumulator {
+    Count(u64),
+    Sum(f64),
+    Min(Option<Value>),
+    Max(Option<Value>),
+    Avg { sum: f64, n: u64 },
+}
+
+impl Accumulator {
+    fn new(func: AggregateFunction) -> Self {
+        match func {
+            AggregateFunction::Count => Accumulator::Count(0),
+            AggregateFunction::Sum => Accumulator::Sum(0.0),
+            AggregateFunction::Min => Accumulator::Min(None),
+            AggregateFunction::Max => Accumulator::Max(None),
+            AggregateFunction::Avg => Accumulator::Avg { sum: 0.0, n: 0 },
+        }
+    }
+
+    fn update(&mut self, v: Option<&Value>) -> Result<()> {
+        match self {
+            Accumulator::Count(c) => *c += 1,
+            Accumulator::Sum(s) | Accumulator::Avg { sum: s, .. } => {
+                let x = numeric(v)?;
+                *s += x;
+                if let Accumulator::Avg { n, .. } = self {
+                    *n += 1;
+                }
+            }
+            Accumulator::Min(cur) => {
+                if let Some(v) = v {
+                    if !v.is_null() {
+                        let better = match cur {
+                            None => true,
+                            Some(c) => v.total_cmp(c).is_lt(),
+                        };
+                        if better {
+                            *cur = Some(v.clone());
+                        }
+                    }
+                }
+            }
+            Accumulator::Max(cur) => {
+                if let Some(v) = v {
+                    if !v.is_null() {
+                        let better = match cur {
+                            None => true,
+                            Some(c) => v.total_cmp(c).is_gt(),
+                        };
+                        if better {
+                            *cur = Some(v.clone());
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn value(&self) -> Value {
+        match self {
+            Accumulator::Count(c) => Value::Int(*c as i64),
+            Accumulator::Sum(s) => Value::Double(*s),
+            Accumulator::Min(v) | Accumulator::Max(v) => v.clone().unwrap_or(Value::Null),
+            Accumulator::Avg { sum, n } => {
+                if *n == 0 {
+                    Value::Null
+                } else {
+                    Value::Double(sum / *n as f64)
+                }
+            }
+        }
+    }
+}
+
+fn numeric(v: Option<&Value>) -> Result<f64> {
+    match v {
+        Some(Value::Int(i)) => Ok(*i as f64),
+        Some(Value::Double(d)) => Ok(*d),
+        Some(Value::Null) | None => Ok(0.0),
+        Some(other) => Err(DcapeError::state(format!(
+            "non-numeric value {other} in numeric aggregate"
+        ))),
+    }
+}
+
+/// Hash group-by aggregation operator.
+#[derive(Debug)]
+pub struct GroupByAggregate {
+    key_columns: Vec<usize>,
+    exprs: Vec<AggExpr>,
+    groups: FxHashMap<Vec<Value>, Vec<Accumulator>>,
+    rows_seen: u64,
+}
+
+impl GroupByAggregate {
+    /// Group by `key_columns`, computing `exprs` per group.
+    pub fn new(key_columns: Vec<usize>, exprs: Vec<AggExpr>) -> Self {
+        GroupByAggregate {
+            key_columns,
+            exprs,
+            groups: FxHashMap::default(),
+            rows_seen: 0,
+        }
+    }
+
+    /// Fold one input tuple into the aggregation state.
+    pub fn process(&mut self, t: &Tuple) -> Result<()> {
+        self.rows_seen += 1;
+        let key: Vec<Value> = self
+            .key_columns
+            .iter()
+            .map(|&c| t.get(c).cloned().unwrap_or(Value::Null))
+            .collect();
+        let accs = self
+            .groups
+            .entry(key)
+            .or_insert_with(|| self.exprs.iter().map(|e| Accumulator::new(e.func)).collect());
+        for (acc, expr) in accs.iter_mut().zip(&self.exprs) {
+            acc.update(t.get(expr.column))?;
+        }
+        Ok(())
+    }
+
+    /// Current results: one row per group — key values then aggregate
+    /// values — sorted by key for determinism.
+    pub fn results(&self) -> Vec<Vec<Value>> {
+        let mut rows: Vec<Vec<Value>> = self
+            .groups
+            .iter()
+            .map(|(k, accs)| {
+                let mut row = k.clone();
+                row.extend(accs.iter().map(Accumulator::value));
+                row
+            })
+            .collect();
+        rows.sort_by(|a, b| {
+            for (x, y) in a.iter().zip(b.iter()) {
+                let o = x.total_cmp(y);
+                if !o.is_eq() {
+                    return o;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        rows
+    }
+
+    /// Number of groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Rows processed.
+    pub fn rows_seen(&self) -> u64 {
+        self.rows_seen
+    }
+}
+
+/// Flatten an m-way join result (one tuple per stream) into a single
+/// wide tuple: concatenated values, metadata taken from the first part.
+pub fn flatten_result(parts: &[&Tuple]) -> Tuple {
+    let mut values = Vec::with_capacity(parts.iter().map(|t| t.arity()).sum());
+    for t in parts {
+        values.extend(t.values().iter().cloned());
+    }
+    let first = parts.first().expect("non-empty result");
+    Tuple::new(first.stream(), first.seq(), first.ts(), values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcape_common::ids::StreamId;
+    use dcape_common::tuple::TupleBuilder;
+
+    fn row(broker: &str, price: f64) -> Tuple {
+        TupleBuilder::new(StreamId(0)).value(broker).value(price).build()
+    }
+
+    fn agg() -> GroupByAggregate {
+        GroupByAggregate::new(
+            vec![0],
+            vec![
+                AggExpr {
+                    func: AggregateFunction::Min,
+                    column: 1,
+                },
+                AggExpr {
+                    func: AggregateFunction::Count,
+                    column: 0,
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn query1_style_min_price_per_broker() {
+        let mut a = agg();
+        a.process(&row("alpha", 2.0)).unwrap();
+        a.process(&row("alpha", 1.5)).unwrap();
+        a.process(&row("beta", 3.0)).unwrap();
+        a.process(&row("alpha", 2.5)).unwrap();
+        let rows = a.results();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0][0], Value::text("alpha"));
+        assert_eq!(rows[0][1], Value::Double(1.5));
+        assert_eq!(rows[0][2], Value::Int(3));
+        assert_eq!(rows[1][0], Value::text("beta"));
+        assert_eq!(rows[1][1], Value::Double(3.0));
+        assert_eq!(a.group_count(), 2);
+        assert_eq!(a.rows_seen(), 4);
+    }
+
+    #[test]
+    fn sum_max_avg() {
+        let mut a = GroupByAggregate::new(
+            vec![0],
+            vec![
+                AggExpr {
+                    func: AggregateFunction::Sum,
+                    column: 1,
+                },
+                AggExpr {
+                    func: AggregateFunction::Max,
+                    column: 1,
+                },
+                AggExpr {
+                    func: AggregateFunction::Avg,
+                    column: 1,
+                },
+            ],
+        );
+        for p in [1.0, 2.0, 3.0] {
+            a.process(&row("x", p)).unwrap();
+        }
+        let rows = a.results();
+        assert_eq!(rows[0][1], Value::Double(6.0));
+        assert_eq!(rows[0][2], Value::Double(3.0));
+        assert_eq!(rows[0][3], Value::Double(2.0));
+    }
+
+    #[test]
+    fn non_numeric_sum_errors() {
+        let mut a = GroupByAggregate::new(
+            vec![0],
+            vec![AggExpr {
+                func: AggregateFunction::Sum,
+                column: 0, // text column
+            }],
+        );
+        assert!(a.process(&row("x", 1.0)).is_err());
+    }
+
+    #[test]
+    fn missing_key_column_groups_as_null() {
+        let mut a = GroupByAggregate::new(
+            vec![7],
+            vec![AggExpr {
+                func: AggregateFunction::Count,
+                column: 0,
+            }],
+        );
+        a.process(&row("x", 1.0)).unwrap();
+        a.process(&row("y", 2.0)).unwrap();
+        let rows = a.results();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0], Value::Null);
+        assert_eq!(rows[0][1], Value::Int(2));
+    }
+
+    #[test]
+    fn flatten_concatenates_in_order() {
+        let a = TupleBuilder::new(StreamId(0)).seq(1).value(1i64).build();
+        let b = TupleBuilder::new(StreamId(1)).seq(2).value(2i64).value("x").build();
+        let flat = flatten_result(&[&a, &b]);
+        assert_eq!(flat.arity(), 3);
+        assert_eq!(flat.get(0), Some(&Value::Int(1)));
+        assert_eq!(flat.get(1), Some(&Value::Int(2)));
+        assert_eq!(flat.get(2), Some(&Value::text("x")));
+    }
+
+    #[test]
+    fn empty_aggregate_has_no_rows() {
+        let a = agg();
+        assert!(a.results().is_empty());
+        assert_eq!(a.group_count(), 0);
+    }
+}

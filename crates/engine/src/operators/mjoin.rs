@@ -1,0 +1,375 @@
+//! The symmetric m-way hash join operator (one partitioned instance).
+//!
+//! This is one *instance* of the partitioned operator of §2, i.e. the
+//! portion running on one machine. It owns a map from partition ID to
+//! [`PartitionGroup`] and keeps the engine's [`MemoryTracker`] and
+//! [`ProductivityWindow`] up to date on every insert. The adaptation
+//! controllers act through the extraction/installation API:
+//!
+//! * spill: [`MJoinOperator::drain_group`] hands a group's snapshot to
+//!   the spill store and frees its memory;
+//! * relocation: [`MJoinOperator::extract_group`] /
+//!   [`MJoinOperator::install_group`] move a group (with its carried
+//!   `P_output`) between machines.
+
+use std::sync::Arc;
+
+use dcape_common::error::{DcapeError, Result};
+use dcape_common::hash::FxHashMap;
+use dcape_common::ids::PartitionId;
+use dcape_common::mem::MemoryTracker;
+use dcape_common::tuple::Tuple;
+use dcape_storage::SpilledGroup;
+
+use crate::config::MJoinConfig;
+use crate::sink::ResultSink;
+use crate::state::partition_group::PartitionGroup;
+use crate::state::productivity::{GroupStats, ProductivityEstimator, ProductivityWindow};
+
+/// One machine's instance of the partitioned symmetric m-way hash join.
+#[derive(Debug)]
+pub struct MJoinOperator {
+    cfg: MJoinConfig,
+    groups: FxHashMap<PartitionId, PartitionGroup>,
+    tracker: Arc<MemoryTracker>,
+    window: ProductivityWindow,
+    /// Groups spilled since the beginning (count of drain operations).
+    drain_count: u64,
+}
+
+impl MJoinOperator {
+    /// Build an operator instance. Fails on invalid configuration.
+    pub fn new(cfg: MJoinConfig, tracker: Arc<MemoryTracker>) -> Result<Self> {
+        cfg.validate()?;
+        Ok(MJoinOperator {
+            cfg,
+            groups: FxHashMap::default(),
+            tracker,
+            window: ProductivityWindow::new(),
+            drain_count: 0,
+        })
+    }
+
+    /// The operator's configuration.
+    pub fn config(&self) -> &MJoinConfig {
+        &self.cfg
+    }
+
+    /// Process one input tuple belonging to partition `pid`; results go
+    /// to `sink`. Returns the number of results emitted.
+    pub fn process(
+        &mut self,
+        pid: PartitionId,
+        tuple: Tuple,
+        sink: &mut dyn ResultSink,
+    ) -> Result<u64> {
+        let group = self.groups.entry(pid).or_insert_with(|| {
+            PartitionGroup::new(pid, self.cfg.join_columns.clone(), self.cfg.window)
+        });
+        let (emitted, added_bytes) = group.insert(tuple, sink)?;
+        self.tracker.allocate(added_bytes);
+        self.window.record(emitted);
+        Ok(emitted)
+    }
+
+    /// Number of resident partition groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Accounted bytes across all resident groups.
+    pub fn state_bytes(&self) -> usize {
+        self.groups.values().map(PartitionGroup::bytes).sum()
+    }
+
+    /// Total results produced by this operator instance.
+    pub fn total_output(&self) -> u64 {
+        self.window.total_output()
+    }
+
+    /// Mutable access to the productivity sampling window (the stats
+    /// reporter closes windows).
+    pub fn window_mut(&mut self) -> &mut ProductivityWindow {
+        &mut self.window
+    }
+
+    /// Snapshot per-group statistics (for policy ranking), sorted by
+    /// partition ID for determinism. Uses the cumulative estimator.
+    pub fn group_stats(&self) -> Vec<GroupStats> {
+        self.group_stats_with(ProductivityEstimator::Cumulative)
+    }
+
+    /// Like [`MJoinOperator::group_stats`], with an explicit
+    /// productivity estimator. For the decaying estimator, groups whose
+    /// first window has not yet closed fall back to their cumulative
+    /// value.
+    pub fn group_stats_with(&self, estimator: ProductivityEstimator) -> Vec<GroupStats> {
+        let mut stats: Vec<GroupStats> = self
+            .groups
+            .values()
+            .map(|g| {
+                let mut s = GroupStats::new(g.pid(), g.bytes(), g.output_count());
+                if let ProductivityEstimator::Decaying { .. } = estimator {
+                    if let Some(ewma) = g.decayed_productivity() {
+                        s.productivity = ewma;
+                    }
+                }
+                s
+            })
+            .collect();
+        stats.sort_by_key(|s| s.pid);
+        stats
+    }
+
+    /// Fold every group's sampling window into its decayed productivity
+    /// estimate (call at the stats-report cadence when using
+    /// [`ProductivityEstimator::Decaying`]).
+    pub fn close_productivity_windows(&mut self, alpha: f64) {
+        for g in self.groups.values_mut() {
+            g.close_productivity_window(alpha);
+        }
+    }
+
+    /// Resident partition IDs (sorted).
+    pub fn resident_partitions(&self) -> Vec<PartitionId> {
+        let mut pids: Vec<PartitionId> = self.groups.keys().copied().collect();
+        pids.sort_unstable();
+        pids
+    }
+
+    /// Does this instance currently hold a group for `pid`?
+    pub fn has_group(&self, pid: PartitionId) -> bool {
+        self.groups.contains_key(&pid)
+    }
+
+    /// Remove a group for **spilling**: its snapshot goes to disk, its
+    /// memory is released, and its productivity history is discarded —
+    /// a future group under the same ID starts fresh (§3: "new tuples
+    /// with the same partition ID may continue to accumulate to form a
+    /// new partition group"). Returns the snapshot and the accounted
+    /// bytes freed (which exceed the snapshot's own tuple bytes by the
+    /// per-tuple index overhead).
+    pub fn drain_group(&mut self, pid: PartitionId) -> Option<(SpilledGroup, usize)> {
+        let group = self.groups.remove(&pid)?;
+        let freed = group.bytes();
+        self.tracker.release(freed);
+        self.drain_count += 1;
+        let (snapshot, _output) = group.into_snapshot();
+        Some((snapshot, freed))
+    }
+
+    /// Remove a group for **relocation**: snapshot plus carried
+    /// `P_output`, so the receiver resumes its productivity history.
+    pub fn extract_group(&mut self, pid: PartitionId) -> Option<(SpilledGroup, u64)> {
+        let group = self.groups.remove(&pid)?;
+        self.tracker.release(group.bytes());
+        Some(group.into_snapshot())
+    }
+
+    /// Install a relocated group. Fails if a group for the partition is
+    /// already resident (the relocation protocol moves whole groups, so
+    /// a double-install indicates a protocol violation).
+    pub fn install_group(&mut self, snapshot: SpilledGroup, output_count: u64) -> Result<()> {
+        let pid = snapshot.partition;
+        if self.groups.contains_key(&pid) {
+            return Err(DcapeError::state(format!(
+                "group {pid} already resident — double install"
+            )));
+        }
+        let group = PartitionGroup::from_snapshot(
+            snapshot,
+            self.cfg.join_columns.clone(),
+            self.cfg.window,
+            output_count,
+        )?;
+        self.tracker.allocate(group.bytes());
+        self.groups.insert(pid, group);
+        Ok(())
+    }
+
+    /// Purge window-expired tuples (no-op without a configured window).
+    /// Empty groups are removed. Returns the accounted bytes freed.
+    ///
+    /// `skip` names partitions that must NOT be purged: partitions with
+    /// disk-resident spill segments, whose memory tuples may still owe
+    /// cross-slice results to spilled partners — dropping them would
+    /// lose results, and retiring them to disk would break the cleanup
+    /// merge's disjoint-co-residency-slice assumption. Purging a
+    /// segment-free partition is always safe: every co-resident partner
+    /// already joined at insert time and every future arrival is out of
+    /// window.
+    pub fn purge_expired(
+        &mut self,
+        now: dcape_common::time::VirtualTime,
+        skip: &dcape_common::hash::FxHashSet<PartitionId>,
+    ) -> usize {
+        if self.cfg.window.is_none() {
+            return 0;
+        }
+        let mut freed = 0usize;
+        self.groups.retain(|pid, g| {
+            if skip.contains(pid) {
+                return true;
+            }
+            freed += g.purge_expired(now);
+            !g.is_empty()
+        });
+        self.tracker.release(freed);
+        freed
+    }
+
+    /// Number of drain (spill) operations performed.
+    pub fn drain_count(&self) -> u64 {
+        self.drain_count
+    }
+
+    /// Recompute all accounted bytes from scratch and compare with the
+    /// incremental accounting — returns the recomputed figure. Used by
+    /// debug assertions and tests to catch drift.
+    pub fn recompute_state_bytes(&self) -> usize {
+        self.groups
+            .values()
+            .map(PartitionGroup::recompute_bytes)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::{CollectingSink, CountingSink};
+    use dcape_common::ids::StreamId;
+    use dcape_common::time::VirtualTime;
+    use dcape_common::tuple::TupleBuilder;
+
+    fn op() -> MJoinOperator {
+        MJoinOperator::new(
+            MJoinConfig::same_column(3, 0),
+            MemoryTracker::new(10 << 20),
+        )
+        .unwrap()
+    }
+
+    fn tpl(stream: u8, seq: u64, key: i64) -> Tuple {
+        TupleBuilder::new(StreamId(stream))
+            .seq(seq)
+            .ts(VirtualTime::from_millis(seq))
+            .value(key)
+            .build()
+    }
+
+    #[test]
+    fn processes_and_tracks_memory() {
+        let tracker = MemoryTracker::new(10 << 20);
+        let mut op =
+            MJoinOperator::new(MJoinConfig::same_column(3, 0), Arc::clone(&tracker)).unwrap();
+        let mut sink = CountingSink::new();
+        for s in 0..3u8 {
+            op.process(PartitionId(1), tpl(s, 0, 1), &mut sink).unwrap();
+        }
+        assert_eq!(sink.count(), 1);
+        assert_eq!(op.group_count(), 1);
+        assert_eq!(tracker.used() as usize, op.state_bytes());
+        assert_eq!(op.state_bytes(), op.recompute_state_bytes());
+    }
+
+    #[test]
+    fn groups_are_isolated_by_partition() {
+        let mut op = op();
+        let mut sink = CountingSink::new();
+        // Same key value but different partitions must not join — the
+        // operator trusts the router's partition assignment.
+        op.process(PartitionId(1), tpl(0, 0, 5), &mut sink).unwrap();
+        op.process(PartitionId(2), tpl(1, 0, 5), &mut sink).unwrap();
+        op.process(PartitionId(2), tpl(2, 0, 5), &mut sink).unwrap();
+        assert_eq!(sink.count(), 0);
+        assert_eq!(op.group_count(), 2);
+        assert_eq!(
+            op.resident_partitions(),
+            vec![PartitionId(1), PartitionId(2)]
+        );
+    }
+
+    #[test]
+    fn drain_releases_memory_and_discards_history() {
+        let tracker = MemoryTracker::new(10 << 20);
+        let mut op =
+            MJoinOperator::new(MJoinConfig::same_column(3, 0), Arc::clone(&tracker)).unwrap();
+        let mut sink = CountingSink::new();
+        for s in 0..3u8 {
+            for i in 0..4 {
+                op.process(PartitionId(7), tpl(s, i, 1), &mut sink).unwrap();
+            }
+        }
+        let used_before = tracker.used();
+        assert!(used_before > 0);
+        let (snap, freed) = op.drain_group(PartitionId(7)).unwrap();
+        assert_eq!(freed as u64, used_before);
+        assert_eq!(snap.tuple_count(), 12);
+        assert_eq!(tracker.used(), 0);
+        assert!(!op.has_group(PartitionId(7)));
+        assert_eq!(op.drain_count(), 1);
+        // New tuples re-create the group with a fresh history.
+        op.process(PartitionId(7), tpl(0, 99, 1), &mut sink).unwrap();
+        let stats = op.group_stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].output, 0);
+    }
+
+    #[test]
+    fn extract_install_round_trip_moves_state_and_stats() {
+        let tracker_a = MemoryTracker::new(10 << 20);
+        let tracker_b = MemoryTracker::new(10 << 20);
+        let mut a =
+            MJoinOperator::new(MJoinConfig::same_column(3, 0), Arc::clone(&tracker_a)).unwrap();
+        let mut b =
+            MJoinOperator::new(MJoinConfig::same_column(3, 0), Arc::clone(&tracker_b)).unwrap();
+        let mut sink = CountingSink::new();
+        for s in 0..3u8 {
+            for i in 0..3 {
+                a.process(PartitionId(4), tpl(s, i, 1), &mut sink).unwrap();
+            }
+        }
+        let output_before = a.total_output();
+        let (snap, carried) = a.extract_group(PartitionId(4)).unwrap();
+        assert_eq!(carried, output_before);
+        assert_eq!(tracker_a.used(), 0);
+        b.install_group(snap, carried).unwrap();
+        assert_eq!(tracker_b.used() as usize, b.state_bytes());
+        // Continue joining on the receiver: 3x3 existing matches.
+        let mut sink_b = CollectingSink::new();
+        b.process(PartitionId(4), tpl(0, 50, 1), &mut sink_b).unwrap();
+        assert_eq!(sink_b.len(), 9);
+        // Carried stats visible in group stats.
+        let stats = b.group_stats();
+        assert_eq!(stats[0].output, carried + 9);
+    }
+
+    #[test]
+    fn double_install_rejected() {
+        let mut op = op();
+        let snap = SpilledGroup::empty(PartitionId(2), 3);
+        op.install_group(snap.clone(), 0).unwrap();
+        assert!(op.install_group(snap, 0).is_err());
+    }
+
+    #[test]
+    fn drain_missing_group_returns_none() {
+        let mut op = op();
+        assert!(op.drain_group(PartitionId(9)).is_none());
+        assert!(op.extract_group(PartitionId(9)).is_none());
+    }
+
+    #[test]
+    fn group_stats_sorted_and_complete() {
+        let mut op = op();
+        let mut sink = CountingSink::new();
+        for pid in [5u32, 1, 3] {
+            op.process(PartitionId(pid), tpl(0, pid as u64, pid as i64), &mut sink)
+                .unwrap();
+        }
+        let stats = op.group_stats();
+        let pids: Vec<u32> = stats.iter().map(|s| s.pid.0).collect();
+        assert_eq!(pids, vec![1, 3, 5]);
+    }
+}

@@ -1,0 +1,74 @@
+//! Stateless projection operator.
+
+use dcape_common::tuple::Tuple;
+
+/// Projects a tuple onto a subset (or reordering) of its columns.
+#[derive(Debug, Clone)]
+pub struct Project {
+    columns: Vec<usize>,
+}
+
+impl Project {
+    /// Keep (and order by) the given column indexes.
+    pub fn new(columns: Vec<usize>) -> Self {
+        Project { columns }
+    }
+
+    /// Apply to one tuple. Missing columns project to nothing (the
+    /// output simply omits them) — schema validation belongs upstream.
+    pub fn process(&self, t: &Tuple) -> Tuple {
+        let values = self
+            .columns
+            .iter()
+            .filter_map(|&c| t.get(c).cloned())
+            .collect();
+        Tuple::new(t.stream(), t.seq(), t.ts(), values)
+    }
+
+    /// The projected column indexes.
+    pub fn columns(&self) -> &[usize] {
+        &self.columns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcape_common::ids::StreamId;
+    use dcape_common::tuple::TupleBuilder;
+    use dcape_common::value::Value;
+
+    #[test]
+    fn projects_and_reorders() {
+        let t = TupleBuilder::new(StreamId(1))
+            .seq(3)
+            .value(10i64)
+            .value("x")
+            .value(2.5f64)
+            .build();
+        let p = Project::new(vec![2, 0]);
+        let out = p.process(&t);
+        assert_eq!(out.arity(), 2);
+        assert_eq!(out.get(0), Some(&Value::Double(2.5)));
+        assert_eq!(out.get(1), Some(&Value::Int(10)));
+        // Identity metadata preserved.
+        assert_eq!(out.stream(), StreamId(1));
+        assert_eq!(out.seq(), 3);
+    }
+
+    #[test]
+    fn missing_columns_omitted() {
+        let t = TupleBuilder::new(StreamId(0)).value(1i64).build();
+        let p = Project::new(vec![0, 5]);
+        let out = p.process(&t);
+        assert_eq!(out.arity(), 1);
+        assert_eq!(p.columns(), &[0, 5]);
+    }
+
+    #[test]
+    fn empty_projection_yields_empty_tuple() {
+        let t = TupleBuilder::new(StreamId(0)).value(1i64).build();
+        let out = Project::new(vec![]).process(&t);
+        assert_eq!(out.arity(), 0);
+    }
+}

@@ -1,0 +1,230 @@
+//! Stateless selection (filter) operator.
+//!
+//! Select and project "consume very limited memory and thus tend not to
+//! be the bottleneck" (§2); they exist so the examples can express
+//! complete queries like the intro's Query 1.
+
+use dcape_common::tuple::Tuple;
+use dcape_common::value::Value;
+
+/// Comparison operators for simple column predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+/// A predicate over one tuple.
+pub enum Predicate {
+    /// Compare a column against a constant.
+    ColumnCmp {
+        /// Column index.
+        column: usize,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Constant to compare against.
+        value: Value,
+    },
+    /// Conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+    /// Arbitrary user predicate.
+    Custom(Box<dyn Fn(&Tuple) -> bool + Send>),
+}
+
+impl std::fmt::Debug for Predicate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Predicate::ColumnCmp { column, op, value } => {
+                write!(f, "col[{column}] {op:?} {value}")
+            }
+            Predicate::And(a, b) => write!(f, "({a:?} AND {b:?})"),
+            Predicate::Or(a, b) => write!(f, "({a:?} OR {b:?})"),
+            Predicate::Not(p) => write!(f, "NOT {p:?}"),
+            Predicate::Custom(_) => write!(f, "<custom>"),
+        }
+    }
+}
+
+impl Predicate {
+    /// Evaluate against a tuple. Missing columns and NULLs fail
+    /// comparisons (SQL-ish three-valued logic collapsed to false).
+    pub fn eval(&self, t: &Tuple) -> bool {
+        match self {
+            Predicate::ColumnCmp { column, op, value } => match t.get(*column) {
+                None => false,
+                Some(v) if v.is_null() || value.is_null() => false,
+                Some(v) => {
+                    let ord = v.total_cmp(value);
+                    match op {
+                        CmpOp::Eq => ord.is_eq(),
+                        CmpOp::Ne => !ord.is_eq(),
+                        CmpOp::Lt => ord.is_lt(),
+                        CmpOp::Le => ord.is_le(),
+                        CmpOp::Gt => ord.is_gt(),
+                        CmpOp::Ge => ord.is_ge(),
+                    }
+                }
+            },
+            Predicate::And(a, b) => a.eval(t) && b.eval(t),
+            Predicate::Or(a, b) => a.eval(t) || b.eval(t),
+            Predicate::Not(p) => !p.eval(t),
+            Predicate::Custom(f) => f(t),
+        }
+    }
+}
+
+/// The selection operator: passes tuples matching the predicate.
+#[derive(Debug)]
+pub struct Select {
+    predicate: Predicate,
+    seen: u64,
+    passed: u64,
+}
+
+impl Select {
+    /// Build from a predicate.
+    pub fn new(predicate: Predicate) -> Self {
+        Select {
+            predicate,
+            seen: 0,
+            passed: 0,
+        }
+    }
+
+    /// Process one tuple; `Some` if it passes.
+    pub fn process(&mut self, t: Tuple) -> Option<Tuple> {
+        self.seen += 1;
+        if self.predicate.eval(&t) {
+            self.passed += 1;
+            Some(t)
+        } else {
+            None
+        }
+    }
+
+    /// Tuples seen.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Tuples passed.
+    pub fn passed(&self) -> u64 {
+        self.passed
+    }
+
+    /// Observed selectivity.
+    pub fn selectivity(&self) -> f64 {
+        self.passed as f64 / self.seen.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcape_common::ids::StreamId;
+    use dcape_common::tuple::TupleBuilder;
+
+    fn t(price: f64) -> Tuple {
+        TupleBuilder::new(StreamId(0)).value("EUR").value(price).build()
+    }
+
+    #[test]
+    fn column_cmp_all_ops() {
+        let p = |op| Predicate::ColumnCmp {
+            column: 1,
+            op,
+            value: Value::Double(1.5),
+        };
+        assert!(p(CmpOp::Eq).eval(&t(1.5)));
+        assert!(p(CmpOp::Ne).eval(&t(2.0)));
+        assert!(p(CmpOp::Lt).eval(&t(1.0)));
+        assert!(p(CmpOp::Le).eval(&t(1.5)));
+        assert!(p(CmpOp::Gt).eval(&t(2.0)));
+        assert!(p(CmpOp::Ge).eval(&t(1.5)));
+        assert!(!p(CmpOp::Eq).eval(&t(2.0)));
+    }
+
+    #[test]
+    fn missing_column_and_null_fail() {
+        let p = Predicate::ColumnCmp {
+            column: 9,
+            op: CmpOp::Eq,
+            value: Value::Int(1),
+        };
+        assert!(!p.eval(&t(1.0)));
+        let null_cmp = Predicate::ColumnCmp {
+            column: 0,
+            op: CmpOp::Eq,
+            value: Value::Null,
+        };
+        assert!(!null_cmp.eval(&t(1.0)));
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let lt2 = Predicate::ColumnCmp {
+            column: 1,
+            op: CmpOp::Lt,
+            value: Value::Double(2.0),
+        };
+        let gt1 = Predicate::ColumnCmp {
+            column: 1,
+            op: CmpOp::Gt,
+            value: Value::Double(1.0),
+        };
+        let and = Predicate::And(Box::new(lt2), Box::new(gt1));
+        assert!(and.eval(&t(1.5)));
+        assert!(!and.eval(&t(0.5)));
+        let not = Predicate::Not(Box::new(and));
+        assert!(not.eval(&t(0.5)));
+        let or = Predicate::Or(
+            Box::new(Predicate::ColumnCmp {
+                column: 1,
+                op: CmpOp::Lt,
+                value: Value::Double(1.0),
+            }),
+            Box::new(Predicate::ColumnCmp {
+                column: 1,
+                op: CmpOp::Gt,
+                value: Value::Double(2.0),
+            }),
+        );
+        assert!(or.eval(&t(0.5)));
+        assert!(or.eval(&t(2.5)));
+        assert!(!or.eval(&t(1.5)));
+    }
+
+    #[test]
+    fn custom_predicate() {
+        let p = Predicate::Custom(Box::new(|t: &Tuple| t.arity() == 2));
+        assert!(p.eval(&t(1.0)));
+    }
+
+    #[test]
+    fn select_counts_and_filters() {
+        let mut sel = Select::new(Predicate::ColumnCmp {
+            column: 1,
+            op: CmpOp::Lt,
+            value: Value::Double(1.0),
+        });
+        assert!(sel.process(t(0.5)).is_some());
+        assert!(sel.process(t(1.5)).is_none());
+        assert_eq!(sel.seen(), 2);
+        assert_eq!(sel.passed(), 1);
+        assert!((sel.selectivity() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,167 @@
+//! Result sinks.
+//!
+//! Join results are delivered through a [`ResultSink`] rather than
+//! returned as allocated vectors: the experiments count millions of
+//! results per run, and the paper's metric of interest is the *output
+//! rate*, not the output contents. [`CountingSink`] makes the hot path
+//! allocation-free; [`CollectingSink`] materializes results for
+//! correctness tests and the cleanup-completeness proofs.
+
+use dcape_common::tuple::Tuple;
+
+/// Receiver of m-way join results.
+///
+/// `parts` holds one matched tuple per input stream, in stream order
+/// (`parts[s]` came from stream `s`).
+pub trait ResultSink {
+    /// Deliver one result.
+    fn emit(&mut self, parts: &[&Tuple]);
+}
+
+/// Counts results without materializing them.
+#[derive(Debug, Default)]
+pub struct CountingSink {
+    count: u64,
+}
+
+impl CountingSink {
+    /// New sink with a zero count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Results seen so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+impl ResultSink for CountingSink {
+    #[inline]
+    fn emit(&mut self, _parts: &[&Tuple]) {
+        self.count += 1;
+    }
+}
+
+/// Materializes every result as a boxed slice of tuples (stream order).
+#[derive(Debug, Default)]
+pub struct CollectingSink {
+    results: Vec<Box<[Tuple]>>,
+}
+
+impl CollectingSink {
+    /// New empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The collected results.
+    pub fn results(&self) -> &[Box<[Tuple]>] {
+        &self.results
+    }
+
+    /// Consume the sink, returning the results.
+    pub fn into_results(self) -> Vec<Box<[Tuple]>> {
+        self.results
+    }
+
+    /// Result count.
+    pub fn len(&self) -> usize {
+        self.results.len()
+    }
+
+    /// True if nothing was emitted.
+    pub fn is_empty(&self) -> bool {
+        self.results.is_empty()
+    }
+
+    /// Canonical identities of all results — each result reduced to the
+    /// sorted-by-stream list of `(stream, seq)` pairs — for multiset
+    /// comparison against a reference join in tests.
+    pub fn identities(&self) -> Vec<Vec<(u8, u64)>> {
+        let mut ids: Vec<Vec<(u8, u64)>> = self
+            .results
+            .iter()
+            .map(|r| r.iter().map(|t| (t.stream().0, t.seq())).collect())
+            .collect();
+        ids.sort();
+        ids
+    }
+}
+
+impl ResultSink for CollectingSink {
+    fn emit(&mut self, parts: &[&Tuple]) {
+        self.results
+            .push(parts.iter().map(|&t| t.clone()).collect());
+    }
+}
+
+/// Forwards to two sinks (e.g. count + collect in one pass).
+#[derive(Debug)]
+pub struct TeeSink<'a, A: ResultSink, B: ResultSink> {
+    /// First target.
+    pub a: &'a mut A,
+    /// Second target.
+    pub b: &'a mut B,
+}
+
+impl<A: ResultSink, B: ResultSink> ResultSink for TeeSink<'_, A, B> {
+    fn emit(&mut self, parts: &[&Tuple]) {
+        self.a.emit(parts);
+        self.b.emit(parts);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcape_common::ids::StreamId;
+    use dcape_common::tuple::TupleBuilder;
+
+    fn tuples() -> Vec<Tuple> {
+        (0..3u8)
+            .map(|s| TupleBuilder::new(StreamId(s)).seq(s as u64).value(1i64).build())
+            .collect()
+    }
+
+    #[test]
+    fn counting_sink_counts() {
+        let ts = tuples();
+        let parts: Vec<&Tuple> = ts.iter().collect();
+        let mut sink = CountingSink::new();
+        sink.emit(&parts);
+        sink.emit(&parts);
+        assert_eq!(sink.count(), 2);
+    }
+
+    #[test]
+    fn collecting_sink_materializes_in_stream_order() {
+        let ts = tuples();
+        let parts: Vec<&Tuple> = ts.iter().collect();
+        let mut sink = CollectingSink::new();
+        assert!(sink.is_empty());
+        sink.emit(&parts);
+        assert_eq!(sink.len(), 1);
+        assert_eq!(sink.results()[0].len(), 3);
+        assert_eq!(sink.results()[0][1].stream(), StreamId(1));
+        let ids = sink.identities();
+        assert_eq!(ids, vec![vec![(0, 0), (1, 1), (2, 2)]]);
+    }
+
+    #[test]
+    fn tee_feeds_both() {
+        let ts = tuples();
+        let parts: Vec<&Tuple> = ts.iter().collect();
+        let mut count = CountingSink::new();
+        let mut collect = CollectingSink::new();
+        {
+            let mut tee = TeeSink {
+                a: &mut count,
+                b: &mut collect,
+            };
+            tee.emit(&parts);
+        }
+        assert_eq!(count.count(), 1);
+        assert_eq!(collect.len(), 1);
+    }
+}

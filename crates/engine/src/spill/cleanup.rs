@@ -1,0 +1,336 @@
+//! The cleanup phase: producing exactly the missing results.
+//!
+//! §3 of the paper: after the run-time phase, disk-resident partition
+//! groups are (1) organized by partition ID, (2) merged, generating
+//! missing results, and (3) merged with the memory-resident group of the
+//! same ID, "applying incremental view maintenance algorithms".
+//!
+//! ## Why only cross-segment combinations are missing
+//!
+//! The engine spills **whole partition groups** (all inputs together).
+//! While a group was memory-resident, the symmetric join produced every
+//! result among its co-resident tuples. Segments of one partition ID are
+//! therefore disjoint time slices `S₁, S₂, …, S_k` (plus the final
+//! memory-resident slice): within-slice results already exist, and a
+//! result mixing slices was never produced because its constituents were
+//! never co-resident. The missing set is exactly the IVM expansion of
+//! `(C₁+S)⋈…⋈(C_m+S)` minus `C⋈…⋈C` minus `S⋈…⋈S`: all per-stream
+//! choice vectors over {cumulative, new-segment} except the two pure
+//! ones. No timestamps are needed — the paper's argument for the
+//! partition-group granularity (§2).
+
+use dcape_common::error::{DcapeError, Result};
+use dcape_common::hash::{FxHashMap, FxHashSet};
+use dcape_common::tuple::Tuple;
+use dcape_common::value::Value;
+use dcape_storage::SpilledGroup;
+
+use crate::sink::ResultSink;
+
+/// Statistics of one partition's cleanup merge.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CleanupOutcome {
+    /// Missing results produced.
+    pub missing_results: u64,
+    /// Tuples scanned while building merge indexes (cost-model input).
+    pub scanned_tuples: u64,
+    /// Segments merged (including the memory-resident one, if present).
+    pub segments_merged: usize,
+}
+
+/// Key-indexed per-stream tuple lists for one slice of a partition.
+type SliceIndex = Vec<FxHashMap<Value, Vec<Tuple>>>;
+
+fn index_slice(join_columns: &[usize], group: &SpilledGroup) -> Result<SliceIndex> {
+    if group.per_stream.len() != join_columns.len() {
+        return Err(DcapeError::state(format!(
+            "segment for {} has {} streams, join configured for {}",
+            group.partition,
+            group.per_stream.len(),
+            join_columns.len()
+        )));
+    }
+    let mut index: SliceIndex = join_columns.iter().map(|_| FxHashMap::default()).collect();
+    for (s, tuples) in group.per_stream.iter().enumerate() {
+        for t in tuples {
+            let key = t
+                .get(join_columns[s])
+                .ok_or_else(|| DcapeError::state("cleanup tuple lacks join column"))?
+                .clone();
+            index[s].entry(key).or_default().push(t.clone());
+        }
+    }
+    Ok(index)
+}
+
+/// Emit the cartesian product over per-stream lists (stream order),
+/// filtered by the optional sliding window.
+fn emit_product(
+    lists: &[&[Tuple]],
+    window: Option<dcape_common::time::VirtualDuration>,
+    sink: &mut dyn ResultSink,
+) -> u64 {
+    debug_assert!(lists.iter().all(|l| !l.is_empty()));
+    let m = lists.len();
+    let mut counters = vec![0usize; m];
+    let mut parts: Vec<&Tuple> = lists.iter().map(|l| &l[0]).collect();
+    let mut emitted = 0u64;
+    'outer: loop {
+        for s in 0..m {
+            parts[s] = &lists[s][counters[s]];
+        }
+        if crate::state::partition_group::within_window(window, &parts) {
+            sink.emit(&parts);
+            emitted += 1;
+        }
+        for s in (0..m).rev() {
+            counters[s] += 1;
+            if counters[s] < lists[s].len() {
+                continue 'outer;
+            }
+            counters[s] = 0;
+        }
+        break;
+    }
+    emitted
+}
+
+/// Merge the time-ordered segments of **one partition ID**, emitting
+/// exactly the missing (cross-segment) join results into `sink`.
+///
+/// `segments` must be in spill order; the caller appends the final
+/// memory-resident group (if any) as the last element. Duplicates are
+/// impossible by construction — see the module docs.
+pub fn merge_segments(
+    join_columns: &[usize],
+    segments: Vec<SpilledGroup>,
+    sink: &mut dyn ResultSink,
+) -> Result<CleanupOutcome> {
+    merge_segments_windowed(join_columns, None, segments, sink)
+}
+
+/// [`merge_segments`] with an optional sliding window: cross-slice
+/// combinations whose timestamps span more than the window are not
+/// results of the windowed query and are skipped.
+pub fn merge_segments_windowed(
+    join_columns: &[usize],
+    window: Option<dcape_common::time::VirtualDuration>,
+    segments: Vec<SpilledGroup>,
+    sink: &mut dyn ResultSink,
+) -> Result<CleanupOutcome> {
+    let m = join_columns.len();
+    let mut outcome = CleanupOutcome::default();
+    // Cumulative state C, key-indexed per stream.
+    let mut cumulative: SliceIndex = (0..m).map(|_| FxHashMap::default()).collect();
+    let mut cumulative_empty = true;
+
+    for segment in segments {
+        outcome.scanned_tuples += segment.tuple_count() as u64;
+        outcome.segments_merged += 1;
+        let fresh = index_slice(join_columns, &segment)?;
+
+        if !cumulative_empty {
+            // Candidate keys: any key present in the fresh slice (every
+            // mixed choice vector picks `fresh` for at least one stream).
+            let mut candidate_keys: FxHashSet<&Value> = FxHashSet::default();
+            for stream_index in &fresh {
+                candidate_keys.extend(stream_index.keys());
+            }
+            for key in candidate_keys {
+                // Per-stream availability in each side.
+                let c_lists: Vec<&[Tuple]> = (0..m)
+                    .map(|s| cumulative[s].get(key).map_or(&[][..], Vec::as_slice))
+                    .collect();
+                let f_lists: Vec<&[Tuple]> = (0..m)
+                    .map(|s| fresh[s].get(key).map_or(&[][..], Vec::as_slice))
+                    .collect();
+                // Enumerate choice vectors: bit s of `mask` == 1 means
+                // stream s takes the fresh side. Exclude all-C (0) and
+                // all-fresh (full mask).
+                let full: u32 = (1 << m) - 1;
+                for mask in 1..full {
+                    let mut lists: Vec<&[Tuple]> = Vec::with_capacity(m);
+                    let mut viable = true;
+                    for (s, (c, f)) in c_lists.iter().zip(&f_lists).enumerate() {
+                        let chosen = if mask & (1 << s) != 0 { *f } else { *c };
+                        if chosen.is_empty() {
+                            viable = false;
+                            break;
+                        }
+                        lists.push(chosen);
+                    }
+                    if viable {
+                        outcome.missing_results += emit_product(&lists, window, sink);
+                    }
+                }
+            }
+        }
+
+        // Merge the fresh slice into the cumulative state.
+        for (s, stream_index) in fresh.into_iter().enumerate() {
+            for (key, mut tuples) in stream_index {
+                cumulative[s].entry(key).or_default().append(&mut tuples);
+            }
+        }
+        cumulative_empty = false;
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::CollectingSink;
+    use dcape_common::ids::{PartitionId, StreamId};
+    use dcape_common::tuple::TupleBuilder;
+
+    fn tpl(stream: u8, seq: u64, key: i64) -> Tuple {
+        TupleBuilder::new(StreamId(stream)).seq(seq).value(key).build()
+    }
+
+    fn seg(tuples: Vec<Tuple>) -> SpilledGroup {
+        let mut g = SpilledGroup::empty(PartitionId(0), 3);
+        for t in tuples {
+            g.per_stream[t.stream().index()].push(t);
+        }
+        g
+    }
+
+    /// Brute-force reference join over a set of slices: all (a,b,c)
+    /// combinations with equal keys.
+    fn reference_join(slices: &[&SpilledGroup]) -> Vec<Vec<(u8, u64)>> {
+        let mut all: Vec<Vec<&Tuple>> = vec![Vec::new(); 3];
+        for g in slices {
+            for (s, ts) in g.per_stream.iter().enumerate() {
+                all[s].extend(ts.iter());
+            }
+        }
+        let mut out = Vec::new();
+        for a in &all[0] {
+            for b in &all[1] {
+                for c in &all[2] {
+                    if a.get(0) == b.get(0) && b.get(0) == c.get(0) {
+                        out.push(vec![
+                            (a.stream().0, a.seq()),
+                            (b.stream().0, b.seq()),
+                            (c.stream().0, c.seq()),
+                        ]);
+                    }
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Within-slice results (already produced at run time).
+    fn within_slice_results(slices: &[&SpilledGroup]) -> Vec<Vec<(u8, u64)>> {
+        let mut out = Vec::new();
+        for g in slices {
+            out.extend(reference_join(&[g]));
+        }
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn two_segments_cross_results_only() {
+        // Segment 1: one matching triple (keys 1).
+        let s1 = seg(vec![tpl(0, 0, 1), tpl(1, 0, 1), tpl(2, 0, 1)]);
+        // Segment 2: another triple with the same key.
+        let s2 = seg(vec![tpl(0, 1, 1), tpl(1, 1, 1), tpl(2, 1, 1)]);
+        let mut sink = CollectingSink::new();
+        let outcome = merge_segments(&[0, 0, 0], vec![s1.clone(), s2.clone()], &mut sink).unwrap();
+
+        // Total join = 2x2x2 = 8; within-segment = 1 + 1; missing = 6.
+        assert_eq!(outcome.missing_results, 6);
+        assert_eq!(outcome.segments_merged, 2);
+        assert_eq!(outcome.scanned_tuples, 6);
+
+        // The emitted set must be exactly reference minus within-slice.
+        let reference = reference_join(&[&s1, &s2]);
+        let within = within_slice_results(&[&s1, &s2]);
+        let emitted = sink.identities();
+        assert_eq!(emitted.len() + within.len(), reference.len());
+        for r in &emitted {
+            assert!(reference.contains(r));
+            assert!(!within.contains(r), "duplicate of run-time result: {r:?}");
+        }
+    }
+
+    #[test]
+    fn three_segments_no_duplicates_and_complete() {
+        let s1 = seg(vec![tpl(0, 0, 1), tpl(1, 0, 1)]);
+        let s2 = seg(vec![tpl(2, 0, 1), tpl(0, 1, 1)]);
+        let s3 = seg(vec![tpl(1, 1, 1), tpl(2, 1, 1), tpl(0, 2, 2)]);
+        let mut sink = CollectingSink::new();
+        merge_segments(&[0, 0, 0], vec![s1.clone(), s2.clone(), s3.clone()], &mut sink).unwrap();
+        let reference = reference_join(&[&s1, &s2, &s3]);
+        let within = within_slice_results(&[&s1, &s2, &s3]);
+        let emitted = sink.identities();
+        // Completeness: emitted + within == reference (as multisets).
+        let mut combined = emitted.clone();
+        combined.extend(within.clone());
+        combined.sort();
+        assert_eq!(combined, reference);
+        // No duplicates within emitted.
+        let mut dedup = emitted.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), emitted.len());
+    }
+
+    #[test]
+    fn single_segment_produces_nothing() {
+        let s1 = seg(vec![tpl(0, 0, 1), tpl(1, 0, 1), tpl(2, 0, 1)]);
+        let mut sink = CollectingSink::new();
+        let outcome = merge_segments(&[0, 0, 0], vec![s1], &mut sink).unwrap();
+        assert_eq!(outcome.missing_results, 0);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn disjoint_keys_produce_nothing() {
+        let s1 = seg(vec![tpl(0, 0, 1), tpl(1, 0, 1), tpl(2, 0, 1)]);
+        let s2 = seg(vec![tpl(0, 1, 2), tpl(1, 1, 2), tpl(2, 1, 2)]);
+        let mut sink = CollectingSink::new();
+        let outcome = merge_segments(&[0, 0, 0], vec![s1, s2], &mut sink).unwrap();
+        assert_eq!(outcome.missing_results, 0);
+    }
+
+    #[test]
+    fn empty_segment_list_is_noop() {
+        let mut sink = CollectingSink::new();
+        let outcome = merge_segments(&[0, 0, 0], vec![], &mut sink).unwrap();
+        assert_eq!(outcome, CleanupOutcome::default());
+    }
+
+    #[test]
+    fn partial_segments_still_combine() {
+        // Segment 1 has only streams 0 and 1; segment 2 only stream 2:
+        // every result is a cross result.
+        let s1 = seg(vec![tpl(0, 0, 5), tpl(1, 0, 5)]);
+        let s2 = seg(vec![tpl(2, 0, 5)]);
+        let mut sink = CollectingSink::new();
+        let outcome = merge_segments(&[0, 0, 0], vec![s1, s2], &mut sink).unwrap();
+        assert_eq!(outcome.missing_results, 1);
+        assert_eq!(sink.identities(), vec![vec![(0, 0), (1, 0), (2, 0)]]);
+    }
+
+    #[test]
+    fn mismatched_stream_count_rejected() {
+        let bad = SpilledGroup::empty(PartitionId(0), 2);
+        let mut sink = CollectingSink::new();
+        assert!(merge_segments(&[0, 0, 0], vec![bad], &mut sink).is_err());
+    }
+
+    #[test]
+    fn two_way_join_cleanup() {
+        let mut g1 = SpilledGroup::empty(PartitionId(0), 2);
+        g1.per_stream[0].push(tpl(0, 0, 1));
+        let mut g2 = SpilledGroup::empty(PartitionId(0), 2);
+        g2.per_stream[1].push(tpl(1, 0, 1));
+        let mut sink = CollectingSink::new();
+        let outcome = merge_segments(&[0, 0], vec![g1, g2], &mut sink).unwrap();
+        assert_eq!(outcome.missing_results, 1);
+    }
+}

@@ -1,0 +1,158 @@
+//! Victim-selection policies for state spill.
+//!
+//! When memory overflows, the local controller must pick *which*
+//! partition groups to push (§3). The paper's policy ranks groups by
+//! productivity and pushes the least productive; Figure 7 compares it
+//! against its inverse, and the related-work baselines (XJoin's
+//! largest-first) plus random/smallest-first round out the ablation set.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use dcape_common::ids::PartitionId;
+
+use crate::state::productivity::{
+    sort_least_productive_first, sort_most_productive_first, GroupStats,
+};
+
+/// How spill victims are chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VictimPolicy {
+    /// Uniformly random groups (used by the paper's Figures 5/6 sweep,
+    /// which isolates the *amount* pushed from the *choice* of victims).
+    Random,
+    /// Push the largest groups first (XJoin's flush policy).
+    LargestFirst,
+    /// Push the smallest groups first.
+    SmallestFirst,
+    /// Push the least productive groups first — the paper's policy.
+    LeastProductive,
+    /// Push the most productive first — Figure 7's adversarial baseline.
+    MostProductive,
+}
+
+impl VictimPolicy {
+    /// Order `stats` by this policy's preference (most-preferred victim
+    /// first), then take groups until their cumulative size reaches
+    /// `target_bytes`. Always selects at least one group when any exist
+    /// and `target_bytes > 0`.
+    pub fn select_victims(
+        &self,
+        mut stats: Vec<GroupStats>,
+        target_bytes: u64,
+        rng: &mut impl Rng,
+    ) -> Vec<PartitionId> {
+        if target_bytes == 0 || stats.is_empty() {
+            return Vec::new();
+        }
+        match self {
+            VictimPolicy::Random => stats.shuffle(rng),
+            VictimPolicy::LargestFirst => {
+                stats.sort_by(|a, b| b.bytes.cmp(&a.bytes).then(a.pid.cmp(&b.pid)))
+            }
+            VictimPolicy::SmallestFirst => {
+                stats.sort_by(|a, b| a.bytes.cmp(&b.bytes).then(a.pid.cmp(&b.pid)))
+            }
+            VictimPolicy::LeastProductive => sort_least_productive_first(&mut stats),
+            VictimPolicy::MostProductive => sort_most_productive_first(&mut stats),
+        }
+        take_until_bytes(&stats, target_bytes)
+    }
+}
+
+/// Take a prefix of `stats` whose cumulative bytes reach `target_bytes`
+/// (skipping empty groups — spilling nothing frees nothing).
+pub fn take_until_bytes(stats: &[GroupStats], target_bytes: u64) -> Vec<PartitionId> {
+    let mut out = Vec::new();
+    let mut acc = 0u64;
+    for s in stats {
+        if s.bytes == 0 {
+            continue;
+        }
+        out.push(s.pid);
+        acc += s.bytes as u64;
+        if acc >= target_bytes {
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn gs(pid: u32, bytes: usize, output: u64) -> GroupStats {
+        GroupStats::new(PartitionId(pid), bytes, output)
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    fn stats() -> Vec<GroupStats> {
+        vec![
+            gs(0, 100, 1000), // very productive
+            gs(1, 300, 30),   // large, unproductive
+            gs(2, 50, 200),   // small, productive
+            gs(3, 200, 0),    // unproductive
+        ]
+    }
+
+    #[test]
+    fn least_productive_picks_duds_first() {
+        let v = VictimPolicy::LeastProductive.select_victims(stats(), 400, &mut rng());
+        assert_eq!(v, vec![PartitionId(3), PartitionId(1)]);
+    }
+
+    #[test]
+    fn most_productive_picks_hot_groups_first() {
+        let v = VictimPolicy::MostProductive.select_victims(stats(), 120, &mut rng());
+        // pid 0 prod=10, pid 2 prod=4 => 0 first (100 bytes), then 2.
+        assert_eq!(v, vec![PartitionId(0), PartitionId(2)]);
+    }
+
+    #[test]
+    fn largest_and_smallest_first() {
+        let v = VictimPolicy::LargestFirst.select_victims(stats(), 300, &mut rng());
+        assert_eq!(v, vec![PartitionId(1)]);
+        let v = VictimPolicy::SmallestFirst.select_victims(stats(), 140, &mut rng());
+        assert_eq!(v, vec![PartitionId(2), PartitionId(0)]);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed_and_covers_target() {
+        let a = VictimPolicy::Random.select_victims(stats(), 250, &mut rng());
+        let b = VictimPolicy::Random.select_victims(stats(), 250, &mut rng());
+        assert_eq!(a, b);
+        let total: u64 = a
+            .iter()
+            .map(|pid| stats().iter().find(|s| s.pid == *pid).unwrap().bytes as u64)
+            .sum();
+        assert!(total >= 250 || a.len() == 4);
+    }
+
+    #[test]
+    fn zero_target_or_empty_stats_select_nothing() {
+        assert!(VictimPolicy::LeastProductive
+            .select_victims(stats(), 0, &mut rng())
+            .is_empty());
+        assert!(VictimPolicy::LeastProductive
+            .select_victims(vec![], 100, &mut rng())
+            .is_empty());
+    }
+
+    #[test]
+    fn empty_groups_skipped() {
+        let v = take_until_bytes(&[gs(0, 0, 0), gs(1, 10, 0)], 5);
+        assert_eq!(v, vec![PartitionId(1)]);
+    }
+
+    #[test]
+    fn huge_target_takes_everything() {
+        let v = VictimPolicy::LeastProductive.select_victims(stats(), u64::MAX, &mut rng());
+        assert_eq!(v.len(), 4);
+    }
+}

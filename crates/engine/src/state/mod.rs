@@ -1,0 +1,7 @@
+//! Operator state: partition groups and productivity statistics.
+
+pub mod partition_group;
+pub mod productivity;
+
+pub use partition_group::PartitionGroup;
+pub use productivity::{GroupStats, ProductivityWindow};

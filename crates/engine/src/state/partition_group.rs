@@ -1,0 +1,456 @@
+//! One partition group of a symmetric m-way hash join.
+//!
+//! A partition group holds, for **one partition ID**, the tuples of
+//! *every* input stream, each side hash-indexed on its join column. This
+//! is the paper's adaptation unit (§2, Figure 3(b)): grouping all inputs'
+//! partitions together keeps joins local to one machine after relocation
+//! and lets whole groups spill without timestamp bookkeeping — all
+//! results among co-resident tuples are produced symmetrically at
+//! insertion time, so a spilled group owes nothing internally.
+//!
+//! Insertion implements the symmetric hash join step: probe the other
+//! streams' indexes with the new tuple's join key, emit the full
+//! cartesian combination of matches, then index the tuple.
+
+use dcape_common::error::{DcapeError, Result};
+use dcape_common::hash::FxHashMap;
+use dcape_common::ids::PartitionId;
+use dcape_common::mem::HeapSize;
+use dcape_common::time::{VirtualDuration, VirtualTime};
+use dcape_common::tuple::Tuple;
+use dcape_common::value::Value;
+use dcape_storage::SpilledGroup;
+
+use crate::sink::ResultSink;
+use crate::state::productivity::DecayState;
+
+/// Estimated per-tuple bookkeeping bytes beyond the tuple itself
+/// (vector slot + hash-index entry share).
+pub const PER_TUPLE_OVERHEAD: usize = 24;
+
+#[derive(Debug, Default)]
+struct StreamPartition {
+    tuples: Vec<Tuple>,
+    /// join key -> positions in `tuples`.
+    index: FxHashMap<Value, Vec<u32>>,
+}
+
+impl StreamPartition {
+    fn insert(&mut self, key: Value, tuple: Tuple) {
+        let pos = self.tuples.len() as u32;
+        self.tuples.push(tuple);
+        self.index.entry(key).or_default().push(pos);
+    }
+
+    fn matches(&self, key: &Value) -> &[u32] {
+        self.index.get(key).map_or(&[], Vec::as_slice)
+    }
+}
+
+/// In-memory join state for one partition ID across all input streams.
+#[derive(Debug)]
+pub struct PartitionGroup {
+    pid: PartitionId,
+    streams: Vec<StreamPartition>,
+    join_columns: Vec<usize>,
+    window: Option<VirtualDuration>,
+    bytes: usize,
+    output_count: u64,
+    decay: DecayState,
+}
+
+impl PartitionGroup {
+    /// New empty group. `join_columns[s]` is the join-column index of
+    /// stream `s`; `window` enables sliding-window semantics.
+    pub fn new(
+        pid: PartitionId,
+        join_columns: Vec<usize>,
+        window: Option<VirtualDuration>,
+    ) -> Self {
+        let n = join_columns.len();
+        PartitionGroup {
+            pid,
+            streams: (0..n).map(|_| StreamPartition::default()).collect(),
+            join_columns,
+            window,
+            bytes: 0,
+            output_count: 0,
+            decay: DecayState::default(),
+        }
+    }
+
+    /// Fold the current sampling window into the group's decayed
+    /// productivity estimate (used with
+    /// [`ProductivityEstimator::Decaying`](crate::state::productivity::ProductivityEstimator)).
+    pub fn close_productivity_window(&mut self, alpha: f64) {
+        self.decay.close_window(alpha, self.bytes);
+    }
+
+    /// The decayed productivity estimate, if any window has closed yet.
+    pub fn decayed_productivity(&self) -> Option<f64> {
+        self.decay.initialized.then_some(self.decay.ewma)
+    }
+
+    /// The group's partition ID.
+    pub fn pid(&self) -> PartitionId {
+        self.pid
+    }
+
+    /// Accounted state bytes (`P_size`).
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Results generated from this group so far (`P_output`).
+    pub fn output_count(&self) -> u64 {
+        self.output_count
+    }
+
+    /// The paper's productivity metric `P_output / P_size`.
+    pub fn productivity(&self) -> f64 {
+        self.output_count as f64 / self.bytes.max(1) as f64
+    }
+
+    /// Total tuples across all streams.
+    pub fn tuple_count(&self) -> usize {
+        self.streams.iter().map(|s| s.tuples.len()).sum()
+    }
+
+    /// True if no tuples are stored.
+    pub fn is_empty(&self) -> bool {
+        self.streams.iter().all(|s| s.tuples.is_empty())
+    }
+
+    /// Symmetric-hash-join step: emit all new results formed with
+    /// `tuple` (one per combination of matching tuples in every other
+    /// stream), then store and index the tuple. Returns the number of
+    /// results emitted and the bytes newly accounted.
+    pub fn insert(&mut self, tuple: Tuple, sink: &mut dyn ResultSink) -> Result<(u64, usize)> {
+        let s = tuple.stream().index();
+        if s >= self.streams.len() {
+            return Err(DcapeError::state(format!(
+                "stream {} out of range for {}-way join",
+                tuple.stream(),
+                self.streams.len()
+            )));
+        }
+        let key = tuple
+            .get(self.join_columns[s])
+            .ok_or_else(|| DcapeError::state("tuple lacks join column"))?
+            .clone();
+
+        // Probe every other stream; bail early on any empty side.
+        let mut emitted = 0u64;
+        let m = self.streams.len();
+        let mut other_lists: Vec<(usize, &[u32])> = Vec::with_capacity(m - 1);
+        let mut have_all = true;
+        for (i, sp) in self.streams.iter().enumerate() {
+            if i == s {
+                continue;
+            }
+            let list = sp.matches(&key);
+            if list.is_empty() {
+                have_all = false;
+                break;
+            }
+            other_lists.push((i, list));
+        }
+
+        if have_all && m >= 2 {
+            // Odometer over the other streams' match lists.
+            let mut counters = vec![0usize; other_lists.len()];
+            let mut parts: Vec<&Tuple> = vec![&tuple; m];
+            'outer: loop {
+                for (slot, &(stream_idx, list)) in other_lists.iter().enumerate() {
+                    parts[stream_idx] =
+                        &self.streams[stream_idx].tuples[list[counters[slot]] as usize];
+                }
+                parts[s] = &tuple;
+                if within_window(self.window, &parts) {
+                    sink.emit(&parts);
+                    emitted += 1;
+                }
+                // Advance odometer.
+                for slot in (0..counters.len()).rev() {
+                    counters[slot] += 1;
+                    if counters[slot] < other_lists[slot].1.len() {
+                        continue 'outer;
+                    }
+                    counters[slot] = 0;
+                }
+                break;
+            }
+        }
+        drop(other_lists);
+
+        let added = tuple.heap_size() + PER_TUPLE_OVERHEAD;
+        self.streams[s].insert(key, tuple);
+        self.bytes += added;
+        self.output_count += emitted;
+        self.decay.window_output += emitted;
+        Ok((emitted, added))
+    }
+
+    /// Drop every tuple whose window has fully expired at `now`
+    /// (i.e. it can no longer join with any future arrival), rebuilding
+    /// the per-stream indexes. Returns the accounted bytes freed.
+    /// No-op for unwindowed groups.
+    pub fn purge_expired(&mut self, now: VirtualTime) -> usize {
+        let Some(window) = self.window else {
+            return 0;
+        };
+        let cutoff = VirtualTime::from_millis(now.as_millis().saturating_sub(window.as_millis()));
+        let mut freed = 0usize;
+        for (stream_index, sp) in self.streams.iter_mut().enumerate() {
+            if sp.tuples.iter().all(|t| t.ts() >= cutoff) {
+                continue;
+            }
+            let old = std::mem::take(&mut sp.tuples);
+            sp.index.clear();
+            let column = self.join_columns[stream_index];
+            for t in old {
+                if t.ts() >= cutoff {
+                    let key = t.get(column).expect("validated at insert").clone();
+                    sp.insert(key, t);
+                } else {
+                    freed += t.heap_size() + PER_TUPLE_OVERHEAD;
+                }
+            }
+        }
+        self.bytes -= freed;
+        freed
+    }
+
+    /// Consume the group into a serializable snapshot plus its output
+    /// count (relocation carries the count; spill discards it because a
+    /// fresh group restarts its productivity history).
+    pub fn into_snapshot(self) -> (SpilledGroup, u64) {
+        let per_stream = self.streams.into_iter().map(|s| s.tuples).collect();
+        (
+            SpilledGroup {
+                partition: self.pid,
+                per_stream,
+            },
+            self.output_count,
+        )
+    }
+
+    /// Rebuild a group from a snapshot (relocation receive / tests),
+    /// restoring indexes, byte accounting, and the carried output count.
+    pub fn from_snapshot(
+        snapshot: SpilledGroup,
+        join_columns: Vec<usize>,
+        window: Option<VirtualDuration>,
+        output_count: u64,
+    ) -> Result<Self> {
+        if snapshot.per_stream.len() != join_columns.len() {
+            return Err(DcapeError::state(format!(
+                "snapshot has {} streams, join configured for {}",
+                snapshot.per_stream.len(),
+                join_columns.len()
+            )));
+        }
+        let mut group = PartitionGroup::new(snapshot.partition, join_columns, window);
+        for (s, tuples) in snapshot.per_stream.into_iter().enumerate() {
+            for t in tuples {
+                let key = t
+                    .get(group.join_columns[s])
+                    .ok_or_else(|| DcapeError::state("snapshot tuple lacks join column"))?
+                    .clone();
+                group.bytes += t.heap_size() + PER_TUPLE_OVERHEAD;
+                group.streams[s].insert(key, t);
+            }
+        }
+        group.output_count = output_count;
+        Ok(group)
+    }
+
+    /// Clone the group's content as a snapshot without consuming it
+    /// (used by tests and the drift checker).
+    pub fn snapshot(&self) -> SpilledGroup {
+        SpilledGroup {
+            partition: self.pid,
+            per_stream: self.streams.iter().map(|s| s.tuples.clone()).collect(),
+        }
+    }
+
+    /// Recompute accounted bytes from scratch (drift detection).
+    pub fn recompute_bytes(&self) -> usize {
+        self.streams
+            .iter()
+            .flat_map(|s| s.tuples.iter())
+            .map(|t| t.heap_size() + PER_TUPLE_OVERHEAD)
+            .sum()
+    }
+}
+
+/// True when all parts' timestamps fit within the window span (or no
+/// window is configured).
+#[inline]
+pub(crate) fn within_window(window: Option<VirtualDuration>, parts: &[&Tuple]) -> bool {
+    let Some(window) = window else {
+        return true;
+    };
+    let (mut min, mut max) = (u64::MAX, 0u64);
+    for t in parts {
+        let ms = t.ts().as_millis();
+        min = min.min(ms);
+        max = max.max(ms);
+    }
+    max - min <= window.as_millis()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::{CollectingSink, CountingSink};
+    use dcape_common::ids::StreamId;
+    use dcape_common::time::VirtualTime;
+    use dcape_common::tuple::TupleBuilder;
+
+    fn tpl(stream: u8, seq: u64, key: i64) -> Tuple {
+        TupleBuilder::new(StreamId(stream))
+            .seq(seq)
+            .ts(VirtualTime::from_millis(seq))
+            .value(key)
+            .build()
+    }
+
+    fn group3() -> PartitionGroup {
+        PartitionGroup::new(PartitionId(0), vec![0, 0, 0], None)
+    }
+
+    #[test]
+    fn three_way_join_produces_cartesian_results() {
+        let mut g = group3();
+        let mut sink = CollectingSink::new();
+        // 2 tuples on stream 0, 2 on stream 1, then 1 on stream 2: the
+        // stream-2 insert sees 2x2 combinations.
+        g.insert(tpl(0, 0, 7), &mut sink).unwrap();
+        g.insert(tpl(0, 1, 7), &mut sink).unwrap();
+        g.insert(tpl(1, 0, 7), &mut sink).unwrap();
+        g.insert(tpl(1, 1, 7), &mut sink).unwrap();
+        assert!(sink.is_empty(), "no stream-2 tuple yet, no results");
+        let (n, _) = g.insert(tpl(2, 0, 7), &mut sink).unwrap();
+        assert_eq!(n, 4);
+        assert_eq!(sink.len(), 4);
+        assert_eq!(g.output_count(), 4);
+        // Every result has one tuple per stream, in stream order.
+        for r in sink.results() {
+            assert_eq!(r.len(), 3);
+            for (s, t) in r.iter().enumerate() {
+                assert_eq!(t.stream().index(), s);
+            }
+        }
+    }
+
+    #[test]
+    fn results_match_multiplicity_cube() {
+        // f tuples per stream with one shared key => f^3 total results.
+        let f = 4u64;
+        let mut g = group3();
+        let mut sink = CountingSink::new();
+        for rep in 0..f {
+            for s in 0..3u8 {
+                g.insert(tpl(s, rep, 1), &mut sink).unwrap();
+            }
+        }
+        assert_eq!(sink.count(), f * f * f);
+        assert_eq!(g.output_count(), f * f * f);
+        assert_eq!(g.tuple_count(), (3 * f) as usize);
+    }
+
+    #[test]
+    fn different_keys_do_not_join() {
+        let mut g = group3();
+        let mut sink = CountingSink::new();
+        g.insert(tpl(0, 0, 1), &mut sink).unwrap();
+        g.insert(tpl(1, 0, 2), &mut sink).unwrap();
+        g.insert(tpl(2, 0, 3), &mut sink).unwrap();
+        assert_eq!(sink.count(), 0);
+        assert_eq!(g.productivity(), 0.0);
+    }
+
+    #[test]
+    fn two_way_join_works() {
+        let mut g = PartitionGroup::new(PartitionId(1), vec![0, 0], None);
+        let mut sink = CountingSink::new();
+        g.insert(tpl(0, 0, 5), &mut sink).unwrap();
+        g.insert(tpl(1, 0, 5), &mut sink).unwrap();
+        g.insert(tpl(1, 1, 5), &mut sink).unwrap();
+        assert_eq!(sink.count(), 2);
+    }
+
+    #[test]
+    fn bytes_accounting_matches_recompute() {
+        let mut g = group3();
+        let mut sink = CountingSink::new();
+        for s in 0..3u8 {
+            for i in 0..10 {
+                g.insert(tpl(s, i, (i % 3) as i64), &mut sink).unwrap();
+            }
+        }
+        assert_eq!(g.bytes(), g.recompute_bytes());
+        assert!(g.bytes() > 0);
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_state_and_stats() {
+        let mut g = group3();
+        let mut sink = CountingSink::new();
+        for s in 0..3u8 {
+            for i in 0..5 {
+                g.insert(tpl(s, i, 1), &mut sink).unwrap();
+            }
+        }
+        let bytes_before = g.bytes();
+        let output_before = g.output_count();
+        let (snap, carried) = g.into_snapshot();
+        assert_eq!(carried, output_before);
+        let g2 = PartitionGroup::from_snapshot(snap, vec![0, 0, 0], None, carried).unwrap();
+        assert_eq!(g2.bytes(), bytes_before);
+        assert_eq!(g2.output_count(), output_before);
+        // Restored group continues joining correctly.
+        let mut g2 = g2;
+        let mut sink2 = CountingSink::new();
+        g2.insert(tpl(0, 99, 1), &mut sink2).unwrap();
+        // 5 on stream 1 x 5 on stream 2.
+        assert_eq!(sink2.count(), 25);
+    }
+
+    #[test]
+    fn from_snapshot_validates_stream_count() {
+        let snap = SpilledGroup::empty(PartitionId(0), 2);
+        assert!(PartitionGroup::from_snapshot(snap, vec![0, 0, 0], None, 0).is_err());
+    }
+
+    #[test]
+    fn insert_rejects_out_of_range_stream() {
+        let mut g = group3();
+        let mut sink = CountingSink::new();
+        assert!(g.insert(tpl(7, 0, 1), &mut sink).is_err());
+    }
+
+    #[test]
+    fn insert_rejects_missing_join_column() {
+        let mut g = PartitionGroup::new(PartitionId(0), vec![2, 2, 2], None);
+        let mut sink = CountingSink::new();
+        // Tuple has only one column; join column 2 is missing.
+        assert!(g.insert(tpl(0, 0, 1), &mut sink).is_err());
+    }
+
+    #[test]
+    fn productivity_reflects_output_per_byte() {
+        let mut hot = group3();
+        let mut cold = group3();
+        let mut sink = CountingSink::new();
+        for s in 0..3u8 {
+            for i in 0..6 {
+                hot.insert(tpl(s, i, 1), &mut sink).unwrap(); // all same key
+                cold.insert(tpl(s, i, i as i64 * 3 + s as i64), &mut sink).unwrap(); // no joins
+            }
+        }
+        assert!(hot.productivity() > cold.productivity());
+        assert_eq!(cold.output_count(), 0);
+    }
+}

@@ -1,0 +1,74 @@
+//! Statistics reported by each query engine to the global coordinator.
+//!
+//! §2/§4: "the global coordinator only requires to collect very
+//! light-weight running statistics, such as main memory usage" — the
+//! report deliberately contains only scalars (no per-partition detail),
+//! which is what keeps the coordinator scalable. The per-partition
+//! ranking happens locally.
+
+use dcape_common::ids::EngineId;
+use dcape_common::time::VirtualTime;
+
+/// One engine's periodic report to the global coordinator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineStatsReport {
+    /// Reporting engine.
+    pub engine: EngineId,
+    /// Virtual time of the snapshot.
+    pub at: VirtualTime,
+    /// Accounted state bytes in memory (the coordinator's `load`).
+    pub memory_used: u64,
+    /// The engine's memory budget.
+    pub memory_budget: u64,
+    /// Resident partition groups.
+    pub num_groups: usize,
+    /// Results produced since the previous report (sampling window).
+    pub window_output: u64,
+    /// Cumulative results produced.
+    pub total_output: u64,
+    /// Average productivity rate `R` = window_output / num_groups
+    /// (§5.3, drives the active-disk strategy).
+    pub avg_productivity_rate: f64,
+    /// Accounted state bytes currently spilled on this engine's disk.
+    pub spilled_bytes: u64,
+    /// Spill operations performed so far.
+    pub spill_count: u64,
+}
+
+impl EngineStatsReport {
+    /// Memory utilization fraction.
+    pub fn utilization(&self) -> f64 {
+        if self.memory_budget == 0 {
+            0.0
+        } else {
+            self.memory_used as f64 / self.memory_budget as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_math() {
+        let r = EngineStatsReport {
+            engine: EngineId(0),
+            at: VirtualTime::ZERO,
+            memory_used: 50,
+            memory_budget: 200,
+            num_groups: 3,
+            window_output: 10,
+            total_output: 100,
+            avg_productivity_rate: 3.33,
+            spilled_bytes: 0,
+            spill_count: 0,
+        };
+        assert!((r.utilization() - 0.25).abs() < 1e-12);
+        let z = EngineStatsReport {
+            memory_budget: 0,
+            ..r
+        };
+        assert_eq!(z.utilization(), 0.0);
+    }
+}

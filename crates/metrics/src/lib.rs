@@ -1,0 +1,15 @@
+//! # dcape-metrics
+//!
+//! Experiment instrumentation: named time series over virtual time, a
+//! recorder shared by drivers, and plain-text/CSV reporting used by the
+//! `repro` harness to regenerate the paper's figures and tables.
+
+pub mod recorder;
+pub mod report;
+pub mod series;
+pub mod summary;
+
+pub use recorder::Recorder;
+pub use report::{render_series_table, Table};
+pub use series::TimeSeries;
+pub use summary::Summary;

@@ -1,0 +1,112 @@
+//! Named-series recorder.
+
+use std::collections::BTreeMap;
+
+use dcape_common::time::VirtualTime;
+
+use crate::series::TimeSeries;
+
+/// A collection of named time series populated by an experiment driver.
+///
+/// Series names are free-form; the repro harness uses conventions like
+/// `"throughput/k=30"` or `"mem/QE1"` and groups by prefix when
+/// rendering.
+#[derive(Debug, Default, Clone)]
+pub struct Recorder {
+    series: BTreeMap<String, TimeSeries>,
+}
+
+impl Recorder {
+    /// New empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a sample to the named series, creating it on first use.
+    pub fn record(&mut self, name: &str, t: VirtualTime, v: f64) {
+        self.series.entry(name.to_owned()).or_default().push(t, v);
+    }
+
+    /// Fetch a series by exact name.
+    pub fn series(&self, name: &str) -> Option<&TimeSeries> {
+        self.series.get(name)
+    }
+
+    /// All series names (sorted — BTreeMap order).
+    pub fn names(&self) -> Vec<&str> {
+        self.series.keys().map(String::as_str).collect()
+    }
+
+    /// All series whose name starts with `prefix`, sorted by name.
+    pub fn with_prefix(&self, prefix: &str) -> Vec<(&str, &TimeSeries)> {
+        self.series
+            .range(prefix.to_owned()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.as_str(), v))
+            .collect()
+    }
+
+    /// Merge another recorder's series into this one (names must not
+    /// collide — experiment runs use distinct prefixes).
+    pub fn merge(&mut self, other: Recorder) {
+        for (name, series) in other.series {
+            assert!(
+                !self.series.contains_key(&name),
+                "series name collision: {name}"
+            );
+            self.series.insert(name, series);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> VirtualTime {
+        VirtualTime::from_millis(ms)
+    }
+
+    #[test]
+    fn record_and_fetch() {
+        let mut r = Recorder::new();
+        r.record("throughput/k=10", t(0), 1.0);
+        r.record("throughput/k=10", t(10), 2.0);
+        r.record("mem/QE0", t(0), 100.0);
+        assert_eq!(r.series("throughput/k=10").unwrap().len(), 2);
+        assert!(r.series("nope").is_none());
+        assert_eq!(r.names(), vec!["mem/QE0", "throughput/k=10"]);
+    }
+
+    #[test]
+    fn prefix_grouping() {
+        let mut r = Recorder::new();
+        r.record("mem/QE0", t(0), 1.0);
+        r.record("mem/QE1", t(0), 2.0);
+        r.record("out/QE0", t(0), 3.0);
+        let mems = r.with_prefix("mem/");
+        assert_eq!(mems.len(), 2);
+        assert_eq!(mems[0].0, "mem/QE0");
+        assert_eq!(mems[1].0, "mem/QE1");
+    }
+
+    #[test]
+    fn merge_disjoint() {
+        let mut a = Recorder::new();
+        a.record("x", t(0), 1.0);
+        let mut b = Recorder::new();
+        b.record("y", t(0), 2.0);
+        a.merge(b);
+        assert_eq!(a.names(), vec!["x", "y"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "collision")]
+    fn merge_collision_panics() {
+        let mut a = Recorder::new();
+        a.record("x", t(0), 1.0);
+        let mut b = Recorder::new();
+        b.record("x", t(0), 2.0);
+        a.merge(b);
+    }
+}

@@ -1,0 +1,185 @@
+//! Plain-text tables and CSV output for experiment reports.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+use dcape_common::time::VirtualDuration;
+
+use crate::series::TimeSeries;
+
+/// A simple column-aligned text table.
+#[derive(Debug, Default, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (cells are stringified by the caller).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self
+            .header
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        let consider = |widths: &mut Vec<usize>, row: &[String]| {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        };
+        consider(&mut widths, &self.header);
+        for r in &self.rows {
+            consider(&mut widths, r);
+        }
+        let mut out = String::new();
+        let render_row = |out: &mut String, row: &[String]| {
+            for (i, w) in widths.iter().enumerate() {
+                let cell = row.get(i).map(String::as_str).unwrap_or("");
+                let _ = write!(out, "{cell:>w$}  ", w = w);
+            }
+            out.truncate(out.trim_end().len());
+            out.push('\n');
+        };
+        render_row(&mut out, &self.header);
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        render_row(&mut out, &sep);
+        for r in &self.rows {
+            render_row(&mut out, r);
+        }
+        out
+    }
+
+    /// Write as CSV to `path`.
+    pub fn write_csv(&self, path: &Path) -> io::Result<()> {
+        let mut s = String::new();
+        let esc = |cell: &str| {
+            if cell.contains([',', '"', '\n']) {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let line = |s: &mut String, row: &[String]| {
+            let cells: Vec<String> = row.iter().map(|c| esc(c)).collect();
+            s.push_str(&cells.join(","));
+            s.push('\n');
+        };
+        line(&mut s, &self.header);
+        for r in &self.rows {
+            line(&mut s, r);
+        }
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, s)
+    }
+}
+
+/// Render several series side by side, resampled at `step`: the first
+/// column is time in minutes, then one column per series.
+pub fn render_series_table(
+    series: &[(&str, &TimeSeries)],
+    step: VirtualDuration,
+) -> Table {
+    let mut header = vec!["t(min)"];
+    header.extend(series.iter().map(|(n, _)| *n));
+    let mut table = Table::new(&header);
+    let end = series
+        .iter()
+        .filter_map(|(_, s)| s.last().map(|(t, _)| t))
+        .max();
+    let Some(end) = end else {
+        return table;
+    };
+    let mut t = dcape_common::time::VirtualTime::ZERO;
+    while t <= end {
+        let mut row = vec![format!("{:.1}", t.as_mins_f64())];
+        for (_, s) in series {
+            row.push(match s.value_at(t) {
+                Some(v) => format!("{v:.0}"),
+                None => "0".to_string(),
+            });
+        }
+        table.row(row);
+        t += step;
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcape_common::time::VirtualTime;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["long-name".into(), "22".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[1].starts_with("----"));
+        assert!(lines[3].contains("long-name"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_escapes_and_writes() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["x,y".into(), "q\"z".into()]);
+        let path = std::env::temp_dir().join(format!("dcape-csv-{}.csv", std::process::id()));
+        t.write_csv(&path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("\"x,y\""));
+        assert!(content.contains("\"q\"\"z\""));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn series_table_resamples() {
+        let mut s1 = TimeSeries::new();
+        s1.push(VirtualTime::from_mins(0), 10.0);
+        s1.push(VirtualTime::from_mins(2), 20.0);
+        let mut s2 = TimeSeries::new();
+        s2.push(VirtualTime::from_mins(1), 5.0);
+        let t = render_series_table(&[("a", &s1), ("b", &s2)], VirtualDuration::from_mins(1));
+        let rendered = t.render();
+        assert!(rendered.contains("t(min)"));
+        assert_eq!(t.len(), 3); // minutes 0, 1, 2
+        assert!(rendered.contains("20"));
+    }
+
+    #[test]
+    fn empty_series_table() {
+        let t = render_series_table(&[], VirtualDuration::from_mins(1));
+        assert!(t.is_empty());
+    }
+}

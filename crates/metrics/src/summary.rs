@@ -1,0 +1,100 @@
+//! Scalar summaries over sample sets (relocation sizes, buffered-tuple
+//! counts, per-engine costs).
+
+/// Count / mean / min / median / p95 / max of a sample set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean (0 when empty).
+    pub mean: f64,
+    /// Minimum (0 when empty).
+    pub min: f64,
+    /// Median (0 when empty).
+    pub median: f64,
+    /// 95th percentile, nearest-rank (0 when empty).
+    pub p95: f64,
+    /// Maximum (0 when empty).
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarize a sample set (non-finite values are ignored).
+    pub fn of(values: impl IntoIterator<Item = f64>) -> Summary {
+        let mut v: Vec<f64> = values.into_iter().filter(|x| x.is_finite()).collect();
+        if v.is_empty() {
+            return Summary {
+                count: 0,
+                mean: 0.0,
+                min: 0.0,
+                median: 0.0,
+                p95: 0.0,
+                max: 0.0,
+            };
+        }
+        v.sort_by(|a, b| a.partial_cmp(b).expect("filtered to finite"));
+        let count = v.len();
+        let mean = v.iter().sum::<f64>() / count as f64;
+        let rank = |q: f64| -> f64 {
+            // Nearest-rank percentile.
+            let idx = ((q * count as f64).ceil() as usize).clamp(1, count) - 1;
+            v[idx]
+        };
+        Summary {
+            count,
+            mean,
+            min: v[0],
+            median: rank(0.5),
+            p95: rank(0.95),
+            max: v[count - 1],
+        }
+    }
+
+    /// Render as a compact one-line string.
+    pub fn render(&self) -> String {
+        format!(
+            "n={} mean={:.1} min={:.1} p50={:.1} p95={:.1} max={:.1}",
+            self.count, self.mean, self.min, self.median, self.p95, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summarizes_known_set() {
+        let s = Summary::of((1..=100).map(|i| i as f64));
+        assert_eq!(s.count, 100);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.median, 50.0);
+        assert_eq!(s.p95, 95.0);
+        assert_eq!(s.max, 100.0);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let e = Summary::of(std::iter::empty());
+        assert_eq!(e.count, 0);
+        assert_eq!(e.max, 0.0);
+        let s = Summary::of([7.0]);
+        assert_eq!((s.count, s.min, s.median, s.p95, s.max), (1, 7.0, 7.0, 7.0, 7.0));
+    }
+
+    #[test]
+    fn ignores_non_finite() {
+        let s = Summary::of([1.0, f64::NAN, 3.0, f64::INFINITY]);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.max, 3.0);
+    }
+
+    #[test]
+    fn render_is_compact() {
+        let s = Summary::of([1.0, 2.0]);
+        let r = s.render();
+        assert!(r.contains("n=2"));
+        assert!(r.contains("mean=1.5"));
+    }
+}

@@ -1,0 +1,43 @@
+//! Figure-level benchmarks: each paper experiment in its fast
+//! configuration, timed end to end. These make regressions in the
+//! adaptation machinery visible as experiment-level slowdowns, and
+//! `cargo bench` doubles as a smoke-run of every figure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dcape_repro::experiments::{fig05_06, fig07, fig09_10, fig11, fig12, fig13_14};
+use dcape_repro::RunOpts;
+
+fn opts() -> RunOpts {
+    RunOpts::fast_quiet()
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("fig05_06_k_sweep", |b| {
+        b.iter(|| fig05_06::run(&opts()).unwrap())
+    });
+    group.bench_function("fig07_spill_policies", |b| {
+        b.iter(|| fig07::run(&opts()).unwrap())
+    });
+    group.bench_function("fig09_10_relocation_thresholds", |b| {
+        b.iter(|| fig09_10::run(&opts()).unwrap())
+    });
+    group.bench_function("fig11_relocation_vs_spill", |b| {
+        b.iter(|| fig11::run(&opts()).unwrap())
+    });
+    group.bench_function("fig12_lazy_vs_none", |b| {
+        b.iter(|| fig12::run(&opts()).unwrap())
+    });
+    group.bench_function("fig13_lazy_vs_active", |b| {
+        b.iter(|| fig13_14::run_fig13(&opts()).unwrap())
+    });
+    group.bench_function("fig14_widened_gap", |b| {
+        b.iter(|| fig13_14::run_fig14(&opts()).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(figures, bench_figures);
+criterion_main!(figures);

@@ -1,0 +1,281 @@
+//! Micro-benchmarks of the core building blocks: symmetric join
+//! insert/probe, tuple codec, spill round-trips, victim selection,
+//! cleanup merging, routing, and stream generation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use dcape_common::ids::{EngineId, PartitionId, StreamId};
+use dcape_common::mem::MemoryTracker;
+use dcape_common::time::{VirtualDuration, VirtualTime};
+use dcape_common::tuple::{Tuple, TupleBuilder};
+use dcape_engine::config::MJoinConfig;
+use dcape_engine::operators::mjoin::MJoinOperator;
+use dcape_engine::sink::CountingSink;
+use dcape_engine::spill::cleanup::merge_segments;
+use dcape_engine::state::productivity::GroupStats;
+use dcape_engine::VictimPolicy;
+use dcape_storage::{SpillStore, SpilledGroup};
+use dcape_streamgen::{StreamSetGenerator, StreamSetSpec};
+
+fn tpl(stream: u8, seq: u64, key: i64, pad: u32) -> Tuple {
+    TupleBuilder::new(StreamId(stream))
+        .seq(seq)
+        .ts(VirtualTime::from_millis(seq))
+        .value(key)
+        .pad(pad)
+        .build()
+}
+
+/// Symmetric m-way hash join: insert throughput at different join
+/// multiplicities (matches per probe).
+fn bench_join_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("join/insert");
+    for &multiplicity in &[1u64, 4, 16] {
+        group.throughput(Throughput::Elements(3000));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(multiplicity),
+            &multiplicity,
+            |b, &m| {
+                b.iter(|| {
+                    let mut op = MJoinOperator::new(
+                        MJoinConfig::same_column(3, 0),
+                        MemoryTracker::new(u64::MAX),
+                    )
+                    .unwrap();
+                    let mut sink = CountingSink::new();
+                    for seq in 0..1000u64 {
+                        for s in 0..3u8 {
+                            let key = (seq / m) as i64;
+                            op.process(PartitionId((key % 8) as u32), tpl(s, seq, key, 0), &mut sink)
+                                .unwrap();
+                        }
+                    }
+                    black_box(sink.count())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Tuple codec round-trip.
+fn bench_codec(c: &mut Criterion) {
+    use dcape_storage::codec::{decode_tuple, encode_tuple};
+    let tuple = tpl(1, 123456, 987654, 512);
+    c.bench_function("codec/encode_decode_tuple", |b| {
+        b.iter(|| {
+            let mut buf = bytes::BytesMut::with_capacity(64);
+            encode_tuple(&mut buf, black_box(&tuple));
+            let mut bytes = buf.freeze();
+            black_box(decode_tuple(&mut bytes).unwrap())
+        });
+    });
+}
+
+fn group_with(tuples_per_stream: u64, pad: u32) -> SpilledGroup {
+    let mut g = SpilledGroup::empty(PartitionId(0), 3);
+    for s in 0..3u8 {
+        for i in 0..tuples_per_stream {
+            g.per_stream[s as usize].push(tpl(s, i, i as i64 % 50, pad));
+        }
+    }
+    g
+}
+
+/// Spill store round-trip (in-memory backend; file backend separately).
+fn bench_spill_store(c: &mut Criterion) {
+    let g = group_with(500, 256);
+    c.bench_function("spill/mem_roundtrip_1500_tuples", |b| {
+        b.iter(|| {
+            let mut store = SpillStore::in_memory();
+            store.spill_group(black_box(&g)).unwrap();
+            black_box(store.take_segments(PartitionId(0)).unwrap())
+        });
+    });
+    let dir = std::env::temp_dir().join("dcape-bench-spill");
+    c.bench_function("spill/file_roundtrip_1500_tuples", |b| {
+        b.iter(|| {
+            let backend = dcape_storage::FileBackend::new(&dir).unwrap();
+            let mut store = SpillStore::new(Box::new(backend));
+            store.spill_group(black_box(&g)).unwrap();
+            black_box(store.take_segments(PartitionId(0)).unwrap())
+        });
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Victim selection over 1 000 candidate groups.
+fn bench_victim_selection(c: &mut Criterion) {
+    let stats: Vec<GroupStats> = (0..1000u32)
+        .map(|i| GroupStats::new(PartitionId(i), (i as usize % 97) * 1000 + 100, (i as u64 * 37) % 5000))
+        .collect();
+    let mut group = c.benchmark_group("policy/select_1000_groups");
+    for policy in [
+        VictimPolicy::LeastProductive,
+        VictimPolicy::LargestFirst,
+        VictimPolicy::Random,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{policy:?}")),
+            &policy,
+            |b, p| {
+                let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(7);
+                b.iter(|| black_box(p.select_victims(stats.clone(), 5_000_000, &mut rng)));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Cleanup merging at different segment counts.
+fn bench_cleanup_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cleanup/merge");
+    for &segments in &[2usize, 4, 8] {
+        let slices: Vec<SpilledGroup> = (0..segments).map(|_| group_with(100, 0)).collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(segments),
+            &slices,
+            |b, slices| {
+                b.iter(|| {
+                    let mut sink = CountingSink::new();
+                    merge_segments(&[0, 0, 0], black_box(slices.clone()), &mut sink).unwrap();
+                    black_box(sink.count())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Stream generation throughput.
+fn bench_generator(c: &mut Criterion) {
+    let spec = StreamSetSpec::uniform(120, 30_000, 3, VirtualDuration::from_millis(30))
+        .with_payload_pad(1024);
+    c.bench_function("streamgen/10k_ticks", |b| {
+        b.iter(|| {
+            let mut gen = StreamSetGenerator::new(spec.clone()).unwrap();
+            black_box(gen.generate_ticks(10_000).len())
+        });
+    });
+}
+
+/// Relocation extract + install between two engines.
+fn bench_relocation_transfer(c: &mut Criterion) {
+    use dcape_engine::config::EngineConfig;
+    use dcape_engine::engine::QueryEngine;
+    c.bench_function("relocation/extract_install_8_groups", |b| {
+        b.iter_batched(
+            || {
+                let mut a = QueryEngine::in_memory(
+                    EngineId(0),
+                    EngineConfig::three_way(u64::MAX / 4, u64::MAX / 8),
+                )
+                .unwrap();
+                let mut sink = CountingSink::new();
+                for seq in 0..2000u64 {
+                    for s in 0..3u8 {
+                        let key = (seq % 200) as i64;
+                        a.process(PartitionId((key % 8) as u32), tpl(s, seq, key, 128), &mut sink)
+                            .unwrap();
+                    }
+                }
+                let b_engine = QueryEngine::in_memory(
+                    EngineId(1),
+                    EngineConfig::three_way(u64::MAX / 4, u64::MAX / 8),
+                )
+                .unwrap();
+                (a, b_engine)
+            },
+            |(mut a, mut b_engine)| {
+                let parts = a.select_parts_to_move(u64::MAX / 2);
+                let groups = a.extract_groups(&parts);
+                b_engine.install_groups(groups).unwrap();
+                black_box(b_engine.join().group_count())
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+}
+
+/// Windowed insert: the per-emission window check plus periodic purge.
+fn bench_windowed_insert(c: &mut Criterion) {
+    use dcape_common::time::VirtualDuration;
+    use dcape_engine::config::MJoinConfig;
+    c.bench_function("join/windowed_insert_3000", |b| {
+        b.iter(|| {
+            let cfg = MJoinConfig::same_column(3, 0)
+                .with_window(VirtualDuration::from_millis(500));
+            let mut op = MJoinOperator::new(cfg, MemoryTracker::new(u64::MAX)).unwrap();
+            let mut sink = CountingSink::new();
+            let skip = dcape_common::hash::FxHashSet::default();
+            for seq in 0..1000u64 {
+                for s in 0..3u8 {
+                    let key = (seq % 40) as i64;
+                    let mut t = TupleBuilder::new(StreamId(s)).seq(seq).value(key);
+                    t = t.ts(VirtualTime::from_millis(seq * 10));
+                    op.process(PartitionId((key % 8) as u32), t.build(), &mut sink)
+                        .unwrap();
+                }
+                if seq % 100 == 0 {
+                    op.purge_expired(VirtualTime::from_millis(seq * 10), &skip);
+                }
+            }
+            black_box(sink.count())
+        });
+    });
+}
+
+/// Trace record + replay throughput.
+fn bench_trace_io(c: &mut Criterion) {
+    use dcape_storage::{TraceReader, TraceWriter};
+    let tuples: Vec<Tuple> = (0..2000u64).map(|i| tpl((i % 3) as u8, i, i as i64 % 50, 64)).collect();
+    let path = std::env::temp_dir().join("dcape-bench-trace");
+    c.bench_function("trace/record_replay_2000", |b| {
+        b.iter(|| {
+            let mut w = TraceWriter::create(&path).unwrap();
+            for t in &tuples {
+                w.write(t).unwrap();
+            }
+            w.finish().unwrap();
+            let n = TraceReader::open(&path).unwrap().count();
+            black_box(n)
+        });
+    });
+    let _ = std::fs::remove_file(&path);
+}
+
+/// The per-input (XJoin-style) join baseline, for comparison with
+/// `join/insert`.
+fn bench_per_input_join(c: &mut Criterion) {
+    use dcape_engine::spill::per_input::PerInputJoin;
+    c.bench_function("join/per_input_insert_3000", |b| {
+        b.iter(|| {
+            let mut j =
+                PerInputJoin::new(vec![0, 0, 0], MemoryTracker::new(u64::MAX)).unwrap();
+            let mut sink = CountingSink::new();
+            for seq in 0..1000u64 {
+                for s in 0..3u8 {
+                    let key = (seq % 40) as i64;
+                    j.process(PartitionId((key % 8) as u32), tpl(s, seq, key, 0), &mut sink)
+                        .unwrap();
+                }
+            }
+            black_box(sink.count())
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_join_insert,
+    bench_codec,
+    bench_spill_store,
+    bench_victim_selection,
+    bench_cleanup_merge,
+    bench_generator,
+    bench_relocation_transfer,
+    bench_windowed_insert,
+    bench_trace_io,
+    bench_per_input_join,
+);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Wall-clock scaling of the threaded runtime: the same workload over
+//! 1, 2, and 4 engine threads, including the full relocation protocol.
+//! (Criterion measures real time here — this is the one benchmark where
+//! physical parallelism, not virtual time, is the subject.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dcape_cluster::runtime::sim::SimConfig;
+use dcape_cluster::runtime::threaded::run_threaded;
+use dcape_cluster::strategy::StrategyConfig;
+use dcape_common::time::{VirtualDuration, VirtualTime};
+use dcape_engine::config::EngineConfig;
+use dcape_streamgen::StreamSetSpec;
+
+fn bench_threaded_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("threaded/engines");
+    group.sample_size(10);
+    for &engines in &[1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(engines), &engines, |b, &n| {
+            b.iter(|| {
+                let spec =
+                    StreamSetSpec::uniform(24, 2400, 1, VirtualDuration::from_millis(30))
+                        .with_payload_pad(128);
+                let cfg = SimConfig::new(
+                    n,
+                    EngineConfig::three_way(1 << 24, 1 << 22),
+                    spec,
+                    StrategyConfig::lazy_default(),
+                )
+                .with_stats_interval(VirtualDuration::from_secs(30));
+                run_threaded(cfg, VirtualTime::from_mins(3)).unwrap().total_output()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(threaded, bench_threaded_scaling);
+criterion_main!(threaded);

@@ -1,0 +1,174 @@
+//! Figures 5 & 6: sensitivity to the spill fraction `k%`.
+//!
+//! Setup (§3.2): one machine, three-way join, 30 ms input rate, tuple
+//! range 30 K, join rate 3, spill triggered over 200 MB, victims chosen
+//! *randomly* ("we randomly choose partition groups … since we
+//! investigate the impact of which amount of state is to be pushed").
+//!
+//! Expected shapes:
+//! * Figure 5 — the larger `k`, the lower the run-time throughput
+//!   (pushed states stop producing); All-Mem is the upper bound.
+//! * Figure 6 — sawtooth memory, bounded by the threshold; larger `k`
+//!   ⇒ fewer, deeper zags.
+
+use dcape_cluster::runtime::sim::{SimConfig, SimDriver};
+use dcape_cluster::strategy::StrategyConfig;
+use dcape_common::error::Result;
+use dcape_common::time::VirtualDuration;
+use dcape_engine::VictimPolicy;
+use dcape_metrics::{render_series_table, Recorder, Table};
+
+use crate::opts::RunOpts;
+use crate::scale;
+
+/// Result of the k% sweep.
+#[derive(Debug)]
+pub struct KSweepResult {
+    /// `(k_percent, total runtime output, spill count, peak memory)`.
+    pub rows: Vec<(u32, u64, u64, f64)>,
+    /// All-Mem total output (upper bound).
+    pub all_mem_output: u64,
+    /// Recorded series for both figures.
+    pub recorder: Recorder,
+}
+
+/// Run one single-engine configuration and record its series.
+fn run_one(
+    label: &str,
+    spill_fraction: f64,
+    threshold: Option<u64>,
+    opts: &RunOpts,
+    recorder: &mut Recorder,
+) -> Result<(u64, u64, f64)> {
+    let duration = scale::default_duration(opts.fast);
+    let threshold = threshold.unwrap_or(u64::MAX / 4);
+    let mut engine = scale::engine_with_threshold(scale::scale_bytes(threshold, opts.fast))
+        .with_policy(VictimPolicy::Random);
+    if spill_fraction > 0.0 {
+        engine.spill_fraction = spill_fraction;
+    }
+    let cfg = SimConfig::new(
+        1,
+        engine,
+        scale::paper_workload(),
+        StrategyConfig::NoAdaptation,
+    )
+    .with_sample_interval(VirtualDuration::from_secs(if opts.fast { 20 } else { 60 }));
+    let mut driver = SimDriver::new(cfg)?;
+    driver.run_until(duration)?;
+    let report = driver.finish()?;
+    let throughput = report
+        .recorder
+        .series("output/total")
+        .cloned()
+        .unwrap_or_default();
+    let memory = report
+        .recorder
+        .series("mem/QE0")
+        .cloned()
+        .unwrap_or_default();
+    let peak_mem = memory.max().unwrap_or(0.0);
+    for (t, v) in throughput.points() {
+        recorder.record(&format!("throughput/{label}"), *t, *v);
+    }
+    for (t, v) in memory.points() {
+        recorder.record(&format!("mem/{label}"), *t, *v);
+    }
+    Ok((
+        report.runtime_output,
+        report.spill_counts.iter().sum(),
+        peak_mem,
+    ))
+}
+
+/// Run the sweep for both figures.
+pub fn run(opts: &RunOpts) -> Result<KSweepResult> {
+    let mut recorder = Recorder::new();
+    let ks: &[u32] = if opts.fast {
+        &[10, 50, 100]
+    } else {
+        &[10, 20, 30, 50, 100]
+    };
+    let mut rows = Vec::new();
+    for &k in ks {
+        let label = format!("k={k}%");
+        let (output, spills, peak) = run_one(
+            &label,
+            k as f64 / 100.0,
+            Some(scale::THRESHOLD_200MB),
+            opts,
+            &mut recorder,
+        )?;
+        rows.push((k, output, spills, peak));
+    }
+    let (all_mem_output, _, _) = run_one("all-mem", 0.3, None, opts, &mut recorder)?;
+
+    // Figure 5: throughput over time per k.
+    let series = recorder.with_prefix("throughput/");
+    let step = VirtualDuration::from_mins(if opts.fast { 1 } else { 5 });
+    let fig5 = render_series_table(&series, step);
+    opts.emit("Figure 5: run-time throughput vs spill fraction k%", &fig5);
+    opts.csv("fig5_throughput.csv", &fig5);
+
+    // Figure 6: memory over time per k.
+    let series = recorder.with_prefix("mem/");
+    let fig6 = render_series_table(&series, step);
+    opts.emit("Figure 6: memory usage vs spill fraction k%", &fig6);
+    opts.csv("fig6_memory.csv", &fig6);
+
+    // Summary table.
+    let mut summary = Table::new(&["k%", "runtime output", "spills", "peak mem (MB)"]);
+    for (k, out, spills, peak) in &rows {
+        summary.row(vec![
+            format!("{k}"),
+            format!("{out}"),
+            format!("{spills}"),
+            format!("{:.1}", peak / (1 << 20) as f64),
+        ]);
+    }
+    summary.row(vec![
+        "all-mem".into(),
+        format!("{all_mem_output}"),
+        "0".into(),
+        "-".into(),
+    ]);
+    opts.emit("Figures 5/6 summary", &summary);
+    opts.csv("fig5_6_summary.csv", &summary);
+
+    Ok(KSweepResult {
+        rows,
+        all_mem_output,
+        recorder,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_match_paper() {
+        let opts = RunOpts::fast_quiet();
+        let r = run(&opts).unwrap();
+        // All-Mem dominates every spilling configuration.
+        for (k, out, spills, _) in &r.rows {
+            assert!(
+                r.all_mem_output >= *out,
+                "k={k}%: spilling run out-produced All-Mem"
+            );
+            assert!(*spills > 0, "k={k}% must actually spill");
+        }
+        // Smaller k ⇒ more spills (Figure 6's zag count).
+        let spills: Vec<u64> = r.rows.iter().map(|(_, _, s, _)| *s).collect();
+        assert!(
+            spills.first().unwrap() > spills.last().unwrap(),
+            "k=10% should spill more often than k=100%: {spills:?}"
+        );
+        // Larger k ⇒ lower run-time throughput (Figure 5).
+        let outs: Vec<u64> = r.rows.iter().map(|(_, o, _, _)| *o).collect();
+        assert!(
+            outs.first().unwrap() > outs.last().unwrap(),
+            "k=10% should out-produce k=100%: {outs:?}"
+        );
+    }
+}

@@ -1,0 +1,10 @@
+//! Experiment modules, one per paper figure/table.
+
+pub mod ablations;
+pub mod fig05_06;
+pub mod fig07;
+pub mod fig09_10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13_14;
+pub mod verify;

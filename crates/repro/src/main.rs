@@ -1,0 +1,133 @@
+//! `repro` — regenerate the paper's figures and tables.
+//!
+//! ```text
+//! repro [EXPERIMENT ...] [--fast] [--out DIR]
+//!
+//! EXPERIMENT: fig5 fig6 fig7 cleanup1 fig9 fig10 fig11 fig12 cleanup2
+//!             fig13 fig14 ablations all        (default: all)
+//! --fast      ~6 virtual minutes per run instead of the paper's 40–60
+//! --out DIR   CSV output directory (default: results/)
+//! ```
+//!
+//! Figures sharing a run are grouped: `fig5`/`fig6` both run the k%
+//! sweep; `fig7`/`cleanup1`, `fig9`/`fig10`, and `fig12`/`cleanup2`
+//! likewise.
+
+use std::collections::BTreeSet;
+use std::process::ExitCode;
+
+use dcape_repro::experiments::{ablations, fig05_06, fig07, fig09_10, fig11, fig12, fig13_14, verify};
+use dcape_repro::RunOpts;
+
+const USAGE: &str = "usage: repro [fig5|fig6|fig7|cleanup1|fig9|fig10|fig11|fig12|cleanup2|fig13|fig14|ablations|verify|all ...] [--fast] [--out DIR]";
+
+fn main() -> ExitCode {
+    let mut opts = RunOpts::default();
+    let mut picks: BTreeSet<&'static str> = BTreeSet::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--fast" => opts.fast = true,
+            "--quiet" => opts.quiet = true,
+            "--out" => match args.next() {
+                Some(dir) => opts.out_dir = dir.into(),
+                None => {
+                    eprintln!("--out requires a directory\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "fig5" | "fig6" => {
+                picks.insert("k-sweep");
+            }
+            "fig7" | "cleanup1" => {
+                picks.insert("fig7");
+            }
+            "fig9" | "fig10" => {
+                picks.insert("fig9-10");
+            }
+            "fig11" => {
+                picks.insert("fig11");
+            }
+            "fig12" | "cleanup2" => {
+                picks.insert("fig12");
+            }
+            "fig13" => {
+                picks.insert("fig13");
+            }
+            "fig14" => {
+                picks.insert("fig14");
+            }
+            "ablations" => {
+                picks.insert("ablations");
+            }
+            "verify" => {
+                picks.insert("verify");
+            }
+            "all" => {
+                picks.extend([
+                    "k-sweep",
+                    "fig7",
+                    "fig9-10",
+                    "fig11",
+                    "fig12",
+                    "fig13",
+                    "fig14",
+                    "ablations",
+                ]);
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if picks.is_empty() {
+        picks.extend([
+            "k-sweep",
+            "fig7",
+            "fig9-10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "ablations",
+        ]);
+    }
+
+    println!(
+        "dcape repro — mode: {}, output: {}",
+        if opts.fast { "fast" } else { "paper-scale" },
+        opts.out_dir.display()
+    );
+    for pick in picks {
+        let result = match pick {
+            "k-sweep" => fig05_06::run(&opts).map(|_| ()),
+            "fig7" => fig07::run(&opts).map(|_| ()),
+            "fig9-10" => fig09_10::run(&opts).map(|_| ()),
+            "fig11" => fig11::run(&opts).map(|_| ()),
+            "fig12" => fig12::run(&opts).map(|_| ()),
+            "fig13" => fig13_14::run_fig13(&opts).map(|_| ()),
+            "fig14" => fig13_14::run_fig14(&opts).map(|_| ()),
+            "ablations" => ablations::run(&opts),
+            "verify" => verify::run(&opts).and_then(|rows| {
+                if rows.iter().all(dcape_repro::experiments::verify::VerifyRow::pass) {
+                    Ok(())
+                } else {
+                    Err(dcape_common::error::DcapeError::state(
+                        "verification FAILED — see table above",
+                    ))
+                }
+            }),
+            _ => unreachable!(),
+        };
+        if let Err(e) = result {
+            eprintln!("experiment {pick} failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,79 @@
+//! Harness run options.
+
+use std::path::PathBuf;
+
+/// Options shared by all experiment runners.
+#[derive(Debug, Clone)]
+pub struct RunOpts {
+    /// Scale the run down (~6 virtual minutes instead of the paper's
+    /// 40–60) — used by tests and criterion benches.
+    pub fast: bool,
+    /// Where CSV outputs land (`results/` by default).
+    pub out_dir: PathBuf,
+    /// Suppress stdout tables (benches).
+    pub quiet: bool,
+}
+
+impl Default for RunOpts {
+    fn default() -> Self {
+        RunOpts {
+            fast: false,
+            out_dir: PathBuf::from("results"),
+            quiet: false,
+        }
+    }
+}
+
+impl RunOpts {
+    /// Fast, quiet options for tests/benches.
+    pub fn fast_quiet() -> Self {
+        RunOpts {
+            fast: true,
+            quiet: true,
+            out_dir: std::env::temp_dir().join("dcape-repro-fast"),
+        }
+    }
+
+    /// Print a table unless quiet; always returns the rendered string.
+    pub fn emit(&self, title: &str, table: &dcape_metrics::Table) -> String {
+        let rendered = table.render();
+        if !self.quiet {
+            println!("\n== {title} ==\n{rendered}");
+        }
+        rendered
+    }
+
+    /// Write a CSV unless the out dir is unset; ignores I/O errors in
+    /// quiet mode (bench scratch dirs may vanish).
+    pub fn csv(&self, name: &str, table: &dcape_metrics::Table) {
+        let path = self.out_dir.join(name);
+        if let Err(e) = table.write_csv(&path) {
+            if !self.quiet {
+                eprintln!("warning: failed to write {}: {e}", path.display());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_and_fast() {
+        let d = RunOpts::default();
+        assert!(!d.fast);
+        assert_eq!(d.out_dir, PathBuf::from("results"));
+        let f = RunOpts::fast_quiet();
+        assert!(f.fast && f.quiet);
+    }
+
+    #[test]
+    fn emit_respects_quiet() {
+        let mut t = dcape_metrics::Table::new(&["a"]);
+        t.row(vec!["1".into()]);
+        let opts = RunOpts::fast_quiet();
+        let s = opts.emit("test", &t);
+        assert!(s.contains('1'));
+    }
+}

@@ -1,0 +1,186 @@
+//! Segment storage backends.
+//!
+//! [`SpillBackend`] abstracts where segment bytes physically live so the
+//! same [`SpillStore`](crate::store::SpillStore) logic serves both the
+//! threaded runtime (real files, real I/O — the paper's "slow secondary
+//! storage") and deterministic tests/simulations (in-memory bytes with
+//! the cost charged by [`crate::diskmodel`] instead).
+
+use std::fs;
+use std::io::{Read, Write};
+use std::path::PathBuf;
+
+use bytes::Bytes;
+
+use dcape_common::error::{DcapeError, Result};
+
+/// Opaque handle naming one stored segment within a backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SegmentHandle(pub u64);
+
+/// Where spilled segment bytes live.
+pub trait SpillBackend: Send + std::fmt::Debug {
+    /// Persist `bytes` and return a handle for later retrieval.
+    fn write_segment(&mut self, bytes: &Bytes) -> Result<SegmentHandle>;
+    /// Load the bytes previously stored under `handle`.
+    fn read_segment(&mut self, handle: SegmentHandle) -> Result<Bytes>;
+    /// Drop the segment (cleanup consumed it).
+    fn delete_segment(&mut self, handle: SegmentHandle) -> Result<()>;
+}
+
+/// Real files, one per segment, under a caller-owned directory.
+///
+/// Files are named `seg-<id>.dcape`. The backend never deletes the
+/// directory itself; tests typically point it at a scratch dir they
+/// remove afterwards.
+#[derive(Debug)]
+pub struct FileBackend {
+    dir: PathBuf,
+    next_id: u64,
+}
+
+impl FileBackend {
+    /// Create (if needed) `dir` and store segments inside it.
+    pub fn new(dir: impl Into<PathBuf>) -> Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(FileBackend { dir, next_id: 0 })
+    }
+
+    fn path_for(&self, handle: SegmentHandle) -> PathBuf {
+        self.dir.join(format!("seg-{}.dcape", handle.0))
+    }
+
+    /// The directory segments are stored in.
+    pub fn dir(&self) -> &std::path::Path {
+        &self.dir
+    }
+}
+
+impl SpillBackend for FileBackend {
+    fn write_segment(&mut self, bytes: &Bytes) -> Result<SegmentHandle> {
+        let handle = SegmentHandle(self.next_id);
+        self.next_id += 1;
+        let path = self.path_for(handle);
+        let mut f = fs::File::create(&path)?;
+        f.write_all(bytes)?;
+        f.sync_data().ok(); // best effort; tests on tmpfs don't care
+        Ok(handle)
+    }
+
+    fn read_segment(&mut self, handle: SegmentHandle) -> Result<Bytes> {
+        let path = self.path_for(handle);
+        let mut f = fs::File::open(&path)
+            .map_err(|e| DcapeError::state(format!("segment {handle:?} missing: {e}")))?;
+        let mut buf = Vec::new();
+        f.read_to_end(&mut buf)?;
+        Ok(buf.into())
+    }
+
+    fn delete_segment(&mut self, handle: SegmentHandle) -> Result<()> {
+        fs::remove_file(self.path_for(handle))?;
+        Ok(())
+    }
+}
+
+/// In-memory backend for tests and pure simulations.
+#[derive(Debug, Default)]
+pub struct MemBackend {
+    segments: std::collections::HashMap<u64, Bytes>,
+    next_id: u64,
+}
+
+impl MemBackend {
+    /// New empty backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live segments (for tests).
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// True if no segments are stored.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+}
+
+impl SpillBackend for MemBackend {
+    fn write_segment(&mut self, bytes: &Bytes) -> Result<SegmentHandle> {
+        let handle = SegmentHandle(self.next_id);
+        self.next_id += 1;
+        self.segments.insert(handle.0, bytes.clone());
+        Ok(handle)
+    }
+
+    fn read_segment(&mut self, handle: SegmentHandle) -> Result<Bytes> {
+        self.segments
+            .get(&handle.0)
+            .cloned()
+            .ok_or_else(|| DcapeError::state(format!("segment {handle:?} missing")))
+    }
+
+    fn delete_segment(&mut self, handle: SegmentHandle) -> Result<()> {
+        self.segments
+            .remove(&handle.0)
+            .map(|_| ())
+            .ok_or_else(|| DcapeError::state(format!("segment {handle:?} missing")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(backend: &mut dyn SpillBackend) {
+        let a = backend.write_segment(&Bytes::from_static(b"alpha")).unwrap();
+        let b = backend.write_segment(&Bytes::from_static(b"beta")).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(&backend.read_segment(a).unwrap()[..], b"alpha");
+        assert_eq!(&backend.read_segment(b).unwrap()[..], b"beta");
+        backend.delete_segment(a).unwrap();
+        assert!(backend.read_segment(a).is_err());
+        assert_eq!(&backend.read_segment(b).unwrap()[..], b"beta");
+    }
+
+    #[test]
+    fn mem_backend_basic() {
+        let mut m = MemBackend::new();
+        assert!(m.is_empty());
+        exercise(&mut m);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn file_backend_basic() {
+        let dir = std::env::temp_dir().join(format!("dcape-test-{}", std::process::id()));
+        let mut f = FileBackend::new(&dir).unwrap();
+        exercise(&mut f);
+        assert_eq!(f.dir(), dir.as_path());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn file_backend_survives_reopen_reads() {
+        let dir = std::env::temp_dir().join(format!("dcape-test2-{}", std::process::id()));
+        let handle;
+        {
+            let mut f = FileBackend::new(&dir).unwrap();
+            handle = f.write_segment(&Bytes::from_static(b"persist")).unwrap();
+        }
+        // A fresh backend over the same dir can't know next_id, but a
+        // direct read of the same handle path still works.
+        let mut f2 = FileBackend::new(&dir).unwrap();
+        assert_eq!(&f2.read_segment(handle).unwrap()[..], b"persist");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_segment_is_error() {
+        let mut m = MemBackend::new();
+        assert!(m.read_segment(SegmentHandle(99)).is_err());
+        assert!(m.delete_segment(SegmentHandle(99)).is_err());
+    }
+}

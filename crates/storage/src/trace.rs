@@ -1,0 +1,233 @@
+//! Workload traces: record a tuple stream to disk and replay it.
+//!
+//! The paper's evaluation uses a dedicated stream-generator machine;
+//! traces make experiment inputs *portable artifacts* instead — a run
+//! can be captured once (e.g. from `dcape-streamgen`) and replayed
+//! byte-identically across machines, branches, and debugging sessions.
+//!
+//! Format: `MAGIC:u32 VERSION:u8 (len:u32_le tuple)* len=0 sentinel`.
+//! Each tuple is length-prefixed so the reader can stream without
+//! loading the file and can detect truncation.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use bytes::{Bytes, BytesMut};
+
+use dcape_common::error::{DcapeError, Result};
+use dcape_common::tuple::Tuple;
+
+use crate::codec::{decode_tuple, encode_tuple};
+
+const MAGIC: u32 = 0xDCA9_E7AC;
+const VERSION: u8 = 1;
+
+/// Streaming trace writer.
+#[derive(Debug)]
+pub struct TraceWriter {
+    out: BufWriter<File>,
+    count: u64,
+    finished: bool,
+}
+
+impl TraceWriter {
+    /// Create (truncate) a trace file.
+    pub fn create(path: impl AsRef<Path>) -> Result<Self> {
+        let mut out = BufWriter::new(File::create(path)?);
+        out.write_all(&MAGIC.to_le_bytes())?;
+        out.write_all(&[VERSION])?;
+        Ok(TraceWriter {
+            out,
+            count: 0,
+            finished: false,
+        })
+    }
+
+    /// Append one tuple.
+    pub fn write(&mut self, tuple: &Tuple) -> Result<()> {
+        debug_assert!(!self.finished, "write after finish");
+        let mut buf = BytesMut::with_capacity(64);
+        encode_tuple(&mut buf, tuple);
+        self.out.write_all(&(buf.len() as u32).to_le_bytes())?;
+        self.out.write_all(&buf)?;
+        self.count += 1;
+        Ok(())
+    }
+
+    /// Tuples written so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Write the end sentinel and flush. Must be called exactly once.
+    pub fn finish(mut self) -> Result<u64> {
+        self.out.write_all(&0u32.to_le_bytes())?;
+        self.out.flush()?;
+        self.finished = true;
+        Ok(self.count)
+    }
+}
+
+/// Streaming trace reader; iterates tuples in recorded order.
+#[derive(Debug)]
+pub struct TraceReader {
+    input: BufReader<File>,
+    done: bool,
+    count: u64,
+}
+
+impl TraceReader {
+    /// Open a trace file, validating its header.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        let mut input = BufReader::new(File::open(path)?);
+        let mut header = [0u8; 5];
+        input
+            .read_exact(&mut header)
+            .map_err(|_| DcapeError::codec("trace: short header"))?;
+        let magic = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+        if magic != MAGIC {
+            return Err(DcapeError::codec(format!("trace: bad magic 0x{magic:08x}")));
+        }
+        if header[4] != VERSION {
+            return Err(DcapeError::codec(format!(
+                "trace: unsupported version {}",
+                header[4]
+            )));
+        }
+        Ok(TraceReader {
+            input,
+            done: false,
+            count: 0,
+        })
+    }
+
+    fn read_next(&mut self) -> Result<Option<Tuple>> {
+        if self.done {
+            return Ok(None);
+        }
+        let mut len_bytes = [0u8; 4];
+        self.input
+            .read_exact(&mut len_bytes)
+            .map_err(|_| DcapeError::codec("trace: truncated before sentinel"))?;
+        let len = u32::from_le_bytes(len_bytes) as usize;
+        if len == 0 {
+            self.done = true;
+            return Ok(None);
+        }
+        if len > 1 << 24 {
+            return Err(DcapeError::codec("trace: implausible record length"));
+        }
+        let mut buf = vec![0u8; len];
+        self.input
+            .read_exact(&mut buf)
+            .map_err(|_| DcapeError::codec("trace: truncated record"))?;
+        let mut bytes: Bytes = buf.into();
+        let tuple = decode_tuple(&mut bytes)?;
+        if bytes.has_remaining() {
+            return Err(DcapeError::codec("trace: trailing bytes in record"));
+        }
+        self.count += 1;
+        Ok(Some(tuple))
+    }
+
+    /// Tuples read so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+use bytes::Buf;
+
+impl Iterator for TraceReader {
+    type Item = Result<Tuple>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let item = self.read_next().transpose();
+        // Fuse after an error: a corrupt stream must surface exactly one
+        // error, not repeat it forever.
+        if matches!(item, Some(Err(_))) {
+            self.done = true;
+        }
+        item
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcape_common::ids::StreamId;
+    use dcape_common::time::VirtualTime;
+    use dcape_common::tuple::TupleBuilder;
+
+    fn tuples(n: u64) -> Vec<Tuple> {
+        (0..n)
+            .map(|i| {
+                TupleBuilder::new(StreamId((i % 3) as u8))
+                    .seq(i)
+                    .ts(VirtualTime::from_millis(i * 30))
+                    .value(i as i64 % 7)
+                    .pad(32)
+                    .build()
+            })
+            .collect()
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("dcape-trace-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn record_and_replay_round_trips() {
+        let path = tmp("roundtrip");
+        let original = tuples(100);
+        let mut w = TraceWriter::create(&path).unwrap();
+        for t in &original {
+            w.write(t).unwrap();
+        }
+        assert_eq!(w.finish().unwrap(), 100);
+
+        let reader = TraceReader::open(&path).unwrap();
+        let replayed: Vec<Tuple> = reader.map(|r| r.unwrap()).collect();
+        assert_eq!(replayed, original);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let path = tmp("empty");
+        let w = TraceWriter::create(&path).unwrap();
+        assert_eq!(w.finish().unwrap(), 0);
+        let mut reader = TraceReader::open(&path).unwrap();
+        assert!(reader.next().is_none());
+        assert_eq!(reader.count(), 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_trace_is_an_error_not_a_panic() {
+        let path = tmp("trunc");
+        let mut w = TraceWriter::create(&path).unwrap();
+        for t in tuples(10) {
+            w.write(&t).unwrap();
+        }
+        w.finish().unwrap();
+        // Chop off the sentinel and part of the last record.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 10]).unwrap();
+        let reader = TraceReader::open(&path).unwrap();
+        let results: Vec<Result<Tuple>> = reader.collect();
+        assert!(results.last().unwrap().is_err(), "truncation must surface");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        let path = tmp("badmagic");
+        std::fs::write(&path, b"NOPE!").unwrap();
+        assert!(TraceReader::open(&path).is_err());
+        std::fs::write(&path, b"X").unwrap();
+        assert!(TraceReader::open(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

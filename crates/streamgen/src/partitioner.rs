@@ -1,0 +1,4 @@
+//! Re-export: the partitioner lives in `dcape-common` so that both the
+//! generator and the engine-side split operators share one definition.
+
+pub use dcape_common::partition::Partitioner;

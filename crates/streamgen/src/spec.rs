@@ -1,0 +1,339 @@
+//! Workload specifications.
+//!
+//! A [`StreamSetSpec`] describes one experiment's input: how many streams
+//! the multi-way join consumes, how many partitions the splits create,
+//! the per-class join characteristics, arrival pacing and skew pattern.
+//! [`StreamSetSpec::resolve`] turns the declarative class list into dense
+//! per-partition profiles consumed by the generator.
+
+use dcape_common::error::{DcapeError, Result};
+use dcape_common::ids::PartitionId;
+use dcape_common::time::VirtualDuration;
+
+use crate::pattern::ArrivalPattern;
+
+/// One class of partitions sharing join characteristics.
+///
+/// Figure 7 uses three classes (join rates 4 / 2 / 1, equal fractions);
+/// Figure 14 additionally differentiates tuple ranges (15 K vs 45 K).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionClass {
+    /// How partitions are assigned to this class.
+    pub assignment: ClassAssignment,
+    /// Join rate `r`: growth of the join multiplicative factor per tuple
+    /// range (§3.1).
+    pub join_rate: u32,
+    /// Tuple range `k`: stream-tuple count after which the factor grows.
+    pub tuple_range: u64,
+}
+
+/// How a [`PartitionClass`] claims its partitions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClassAssignment {
+    /// A fraction of all partitions (classes claim consecutive ID blocks
+    /// in declaration order; fractions must sum to ≈1 across classes).
+    Fraction(f64),
+    /// An explicit set of partition IDs.
+    Explicit(Vec<PartitionId>),
+}
+
+/// Full description of one experiment's input streams.
+#[derive(Debug, Clone)]
+pub struct StreamSetSpec {
+    /// Number of input streams of the m-way join (3 in all paper runs).
+    pub num_streams: usize,
+    /// Number of partitions the splits create (`n ≫ #machines`).
+    pub num_partitions: u32,
+    /// Virtual time between consecutive tuples of one stream
+    /// (30 ms in the paper's runs).
+    pub inter_arrival: VirtualDuration,
+    /// Accounting-only payload bytes added to every tuple, so scaled
+    /// experiments exhibit paper-scale state growth.
+    pub payload_pad: u32,
+    /// Partition classes; must cover all partitions.
+    pub classes: Vec<PartitionClass>,
+    /// Which partitions receive tuples over time.
+    pub pattern: ArrivalPattern,
+    /// RNG seed: equal seeds ⇒ identical streams.
+    pub seed: u64,
+}
+
+impl StreamSetSpec {
+    /// A uniform spec matching the paper's default single-class setup
+    /// (§3.2: tuple range 30 K, join rate 3, three streams).
+    pub fn uniform(
+        num_partitions: u32,
+        tuple_range: u64,
+        join_rate: u32,
+        inter_arrival: VirtualDuration,
+    ) -> Self {
+        StreamSetSpec {
+            num_streams: 3,
+            num_partitions,
+            inter_arrival,
+            payload_pad: 0,
+            classes: vec![PartitionClass {
+                assignment: ClassAssignment::Fraction(1.0),
+                join_rate,
+                tuple_range,
+            }],
+            pattern: ArrivalPattern::Uniform,
+            seed: 0xD_CA_9E,
+        }
+    }
+
+    /// Builder-style: set the payload pad.
+    pub fn with_payload_pad(mut self, pad: u32) -> Self {
+        self.payload_pad = pad;
+        self
+    }
+
+    /// Builder-style: set the arrival pattern.
+    pub fn with_pattern(mut self, pattern: ArrivalPattern) -> Self {
+        self.pattern = pattern;
+        self
+    }
+
+    /// Builder-style: set the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style: set the number of streams.
+    pub fn with_streams(mut self, num_streams: usize) -> Self {
+        self.num_streams = num_streams;
+        self
+    }
+
+    /// Resolve the class list into one [`PartitionProfile`] per partition.
+    ///
+    /// Fraction-assigned classes claim consecutive partition-ID blocks in
+    /// declaration order; explicit sets claim their members. Every
+    /// partition must be claimed exactly once.
+    pub fn resolve(&self) -> Result<Vec<PartitionProfile>> {
+        if self.num_streams < 2 {
+            return Err(DcapeError::config("need at least 2 streams to join"));
+        }
+        if self.num_partitions == 0 {
+            return Err(DcapeError::config("need at least one partition"));
+        }
+        if self.classes.is_empty() {
+            return Err(DcapeError::config("need at least one partition class"));
+        }
+        let n = self.num_partitions as usize;
+        let mut profiles: Vec<Option<PartitionProfile>> = vec![None; n];
+        let mut next_block_start = 0usize;
+        for (class_idx, class) in self.classes.iter().enumerate() {
+            if class.join_rate == 0 {
+                return Err(DcapeError::config("join_rate must be >= 1"));
+            }
+            if class.tuple_range == 0 {
+                return Err(DcapeError::config("tuple_range must be >= 1"));
+            }
+            let members: Vec<PartitionId> = match &class.assignment {
+                ClassAssignment::Fraction(f) => {
+                    if !(0.0..=1.0).contains(f) {
+                        return Err(DcapeError::config("class fraction out of [0,1]"));
+                    }
+                    let count = if class_idx == self.classes.len() - 1 {
+                        // Last fractional class absorbs rounding remainder.
+                        n - next_block_start
+                    } else {
+                        ((n as f64) * f).round() as usize
+                    };
+                    let start = next_block_start;
+                    let end = (start + count).min(n);
+                    next_block_start = end;
+                    (start..end).map(|i| PartitionId(i as u32)).collect()
+                }
+                ClassAssignment::Explicit(ids) => ids.clone(),
+            };
+            for pid in members {
+                if pid.index() >= n {
+                    return Err(DcapeError::config(format!(
+                        "partition {pid} out of range (n={n})"
+                    )));
+                }
+                if profiles[pid.index()].is_some() {
+                    return Err(DcapeError::config(format!(
+                        "partition {pid} claimed by two classes"
+                    )));
+                }
+                // Arrivals per tuple range to this partition under uniform
+                // share; the domain is sized so each value repeats
+                // `join_rate` times per range.
+                let share = 1.0 / n as f64;
+                let arrivals_per_range = (class.tuple_range as f64 * share).max(1.0);
+                let domain_size =
+                    ((arrivals_per_range / class.join_rate as f64).round() as u64).max(1);
+                profiles[pid.index()] = Some(PartitionProfile {
+                    partition: pid,
+                    class: class_idx,
+                    join_rate: class.join_rate,
+                    tuple_range: class.tuple_range,
+                    domain_size,
+                });
+            }
+        }
+        let mut out = Vec::with_capacity(n);
+        for (i, p) in profiles.into_iter().enumerate() {
+            match p {
+                Some(p) => out.push(p),
+                None => {
+                    return Err(DcapeError::config(format!(
+                        "partition P{i} not covered by any class"
+                    )))
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Fully resolved generation parameters for one partition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionProfile {
+    /// The partition this profile describes.
+    pub partition: PartitionId,
+    /// Index into [`StreamSetSpec::classes`].
+    pub class: usize,
+    /// Values repeat this many times per cycle.
+    pub join_rate: u32,
+    /// The class's tuple range (for reporting).
+    pub tuple_range: u64,
+    /// Number of distinct join values owned by this partition.
+    pub domain_size: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcape_common::time::VirtualDuration;
+
+    fn ia() -> VirtualDuration {
+        VirtualDuration::from_millis(30)
+    }
+
+    #[test]
+    fn uniform_spec_resolves_all_partitions() {
+        let spec = StreamSetSpec::uniform(120, 30_000, 3, ia());
+        let profiles = spec.resolve().unwrap();
+        assert_eq!(profiles.len(), 120);
+        for p in &profiles {
+            assert_eq!(p.join_rate, 3);
+            // 30_000 / 120 = 250 arrivals per range; /3 => ~83 values.
+            assert_eq!(p.domain_size, 83);
+        }
+    }
+
+    #[test]
+    fn three_class_split_covers_everything() {
+        let mut spec = StreamSetSpec::uniform(90, 30_000, 3, ia());
+        spec.classes = vec![
+            PartitionClass {
+                assignment: ClassAssignment::Fraction(1.0 / 3.0),
+                join_rate: 4,
+                tuple_range: 30_000,
+            },
+            PartitionClass {
+                assignment: ClassAssignment::Fraction(1.0 / 3.0),
+                join_rate: 2,
+                tuple_range: 30_000,
+            },
+            PartitionClass {
+                assignment: ClassAssignment::Fraction(1.0 / 3.0),
+                join_rate: 1,
+                tuple_range: 30_000,
+            },
+        ];
+        let profiles = spec.resolve().unwrap();
+        assert_eq!(profiles.len(), 90);
+        let counts = profiles.iter().fold([0usize; 3], |mut acc, p| {
+            acc[p.class] += 1;
+            acc
+        });
+        assert_eq!(counts, [30, 30, 30]);
+        // Higher join rate => smaller domain => more repeats per value.
+        assert!(profiles[0].domain_size < profiles[89].domain_size);
+    }
+
+    #[test]
+    fn explicit_assignment_wins_over_blocks() {
+        let mut spec = StreamSetSpec::uniform(4, 1000, 1, ia());
+        spec.classes = vec![
+            PartitionClass {
+                assignment: ClassAssignment::Explicit(vec![PartitionId(1), PartitionId(3)]),
+                join_rate: 4,
+                tuple_range: 1000,
+            },
+            PartitionClass {
+                assignment: ClassAssignment::Explicit(vec![PartitionId(0), PartitionId(2)]),
+                join_rate: 1,
+                tuple_range: 1000,
+            },
+        ];
+        let profiles = spec.resolve().unwrap();
+        assert_eq!(profiles[1].join_rate, 4);
+        assert_eq!(profiles[0].join_rate, 1);
+    }
+
+    #[test]
+    fn overlapping_classes_rejected() {
+        let mut spec = StreamSetSpec::uniform(4, 1000, 1, ia());
+        spec.classes = vec![
+            PartitionClass {
+                assignment: ClassAssignment::Explicit(vec![PartitionId(0)]),
+                join_rate: 1,
+                tuple_range: 1000,
+            },
+            PartitionClass {
+                assignment: ClassAssignment::Explicit(vec![PartitionId(0)]),
+                join_rate: 2,
+                tuple_range: 1000,
+            },
+        ];
+        assert!(spec.resolve().is_err());
+    }
+
+    #[test]
+    fn uncovered_partition_rejected() {
+        let mut spec = StreamSetSpec::uniform(4, 1000, 1, ia());
+        spec.classes = vec![PartitionClass {
+            assignment: ClassAssignment::Explicit(vec![PartitionId(0), PartitionId(1)]),
+            join_rate: 1,
+            tuple_range: 1000,
+        }];
+        assert!(spec.resolve().is_err());
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        let mut spec = StreamSetSpec::uniform(4, 1000, 1, ia());
+        spec.num_streams = 1;
+        assert!(spec.resolve().is_err());
+
+        let mut spec = StreamSetSpec::uniform(4, 1000, 1, ia());
+        spec.classes[0].join_rate = 0;
+        assert!(spec.resolve().is_err());
+
+        let mut spec = StreamSetSpec::uniform(4, 1000, 1, ia());
+        spec.classes[0].tuple_range = 0;
+        assert!(spec.resolve().is_err());
+
+        let mut spec = StreamSetSpec::uniform(4, 1000, 1, ia());
+        spec.classes.clear();
+        assert!(spec.resolve().is_err());
+    }
+
+    #[test]
+    fn builders_apply() {
+        let spec = StreamSetSpec::uniform(4, 1000, 1, ia())
+            .with_payload_pad(64)
+            .with_seed(7)
+            .with_streams(4);
+        assert_eq!(spec.payload_pad, 64);
+        assert_eq!(spec.seed, 7);
+        assert_eq!(spec.num_streams, 4);
+    }
+}

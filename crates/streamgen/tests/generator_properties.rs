@@ -1,0 +1,108 @@
+//! Property tests for the workload generator: the §3.1 semantics must
+//! hold for arbitrary spec parameters, not just the paper's defaults.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use dcape_common::time::VirtualDuration;
+use dcape_streamgen::{ArrivalPattern, StreamSetGenerator, StreamSetSpec};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Every generated tuple routes (via the generator's own
+    /// partitioner) to a valid partition, and crafted values respect
+    /// the modulo embedding.
+    #[test]
+    fn generated_values_route_consistently(
+        partitions in 2u32..64,
+        tuple_range in 200u64..5000,
+        join_rate in 1u32..5,
+        seed in 0u64..500,
+    ) {
+        let spec = StreamSetSpec::uniform(
+            partitions,
+            tuple_range,
+            join_rate,
+            VirtualDuration::from_millis(30),
+        )
+        .with_seed(seed);
+        let mut gen = StreamSetGenerator::new(spec).unwrap();
+        let partitioner = gen.partitioner();
+        for t in gen.by_ref().take(600) {
+            let v = t.values()[0].as_int().unwrap();
+            let pid = partitioner.partition_of(&t.values()[0]);
+            prop_assert!(pid.0 < partitions);
+            prop_assert_eq!(v as u64 % partitions as u64, pid.0 as u64);
+        }
+    }
+
+    /// The join multiplicative factor grows linearly: after k full
+    /// tuple ranges, the average per-value multiplicity per stream is
+    /// ~k * join_rate (§3.1's growth model).
+    #[test]
+    fn multiplicative_factor_grows_linearly(
+        join_rate in 1u32..4,
+        seed in 0u64..200,
+    ) {
+        let partitions = 8u32;
+        let tuple_range = 800u64;
+        let ranges = 3u64;
+        let spec = StreamSetSpec::uniform(
+            partitions,
+            tuple_range,
+            join_rate,
+            VirtualDuration::from_millis(30),
+        )
+        .with_seed(seed);
+        let mut gen = StreamSetGenerator::new(spec).unwrap();
+        let batch = gen.generate_ticks(tuple_range * ranges);
+        let mut counts: HashMap<(u8, i64), u64> = HashMap::new();
+        for t in &batch {
+            *counts
+                .entry((t.stream().0, t.values()[0].as_int().unwrap()))
+                .or_default() += 1;
+        }
+        let avg = counts.values().sum::<u64>() as f64 / counts.len() as f64;
+        let expected = (ranges * join_rate as u64) as f64;
+        prop_assert!(
+            (avg - expected).abs() / expected < 0.35,
+            "avg multiplicity {avg}, expected ~{expected}"
+        );
+    }
+
+    /// Static weighted skew concentrates arrivals proportionally.
+    #[test]
+    fn weighted_static_skews_arrivals(seed in 0u64..200) {
+        let spec = StreamSetSpec::uniform(4, 400, 1, VirtualDuration::from_millis(30))
+            .with_seed(seed)
+            .with_pattern(ArrivalPattern::WeightedStatic(vec![9.0, 1.0, 1.0, 1.0]));
+        let mut gen = StreamSetGenerator::new(spec).unwrap();
+        let _ = gen.generate_ticks(3000);
+        let hot = gen.arrivals_to(dcape_common::ids::PartitionId(0));
+        let cold: u64 = (1..4)
+            .map(|i| gen.arrivals_to(dcape_common::ids::PartitionId(i)))
+            .sum();
+        // Hot partition weight 9 vs 3 => expect ~3x the rest combined.
+        prop_assert!(
+            hot as f64 > cold as f64 * 2.0,
+            "hot {hot} vs cold-total {cold}"
+        );
+    }
+
+    /// Ticks interleave all streams with non-decreasing timestamps and
+    /// the configured inter-arrival gap.
+    #[test]
+    fn timestamps_paced_by_inter_arrival(gap_ms in 1u64..100, seed in 0u64..100) {
+        let spec = StreamSetSpec::uniform(4, 400, 1, VirtualDuration::from_millis(gap_ms))
+            .with_seed(seed);
+        let mut gen = StreamSetGenerator::new(spec).unwrap();
+        let batch = gen.generate_ticks(50);
+        for (i, chunk) in batch.chunks(3).enumerate() {
+            for t in chunk {
+                prop_assert_eq!(t.ts().as_millis(), i as u64 * gap_ms);
+            }
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based invariants of the adaptation machinery, across crates.
+//!
+//! The central theorem of the reproduction: **for any workload and any
+//! adaptation schedule, run-time results + cleanup results = the
+//! reference join, exactly once each.** Spills, relocations, strategy
+//! choice, placement skew — none of it may change the answer, only its
+//! timing.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use dcape::cluster::runtime::sim::{SimConfig, SimDriver};
+use dcape::cluster::strategy::StrategyConfig;
+use dcape::cluster::PlacementSpec;
+use dcape::common::time::{VirtualDuration, VirtualTime};
+use dcape::engine::config::EngineConfig;
+use dcape::streamgen::{StreamSetGenerator, StreamSetSpec};
+
+fn reference_count(spec: &StreamSetSpec, deadline: VirtualTime) -> u64 {
+    let mut gen = StreamSetGenerator::new(spec.clone()).unwrap();
+    let tuples = gen.generate_until(deadline);
+    let mut counts: HashMap<(u8, i64), u64> = HashMap::new();
+    for t in &tuples {
+        *counts
+            .entry((t.stream().0, t.values()[0].as_int().unwrap()))
+            .or_default() += 1;
+    }
+    let keys: std::collections::HashSet<i64> = counts.keys().map(|(_, k)| *k).collect();
+    keys.into_iter()
+        .map(|k| {
+            (0..spec.num_streams as u8)
+                .map(|s| counts.get(&(s, k)).copied().unwrap_or(0))
+                .product::<u64>()
+        })
+        .sum()
+}
+
+fn strategy_from(idx: u8) -> StrategyConfig {
+    match idx % 3 {
+        0 => StrategyConfig::NoAdaptation,
+        1 => StrategyConfig::LazyDisk {
+            theta_r: 0.8,
+            tau_m: VirtualDuration::from_secs(30),
+        },
+        _ => StrategyConfig::ActiveDisk {
+            theta_r: 0.8,
+            tau_m: VirtualDuration::from_secs(30),
+            lambda: 1.5,
+            spill_fraction: 0.3,
+            force_spill_cap: 1 << 20,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12, // each case is a full (small) cluster run
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn any_schedule_produces_exactly_the_reference_join(
+        seed in 0u64..1000,
+        num_engines in 1usize..4,
+        strategy_idx in 0u8..3,
+        threshold_kb in 48u64..512,
+        minutes in 2u64..5,
+        skew in 0usize..3,
+    ) {
+        let spec = StreamSetSpec::uniform(18, 1800, 1, VirtualDuration::from_millis(30))
+            .with_payload_pad(128)
+            .with_seed(seed);
+        let deadline = VirtualTime::from_mins(minutes);
+        let reference = reference_count(&spec, deadline);
+
+        let engine = EngineConfig::three_way(64 << 20, threshold_kb << 10);
+        let placement = match (skew, num_engines) {
+            (_, 1) => PlacementSpec::RoundRobin,
+            (0, _) => PlacementSpec::RoundRobin,
+            (1, 2) => PlacementSpec::Fractions(vec![0.7, 0.3]),
+            (1, 3) => PlacementSpec::Fractions(vec![0.6, 0.2, 0.2]),
+            (_, 2) => PlacementSpec::Fractions(vec![0.5, 0.5]),
+            (_, _) => PlacementSpec::Fractions(vec![2.0 / 3.0, 1.0 / 6.0, 1.0 / 6.0]),
+        };
+        let cfg = SimConfig::new(num_engines, engine, spec, strategy_from(strategy_idx))
+            .with_placement(placement)
+            .with_stats_interval(VirtualDuration::from_secs(20));
+        let mut driver = SimDriver::new(cfg).unwrap();
+        driver.run_until(deadline).unwrap();
+        let report = driver.finish().unwrap();
+        prop_assert_eq!(
+            report.total_output(),
+            reference,
+            "strategy={} engines={} threshold={}KB: runtime {} + cleanup {}",
+            strategy_idx,
+            num_engines,
+            threshold_kb,
+            report.runtime_output,
+            report.cleanup_output
+        );
+    }
+
+    #[test]
+    fn memory_accounting_never_drifts(
+        seed in 0u64..1000,
+        threshold_kb in 32u64..256,
+    ) {
+        let spec = StreamSetSpec::uniform(12, 1200, 1, VirtualDuration::from_millis(30))
+            .with_payload_pad(64)
+            .with_seed(seed);
+        let cfg = SimConfig::new(
+            2,
+            EngineConfig::three_way(64 << 20, threshold_kb << 10),
+            spec,
+            StrategyConfig::lazy_default(),
+        );
+        let mut driver = SimDriver::new(cfg).unwrap();
+        driver.run_until(VirtualTime::from_mins(3)).unwrap();
+        for engine in driver.engines() {
+            prop_assert!(engine.assert_accounting_consistent().is_ok());
+        }
+    }
+}

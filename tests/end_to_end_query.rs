@@ -1,0 +1,152 @@
+//! Cross-crate integration: a complete Query-1-style pipeline through
+//! the `dcape` facade — generator → partitioner → engine (m-way join) →
+//! flatten → group-by aggregate — validated against a naive
+//! recomputation over the same input.
+
+use std::collections::HashMap;
+
+use dcape::common::ids::{EngineId, StreamId};
+use dcape::common::time::VirtualTime;
+use dcape::common::{Partitioner, Tuple, Value};
+use dcape::engine::config::EngineConfig;
+use dcape::engine::engine::QueryEngine;
+use dcape::engine::operators::aggregate::{
+    flatten_result, AggExpr, AggregateFunction, GroupByAggregate,
+};
+use dcape::engine::sink::ResultSink;
+
+const CURRENCIES: &[&str] = &["USD", "EUR", "GBP", "JPY"];
+const BROKERS: &[&str] = &["a", "b", "c"];
+
+fn offer(bank: u8, seq: u64) -> Tuple {
+    // Deterministic pseudo-random attributes from a simple mix.
+    let mix = (seq.wrapping_mul(2654435761).wrapping_add(bank as u64 * 97)) as usize;
+    let currency = CURRENCIES[mix % CURRENCIES.len()];
+    let broker = BROKERS[(mix / 7) % BROKERS.len()];
+    let price = 1.0 + ((mix / 13) % 100) as f64 / 100.0;
+    Tuple::new(
+        StreamId(bank),
+        seq,
+        VirtualTime::from_millis(seq * 30),
+        vec![Value::text(currency), Value::text(broker), Value::Double(price)],
+    )
+}
+
+struct AggSink {
+    agg: GroupByAggregate,
+    matches: u64,
+}
+
+impl ResultSink for AggSink {
+    fn emit(&mut self, parts: &[&Tuple]) {
+        self.agg.process(&flatten_result(parts)).unwrap();
+        self.matches += 1;
+    }
+}
+
+#[test]
+fn join_plus_aggregate_matches_naive_recomputation() {
+    let partitioner = Partitioner::hash(16);
+    let mut engine =
+        QueryEngine::in_memory(EngineId(0), EngineConfig::three_way(64 << 20, 48 << 20)).unwrap();
+    let mut sink = AggSink {
+        agg: GroupByAggregate::new(
+            vec![1],
+            vec![
+                AggExpr {
+                    func: AggregateFunction::Min,
+                    column: 2,
+                },
+                AggExpr {
+                    func: AggregateFunction::Count,
+                    column: 2,
+                },
+            ],
+        ),
+        matches: 0,
+    };
+
+    let n = 400u64;
+    let mut all: Vec<Tuple> = Vec::new();
+    for seq in 0..n {
+        for bank in 0..3u8 {
+            let t = offer(bank, seq);
+            all.push(t.clone());
+            let pid = partitioner.partition_of(&t.values()[0]);
+            engine.process(pid, t, &mut sink).unwrap();
+        }
+    }
+
+    // Naive recomputation: all same-currency triples; per bank1-broker,
+    // min bank1 price and count.
+    let by_stream = |s: u8| all.iter().filter(move |t| t.stream().0 == s);
+    let mut naive_matches = 0u64;
+    let mut naive: HashMap<String, (f64, i64)> = HashMap::new();
+    for t1 in by_stream(0) {
+        for t2 in by_stream(1) {
+            if t1.get(0) != t2.get(0) {
+                continue;
+            }
+            for t3 in by_stream(2) {
+                if t2.get(0) != t3.get(0) {
+                    continue;
+                }
+                naive_matches += 1;
+                let broker = t1.get(1).unwrap().as_text().unwrap().to_owned();
+                let price = t1.get(2).unwrap().as_double().unwrap();
+                let e = naive.entry(broker).or_insert((f64::INFINITY, 0));
+                e.0 = e.0.min(price);
+                e.1 += 1;
+            }
+        }
+    }
+
+    assert_eq!(sink.matches, naive_matches, "join cardinality mismatch");
+    let rows = sink.agg.results();
+    assert_eq!(rows.len(), naive.len(), "group count mismatch");
+    for row in rows {
+        let broker = row[0].as_text().unwrap();
+        let (naive_min, naive_count) = naive[broker];
+        assert_eq!(row[1], Value::Double(naive_min), "min(price) for {broker}");
+        assert_eq!(row[2], Value::Int(naive_count), "count for {broker}");
+    }
+}
+
+#[test]
+fn spill_during_aggregation_pipeline_preserves_totals() {
+    // Same pipeline but with a tiny memory budget: the engine spills and
+    // the cleanup phase must deliver the remaining matches.
+    let partitioner = Partitioner::hash(16);
+    let mut engine =
+        QueryEngine::in_memory(EngineId(0), EngineConfig::three_way(1 << 20, 96 << 10)).unwrap();
+    let mut runtime = dcape::engine::sink::CountingSink::new();
+    let n = 400u64;
+    let mut all: Vec<Tuple> = Vec::new();
+    for seq in 0..n {
+        for bank in 0..3u8 {
+            let t = offer(bank, seq);
+            all.push(t.clone());
+            let pid = partitioner.partition_of(&t.values()[0]);
+            engine.process(pid, t, &mut runtime).unwrap();
+        }
+        engine
+            .tick(VirtualTime::from_millis(seq * 30))
+            .unwrap();
+    }
+    let mut cleanup = dcape::engine::sink::CountingSink::new();
+    let report = engine.cleanup(&mut cleanup).unwrap();
+    assert!(
+        !engine.spill_history().is_empty(),
+        "budget must force spills"
+    );
+    assert!(report.missing_results == cleanup.count());
+
+    // Reference cardinality.
+    let mut per_currency: HashMap<&str, [u64; 3]> = HashMap::new();
+    for t in &all {
+        per_currency.entry(t.get(0).unwrap().as_text().unwrap()).or_default()
+            [t.stream().index()] += 1;
+    }
+    let expected: u64 = per_currency.values().map(|c| c[0] * c[1] * c[2]).sum();
+    assert_eq!(runtime.count() + cleanup.count(), expected);
+}

@@ -18,6 +18,7 @@
 use dcape_common::error::{DcapeError, Result};
 use dcape_common::ids::{EngineId, PartitionId};
 use dcape_common::time::VirtualTime;
+use dcape_metrics::journal::{AdaptEvent, JournalHandle};
 
 use crate::relocation::{Action, RelocationRound};
 use crate::stats::ClusterStats;
@@ -32,6 +33,7 @@ pub struct GlobalCoordinator {
     relocations_completed: u64,
     relocations_aborted: u64,
     force_spills_issued: u64,
+    journal: JournalHandle,
 }
 
 impl GlobalCoordinator {
@@ -44,7 +46,16 @@ impl GlobalCoordinator {
             relocations_completed: 0,
             relocations_aborted: 0,
             force_spills_issued: 0,
+            journal: JournalHandle::disabled(),
         }
+    }
+
+    /// Attach a journal; the strategy shares it (recording a
+    /// `StatsSample` per evaluation), and the coordinator records the
+    /// protocol steps it observes directly (1, 2 and 6).
+    pub fn set_journal(&mut self, journal: JournalHandle) {
+        self.strategy.attach_journal(journal.clone());
+        self.journal = journal;
     }
 
     /// The strategy's name (for reports).
@@ -81,17 +92,27 @@ impl GlobalCoordinator {
     /// [`GlobalCoordinator::on_ptv`] / \
     /// [`GlobalCoordinator::on_transfer_ack`].
     pub fn evaluate(&mut self, stats: &ClusterStats, now: VirtualTime) -> Result<Decision> {
-        let decision = self
-            .strategy
-            .decide(stats, now, self.relocation_active());
+        let decision = self.strategy.decide(stats, now, self.relocation_active());
         match &decision {
             Decision::Relocate {
                 sender,
                 receiver,
                 amount,
             } => {
-                let round =
-                    RelocationRound::begin(self.next_round, *sender, *receiver, *amount)?;
+                let round = RelocationRound::begin(self.next_round, *sender, *receiver, *amount)?;
+                self.journal.record(
+                    now,
+                    AdaptEvent::RelocationStep {
+                        round: round.round(),
+                        step: 1,
+                        sender: *sender,
+                        receiver: *receiver,
+                        parts: Vec::new(),
+                        bytes: *amount,
+                        buffered_tuples: 0,
+                        load_ratio: stats.load_ratio(),
+                    },
+                );
                 self.next_round += 1;
                 self.active_round = Some(round);
             }
@@ -110,18 +131,35 @@ impl GlobalCoordinator {
             .map(|r| (r.round(), r.sender(), r.receiver(), r.amount()))
     }
 
-    /// Step 2: the sender's partition list arrived.
+    /// Step 2: the sender's partition list arrived at virtual time
+    /// `now`.
     pub fn on_ptv(
         &mut self,
         from: EngineId,
         round: u64,
         parts: Vec<PartitionId>,
+        now: VirtualTime,
     ) -> Result<Action> {
         let active = self
             .active_round
             .as_mut()
             .ok_or_else(|| DcapeError::protocol("ptv with no active relocation"))?;
+        let (sender, receiver) = (active.sender(), active.receiver());
+        let event_parts = parts.clone();
         let action = active.on_ptv(from, round, parts)?;
+        self.journal.record(
+            now,
+            AdaptEvent::RelocationStep {
+                round,
+                step: 2,
+                sender,
+                receiver,
+                parts: event_parts,
+                bytes: 0,
+                buffered_tuples: 0,
+                load_ratio: 0.0,
+            },
+        );
         if matches!(action, Action::Abort) {
             self.active_round = None;
             self.relocations_aborted += 1;
@@ -129,15 +167,35 @@ impl GlobalCoordinator {
         Ok(action)
     }
 
-    /// Step 6: the receiver's transfer ack arrived. Returns the final
-    /// remap-and-resume action and closes the round.
-    pub fn on_transfer_ack(&mut self, from: EngineId, round: u64) -> Result<Action> {
+    /// Step 6: the receiver's transfer ack arrived at virtual time
+    /// `now`. Returns the final remap-and-resume action and closes the
+    /// round.
+    pub fn on_transfer_ack(
+        &mut self,
+        from: EngineId,
+        round: u64,
+        now: VirtualTime,
+    ) -> Result<Action> {
         let active = self
             .active_round
             .as_mut()
             .ok_or_else(|| DcapeError::protocol("transfer_ack with no active relocation"))?;
+        let (sender, receiver) = (active.sender(), active.receiver());
         let action = active.on_transfer_ack(from, round)?;
         debug_assert!(active.is_done());
+        self.journal.record(
+            now,
+            AdaptEvent::RelocationStep {
+                round,
+                step: 6,
+                sender,
+                receiver,
+                parts: Vec::new(),
+                bytes: 0,
+                buffered_tuples: 0,
+                load_ratio: 0.0,
+            },
+        );
         self.active_round = None;
         self.relocations_completed += 1;
         Ok(action)
@@ -165,8 +223,15 @@ mod tests {
     fn full_relocation_lifecycle() {
         let mut gc = lazy();
         assert!(!gc.relocation_active());
-        let d = gc.evaluate(&imbalanced(), VirtualTime::from_secs(1)).unwrap();
-        let Decision::Relocate { sender, receiver, amount } = d else {
+        let d = gc
+            .evaluate(&imbalanced(), VirtualTime::from_secs(1))
+            .unwrap();
+        let Decision::Relocate {
+            sender,
+            receiver,
+            amount,
+        } = d
+        else {
             panic!("expected relocation, got {d:?}");
         };
         assert!(gc.relocation_active());
@@ -174,14 +239,23 @@ mod tests {
         assert_eq!((s, r, a), (sender, receiver, amount));
 
         // While active, further evaluations do nothing.
-        let d2 = gc.evaluate(&imbalanced(), VirtualTime::from_secs(2)).unwrap();
+        let d2 = gc
+            .evaluate(&imbalanced(), VirtualTime::from_secs(2))
+            .unwrap();
         assert_eq!(d2, Decision::None);
 
         let action = gc
-            .on_ptv(sender, round, vec![PartitionId(1), PartitionId(2)])
+            .on_ptv(
+                sender,
+                round,
+                vec![PartitionId(1), PartitionId(2)],
+                VirtualTime::from_secs(3),
+            )
             .unwrap();
         assert!(matches!(action, Action::PauseAndTransfer { .. }));
-        let action = gc.on_transfer_ack(receiver, round).unwrap();
+        let action = gc
+            .on_transfer_ack(receiver, round, VirtualTime::from_secs(4))
+            .unwrap();
         assert!(matches!(action, Action::RemapAndResume { .. }));
         assert!(!gc.relocation_active());
         assert_eq!(gc.relocations_completed(), 1);
@@ -191,13 +265,16 @@ mod tests {
     #[test]
     fn abort_on_empty_ptv() {
         let mut gc = lazy();
-        let Decision::Relocate { sender, .. } =
-            gc.evaluate(&imbalanced(), VirtualTime::from_secs(1)).unwrap()
+        let Decision::Relocate { sender, .. } = gc
+            .evaluate(&imbalanced(), VirtualTime::from_secs(1))
+            .unwrap()
         else {
             panic!()
         };
         let (round, ..) = gc.active_round_info().unwrap();
-        let action = gc.on_ptv(sender, round, vec![]).unwrap();
+        let action = gc
+            .on_ptv(sender, round, vec![], VirtualTime::from_secs(2))
+            .unwrap();
         assert_eq!(action, Action::Abort);
         assert!(!gc.relocation_active());
         assert_eq!(gc.relocations_aborted(), 1);
@@ -207,8 +284,12 @@ mod tests {
     #[test]
     fn protocol_events_without_round_are_errors() {
         let mut gc = lazy();
-        assert!(gc.on_ptv(EngineId(0), 0, vec![]).is_err());
-        assert!(gc.on_transfer_ack(EngineId(0), 0).is_err());
+        assert!(gc
+            .on_ptv(EngineId(0), 0, vec![], VirtualTime::ZERO)
+            .is_err());
+        assert!(gc
+            .on_transfer_ack(EngineId(0), 0, VirtualTime::ZERO)
+            .is_err());
     }
 
     #[test]

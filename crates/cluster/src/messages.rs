@@ -24,6 +24,7 @@ use dcape_common::ids::{EngineId, PartitionId};
 use dcape_common::time::VirtualTime;
 use dcape_common::tuple::Tuple;
 use dcape_engine::stats::EngineStatsReport;
+use dcape_metrics::journal::{CountersSnapshot, JournalEntry};
 use dcape_storage::SpilledGroup;
 
 /// A relocated partition group in flight: snapshot plus carried
@@ -67,6 +68,8 @@ pub enum ToEngine {
     InstallStates {
         /// Relocation round id.
         round: u64,
+        /// Originating engine (journaled by the receiver).
+        sender: EngineId,
         /// The groups.
         groups: Vec<GroupTransfer>,
     },
@@ -155,6 +158,11 @@ pub enum FromEngine {
         spill_count: u64,
         /// Modeled virtual cost of the local merge (ms).
         cleanup_cost_ms: u64,
+        /// The engine's adaptation-event journal (empty when journaling
+        /// is off).
+        journal: Vec<JournalEntry>,
+        /// The engine's final journal counters.
+        journal_counters: CountersSnapshot,
     },
 }
 

@@ -40,9 +40,7 @@ impl PlacementSpec {
                 .collect()),
             PlacementSpec::Fractions(fractions) => {
                 if fractions.len() != num_engines {
-                    return Err(DcapeError::config(
-                        "fraction count must equal engine count",
-                    ));
+                    return Err(DcapeError::config("fraction count must equal engine count"));
                 }
                 let total: f64 = fractions.iter().sum();
                 if !(0.99..=1.01).contains(&total) {
@@ -226,12 +224,7 @@ mod tests {
 
     #[test]
     fn fractions_claim_blocks() {
-        let m = PlacementMap::new(
-            &PlacementSpec::Fractions(vec![0.6, 0.2, 0.2]),
-            100,
-            3,
-        )
-        .unwrap();
+        let m = PlacementMap::new(&PlacementSpec::Fractions(vec![0.6, 0.2, 0.2]), 100, 3).unwrap();
         assert_eq!(m.distribution(3), vec![60, 20, 20]);
         assert_eq!(m.owner(PartitionId(0)).unwrap(), EngineId(0));
         assert_eq!(m.owner(PartitionId(99)).unwrap(), EngineId(2));

@@ -111,7 +111,12 @@ impl RelocationRound {
     }
 
     /// Step 2 arrived: the sender chose `parts`.
-    pub fn on_ptv(&mut self, from: EngineId, round: u64, parts: Vec<PartitionId>) -> Result<Action> {
+    pub fn on_ptv(
+        &mut self,
+        from: EngineId,
+        round: u64,
+        parts: Vec<PartitionId>,
+    ) -> Result<Action> {
         self.expect_phase(Phase::WaitPtv, "ptv")?;
         self.expect_round(round, "ptv")?;
         if from != self.sender {

@@ -20,6 +20,9 @@ use dcape_engine::config::EngineConfig;
 use dcape_engine::engine::QueryEngine;
 use dcape_engine::sink::{CollectingSink, ResultSink};
 use dcape_engine::spill::cleanup::merge_segments_windowed;
+use dcape_metrics::journal::{
+    merge_journals, AdaptEvent, CountersSnapshot, JournalEntry, JournalHandle,
+};
 use dcape_metrics::Recorder;
 use dcape_storage::SpilledGroup;
 use dcape_streamgen::{StreamSetGenerator, StreamSetSpec};
@@ -54,6 +57,9 @@ pub struct SimConfig {
     pub network: NetworkModel,
     /// Collect full results (tests); otherwise results are only counted.
     pub collect_results: bool,
+    /// Record a structured adaptation-event journal (merged into the
+    /// report); off by default.
+    pub journal: bool,
 }
 
 impl SimConfig {
@@ -75,6 +81,7 @@ impl SimConfig {
             sample_interval: VirtualDuration::from_secs(60),
             network: NetworkModel::gigabit(),
             collect_results: false,
+            journal: false,
         }
     }
 
@@ -99,6 +106,12 @@ impl SimConfig {
     /// Builder-style: collect full results.
     pub fn collecting(mut self) -> Self {
         self.collect_results = true;
+        self
+    }
+
+    /// Builder-style: record the adaptation-event journal.
+    pub fn with_journal(mut self) -> Self {
+        self.journal = true;
         self
     }
 }
@@ -141,6 +154,12 @@ pub struct SimReport {
     pub runtime_results: Option<CollectingSink>,
     /// Collected results, if `collect_results` was set: cleanup phase.
     pub cleanup_results: Option<CollectingSink>,
+    /// Adaptation-event journal, merged across the driver and every
+    /// engine by virtual time (empty unless `journal` was set).
+    pub journal: Vec<JournalEntry>,
+    /// Final counter values (driver-level tallies plus per-engine ring
+    /// accounting; zeros unless `journal` was set).
+    pub journal_counters: CountersSnapshot,
 }
 
 impl SimReport {
@@ -157,12 +176,8 @@ impl SimReport {
 
     /// A ready-to-print run summary: one row per engine plus totals.
     pub fn summary_table(&self) -> dcape_metrics::Table {
-        let mut table = dcape_metrics::Table::new(&[
-            "engine",
-            "final output",
-            "spills",
-            "cleanup cost (ms)",
-        ]);
+        let mut table =
+            dcape_metrics::Table::new(&["engine", "final output", "spills", "cleanup cost (ms)"]);
         for (i, (spills, cost)) in self
             .spill_counts
             .iter()
@@ -235,6 +250,10 @@ pub struct SimDriver {
     sink: SimSink,
     in_flight: Option<InFlightTransfer>,
     relocations: Vec<RelocationEvent>,
+    journal: JournalHandle,
+    /// Engine spill bytes already mirrored into the driver journal's
+    /// counters (strategies read cluster-wide totals mid-run).
+    mirrored_spill_bytes: u64,
     now: VirtualTime,
 }
 
@@ -254,26 +273,34 @@ impl SimDriver {
             gen.partitioner(),
             vec![StreamSetGenerator::JOIN_COLUMN; cfg.workload.num_streams],
         )?;
-        let placement = PlacementMap::new(
-            &cfg.placement,
-            cfg.workload.num_partitions,
-            cfg.num_engines,
-        )?;
-        let engines = (0..cfg.num_engines)
+        let placement =
+            PlacementMap::new(&cfg.placement, cfg.workload.num_partitions, cfg.num_engines)?;
+        let mut engines = (0..cfg.num_engines)
             .map(|i| QueryEngine::in_memory(EngineId(i as u16), cfg.engine.clone()))
             .collect::<Result<Vec<_>>>()?;
-        let gc = GlobalCoordinator::new(&cfg.strategy);
+        let mut gc = GlobalCoordinator::new(&cfg.strategy);
+        // Each engine keeps its own journal; the driver, coordinator and
+        // strategy share one more. `finish` merges them by virtual time.
+        let journal = if cfg.journal {
+            for e in &mut engines {
+                e.set_journal(JournalHandle::enabled());
+            }
+            let handle = JournalHandle::enabled();
+            gc.set_journal(handle.clone());
+            handle
+        } else {
+            JournalHandle::disabled()
+        };
         let collect = cfg.collect_results.then(CollectingSink::new);
         Ok(SimDriver {
             stats_timer: PeriodicTimer::new(cfg.stats_interval, VirtualTime::ZERO),
             sample_timer: PeriodicTimer::new(cfg.sample_interval, VirtualTime::ZERO),
             recorder: Recorder::new(),
-            sink: SimSink {
-                count: 0,
-                collect,
-            },
+            sink: SimSink { count: 0, collect },
             in_flight: None,
             relocations: Vec::new(),
+            journal,
+            mirrored_spill_bytes: 0,
             now: VirtualTime::ZERO,
             cfg,
             engines,
@@ -339,6 +366,7 @@ impl SimDriver {
             e.tick(self.now)?;
             e.maybe_reactivate(&mut self.sink)?;
         }
+        self.mirror_engine_spills();
         // Coordinator evaluation.
         if self.stats_timer.expired(self.now) {
             self.stats_timer.reset(self.now);
@@ -361,13 +389,64 @@ impl SimDriver {
 
     fn route_and_process(&mut self, tuple: Tuple) -> Result<()> {
         let pid = self.split.classify(&tuple)?;
+        self.journal.add_tuples_routed(1);
         match self.placement.route(pid, tuple)? {
-            Route::Buffered => Ok(()),
+            Route::Buffered => {
+                self.journal.add_buffered_in_flight(1);
+                Ok(())
+            }
             Route::Deliver(engine, tuple) => {
                 self.engines[engine.index()].process(pid, tuple, &mut self.sink)?;
                 Ok(())
             }
         }
+    }
+
+    /// Mirror engine spill volume into the shared driver journal so the
+    /// strategies' counter view is cluster-wide.
+    fn mirror_engine_spills(&mut self) {
+        if !self.journal.is_enabled() {
+            return;
+        }
+        let total: u64 = self
+            .engines
+            .iter()
+            .filter_map(|e| e.journal().counters())
+            .map(|c| c.spill_bytes())
+            .sum();
+        let delta = total - self.mirrored_spill_bytes;
+        if delta > 0 {
+            self.journal.add_spill_bytes(delta);
+            self.mirrored_spill_bytes = total;
+        }
+    }
+
+    /// Record a relocation protocol step the driver itself executes
+    /// (3–5, 7, 8; the coordinator records 1, 2 and 6).
+    #[allow(clippy::too_many_arguments)] // mirrors the event's fields
+    fn record_step(
+        &self,
+        round: u64,
+        step: u8,
+        sender: EngineId,
+        receiver: EngineId,
+        parts: &[PartitionId],
+        bytes: u64,
+        buffered_tuples: u64,
+    ) {
+        self.journal.record(
+            self.now,
+            AdaptEvent::RelocationStep {
+                round,
+                step,
+                sender,
+                receiver,
+                parts: parts.to_vec(),
+                bytes,
+                buffered_tuples,
+                load_ratio: 0.0,
+            },
+        );
     }
 
     fn evaluate_coordinator(&mut self) -> Result<()> {
@@ -389,14 +468,12 @@ impl SimDriver {
                 amount,
             } => {
                 // Step 1 (Cptv) + step 2 (Ptv), synchronous in the sim.
-                let (round, s, _r, _a) = self
-                    .gc
-                    .active_round_info()
-                    .expect("relocation just opened");
+                let (round, s, _r, _a) =
+                    self.gc.active_round_info().expect("relocation just opened");
                 debug_assert_eq!(s, sender);
                 self.engines[sender.index()].set_mode(dcape_engine::controller::Mode::Relocation);
                 let parts = self.engines[sender.index()].select_parts_to_move(amount);
-                match self.gc.on_ptv(sender, round, parts)? {
+                match self.gc.on_ptv(sender, round, parts, self.now)? {
                     Action::Abort => {
                         self.engines[sender.index()]
                             .set_mode(dcape_engine::controller::Mode::Normal);
@@ -409,15 +486,17 @@ impl SimDriver {
                     } => {
                         // Step 3: pause at the splits.
                         self.placement.pause(&parts)?;
+                        self.record_step(round, 3, sender, receiver, &parts, 0, 0);
                         // Steps 4–5: extract and ship; the transfer
                         // completes after the modeled network time.
                         self.engines[receiver.index()]
                             .set_mode(dcape_engine::controller::Mode::Relocation);
                         let groups = self.engines[sender.index()].extract_groups(&parts);
-                        let bytes: u64 =
-                            groups.iter().map(|(g, _)| g.state_bytes() as u64).sum();
-                        let cost = self.cfg.network.transfer_cost(bytes)
-                            + self.cfg.network.control_cost();
+                        let bytes: u64 = groups.iter().map(|(g, _)| g.state_bytes() as u64).sum();
+                        self.record_step(round, 4, sender, receiver, &parts, bytes, 0);
+                        self.journal.add_relocation_bytes(bytes);
+                        let cost =
+                            self.cfg.network.transfer_cost(bytes) + self.cfg.network.control_cost();
                         self.in_flight = Some(InFlightTransfer {
                             round,
                             receiver,
@@ -429,9 +508,9 @@ impl SimDriver {
                         });
                         Ok(())
                     }
-                    Action::RemapAndResume { .. } => Err(DcapeError::protocol(
-                        "remap before transfer completed",
-                    )),
+                    Action::RemapAndResume { .. } => {
+                        Err(DcapeError::protocol("remap before transfer completed"))
+                    }
                 }
             }
         }
@@ -441,8 +520,9 @@ impl SimDriver {
         let t = self.in_flight.take().expect("caller checked");
         // Step 5 completes: install at the receiver.
         self.engines[t.receiver.index()].install_groups(t.groups)?;
+        self.record_step(t.round, 5, t.sender, t.receiver, &t.parts, t.bytes, 0);
         // Step 6: ack; coordinator answers with remap-and-resume.
-        let action = self.gc.on_transfer_ack(t.receiver, t.round)?;
+        let action = self.gc.on_transfer_ack(t.receiver, t.round, self.now)?;
         let Action::RemapAndResume { parts, receiver } = action else {
             return Err(DcapeError::protocol("expected remap after ack"));
         };
@@ -455,9 +535,12 @@ impl SimDriver {
                 self.engines[receiver.index()].process(pid, tuple, &mut self.sink)?;
             }
         }
+        self.record_step(t.round, 7, t.sender, t.receiver, &parts, 0, buffered as u64);
+        self.journal.sub_buffered_in_flight(buffered as u64);
         // Step 8: resume.
         self.engines[t.sender.index()].set_mode(dcape_engine::controller::Mode::Normal);
         self.engines[t.receiver.index()].set_mode(dcape_engine::controller::Mode::Normal);
+        self.record_step(t.round, 8, t.sender, t.receiver, &[], 0, 0);
         self.relocations.push(RelocationEvent {
             at: self.now,
             sender: t.sender,
@@ -471,20 +554,13 @@ impl SimDriver {
 
     fn sample_series(&mut self) {
         let total: u64 = self.sink.count;
-        self.recorder
-            .record("output/total", self.now, total as f64);
+        self.recorder.record("output/total", self.now, total as f64);
         for e in &self.engines {
             let id = e.id();
-            self.recorder.record(
-                &format!("mem/{id}"),
-                self.now,
-                e.memory_used() as f64,
-            );
-            self.recorder.record(
-                &format!("output/{id}"),
-                self.now,
-                e.total_output() as f64,
-            );
+            self.recorder
+                .record(&format!("mem/{id}"), self.now, e.memory_used() as f64);
+            self.recorder
+                .record(&format!("output/{id}"), self.now, e.total_output() as f64);
         }
     }
 
@@ -495,6 +571,7 @@ impl SimDriver {
             self.complete_transfer()?;
         }
         self.sample_series();
+        self.mirror_engine_spills();
         let runtime_output = self.sink.count;
         let runtime_results = self.sink.collect.take();
 
@@ -522,14 +599,15 @@ impl SimDriver {
             let owner = self.placement.owner(pid)?;
             let mut segments: Vec<SpilledGroup> = Vec::new();
             let mut io_ms = 0u64;
+            let mut disk_bytes = 0u64;
             for e in &mut self.engines {
                 for meta in e.spilled_segment_metas(pid) {
                     io_ms += cost_model.disk.io_cost(meta.state_bytes).as_millis();
+                    disk_bytes += meta.state_bytes;
                 }
                 segments.extend(e.take_spilled_segments(pid)?);
             }
-            if let Some((resident, _)) = self.engines[owner.index()].extract_resident_group(pid)
-            {
+            if let Some((resident, _)) = self.engines[owner.index()].extract_resident_group(pid) {
                 segments.push(resident);
             }
             let outcome = merge_segments_windowed(
@@ -538,9 +616,37 @@ impl SimDriver {
                 segments,
                 &mut cleanup_sink,
             )?;
+            self.journal.record(
+                self.now,
+                AdaptEvent::CleanupPhase {
+                    engine: owner,
+                    group: pid,
+                    missing_results: outcome.missing_results,
+                    scanned_tuples: outcome.scanned_tuples,
+                    disk_bytes_read: disk_bytes,
+                },
+            );
             let compute_us = outcome.scanned_tuples * cost_model.cleanup_scan_us_per_tuple
                 + outcome.missing_results * cost_model.cleanup_emit_us_per_result;
             cost_ms[owner.index()] += io_ms + compute_us / 1000;
+        }
+
+        let journal = if self.journal.is_enabled() {
+            let mut rings = vec![self.journal.snapshot()];
+            rings.extend(self.engines.iter().map(|e| e.journal().snapshot()));
+            merge_journals(rings)
+        } else {
+            Vec::new()
+        };
+        let mut journal_counters = self
+            .journal
+            .counters()
+            .map(|c| c.snapshot())
+            .unwrap_or_default();
+        // Ring accounting is per journal; fold the engines' in.
+        for c in self.engines.iter().filter_map(|e| e.journal().counters()) {
+            journal_counters.events_recorded += c.events_recorded();
+            journal_counters.events_dropped += c.events_dropped();
         }
 
         Ok(SimReport {
@@ -557,6 +663,8 @@ impl SimDriver {
             recorder: std::mem::take(&mut self.recorder),
             runtime_results,
             cleanup_results: cleanup_sink.collect,
+            journal,
+            journal_counters,
         })
     }
 }

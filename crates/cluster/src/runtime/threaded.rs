@@ -31,6 +31,9 @@ use dcape_common::time::{PeriodicTimer, VirtualTime};
 use dcape_engine::controller::Mode;
 use dcape_engine::engine::QueryEngine;
 use dcape_engine::sink::CountingSink;
+use dcape_metrics::journal::{
+    merge_journals, AdaptEvent, CountersSnapshot, JournalEntry, JournalHandle,
+};
 use dcape_streamgen::StreamSetGenerator;
 
 use crate::coordinator::GlobalCoordinator;
@@ -56,6 +59,13 @@ pub struct ThreadedReport {
     pub force_spills: u64,
     /// Modeled parallel cleanup wall time: max per-engine merge cost.
     pub cleanup_wall_ms: u64,
+    /// Adaptation-event journal: every engine's journal plus the
+    /// coordinator's, merged by virtual time (empty unless
+    /// `SimConfig::journal` was set).
+    pub journal: Vec<JournalEntry>,
+    /// Final counter values (coordinator-side tallies plus per-engine
+    /// ring accounting; zeros unless `SimConfig::journal` was set).
+    pub journal_counters: CountersSnapshot,
 }
 
 impl ThreadedReport {
@@ -76,12 +86,18 @@ pub fn run_threaded(cfg: SimConfig, deadline: VirtualTime) -> Result<ThreadedRep
         gen.partitioner(),
         vec![StreamSetGenerator::JOIN_COLUMN; cfg.workload.num_streams],
     )?;
-    let mut placement = PlacementMap::new(
-        &cfg.placement,
-        cfg.workload.num_partitions,
-        cfg.num_engines,
-    )?;
+    let mut placement =
+        PlacementMap::new(&cfg.placement, cfg.workload.num_partitions, cfg.num_engines)?;
     let mut gc = GlobalCoordinator::new(&cfg.strategy);
+    // Coordinator-side journal; each engine thread keeps its own and
+    // ships it back with `CleanupDone` for the final merge.
+    let journal = if cfg.journal {
+        let handle = JournalHandle::enabled();
+        gc.set_journal(handle.clone());
+        handle
+    } else {
+        JournalHandle::disabled()
+    };
 
     // Channel fabric.
     let mut to_engines: Vec<Sender<ToEngine>> = Vec::with_capacity(cfg.num_engines);
@@ -100,10 +116,11 @@ pub fn run_threaded(cfg: SimConfig, deadline: VirtualTime) -> Result<ThreadedRep
         let engine_cfg = cfg.engine.clone();
         let to_gc = to_gc.clone();
         let peers = to_engines.clone();
+        let journal_on = cfg.journal;
         handles.push(
             thread::Builder::new()
                 .name(format!("dcape-qe{i}"))
-                .spawn(move || engine_main(id, engine_cfg, rx, to_gc, peers))
+                .spawn(move || engine_main(id, engine_cfg, rx, to_gc, peers, journal_on))
                 .expect("spawn engine thread"),
         );
     }
@@ -131,8 +148,11 @@ pub fn run_threaded(cfg: SimConfig, deadline: VirtualTime) -> Result<ThreadedRep
         let batch = gen.generate_ticks(1);
         for tuple in batch {
             let pid = split.classify(&tuple)?;
+            journal.add_tuples_routed(1);
             match placement.route(pid, tuple)? {
-                Route::Buffered => {}
+                Route::Buffered => {
+                    journal.add_buffered_in_flight(1);
+                }
                 Route::Deliver(engine, tuple) => {
                     send_to(&to_engines, engine, ToEngine::Data { pid, tuple })?;
                 }
@@ -149,7 +169,11 @@ pub fn run_threaded(cfg: SimConfig, deadline: VirtualTime) -> Result<ThreadedRep
             awaiting_stats = true;
             pending_stats.iter_mut().for_each(|s| *s = None);
             for i in 0..cfg.num_engines {
-                send_to(&to_engines, EngineId(i as u16), ToEngine::ReportStats { now })?;
+                send_to(
+                    &to_engines,
+                    EngineId(i as u16),
+                    ToEngine::ReportStats { now },
+                )?;
             }
         }
 
@@ -163,6 +187,7 @@ pub fn run_threaded(cfg: SimConfig, deadline: VirtualTime) -> Result<ThreadedRep
                 &mut pending_stats,
                 &mut awaiting_stats,
                 &mut relocations,
+                &journal,
                 now,
             )?;
         }
@@ -182,6 +207,7 @@ pub fn run_threaded(cfg: SimConfig, deadline: VirtualTime) -> Result<ThreadedRep
             &mut pending_stats,
             &mut awaiting_stats,
             &mut relocations,
+            &journal,
             deadline,
         )?;
     }
@@ -229,6 +255,8 @@ pub fn run_threaded(cfg: SimConfig, deadline: VirtualTime) -> Result<ThreadedRep
     let mut cleanup_output = 0u64;
     let mut cleanup_wall_ms = 0u64;
     let mut spill_counts = vec![0u64; cfg.num_engines];
+    let mut engine_journals: Vec<Vec<JournalEntry>> = Vec::with_capacity(cfg.num_engines);
+    let mut journal_counters = CountersSnapshot::default();
     let mut remaining = cfg.num_engines;
     while remaining > 0 {
         match from_engines
@@ -241,11 +269,20 @@ pub fn run_threaded(cfg: SimConfig, deadline: VirtualTime) -> Result<ThreadedRep
                 cleanup_output: missed,
                 spill_count,
                 cleanup_cost_ms,
+                journal: engine_journal,
+                journal_counters: engine_counters,
             } => {
                 runtime_output += out;
                 cleanup_output += missed;
                 cleanup_wall_ms = cleanup_wall_ms.max(cleanup_cost_ms);
                 spill_counts[engine.index()] = spill_count;
+                engine_journals.push(engine_journal);
+                // Spills happen engine-side here (unlike the sim's
+                // mirror); fold the engines' I/O volumes and ring
+                // accounting into the cluster-wide totals.
+                journal_counters.spill_bytes += engine_counters.spill_bytes;
+                journal_counters.events_recorded += engine_counters.events_recorded;
+                journal_counters.events_dropped += engine_counters.events_dropped;
                 remaining -= 1;
             }
             other => {
@@ -260,6 +297,16 @@ pub fn run_threaded(cfg: SimConfig, deadline: VirtualTime) -> Result<ThreadedRep
             .map_err(|_| DcapeError::Disconnected("engine thread panicked".into()))?;
     }
 
+    let merged = if cfg.journal {
+        engine_journals.push(journal.snapshot());
+        merge_journals(engine_journals)
+    } else {
+        Vec::new()
+    };
+    if let Some(c) = journal.counters() {
+        journal_counters.absorb(&c.snapshot());
+    }
+
     Ok(ThreadedReport {
         runtime_output,
         cleanup_output,
@@ -267,6 +314,8 @@ pub fn run_threaded(cfg: SimConfig, deadline: VirtualTime) -> Result<ThreadedRep
         spill_counts,
         force_spills: gc.force_spills_issued(),
         cleanup_wall_ms,
+        journal: merged,
+        journal_counters,
     })
 }
 
@@ -281,6 +330,7 @@ fn handle_coordinator_msg(
     pending_stats: &mut [Option<dcape_engine::stats::EngineStatsReport>],
     awaiting_stats: &mut bool,
     relocations: &mut u64,
+    journal: &JournalHandle,
     now: VirtualTime,
 ) -> Result<()> {
     let send = |e: EngineId, m: ToEngine| -> Result<()> {
@@ -294,8 +344,7 @@ fn handle_coordinator_msg(
             pending_stats[idx] = Some(report);
             if *awaiting_stats && pending_stats.iter().all(Option::is_some) {
                 *awaiting_stats = false;
-                let stats =
-                    ClusterStats::new(pending_stats.iter().flatten().copied().collect());
+                let stats = ClusterStats::new(pending_stats.iter().flatten().copied().collect());
                 match gc.evaluate(&stats, now)? {
                     Decision::None => {}
                     Decision::ForceSpill { engine, amount } => {
@@ -315,7 +364,7 @@ fn handle_coordinator_msg(
             round,
             engine,
             parts,
-        } => match gc.on_ptv(engine, round, parts)? {
+        } => match gc.on_ptv(engine, round, parts, now)? {
             Action::Abort => send(engine, ToEngine::Resume { round }),
             Action::PauseAndTransfer {
                 parts,
@@ -323,6 +372,19 @@ fn handle_coordinator_msg(
                 receiver,
             } => {
                 placement.pause(&parts)?;
+                journal.record(
+                    now,
+                    AdaptEvent::RelocationStep {
+                        round,
+                        step: 3,
+                        sender,
+                        receiver,
+                        parts: parts.clone(),
+                        bytes: 0,
+                        buffered_tuples: 0,
+                        load_ratio: 0.0,
+                    },
+                );
                 send(
                     sender,
                     ToEngine::SendStates {
@@ -332,19 +394,40 @@ fn handle_coordinator_msg(
                     },
                 )
             }
-            Action::RemapAndResume { .. } => {
-                Err(DcapeError::protocol("remap action out of order"))
-            }
+            Action::RemapAndResume { .. } => Err(DcapeError::protocol("remap action out of order")),
         },
-        FromEngine::TransferAck { round, engine, .. } => {
-            match gc.on_transfer_ack(engine, round)? {
+        FromEngine::TransferAck {
+            round,
+            engine,
+            bytes,
+        } => {
+            // Capture the pair before the ack closes the round.
+            let sender = gc.active_round_info().map(|(_, s, ..)| s).unwrap_or(engine);
+            journal.add_relocation_bytes(bytes);
+            match gc.on_transfer_ack(engine, round, now)? {
                 Action::RemapAndResume { parts, receiver } => {
                     let released = placement.remap_and_release(&parts, receiver)?;
+                    let mut buffered = 0u64;
                     for (pid, tuples) in released {
+                        buffered += tuples.len() as u64;
                         for tuple in tuples {
                             send(receiver, ToEngine::Data { pid, tuple })?;
                         }
                     }
+                    journal.record(
+                        now,
+                        AdaptEvent::RelocationStep {
+                            round,
+                            step: 7,
+                            sender,
+                            receiver,
+                            parts,
+                            bytes: 0,
+                            buffered_tuples: buffered,
+                            load_ratio: 0.0,
+                        },
+                    );
+                    journal.sub_buffered_in_flight(buffered);
                     *relocations += 1;
                     // Step 8: resume both parties. The sender is derivable
                     // from the completed round's parts' previous owner; we
@@ -352,6 +435,19 @@ fn handle_coordinator_msg(
                     for (i, _) in to_engines.iter().enumerate() {
                         send(EngineId(i as u16), ToEngine::Resume { round })?;
                     }
+                    journal.record(
+                        now,
+                        AdaptEvent::RelocationStep {
+                            round,
+                            step: 8,
+                            sender,
+                            receiver,
+                            parts: Vec::new(),
+                            bytes: 0,
+                            buffered_tuples: 0,
+                            load_ratio: 0.0,
+                        },
+                    );
                     Ok(())
                 }
                 other => Err(DcapeError::protocol(format!(
@@ -359,9 +455,9 @@ fn handle_coordinator_msg(
                 ))),
             }
         }
-        FromEngine::CleanupReady { .. } | FromEngine::CleanupDone { .. } => Err(
-            DcapeError::protocol("cleanup message before shutdown"),
-        ),
+        FromEngine::CleanupReady { .. } | FromEngine::CleanupDone { .. } => {
+            Err(DcapeError::protocol("cleanup message before shutdown"))
+        }
     }
 }
 
@@ -372,11 +468,15 @@ fn engine_main(
     rx: Receiver<ToEngine>,
     to_gc: Sender<FromEngine>,
     peers: Vec<Sender<ToEngine>>,
+    journal_on: bool,
 ) {
     let mut qe = match QueryEngine::in_memory(id, cfg) {
         Ok(qe) => qe,
         Err(e) => panic!("engine {id} failed to start: {e}"),
     };
+    if journal_on {
+        qe.set_journal(JournalHandle::enabled());
+    }
     let mut sink = CountingSink::new();
     let mut last_now = VirtualTime::ZERO;
     for msg in rx.iter() {
@@ -408,7 +508,7 @@ fn engine_main(
                     parts,
                     receiver,
                 } => {
-                    let groups = qe
+                    let groups: Vec<GroupTransfer> = qe
                         .extract_groups(&parts)
                         .into_iter()
                         .map(|(snapshot, output_count)| GroupTransfer {
@@ -416,23 +516,55 @@ fn engine_main(
                             output_count,
                         })
                         .collect();
+                    let bytes: u64 = groups.iter().map(|g| g.snapshot.state_bytes() as u64).sum();
+                    qe.journal().record(
+                        last_now,
+                        AdaptEvent::RelocationStep {
+                            round,
+                            step: 4,
+                            sender: id,
+                            receiver,
+                            parts: parts.clone(),
+                            bytes,
+                            buffered_tuples: 0,
+                            load_ratio: 0.0,
+                        },
+                    );
+                    qe.journal().add_relocation_bytes(bytes);
                     let _ = peers[receiver.index()].send(ToEngine::InstallStates {
                         round,
+                        sender: id,
                         groups,
                     });
                 }
-                ToEngine::InstallStates { round, groups } => {
+                ToEngine::InstallStates {
+                    round,
+                    sender,
+                    groups,
+                } => {
                     qe.set_mode(Mode::Relocation);
-                    let bytes: u64 = groups
-                        .iter()
-                        .map(|g| g.snapshot.state_bytes() as u64)
-                        .sum();
+                    let bytes: u64 = groups.iter().map(|g| g.snapshot.state_bytes() as u64).sum();
+                    let parts: Vec<PartitionId> =
+                        groups.iter().map(|g| g.snapshot.partition).collect();
                     qe.install_groups(
                         groups
                             .into_iter()
                             .map(|g| (g.snapshot, g.output_count))
                             .collect(),
                     )?;
+                    qe.journal().record(
+                        last_now,
+                        AdaptEvent::RelocationStep {
+                            round,
+                            step: 5,
+                            sender,
+                            receiver: id,
+                            parts,
+                            bytes,
+                            buffered_tuples: 0,
+                            load_ratio: 0.0,
+                        },
+                    );
                     let _ = to_gc.send(FromEngine::TransferAck {
                         round,
                         engine: id,
@@ -479,6 +611,12 @@ fn engine_main(
                         cleanup_output: sink.count(),
                         spill_count: qe.spill_history().len() as u64,
                         cleanup_cost_ms: report.virtual_cost.as_millis(),
+                        journal: qe.journal().snapshot(),
+                        journal_counters: qe
+                            .journal()
+                            .counters()
+                            .map(|c| c.snapshot())
+                            .unwrap_or_default(),
                     });
                     return Ok(false);
                 }

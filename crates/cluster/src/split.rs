@@ -75,10 +75,15 @@ mod tests {
     #[test]
     fn classifies_by_per_stream_column() {
         // Stream 0 joins on column 0; stream 1 on column 1.
-        let mut split =
-            SplitOperator::new(Partitioner::modulo(8), vec![0, 1]).unwrap();
-        let t0 = TupleBuilder::new(StreamId(0)).value(5i64).value(99i64).build();
-        let t1 = TupleBuilder::new(StreamId(1)).value(99i64).value(5i64).build();
+        let mut split = SplitOperator::new(Partitioner::modulo(8), vec![0, 1]).unwrap();
+        let t0 = TupleBuilder::new(StreamId(0))
+            .value(5i64)
+            .value(99i64)
+            .build();
+        let t1 = TupleBuilder::new(StreamId(1))
+            .value(99i64)
+            .value(5i64)
+            .build();
         assert_eq!(split.classify(&t0).unwrap(), PartitionId(5));
         assert_eq!(split.classify(&t1).unwrap(), PartitionId(5));
         assert_eq!(split.classified(), 2);

@@ -7,6 +7,7 @@
 
 use dcape_common::ids::EngineId;
 use dcape_engine::stats::EngineStatsReport;
+use dcape_metrics::journal::AdaptEvent;
 
 /// The latest report from every engine, indexed by engine id.
 #[derive(Debug, Clone)]
@@ -116,6 +117,25 @@ impl ClusterStats {
     pub fn total_output(&self) -> u64 {
         self.reports.iter().map(|r| r.total_output).sum()
     }
+
+    /// Snapshot of the reductions the strategies read, as a journal
+    /// event (recorded once per coordinator evaluation).
+    pub fn sample_event(&self) -> AdaptEvent {
+        AdaptEvent::StatsSample {
+            engines: self.len() as u32,
+            max_load: self.max_load().map_or(0.0, |r| r.memory_used as f64),
+            min_load: self.min_load().map_or(0.0, |r| r.memory_used as f64),
+            load_ratio: self.load_ratio(),
+            productivity_ratio: self.productivity_ratio(),
+            memory_used: self.total_memory_used(),
+            // Unbounded engines report a budget of u64::MAX; saturate
+            // instead of overflowing the cluster-wide sum.
+            memory_budget: self
+                .reports
+                .iter()
+                .fold(0u64, |acc, r| acc.saturating_add(r.memory_budget)),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -140,7 +160,11 @@ mod tests {
 
     #[test]
     fn min_max_load_and_ratio() {
-        let s = ClusterStats::new(vec![report(0, 800, 2.0), report(1, 200, 8.0), report(2, 500, 4.0)]);
+        let s = ClusterStats::new(vec![
+            report(0, 800, 2.0),
+            report(1, 200, 8.0),
+            report(2, 500, 4.0),
+        ]);
         assert_eq!(s.max_load().unwrap().engine, EngineId(0));
         assert_eq!(s.min_load().unwrap().engine, EngineId(1));
         assert!((s.load_ratio() - 0.25).abs() < 1e-12);

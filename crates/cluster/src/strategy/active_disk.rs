@@ -1,6 +1,7 @@
 //! The active-disk strategy (Algorithm 2).
 
 use dcape_common::time::{VirtualDuration, VirtualTime};
+use dcape_metrics::journal::JournalHandle;
 
 use crate::stats::ClusterStats;
 use crate::strategy::planner::{RelocationPlanner, RelocationScheme};
@@ -20,6 +21,7 @@ pub struct ActiveDisk {
     force_spill_cap: u64,
     forced_bytes: u64,
     force_spills_triggered: u64,
+    journal: JournalHandle,
 }
 
 impl ActiveDisk {
@@ -45,6 +47,7 @@ impl ActiveDisk {
             force_spill_cap,
             forced_bytes: 0,
             force_spills_triggered: 0,
+            journal: JournalHandle::disabled(),
         }
     }
 
@@ -70,6 +73,7 @@ impl AdaptationStrategy for ActiveDisk {
     }
 
     fn decide(&mut self, stats: &ClusterStats, now: VirtualTime, active: bool) -> Decision {
+        self.journal.record(now, stats.sample_event());
         if active {
             return Decision::None;
         }
@@ -102,6 +106,10 @@ impl AdaptationStrategy for ActiveDisk {
             engine: min_prod.engine,
             amount,
         }
+    }
+
+    fn attach_journal(&mut self, journal: JournalHandle) {
+        self.journal = journal;
     }
 }
 

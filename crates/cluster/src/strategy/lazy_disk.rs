@@ -1,6 +1,7 @@
 //! The lazy-disk strategy (Algorithm 1).
 
 use dcape_common::time::{VirtualDuration, VirtualTime};
+use dcape_metrics::journal::JournalHandle;
 
 use crate::stats::ClusterStats;
 use crate::strategy::planner::{RelocationPlanner, RelocationScheme};
@@ -13,6 +14,7 @@ use crate::strategy::{AdaptationStrategy, Decision};
 #[derive(Debug)]
 pub struct LazyDisk {
     planner: RelocationPlanner,
+    journal: JournalHandle,
 }
 
 impl LazyDisk {
@@ -26,6 +28,7 @@ impl LazyDisk {
     pub fn with_scheme(theta_r: f64, tau_m: VirtualDuration, scheme: RelocationScheme) -> Self {
         LazyDisk {
             planner: RelocationPlanner::new(theta_r, tau_m, scheme),
+            journal: JournalHandle::disabled(),
         }
     }
 
@@ -41,10 +44,15 @@ impl AdaptationStrategy for LazyDisk {
     }
 
     fn decide(&mut self, stats: &ClusterStats, now: VirtualTime, active: bool) -> Decision {
+        self.journal.record(now, stats.sample_event());
         if active {
             return Decision::None;
         }
         self.planner.next(stats, now).unwrap_or(Decision::None)
+    }
+
+    fn attach_journal(&mut self, journal: JournalHandle) {
+        self.journal = journal;
     }
 }
 
@@ -87,8 +95,7 @@ mod tests {
     fn never_force_spills() {
         // Even with a huge productivity gap, lazy-disk only relocates.
         let mut s = LazyDisk::new(0.8, VirtualDuration::ZERO);
-        let balanced_gap =
-            ClusterStats::new(vec![report(0, 1000, 100.0), report(1, 950, 1.0)]);
+        let balanced_gap = ClusterStats::new(vec![report(0, 1000, 100.0), report(1, 950, 1.0)]);
         assert_eq!(
             s.decide(&balanced_gap, VirtualTime::from_secs(50), false),
             Decision::None

@@ -30,6 +30,7 @@ pub use planner::{RelocationPlanner, RelocationScheme};
 
 use dcape_common::ids::EngineId;
 use dcape_common::time::{VirtualDuration, VirtualTime};
+use dcape_metrics::journal::JournalHandle;
 
 use crate::stats::ClusterStats;
 
@@ -74,6 +75,12 @@ pub trait AdaptationStrategy: std::fmt::Debug + Send {
         now: VirtualTime,
         relocation_active: bool,
     ) -> Decision;
+
+    /// Give the strategy a journal to record [`AdaptEvent::StatsSample`]
+    /// snapshots of the inputs it decides on. Default: ignore it.
+    ///
+    /// [`AdaptEvent::StatsSample`]: dcape_metrics::journal::AdaptEvent
+    fn attach_journal(&mut self, _journal: JournalHandle) {}
 }
 
 /// Declarative strategy configuration (what experiments specify).

@@ -182,7 +182,9 @@ mod tests {
     #[test]
     fn pairwise_matches_paper_formula() {
         let mut p = RelocationPlanner::new(0.8, VirtualDuration::ZERO, RelocationScheme::PairWise);
-        let d = p.next(&stats(&[1000, 200]), VirtualTime::from_secs(1)).unwrap();
+        let d = p
+            .next(&stats(&[1000, 200]), VirtualTime::from_secs(1))
+            .unwrap();
         assert_eq!(
             d,
             Decision::Relocate {
@@ -269,8 +271,15 @@ mod tests {
             VirtualDuration::from_secs(45),
             RelocationScheme::PairWise,
         );
-        assert!(p.next(&stats(&[1000, 100]), VirtualTime::from_secs(1)).is_some());
-        assert_eq!(p.next(&stats(&[1000, 100]), VirtualTime::from_secs(30)), None);
-        assert!(p.next(&stats(&[1000, 100]), VirtualTime::from_secs(46)).is_some());
+        assert!(p
+            .next(&stats(&[1000, 100]), VirtualTime::from_secs(1))
+            .is_some());
+        assert_eq!(
+            p.next(&stats(&[1000, 100]), VirtualTime::from_secs(30)),
+            None
+        );
+        assert!(p
+            .next(&stats(&[1000, 100]), VirtualTime::from_secs(46))
+            .is_some());
     }
 }

@@ -1,0 +1,298 @@
+//! End-to-end checks of the adaptation-event journal.
+//!
+//! A run with adaptation enabled must leave an auditable trail: every
+//! completed relocation shows all 8 protocol steps in order, every
+//! spill decision is paired with cleanup events for the same partition
+//! groups, and the JSON-lines export holds one object per event.
+
+use dcape_cluster::runtime::sim::{SimConfig, SimDriver, SimReport};
+use dcape_cluster::runtime::threaded::run_threaded;
+use dcape_cluster::strategy::StrategyConfig;
+use dcape_cluster::PlacementSpec;
+use dcape_common::ids::PartitionId;
+use dcape_common::time::{VirtualDuration, VirtualTime};
+use dcape_engine::config::EngineConfig;
+use dcape_metrics::journal::{AdaptEvent, JournalEntry, SpillTrigger};
+use dcape_metrics::journal_to_jsonl;
+use dcape_streamgen::{ArrivalPattern, ClassAssignment, PartitionClass, StreamSetSpec};
+
+fn small_workload(seed: u64) -> StreamSetSpec {
+    StreamSetSpec::uniform(24, 2400, 1, VirtualDuration::from_millis(30))
+        .with_payload_pad(200)
+        .with_seed(seed)
+}
+
+/// Steps of one relocation round, in merged-timeline order.
+fn steps_of_round(journal: &[JournalEntry], round: u64) -> Vec<u8> {
+    journal
+        .iter()
+        .filter_map(|e| match &e.event {
+            AdaptEvent::RelocationStep { round: r, step, .. } if *r == round => Some(*step),
+            _ => None,
+        })
+        .collect()
+}
+
+fn relocation_rounds(journal: &[JournalEntry]) -> Vec<u64> {
+    let mut rounds: Vec<u64> = journal
+        .iter()
+        .filter_map(|e| match &e.event {
+            AdaptEvent::RelocationStep { round, .. } => Some(*round),
+            _ => None,
+        })
+        .collect();
+    rounds.sort_unstable();
+    rounds.dedup();
+    rounds
+}
+
+fn skewed_relocation_report(deadline: VirtualTime) -> SimReport {
+    let group_a: Vec<PartitionId> = (0..6).map(PartitionId).collect();
+    let spec = small_workload(23).with_pattern(ArrivalPattern::AlternatingSkew {
+        group_a,
+        ratio: 10.0,
+        period: VirtualDuration::from_mins(2),
+    });
+    // Roomy memory: relocation-only regime.
+    let cfg = SimConfig::new(
+        2,
+        EngineConfig::three_way(1 << 30, 1 << 29),
+        spec,
+        StrategyConfig::LazyDisk {
+            theta_r: 0.9,
+            tau_m: VirtualDuration::from_secs(45),
+        },
+    )
+    .with_placement(PlacementSpec::Fractions(vec![0.5, 0.5]))
+    .with_stats_interval(VirtualDuration::from_secs(30))
+    .with_journal();
+    let mut driver = SimDriver::new(cfg).unwrap();
+    driver.run_until(deadline).unwrap();
+    driver.finish().unwrap()
+}
+
+#[test]
+fn sim_relocation_emits_all_eight_steps_in_order() {
+    let report = skewed_relocation_report(VirtualTime::from_mins(8));
+    assert!(
+        !report.relocations.is_empty(),
+        "alternating skew must trigger relocations"
+    );
+    assert!(!report.journal.is_empty());
+
+    let rounds = relocation_rounds(&report.journal);
+    assert!(!rounds.is_empty());
+    let mut complete = 0usize;
+    for round in rounds {
+        let steps = steps_of_round(&report.journal, round);
+        if steps.len() == 8 {
+            assert_eq!(
+                steps,
+                vec![1, 2, 3, 4, 5, 6, 7, 8],
+                "round {round} steps out of order"
+            );
+            complete += 1;
+        } else {
+            // An aborted round stops after the (empty) Ptv arrives.
+            assert_eq!(steps, vec![1, 2], "round {round}: unexpected partial steps");
+        }
+    }
+    assert_eq!(
+        complete,
+        report.relocations.len(),
+        "every completed relocation must journal a full 8-step sequence"
+    );
+
+    // The strategy sampled its decision inputs at each evaluation.
+    assert!(report
+        .journal
+        .iter()
+        .any(|e| matches!(e.event, AdaptEvent::StatsSample { .. })));
+
+    // Counters match the run.
+    let c = report.journal_counters;
+    assert!(c.tuples_routed > 0);
+    assert!(c.relocation_bytes > 0);
+    assert_eq!(c.buffered_in_flight, 0, "gauge must return to zero");
+    assert_eq!(c.events_recorded, report.journal.len() as u64);
+    assert_eq!(c.events_dropped, 0);
+}
+
+#[test]
+fn sim_journal_merges_by_virtual_time_and_exports_jsonl() {
+    let report = skewed_relocation_report(VirtualTime::from_mins(6));
+    // Merged timeline is ordered by virtual time.
+    for pair in report.journal.windows(2) {
+        assert!(pair[0].at <= pair[1].at, "journal not time-ordered");
+    }
+    // JSON-lines export: one object per event.
+    let jsonl = journal_to_jsonl(&report.journal);
+    let lines: Vec<&str> = jsonl.lines().collect();
+    assert_eq!(lines.len(), report.journal.len());
+    for line in lines {
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(line.contains("\"kind\""));
+    }
+}
+
+#[test]
+fn sim_forced_spill_pairs_decision_with_cleanup_groups() {
+    let deadline = VirtualTime::from_mins(5);
+    let mut spec = small_workload(37);
+    // Productivity gap: half the partitions join 4x, the rest 1x.
+    spec.classes = vec![
+        PartitionClass {
+            assignment: ClassAssignment::Fraction(0.5),
+            join_rate: 4,
+            tuple_range: 2400,
+        },
+        PartitionClass {
+            assignment: ClassAssignment::Fraction(0.5),
+            join_rate: 1,
+            tuple_range: 2400,
+        },
+    ];
+    let cfg = SimConfig::new(
+        3,
+        EngineConfig::three_way(1 << 22, 600 << 10).with_spill_fraction(0.4),
+        spec,
+        StrategyConfig::ActiveDisk {
+            theta_r: 0.8,
+            tau_m: VirtualDuration::from_secs(45),
+            lambda: 1.5,
+            spill_fraction: 0.3,
+            force_spill_cap: 1 << 20,
+        },
+    )
+    .with_stats_interval(VirtualDuration::from_secs(30))
+    .with_journal();
+    let mut driver = SimDriver::new(cfg).unwrap();
+    driver.run_until(deadline).unwrap();
+    let report = driver.finish().unwrap();
+    assert!(report.force_spills > 0, "config must force spills");
+
+    let forced: Vec<&JournalEntry> = report
+        .journal
+        .iter()
+        .filter(|e| {
+            matches!(
+                e.event,
+                AdaptEvent::SpillDecision {
+                    trigger: SpillTrigger::Forced,
+                    ..
+                }
+            )
+        })
+        .collect();
+    assert!(
+        !forced.is_empty(),
+        "forced spills must journal a SpillDecision"
+    );
+
+    // Every partition group a spill decision pushed to disk is merged
+    // by a later CleanupPhase event for the same group id.
+    for entry in &forced {
+        let AdaptEvent::SpillDecision { groups, .. } = &entry.event else {
+            unreachable!();
+        };
+        assert!(!groups.is_empty());
+        for pid in groups {
+            assert!(
+                report.journal.iter().any(|e| match &e.event {
+                    AdaptEvent::CleanupPhase { group, .. } => group == pid && e.at >= entry.at,
+                    _ => false,
+                }),
+                "spilled group {pid} has no matching cleanup event"
+            );
+        }
+    }
+
+    // Threshold spills are journaled too, announced by memory pressure.
+    let threshold_spill = report.journal.iter().find(|e| {
+        matches!(
+            e.event,
+            AdaptEvent::SpillDecision {
+                trigger: SpillTrigger::MemoryThreshold,
+                ..
+            }
+        )
+    });
+    if let Some(spill) = threshold_spill {
+        let AdaptEvent::SpillDecision { engine, .. } = &spill.event else {
+            unreachable!();
+        };
+        assert!(
+            report.journal.iter().any(|e| match &e.event {
+                AdaptEvent::MemoryPressure { engine: p, .. } => p == engine && e.at <= spill.at,
+                _ => false,
+            }),
+            "threshold spill without a preceding memory-pressure event"
+        );
+    }
+    assert!(report.journal_counters.spill_bytes > 0);
+}
+
+#[test]
+fn threaded_journal_covers_relocations_and_merges_engine_rings() {
+    let deadline = VirtualTime::from_mins(5);
+    let group_a: Vec<PartitionId> = (0..6).map(PartitionId).collect();
+    let spec = small_workload(77).with_pattern(ArrivalPattern::AlternatingSkew {
+        group_a,
+        ratio: 10.0,
+        period: VirtualDuration::from_mins(2),
+    });
+    let cfg = SimConfig::new(
+        2,
+        EngineConfig::three_way(1 << 30, 1 << 29),
+        spec,
+        StrategyConfig::LazyDisk {
+            theta_r: 0.9,
+            tau_m: VirtualDuration::from_secs(45),
+        },
+    )
+    .with_placement(PlacementSpec::Fractions(vec![0.5, 0.5]))
+    .with_stats_interval(VirtualDuration::from_secs(30))
+    .with_journal();
+    let report = run_threaded(cfg, deadline).unwrap();
+    assert!(report.relocations > 0, "skew should force relocations");
+    assert!(!report.journal.is_empty());
+    for pair in report.journal.windows(2) {
+        assert!(pair[0].at <= pair[1].at, "merged journal not time-ordered");
+    }
+    // Every completed round journals every protocol step (cross-thread
+    // timestamps may tie, so check presence rather than strict order).
+    let mut complete = 0u64;
+    for round in relocation_rounds(&report.journal) {
+        let mut steps = steps_of_round(&report.journal, round);
+        steps.sort_unstable();
+        if steps.len() == 8 {
+            assert_eq!(steps, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+            complete += 1;
+        }
+    }
+    assert_eq!(complete, report.relocations);
+    assert!(report.journal_counters.tuples_routed > 0);
+    assert!(report.journal_counters.relocation_bytes > 0);
+}
+
+#[test]
+fn journal_off_by_default_keeps_reports_empty() {
+    let group_a: Vec<PartitionId> = (0..6).map(PartitionId).collect();
+    let spec = small_workload(23).with_pattern(ArrivalPattern::AlternatingSkew {
+        group_a,
+        ratio: 10.0,
+        period: VirtualDuration::from_mins(2),
+    });
+    let cfg = SimConfig::new(
+        2,
+        EngineConfig::three_way(1 << 30, 1 << 29),
+        spec,
+        StrategyConfig::lazy_default(),
+    )
+    .with_stats_interval(VirtualDuration::from_secs(30));
+    let mut driver = SimDriver::new(cfg).unwrap();
+    driver.run_until(VirtualTime::from_mins(4)).unwrap();
+    let report = driver.finish().unwrap();
+    assert!(report.journal.is_empty());
+    assert_eq!(report.journal_counters.events_recorded, 0);
+}

@@ -13,17 +13,20 @@ use dcape_common::tuple::TupleBuilder;
 /// An abstract protocol event for fuzzing.
 #[derive(Debug, Clone)]
 enum Event {
-    Ptv { from: u16, round: u64, parts: Vec<u32> },
-    Ack { from: u16, round: u64 },
+    Ptv {
+        from: u16,
+        round: u64,
+        parts: Vec<u32>,
+    },
+    Ack {
+        from: u16,
+        round: u64,
+    },
 }
 
 fn event_strategy() -> impl Strategy<Value = Event> {
     prop_oneof![
-        (
-            0u16..4,
-            0u64..3,
-            proptest::collection::vec(0u32..16, 0..5)
-        )
+        (0u16..4, 0u64..3, proptest::collection::vec(0u32..16, 0..5))
             .prop_map(|(from, round, parts)| Event::Ptv { from, round, parts }),
         (0u16..4, 0u64..3).prop_map(|(from, round)| Event::Ack { from, round }),
     ]

@@ -102,7 +102,9 @@ mod tests {
     fn hash_spreads_text_keys() {
         let p = Partitioner::hash(8);
         let mut seen = std::collections::HashSet::new();
-        for name in ["USD", "EUR", "GBP", "JPY", "CHF", "AUD", "CAD", "NZD", "SEK"] {
+        for name in [
+            "USD", "EUR", "GBP", "JPY", "CHF", "AUD", "CAD", "NZD", "SEK",
+        ] {
             seen.insert(p.partition_of(&Value::text(name)));
         }
         assert!(seen.len() >= 3, "keys all collided: {seen:?}");

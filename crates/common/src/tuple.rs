@@ -198,7 +198,10 @@ mod tests {
         assert_eq!(t.ts().as_millis(), 30);
         assert_eq!(t.arity(), 3);
         assert_eq!(t.get(0), Some(&Value::Int(42)));
-        assert_eq!(t.get(1).and_then(|v| v.as_text().map(str::to_owned)), Some("EUR".into()));
+        assert_eq!(
+            t.get(1).and_then(|v| v.as_text().map(str::to_owned)),
+            Some("EUR".into())
+        );
         assert_eq!(t.get(9), None);
         assert_eq!(t.identity(), (StreamId(1), 7));
     }

@@ -17,8 +17,8 @@ use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
-use bytes::Bytes;
 use crate::hash::fx_hash;
+use bytes::Bytes;
 
 /// A single column value.
 #[derive(Debug, Clone)]
@@ -252,7 +252,10 @@ mod tests {
 
     #[test]
     fn partition_hash_is_stable_and_type_tagged() {
-        assert_eq!(Value::Int(7).partition_hash(), Value::Int(7).partition_hash());
+        assert_eq!(
+            Value::Int(7).partition_hash(),
+            Value::Int(7).partition_hash()
+        );
         assert_ne!(Value::Int(0).partition_hash(), Value::Null.partition_hash());
         assert_ne!(
             Value::Bool(false).partition_hash(),

@@ -145,9 +145,7 @@ impl EngineConfig {
         }
         if let Some(w) = self.reactivate_watermark {
             if !(0.0..1.0).contains(&w) {
-                return Err(DcapeError::config(
-                    "reactivate_watermark must be in [0, 1)",
-                ));
+                return Err(DcapeError::config("reactivate_watermark must be in [0, 1)"));
             }
         }
         Ok(())

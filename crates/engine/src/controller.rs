@@ -109,12 +109,7 @@ mod tests {
     use super::*;
 
     fn ctl() -> LocalController {
-        LocalController::new(
-            VirtualDuration::from_secs(5),
-            1000,
-            0.3,
-            VirtualTime::ZERO,
-        )
+        LocalController::new(VirtualDuration::from_secs(5), 1000, 0.3, VirtualTime::ZERO)
     }
 
     fn gs(pid: u32, bytes: usize, output: u64) -> GroupStats {
@@ -146,7 +141,10 @@ mod tests {
     fn no_spill_while_relocating() {
         let mut c = ctl();
         c.set_mode(Mode::Relocation);
-        assert_eq!(c.check_spill_trigger(VirtualTime::from_secs(10), 9000), None);
+        assert_eq!(
+            c.check_spill_trigger(VirtualTime::from_secs(10), 9000),
+            None
+        );
         c.set_mode(Mode::Normal);
         assert!(c
             .check_spill_trigger(VirtualTime::from_secs(20), 9000)

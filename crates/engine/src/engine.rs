@@ -23,6 +23,7 @@ use dcape_common::ids::{EngineId, PartitionId};
 use dcape_common::mem::MemoryTracker;
 use dcape_common::time::{VirtualDuration, VirtualTime};
 use dcape_common::tuple::Tuple;
+use dcape_metrics::journal::{AdaptEvent, JournalHandle, SpillTrigger};
 use dcape_storage::{SpillBackend, SpillStore, SpilledGroup};
 
 use crate::config::EngineConfig;
@@ -74,6 +75,10 @@ pub struct QueryEngine {
     rng: StdRng,
     spill_history: Vec<SpillOutcome>,
     last_report_window: u64,
+    journal: JournalHandle,
+    /// Latest virtual time seen at a timed entry point; timestamps
+    /// journal events from untimed paths (cleanup, reactivation).
+    clock: VirtualTime,
 }
 
 impl QueryEngine {
@@ -98,6 +103,8 @@ impl QueryEngine {
             cfg,
             spill_history: Vec::new(),
             last_report_window: 0,
+            journal: JournalHandle::disabled(),
+            clock: VirtualTime::ZERO,
         })
     }
 
@@ -151,6 +158,18 @@ impl QueryEngine {
         &self.spill_history
     }
 
+    /// Attach an adaptation-event journal. Engines start with a
+    /// disabled handle; drivers install a real one per engine so the
+    /// runtimes can merge per-engine timelines afterwards.
+    pub fn set_journal(&mut self, journal: JournalHandle) {
+        self.journal = journal;
+    }
+
+    /// The attached journal handle (cloneable, possibly disabled).
+    pub fn journal(&self) -> &JournalHandle {
+        &self.journal
+    }
+
     /// Process one routed tuple. Returns the number of results emitted.
     pub fn process(
         &mut self,
@@ -158,6 +177,7 @@ impl QueryEngine {
         tuple: Tuple,
         sink: &mut dyn ResultSink,
     ) -> Result<u64> {
+        self.journal.add_tuples_routed(1);
         self.join.process(pid, tuple, sink)
     }
 
@@ -165,6 +185,7 @@ impl QueryEngine {
     /// queries only), then spill if memory exceeded the threshold and
     /// the engine is in normal mode (Algorithm 1, events at QE).
     pub fn tick(&mut self, now: VirtualTime) -> Result<Option<SpillOutcome>> {
+        self.clock = self.clock.max(now);
         if self.cfg.join.window.is_some() {
             let skip: dcape_common::hash::FxHashSet<PartitionId> =
                 self.store.partitions_with_segments().into_iter().collect();
@@ -174,7 +195,21 @@ impl QueryEngine {
             .controller
             .check_spill_trigger(now, self.tracker.used())
         {
-            Some(amount) => Ok(Some(self.spill_bytes(amount, now)?)),
+            Some(amount) => {
+                self.journal.record(
+                    now,
+                    AdaptEvent::MemoryPressure {
+                        engine: self.id,
+                        used: self.tracker.used(),
+                        budget: self.cfg.memory_budget,
+                    },
+                );
+                Ok(Some(self.spill_bytes(
+                    amount,
+                    now,
+                    SpillTrigger::MemoryThreshold,
+                )?))
+            }
             None => Ok(None),
         }
     }
@@ -182,10 +217,16 @@ impl QueryEngine {
     /// The active-disk `start_ss` command: spill `amount` bytes now,
     /// regardless of the local threshold (Algorithm 2, lines 24–27).
     pub fn force_spill(&mut self, amount: u64, now: VirtualTime) -> Result<SpillOutcome> {
-        self.spill_bytes(amount, now)
+        self.clock = self.clock.max(now);
+        self.spill_bytes(amount, now, SpillTrigger::Forced)
     }
 
-    fn spill_bytes(&mut self, amount: u64, now: VirtualTime) -> Result<SpillOutcome> {
+    fn spill_bytes(
+        &mut self,
+        amount: u64,
+        now: VirtualTime,
+        trigger: SpillTrigger,
+    ) -> Result<SpillOutcome> {
         self.controller.set_mode(Mode::Spill);
         let victims = self.cfg.victim_policy.select_victims(
             self.join.group_stats_with(self.cfg.estimator),
@@ -210,6 +251,19 @@ impl QueryEngine {
             outcome.io_cost = outcome.io_cost + self.cfg.cost.disk.io_cost(meta.state_bytes);
         }
         self.controller.set_mode(Mode::Normal);
+        self.journal.add_spill_bytes(outcome.state_bytes);
+        self.journal.record(
+            now,
+            AdaptEvent::SpillDecision {
+                engine: self.id,
+                trigger,
+                groups: outcome.groups.clone(),
+                state_bytes: outcome.state_bytes,
+                encoded_bytes: outcome.encoded_bytes,
+                memory_used: self.tracker.used(),
+                memory_budget: self.cfg.memory_budget,
+            },
+        );
         self.spill_history.push(outcome.clone());
         Ok(outcome)
     }
@@ -241,6 +295,7 @@ impl QueryEngine {
     /// Produce the periodic statistics report for the coordinator and
     /// start a fresh sampling window.
     pub fn report(&mut self, now: VirtualTime) -> EngineStatsReport {
+        self.clock = self.clock.max(now);
         // The stats cadence doubles as the per-group sampling window
         // for the decaying productivity estimator.
         if let crate::state::productivity::ProductivityEstimator::Decaying { alpha } =
@@ -309,10 +364,12 @@ impl QueryEngine {
         let cost = self.cfg.cost;
         for pid in self.store.partitions_with_segments() {
             // Disk I/O cost, from metadata (before consuming them).
+            let mut pid_disk_bytes = 0u64;
             for meta in self.store.segments_of(pid) {
                 report.virtual_cost = report.virtual_cost + cost.disk.io_cost(meta.state_bytes);
-                report.disk_state_bytes_read += meta.state_bytes;
+                pid_disk_bytes += meta.state_bytes;
             }
+            report.disk_state_bytes_read += pid_disk_bytes;
             let mut segments = self.store.take_segments(pid)?;
             if let Some((resident, _output)) = self.join.extract_group(pid) {
                 segments.push(resident);
@@ -326,11 +383,20 @@ impl QueryEngine {
             report.partitions += 1;
             report.missing_results += outcome.missing_results;
             report.scanned_tuples += outcome.scanned_tuples;
+            self.journal.record(
+                self.clock,
+                AdaptEvent::CleanupPhase {
+                    engine: self.id,
+                    group: pid,
+                    missing_results: outcome.missing_results,
+                    scanned_tuples: outcome.scanned_tuples,
+                    disk_bytes_read: pid_disk_bytes,
+                },
+            );
         }
         let compute_us = report.scanned_tuples * cost.cleanup_scan_us_per_tuple
             + report.missing_results * cost.cleanup_emit_us_per_result;
-        report.virtual_cost =
-            report.virtual_cost + VirtualDuration::from_millis(compute_us / 1000);
+        report.virtual_cost = report.virtual_cost + VirtualDuration::from_millis(compute_us / 1000);
         Ok(report)
     }
 
@@ -374,8 +440,17 @@ impl QueryEngine {
         report.scanned_tuples = outcome.scanned_tuples;
         let compute_us = report.scanned_tuples * cost.cleanup_scan_us_per_tuple
             + report.missing_results * cost.cleanup_emit_us_per_result;
-        report.virtual_cost =
-            report.virtual_cost + VirtualDuration::from_millis(compute_us / 1000);
+        report.virtual_cost = report.virtual_cost + VirtualDuration::from_millis(compute_us / 1000);
+        self.journal.record(
+            self.clock,
+            AdaptEvent::CleanupPhase {
+                engine: self.id,
+                group: pid,
+                missing_results: outcome.missing_results,
+                scanned_tuples: outcome.scanned_tuples,
+                disk_bytes_read: report.disk_state_bytes_read,
+            },
+        );
 
         // Rebuild the merged in-memory group from all slices.
         let mut merged = SpilledGroup::empty(pid, self.cfg.join.num_streams);
@@ -394,10 +469,7 @@ impl QueryEngine {
     /// threshold, pick the smallest spilled partition whose merged
     /// state fits under the threshold and reactivate it. At most one
     /// partition per call (drivers call this on their clock pulse).
-    pub fn maybe_reactivate(
-        &mut self,
-        sink: &mut dyn ResultSink,
-    ) -> Result<Option<CleanupReport>> {
+    pub fn maybe_reactivate(&mut self, sink: &mut dyn ResultSink) -> Result<Option<CleanupReport>> {
         let Some(watermark) = self.cfg.reactivate_watermark else {
             return Ok(None);
         };
@@ -574,8 +646,8 @@ mod tests {
                 cleanup_emit_us_per_result: 0,
                 disk: DiskModel::free(),
             });
-        let mut e = QueryEngine::new(EngineId(1), cfg, Box::new(dcape_storage::MemBackend::new()))
-            .unwrap();
+        let mut e =
+            QueryEngine::new(EngineId(1), cfg, Box::new(dcape_storage::MemBackend::new())).unwrap();
         let mut runtime_sink = CollectingSink::new();
         let mut all_tuples: Vec<Tuple> = Vec::new();
         let mut seq = 0u64;
@@ -656,7 +728,11 @@ mod tests {
         let mut sink = CollectingSink::new();
         let mut all = Vec::new();
         let mut seq = 0u64;
-        let feed = |e: &mut QueryEngine, sink: &mut CollectingSink, all: &mut Vec<Tuple>, key: i64, seq: &mut u64| {
+        let feed = |e: &mut QueryEngine,
+                    sink: &mut CollectingSink,
+                    all: &mut Vec<Tuple>,
+                    key: i64,
+                    seq: &mut u64| {
             for s in 0..3u8 {
                 let t = tpl(s, *seq, key);
                 *seq += 1;
@@ -667,7 +743,8 @@ mod tests {
         feed(&mut e, &mut sink, &mut all, 1, &mut seq);
         feed(&mut e, &mut sink, &mut all, 1, &mut seq);
         // Spill everything, then more tuples arrive (inactive period).
-        e.force_spill(u64::MAX / 2, VirtualTime::from_secs(1)).unwrap();
+        e.force_spill(u64::MAX / 2, VirtualTime::from_secs(1))
+            .unwrap();
         feed(&mut e, &mut sink, &mut all, 1, &mut seq);
         // Reactivate: missing cross results emitted, state back in memory.
         let report = e
@@ -734,12 +811,17 @@ mod reactivation_tests {
         let mut sink = CountingSink::new();
         for seq in 0..40u64 {
             for s in 0..3u8 {
-                e.process(PartitionId((seq % 4) as u32), tpl(s, seq, (seq % 4) as i64), &mut sink)
-                    .unwrap();
+                e.process(
+                    PartitionId((seq % 4) as u32),
+                    tpl(s, seq, (seq % 4) as i64),
+                    &mut sink,
+                )
+                .unwrap();
             }
         }
         // Spill everything: memory -> 0, disk has segments.
-        e.force_spill(u64::MAX / 2, VirtualTime::from_secs(1)).unwrap();
+        e.force_spill(u64::MAX / 2, VirtualTime::from_secs(1))
+            .unwrap();
         assert!(e.store().segment_count() > 0);
         assert_eq!(e.memory_used(), 0);
         // Memory is far below the watermark: reactivation fires.
@@ -767,7 +849,8 @@ mod reactivation_tests {
         for s in 0..3u8 {
             e.process(PartitionId(0), tpl(s, 0, 0), &mut sink).unwrap();
         }
-        e.force_spill(u64::MAX / 2, VirtualTime::from_secs(1)).unwrap();
+        e.force_spill(u64::MAX / 2, VirtualTime::from_secs(1))
+            .unwrap();
         assert!(e.maybe_reactivate(&mut sink).unwrap().is_none());
         assert!(e.store().segment_count() > 0);
     }
@@ -780,12 +863,17 @@ mod reactivation_tests {
         let mut sink = CountingSink::new();
         for seq in 0..40u64 {
             for s in 0..3u8 {
-                e.process(PartitionId((seq % 4) as u32), tpl(s, seq, (seq % 4) as i64), &mut sink)
-                    .unwrap();
+                e.process(
+                    PartitionId((seq % 4) as u32),
+                    tpl(s, seq, (seq % 4) as i64),
+                    &mut sink,
+                )
+                .unwrap();
             }
         }
         // Spill half; remaining memory is above 10% of the threshold.
-        e.force_spill(e.memory_used() / 2, VirtualTime::from_secs(1)).unwrap();
+        e.force_spill(e.memory_used() / 2, VirtualTime::from_secs(1))
+            .unwrap();
         assert!(e.memory_used() > (32 << 10) / 10);
         assert!(e.maybe_reactivate(&mut sink).unwrap().is_none());
     }

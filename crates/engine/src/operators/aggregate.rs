@@ -150,10 +150,12 @@ impl GroupByAggregate {
             .iter()
             .map(|&c| t.get(c).cloned().unwrap_or(Value::Null))
             .collect();
-        let accs = self
-            .groups
-            .entry(key)
-            .or_insert_with(|| self.exprs.iter().map(|e| Accumulator::new(e.func)).collect());
+        let accs = self.groups.entry(key).or_insert_with(|| {
+            self.exprs
+                .iter()
+                .map(|e| Accumulator::new(e.func))
+                .collect()
+        });
         for (acc, expr) in accs.iter_mut().zip(&self.exprs) {
             acc.update(t.get(expr.column))?;
         }
@@ -213,7 +215,10 @@ mod tests {
     use dcape_common::tuple::TupleBuilder;
 
     fn row(broker: &str, price: f64) -> Tuple {
-        TupleBuilder::new(StreamId(0)).value(broker).value(price).build()
+        TupleBuilder::new(StreamId(0))
+            .value(broker)
+            .value(price)
+            .build()
     }
 
     fn agg() -> GroupByAggregate {
@@ -310,7 +315,11 @@ mod tests {
     #[test]
     fn flatten_concatenates_in_order() {
         let a = TupleBuilder::new(StreamId(0)).seq(1).value(1i64).build();
-        let b = TupleBuilder::new(StreamId(1)).seq(2).value(2i64).value("x").build();
+        let b = TupleBuilder::new(StreamId(1))
+            .seq(2)
+            .value(2i64)
+            .value("x")
+            .build();
         let flat = flatten_result(&[&a, &b]);
         assert_eq!(flat.arity(), 3);
         assert_eq!(flat.get(0), Some(&Value::Int(1)));

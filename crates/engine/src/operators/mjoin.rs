@@ -243,11 +243,7 @@ mod tests {
     use dcape_common::tuple::TupleBuilder;
 
     fn op() -> MJoinOperator {
-        MJoinOperator::new(
-            MJoinConfig::same_column(3, 0),
-            MemoryTracker::new(10 << 20),
-        )
-        .unwrap()
+        MJoinOperator::new(MJoinConfig::same_column(3, 0), MemoryTracker::new(10 << 20)).unwrap()
     }
 
     fn tpl(stream: u8, seq: u64, key: i64) -> Tuple {
@@ -310,7 +306,8 @@ mod tests {
         assert!(!op.has_group(PartitionId(7)));
         assert_eq!(op.drain_count(), 1);
         // New tuples re-create the group with a fresh history.
-        op.process(PartitionId(7), tpl(0, 99, 1), &mut sink).unwrap();
+        op.process(PartitionId(7), tpl(0, 99, 1), &mut sink)
+            .unwrap();
         let stats = op.group_stats();
         assert_eq!(stats.len(), 1);
         assert_eq!(stats[0].output, 0);
@@ -338,7 +335,8 @@ mod tests {
         assert_eq!(tracker_b.used() as usize, b.state_bytes());
         // Continue joining on the receiver: 3x3 existing matches.
         let mut sink_b = CollectingSink::new();
-        b.process(PartitionId(4), tpl(0, 50, 1), &mut sink_b).unwrap();
+        b.process(PartitionId(4), tpl(0, 50, 1), &mut sink_b)
+            .unwrap();
         assert_eq!(sink_b.len(), 9);
         // Carried stats visible in group stats.
         let stats = b.group_stats();

@@ -139,7 +139,10 @@ mod tests {
     use dcape_common::tuple::TupleBuilder;
 
     fn t(price: f64) -> Tuple {
-        TupleBuilder::new(StreamId(0)).value("EUR").value(price).build()
+        TupleBuilder::new(StreamId(0))
+            .value("EUR")
+            .value(price)
+            .build()
     }
 
     #[test]

@@ -302,7 +302,8 @@ mod tests {
         let mut sink = CountingSink::new();
         for seq in 0..4u64 {
             for s in 0..3u8 {
-                exec.feed(t(s, seq, vec![Value::Int(1)]), &mut sink).unwrap();
+                exec.feed(t(s, seq, vec![Value::Int(1)]), &mut sink)
+                    .unwrap();
             }
         }
         assert_eq!(sink.count(), 64);
@@ -348,11 +349,8 @@ mod tests {
             .unwrap();
         exec.feed(t(0, 1, vec![Value::Int(1), Value::Double(2.0)]), &mut sink)
             .unwrap();
-        exec.feed(
-            t(1, 0, vec![Value::Int(1), Value::text("bkr")]),
-            &mut sink,
-        )
-        .unwrap();
+        exec.feed(t(1, 0, vec![Value::Int(1), Value::text("bkr")]), &mut sink)
+            .unwrap();
         assert_eq!(sink.count(), 2);
         let rows = exec.aggregate().unwrap().results();
         assert_eq!(rows.len(), 1);
@@ -390,7 +388,8 @@ mod tests {
         // must not matter for the total.
         for seq in 0..2u64 {
             for s in 0..3u8 {
-                exec.feed(t(s, seq, vec![Value::Int(7)]), &mut sink).unwrap();
+                exec.feed(t(s, seq, vec![Value::Int(7)]), &mut sink)
+                    .unwrap();
             }
         }
         assert_eq!(sink.count(), 8);
@@ -420,8 +419,6 @@ mod tests {
         let plan = QueryPlan::simple_join(2, 0, 4);
         let mut exec = PlanExecutor::new(plan).unwrap();
         let mut sink = CountingSink::new();
-        assert!(exec
-            .feed(t(5, 0, vec![Value::Int(1)]), &mut sink)
-            .is_err());
+        assert!(exec.feed(t(5, 0, vec![Value::Int(1)]), &mut sink).is_err());
     }
 }

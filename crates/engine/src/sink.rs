@@ -120,7 +120,12 @@ mod tests {
 
     fn tuples() -> Vec<Tuple> {
         (0..3u8)
-            .map(|s| TupleBuilder::new(StreamId(s)).seq(s as u64).value(1i64).build())
+            .map(|s| {
+                TupleBuilder::new(StreamId(s))
+                    .seq(s as u64)
+                    .value(1i64)
+                    .build()
+            })
             .collect()
     }
 

@@ -185,7 +185,10 @@ mod tests {
     use dcape_common::tuple::TupleBuilder;
 
     fn tpl(stream: u8, seq: u64, key: i64) -> Tuple {
-        TupleBuilder::new(StreamId(stream)).seq(seq).value(key).build()
+        TupleBuilder::new(StreamId(stream))
+            .seq(seq)
+            .value(key)
+            .build()
     }
 
     fn seg(tuples: Vec<Tuple>) -> SpilledGroup {
@@ -264,7 +267,12 @@ mod tests {
         let s2 = seg(vec![tpl(2, 0, 1), tpl(0, 1, 1)]);
         let s3 = seg(vec![tpl(1, 1, 1), tpl(2, 1, 1), tpl(0, 2, 2)]);
         let mut sink = CollectingSink::new();
-        merge_segments(&[0, 0, 0], vec![s1.clone(), s2.clone(), s3.clone()], &mut sink).unwrap();
+        merge_segments(
+            &[0, 0, 0],
+            vec![s1.clone(), s2.clone(), s3.clone()],
+            &mut sink,
+        )
+        .unwrap();
         let reference = reference_join(&[&s1, &s2, &s3]);
         let within = within_slice_results(&[&s1, &s2, &s3]);
         let emitted = sink.identities();

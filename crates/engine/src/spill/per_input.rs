@@ -395,7 +395,8 @@ mod tests {
         let mut sink = CountingSink::new();
         for seq in 0..5u64 {
             for s in 0..3u8 {
-                j.process(PartitionId(0), tpl(s, seq, 1), &mut sink).unwrap();
+                j.process(PartitionId(0), tpl(s, seq, 1), &mut sink)
+                    .unwrap();
             }
         }
         assert_eq!(sink.count(), 125);
@@ -420,7 +421,12 @@ mod tests {
         let mut j = join3();
         let mut runtime = CollectingSink::new();
         let mut all = Vec::new();
-        let feed = |j: &mut PerInputJoin, sink: &mut CollectingSink, s: u8, q: u64, k: i64, all: &mut Vec<Tuple>| {
+        let feed = |j: &mut PerInputJoin,
+                    sink: &mut CollectingSink,
+                    s: u8,
+                    q: u64,
+                    k: i64,
+                    all: &mut Vec<Tuple>| {
             let t = tpl(s, q, k);
             all.push(t.clone());
             j.process(PartitionId(0), t, sink).unwrap();
@@ -460,7 +466,8 @@ mod tests {
                 let k = rng.gen_range(0..4i64);
                 let t = tpl(s, seq, k);
                 all.push(t.clone());
-                j.process(PartitionId((k % 2) as u32), t, &mut runtime).unwrap();
+                j.process(PartitionId((k % 2) as u32), t, &mut runtime)
+                    .unwrap();
                 if rng.gen_bool(0.15) {
                     let pid = PartitionId(rng.gen_range(0..2u32));
                     let stream = rng.gen_range(0..3usize);

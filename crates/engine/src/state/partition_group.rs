@@ -447,7 +447,8 @@ mod tests {
         for s in 0..3u8 {
             for i in 0..6 {
                 hot.insert(tpl(s, i, 1), &mut sink).unwrap(); // all same key
-                cold.insert(tpl(s, i, i as i64 * 3 + s as i64), &mut sink).unwrap(); // no joins
+                cold.insert(tpl(s, i, i as i64 * 3 + s as i64), &mut sink)
+                    .unwrap(); // no joins
             }
         }
         assert!(hot.productivity() > cold.productivity());

@@ -51,7 +51,9 @@ fn windowed_reference(all: &[Tuple], window_ms: u64) -> Vec<Vec<(u8, u64)>> {
 
 fn windowed_engine(window_ms: u64, threshold: u64) -> QueryEngine {
     let mut cfg = EngineConfig::three_way(1 << 30, threshold);
-    cfg.join = cfg.join.with_window(VirtualDuration::from_millis(window_ms));
+    cfg.join = cfg
+        .join
+        .with_window(VirtualDuration::from_millis(window_ms));
     // Check the spill trigger (and purge) frequently relative to the
     // sub-second windows these tests use.
     cfg.ss_timer = VirtualDuration::from_millis(200);
@@ -62,7 +64,9 @@ fn windowed_engine(window_ms: u64, threshold: u64) -> QueryEngine {
 fn workload(n: u64) -> Vec<Tuple> {
     (0..n)
         .map(|i| {
-            let mix = i.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let mix = i
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let stream = (mix % 3) as u8;
             let key = ((mix >> 8) % 6) as i64;
             tpl(stream, i, key, i * 40) // 40 ms apart

@@ -1,0 +1,522 @@
+//! Structured adaptation-event journal.
+//!
+//! Every run-time adaptation the paper describes — state spill (§4),
+//! the 8-step relocation protocol (§5.2), cleanup (§4.2) — is recorded
+//! here as a typed [`AdaptEvent`] carrying the numbers that triggered
+//! it, so a run can be audited after the fact: *why* did engine 2 spill
+//! at t=84s, which partitions moved in round 3, how many tuples were
+//! buffered while the split remapped.
+//!
+//! The journal is designed to sit on the hot path of both runtimes:
+//! recording is one short mutex acquisition on a fixed-size ring (no
+//! allocation beyond the event payload), counters are plain atomics,
+//! and a disabled [`JournalHandle`] is a no-op that costs one branch.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use dcape_common::ids::{EngineId, PartitionId};
+use dcape_common::time::VirtualTime;
+
+/// Default ring capacity: generous for full paper-scale runs while
+/// bounding memory to a few MB.
+pub const DEFAULT_JOURNAL_CAPACITY: usize = 65_536;
+
+/// What initiated a state spill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpillTrigger {
+    /// The local controller crossed its memory threshold (§4.1).
+    MemoryThreshold,
+    /// The global coordinator forced the spill (active-disk, §6.2).
+    Forced,
+}
+
+impl SpillTrigger {
+    /// Stable lowercase name used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpillTrigger::MemoryThreshold => "memory_threshold",
+            SpillTrigger::Forced => "forced",
+        }
+    }
+}
+
+/// One adaptation event, with the numbers that triggered it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdaptEvent {
+    /// An engine pushed partition groups to disk (§4.1).
+    SpillDecision {
+        /// Engine that spilled.
+        engine: EngineId,
+        /// What initiated the spill.
+        trigger: SpillTrigger,
+        /// Partition groups chosen as victims.
+        groups: Vec<PartitionId>,
+        /// In-memory bytes removed.
+        state_bytes: u64,
+        /// Bytes as encoded on disk.
+        encoded_bytes: u64,
+        /// Memory in use when the decision fired.
+        memory_used: u64,
+        /// The engine's memory budget.
+        memory_budget: u64,
+    },
+    /// One step of the 8-step relocation protocol (§5.2).
+    RelocationStep {
+        /// Coordinator round id.
+        round: u64,
+        /// Protocol step, 1..=8.
+        step: u8,
+        /// Engine shedding state.
+        sender: EngineId,
+        /// Engine receiving state.
+        receiver: EngineId,
+        /// Partitions being moved (empty at step 1, before the sender
+        /// has picked them).
+        parts: Vec<PartitionId>,
+        /// State bytes requested (step 1) or shipped (steps 4–5); zero
+        /// elsewhere.
+        bytes: u64,
+        /// Tuples buffered at the splits and flushed at step 7 (zero
+        /// elsewhere).
+        buffered_tuples: u64,
+        /// `M_least / M_max` load ratio that triggered the round
+        /// (meaningful at step 1; zero elsewhere).
+        load_ratio: f64,
+    },
+    /// Disk-resident state merged to emit missing results (§4.2).
+    CleanupPhase {
+        /// Engine doing the cleanup.
+        engine: EngineId,
+        /// Partition group being merged.
+        group: PartitionId,
+        /// Result tuples recovered from disk state.
+        missing_results: u64,
+        /// Tuples scanned during the merge.
+        scanned_tuples: u64,
+        /// Disk bytes read back.
+        disk_bytes_read: u64,
+    },
+    /// Periodic cluster-wide statistics snapshot fed to the strategies.
+    StatsSample {
+        /// Number of engines reporting.
+        engines: u32,
+        /// Highest per-engine memory load.
+        max_load: f64,
+        /// Lowest per-engine memory load.
+        min_load: f64,
+        /// `min/max` memory-load ratio (Algorithm 1's trigger input).
+        load_ratio: f64,
+        /// `max/min` productivity ratio (Algorithm 2's trigger input).
+        productivity_ratio: f64,
+        /// Total memory in use across the cluster.
+        memory_used: u64,
+        /// Total memory budget across the cluster.
+        memory_budget: u64,
+    },
+    /// An engine crossed its memory threshold (emitted before the
+    /// corresponding spill decision resolves victims).
+    MemoryPressure {
+        /// Engine under pressure.
+        engine: EngineId,
+        /// Memory in use.
+        used: u64,
+        /// The engine's budget.
+        budget: u64,
+    },
+}
+
+impl AdaptEvent {
+    /// Stable snake_case tag used in exports and filtering.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            AdaptEvent::SpillDecision { .. } => "spill_decision",
+            AdaptEvent::RelocationStep { .. } => "relocation_step",
+            AdaptEvent::CleanupPhase { .. } => "cleanup_phase",
+            AdaptEvent::StatsSample { .. } => "stats_sample",
+            AdaptEvent::MemoryPressure { .. } => "memory_pressure",
+        }
+    }
+}
+
+/// A journal record: when, in what order, and what happened.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalEntry {
+    /// Virtual time of the event.
+    pub at: VirtualTime,
+    /// Per-journal sequence number (total order within one journal even
+    /// when many events share a timestamp).
+    pub seq: u64,
+    /// The event payload.
+    pub event: AdaptEvent,
+}
+
+/// Monotonic counters and gauges kept beside the event ring. All are
+/// plain atomics so strategies and exporters can read them without
+/// touching the ring's lock.
+#[derive(Debug, Default)]
+pub struct JournalCounters {
+    tuples_routed: AtomicU64,
+    spill_bytes: AtomicU64,
+    relocation_bytes: AtomicU64,
+    buffered_in_flight: AtomicU64,
+    events_recorded: AtomicU64,
+    events_dropped: AtomicU64,
+}
+
+impl JournalCounters {
+    /// Tuples routed through splits/engines so far.
+    pub fn tuples_routed(&self) -> u64 {
+        self.tuples_routed.load(Ordering::Relaxed)
+    }
+
+    /// Total state bytes pushed to disk by spills.
+    pub fn spill_bytes(&self) -> u64 {
+        self.spill_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Total state bytes shipped between engines by relocation.
+    pub fn relocation_bytes(&self) -> u64 {
+        self.relocation_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Tuples currently buffered at paused splits (steps 4–7 of the
+    /// protocol); returns to zero once step 7 flushes them.
+    pub fn buffered_in_flight(&self) -> u64 {
+        self.buffered_in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Events accepted into the ring.
+    pub fn events_recorded(&self) -> u64 {
+        self.events_recorded.load(Ordering::Relaxed)
+    }
+
+    /// Events overwritten after the ring filled.
+    pub fn events_dropped(&self) -> u64 {
+        self.events_dropped.load(Ordering::Relaxed)
+    }
+
+    /// Plain-data copy of the current values.
+    pub fn snapshot(&self) -> CountersSnapshot {
+        CountersSnapshot {
+            tuples_routed: self.tuples_routed(),
+            spill_bytes: self.spill_bytes(),
+            relocation_bytes: self.relocation_bytes(),
+            buffered_in_flight: self.buffered_in_flight(),
+            events_recorded: self.events_recorded(),
+            events_dropped: self.events_dropped(),
+        }
+    }
+}
+
+/// Point-in-time copy of [`JournalCounters`], for reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CountersSnapshot {
+    /// Tuples routed through splits/engines.
+    pub tuples_routed: u64,
+    /// Total state bytes pushed to disk by spills.
+    pub spill_bytes: u64,
+    /// Total state bytes shipped between engines by relocation.
+    pub relocation_bytes: u64,
+    /// Tuples still buffered at paused splits when sampled.
+    pub buffered_in_flight: u64,
+    /// Events accepted into the ring.
+    pub events_recorded: u64,
+    /// Events overwritten after the ring filled.
+    pub events_dropped: u64,
+}
+
+impl CountersSnapshot {
+    /// Fold another snapshot into this one (summing every counter).
+    pub fn absorb(&mut self, other: &CountersSnapshot) {
+        self.tuples_routed += other.tuples_routed;
+        self.spill_bytes += other.spill_bytes;
+        self.relocation_bytes += other.relocation_bytes;
+        self.buffered_in_flight += other.buffered_in_flight;
+        self.events_recorded += other.events_recorded;
+        self.events_dropped += other.events_dropped;
+    }
+}
+
+/// Fixed-capacity overwrite-oldest ring of journal entries.
+#[derive(Debug)]
+struct Ring {
+    slots: Vec<JournalEntry>,
+    capacity: usize,
+    /// Index of the next write; wraps once `slots` is full.
+    head: usize,
+}
+
+impl Ring {
+    fn push(&mut self, entry: JournalEntry) -> bool {
+        if self.slots.len() < self.capacity {
+            self.slots.push(entry);
+            true
+        } else {
+            let dropped_head = self.head;
+            self.slots[dropped_head] = entry;
+            self.head = (self.head + 1) % self.capacity;
+            false
+        }
+    }
+
+    fn snapshot(&self) -> Vec<JournalEntry> {
+        let mut out = Vec::with_capacity(self.slots.len());
+        out.extend_from_slice(&self.slots[self.head..]);
+        out.extend_from_slice(&self.slots[..self.head]);
+        out
+    }
+}
+
+/// The journal: an event ring plus counters.
+#[derive(Debug)]
+pub struct EventJournal {
+    ring: Mutex<Ring>,
+    seq: AtomicU64,
+    counters: JournalCounters,
+}
+
+impl EventJournal {
+    /// A journal holding at most `capacity` events (oldest dropped
+    /// first on overflow).
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "journal capacity must be positive");
+        EventJournal {
+            ring: Mutex::new(Ring {
+                slots: Vec::new(),
+                capacity,
+                head: 0,
+            }),
+            seq: AtomicU64::new(0),
+            counters: JournalCounters::default(),
+        }
+    }
+
+    /// Record one event at virtual time `at`.
+    pub fn record(&self, at: VirtualTime, event: AdaptEvent) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let entry = JournalEntry { at, seq, event };
+        let kept = self.ring.lock().expect("journal lock poisoned").push(entry);
+        self.counters
+            .events_recorded
+            .fetch_add(1, Ordering::Relaxed);
+        if !kept {
+            self.counters.events_dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The counters, readable lock-free.
+    pub fn counters(&self) -> &JournalCounters {
+        &self.counters
+    }
+
+    /// Copy of the retained entries, oldest first.
+    pub fn snapshot(&self) -> Vec<JournalEntry> {
+        self.ring.lock().expect("journal lock poisoned").snapshot()
+    }
+}
+
+/// Cheap, cloneable handle threaded through engines, coordinator,
+/// strategies and runtimes. A disabled handle makes every call a no-op
+/// so un-instrumented runs pay only a branch.
+#[derive(Debug, Clone, Default)]
+pub struct JournalHandle {
+    inner: Option<Arc<EventJournal>>,
+}
+
+impl JournalHandle {
+    /// An active handle with the default ring capacity.
+    pub fn enabled() -> Self {
+        Self::with_capacity(DEFAULT_JOURNAL_CAPACITY)
+    }
+
+    /// An active handle with an explicit ring capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        JournalHandle {
+            inner: Some(Arc::new(EventJournal::with_capacity(capacity))),
+        }
+    }
+
+    /// A no-op handle.
+    pub fn disabled() -> Self {
+        JournalHandle::default()
+    }
+
+    /// Whether events are being kept.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Record one event (no-op when disabled).
+    #[inline]
+    pub fn record(&self, at: VirtualTime, event: AdaptEvent) {
+        if let Some(journal) = &self.inner {
+            journal.record(at, event);
+        }
+    }
+
+    /// Counters, if enabled. Strategies use this to fold observed I/O
+    /// volume into their decisions without touching the event ring.
+    pub fn counters(&self) -> Option<&JournalCounters> {
+        self.inner.as_deref().map(EventJournal::counters)
+    }
+
+    /// Add routed tuples to the counter (no-op when disabled).
+    #[inline]
+    pub fn add_tuples_routed(&self, n: u64) {
+        if let Some(j) = &self.inner {
+            j.counters.tuples_routed.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Add spilled bytes to the counter (no-op when disabled).
+    #[inline]
+    pub fn add_spill_bytes(&self, n: u64) {
+        if let Some(j) = &self.inner {
+            j.counters.spill_bytes.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Add relocated state bytes to the counter (no-op when disabled).
+    #[inline]
+    pub fn add_relocation_bytes(&self, n: u64) {
+        if let Some(j) = &self.inner {
+            j.counters.relocation_bytes.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Raise the in-flight buffered-tuple gauge (steps 4–7).
+    #[inline]
+    pub fn add_buffered_in_flight(&self, n: u64) {
+        if let Some(j) = &self.inner {
+            j.counters
+                .buffered_in_flight
+                .fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Lower the in-flight buffered-tuple gauge (step 7 flush).
+    #[inline]
+    pub fn sub_buffered_in_flight(&self, n: u64) {
+        if let Some(j) = &self.inner {
+            let c = &j.counters.buffered_in_flight;
+            let mut cur = c.load(Ordering::Relaxed);
+            loop {
+                let next = cur.saturating_sub(n);
+                match c.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                    Ok(_) => break,
+                    Err(seen) => cur = seen,
+                }
+            }
+        }
+    }
+
+    /// Copy of the retained entries, oldest first (empty when disabled).
+    pub fn snapshot(&self) -> Vec<JournalEntry> {
+        self.inner
+            .as_ref()
+            .map(|j| j.snapshot())
+            .unwrap_or_default()
+    }
+}
+
+/// Merge per-engine journals into one timeline ordered by virtual time,
+/// with each journal's own sequence numbers breaking ties so intra-
+/// engine order is preserved.
+pub fn merge_journals(journals: impl IntoIterator<Item = Vec<JournalEntry>>) -> Vec<JournalEntry> {
+    let mut all: Vec<JournalEntry> = journals.into_iter().flatten().collect();
+    all.sort_by_key(|e| (e.at, e.seq));
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pressure(engine: u16, used: u64) -> AdaptEvent {
+        AdaptEvent::MemoryPressure {
+            engine: EngineId(engine),
+            used,
+            budget: 100,
+        }
+    }
+
+    #[test]
+    fn records_in_order_with_sequence_numbers() {
+        let handle = JournalHandle::with_capacity(8);
+        for i in 0..5u64 {
+            handle.record(VirtualTime::from_millis(i * 10), pressure(0, i));
+        }
+        let snap = handle.snapshot();
+        assert_eq!(snap.len(), 5);
+        for (i, e) in snap.iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+            assert_eq!(e.at.as_millis(), i as u64 * 10);
+        }
+    }
+
+    #[test]
+    fn ring_overflow_keeps_newest_and_counts_drops() {
+        let handle = JournalHandle::with_capacity(4);
+        for i in 0..10u64 {
+            handle.record(VirtualTime::from_millis(i), pressure(0, i));
+        }
+        let snap = handle.snapshot();
+        assert_eq!(snap.len(), 4);
+        // Oldest six were overwritten; sequence numbers keep climbing.
+        let seqs: Vec<u64> = snap.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+        let counters = handle.counters().unwrap();
+        assert_eq!(counters.events_recorded(), 10);
+        assert_eq!(counters.events_dropped(), 6);
+    }
+
+    #[test]
+    fn disabled_handle_is_a_no_op() {
+        let handle = JournalHandle::disabled();
+        handle.record(VirtualTime::ZERO, pressure(0, 1));
+        handle.add_spill_bytes(10);
+        assert!(!handle.is_enabled());
+        assert!(handle.snapshot().is_empty());
+        assert!(handle.counters().is_none());
+    }
+
+    #[test]
+    fn clones_share_one_ring() {
+        let handle = JournalHandle::with_capacity(8);
+        let clone = handle.clone();
+        handle.record(VirtualTime::ZERO, pressure(0, 1));
+        clone.record(VirtualTime::from_millis(1), pressure(1, 2));
+        assert_eq!(handle.snapshot().len(), 2);
+        assert_eq!(clone.snapshot()[0].seq, 0);
+        assert_eq!(clone.snapshot()[1].seq, 1);
+    }
+
+    #[test]
+    fn buffered_gauge_rises_and_falls() {
+        let handle = JournalHandle::with_capacity(8);
+        handle.add_buffered_in_flight(7);
+        handle.add_buffered_in_flight(3);
+        assert_eq!(handle.counters().unwrap().buffered_in_flight(), 10);
+        handle.sub_buffered_in_flight(10);
+        assert_eq!(handle.counters().unwrap().buffered_in_flight(), 0);
+        // Saturates rather than wrapping.
+        handle.sub_buffered_in_flight(5);
+        assert_eq!(handle.counters().unwrap().buffered_in_flight(), 0);
+    }
+
+    #[test]
+    fn merge_orders_by_time_then_sequence() {
+        let a = JournalHandle::with_capacity(8);
+        let b = JournalHandle::with_capacity(8);
+        a.record(VirtualTime::from_millis(20), pressure(0, 1));
+        a.record(VirtualTime::from_millis(20), pressure(0, 2));
+        b.record(VirtualTime::from_millis(10), pressure(1, 3));
+        b.record(VirtualTime::from_millis(30), pressure(1, 4));
+        let merged = merge_journals([a.snapshot(), b.snapshot()]);
+        let times: Vec<u64> = merged.iter().map(|e| e.at.as_millis()).collect();
+        assert_eq!(times, vec![10, 20, 20, 30]);
+        // The two t=20 events keep engine-a's internal order.
+        assert!(merged[1].seq < merged[2].seq);
+    }
+}

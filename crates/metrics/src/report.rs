@@ -1,4 +1,5 @@
-//! Plain-text tables and CSV output for experiment reports.
+//! Plain-text tables, CSV output, and adaptation-journal exporters for
+//! experiment reports.
 
 use std::fmt::Write as _;
 use std::io;
@@ -6,6 +7,7 @@ use std::path::Path;
 
 use dcape_common::time::VirtualDuration;
 
+use crate::journal::{AdaptEvent, JournalEntry};
 use crate::series::TimeSeries;
 
 /// A simple column-aligned text table.
@@ -102,10 +104,7 @@ impl Table {
 
 /// Render several series side by side, resampled at `step`: the first
 /// column is time in minutes, then one column per series.
-pub fn render_series_table(
-    series: &[(&str, &TimeSeries)],
-    step: VirtualDuration,
-) -> Table {
+pub fn render_series_table(series: &[(&str, &TimeSeries)], step: VirtualDuration) -> Table {
     let mut header = vec!["t(min)"];
     header.extend(series.iter().map(|(n, _)| *n));
     let mut table = Table::new(&header);
@@ -129,6 +128,246 @@ pub fn render_series_table(
         t += step;
     }
     table
+}
+
+/// One journal entry as a single-line JSON object. The encoder is
+/// hand-rolled (the workspace carries no JSON dependency); every field
+/// is a number, a static tag, or an id array, so no string escaping is
+/// ever required.
+pub fn journal_entry_to_json(entry: &JournalEntry) -> String {
+    let mut s = String::with_capacity(160);
+    let _ = write!(
+        s,
+        "{{\"at_ms\":{},\"seq\":{},\"kind\":\"{}\"",
+        entry.at.as_millis(),
+        entry.seq,
+        entry.event.kind()
+    );
+    let ids = |list: &[dcape_common::ids::PartitionId]| {
+        let cells: Vec<String> = list.iter().map(|p| p.0.to_string()).collect();
+        format!("[{}]", cells.join(","))
+    };
+    // Non-finite floats are not valid JSON; report them as null.
+    let num = |v: f64| {
+        if v.is_finite() {
+            format!("{v:.6}")
+        } else {
+            "null".to_string()
+        }
+    };
+    match &entry.event {
+        AdaptEvent::SpillDecision {
+            engine,
+            trigger,
+            groups,
+            state_bytes,
+            encoded_bytes,
+            memory_used,
+            memory_budget,
+        } => {
+            let _ = write!(
+                s,
+                ",\"engine\":{},\"trigger\":\"{}\",\"groups\":{},\"state_bytes\":{},\
+                 \"encoded_bytes\":{},\"memory_used\":{},\"memory_budget\":{}",
+                engine.0,
+                trigger.name(),
+                ids(groups),
+                state_bytes,
+                encoded_bytes,
+                memory_used,
+                memory_budget
+            );
+        }
+        AdaptEvent::RelocationStep {
+            round,
+            step,
+            sender,
+            receiver,
+            parts,
+            bytes,
+            buffered_tuples,
+            load_ratio,
+        } => {
+            let _ = write!(
+                s,
+                ",\"round\":{},\"step\":{},\"sender\":{},\"receiver\":{},\"parts\":{},\
+                 \"bytes\":{},\"buffered_tuples\":{},\"load_ratio\":{}",
+                round,
+                step,
+                sender.0,
+                receiver.0,
+                ids(parts),
+                bytes,
+                buffered_tuples,
+                num(*load_ratio)
+            );
+        }
+        AdaptEvent::CleanupPhase {
+            engine,
+            group,
+            missing_results,
+            scanned_tuples,
+            disk_bytes_read,
+        } => {
+            let _ = write!(
+                s,
+                ",\"engine\":{},\"group\":{},\"missing_results\":{},\"scanned_tuples\":{},\
+                 \"disk_bytes_read\":{}",
+                engine.0, group.0, missing_results, scanned_tuples, disk_bytes_read
+            );
+        }
+        AdaptEvent::StatsSample {
+            engines,
+            max_load,
+            min_load,
+            load_ratio,
+            productivity_ratio,
+            memory_used,
+            memory_budget,
+        } => {
+            let _ = write!(
+                s,
+                ",\"engines\":{},\"max_load\":{},\"min_load\":{},\"load_ratio\":{},\
+                 \"productivity_ratio\":{},\"memory_used\":{},\"memory_budget\":{}",
+                engines,
+                num(*max_load),
+                num(*min_load),
+                num(*load_ratio),
+                num(*productivity_ratio),
+                memory_used,
+                memory_budget
+            );
+        }
+        AdaptEvent::MemoryPressure {
+            engine,
+            used,
+            budget,
+        } => {
+            let _ = write!(
+                s,
+                ",\"engine\":{},\"used\":{},\"budget\":{}",
+                engine.0, used, budget
+            );
+        }
+    }
+    s.push('}');
+    s
+}
+
+/// Serialize a journal as JSON-lines: one object per line, oldest first.
+pub fn journal_to_jsonl(entries: &[JournalEntry]) -> String {
+    let mut out = String::new();
+    for e in entries {
+        out.push_str(&journal_entry_to_json(e));
+        out.push('\n');
+    }
+    out
+}
+
+/// Write a journal as JSON-lines to `path`, creating parent dirs.
+pub fn write_journal_jsonl(path: &Path, entries: &[JournalEntry]) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, journal_to_jsonl(entries))
+}
+
+/// Human-readable journal rendering, one event per line.
+pub fn render_journal(entries: &[JournalEntry]) -> String {
+    let mut out = String::new();
+    for e in entries {
+        let _ = write!(
+            out,
+            "[{:>9.1}s #{:<5}] ",
+            e.at.as_millis() as f64 / 1e3,
+            e.seq
+        );
+        match &e.event {
+            AdaptEvent::SpillDecision {
+                engine,
+                trigger,
+                groups,
+                state_bytes,
+                memory_used,
+                memory_budget,
+                ..
+            } => {
+                let _ = writeln!(
+                    out,
+                    "spill     {engine} pushed {} group(s) ({state_bytes} B) to disk \
+                     [{}; mem {memory_used}/{memory_budget}]",
+                    groups.len(),
+                    trigger.name()
+                );
+            }
+            AdaptEvent::RelocationStep {
+                round,
+                step,
+                sender,
+                receiver,
+                parts,
+                bytes,
+                buffered_tuples,
+                load_ratio,
+            } => {
+                let what = match step {
+                    1 => "coordinator asks sender to pick partitions",
+                    2 => "sender reports chosen partitions",
+                    3 => "splits pause routing to moving partitions",
+                    4 => "sender extracts and ships state",
+                    5 => "receiver installs state",
+                    6 => "receiver acks transfer",
+                    7 => "splits remap and flush buffered tuples",
+                    _ => "engines resume",
+                };
+                let _ = writeln!(
+                    out,
+                    "reloc r{round} step {step}/8 {sender}->{receiver}: {what} \
+                     [parts={}, bytes={bytes}, buffered={buffered_tuples}, ratio={load_ratio:.3}]",
+                    parts.len()
+                );
+            }
+            AdaptEvent::CleanupPhase {
+                engine,
+                group,
+                missing_results,
+                scanned_tuples,
+                disk_bytes_read,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "cleanup   {engine} merged {group}: {missing_results} missing result(s) \
+                     from {scanned_tuples} tuple(s), {disk_bytes_read} B read"
+                );
+            }
+            AdaptEvent::StatsSample {
+                engines,
+                load_ratio,
+                productivity_ratio,
+                memory_used,
+                memory_budget,
+                ..
+            } => {
+                let _ = writeln!(
+                    out,
+                    "stats     {engines} engine(s): load_ratio={load_ratio:.3} \
+                     prod_ratio={productivity_ratio:.3} mem={memory_used}/{memory_budget}"
+                );
+            }
+            AdaptEvent::MemoryPressure {
+                engine,
+                used,
+                budget,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "pressure  {engine} at {used}/{budget} B ({:.0}%)",
+                    *used as f64 / (*budget).max(1) as f64 * 100.0
+                );
+            }
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -181,5 +420,119 @@ mod tests {
     fn empty_series_table() {
         let t = render_series_table(&[], VirtualDuration::from_mins(1));
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn journal_jsonl_is_one_object_per_line() {
+        use crate::journal::{AdaptEvent, JournalHandle, SpillTrigger};
+        use dcape_common::ids::{EngineId, PartitionId};
+        let handle = JournalHandle::with_capacity(8);
+        handle.record(
+            VirtualTime::from_millis(5),
+            AdaptEvent::SpillDecision {
+                engine: EngineId(1),
+                trigger: SpillTrigger::MemoryThreshold,
+                groups: vec![PartitionId(3), PartitionId(7)],
+                state_bytes: 1000,
+                encoded_bytes: 800,
+                memory_used: 900,
+                memory_budget: 1000,
+            },
+        );
+        handle.record(
+            VirtualTime::from_millis(9),
+            AdaptEvent::RelocationStep {
+                round: 1,
+                step: 4,
+                sender: EngineId(0),
+                receiver: EngineId(2),
+                parts: vec![PartitionId(3)],
+                bytes: 512,
+                buffered_tuples: 0,
+                load_ratio: 0.0,
+            },
+        );
+        let jsonl = journal_to_jsonl(&handle.snapshot());
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+        assert!(lines[0].contains("\"kind\":\"spill_decision\""));
+        assert!(lines[0].contains("\"groups\":[3,7]"));
+        assert!(lines[0].contains("\"trigger\":\"memory_threshold\""));
+        assert!(lines[1].contains("\"kind\":\"relocation_step\""));
+        assert!(lines[1].contains("\"step\":4"));
+    }
+
+    #[test]
+    fn journal_json_rejects_non_finite_floats() {
+        use crate::journal::{AdaptEvent, JournalEntry};
+        let entry = JournalEntry {
+            at: VirtualTime::ZERO,
+            seq: 0,
+            event: AdaptEvent::StatsSample {
+                engines: 2,
+                max_load: f64::INFINITY,
+                min_load: 0.0,
+                load_ratio: f64::NAN,
+                productivity_ratio: 1.5,
+                memory_used: 10,
+                memory_budget: 20,
+            },
+        };
+        let json = journal_entry_to_json(&entry);
+        assert!(json.contains("\"max_load\":null"));
+        assert!(json.contains("\"load_ratio\":null"));
+        assert!(json.contains("\"productivity_ratio\":1.5"));
+        assert!(!json.contains("inf") && !json.contains("NaN"));
+    }
+
+    #[test]
+    fn journal_human_rendering_names_steps() {
+        use crate::journal::{AdaptEvent, JournalEntry};
+        use dcape_common::ids::EngineId;
+        let entries: Vec<JournalEntry> = (1..=8)
+            .map(|step| JournalEntry {
+                at: VirtualTime::from_millis(step as u64),
+                seq: step as u64,
+                event: AdaptEvent::RelocationStep {
+                    round: 2,
+                    step,
+                    sender: EngineId(0),
+                    receiver: EngineId(1),
+                    parts: vec![],
+                    bytes: 0,
+                    buffered_tuples: 0,
+                    load_ratio: 0.4,
+                },
+            })
+            .collect();
+        let text = render_journal(&entries);
+        assert_eq!(text.lines().count(), 8);
+        assert!(text.contains("step 1/8"));
+        assert!(text.contains("pause routing"));
+        assert!(text.contains("engines resume"));
+    }
+
+    #[test]
+    fn journal_jsonl_writes_to_disk() {
+        use crate::journal::{AdaptEvent, JournalHandle};
+        use dcape_common::ids::EngineId;
+        let handle = JournalHandle::with_capacity(4);
+        handle.record(
+            VirtualTime::ZERO,
+            AdaptEvent::MemoryPressure {
+                engine: EngineId(0),
+                used: 5,
+                budget: 10,
+            },
+        );
+        let path =
+            std::env::temp_dir().join(format!("dcape-journal-{}/events.jsonl", std::process::id()));
+        write_journal_jsonl(&path, &handle.snapshot()).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("\"kind\":\"memory_pressure\""));
+        std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
     }
 }

@@ -134,7 +134,9 @@ mod tests {
         assert_eq!(s.max(), Some(5.0));
         let r = s.resample(VirtualDuration::from_millis(100));
         assert_eq!(r, vec![(t(0), 1.0), (t(100), 5.0), (t(200), 3.0)]);
-        assert!(TimeSeries::new().resample(VirtualDuration::from_millis(10)).is_empty());
+        assert!(TimeSeries::new()
+            .resample(VirtualDuration::from_millis(10))
+            .is_empty());
         assert_eq!(TimeSeries::new().max(), None);
     }
 }

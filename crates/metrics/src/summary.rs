@@ -80,7 +80,10 @@ mod tests {
         assert_eq!(e.count, 0);
         assert_eq!(e.max, 0.0);
         let s = Summary::of([7.0]);
-        assert_eq!((s.count, s.min, s.median, s.p95, s.max), (1, 7.0, 7.0, 7.0, 7.0));
+        assert_eq!(
+            (s.count, s.min, s.median, s.p95, s.max),
+            (1, 7.0, 7.0, 7.0, 7.0)
+        );
     }
 
     #[test]

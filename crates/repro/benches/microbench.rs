@@ -46,8 +46,12 @@ fn bench_join_insert(c: &mut Criterion) {
                     for seq in 0..1000u64 {
                         for s in 0..3u8 {
                             let key = (seq / m) as i64;
-                            op.process(PartitionId((key % 8) as u32), tpl(s, seq, key, 0), &mut sink)
-                                .unwrap();
+                            op.process(
+                                PartitionId((key % 8) as u32),
+                                tpl(s, seq, key, 0),
+                                &mut sink,
+                            )
+                            .unwrap();
                         }
                     }
                     black_box(sink.count())
@@ -107,7 +111,13 @@ fn bench_spill_store(c: &mut Criterion) {
 /// Victim selection over 1 000 candidate groups.
 fn bench_victim_selection(c: &mut Criterion) {
     let stats: Vec<GroupStats> = (0..1000u32)
-        .map(|i| GroupStats::new(PartitionId(i), (i as usize % 97) * 1000 + 100, (i as u64 * 37) % 5000))
+        .map(|i| {
+            GroupStats::new(
+                PartitionId(i),
+                (i as usize % 97) * 1000 + 100,
+                (i as u64 * 37) % 5000,
+            )
+        })
         .collect();
     let mut group = c.benchmark_group("policy/select_1000_groups");
     for policy in [
@@ -175,8 +185,12 @@ fn bench_relocation_transfer(c: &mut Criterion) {
                 for seq in 0..2000u64 {
                     for s in 0..3u8 {
                         let key = (seq % 200) as i64;
-                        a.process(PartitionId((key % 8) as u32), tpl(s, seq, key, 128), &mut sink)
-                            .unwrap();
+                        a.process(
+                            PartitionId((key % 8) as u32),
+                            tpl(s, seq, key, 128),
+                            &mut sink,
+                        )
+                        .unwrap();
                     }
                 }
                 let b_engine = QueryEngine::in_memory(
@@ -203,8 +217,7 @@ fn bench_windowed_insert(c: &mut Criterion) {
     use dcape_engine::config::MJoinConfig;
     c.bench_function("join/windowed_insert_3000", |b| {
         b.iter(|| {
-            let cfg = MJoinConfig::same_column(3, 0)
-                .with_window(VirtualDuration::from_millis(500));
+            let cfg = MJoinConfig::same_column(3, 0).with_window(VirtualDuration::from_millis(500));
             let mut op = MJoinOperator::new(cfg, MemoryTracker::new(u64::MAX)).unwrap();
             let mut sink = CountingSink::new();
             let skip = dcape_common::hash::FxHashSet::default();
@@ -228,7 +241,9 @@ fn bench_windowed_insert(c: &mut Criterion) {
 /// Trace record + replay throughput.
 fn bench_trace_io(c: &mut Criterion) {
     use dcape_storage::{TraceReader, TraceWriter};
-    let tuples: Vec<Tuple> = (0..2000u64).map(|i| tpl((i % 3) as u8, i, i as i64 % 50, 64)).collect();
+    let tuples: Vec<Tuple> = (0..2000u64)
+        .map(|i| tpl((i % 3) as u8, i, i as i64 % 50, 64))
+        .collect();
     let path = std::env::temp_dir().join("dcape-bench-trace");
     c.bench_function("trace/record_replay_2000", |b| {
         b.iter(|| {
@@ -250,14 +265,17 @@ fn bench_per_input_join(c: &mut Criterion) {
     use dcape_engine::spill::per_input::PerInputJoin;
     c.bench_function("join/per_input_insert_3000", |b| {
         b.iter(|| {
-            let mut j =
-                PerInputJoin::new(vec![0, 0, 0], MemoryTracker::new(u64::MAX)).unwrap();
+            let mut j = PerInputJoin::new(vec![0, 0, 0], MemoryTracker::new(u64::MAX)).unwrap();
             let mut sink = CountingSink::new();
             for seq in 0..1000u64 {
                 for s in 0..3u8 {
                     let key = (seq % 40) as i64;
-                    j.process(PartitionId((key % 8) as u32), tpl(s, seq, key, 0), &mut sink)
-                        .unwrap();
+                    j.process(
+                        PartitionId((key % 8) as u32),
+                        tpl(s, seq, key, 0),
+                        &mut sink,
+                    )
+                    .unwrap();
                 }
             }
             black_box(sink.count())

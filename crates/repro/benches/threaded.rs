@@ -18,9 +18,8 @@ fn bench_threaded_scaling(c: &mut Criterion) {
     for &engines in &[1usize, 2, 4] {
         group.bench_with_input(BenchmarkId::from_parameter(engines), &engines, |b, &n| {
             b.iter(|| {
-                let spec =
-                    StreamSetSpec::uniform(24, 2400, 1, VirtualDuration::from_millis(30))
-                        .with_payload_pad(128);
+                let spec = StreamSetSpec::uniform(24, 2400, 1, VirtualDuration::from_millis(30))
+                    .with_payload_pad(128);
                 let cfg = SimConfig::new(
                     n,
                     EngineConfig::three_way(1 << 24, 1 << 22),
@@ -28,7 +27,9 @@ fn bench_threaded_scaling(c: &mut Criterion) {
                     StrategyConfig::lazy_default(),
                 )
                 .with_stats_interval(VirtualDuration::from_secs(30));
-                run_threaded(cfg, VirtualTime::from_mins(3)).unwrap().total_output()
+                run_threaded(cfg, VirtualTime::from_mins(3))
+                    .unwrap()
+                    .total_output()
             });
         });
     }

@@ -64,7 +64,11 @@ pub fn run_policy_ladder(opts: &RunOpts) -> Result<PolicyLadderResult> {
     }
     let mut table = Table::new(&["victim policy", "runtime output", "cleanup tuples"]);
     for (name, out, cleanup) in &rows {
-        table.row(vec![name.to_string(), format!("{out}"), format!("{cleanup}")]);
+        table.row(vec![
+            name.to_string(),
+            format!("{out}"),
+            format!("{cleanup}"),
+        ]);
     }
     opts.emit("Ablation: spill victim policies", &table);
     opts.csv("ablation_policies.csv", &table);
@@ -156,7 +160,12 @@ pub fn run_network_sensitivity(opts: &RunOpts) -> Result<NetworkResult> {
         let report = driver.finish()?;
         rows.push((*label, relocations, buffered, report.runtime_output));
     }
-    let mut table = Table::new(&["network", "relocations", "buffered tuples", "runtime output"]);
+    let mut table = Table::new(&[
+        "network",
+        "relocations",
+        "buffered tuples",
+        "runtime output",
+    ]);
     for (label, rel, buf, out) in &rows {
         table.row(vec![
             label.to_string(),
@@ -195,13 +204,9 @@ pub fn run_spill_granularity(opts: &RunOpts) -> Result<GranularityResult> {
     use dcape_engine::spill::per_input::PerInputJoin;
     use dcape_streamgen::StreamSetGenerator;
 
-    let spec = dcape_streamgen::StreamSetSpec::uniform(
-        24,
-        2_400,
-        2,
-        VirtualDuration::from_millis(30),
-    )
-    .with_payload_pad(256);
+    let spec =
+        dcape_streamgen::StreamSetSpec::uniform(24, 2_400, 2, VirtualDuration::from_millis(30))
+            .with_payload_pad(256);
     let deadline = VirtualTime::from_mins(if opts.fast { 4 } else { 20 });
     let threshold: u64 = if opts.fast { 300 << 10 } else { 4 << 20 };
 
@@ -220,7 +225,11 @@ pub fn run_spill_granularity(opts: &RunOpts) -> Result<GranularityResult> {
     let keys: std::collections::HashSet<i64> = counts.keys().map(|(_, k)| *k).collect();
     let reference: u64 = keys
         .iter()
-        .map(|k| (0..3u8).map(|s| counts.get(&(s, *k)).copied().unwrap_or(0)).product::<u64>())
+        .map(|k| {
+            (0..3u8)
+                .map(|s| counts.get(&(s, *k)).copied().unwrap_or(0))
+                .product::<u64>()
+        })
         .sum();
 
     // Variant A: partition-group spill (the paper's design).
@@ -452,9 +461,7 @@ pub fn run_window_sizes(opts: &RunOpts) -> Result<WindowResult> {
     for (label, secs) in windows {
         let mut engine = scale::engine_with_threshold(u64::MAX / 4);
         if let Some(secs) = secs {
-            engine.join = engine
-                .join
-                .with_window(VirtualDuration::from_secs(*secs));
+            engine.join = engine.join.with_window(VirtualDuration::from_secs(*secs));
         }
         let cfg = SimConfig::new(
             1,

@@ -73,10 +73,13 @@ fn run_theta(
             tau_m: VirtualDuration::from_secs(45),
         }
     };
-    let cfg = SimConfig::new(2, engine, alternating_workload(opts.fast), strategy)
+    let mut cfg = SimConfig::new(2, engine, alternating_workload(opts.fast), strategy)
         .with_placement(PlacementSpec::Fractions(vec![0.5, 0.5]))
         .with_stats_interval(VirtualDuration::from_secs(45))
         .with_sample_interval(VirtualDuration::from_secs(if opts.fast { 20 } else { 60 }));
+    if opts.journal_enabled() {
+        cfg = cfg.with_journal();
+    }
     let mut driver = SimDriver::new(cfg)?;
     driver.run_until(duration)?;
     let relocations = driver.relocations().len();
@@ -86,6 +89,7 @@ fn run_theta(
     } else {
         format!("theta={theta_pct}%")
     };
+    opts.write_journal(&format!("fig09-{label}"), &report.journal);
     if let Some(s) = report.recorder.series("output/total") {
         for (t, v) in s.points() {
             recorder.record(&format!("throughput/{label}"), *t, *v);
@@ -186,7 +190,10 @@ mod tests {
             .collect();
         let low = by_theta.first().unwrap();
         let high = by_theta.last().unwrap();
-        assert!(high.1 > low.1, "theta=90 should relocate more: {by_theta:?}");
+        assert!(
+            high.1 > low.1,
+            "theta=90 should relocate more: {by_theta:?}"
+        );
         assert!(high.1 >= 1 && low.1 >= 1);
 
         // Throughput roughly unaffected by relocations (within 2%).

@@ -60,14 +60,18 @@ fn run_one(
     } else {
         StrategyConfig::NoAdaptation
     };
-    let cfg = SimConfig::new(3, engine, scale::paper_workload(), strategy)
+    let mut cfg = SimConfig::new(3, engine, scale::paper_workload(), strategy)
         .with_placement(PlacementSpec::Fractions(vec![0.6, 0.2, 0.2]))
         .with_stats_interval(VirtualDuration::from_secs(45))
         .with_sample_interval(VirtualDuration::from_secs(if opts.fast { 20 } else { 60 }));
+    if opts.journal_enabled() {
+        cfg = cfg.with_journal();
+    }
     let mut driver = SimDriver::new(cfg)?;
     driver.run_until(duration)?;
     let relocations = driver.relocations().len();
     let report = driver.finish()?;
+    opts.write_journal(&format!("fig11-{label}"), &report.journal);
     if let Some(s) = report.recorder.series("output/total") {
         for (t, v) in s.points() {
             recorder.record(&format!("throughput/{label}"), *t, *v);

@@ -112,10 +112,17 @@ pub fn run(opts: &RunOpts) -> Result<Vec<VerifyRow>> {
             r.label.clone(),
             format!("{}", r.total),
             format!("{}", r.reference),
-            if r.pass() { "PASS".into() } else { "FAIL".into() },
+            if r.pass() {
+                "PASS".into()
+            } else {
+                "FAIL".into()
+            },
         ]);
     }
-    opts.emit("Verification: exactness across strategies and drivers", &table);
+    opts.emit(
+        "Verification: exactness across strategies and drivers",
+        &table,
+    );
     opts.csv("verify.csv", &table);
     Ok(rows)
 }

@@ -1,12 +1,15 @@
 //! `repro` — regenerate the paper's figures and tables.
 //!
 //! ```text
-//! repro [EXPERIMENT ...] [--fast] [--out DIR]
+//! repro [EXPERIMENT ...] [--fast] [--out DIR] [--journal PATH]
 //!
 //! EXPERIMENT: fig5 fig6 fig7 cleanup1 fig9 fig10 fig11 fig12 cleanup2
 //!             fig13 fig14 ablations all        (default: all)
 //! --fast      ~6 virtual minutes per run instead of the paper's 40–60
 //! --out DIR   CSV output directory (default: results/)
+//! --journal PATH  record adaptation-event journals and write them as
+//!                 JSON lines, one file per instrumented run, named
+//!                 after PATH
 //! ```
 //!
 //! Figures sharing a run are grouped: `fig5`/`fig6` both run the k%
@@ -16,10 +19,12 @@
 use std::collections::BTreeSet;
 use std::process::ExitCode;
 
-use dcape_repro::experiments::{ablations, fig05_06, fig07, fig09_10, fig11, fig12, fig13_14, verify};
+use dcape_repro::experiments::{
+    ablations, fig05_06, fig07, fig09_10, fig11, fig12, fig13_14, verify,
+};
 use dcape_repro::RunOpts;
 
-const USAGE: &str = "usage: repro [fig5|fig6|fig7|cleanup1|fig9|fig10|fig11|fig12|cleanup2|fig13|fig14|ablations|verify|all ...] [--fast] [--out DIR]";
+const USAGE: &str = "usage: repro [fig5|fig6|fig7|cleanup1|fig9|fig10|fig11|fig12|cleanup2|fig13|fig14|ablations|verify|all ...] [--fast] [--out DIR] [--journal PATH]";
 
 fn main() -> ExitCode {
     let mut opts = RunOpts::default();
@@ -33,6 +38,13 @@ fn main() -> ExitCode {
                 Some(dir) => opts.out_dir = dir.into(),
                 None => {
                     eprintln!("--out requires a directory\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--journal" => match args.next() {
+                Some(path) => opts.journal = Some(path.into()),
+                None => {
+                    eprintln!("--journal requires a path\n{USAGE}");
                     return ExitCode::FAILURE;
                 }
             },
@@ -114,7 +126,10 @@ fn main() -> ExitCode {
             "fig14" => fig13_14::run_fig14(&opts).map(|_| ()),
             "ablations" => ablations::run(&opts),
             "verify" => verify::run(&opts).and_then(|rows| {
-                if rows.iter().all(dcape_repro::experiments::verify::VerifyRow::pass) {
+                if rows
+                    .iter()
+                    .all(dcape_repro::experiments::verify::VerifyRow::pass)
+                {
                     Ok(())
                 } else {
                     Err(dcape_common::error::DcapeError::state(

@@ -12,6 +12,10 @@ pub struct RunOpts {
     pub out_dir: PathBuf,
     /// Suppress stdout tables (benches).
     pub quiet: bool,
+    /// Base path for adaptation-event journals (`--journal`). When set,
+    /// instrumented experiments record an event journal and write it as
+    /// JSON lines, one file per run, named after this path.
+    pub journal: Option<PathBuf>,
 }
 
 impl Default for RunOpts {
@@ -20,6 +24,7 @@ impl Default for RunOpts {
             fast: false,
             out_dir: PathBuf::from("results"),
             quiet: false,
+            journal: None,
         }
     }
 }
@@ -31,6 +36,46 @@ impl RunOpts {
             fast: true,
             quiet: true,
             out_dir: std::env::temp_dir().join("dcape-repro-fast"),
+            journal: None,
+        }
+    }
+
+    /// True when `--journal` was given.
+    pub fn journal_enabled(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// Write one run's journal as JSON lines (no-op without
+    /// `--journal`). The file lands next to the `--journal` path with
+    /// the run label folded into the name: `--journal out.jsonl` plus
+    /// label `fig11/with-relocation` writes
+    /// `out-fig11-with-relocation.jsonl`.
+    pub fn write_journal(&self, label: &str, entries: &[dcape_metrics::JournalEntry]) {
+        let Some(base) = &self.journal else {
+            return;
+        };
+        let stem = base
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("journal");
+        let ext = base.extension().and_then(|s| s.to_str()).unwrap_or("jsonl");
+        let tag: String = label
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+            .collect();
+        let path = base.with_file_name(format!("{stem}-{tag}.{ext}"));
+        match dcape_metrics::write_journal_jsonl(&path, entries) {
+            Ok(()) if !self.quiet => {
+                println!(
+                    "journal: wrote {} events to {}",
+                    entries.len(),
+                    path.display()
+                );
+            }
+            Err(e) if !self.quiet => {
+                eprintln!("warning: failed to write {}: {e}", path.display());
+            }
+            _ => {}
         }
     }
 

@@ -135,7 +135,9 @@ mod tests {
     use super::*;
 
     fn exercise(backend: &mut dyn SpillBackend) {
-        let a = backend.write_segment(&Bytes::from_static(b"alpha")).unwrap();
+        let a = backend
+            .write_segment(&Bytes::from_static(b"alpha"))
+            .unwrap();
         let b = backend.write_segment(&Bytes::from_static(b"beta")).unwrap();
         assert_ne!(a, b);
         assert_eq!(&backend.read_segment(a).unwrap()[..], b"alpha");

@@ -257,7 +257,10 @@ mod tests {
 
     #[test]
     fn truncated_inputs_error_not_panic() {
-        let t = TupleBuilder::new(StreamId(0)).value(7i64).value("abc").build();
+        let t = TupleBuilder::new(StreamId(0))
+            .value(7i64)
+            .value("abc")
+            .build();
         let mut buf = BytesMut::new();
         encode_tuple(&mut buf, &t);
         let full = buf.freeze();

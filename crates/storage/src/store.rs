@@ -248,8 +248,7 @@ mod tests {
     #[test]
     fn file_backend_store_round_trips() {
         let dir = std::env::temp_dir().join(format!("dcape-store-{}", std::process::id()));
-        let mut store =
-            SpillStore::new(Box::new(crate::backend::FileBackend::new(&dir).unwrap()));
+        let mut store = SpillStore::new(Box::new(crate::backend::FileBackend::new(&dir).unwrap()));
         let g = group(11, 5);
         store.spill_group(&g).unwrap();
         let back = store.take_segments(PartitionId(11)).unwrap();

@@ -120,7 +120,10 @@ mod tests {
     fn uniform_is_flat_and_static() {
         let p = ArrivalPattern::Uniform;
         assert_eq!(p.weight_at(PartitionId(0), VirtualTime::ZERO), 1.0);
-        assert_eq!(p.weight_at(PartitionId(99), VirtualTime::from_mins(60)), 1.0);
+        assert_eq!(
+            p.weight_at(PartitionId(99), VirtualTime::from_mins(60)),
+            1.0
+        );
         assert!(!p.is_time_varying());
         assert_eq!(p.next_change_after(VirtualTime::ZERO), None);
     }
@@ -145,9 +148,15 @@ mod tests {
         assert_eq!(p.weight_at(PartitionId(5), VirtualTime::from_mins(1)), 1.0);
         // Phase 1: group B favoured.
         assert_eq!(p.weight_at(PartitionId(0), VirtualTime::from_mins(11)), 1.0);
-        assert_eq!(p.weight_at(PartitionId(5), VirtualTime::from_mins(11)), 10.0);
+        assert_eq!(
+            p.weight_at(PartitionId(5), VirtualTime::from_mins(11)),
+            10.0
+        );
         // Phase 2: back to A.
-        assert_eq!(p.weight_at(PartitionId(0), VirtualTime::from_mins(21)), 10.0);
+        assert_eq!(
+            p.weight_at(PartitionId(0), VirtualTime::from_mins(21)),
+            10.0
+        );
         assert!(p.is_time_varying());
     }
 
@@ -194,7 +203,10 @@ mod shift_tests {
         assert_eq!(p.weight_at(PartitionId(0), VirtualTime::from_mins(5)), 10.0);
         assert_eq!(p.weight_at(PartitionId(1), VirtualTime::from_mins(5)), 1.0);
         assert_eq!(p.weight_at(PartitionId(0), VirtualTime::from_mins(10)), 1.0);
-        assert_eq!(p.weight_at(PartitionId(1), VirtualTime::from_mins(15)), 10.0);
+        assert_eq!(
+            p.weight_at(PartitionId(1), VirtualTime::from_mins(15)),
+            10.0
+        );
         // Missing entries default to 1.0.
         assert_eq!(p.weight_at(PartitionId(9), VirtualTime::from_mins(5)), 1.0);
         assert!(p.is_time_varying());

@@ -116,7 +116,10 @@ mod tests {
         let cycle: Vec<u64> = (0..50).map(|_| s.next_value()).collect();
         let mut sorted = cycle.clone();
         sorted.sort_unstable();
-        assert_ne!(cycle, sorted, "shuffle produced sorted order (astronomically unlikely)");
+        assert_ne!(
+            cycle, sorted,
+            "shuffle produced sorted order (astronomically unlikely)"
+        );
     }
 
     #[test]

@@ -2,6 +2,10 @@
 //! integrated strategies — lazy-disk and active-disk — on a workload
 //! with a per-machine productivity gap (the Figure 13 scenario).
 //!
+//! Both runs record the adaptation-event journal; the tail of each
+//! timeline is printed so the spill/relocation decisions can be read
+//! alongside the throughput numbers.
+//!
 //! ```sh
 //! cargo run --release --example adaptive_cluster
 //! ```
@@ -44,18 +48,36 @@ fn run(strategy: StrategyConfig, label: &str) -> Result<u64, Box<dyn std::error:
             1.0 / 3.0,
             1.0 / 3.0,
         ]))
-        .with_stats_interval(VirtualDuration::from_secs(45));
+        .with_stats_interval(VirtualDuration::from_secs(45))
+        .with_journal();
     let mut driver = SimDriver::new(cfg)?;
     driver.run_until(VirtualTime::from_mins(30))?;
     let relocations = driver.relocations().len();
     let report = driver.finish()?;
+    let c = report.journal_counters;
     println!("{label}:");
     println!("  run-time output : {}", report.runtime_output);
     println!("  cleanup output  : {}", report.cleanup_output);
     println!("  local spills    : {:?}", report.spill_counts);
     println!("  forced spills   : {}", report.force_spills);
     println!("  relocations     : {relocations}");
+    println!(
+        "  journal         : {} events ({} spill bytes, {} relocated bytes)",
+        report.journal.len(),
+        c.spill_bytes,
+        c.relocation_bytes
+    );
     println!("{}", report.summary_table().render());
+    // Everything except the (noisy) periodic stats samples, last 12.
+    let adaptations: Vec<_> = report
+        .journal
+        .iter()
+        .filter(|e| e.event.kind() != "stats_sample")
+        .cloned()
+        .collect();
+    let tail = adaptations.len().saturating_sub(12);
+    println!("adaptation timeline (tail):");
+    println!("{}", dcape::metrics::render_journal(&adaptations[tail..]));
     Ok(report.runtime_output)
 }
 

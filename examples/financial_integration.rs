@@ -45,7 +45,11 @@ fn offer(bank: u8, seq: u64, rng: &mut StdRng) -> Tuple {
         StreamId(bank),
         seq,
         VirtualTime::from_millis(seq * 30),
-        vec![Value::text(currency), Value::text(broker), Value::Double(price)],
+        vec![
+            Value::text(currency),
+            Value::text(broker),
+            Value::Double(price),
+        ],
     )
 }
 
@@ -61,13 +65,18 @@ impl ResultSink for Query1Sink {
         // cur3, broker3, price3]. Query 1 groups by bank1's broker and
         // minimizes bank1's price.
         let row = flatten_result(parts);
-        self.agg.process(&row).expect("aggregation over join output");
+        self.agg
+            .process(&row)
+            .expect("aggregation over join output");
         self.matches += 1;
     }
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    println!("dcape {} — Query 1: financial data integration\n", dcape::VERSION);
+    println!(
+        "dcape {} — Query 1: financial data integration\n",
+        dcape::VERSION
+    );
 
     let partitioner = Partitioner::hash(32);
     let cfg = EngineConfig::three_way(64 << 20, 48 << 20);

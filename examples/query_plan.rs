@@ -86,12 +86,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let instrument = (seq % 40) as i64;
         // quotes(instr, price)
         exec.feed(
-            tuple(0, seq, vec![Value::Int(instrument), Value::Double(1.0 + (seq % 7) as f64)]),
+            tuple(
+                0,
+                seq,
+                vec![
+                    Value::Int(instrument),
+                    Value::Double(1.0 + (seq % 7) as f64),
+                ],
+            ),
             &mut sink,
         )?;
         // orders(instr, volume) — about half survive the filter
         exec.feed(
-            tuple(1, seq, vec![Value::Int(instrument), Value::Int((seq % 200) as i64)]),
+            tuple(
+                1,
+                seq,
+                vec![Value::Int(instrument), Value::Int((seq % 200) as i64)],
+            ),
             &mut sink,
         )?;
         // venues(instr, region) — one per instrument, early on

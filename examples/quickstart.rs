@@ -67,9 +67,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "  modeled cost     : {} ms of virtual time",
         report.virtual_cost.as_millis()
     );
-    println!(
-        "\ntotal results: {}",
-        sink.count() + cleanup_sink.count()
-    );
+    println!("\ntotal results: {}", sink.count() + cleanup_sink.count());
     Ok(())
 }

@@ -41,7 +41,11 @@ fn reference_count(deadline: VirtualTime) -> u64 {
     }
     let keys: std::collections::HashSet<i64> = counts.keys().map(|(_, k)| *k).collect();
     keys.into_iter()
-        .map(|k| (0..3u8).map(|s| counts.get(&(s, k)).copied().unwrap_or(0)).product::<u64>())
+        .map(|k| {
+            (0..3u8)
+                .map(|s| counts.get(&(s, k)).copied().unwrap_or(0))
+                .product::<u64>()
+        })
         .sum()
 }
 
@@ -72,7 +76,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  relocations      : {}", threaded.relocations);
     println!("  run-time output  : {}", threaded.runtime_output);
     println!("  cleanup output   : {}", threaded.cleanup_output);
-    println!("  cleanup wall     : {} ms (parallel, modeled)", threaded.cleanup_wall_ms);
+    println!(
+        "  cleanup wall     : {} ms (parallel, modeled)",
+        threaded.cleanup_wall_ms
+    );
 
     println!("\nrunning the same experiment on the deterministic sim driver ...");
     let mut sim = SimDriver::new(config())?;
@@ -88,9 +95,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             r.buffered_tuples,
         );
     }
-    let moved = dcape::metrics::Summary::of(
-        sim.relocations().iter().map(|r| r.bytes as f64 / 1024.0),
-    );
+    let moved =
+        dcape::metrics::Summary::of(sim.relocations().iter().map(|r| r.bytes as f64 / 1024.0));
     println!("  moved KiB per relocation: {}", moved.render());
     let sim_report = sim.finish()?;
 

@@ -17,7 +17,10 @@ use dcape::engine::sink::CountingSink;
 use dcape::streamgen::{StreamSetGenerator, StreamSetSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    println!("dcape {} — sliding-window join over an unbounded stream\n", dcape::VERSION);
+    println!(
+        "dcape {} — sliding-window join over an unbounded stream\n",
+        dcape::VERSION
+    );
 
     let window = VirtualDuration::from_secs(60);
     let spec = StreamSetSpec::uniform(32, 2_000, 1, VirtualDuration::from_millis(30))

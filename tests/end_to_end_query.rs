@@ -28,7 +28,11 @@ fn offer(bank: u8, seq: u64) -> Tuple {
         StreamId(bank),
         seq,
         VirtualTime::from_millis(seq * 30),
-        vec![Value::text(currency), Value::text(broker), Value::Double(price)],
+        vec![
+            Value::text(currency),
+            Value::text(broker),
+            Value::Double(price),
+        ],
     )
 }
 
@@ -129,9 +133,7 @@ fn spill_during_aggregation_pipeline_preserves_totals() {
             let pid = partitioner.partition_of(&t.values()[0]);
             engine.process(pid, t, &mut runtime).unwrap();
         }
-        engine
-            .tick(VirtualTime::from_millis(seq * 30))
-            .unwrap();
+        engine.tick(VirtualTime::from_millis(seq * 30)).unwrap();
     }
     let mut cleanup = dcape::engine::sink::CountingSink::new();
     let report = engine.cleanup(&mut cleanup).unwrap();
@@ -144,8 +146,9 @@ fn spill_during_aggregation_pipeline_preserves_totals() {
     // Reference cardinality.
     let mut per_currency: HashMap<&str, [u64; 3]> = HashMap::new();
     for t in &all {
-        per_currency.entry(t.get(0).unwrap().as_text().unwrap()).or_default()
-            [t.stream().index()] += 1;
+        per_currency
+            .entry(t.get(0).unwrap().as_text().unwrap())
+            .or_default()[t.stream().index()] += 1;
     }
     let expected: u64 = per_currency.values().map(|c| c[0] * c[1] * c[2]).sum();
     assert_eq!(runtime.count() + cleanup.count(), expected);

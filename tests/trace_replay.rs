@@ -30,8 +30,7 @@ fn recorded_trace_replays_identically() {
     // Direct run.
     let run = |input: Vec<dcape::common::Tuple>| -> u64 {
         let mut engine =
-            QueryEngine::in_memory(EngineId(0), EngineConfig::three_way(1 << 30, 1 << 29))
-                .unwrap();
+            QueryEngine::in_memory(EngineId(0), EngineConfig::three_way(1 << 30, 1 << 29)).unwrap();
         let mut sink = CountingSink::new();
         for t in input {
             let pid: PartitionId = partitioner.partition_of(&t.values()[0]);

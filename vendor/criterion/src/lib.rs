@@ -1,0 +1,252 @@
+//! Offline shim for `criterion 0.5`: API-compatible with the dcape
+//! bench targets, but measures a single wall-clock pass per benchmark
+//! instead of doing statistical sampling.
+//!
+//! Bench binaries built from this shim run their bodies only when
+//! invoked with `--bench` (as `cargo bench` does); under `cargo test`
+//! they exit immediately, matching the real crate's behavior.
+
+// Vendored API shim: exempt from the workspace clippy gate.
+#![allow(clippy::all)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Throughput annotation (recorded, displayed alongside timings).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How much setup output to batch per timing run; the shim times one
+/// batch regardless.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+}
+
+/// A benchmark's display id.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `group/function/parameter` style id.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to benchmark closures; `iter`/`iter_batched` time the routine.
+pub struct Bencher {
+    iters: u64,
+    last_nanos: u128,
+}
+
+impl Bencher {
+    /// Time `routine` over a fixed number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.last_nanos = start.elapsed().as_nanos() / self.iters as u128;
+    }
+
+    /// Time `routine` on inputs produced by `setup`; setup cost is
+    /// excluded from the timing.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = 0u128;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed().as_nanos();
+        }
+        self.last_nanos = total / self.iters as u128;
+    }
+}
+
+/// Top-level benchmark driver (subset of `criterion::Criterion`).
+pub struct Criterion {
+    enabled: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Run bodies only under `cargo bench` (which passes --bench);
+        // `cargo test` also executes harness=false bench binaries and
+        // must stay fast.
+        let enabled = std::env::args().any(|a| a == "--bench");
+        Criterion { enabled }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(self.enabled, name, None, f);
+        self
+    }
+}
+
+/// A group of related benchmarks (subset of `BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's single pass ignores it.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(self.criterion.enabled, &label, self.throughput, f);
+        self
+    }
+
+    /// Run a parameterized benchmark in this group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(self.criterion.enabled, &label, self.throughput, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(enabled: bool, label: &str, tp: Option<Throughput>, mut f: F) {
+    if !enabled {
+        return;
+    }
+    let mut bencher = Bencher {
+        iters: 1,
+        last_nanos: 0,
+    };
+    f(&mut bencher);
+    let per_iter = bencher.last_nanos;
+    match tp {
+        Some(Throughput::Elements(n)) if per_iter > 0 => println!(
+            "bench {label}: {per_iter} ns/iter ({:.0} elem/s)",
+            n as f64 / (per_iter as f64 / 1e9)
+        ),
+        Some(Throughput::Bytes(n)) if per_iter > 0 => println!(
+            "bench {label}: {per_iter} ns/iter ({:.0} B/s)",
+            n as f64 / (per_iter as f64 / 1e9)
+        ),
+        _ => println!("bench {label}: {per_iter} ns/iter"),
+    }
+}
+
+/// Bundle benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generate the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_criterion_skips_bodies() {
+        // Tests never pass --bench, so bodies must not run.
+        let mut c = Criterion::default();
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| 1 + 1);
+        });
+        assert!(!ran, "bench body ran without --bench");
+    }
+
+    #[test]
+    fn group_api_chains() {
+        let mut c = Criterion { enabled: true };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(100));
+        group.bench_with_input(BenchmarkId::from_parameter(3), &3u64, |b, &n| {
+            b.iter(|| n * 2);
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::from_parameter(8).to_string(), "8");
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+    }
+}

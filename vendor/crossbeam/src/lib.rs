@@ -1,0 +1,87 @@
+//! Offline shim for `crossbeam 0.8`: the `channel` module the threaded
+//! runtime uses, backed by `std::sync::mpsc`.
+
+// Vendored API shim: exempt from the workspace clippy gate.
+#![allow(clippy::all)]
+
+pub mod channel {
+    use std::sync::mpsc;
+
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    /// Sending half (clonable, like crossbeam's).
+    #[derive(Debug)]
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    // Manual impl: `derive(Clone)` would require `T: Clone`.
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Send, failing only when all receivers are gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    /// Receiving half.
+    #[derive(Debug)]
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Block until a message or disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+
+        /// Blocking iterator until disconnect.
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.0.iter()
+        }
+    }
+
+    /// An unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_and_clone() {
+            let (tx, rx) = unbounded();
+            let tx2 = tx.clone();
+            tx.send(1).unwrap();
+            tx2.send(2).unwrap();
+            assert_eq!(rx.recv().unwrap(), 1);
+            assert_eq!(rx.try_recv().unwrap(), 2);
+            assert!(matches!(rx.try_recv(), Err(TryRecvError::Empty)));
+            drop(tx);
+            drop(tx2);
+            assert!(matches!(rx.try_recv(), Err(TryRecvError::Disconnected)));
+        }
+
+        #[test]
+        fn iter_drains_until_disconnect() {
+            let (tx, rx) = unbounded();
+            std::thread::spawn(move || {
+                for i in 0..5 {
+                    tx.send(i).unwrap();
+                }
+            });
+            let got: Vec<i32> = rx.iter().collect();
+            assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        }
+    }
+}

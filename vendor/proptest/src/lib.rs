@@ -1,0 +1,269 @@
+//! Offline shim for `proptest 1.x`: the macro DSL and strategy
+//! combinators the dcape property tests use. Generates random cases
+//! deterministically; failing inputs are reported but NOT shrunk.
+
+// Vendored API shim: exempt from the workspace clippy gate.
+#![allow(clippy::all)]
+
+pub mod strategy;
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy producing `Vec`s of `element` with length drawn from
+    /// `size` (subset of `proptest::collection::vec`).
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.below(self.size.start, self.size.end);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Per-test configuration (subset of `ProptestConfig`).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+        /// Accepted for API compatibility; the shim never shrinks.
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // The real default is 256 cases; the shim trims it since
+            // failing cases are not shrunk anyway.
+            ProptestConfig {
+                cases: 64,
+                max_shrink_iters: 0,
+            }
+        }
+    }
+
+    /// A failed property case.
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// Build a failure with the given message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// Deterministic generator for test inputs (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeded from the test name so properties draw distinct but
+        /// reproducible streams.
+        pub fn for_test(name: &str) -> Self {
+            let mut seed = 0x9E37_79B9_7F4A_7C15u64;
+            for b in name.bytes() {
+                seed = (seed ^ b as u64).wrapping_mul(0x100_0000_01B3);
+            }
+            TestRng { state: seed }
+        }
+
+        /// Next raw 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw from `[lo, hi)`; panics on an empty range.
+        pub fn below(&mut self, lo: usize, hi: usize) -> usize {
+            assert!(lo < hi, "cannot sample empty range");
+            lo + (self.next_u64() as usize) % (hi - lo)
+        }
+    }
+}
+
+/// Everything the tests import via `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Abort the current case with a failure message unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Abort the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "{}: {:?} != {:?}", format!($($fmt)+), l, r);
+    }};
+}
+
+/// Pick uniformly among the listed strategies. All arms must share one
+/// `Value` type; weights from the real crate are not supported.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::one_of(vec![$($crate::strategy::boxed($arm)),+])
+    };
+}
+
+/// Define property tests. Shim semantics: run `cases` random inputs per
+/// property, panic with the generated inputs' failure message on the
+/// first failing case (no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (@with_config ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for case in 0..config.cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng);
+                    )+
+                    let outcome: Result<(), $crate::test_runner::TestCaseError> = (|| {
+                        $body
+                        Ok(())
+                    })();
+                    if let Err(e) = outcome {
+                        panic!(
+                            "property {} failed on case {}/{}: {}",
+                            stringify!($name),
+                            case + 1,
+                            config.cases,
+                            e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(
+            @with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(v in 10u32..20, w in -5i64..5) {
+            prop_assert!((10..20).contains(&v));
+            prop_assert!((-5..5).contains(&w));
+        }
+
+        #[test]
+        fn tuples_and_map_compose(
+            pair in (0u8..4, 0u64..100).prop_map(|(a, b)| (a as u64) * 1000 + b)
+        ) {
+            prop_assert!(pair < 4000);
+            prop_assert_eq!(pair % 1000, pair - (pair / 1000) * 1000);
+        }
+
+        #[test]
+        fn oneof_covers_only_listed_arms(
+            v in prop_oneof![(0u32..1).prop_map(|_| 7u32), (0u32..1).prop_map(|_| 9u32),]
+        ) {
+            prop_assert!(v == 7 || v == 9, "unexpected arm value {v}");
+        }
+
+        #[test]
+        fn vec_respects_size_range(xs in crate::collection::vec(any::<u8>(), 2..6)) {
+            prop_assert!((2..6).contains(&xs.len()));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let strat = crate::collection::vec(0u64..1000, 3..10);
+        let a: Vec<u64> = (0..5)
+            .map(|_| strat.generate(&mut TestRng::for_test("x")))
+            .flatten()
+            .collect();
+        let b: Vec<u64> = (0..5)
+            .map(|_| strat.generate(&mut TestRng::for_test("x")))
+            .flatten()
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "property always_fails failed")]
+    fn failing_property_panics_with_context() {
+        proptest! {
+            @with_config (crate::test_runner::ProptestConfig {
+                cases: 2,
+                ..Default::default()
+            })
+            fn always_fails(v in 0u32..10) {
+                prop_assert!(v > 100, "v was {v}");
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,14 @@
+//! Offline shim for `serde`: marker traits plus the no-op derives.
+//!
+//! See `vendor/README.md` for scope and rationale.
+
+// Vendored API shim: exempt from the workspace clippy gate.
+#![allow(clippy::all)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

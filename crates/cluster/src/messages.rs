@@ -20,6 +20,7 @@
 //! forced-spill command ([`ToEngine::StartSpill`]), so the threaded
 //! runtime runs the entire system over two channel types.
 
+use dcape_common::batch::TupleBatch;
 use dcape_common::ids::{EngineId, PartitionId};
 use dcape_common::time::VirtualTime;
 use dcape_common::tuple::Tuple;
@@ -46,6 +47,14 @@ pub enum ToEngine {
         pid: PartitionId,
         /// The tuple.
         tuple: Tuple,
+    },
+    /// A whole tick's worth of routed tuples for this engine — the
+    /// batched data path. Semantically identical to a sequence of
+    /// [`ToEngine::Data`] messages in batch order, but one channel send
+    /// per engine per tick.
+    DataBatch {
+        /// The routed tuples, in arrival order.
+        tuples: TupleBatch,
     },
     /// Step 1: compute partitions to vacate worth `amount` bytes.
     Cptv {

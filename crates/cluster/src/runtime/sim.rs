@@ -12,6 +12,7 @@
 //! Determinism: same [`SimConfig`] ⇒ bit-identical run. That is what
 //! lets the repro harness regenerate the paper's figures reproducibly.
 
+use dcape_common::batch::TupleBatch;
 use dcape_common::error::{DcapeError, Result};
 use dcape_common::ids::{EngineId, PartitionId};
 use dcape_common::time::{PeriodicTimer, VirtualDuration, VirtualTime};
@@ -60,6 +61,11 @@ pub struct SimConfig {
     /// Record a structured adaptation-event journal (merged into the
     /// report); off by default.
     pub journal: bool,
+    /// Use the batched dataflow (one routed batch per engine per tick)
+    /// instead of per-tuple delivery. On by default; results, state and
+    /// journal totals are identical either way — the flag exists so the
+    /// equivalence can be tested and benchmarked.
+    pub batch: bool,
 }
 
 impl SimConfig {
@@ -82,7 +88,14 @@ impl SimConfig {
             network: NetworkModel::gigabit(),
             collect_results: false,
             journal: false,
+            batch: true,
         }
+    }
+
+    /// Builder-style: enable or disable the batched dataflow.
+    pub fn with_batching(mut self, batch: bool) -> Self {
+        self.batch = batch;
+        self
     }
 
     /// Builder-style: set the initial placement.
@@ -254,6 +267,10 @@ pub struct SimDriver {
     /// Engine spill bytes already mirrored into the driver journal's
     /// counters (strategies read cluster-wide totals mid-run).
     mirrored_spill_bytes: u64,
+    /// Reusable one-tick generator buffer (batched dataflow).
+    tick_buf: Vec<Tuple>,
+    /// Reusable per-engine routed batches (batched dataflow).
+    engine_batches: Vec<TupleBatch>,
     now: VirtualTime,
 }
 
@@ -301,6 +318,8 @@ impl SimDriver {
             relocations: Vec::new(),
             journal,
             mirrored_spill_bytes: 0,
+            tick_buf: Vec::new(),
+            engine_batches: (0..cfg.num_engines).map(|_| TupleBatch::new()).collect(),
             now: VirtualTime::ZERO,
             cfg,
             engines,
@@ -338,12 +357,52 @@ impl SimDriver {
 
     /// Run until the virtual deadline.
     pub fn run_until(&mut self, deadline: VirtualTime) -> Result<()> {
+        if self.cfg.batch {
+            return self.run_until_batched(deadline);
+        }
         while self.gen.now() < deadline {
             let batch = self.gen.generate_ticks(1);
             self.now = batch.first().map(Tuple::ts).unwrap_or(self.now);
             self.on_clock()?;
             for tuple in batch {
                 self.route_and_process(tuple)?;
+            }
+        }
+        self.now = deadline;
+        self.on_clock()?;
+        Ok(())
+    }
+
+    /// Batched variant of [`SimDriver::run_until`]: one reused tick
+    /// buffer, tuples routed into per-engine batches, one
+    /// `process_batch` call per engine per tick. Bit-identical results:
+    /// the clock/pulse ordering is unchanged, engines are independent of
+    /// each other, and within one engine the batch preserves arrival
+    /// order per partition.
+    fn run_until_batched(&mut self, deadline: VirtualTime) -> Result<()> {
+        while self.gen.now() < deadline {
+            let mut tick = std::mem::take(&mut self.tick_buf);
+            self.now = self.gen.tick_batch(&mut tick);
+            self.on_clock()?;
+            self.journal.add_tuples_routed(tick.len() as u64);
+            for tuple in tick.drain(..) {
+                let pid = self.split.classify(&tuple)?;
+                match self.placement.route(pid, tuple)? {
+                    Route::Buffered => {
+                        self.journal.add_buffered_in_flight(1);
+                    }
+                    Route::Deliver(engine, tuple) => {
+                        self.engine_batches[engine.index()].push(pid, tuple);
+                    }
+                }
+            }
+            self.tick_buf = tick;
+            for i in 0..self.engines.len() {
+                if self.engine_batches[i].is_empty() {
+                    continue;
+                }
+                let batch = std::mem::take(&mut self.engine_batches[i]);
+                self.engines[i].process_batch(batch, &mut self.sink)?;
             }
         }
         self.now = deadline;
@@ -527,12 +586,28 @@ impl SimDriver {
             return Err(DcapeError::protocol("expected remap after ack"));
         };
         // Step 7: remap and flush buffered tuples to the new owner.
+        // `remap_and_release` yields per-pid lists in arrival order, so
+        // the batched flush is a stable reordering by pid — identical
+        // results to the per-tuple flush.
         let released = self.placement.remap_and_release(&parts, receiver)?;
         let mut buffered = 0usize;
-        for (pid, tuples) in released {
-            buffered += tuples.len();
-            for tuple in tuples {
-                self.engines[receiver.index()].process(pid, tuple, &mut self.sink)?;
+        if self.cfg.batch {
+            let mut flush = TupleBatch::new();
+            for (pid, tuples) in released {
+                buffered += tuples.len();
+                for tuple in tuples {
+                    flush.push(pid, tuple);
+                }
+            }
+            if !flush.is_empty() {
+                self.engines[receiver.index()].process_batch(flush, &mut self.sink)?;
+            }
+        } else {
+            for (pid, tuples) in released {
+                buffered += tuples.len();
+                for tuple in tuples {
+                    self.engines[receiver.index()].process(pid, tuple, &mut self.sink)?;
+                }
             }
         }
         self.record_step(t.round, 7, t.sender, t.receiver, &parts, 0, buffered as u64);

@@ -25,6 +25,7 @@ use std::thread;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
+use dcape_common::batch::TupleBatch;
 use dcape_common::error::{DcapeError, Result};
 use dcape_common::ids::{EngineId, PartitionId};
 use dcape_common::time::{PeriodicTimer, VirtualTime};
@@ -143,18 +144,71 @@ pub fn run_threaded(cfg: SimConfig, deadline: VirtualTime) -> Result<ThreadedRep
             .map_err(|_| DcapeError::Disconnected(format!("engine {e} channel closed")))
     };
 
+    // Batched dataflow: one reused tick buffer and one routed batch per
+    // engine. Batches coalesce across generator ticks — the channel
+    // send is the per-message cost being amortized — and flush (a)
+    // every `MAX_BATCH_TICKS` ticks, (b) before any `Tick`/
+    // `ReportStats` send, so no data trails a timer pulse it preceded
+    // in virtual time, and (c) before any coordinator message is
+    // handled, so every already-routed tuple reaches its engine ahead
+    // of a `SendStates`/remap that could re-home its partition.
+    const MAX_BATCH_TICKS: u32 = 64;
+    let mut tick_buf: Vec<dcape_common::tuple::Tuple> = Vec::new();
+    let mut engine_batches: Vec<TupleBatch> =
+        (0..cfg.num_engines).map(|_| TupleBatch::new()).collect();
+    let mut pending_ticks = 0u32;
+    let flush_pending =
+        |batches: &mut Vec<TupleBatch>, txs: &[Sender<ToEngine>], ticks: &mut u32| -> Result<()> {
+            *ticks = 0;
+            for (i, pending) in batches.iter_mut().enumerate() {
+                if pending.is_empty() {
+                    continue;
+                }
+                // Right-size the replacement so the next accumulation
+                // window fills it without growing from empty.
+                let tuples = std::mem::replace(pending, TupleBatch::with_capacity(pending.len()));
+                txs[i]
+                    .send(ToEngine::DataBatch { tuples })
+                    .map_err(|_| DcapeError::Disconnected(format!("engine {i} channel closed")))?;
+            }
+            Ok(())
+        };
+
     while gen.now() < deadline {
         let now = gen.now();
-        let batch = gen.generate_ticks(1);
-        for tuple in batch {
-            let pid = split.classify(&tuple)?;
-            journal.add_tuples_routed(1);
-            match placement.route(pid, tuple)? {
-                Route::Buffered => {
-                    journal.add_buffered_in_flight(1);
+        if cfg.batch {
+            gen.tick_batch(&mut tick_buf);
+            journal.add_tuples_routed(tick_buf.len() as u64);
+            for tuple in tick_buf.drain(..) {
+                let pid = split.classify(&tuple)?;
+                match placement.route(pid, tuple)? {
+                    Route::Buffered => {
+                        journal.add_buffered_in_flight(1);
+                    }
+                    Route::Deliver(engine, tuple) => {
+                        engine_batches[engine.index()].push(pid, tuple);
+                    }
                 }
-                Route::Deliver(engine, tuple) => {
-                    send_to(&to_engines, engine, ToEngine::Data { pid, tuple })?;
+            }
+            pending_ticks += 1;
+            if pending_ticks >= MAX_BATCH_TICKS
+                || tick_timer.expired(now)
+                || stats_timer.expired(now)
+            {
+                flush_pending(&mut engine_batches, &to_engines, &mut pending_ticks)?;
+            }
+        } else {
+            let batch = gen.generate_ticks(1);
+            for tuple in batch {
+                let pid = split.classify(&tuple)?;
+                journal.add_tuples_routed(1);
+                match placement.route(pid, tuple)? {
+                    Route::Buffered => {
+                        journal.add_buffered_in_flight(1);
+                    }
+                    Route::Deliver(engine, tuple) => {
+                        send_to(&to_engines, engine, ToEngine::Data { pid, tuple })?;
+                    }
                 }
             }
         }
@@ -179,6 +233,11 @@ pub fn run_threaded(cfg: SimConfig, deadline: VirtualTime) -> Result<ThreadedRep
 
         // Drain coordinator inbox without blocking the data path.
         while let Ok(msg) = from_engines.try_recv() {
+            // Deliver already-routed tuples before acting on anything
+            // that might pause or re-home their partitions.
+            if cfg.batch {
+                flush_pending(&mut engine_batches, &to_engines, &mut pending_ticks)?;
+            }
             handle_coordinator_msg(
                 msg,
                 &mut gc,
@@ -189,8 +248,15 @@ pub fn run_threaded(cfg: SimConfig, deadline: VirtualTime) -> Result<ThreadedRep
                 &mut relocations,
                 &journal,
                 now,
+                cfg.batch,
             )?;
         }
+    }
+
+    // The deadline passed: deliver any coalesced batches before the
+    // quiesce/cleanup phases.
+    if cfg.batch {
+        flush_pending(&mut engine_batches, &to_engines, &mut pending_ticks)?;
     }
 
     // Quiesce: finish any in-flight relocation before shutdown so no
@@ -209,6 +275,7 @@ pub fn run_threaded(cfg: SimConfig, deadline: VirtualTime) -> Result<ThreadedRep
             &mut relocations,
             &journal,
             deadline,
+            cfg.batch,
         )?;
     }
 
@@ -332,6 +399,7 @@ fn handle_coordinator_msg(
     relocations: &mut u64,
     journal: &JournalHandle,
     now: VirtualTime,
+    batch_mode: bool,
 ) -> Result<()> {
     let send = |e: EngineId, m: ToEngine| -> Result<()> {
         to_engines[e.index()]
@@ -406,12 +474,28 @@ fn handle_coordinator_msg(
             journal.add_relocation_bytes(bytes);
             match gc.on_transfer_ack(engine, round, now)? {
                 Action::RemapAndResume { parts, receiver } => {
+                    // Step 7: flush the split-side buffers to the new
+                    // owner — as one batch in batch mode (per-pid lists
+                    // arrive in order; batching is a stable reordering).
                     let released = placement.remap_and_release(&parts, receiver)?;
                     let mut buffered = 0u64;
-                    for (pid, tuples) in released {
-                        buffered += tuples.len() as u64;
-                        for tuple in tuples {
-                            send(receiver, ToEngine::Data { pid, tuple })?;
+                    if batch_mode {
+                        let mut flush = TupleBatch::new();
+                        for (pid, tuples) in released {
+                            buffered += tuples.len() as u64;
+                            for tuple in tuples {
+                                flush.push(pid, tuple);
+                            }
+                        }
+                        if !flush.is_empty() {
+                            send(receiver, ToEngine::DataBatch { tuples: flush })?;
+                        }
+                    } else {
+                        for (pid, tuples) in released {
+                            buffered += tuples.len() as u64;
+                            for tuple in tuples {
+                                send(receiver, ToEngine::Data { pid, tuple })?;
+                            }
                         }
                     }
                     journal.record(
@@ -484,6 +568,9 @@ fn engine_main(
             match msg {
                 ToEngine::Data { pid, tuple } => {
                     qe.process(pid, tuple, &mut sink)?;
+                }
+                ToEngine::DataBatch { tuples } => {
+                    qe.process_batch(tuples, &mut sink)?;
                 }
                 ToEngine::Tick { now } => {
                     last_now = now;

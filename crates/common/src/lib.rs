@@ -9,6 +9,8 @@
 //!
 //! * [`ids`] — strongly typed identifiers (partitions, engines, streams).
 //! * [`value`] / [`tuple`] — the row model flowing through operators.
+//! * [`batch`] — the routed-tuple batch, the unit of inter-operator
+//!   transfer in the batched dataflow.
 //! * [`time`] — virtual time, the clock abstraction that lets hour-long
 //!   paper experiments replay deterministically in seconds.
 //! * [`mem`] — explicit heap-size accounting, the substitute for the
@@ -16,6 +18,7 @@
 //! * [`hash`] — a fast, deterministic hasher used for partitioning.
 //! * [`error`] — the workspace error type.
 
+pub mod batch;
 pub mod error;
 pub mod hash;
 pub mod ids;
@@ -25,6 +28,7 @@ pub mod time;
 pub mod tuple;
 pub mod value;
 
+pub use batch::TupleBatch;
 pub use error::{DcapeError, Result};
 pub use ids::{EngineId, PartitionId, StreamId};
 pub use mem::{HeapSize, MemoryTracker};

@@ -33,85 +33,124 @@ pub struct TupleData {
 }
 
 /// A reference-counted immutable tuple.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub struct Tuple(Arc<TupleData>);
+///
+/// The [`HeapSize`] estimate is computed once at construction and cached
+/// next to the `Arc`: accounting reads it on every insert, spill, purge
+/// and snapshot, and tuples are immutable, so re-summing the payload per
+/// call is pure waste on the hot path.
+#[derive(Debug, Clone)]
+pub struct Tuple {
+    data: Arc<TupleData>,
+    heap: usize,
+}
+
+/// Heap estimate of a tuple payload (see [`HeapSize for Tuple`]).
+fn compute_heap_size(data: &TupleData) -> usize {
+    // Fixed per-tuple overhead: Arc control block + TupleData inline
+    // fields + per-value enum slots; then variable payloads.
+    const ARC_OVERHEAD: usize = 16;
+    let inline = std::mem::size_of::<TupleData>();
+    let slots = data.values.len() * std::mem::size_of::<Value>();
+    let payload: usize = data.values.iter().map(Value::payload_bytes).sum();
+    ARC_OVERHEAD + inline + slots + payload
+}
 
 impl Tuple {
     /// Build a tuple directly from parts.
     pub fn new(stream: StreamId, seq: u64, ts: VirtualTime, values: Vec<Value>) -> Self {
-        Tuple(Arc::new(TupleData {
+        let data = TupleData {
             stream,
             seq,
             ts,
             values: values.into_boxed_slice(),
-        }))
+        };
+        let heap = compute_heap_size(&data);
+        Tuple {
+            data: Arc::new(data),
+            heap,
+        }
     }
 
     /// Origin stream.
     #[inline]
     pub fn stream(&self) -> StreamId {
-        self.0.stream
+        self.data.stream
     }
 
     /// Per-stream arrival sequence number.
     #[inline]
     pub fn seq(&self) -> u64 {
-        self.0.seq
+        self.data.seq
     }
 
     /// Virtual arrival timestamp.
     #[inline]
     pub fn ts(&self) -> VirtualTime {
-        self.0.ts
+        self.data.ts
     }
 
     /// All column values.
     #[inline]
     pub fn values(&self) -> &[Value] {
-        &self.0.values
+        &self.data.values
     }
 
     /// The value in column `idx`, if present.
     #[inline]
     pub fn get(&self, idx: usize) -> Option<&Value> {
-        self.0.values.get(idx)
+        self.data.values.get(idx)
     }
 
     /// Column count.
     #[inline]
     pub fn arity(&self) -> usize {
-        self.0.values.len()
+        self.data.values.len()
     }
 
     /// Access to the shared payload (for codecs).
     #[inline]
     pub fn data(&self) -> &TupleData {
-        &self.0
+        &self.data
     }
 
     /// A globally unique identity for result-dedup checks in tests:
     /// (stream, seq) pairs are unique by construction.
     #[inline]
     pub fn identity(&self) -> (StreamId, u64) {
-        (self.0.stream, self.0.seq)
+        (self.data.stream, self.data.seq)
     }
 }
 
 impl From<TupleData> for Tuple {
     fn from(d: TupleData) -> Self {
-        Tuple(Arc::new(d))
+        let heap = compute_heap_size(&d);
+        Tuple {
+            data: Arc::new(d),
+            heap,
+        }
+    }
+}
+
+// Equality and hashing look only at the shared payload: the cached heap
+// estimate is a pure function of it.
+impl PartialEq for Tuple {
+    fn eq(&self, other: &Self) -> bool {
+        self.data == other.data
+    }
+}
+
+impl Eq for Tuple {}
+
+impl std::hash::Hash for Tuple {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.data.hash(state);
     }
 }
 
 impl HeapSize for Tuple {
+    #[inline]
     fn heap_size(&self) -> usize {
-        // Fixed per-tuple overhead: Arc control block + TupleData inline
-        // fields + per-value enum slots; then variable payloads.
-        const ARC_OVERHEAD: usize = 16;
-        let inline = std::mem::size_of::<TupleData>();
-        let slots = self.0.values.len() * std::mem::size_of::<Value>();
-        let payload: usize = self.0.values.iter().map(Value::payload_bytes).sum();
-        ARC_OVERHEAD + inline + slots + payload
+        self.heap
     }
 }
 

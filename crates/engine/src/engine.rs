@@ -181,6 +181,19 @@ impl QueryEngine {
         self.join.process(pid, tuple, sink)
     }
 
+    /// Process a whole batch of routed tuples (one tick's worth from one
+    /// split operator). Returns the number of results emitted. Counter
+    /// updates are amortized to one per batch; results and state are
+    /// identical to calling [`QueryEngine::process`] per tuple.
+    pub fn process_batch(
+        &mut self,
+        batch: dcape_common::batch::TupleBatch,
+        sink: &mut dyn ResultSink,
+    ) -> Result<u64> {
+        self.journal.add_tuples_routed(batch.len() as u64);
+        self.join.process_batch(batch, sink)
+    }
+
     /// The `ss_timer` pulse: purge window-expired state (windowed
     /// queries only), then spill if memory exceeded the threshold and
     /// the engine is in normal mode (Algorithm 1, events at QE).
@@ -509,6 +522,13 @@ impl QueryEngine {
         if recomputed != tracked {
             return Err(DcapeError::state(format!(
                 "accounting drift on {}: tracked {tracked}, recomputed {recomputed}",
+                self.id
+            )));
+        }
+        let incremental = self.join.state_bytes() as u64;
+        if recomputed != incremental {
+            return Err(DcapeError::state(format!(
+                "incremental state-bytes drift on {}: incremental {incremental}, recomputed {recomputed}",
                 self.id
             )));
         }

@@ -14,6 +14,7 @@
 
 use std::sync::Arc;
 
+use dcape_common::batch::TupleBatch;
 use dcape_common::error::{DcapeError, Result};
 use dcape_common::hash::FxHashMap;
 use dcape_common::ids::PartitionId;
@@ -35,6 +36,10 @@ pub struct MJoinOperator {
     window: ProductivityWindow,
     /// Groups spilled since the beginning (count of drain operations).
     drain_count: u64,
+    /// Incrementally maintained sum of all resident groups' bytes, so
+    /// stats samples don't pay an O(#groups) walk. Checked against
+    /// [`MJoinOperator::recompute_state_bytes`] in tests/debug asserts.
+    state_bytes: usize,
 }
 
 impl MJoinOperator {
@@ -47,6 +52,7 @@ impl MJoinOperator {
             tracker,
             window: ProductivityWindow::new(),
             drain_count: 0,
+            state_bytes: 0,
         })
     }
 
@@ -69,7 +75,53 @@ impl MJoinOperator {
         let (emitted, added_bytes) = group.insert(tuple, sink)?;
         self.tracker.allocate(added_bytes);
         self.window.record(emitted);
+        self.state_bytes += added_bytes;
         Ok(emitted)
+    }
+
+    /// Process a whole batch of routed tuples; results go to `sink`.
+    /// Returns the number of results emitted.
+    ///
+    /// The group lookup is paid once per *run* of consecutive
+    /// same-partition tuples instead of once per tuple, and
+    /// tracker/window updates are paid once per batch. Arrival order is
+    /// preserved: one generator tick emits one tuple per stream for the
+    /// same key, so runs of consecutive equal partition IDs arise
+    /// naturally without sorting, and tuples of different partitions
+    /// never interact — results and state are identical to processing
+    /// the batch tuple by tuple.
+    pub fn process_batch(&mut self, batch: TupleBatch, sink: &mut dyn ResultSink) -> Result<u64> {
+        let mut emitted_total = 0u64;
+        let mut added_total = 0usize;
+        let mut failed = None;
+        let mut items = batch.into_iter().peekable();
+        'runs: while let Some(run_pid) = items.peek().map(|(p, _)| *p) {
+            let group = self.groups.entry(run_pid).or_insert_with(|| {
+                PartitionGroup::new(run_pid, self.cfg.join_columns.clone(), self.cfg.window)
+            });
+            while items.peek().map(|(p, _)| *p) == Some(run_pid) {
+                let (_, tuple) = items.next().expect("peeked");
+                match group.insert(tuple, sink) {
+                    Ok((emitted, added)) => {
+                        emitted_total += emitted;
+                        added_total += added;
+                    }
+                    Err(e) => {
+                        failed = Some(e);
+                        break 'runs;
+                    }
+                }
+            }
+        }
+        // Account for everything inserted even when a mid-batch tuple
+        // failed, so the incremental totals never drift from the state.
+        self.tracker.allocate(added_total);
+        self.window.record(emitted_total);
+        self.state_bytes += added_total;
+        match failed {
+            Some(e) => Err(e),
+            None => Ok(emitted_total),
+        }
     }
 
     /// Number of resident partition groups.
@@ -77,9 +129,10 @@ impl MJoinOperator {
         self.groups.len()
     }
 
-    /// Accounted bytes across all resident groups.
+    /// Accounted bytes across all resident groups (incrementally
+    /// maintained; see [`MJoinOperator::recompute_state_bytes`]).
     pub fn state_bytes(&self) -> usize {
-        self.groups.values().map(PartitionGroup::bytes).sum()
+        self.state_bytes
     }
 
     /// Total results produced by this operator instance.
@@ -104,20 +157,17 @@ impl MJoinOperator {
     /// first window has not yet closed fall back to their cumulative
     /// value.
     pub fn group_stats_with(&self, estimator: ProductivityEstimator) -> Vec<GroupStats> {
-        let mut stats: Vec<GroupStats> = self
-            .groups
-            .values()
-            .map(|g| {
-                let mut s = GroupStats::new(g.pid(), g.bytes(), g.output_count());
-                if let ProductivityEstimator::Decaying { .. } = estimator {
-                    if let Some(ewma) = g.decayed_productivity() {
-                        s.productivity = ewma;
-                    }
+        let mut stats: Vec<GroupStats> = Vec::with_capacity(self.groups.len());
+        stats.extend(self.groups.values().map(|g| {
+            let mut s = GroupStats::new(g.pid(), g.bytes(), g.output_count());
+            if let ProductivityEstimator::Decaying { .. } = estimator {
+                if let Some(ewma) = g.decayed_productivity() {
+                    s.productivity = ewma;
                 }
-                s
-            })
-            .collect();
-        stats.sort_by_key(|s| s.pid);
+            }
+            s
+        }));
+        stats.sort_unstable_by_key(|s| s.pid);
         stats
     }
 
@@ -132,7 +182,8 @@ impl MJoinOperator {
 
     /// Resident partition IDs (sorted).
     pub fn resident_partitions(&self) -> Vec<PartitionId> {
-        let mut pids: Vec<PartitionId> = self.groups.keys().copied().collect();
+        let mut pids: Vec<PartitionId> = Vec::with_capacity(self.groups.len());
+        pids.extend(self.groups.keys().copied());
         pids.sort_unstable();
         pids
     }
@@ -153,6 +204,7 @@ impl MJoinOperator {
         let group = self.groups.remove(&pid)?;
         let freed = group.bytes();
         self.tracker.release(freed);
+        self.state_bytes -= freed;
         self.drain_count += 1;
         let (snapshot, _output) = group.into_snapshot();
         Some((snapshot, freed))
@@ -163,6 +215,7 @@ impl MJoinOperator {
     pub fn extract_group(&mut self, pid: PartitionId) -> Option<(SpilledGroup, u64)> {
         let group = self.groups.remove(&pid)?;
         self.tracker.release(group.bytes());
+        self.state_bytes -= group.bytes();
         Some(group.into_snapshot())
     }
 
@@ -183,6 +236,7 @@ impl MJoinOperator {
             output_count,
         )?;
         self.tracker.allocate(group.bytes());
+        self.state_bytes += group.bytes();
         self.groups.insert(pid, group);
         Ok(())
     }
@@ -215,6 +269,7 @@ impl MJoinOperator {
             !g.is_empty()
         });
         self.tracker.release(freed);
+        self.state_bytes -= freed;
         freed
     }
 
@@ -356,6 +411,64 @@ mod tests {
         let mut op = op();
         assert!(op.drain_group(PartitionId(9)).is_none());
         assert!(op.extract_group(PartitionId(9)).is_none());
+    }
+
+    #[test]
+    fn batch_matches_per_tuple_path() {
+        let mut per_tuple = op();
+        let mut batched = op();
+        let mut sink_a = CollectingSink::new();
+        let mut sink_b = CollectingSink::new();
+        let mut batch = TupleBatch::new();
+        let mut seq = 0u64;
+        // Interleave two partitions so the batched path has to sort.
+        for s in 0..3u8 {
+            for k in 0..4i64 {
+                let pid = PartitionId((k % 2) as u32);
+                let t = tpl(s, seq, k);
+                per_tuple.process(pid, t.clone(), &mut sink_a).unwrap();
+                batch.push(pid, t);
+                seq += 1;
+            }
+        }
+        let emitted = batched.process_batch(batch, &mut sink_b).unwrap();
+        assert_eq!(emitted as usize, sink_b.len());
+        // Same result multiset (order may differ across partitions).
+        let ids = |sink: &CollectingSink| {
+            let mut v: Vec<Vec<(u8, u64)>> = sink
+                .results()
+                .iter()
+                .map(|r| r.iter().map(|t| (t.stream().0, t.seq())).collect())
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(ids(&sink_a), ids(&sink_b));
+        // Same state, and the incremental total never drifts.
+        assert_eq!(per_tuple.state_bytes(), batched.state_bytes());
+        assert_eq!(batched.state_bytes(), batched.recompute_state_bytes());
+        assert_eq!(per_tuple.total_output(), batched.total_output());
+    }
+
+    #[test]
+    fn incremental_state_bytes_survives_drain_install_purge() {
+        let mut op = op();
+        let mut sink = CountingSink::new();
+        for s in 0..3u8 {
+            for i in 0..5 {
+                op.process(PartitionId(1), tpl(s, i, 1), &mut sink).unwrap();
+                op.process(PartitionId(2), tpl(s, i, 2), &mut sink).unwrap();
+            }
+        }
+        assert_eq!(op.state_bytes(), op.recompute_state_bytes());
+        let (snap, _) = op.drain_group(PartitionId(1)).unwrap();
+        assert_eq!(op.state_bytes(), op.recompute_state_bytes());
+        op.install_group(snap, 0).unwrap();
+        assert_eq!(op.state_bytes(), op.recompute_state_bytes());
+        let (snap2, carried) = op.extract_group(PartitionId(2)).unwrap();
+        assert_eq!(op.state_bytes(), op.recompute_state_bytes());
+        op.install_group(snap2, carried).unwrap();
+        assert_eq!(op.state_bytes(), op.recompute_state_bytes());
     }
 
     #[test]

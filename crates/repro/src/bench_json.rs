@@ -1,0 +1,408 @@
+//! `--bench-json PATH`: the machine-readable benchmark trajectory.
+//!
+//! Measures the per-tuple vs batched dataflow on two levels and writes
+//! one JSON document:
+//!
+//! * `join_insert` — the `MJoinOperator` hot loop in isolation
+//!   (`process` vs `process_batch` on identical tuples);
+//! * `fig5_end_to_end_threaded` — a fig5-style run (paper workload,
+//!   spill threshold, no adaptation) on the threaded runtime, with the
+//!   batched data path off vs on, reporting steady-state tuples/sec of
+//!   wall-clock time.
+//!
+//! Wall-clock numbers are per-machine; the committed `BENCH_pr2.json`
+//! records the before/after ratio on the machine that produced it.
+
+use std::io::Write as _;
+use std::path::Path;
+use std::time::Instant;
+
+use dcape_cluster::runtime::sim::SimConfig;
+use dcape_cluster::runtime::threaded::run_threaded;
+use dcape_cluster::strategy::StrategyConfig;
+use dcape_common::batch::TupleBatch;
+use dcape_common::error::{DcapeError, Result};
+use dcape_common::ids::{PartitionId, StreamId};
+use dcape_common::mem::MemoryTracker;
+use dcape_common::time::{VirtualDuration, VirtualTime};
+use dcape_common::tuple::{Tuple, TupleBuilder};
+use dcape_engine::config::MJoinConfig;
+use dcape_engine::operators::mjoin::MJoinOperator;
+use dcape_engine::sink::CountingSink;
+
+use crate::scale;
+
+/// One measured arm: wall seconds and the derived throughput.
+#[derive(Debug, Clone, Copy)]
+pub struct Arm {
+    /// Best wall-clock seconds across repeats.
+    pub wall_seconds: f64,
+    /// Tuples pushed through per wall-clock second.
+    pub tuples_per_sec: f64,
+}
+
+/// One end-to-end measurement point: both arms plus the run's invariant
+/// totals.
+#[derive(Debug)]
+pub struct E2ePoint {
+    /// Human-readable workload description (embedded in the JSON).
+    pub workload: String,
+    /// Virtual run duration in minutes.
+    pub virtual_minutes: u64,
+    /// Per-tuple data path.
+    pub per_tuple: Arm,
+    /// Batched data path.
+    pub batched: Arm,
+    /// Results produced (equal on both arms).
+    pub output: u64,
+    /// Tuples routed (equal on both arms).
+    pub tuples: u64,
+}
+
+impl E2ePoint {
+    /// Batched / per-tuple throughput ratio.
+    pub fn speedup(&self) -> f64 {
+        self.batched.tuples_per_sec / self.per_tuple.tuples_per_sec
+    }
+}
+
+/// The full trajectory, returned for tests and rendered to JSON.
+#[derive(Debug)]
+pub struct BenchReport {
+    /// Join-insert microbench: per-tuple arm.
+    pub join_per_tuple: Arm,
+    /// Join-insert microbench: batched arm.
+    pub join_batched: Arm,
+    /// Fast fig5-style run: low join multiplicity, so per-tuple routing
+    /// and channel costs dominate — the batching headline number.
+    pub e2e_fast: E2ePoint,
+    /// Paper-scale fig5-style run: output-bound (each tuple emits ~50
+    /// results), so the identical odometer work dilutes the ratio.
+    pub e2e_paper: E2ePoint,
+}
+
+impl BenchReport {
+    /// Batched / per-tuple throughput ratio of the join microbench.
+    pub fn join_speedup(&self) -> f64 {
+        self.join_batched.tuples_per_sec / self.join_per_tuple.tuples_per_sec
+    }
+
+    /// Render the hand-rolled JSON document.
+    pub fn to_json(&self) -> String {
+        let arm = |a: &Arm| {
+            format!(
+                "{{\"wall_seconds\": {:.4}, \"tuples_per_sec\": {:.0}}}",
+                a.wall_seconds, a.tuples_per_sec
+            )
+        };
+        let e2e = |p: &E2ePoint| {
+            format!(
+                "{{\n    \"workload\": \"{}\",\n    \"virtual_minutes\": {},\n    \"tuples_routed\": {},\n    \"total_output\": {},\n    \"per_tuple\": {},\n    \"batched\": {},\n    \"speedup\": {:.3}\n  }}",
+                p.workload,
+                p.virtual_minutes,
+                p.tuples,
+                p.output,
+                arm(&p.per_tuple),
+                arm(&p.batched),
+                p.speedup(),
+            )
+        };
+        format!(
+            "{{\n  \"pr\": 2,\n  \"description\": \"batched dataflow: per-tuple vs batched path\",\n  \"join_insert\": {{\n    \"per_tuple\": {},\n    \"batched\": {},\n    \"speedup\": {:.3}\n  }},\n  \"fig5_end_to_end_threaded_fast\": {},\n  \"fig5_end_to_end_threaded_paper_scale\": {}\n}}\n",
+            arm(&self.join_per_tuple),
+            arm(&self.join_batched),
+            self.join_speedup(),
+            e2e(&self.e2e_fast),
+            e2e(&self.e2e_paper),
+        )
+    }
+}
+
+fn tpl(stream: u8, seq: u64, key: i64) -> Tuple {
+    TupleBuilder::new(StreamId(stream))
+        .seq(seq)
+        .ts(VirtualTime::from_millis(seq))
+        .value(key)
+        .build()
+}
+
+/// Tick-shaped join workload: rounds of one tuple per stream.
+fn join_workload(rounds: u64, multiplicity: u64) -> Vec<(PartitionId, Tuple)> {
+    let mut out = Vec::with_capacity(rounds as usize * 3);
+    for seq in 0..rounds {
+        let key = (seq / multiplicity) as i64;
+        for s in 0..3u8 {
+            out.push((PartitionId((key as u32) % 120), tpl(s, seq, key)));
+        }
+    }
+    out
+}
+
+fn fresh_join() -> Result<MJoinOperator> {
+    MJoinOperator::new(MJoinConfig::same_column(3, 0), MemoryTracker::new(u64::MAX))
+}
+
+/// One timed pass of `body`, in seconds.
+fn time_once<F: FnMut() -> Result<u64>>(mut body: F) -> Result<f64> {
+    let start = Instant::now();
+    body()?;
+    Ok(start.elapsed().as_secs_f64())
+}
+
+/// Which per-arm statistic summarizes the repeated samples.
+#[derive(Clone, Copy)]
+enum Stat {
+    /// Least-disturbed pass — right for sub-100ms microbench bodies.
+    Min,
+    /// Robust to one arm luckily landing in a quiet scheduling window —
+    /// right for ~1s end-to-end runs on a shared vCPU.
+    Median,
+}
+
+fn summarize(mut samples: Vec<f64>, stat: Stat) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    match stat {
+        Stat::Min => samples[0],
+        Stat::Median => samples[samples.len() / 2],
+    }
+}
+
+/// Interleaved timing of two arms over `repeats` rounds. Alternating
+/// the arms keeps a drifting machine (shared vCPU, frequency scaling)
+/// from biasing whichever arm happens to run later.
+fn time_pair<A, B>(tuples: u64, repeats: u32, stat: Stat, mut a: A, mut b: B) -> Result<(Arm, Arm)>
+where
+    A: FnMut() -> Result<u64>,
+    B: FnMut() -> Result<u64>,
+{
+    let (mut walls_a, mut walls_b) = (Vec::new(), Vec::new());
+    for _ in 0..repeats {
+        walls_a.push(time_once(&mut a)?);
+        walls_b.push(time_once(&mut b)?);
+    }
+    let arm = |wall: f64| Arm {
+        wall_seconds: wall,
+        tuples_per_sec: tuples as f64 / wall,
+    };
+    Ok((arm(summarize(walls_a, stat)), arm(summarize(walls_b, stat))))
+}
+
+fn join_microbench() -> Result<(Arm, Arm)> {
+    // 120 partitions, tick-shaped arrival, ~one match per key per
+    // stream — the same regime as the fast end-to-end point, where
+    // per-call overhead (not probe-chain cache misses) is what batching
+    // amortizes. The small workload is replayed on fresh operators to
+    // keep state cache-hot while each timed sample stays long enough to
+    // ride out scheduler noise on a shared vCPU.
+    const REPLAYS: u64 = 60;
+    let tuples = join_workload(2_000, 1);
+    let n = tuples.len() as u64 * REPLAYS;
+    time_pair(
+        n,
+        9,
+        Stat::Min,
+        || {
+            let mut count = 0;
+            for _ in 0..REPLAYS {
+                let mut op = fresh_join()?;
+                let mut sink = CountingSink::new();
+                for (pid, t) in &tuples {
+                    op.process(*pid, t.clone(), &mut sink)?;
+                }
+                count = sink.count();
+            }
+            Ok(count)
+        },
+        || {
+            let mut count = 0;
+            for _ in 0..REPLAYS {
+                let mut op = fresh_join()?;
+                let mut sink = CountingSink::new();
+                for chunk in tuples.chunks(96) {
+                    op.process_batch(TupleBatch::from(chunk.to_vec()), &mut sink)?;
+                }
+                count = sink.count();
+            }
+            Ok(count)
+        },
+    )
+}
+
+fn e2e_config(batch: bool, num_engines: usize, threshold: u64) -> SimConfig {
+    SimConfig::new(
+        num_engines,
+        scale::engine_with_threshold(threshold),
+        scale::paper_workload(),
+        StrategyConfig::NoAdaptation,
+    )
+    .with_stats_interval(VirtualDuration::from_secs(30))
+    .with_journal()
+    .with_batching(batch)
+}
+
+/// Measure one end-to-end point: interleaved repeats of the threaded
+/// runtime with the batched path off vs on, totals cross-checked.
+fn measure_e2e(
+    workload: &str,
+    virtual_minutes: u64,
+    num_engines: usize,
+    threshold: u64,
+    repeats: u32,
+    inner: u32,
+) -> Result<E2ePoint> {
+    let deadline = VirtualTime::from_mins(virtual_minutes);
+    let totals = std::cell::RefCell::new([None::<(u64, u64)>; 2]);
+    let run_e2e = |batch: bool| -> Result<u64> {
+        let report = run_threaded(e2e_config(batch, num_engines, threshold), deadline)?;
+        let pair = (report.total_output(), report.journal_counters.tuples_routed);
+        let mut totals = totals.borrow_mut();
+        let slot = &mut totals[batch as usize];
+        if let Some(prev) = *slot {
+            if prev != pair {
+                return Err(DcapeError::state(format!(
+                    "end-to-end run not reproducible: {prev:?} vs {pair:?}"
+                )));
+            }
+        }
+        *slot = Some(pair);
+        Ok(pair.1)
+    };
+    // Back-to-back runs per timed sample, so each sample is long enough
+    // to ride out scheduler noise on a shared vCPU.
+    let run_n = |batch: bool| -> Result<u64> {
+        let mut tuples = 0;
+        for _ in 0..inner {
+            tuples = run_e2e(batch)?;
+        }
+        Ok(tuples)
+    };
+    // Establish the routed-tuple count (equal on both arms) first.
+    let tuples = run_e2e(false)? * u64::from(inner);
+    let (per_tuple, batched) = time_pair(
+        tuples,
+        repeats,
+        Stat::Median,
+        || run_n(false),
+        || run_n(true),
+    )?;
+    let (out_a, tuples_a) = totals.borrow()[0].expect("ran");
+    let (out_b, tuples_b) = totals.borrow()[1].expect("ran");
+    if out_a != out_b || tuples_a != tuples_b {
+        return Err(DcapeError::state(format!(
+            "batched end-to-end run diverged: output {out_a} vs {out_b}, routed {tuples_a} vs {tuples_b}"
+        )));
+    }
+    Ok(E2ePoint {
+        workload: workload.to_string(),
+        virtual_minutes,
+        per_tuple,
+        batched,
+        output: out_b,
+        tuples: tuples_b,
+    })
+}
+
+/// Run the full trajectory.
+pub fn measure() -> Result<BenchReport> {
+    let (join_per_tuple, join_batched) = join_microbench()?;
+    // Fast point: 6 virtual minutes keeps the join multiplicity low
+    // (~1 match per key per stream), so per-tuple routing/channel costs
+    // dominate and the batching win is visible. Single engine like the
+    // fig5 experiment itself; threshold above total state (all-mem).
+    let e2e_fast = measure_e2e(
+        "paper uniform, 120 partitions, pad 1024, 1 engine, no adaptation, all-mem (fast)",
+        scale::default_duration(true).as_millis() / 60_000,
+        1,
+        scale::THRESHOLD_200MB,
+        9,
+        8,
+    )?;
+    // Paper-scale point: 60 virtual minutes, output-bound (each tuple
+    // emits ~50 results), showing how the ratio dilutes as identical
+    // odometer work dominates. All-mem regime across 3 engines.
+    let e2e_paper = measure_e2e(
+        "paper uniform, 120 partitions, pad 1024, 3 engines, no adaptation, all-mem (paper scale)",
+        60,
+        3,
+        scale::THRESHOLD_200MB,
+        9,
+        1,
+    )?;
+    Ok(BenchReport {
+        join_per_tuple,
+        join_batched,
+        e2e_fast,
+        e2e_paper,
+    })
+}
+
+/// Run the trajectory and write the JSON document to `path`.
+pub fn run(path: &Path) -> Result<()> {
+    let report = measure()?;
+    let json = report.to_json();
+    let mut f = std::fs::File::create(path)
+        .map_err(|e| DcapeError::state(format!("create {}: {e}", path.display())))?;
+    f.write_all(json.as_bytes())
+        .map_err(|e| DcapeError::state(format!("write {}: {e}", path.display())))?;
+    println!(
+        "bench-json: join insert {:.2}x, fig5-style threaded end-to-end {:.2}x fast / {:.2}x paper-scale -> {}",
+        report.join_speedup(),
+        report.e2e_fast.speedup(),
+        report.e2e_paper.speedup(),
+        path.display()
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_is_complete() {
+        let arm = Arm {
+            wall_seconds: 1.5,
+            tuples_per_sec: 1000.0,
+        };
+        let point = |mins: u64, output: u64, tuples: u64| E2ePoint {
+            workload: "test workload".into(),
+            virtual_minutes: mins,
+            per_tuple: arm,
+            batched: Arm {
+                wall_seconds: 1.0,
+                tuples_per_sec: 1500.0,
+            },
+            output,
+            tuples,
+        };
+        let r = BenchReport {
+            join_per_tuple: arm,
+            join_batched: Arm {
+                wall_seconds: 1.0,
+                tuples_per_sec: 1500.0,
+            },
+            e2e_fast: point(6, 42, 99),
+            e2e_paper: point(60, 43, 100),
+        };
+        let json = r.to_json();
+        for key in [
+            "\"pr\"",
+            "\"join_insert\"",
+            "\"fig5_end_to_end_threaded_fast\"",
+            "\"fig5_end_to_end_threaded_paper_scale\"",
+            "\"per_tuple\"",
+            "\"batched\"",
+            "\"speedup\"",
+            "\"tuples_routed\": 99",
+            "\"total_output\": 42",
+            "\"tuples_routed\": 100",
+            "\"total_output\": 43",
+            "\"virtual_minutes\": 6",
+            "\"virtual_minutes\": 60",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!((r.join_speedup() - 1.5).abs() < 1e-9);
+        assert!((r.e2e_fast.speedup() - 1.5).abs() < 1e-9);
+    }
+}

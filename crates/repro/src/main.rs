@@ -24,7 +24,7 @@ use dcape_repro::experiments::{
 };
 use dcape_repro::RunOpts;
 
-const USAGE: &str = "usage: repro [fig5|fig6|fig7|cleanup1|fig9|fig10|fig11|fig12|cleanup2|fig13|fig14|ablations|verify|all ...] [--fast] [--out DIR] [--journal PATH]";
+const USAGE: &str = "usage: repro [fig5|fig6|fig7|cleanup1|fig9|fig10|fig11|fig12|cleanup2|fig13|fig14|ablations|verify|all ...] [--fast] [--out DIR] [--journal PATH] [--bench-json PATH]";
 
 fn main() -> ExitCode {
     let mut opts = RunOpts::default();
@@ -45,6 +45,23 @@ fn main() -> ExitCode {
                 Some(path) => opts.journal = Some(path.into()),
                 None => {
                     eprintln!("--journal requires a path\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--bench-json" => match args.next() {
+                Some(path) => {
+                    // A measurement mode of its own: run the batched
+                    // dataflow trajectory and exit.
+                    return match dcape_repro::bench_json::run(std::path::Path::new(&path)) {
+                        Ok(()) => ExitCode::SUCCESS,
+                        Err(e) => {
+                            eprintln!("bench-json failed: {e}");
+                            ExitCode::FAILURE
+                        }
+                    };
+                }
+                None => {
+                    eprintln!("--bench-json requires a path\n{USAGE}");
                     return ExitCode::FAILURE;
                 }
             },

@@ -69,6 +69,34 @@ pub fn get_varint(buf: &mut impl Buf) -> Result<u64> {
     }
 }
 
+/// Exact encoded length of an unsigned varint (LEB128), in bytes.
+#[inline]
+pub fn varint_len(v: u64) -> usize {
+    // ceil(bits/7), with 0 encoding as one byte.
+    (9 * (64 - v.leading_zeros()) as usize + 64) / 64
+}
+
+/// Exact encoded length of one value, in bytes.
+pub fn encoded_value_len(v: &Value) -> usize {
+    1 + match v {
+        Value::Null => 0,
+        Value::Int(i) => varint_len(zigzag(*i)),
+        Value::Double(_) => 8,
+        Value::Bool(_) => 1,
+        Value::Text(s) => varint_len(s.len() as u64) + s.len(),
+        Value::Blob(b) => varint_len(b.len() as u64) + b.len(),
+        Value::Pad(n) => varint_len(*n as u64),
+    }
+}
+
+/// Exact encoded length of one tuple, in bytes.
+pub fn encoded_tuple_len(t: &Tuple) -> usize {
+    1 + varint_len(t.seq())
+        + varint_len(t.ts().as_millis())
+        + varint_len(t.arity() as u64)
+        + t.values().iter().map(encoded_value_len).sum::<usize>()
+}
+
 #[inline]
 fn zigzag(v: i64) -> u64 {
     ((v << 1) ^ (v >> 63)) as u64
@@ -227,6 +255,58 @@ mod tests {
             Value::Pad(u32::MAX),
         ] {
             assert_eq!(round_trip_value(&v), v);
+        }
+    }
+
+    #[test]
+    fn encoded_lens_are_exact() {
+        for v in [
+            Value::Null,
+            Value::Int(0),
+            Value::Int(i64::MAX),
+            Value::Int(i64::MIN),
+            Value::Int(-64),
+            Value::Double(3.25),
+            Value::Bool(true),
+            Value::text(""),
+            Value::text("bank1.offerCurrency"),
+            Value::Blob(Bytes::from_static(b"\x00\x01\x02")),
+            Value::Pad(0),
+            Value::Pad(u32::MAX),
+        ] {
+            let mut buf = BytesMut::new();
+            encode_value(&mut buf, &v);
+            assert_eq!(buf.len(), encoded_value_len(&v), "{v:?}");
+        }
+        let t = TupleBuilder::new(StreamId(2))
+            .seq(u64::MAX)
+            .ts(VirtualTime::from_millis(98765))
+            .value(42i64)
+            .value("EUR")
+            .pad(512)
+            .build();
+        let mut buf = BytesMut::new();
+        encode_tuple(&mut buf, &t);
+        assert_eq!(buf.len(), encoded_tuple_len(&t));
+    }
+
+    #[test]
+    fn varint_len_matches_encoding() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            16_383,
+            16_384,
+            (1 << 21) - 1,
+            1 << 21,
+            (1 << 63) - 1,
+            u64::MAX,
+        ] {
+            let mut buf = BytesMut::new();
+            put_varint(&mut buf, v);
+            assert_eq!(buf.len(), varint_len(v), "v={v}");
         }
     }
 

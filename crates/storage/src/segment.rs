@@ -21,7 +21,9 @@ use dcape_common::ids::PartitionId;
 use dcape_common::mem::HeapSize;
 use dcape_common::tuple::Tuple;
 
-use crate::codec::{decode_tuple, encode_tuple, get_varint, put_varint};
+use crate::codec::{
+    decode_tuple, encode_tuple, encoded_tuple_len, get_varint, put_varint, varint_len,
+};
 
 const MAGIC: u32 = 0xDCA9_E501;
 const VERSION: u8 = 1;
@@ -65,9 +67,22 @@ impl SpilledGroup {
         self.per_stream.iter().all(Vec::is_empty)
     }
 
+    /// Exact byte length [`SpilledGroup::encode`] will produce, so the
+    /// encode buffer is allocated once with no growth reallocations.
+    pub fn encoded_len(&self) -> usize {
+        let mut len = 4 + 1 // magic + version
+            + varint_len(self.partition.0 as u64)
+            + varint_len(self.per_stream.len() as u64);
+        for stream_tuples in &self.per_stream {
+            len += varint_len(stream_tuples.len() as u64);
+            len += stream_tuples.iter().map(encoded_tuple_len).sum::<usize>();
+        }
+        len
+    }
+
     /// Serialize to segment bytes.
     pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(64 + self.tuple_count() * 24);
+        let mut buf = BytesMut::with_capacity(self.encoded_len());
         buf.put_u32_le(MAGIC);
         buf.put_u8(VERSION);
         put_varint(&mut buf, self.partition.0 as u64);
@@ -152,6 +167,30 @@ mod tests {
         let bytes = g.encode();
         let out = SpilledGroup::decode(bytes).unwrap();
         assert_eq!(out, g);
+    }
+
+    #[test]
+    fn encoded_len_is_exact() {
+        for g in [
+            group(),
+            SpilledGroup::empty(PartitionId(0), 3),
+            SpilledGroup::empty(PartitionId(u32::MAX), 1),
+        ] {
+            assert_eq!(g.encode().len(), g.encoded_len());
+        }
+        // Mixed value types, large seq/ts varints.
+        let mut g = SpilledGroup::empty(PartitionId(300), 2);
+        g.per_stream[0].push(
+            TupleBuilder::new(StreamId(0))
+                .seq(u64::MAX)
+                .ts(VirtualTime::from_millis(1 << 40))
+                .value("a long-ish text value")
+                .value(-1i64)
+                .value(2.5f64)
+                .pad(1_000_000)
+                .build(),
+        );
+        assert_eq!(g.encode().len(), g.encoded_len());
     }
 
     #[test]

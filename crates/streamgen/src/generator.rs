@@ -145,6 +145,17 @@ impl StreamSetGenerator {
         out
     }
 
+    /// Advance one tick into a caller-owned buffer: clears `out`, emits
+    /// one tuple per stream at the current timestamp, and returns that
+    /// timestamp. Batched drivers reuse one buffer across all ticks
+    /// instead of allocating a fresh `Vec` per tick.
+    pub fn tick_batch(&mut self, out: &mut Vec<Tuple>) -> VirtualTime {
+        out.clear();
+        let ts = self.now;
+        self.tick_into(out);
+        ts
+    }
+
     fn rebuild_weights(&mut self) {
         self.cumulative.clear();
         let mut acc = 0.0;

@@ -66,6 +66,13 @@ pub struct SimConfig {
     /// journal totals are identical either way — the flag exists so the
     /// equivalence can be tested and benchmarked.
     pub batch: bool,
+    /// Resolve whole probe products without enumeration when results
+    /// are only being counted (product counting + window pruning). On
+    /// by default; counts, state and journal totals are identical
+    /// either way — the flag exists so the equivalence can be tested
+    /// and benchmarked. Ignored when `collect_results` is set (full
+    /// results force enumeration).
+    pub count_first: bool,
 }
 
 impl SimConfig {
@@ -89,12 +96,19 @@ impl SimConfig {
             collect_results: false,
             journal: false,
             batch: true,
+            count_first: true,
         }
     }
 
     /// Builder-style: enable or disable the batched dataflow.
     pub fn with_batching(mut self, batch: bool) -> Self {
         self.batch = batch;
+        self
+    }
+
+    /// Builder-style: enable or disable count-first result delivery.
+    pub fn with_count_first(mut self, count_first: bool) -> Self {
+        self.count_first = count_first;
         self
     }
 
@@ -237,6 +251,9 @@ struct InFlightTransfer {
 struct SimSink {
     count: u64,
     collect: Option<CollectingSink>,
+    /// Take the count-only fast path for whole probe products. Forced
+    /// off while collecting (materializing results needs enumeration).
+    count_first: bool,
 }
 
 impl ResultSink for SimSink {
@@ -244,6 +261,21 @@ impl ResultSink for SimSink {
         self.count += 1;
         if let Some(c) = &mut self.collect {
             c.emit(parts);
+        }
+    }
+
+    fn emit_product(&mut self, spans: &dcape_engine::probe::ProbeSpans<'_, '_>) -> u64 {
+        if self.count_first && self.collect.is_none() {
+            let n = spans.count_valid();
+            self.count += n;
+            n
+        } else {
+            let mut n = 0u64;
+            spans.for_each_valid(|parts| {
+                self.emit(parts);
+                n += 1;
+            });
+            n
         }
     }
 }
@@ -313,7 +345,11 @@ impl SimDriver {
             stats_timer: PeriodicTimer::new(cfg.stats_interval, VirtualTime::ZERO),
             sample_timer: PeriodicTimer::new(cfg.sample_interval, VirtualTime::ZERO),
             recorder: Recorder::new(),
-            sink: SimSink { count: 0, collect },
+            sink: SimSink {
+                count: 0,
+                collect,
+                count_first: cfg.count_first,
+            },
             in_flight: None,
             relocations: Vec::new(),
             journal,
@@ -657,6 +693,7 @@ impl SimDriver {
         let mut cleanup_sink = SimSink {
             count: 0,
             collect: self.cfg.collect_results.then(CollectingSink::new),
+            count_first: self.cfg.count_first,
         };
         let cost_model = self.cfg.engine.cost;
         let mut cost_ms = vec![0u64; self.engines.len()];

@@ -31,7 +31,8 @@ use dcape_common::ids::{EngineId, PartitionId};
 use dcape_common::time::{PeriodicTimer, VirtualTime};
 use dcape_engine::controller::Mode;
 use dcape_engine::engine::QueryEngine;
-use dcape_engine::sink::CountingSink;
+use dcape_engine::probe::ProbeSpans;
+use dcape_engine::sink::{CountingSink, EnumeratingSink, ResultSink};
 use dcape_metrics::journal::{
     merge_journals, AdaptEvent, CountersSnapshot, JournalEntry, JournalHandle,
 };
@@ -118,10 +119,13 @@ pub fn run_threaded(cfg: SimConfig, deadline: VirtualTime) -> Result<ThreadedRep
         let to_gc = to_gc.clone();
         let peers = to_engines.clone();
         let journal_on = cfg.journal;
+        let count_first = cfg.count_first;
         handles.push(
             thread::Builder::new()
                 .name(format!("dcape-qe{i}"))
-                .spawn(move || engine_main(id, engine_cfg, rx, to_gc, peers, journal_on))
+                .spawn(move || {
+                    engine_main(id, engine_cfg, rx, to_gc, peers, journal_on, count_first)
+                })
                 .expect("spawn engine thread"),
         );
     }
@@ -546,6 +550,52 @@ fn handle_coordinator_msg(
 }
 
 /// The engine thread body.
+/// The engine thread's counting sink, honoring `SimConfig::count_first`:
+/// either the span-based fast path (product counting / window pruning)
+/// or the per-combination enumerating baseline, so the two arms can be
+/// benchmarked and proven equivalent on the threaded driver too.
+#[derive(Debug)]
+enum EngineSink {
+    CountFirst(CountingSink),
+    PerCombination(EnumeratingSink<CountingSink>),
+}
+
+impl EngineSink {
+    fn new(count_first: bool) -> Self {
+        if count_first {
+            EngineSink::CountFirst(CountingSink::new())
+        } else {
+            EngineSink::PerCombination(EnumeratingSink(CountingSink::new()))
+        }
+    }
+
+    fn count(&self) -> u64 {
+        match self {
+            EngineSink::CountFirst(s) => s.count(),
+            EngineSink::PerCombination(s) => s.0.count(),
+        }
+    }
+}
+
+impl ResultSink for EngineSink {
+    #[inline]
+    fn emit(&mut self, parts: &[&dcape_common::tuple::Tuple]) {
+        match self {
+            EngineSink::CountFirst(s) => s.emit(parts),
+            EngineSink::PerCombination(s) => s.emit(parts),
+        }
+    }
+
+    #[inline]
+    fn emit_product(&mut self, spans: &ProbeSpans<'_, '_>) -> u64 {
+        match self {
+            EngineSink::CountFirst(s) => s.emit_product(spans),
+            EngineSink::PerCombination(s) => s.emit_product(spans),
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn engine_main(
     id: EngineId,
     cfg: dcape_engine::config::EngineConfig,
@@ -553,6 +603,7 @@ fn engine_main(
     to_gc: Sender<FromEngine>,
     peers: Vec<Sender<ToEngine>>,
     journal_on: bool,
+    count_first: bool,
 ) {
     let mut qe = match QueryEngine::in_memory(id, cfg) {
         Ok(qe) => qe,
@@ -561,7 +612,7 @@ fn engine_main(
     if journal_on {
         qe.set_journal(JournalHandle::enabled());
     }
-    let mut sink = CountingSink::new();
+    let mut sink = EngineSink::new(count_first);
     let mut last_now = VirtualTime::ZERO;
     for msg in rx.iter() {
         let result: Result<bool> = (|| {
@@ -690,7 +741,7 @@ fn engine_main(
                 }
                 ToEngine::StartCleanup => {
                     // Local parallel merge over owned partitions.
-                    let mut sink = CountingSink::new();
+                    let mut sink = EngineSink::new(count_first);
                     let report = qe.cleanup(&mut sink)?;
                     let _ = to_gc.send(FromEngine::CleanupDone {
                         engine: id,

@@ -1,0 +1,261 @@
+//! Property-based equivalence of count-first and enumerating delivery.
+//!
+//! Count-first result delivery (span-based `emit_product` with product
+//! counting and window-pruned counting) is a pure performance
+//! transform: for any workload — windowed or not, skewed or not, with
+//! spills and relocations — it must produce the same output counts,
+//! the same per-group `P_output`, the same journal counter totals, and
+//! counts that agree exactly with the collected-result multiset of the
+//! enumerating path, on both the simulated and the threaded runtime.
+
+use proptest::prelude::*;
+
+use dcape_cluster::runtime::sim::{SimConfig, SimDriver, SimReport};
+use dcape_cluster::runtime::threaded::run_threaded;
+use dcape_cluster::strategy::StrategyConfig;
+use dcape_cluster::PlacementSpec;
+use dcape_common::ids::PartitionId;
+use dcape_common::time::{VirtualDuration, VirtualTime};
+use dcape_engine::config::EngineConfig;
+use dcape_streamgen::{ArrivalPattern, StreamSetSpec};
+
+/// The knobs a single equivalence case explores.
+#[derive(Debug, Clone)]
+struct CaseParams {
+    seed: u64,
+    num_partitions: u32,
+    tuple_range: u64,
+    payload_pad: u32,
+    skewed: bool,
+    tight_memory: bool,
+    active_disk: bool,
+    num_engines: usize,
+    /// Sliding window in virtual ms (`None` = unwindowed). Small
+    /// windows exercise the straddling-span fallback, large ones the
+    /// everything-fits product shortcut.
+    window_ms: Option<u64>,
+}
+
+fn case_strategy() -> impl Strategy<Value = CaseParams> {
+    (
+        (0u64..1_000, 8u32..33, 200u64..2401, 0u32..301),
+        (any::<bool>(), any::<bool>(), any::<bool>(), 2usize..4),
+        (any::<bool>(), 200u64..120_000),
+    )
+        .prop_map(
+            |(
+                (seed, num_partitions, tuple_range, payload_pad),
+                (skewed, tight_memory, active_disk, num_engines),
+                (windowed, window_raw),
+            )| CaseParams {
+                seed,
+                num_partitions,
+                tuple_range,
+                payload_pad,
+                skewed,
+                tight_memory,
+                active_disk,
+                num_engines,
+                window_ms: windowed.then_some(window_raw),
+            },
+        )
+}
+
+fn build_config(p: &CaseParams, collect: bool) -> SimConfig {
+    let mut spec = StreamSetSpec::uniform(
+        p.num_partitions,
+        p.tuple_range,
+        1,
+        VirtualDuration::from_millis(30),
+    )
+    .with_payload_pad(p.payload_pad)
+    .with_seed(p.seed);
+    if p.skewed {
+        let group_a: Vec<PartitionId> = (0..p.num_partitions / 4).map(PartitionId).collect();
+        spec = spec.with_pattern(ArrivalPattern::AlternatingSkew {
+            group_a,
+            ratio: 8.0,
+            period: VirtualDuration::from_mins(1),
+        });
+    }
+    let mut engine = if p.tight_memory {
+        EngineConfig::three_way(1 << 22, 600 << 10).with_spill_fraction(0.4)
+    } else {
+        EngineConfig::three_way(1 << 30, 1 << 29)
+    };
+    if let Some(w) = p.window_ms {
+        engine.join = engine.join.with_window(VirtualDuration::from_millis(w));
+    }
+    let strategy = if p.active_disk {
+        StrategyConfig::ActiveDisk {
+            theta_r: 0.8,
+            tau_m: VirtualDuration::from_secs(45),
+            lambda: 1.5,
+            spill_fraction: 0.3,
+            force_spill_cap: 1 << 20,
+        }
+    } else {
+        StrategyConfig::LazyDisk {
+            theta_r: 0.8,
+            tau_m: VirtualDuration::from_secs(45),
+        }
+    };
+    let mut cfg = SimConfig::new(p.num_engines, engine, spec, strategy)
+        .with_stats_interval(VirtualDuration::from_secs(30))
+        .with_journal();
+    if p.num_engines == 2 {
+        cfg = cfg.with_placement(PlacementSpec::Fractions(vec![0.7, 0.3]));
+    }
+    if collect {
+        cfg = cfg.collecting();
+    }
+    cfg
+}
+
+/// Per-engine `(pid, bytes, P_output)` triples of every resident group —
+/// the fast paths must leave the productivity bookkeeping untouched.
+type GroupOutputs = Vec<Vec<(PartitionId, usize, u64)>>;
+
+fn group_outputs(driver: &SimDriver) -> GroupOutputs {
+    driver
+        .engines()
+        .iter()
+        .map(|e| {
+            e.join()
+                .group_stats()
+                .iter()
+                .map(|g| (g.pid, g.bytes, g.output))
+                .collect()
+        })
+        .collect()
+}
+
+/// Run the sim to the deadline, returning the report plus the per-group
+/// stats observed at the deadline (before cleanup).
+fn run_sim(
+    p: &CaseParams,
+    count_first: bool,
+    collect: bool,
+    deadline: VirtualTime,
+) -> (SimReport, GroupOutputs) {
+    let cfg = build_config(p, collect).with_count_first(count_first);
+    let mut driver = SimDriver::new(cfg).unwrap();
+    driver.run_until(deadline).unwrap();
+    let groups = group_outputs(&driver);
+    (driver.finish().unwrap(), groups)
+}
+
+proptest! {
+    // Each case runs the full simulation three times; keep the count
+    // small.
+    #![proptest_config(ProptestConfig {
+        cases: 8,
+        ..ProptestConfig::default()
+    })]
+
+    /// For arbitrary workloads the count-first sim run is
+    /// observationally identical to the enumerating sim run: same
+    /// per-phase counts, same per-group `P_output`, same adaptation
+    /// history, same journal counter totals — and both agree with the
+    /// collected-result multiset of the enumerating path.
+    #[test]
+    fn sim_count_first_equals_enumeration(p in case_strategy()) {
+        let deadline = VirtualTime::from_mins(3);
+        let (fast, fast_groups) = run_sim(&p, true, false, deadline);
+        let (slow, slow_groups) = run_sim(&p, false, false, deadline);
+        let (collected, _) = run_sim(&p, false, true, deadline);
+
+        prop_assert_eq!(fast.runtime_output, slow.runtime_output);
+        prop_assert_eq!(fast.cleanup_output, slow.cleanup_output);
+        prop_assert_eq!(fast_groups, slow_groups, "per-group P_output diverges");
+        prop_assert_eq!(fast.relocations.len(), slow.relocations.len());
+        prop_assert_eq!(&fast.spill_counts, &slow.spill_counts);
+        prop_assert_eq!(fast.force_spills, slow.force_spills);
+
+        // The counts must equal the materialized result multiset sizes
+        // of the enumerating path, phase by phase.
+        prop_assert_eq!(
+            fast.runtime_output,
+            collected.runtime_results.as_ref().unwrap().len() as u64,
+            "runtime count vs collected multiset"
+        );
+        prop_assert_eq!(
+            fast.cleanup_output,
+            collected.cleanup_results.as_ref().unwrap().len() as u64,
+            "cleanup count vs collected multiset"
+        );
+
+        // Journal counter totals must match exactly.
+        let f = fast.journal_counters;
+        let s = slow.journal_counters;
+        prop_assert_eq!(f.tuples_routed, s.tuples_routed);
+        prop_assert_eq!(f.spill_bytes, s.spill_bytes);
+        prop_assert_eq!(f.relocation_bytes, s.relocation_bytes);
+        prop_assert_eq!(f.buffered_in_flight, 0);
+        prop_assert_eq!(s.buffered_in_flight, 0);
+    }
+}
+
+proptest! {
+    // Threaded runs spin up real threads; keep the count smaller still.
+    #![proptest_config(ProptestConfig {
+        cases: 4,
+        ..ProptestConfig::default()
+    })]
+
+    /// Threaded runtime: adaptation timing is scheduler-dependent, so
+    /// compare the invariants — total results and routed-tuple totals
+    /// match between the count-first and enumerating engine sinks, and
+    /// both match the deterministic sim.
+    ///
+    /// Exact totals are only asserted for unwindowed cases: windowed
+    /// threaded runs have a pre-existing (seed-reproducible,
+    /// count-first-independent) race where tuples buffered during a
+    /// relocation replay after later ticks whose purge already dropped
+    /// their window partners, making the total timing-dependent.
+    /// Windowed threaded runs still execute both sink arms end-to-end;
+    /// exact windowed equivalence is proven on the deterministic sim
+    /// above, down to the result multiset.
+    #[test]
+    fn threaded_count_first_preserves_totals(p in case_strategy()) {
+        let p = CaseParams { window_ms: None, ..p };
+        let deadline = VirtualTime::from_mins(3);
+        let fast =
+            run_threaded(build_config(&p, false).with_count_first(true), deadline).unwrap();
+        let slow =
+            run_threaded(build_config(&p, false).with_count_first(false), deadline).unwrap();
+
+        prop_assert_eq!(fast.total_output(), slow.total_output());
+        prop_assert_eq!(
+            fast.journal_counters.tuples_routed,
+            slow.journal_counters.tuples_routed
+        );
+        prop_assert_eq!(fast.journal_counters.buffered_in_flight, 0);
+        prop_assert_eq!(slow.journal_counters.buffered_in_flight, 0);
+
+        let (sim, _) = run_sim(&p, true, false, deadline);
+        prop_assert_eq!(fast.total_output(), sim.total_output());
+    }
+
+    /// Windowed threaded smoke: both sink arms run end-to-end with a
+    /// sliding window (routing totals are generator-driven and must
+    /// match; output totals are timing-dependent — see above).
+    #[test]
+    fn threaded_windowed_arms_run_clean(p in case_strategy()) {
+        let p = CaseParams {
+            window_ms: Some(p.window_ms.unwrap_or(45_000)),
+            ..p
+        };
+        let deadline = VirtualTime::from_mins(2);
+        let fast =
+            run_threaded(build_config(&p, false).with_count_first(true), deadline).unwrap();
+        let slow =
+            run_threaded(build_config(&p, false).with_count_first(false), deadline).unwrap();
+        prop_assert_eq!(
+            fast.journal_counters.tuples_routed,
+            slow.journal_counters.tuples_routed
+        );
+        prop_assert_eq!(fast.journal_counters.buffered_in_flight, 0);
+        prop_assert_eq!(slow.journal_counters.buffered_in_flight, 0);
+    }
+}

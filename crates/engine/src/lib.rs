@@ -55,6 +55,7 @@ pub mod controller;
 pub mod engine;
 pub mod operators;
 pub mod plan;
+pub mod probe;
 pub mod sink;
 pub mod spill;
 pub mod state;
@@ -65,6 +66,7 @@ pub use controller::{LocalController, Mode};
 pub use engine::QueryEngine;
 pub use operators::mjoin::MJoinOperator;
 pub use plan::{PlanExecutor, QueryPlan};
-pub use sink::{CollectingSink, CountingSink, ResultSink};
+pub use probe::{ProbeSpans, SpanList};
+pub use sink::{CollectingSink, CountingSink, EnumeratingSink, ResultSink};
 pub use spill::policy::VictimPolicy;
 pub use stats::EngineStatsReport;

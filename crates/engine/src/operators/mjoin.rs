@@ -31,6 +31,10 @@ use crate::state::productivity::{GroupStats, ProductivityEstimator, Productivity
 #[derive(Debug)]
 pub struct MJoinOperator {
     cfg: MJoinConfig,
+    /// `cfg.join_columns` shared across every partition group: creating
+    /// a group on first arrival bumps a refcount instead of cloning the
+    /// column vector.
+    join_columns: Arc<[usize]>,
     groups: FxHashMap<PartitionId, PartitionGroup>,
     tracker: Arc<MemoryTracker>,
     window: ProductivityWindow,
@@ -46,8 +50,10 @@ impl MJoinOperator {
     /// Build an operator instance. Fails on invalid configuration.
     pub fn new(cfg: MJoinConfig, tracker: Arc<MemoryTracker>) -> Result<Self> {
         cfg.validate()?;
+        let join_columns: Arc<[usize]> = cfg.join_columns.as_slice().into();
         Ok(MJoinOperator {
             cfg,
+            join_columns,
             groups: FxHashMap::default(),
             tracker,
             window: ProductivityWindow::new(),
@@ -70,7 +76,7 @@ impl MJoinOperator {
         sink: &mut dyn ResultSink,
     ) -> Result<u64> {
         let group = self.groups.entry(pid).or_insert_with(|| {
-            PartitionGroup::new(pid, self.cfg.join_columns.clone(), self.cfg.window)
+            PartitionGroup::new(pid, Arc::clone(&self.join_columns), self.cfg.window)
         });
         let (emitted, added_bytes) = group.insert(tuple, sink)?;
         self.tracker.allocate(added_bytes);
@@ -97,7 +103,7 @@ impl MJoinOperator {
         let mut items = batch.into_iter().peekable();
         'runs: while let Some(run_pid) = items.peek().map(|(p, _)| *p) {
             let group = self.groups.entry(run_pid).or_insert_with(|| {
-                PartitionGroup::new(run_pid, self.cfg.join_columns.clone(), self.cfg.window)
+                PartitionGroup::new(run_pid, Arc::clone(&self.join_columns), self.cfg.window)
             });
             while items.peek().map(|(p, _)| *p) == Some(run_pid) {
                 let (_, tuple) = items.next().expect("peeked");
@@ -231,7 +237,7 @@ impl MJoinOperator {
         }
         let group = PartitionGroup::from_snapshot(
             snapshot,
-            self.cfg.join_columns.clone(),
+            Arc::clone(&self.join_columns),
             self.cfg.window,
             output_count,
         )?;

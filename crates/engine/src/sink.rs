@@ -6,7 +6,15 @@
 //! rate*, not the output contents. [`CountingSink`] makes the hot path
 //! allocation-free; [`CollectingSink`] materializes results for
 //! correctness tests and the cleanup-completeness proofs.
+//!
+//! Delivery is **span-based**: producers hand a whole probe product to
+//! the sink as one [`ProbeSpans`] via [`ResultSink::emit_product`].
+//! The default implementation enumerates every window-valid combination
+//! and calls [`ResultSink::emit`] — exact per-result semantics for
+//! collecting sinks — while count-only sinks override it to count
+//! without enumerating (see [`ProbeSpans::count_valid`]).
 
+use crate::probe::ProbeSpans;
 use dcape_common::tuple::Tuple;
 
 /// Receiver of m-way join results.
@@ -16,6 +24,19 @@ use dcape_common::tuple::Tuple;
 pub trait ResultSink {
     /// Deliver one result.
     fn emit(&mut self, parts: &[&Tuple]);
+
+    /// Deliver a whole probe product in one call, returning the number
+    /// of window-valid results it contained. The default enumerates
+    /// every valid combination through [`emit`](Self::emit); count-only
+    /// sinks override it to count in O(m) instead.
+    fn emit_product(&mut self, spans: &ProbeSpans<'_, '_>) -> u64 {
+        let mut emitted = 0u64;
+        spans.for_each_valid(|parts| {
+            self.emit(parts);
+            emitted += 1;
+        });
+        emitted
+    }
 }
 
 /// Counts results without materializing them.
@@ -40,6 +61,28 @@ impl ResultSink for CountingSink {
     #[inline]
     fn emit(&mut self, _parts: &[&Tuple]) {
         self.count += 1;
+    }
+
+    /// Count-only fast path: no enumeration, just
+    /// [`ProbeSpans::count_valid`].
+    #[inline]
+    fn emit_product(&mut self, spans: &ProbeSpans<'_, '_>) -> u64 {
+        let n = spans.count_valid();
+        self.count += n;
+        n
+    }
+}
+
+/// Forces the per-combination delivery path regardless of the inner
+/// sink's fast paths: `emit_product` keeps the enumerating default.
+/// This is the benchmark baseline and the equivalence-test reference.
+#[derive(Debug, Default)]
+pub struct EnumeratingSink<S>(pub S);
+
+impl<S: ResultSink> ResultSink for EnumeratingSink<S> {
+    #[inline]
+    fn emit(&mut self, parts: &[&Tuple]) {
+        self.0.emit(parts);
     }
 }
 
@@ -151,6 +194,35 @@ mod tests {
         assert_eq!(sink.results()[0][1].stream(), StreamId(1));
         let ids = sink.identities();
         assert_eq!(ids, vec![vec![(0, 0), (1, 1), (2, 2)]]);
+    }
+
+    #[test]
+    fn counting_sink_emit_product_matches_enumeration() {
+        use crate::probe::SpanList;
+        let a = tuples();
+        let b = tuples();
+        let lists = [SpanList::Slice(&a), SpanList::Slice(&b)];
+        let spans = ProbeSpans::new(&lists, None, true);
+        let mut fast = CountingSink::new();
+        let mut slow = EnumeratingSink(CountingSink::new());
+        assert_eq!(fast.emit_product(&spans), 9);
+        assert_eq!(slow.emit_product(&spans), 9);
+        assert_eq!(fast.count(), slow.0.count());
+    }
+
+    #[test]
+    fn collecting_sink_emit_product_enumerates() {
+        use crate::probe::SpanList;
+        let a = tuples();
+        let single = tuples();
+        let lists = [SpanList::Slice(&a), SpanList::One(&single[0])];
+        let spans = ProbeSpans::new(&lists, None, true);
+        let mut sink = CollectingSink::new();
+        assert_eq!(sink.emit_product(&spans), 3);
+        assert_eq!(sink.len(), 3);
+        for r in sink.results() {
+            assert_eq!(r.len(), 2);
+        }
     }
 
     #[test]

@@ -25,6 +25,7 @@ use dcape_common::tuple::Tuple;
 use dcape_common::value::Value;
 use dcape_storage::SpilledGroup;
 
+use crate::probe::{ProbeSpans, SpanList, INLINE_STREAMS};
 use crate::sink::ResultSink;
 
 /// Statistics of one partition's cleanup merge.
@@ -63,8 +64,13 @@ fn index_slice(join_columns: &[usize], group: &SpilledGroup) -> Result<SliceInde
     Ok(index)
 }
 
-/// Emit the cartesian product over per-stream lists (stream order),
-/// filtered by the optional sliding window.
+/// Deliver the cartesian product over per-stream lists (stream order),
+/// filtered by the optional sliding window, as **one**
+/// [`ResultSink::emit_product`] call: count-only sinks resolve the
+/// whole choice vector without enumerating. Cumulative lists are
+/// stitched from several engines' segments in engine order — not time
+/// order — so no sortedness is promised; the count path re-detects it
+/// per list.
 fn emit_product(
     lists: &[&[Tuple]],
     window: Option<dcape_common::time::VirtualDuration>,
@@ -72,27 +78,16 @@ fn emit_product(
 ) -> u64 {
     debug_assert!(lists.iter().all(|l| !l.is_empty()));
     let m = lists.len();
-    let mut counters = vec![0usize; m];
-    let mut parts: Vec<&Tuple> = lists.iter().map(|l| &l[0]).collect();
-    let mut emitted = 0u64;
-    'outer: loop {
-        for s in 0..m {
-            parts[s] = &lists[s][counters[s]];
+    if m <= INLINE_STREAMS {
+        let mut spans = [SpanList::Slice(&[]); INLINE_STREAMS];
+        for (slot, l) in spans.iter_mut().zip(lists) {
+            *slot = SpanList::Slice(l);
         }
-        if crate::state::partition_group::within_window(window, &parts) {
-            sink.emit(&parts);
-            emitted += 1;
-        }
-        for s in (0..m).rev() {
-            counters[s] += 1;
-            if counters[s] < lists[s].len() {
-                continue 'outer;
-            }
-            counters[s] = 0;
-        }
-        break;
+        sink.emit_product(&ProbeSpans::new(&spans[..m], window, false))
+    } else {
+        let spans: Vec<SpanList> = lists.iter().map(|l| SpanList::Slice(l)).collect();
+        sink.emit_product(&ProbeSpans::new(&spans, window, false))
     }
-    emitted
 }
 
 /// Merge the time-ordered segments of **one partition ID**, emitting

@@ -20,7 +20,9 @@ use dcape_common::time::{VirtualDuration, VirtualTime};
 use dcape_common::tuple::Tuple;
 use dcape_common::value::Value;
 use dcape_storage::SpilledGroup;
+use std::sync::Arc;
 
+use crate::probe::{ProbeSpans, SpanList, INLINE_STREAMS};
 use crate::sink::ResultSink;
 use crate::state::productivity::DecayState;
 
@@ -64,15 +66,35 @@ impl std::hash::Hash for HashedKey {
     }
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct StreamPartition {
     tuples: Vec<Tuple>,
     /// join key (with precomputed hash) -> positions in `tuples`.
     index: FxHashMap<HashedKey, Vec<u32>>,
+    /// True while `tuples` is ts-nondecreasing in storage order — then
+    /// every match-position list is too, which unlocks binary-search
+    /// window pruning in [`ProbeSpans::count_valid`]. Live streams
+    /// arrive in timestamp order so this normally stays `true`;
+    /// replayed or merged state may clear it, which only costs the
+    /// pruning shortcut, never correctness.
+    ts_sorted: bool,
+}
+
+impl Default for StreamPartition {
+    fn default() -> Self {
+        StreamPartition {
+            tuples: Vec::new(),
+            index: FxHashMap::default(),
+            ts_sorted: true,
+        }
+    }
 }
 
 impl StreamPartition {
     fn insert(&mut self, key: HashedKey, tuple: Tuple) {
+        if let Some(last) = self.tuples.last() {
+            self.ts_sorted &= tuple.ts() >= last.ts();
+        }
         let pos = self.tuples.len() as u32;
         self.tuples.push(tuple);
         self.index.entry(key).or_default().push(pos);
@@ -83,32 +105,18 @@ impl StreamPartition {
     }
 }
 
-/// Reusable probe buffers, owned by the group so the odometer walk
-/// allocates nothing in steady state. Positions are *copied* out of the
-/// indexes (plain `u32`s) so no borrow of the stream state survives into
-/// the insert that follows the probe.
-#[derive(Debug, Default)]
-struct ProbeScratch {
-    /// Flattened match positions of every other stream, span by span.
-    positions: Vec<u32>,
-    /// One `(stream_idx, start, len)` span into `positions` per probed
-    /// stream, in stream order.
-    spans: Vec<(u32, u32, u32)>,
-    /// Odometer counters, one per span.
-    counters: Vec<u32>,
-}
-
 /// In-memory join state for one partition ID across all input streams.
 #[derive(Debug)]
 pub struct PartitionGroup {
     pid: PartitionId,
     streams: Vec<StreamPartition>,
-    join_columns: Vec<usize>,
+    /// Shared across all groups of one operator — creating a group is
+    /// an `Arc` bump, not a `Vec` clone.
+    join_columns: Arc<[usize]>,
     window: Option<VirtualDuration>,
     bytes: usize,
     output_count: u64,
     decay: DecayState,
-    scratch: ProbeScratch,
 }
 
 impl PartitionGroup {
@@ -116,9 +124,10 @@ impl PartitionGroup {
     /// stream `s`; `window` enables sliding-window semantics.
     pub fn new(
         pid: PartitionId,
-        join_columns: Vec<usize>,
+        join_columns: impl Into<Arc<[usize]>>,
         window: Option<VirtualDuration>,
     ) -> Self {
+        let join_columns = join_columns.into();
         let n = join_columns.len();
         PartitionGroup {
             pid,
@@ -128,7 +137,6 @@ impl PartitionGroup {
             bytes: 0,
             output_count: 0,
             decay: DecayState::default(),
-            scratch: ProbeScratch::default(),
         }
     }
 
@@ -178,6 +186,12 @@ impl PartitionGroup {
     /// `tuple` (one per combination of matching tuples in every other
     /// stream), then store and index the tuple. Returns the number of
     /// results emitted and the bytes newly accounted.
+    ///
+    /// The whole probe product reaches the sink as **one**
+    /// [`ResultSink::emit_product`] call over borrowed span lists — no
+    /// per-insert allocation (the span array lives on the stack for up
+    /// to [`INLINE_STREAMS`] streams) and no per-combination virtual
+    /// dispatch for count-only sinks.
     pub fn insert(&mut self, tuple: Tuple, sink: &mut dyn ResultSink) -> Result<(u64, usize)> {
         let s = tuple.stream().index();
         if s >= self.streams.len() {
@@ -194,57 +208,18 @@ impl PartitionGroup {
                 .clone(),
         );
 
-        // Probe every other stream; bail early on any empty side. Match
-        // positions are copied into the group-owned scratch so the probe
-        // holds no borrow of the indexes across the odometer walk.
-        let mut emitted = 0u64;
         let m = self.streams.len();
-        self.scratch.positions.clear();
-        self.scratch.spans.clear();
-        let mut have_all = true;
-        for (i, sp) in self.streams.iter().enumerate() {
-            if i == s {
-                continue;
+        let emitted = if m >= 2 {
+            if m <= INLINE_STREAMS {
+                let mut lists = [SpanList::One(&tuple); INLINE_STREAMS];
+                self.probe(s, &key, &mut lists[..m], sink)
+            } else {
+                let mut lists = vec![SpanList::One(&tuple); m];
+                self.probe(s, &key, &mut lists, sink)
             }
-            let list = sp.matches(&key);
-            if list.is_empty() {
-                have_all = false;
-                break;
-            }
-            let start = self.scratch.positions.len() as u32;
-            self.scratch.positions.extend_from_slice(list);
-            self.scratch
-                .spans
-                .push((i as u32, start, list.len() as u32));
-        }
-
-        if have_all && m >= 2 {
-            // Odometer over the other streams' match lists.
-            self.scratch.counters.clear();
-            self.scratch.counters.resize(self.scratch.spans.len(), 0);
-            let mut parts: Vec<&Tuple> = vec![&tuple; m];
-            'outer: loop {
-                for (slot, &(stream_idx, start, _)) in self.scratch.spans.iter().enumerate() {
-                    let pos =
-                        self.scratch.positions[(start + self.scratch.counters[slot]) as usize];
-                    parts[stream_idx as usize] =
-                        &self.streams[stream_idx as usize].tuples[pos as usize];
-                }
-                if within_window(self.window, &parts) {
-                    sink.emit(&parts);
-                    emitted += 1;
-                }
-                // Advance odometer.
-                for slot in (0..self.scratch.counters.len()).rev() {
-                    self.scratch.counters[slot] += 1;
-                    if self.scratch.counters[slot] < self.scratch.spans[slot].2 {
-                        continue 'outer;
-                    }
-                    self.scratch.counters[slot] = 0;
-                }
-                break;
-            }
-        }
+        } else {
+            0
+        };
 
         let added = tuple.heap_size() + PER_TUPLE_OVERHEAD;
         self.streams[s].insert(key, tuple);
@@ -252,6 +227,35 @@ impl PartitionGroup {
         self.output_count += emitted;
         self.decay.window_output += emitted;
         Ok((emitted, added))
+    }
+
+    /// Probe every stream other than `s` (whose slot in `lists` already
+    /// holds the probing tuple) and deliver the product. Bails early on
+    /// any empty side. The span lists borrow the stream state directly;
+    /// all borrows end before the caller stores the tuple.
+    fn probe<'a>(
+        &'a self,
+        s: usize,
+        key: &HashedKey,
+        lists: &mut [SpanList<'a>],
+        sink: &mut dyn ResultSink,
+    ) -> u64 {
+        let mut ts_sorted = true;
+        for (i, sp) in self.streams.iter().enumerate() {
+            if i == s {
+                continue;
+            }
+            let positions = sp.matches(key);
+            if positions.is_empty() {
+                return 0;
+            }
+            lists[i] = SpanList::Indexed {
+                tuples: &sp.tuples,
+                positions,
+            };
+            ts_sorted &= sp.ts_sorted;
+        }
+        sink.emit_product(&ProbeSpans::new(lists, self.window, ts_sorted))
     }
 
     /// Drop every tuple whose window has fully expired at `now`
@@ -270,6 +274,10 @@ impl PartitionGroup {
             }
             let old = std::mem::take(&mut sp.tuples);
             sp.index.clear();
+            // Re-inserting recomputes sortedness from scratch, so a
+            // group that went unsorted can recover the pruning shortcut
+            // once the offending tuples expire.
+            sp.ts_sorted = true;
             let column = self.join_columns[stream_index];
             for t in old {
                 if t.ts() >= cutoff {
@@ -302,10 +310,11 @@ impl PartitionGroup {
     /// restoring indexes, byte accounting, and the carried output count.
     pub fn from_snapshot(
         snapshot: SpilledGroup,
-        join_columns: Vec<usize>,
+        join_columns: impl Into<Arc<[usize]>>,
         window: Option<VirtualDuration>,
         output_count: u64,
     ) -> Result<Self> {
+        let join_columns = join_columns.into();
         if snapshot.per_stream.len() != join_columns.len() {
             return Err(DcapeError::state(format!(
                 "snapshot has {} streams, join configured for {}",
@@ -346,22 +355,6 @@ impl PartitionGroup {
             .map(|t| t.heap_size() + PER_TUPLE_OVERHEAD)
             .sum()
     }
-}
-
-/// True when all parts' timestamps fit within the window span (or no
-/// window is configured).
-#[inline]
-pub(crate) fn within_window(window: Option<VirtualDuration>, parts: &[&Tuple]) -> bool {
-    let Some(window) = window else {
-        return true;
-    };
-    let (mut min, mut max) = (u64::MAX, 0u64);
-    for t in parts {
-        let ms = t.ts().as_millis();
-        min = min.min(ms);
-        max = max.max(ms);
-    }
-    max - min <= window.as_millis()
 }
 
 #[cfg(test)]
@@ -501,6 +494,73 @@ mod tests {
         let mut sink = CountingSink::new();
         // Tuple has only one column; join column 2 is missing.
         assert!(g.insert(tpl(0, 0, 1), &mut sink).is_err());
+    }
+
+    #[test]
+    fn windowed_counting_matches_collecting_oracle() {
+        // Same inserts into two groups: the CountingSink takes the
+        // product/window-pruned path, the CollectingSink enumerates.
+        // Timestamps arrive in order (the live-stream case).
+        let window = Some(VirtualDuration::from_millis(3));
+        let mut fast = PartitionGroup::new(PartitionId(0), vec![0, 0, 0], window);
+        let mut slow = PartitionGroup::new(PartitionId(0), vec![0, 0, 0], window);
+        let mut count = CountingSink::new();
+        let mut collect = CollectingSink::new();
+        for i in 0..24u64 {
+            let t = tpl((i % 3) as u8, i, 1);
+            let (nf, _) = fast.insert(t.clone(), &mut count).unwrap();
+            let before = collect.len();
+            let (ns, _) = slow.insert(t, &mut collect).unwrap();
+            assert_eq!(nf, ns, "per-insert emitted counts diverge at {i}");
+            assert_eq!(collect.len() - before, ns as usize);
+        }
+        assert_eq!(count.count(), collect.len() as u64);
+        assert_eq!(fast.output_count(), slow.output_count());
+        assert!(count.count() > 0);
+    }
+
+    #[test]
+    fn out_of_order_arrivals_fall_back_and_stay_exact() {
+        // Shuffled timestamps break the ts-sorted promise; the count
+        // path must detect it and still match enumeration.
+        let window = Some(VirtualDuration::from_millis(4));
+        let mut fast = PartitionGroup::new(PartitionId(0), vec![0, 0, 0], window);
+        let mut slow = PartitionGroup::new(PartitionId(0), vec![0, 0, 0], window);
+        let mut count = CountingSink::new();
+        let mut collect = CollectingSink::new();
+        let ts_order = [9u64, 2, 14, 0, 7, 7, 3, 11, 1, 5, 13, 4];
+        for (i, &ts) in ts_order.iter().enumerate() {
+            let t = TupleBuilder::new(StreamId((i % 3) as u8))
+                .seq(i as u64)
+                .ts(VirtualTime::from_millis(ts))
+                .value(1i64)
+                .build();
+            let (nf, _) = fast.insert(t.clone(), &mut count).unwrap();
+            let (ns, _) = slow.insert(t, &mut collect).unwrap();
+            assert_eq!(nf, ns, "per-insert emitted counts diverge at {i}");
+        }
+        assert_eq!(count.count(), collect.len() as u64);
+        assert!(count.count() > 0);
+    }
+
+    #[test]
+    fn purge_restores_sorted_flag() {
+        let window = Some(VirtualDuration::from_millis(5));
+        let mut g = PartitionGroup::new(PartitionId(0), vec![0, 0, 0], window);
+        let mut sink = CountingSink::new();
+        // An out-of-order early tuple, then in-order late ones.
+        for (seq, ts) in [(0u64, 50u64), (1, 1), (2, 100), (3, 101)] {
+            let t = TupleBuilder::new(StreamId(0))
+                .seq(seq)
+                .ts(VirtualTime::from_millis(ts))
+                .value(1i64)
+                .build();
+            g.insert(t, &mut sink).unwrap();
+        }
+        assert!(!g.streams[0].ts_sorted);
+        g.purge_expired(VirtualTime::from_millis(103));
+        assert!(g.streams[0].ts_sorted, "rebuild recomputes sortedness");
+        assert_eq!(g.streams[0].tuples.len(), 2);
     }
 
     #[test]

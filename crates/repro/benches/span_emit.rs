@@ -1,0 +1,130 @@
+//! Span-based vs per-combination result emission: the microbenchmarks
+//! behind the `BENCH_pr3.json` trajectory. Each pair pushes the same
+//! tuples through `MJoinOperator` with a count-first `CountingSink`
+//! (one `emit_product` per probe, counted as a product) and with the
+//! same sink wrapped in `EnumeratingSink` (which keeps the default
+//! per-combination `emit_product`, i.e. the pre-count-first odometer
+//! walk), so the reported ns/iter difference is the enumeration cost
+//! skipped.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use dcape_common::ids::{PartitionId, StreamId};
+use dcape_common::mem::MemoryTracker;
+use dcape_common::time::{VirtualDuration, VirtualTime};
+use dcape_common::tuple::{Tuple, TupleBuilder};
+use dcape_engine::config::MJoinConfig;
+use dcape_engine::operators::mjoin::MJoinOperator;
+use dcape_engine::probe::{ProbeSpans, SpanList};
+use dcape_engine::sink::{CountingSink, EnumeratingSink, ResultSink};
+
+fn tpl(stream: u8, seq: u64, key: i64) -> Tuple {
+    TupleBuilder::new(StreamId(stream))
+        .seq(seq)
+        .ts(VirtualTime::from_millis(seq))
+        .value(key)
+        .build()
+}
+
+/// One tick-shaped workload: `n` rounds of 3 stream tuples, routed over
+/// `parts` partitions with the given join multiplicity.
+fn workload(n: u64, multiplicity: u64, parts: u32) -> Vec<(PartitionId, Tuple)> {
+    let mut out = Vec::with_capacity(n as usize * 3);
+    for seq in 0..n {
+        let key = (seq / multiplicity) as i64;
+        for s in 0..3u8 {
+            out.push((PartitionId((key as u32) % parts), tpl(s, seq, key)));
+        }
+    }
+    out
+}
+
+fn run(cfg: MJoinConfig, tuples: &[(PartitionId, Tuple)], sink: &mut impl ResultSink) {
+    let mut op = MJoinOperator::new(cfg, MemoryTracker::new(u64::MAX)).unwrap();
+    for (pid, t) in tuples {
+        op.process(*pid, t.clone(), sink).unwrap();
+    }
+}
+
+/// Join insert with count-first vs enumerating sinks, unwindowed
+/// (product shortcut) and windowed (window-pruned counting), at low and
+/// high match multiplicities.
+fn bench_emission_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("span_emit/join_insert");
+    for &m in &[8u64, 48] {
+        let tuples = workload(960, m, 8);
+        group.throughput(Throughput::Elements(tuples.len() as u64));
+        for (name, window) in [
+            ("unwindowed", None),
+            // Tuples of one key span ~3m ms; a window of ~1.5m ms keeps
+            // probes straddling the window edge, exercising the
+            // binary-search trim and the exact fallback.
+            ("windowed", Some(VirtualDuration::from_millis(3 * m / 2))),
+        ] {
+            let cfg = || {
+                let cfg = MJoinConfig::same_column(3, 0);
+                match window {
+                    Some(w) => cfg.with_window(w),
+                    None => cfg,
+                }
+            };
+            group.bench_with_input(
+                BenchmarkId::new(format!("count_first/{name}"), m),
+                &tuples,
+                |b, tuples| {
+                    b.iter(|| {
+                        let mut sink = CountingSink::new();
+                        run(cfg(), tuples, &mut sink);
+                        black_box(sink.count())
+                    });
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("per_combination/{name}"), m),
+                &tuples,
+                |b, tuples| {
+                    b.iter(|| {
+                        let mut sink = EnumeratingSink(CountingSink::new());
+                        run(cfg(), tuples, &mut sink);
+                        black_box(sink.0.count())
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// The counting kernel in isolation: `ProbeSpans::count_valid` (product
+/// / window-pruned) vs the odometer walk over the same spans.
+fn bench_count_kernel(c: &mut Criterion) {
+    let lists: Vec<Vec<Tuple>> = (0..3u8)
+        .map(|s| (0..64).map(|i| tpl(s, i, 7)).collect())
+        .collect();
+    let spans: Vec<SpanList> = lists.iter().map(|l| SpanList::Slice(l)).collect();
+    let mut group = c.benchmark_group("span_emit/count_kernel_64x64x64");
+    for (name, window) in [
+        ("unwindowed", None),
+        ("windowed_within", Some(VirtualDuration::from_millis(100))),
+        (
+            "windowed_straddling",
+            Some(VirtualDuration::from_millis(32)),
+        ),
+    ] {
+        let probe = ProbeSpans::new(&spans, window, true);
+        group.bench_function(&format!("count_valid/{name}"), |b| {
+            b.iter(|| black_box(probe.count_valid()));
+        });
+        group.bench_function(&format!("enumerate/{name}"), |b| {
+            b.iter(|| {
+                let mut n = 0u64;
+                probe.for_each_valid(|parts| n += parts.len() as u64 / 3);
+                black_box(n)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_emission_paths, bench_count_kernel);
+criterion_main!(benches);

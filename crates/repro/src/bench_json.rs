@@ -1,16 +1,20 @@
 //! `--bench-json PATH`: the machine-readable benchmark trajectory.
 //!
-//! Measures the per-tuple vs batched dataflow on two levels and writes
-//! one JSON document:
+//! Measures count-first result delivery against the per-combination
+//! enumerating path on two levels and writes one JSON document:
 //!
-//! * `join_insert` — the `MJoinOperator` hot loop in isolation
-//!   (`process` vs `process_batch` on identical tuples);
-//! * `fig5_end_to_end_threaded` — a fig5-style run (paper workload,
-//!   spill threshold, no adaptation) on the threaded runtime, with the
-//!   batched data path off vs on, reporting steady-state tuples/sec of
-//!   wall-clock time.
+//! * `probe_enumeration` — the `MJoinOperator` hot loop in isolation on
+//!   an output-bound workload (high join multiplicity), with a
+//!   count-first `CountingSink` vs the same sink wrapped in
+//!   `EnumeratingSink` (which keeps the default per-combination
+//!   `emit_product`);
+//! * `fig5_end_to_end_threaded_*` — fig5-style runs (paper workload,
+//!   spill threshold, no adaptation) on the threaded runtime with the
+//!   PR2 batched data path in both arms, toggling only
+//!   `count_first`, reporting steady-state tuples/sec of wall-clock
+//!   time.
 //!
-//! Wall-clock numbers are per-machine; the committed `BENCH_pr2.json`
+//! Wall-clock numbers are per-machine; the committed `BENCH_pr3.json`
 //! records the before/after ratio on the machine that produced it.
 
 use std::io::Write as _;
@@ -20,7 +24,6 @@ use std::time::Instant;
 use dcape_cluster::runtime::sim::SimConfig;
 use dcape_cluster::runtime::threaded::run_threaded;
 use dcape_cluster::strategy::StrategyConfig;
-use dcape_common::batch::TupleBatch;
 use dcape_common::error::{DcapeError, Result};
 use dcape_common::ids::{PartitionId, StreamId};
 use dcape_common::mem::MemoryTracker;
@@ -28,7 +31,7 @@ use dcape_common::time::{VirtualDuration, VirtualTime};
 use dcape_common::tuple::{Tuple, TupleBuilder};
 use dcape_engine::config::MJoinConfig;
 use dcape_engine::operators::mjoin::MJoinOperator;
-use dcape_engine::sink::CountingSink;
+use dcape_engine::sink::{CountingSink, EnumeratingSink, ResultSink};
 
 use crate::scale;
 
@@ -49,10 +52,10 @@ pub struct E2ePoint {
     pub workload: String,
     /// Virtual run duration in minutes.
     pub virtual_minutes: u64,
-    /// Per-tuple data path.
-    pub per_tuple: Arm,
-    /// Batched data path.
-    pub batched: Arm,
+    /// Per-combination enumerating delivery (the PR2 batched path).
+    pub per_combination: Arm,
+    /// Count-first delivery (span-based `emit_product`).
+    pub count_first: Arm,
     /// Results produced (equal on both arms).
     pub output: u64,
     /// Tuples routed (equal on both arms).
@@ -60,31 +63,34 @@ pub struct E2ePoint {
 }
 
 impl E2ePoint {
-    /// Batched / per-tuple throughput ratio.
+    /// Count-first / per-combination throughput ratio.
     pub fn speedup(&self) -> f64 {
-        self.batched.tuples_per_sec / self.per_tuple.tuples_per_sec
+        self.count_first.tuples_per_sec / self.per_combination.tuples_per_sec
     }
 }
 
 /// The full trajectory, returned for tests and rendered to JSON.
 #[derive(Debug)]
 pub struct BenchReport {
-    /// Join-insert microbench: per-tuple arm.
-    pub join_per_tuple: Arm,
-    /// Join-insert microbench: batched arm.
-    pub join_batched: Arm,
+    /// Probe-enumeration microbench: per-combination arm.
+    pub probe_per_combination: Arm,
+    /// Probe-enumeration microbench: count-first arm.
+    pub probe_count_first: Arm,
     /// Fast fig5-style run: low join multiplicity, so per-tuple routing
-    /// and channel costs dominate — the batching headline number.
+    /// and channel costs dominate and there is little enumeration to
+    /// skip.
     pub e2e_fast: E2ePoint,
     /// Paper-scale fig5-style run: output-bound (each tuple emits ~50
-    /// results), so the identical odometer work dilutes the ratio.
+    /// results) — the point PR2's batching could not move, and the
+    /// headline number for count-first delivery.
     pub e2e_paper: E2ePoint,
 }
 
 impl BenchReport {
-    /// Batched / per-tuple throughput ratio of the join microbench.
-    pub fn join_speedup(&self) -> f64 {
-        self.join_batched.tuples_per_sec / self.join_per_tuple.tuples_per_sec
+    /// Count-first / per-combination throughput ratio of the probe
+    /// microbench.
+    pub fn probe_speedup(&self) -> f64 {
+        self.probe_count_first.tuples_per_sec / self.probe_per_combination.tuples_per_sec
     }
 
     /// Render the hand-rolled JSON document.
@@ -97,21 +103,21 @@ impl BenchReport {
         };
         let e2e = |p: &E2ePoint| {
             format!(
-                "{{\n    \"workload\": \"{}\",\n    \"virtual_minutes\": {},\n    \"tuples_routed\": {},\n    \"total_output\": {},\n    \"per_tuple\": {},\n    \"batched\": {},\n    \"speedup\": {:.3}\n  }}",
+                "{{\n    \"workload\": \"{}\",\n    \"virtual_minutes\": {},\n    \"tuples_routed\": {},\n    \"total_output\": {},\n    \"per_combination\": {},\n    \"count_first\": {},\n    \"speedup\": {:.3}\n  }}",
                 p.workload,
                 p.virtual_minutes,
                 p.tuples,
                 p.output,
-                arm(&p.per_tuple),
-                arm(&p.batched),
+                arm(&p.per_combination),
+                arm(&p.count_first),
                 p.speedup(),
             )
         };
         format!(
-            "{{\n  \"pr\": 2,\n  \"description\": \"batched dataflow: per-tuple vs batched path\",\n  \"join_insert\": {{\n    \"per_tuple\": {},\n    \"batched\": {},\n    \"speedup\": {:.3}\n  }},\n  \"fig5_end_to_end_threaded_fast\": {},\n  \"fig5_end_to_end_threaded_paper_scale\": {}\n}}\n",
-            arm(&self.join_per_tuple),
-            arm(&self.join_batched),
-            self.join_speedup(),
+            "{{\n  \"pr\": 3,\n  \"description\": \"count-first join output: per-combination enumeration vs span-based product counting\",\n  \"probe_enumeration\": {{\n    \"per_combination\": {},\n    \"count_first\": {},\n    \"speedup\": {:.3}\n  }},\n  \"fig5_end_to_end_threaded_fast\": {},\n  \"fig5_end_to_end_threaded_paper_scale\": {}\n}}\n",
+            arm(&self.probe_per_combination),
+            arm(&self.probe_count_first),
+            self.probe_speedup(),
             e2e(&self.e2e_fast),
             e2e(&self.e2e_paper),
         )
@@ -187,48 +193,59 @@ where
     Ok((arm(summarize(walls_a, stat)), arm(summarize(walls_b, stat))))
 }
 
-fn join_microbench() -> Result<(Arm, Arm)> {
-    // 120 partitions, tick-shaped arrival, ~one match per key per
-    // stream — the same regime as the fast end-to-end point, where
-    // per-call overhead (not probe-chain cache misses) is what batching
-    // amortizes. The small workload is replayed on fresh operators to
-    // keep state cache-hot while each timed sample stays long enough to
-    // ride out scheduler noise on a shared vCPU.
-    const REPLAYS: u64 = 60;
-    let tuples = join_workload(2_000, 1);
-    let n = tuples.len() as u64 * REPLAYS;
+fn probe_microbench() -> Result<(Arm, Arm)> {
+    // Output-bound regime: multiplicity 48, so by the end of each key
+    // run every insert probes two ~48-tuple lists (~2.3K combinations).
+    // The count-first arm counts each probe as a product in O(m); the
+    // enumerating arm (EnumeratingSink keeps the default per-combination
+    // emit_product) walks the full odometer.
+    const ROUNDS: u64 = 1_920;
+    const MULTIPLICITY: u64 = 48;
+    let tuples = join_workload(ROUNDS, MULTIPLICITY);
+
+    fn replay(tuples: &[(PartitionId, Tuple)], sink: &mut impl ResultSink) -> Result<u64> {
+        let mut op = fresh_join()?;
+        for (pid, t) in tuples {
+            op.process(*pid, t.clone(), sink)?;
+        }
+        Ok(0)
+    }
+
+    // Both arms must count the same results.
+    let mut fast = CountingSink::new();
+    let mut slow = EnumeratingSink(CountingSink::new());
+    replay(&tuples, &mut fast)?;
+    replay(&tuples, &mut slow)?;
+    if fast.count() != slow.0.count() || fast.count() == 0 {
+        return Err(DcapeError::state(format!(
+            "probe microbench arms disagree: count-first {} vs enumerating {}",
+            fast.count(),
+            slow.0.count()
+        )));
+    }
+
+    // First closure is the per-combination arm, matching the
+    // (per_combination, count_first) return order.
     time_pair(
-        n,
+        tuples.len() as u64,
         9,
         Stat::Min,
         || {
-            let mut count = 0;
-            for _ in 0..REPLAYS {
-                let mut op = fresh_join()?;
-                let mut sink = CountingSink::new();
-                for (pid, t) in &tuples {
-                    op.process(*pid, t.clone(), &mut sink)?;
-                }
-                count = sink.count();
-            }
-            Ok(count)
+            let mut sink = EnumeratingSink(CountingSink::new());
+            replay(&tuples, &mut sink)?;
+            Ok(sink.0.count())
         },
         || {
-            let mut count = 0;
-            for _ in 0..REPLAYS {
-                let mut op = fresh_join()?;
-                let mut sink = CountingSink::new();
-                for chunk in tuples.chunks(96) {
-                    op.process_batch(TupleBatch::from(chunk.to_vec()), &mut sink)?;
-                }
-                count = sink.count();
-            }
-            Ok(count)
+            let mut sink = CountingSink::new();
+            replay(&tuples, &mut sink)?;
+            Ok(sink.count())
         },
     )
 }
 
-fn e2e_config(batch: bool, num_engines: usize, threshold: u64) -> SimConfig {
+fn e2e_config(count_first: bool, num_engines: usize, threshold: u64) -> SimConfig {
+    // Both arms keep PR2's batched data path on; only the result
+    // delivery differs, so the ratio isolates the count-first win.
     SimConfig::new(
         num_engines,
         scale::engine_with_threshold(threshold),
@@ -237,11 +254,12 @@ fn e2e_config(batch: bool, num_engines: usize, threshold: u64) -> SimConfig {
     )
     .with_stats_interval(VirtualDuration::from_secs(30))
     .with_journal()
-    .with_batching(batch)
+    .with_batching(true)
+    .with_count_first(count_first)
 }
 
 /// Measure one end-to-end point: interleaved repeats of the threaded
-/// runtime with the batched path off vs on, totals cross-checked.
+/// runtime with count-first delivery off vs on, totals cross-checked.
 fn measure_e2e(
     workload: &str,
     virtual_minutes: u64,
@@ -252,11 +270,11 @@ fn measure_e2e(
 ) -> Result<E2ePoint> {
     let deadline = VirtualTime::from_mins(virtual_minutes);
     let totals = std::cell::RefCell::new([None::<(u64, u64)>; 2]);
-    let run_e2e = |batch: bool| -> Result<u64> {
-        let report = run_threaded(e2e_config(batch, num_engines, threshold), deadline)?;
+    let run_e2e = |count_first: bool| -> Result<u64> {
+        let report = run_threaded(e2e_config(count_first, num_engines, threshold), deadline)?;
         let pair = (report.total_output(), report.journal_counters.tuples_routed);
         let mut totals = totals.borrow_mut();
-        let slot = &mut totals[batch as usize];
+        let slot = &mut totals[count_first as usize];
         if let Some(prev) = *slot {
             if prev != pair {
                 return Err(DcapeError::state(format!(
@@ -269,16 +287,16 @@ fn measure_e2e(
     };
     // Back-to-back runs per timed sample, so each sample is long enough
     // to ride out scheduler noise on a shared vCPU.
-    let run_n = |batch: bool| -> Result<u64> {
+    let run_n = |count_first: bool| -> Result<u64> {
         let mut tuples = 0;
         for _ in 0..inner {
-            tuples = run_e2e(batch)?;
+            tuples = run_e2e(count_first)?;
         }
         Ok(tuples)
     };
     // Establish the routed-tuple count (equal on both arms) first.
     let tuples = run_e2e(false)? * u64::from(inner);
-    let (per_tuple, batched) = time_pair(
+    let (per_combination, count_first) = time_pair(
         tuples,
         repeats,
         Stat::Median,
@@ -289,14 +307,14 @@ fn measure_e2e(
     let (out_b, tuples_b) = totals.borrow()[1].expect("ran");
     if out_a != out_b || tuples_a != tuples_b {
         return Err(DcapeError::state(format!(
-            "batched end-to-end run diverged: output {out_a} vs {out_b}, routed {tuples_a} vs {tuples_b}"
+            "count-first end-to-end run diverged: output {out_a} vs {out_b}, routed {tuples_a} vs {tuples_b}"
         )));
     }
     Ok(E2ePoint {
         workload: workload.to_string(),
         virtual_minutes,
-        per_tuple,
-        batched,
+        per_combination,
+        count_first,
         output: out_b,
         tuples: tuples_b,
     })
@@ -304,11 +322,11 @@ fn measure_e2e(
 
 /// Run the full trajectory.
 pub fn measure() -> Result<BenchReport> {
-    let (join_per_tuple, join_batched) = join_microbench()?;
+    let (probe_per_combination, probe_count_first) = probe_microbench()?;
     // Fast point: 6 virtual minutes keeps the join multiplicity low
     // (~1 match per key per stream), so per-tuple routing/channel costs
-    // dominate and the batching win is visible. Single engine like the
-    // fig5 experiment itself; threshold above total state (all-mem).
+    // dominate and there is little enumeration to skip. Single engine
+    // like the fig5 experiment itself; threshold above total state.
     let e2e_fast = measure_e2e(
         "paper uniform, 120 partitions, pad 1024, 1 engine, no adaptation, all-mem (fast)",
         scale::default_duration(true).as_millis() / 60_000,
@@ -318,8 +336,9 @@ pub fn measure() -> Result<BenchReport> {
         8,
     )?;
     // Paper-scale point: 60 virtual minutes, output-bound (each tuple
-    // emits ~50 results), showing how the ratio dilutes as identical
-    // odometer work dominates. All-mem regime across 3 engines.
+    // emits ~50 results) — exactly the point PR2's batching measured at
+    // 0.99x, now served by product counting. All-mem regime across 3
+    // engines.
     let e2e_paper = measure_e2e(
         "paper uniform, 120 partitions, pad 1024, 3 engines, no adaptation, all-mem (paper scale)",
         60,
@@ -329,8 +348,8 @@ pub fn measure() -> Result<BenchReport> {
         1,
     )?;
     Ok(BenchReport {
-        join_per_tuple,
-        join_batched,
+        probe_per_combination,
+        probe_count_first,
         e2e_fast,
         e2e_paper,
     })
@@ -345,8 +364,8 @@ pub fn run(path: &Path) -> Result<()> {
     f.write_all(json.as_bytes())
         .map_err(|e| DcapeError::state(format!("write {}: {e}", path.display())))?;
     println!(
-        "bench-json: join insert {:.2}x, fig5-style threaded end-to-end {:.2}x fast / {:.2}x paper-scale -> {}",
-        report.join_speedup(),
+        "bench-json: probe enumeration {:.2}x, fig5-style threaded end-to-end {:.2}x fast / {:.2}x paper-scale -> {}",
+        report.probe_speedup(),
         report.e2e_fast.speedup(),
         report.e2e_paper.speedup(),
         path.display()
@@ -367,8 +386,8 @@ mod tests {
         let point = |mins: u64, output: u64, tuples: u64| E2ePoint {
             workload: "test workload".into(),
             virtual_minutes: mins,
-            per_tuple: arm,
-            batched: Arm {
+            per_combination: arm,
+            count_first: Arm {
                 wall_seconds: 1.0,
                 tuples_per_sec: 1500.0,
             },
@@ -376,8 +395,8 @@ mod tests {
             tuples,
         };
         let r = BenchReport {
-            join_per_tuple: arm,
-            join_batched: Arm {
+            probe_per_combination: arm,
+            probe_count_first: Arm {
                 wall_seconds: 1.0,
                 tuples_per_sec: 1500.0,
             },
@@ -386,12 +405,12 @@ mod tests {
         };
         let json = r.to_json();
         for key in [
-            "\"pr\"",
-            "\"join_insert\"",
+            "\"pr\": 3",
+            "\"probe_enumeration\"",
             "\"fig5_end_to_end_threaded_fast\"",
             "\"fig5_end_to_end_threaded_paper_scale\"",
-            "\"per_tuple\"",
-            "\"batched\"",
+            "\"per_combination\"",
+            "\"count_first\"",
             "\"speedup\"",
             "\"tuples_routed\": 99",
             "\"total_output\": 42",
@@ -402,7 +421,7 @@ mod tests {
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
-        assert!((r.join_speedup() - 1.5).abs() < 1e-9);
+        assert!((r.probe_speedup() - 1.5).abs() < 1e-9);
         assert!((r.e2e_fast.speedup() - 1.5).abs() < 1e-9);
     }
 }

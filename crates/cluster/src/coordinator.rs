@@ -146,7 +146,7 @@ impl GlobalCoordinator {
             .ok_or_else(|| DcapeError::protocol("ptv with no active relocation"))?;
         let (sender, receiver) = (active.sender(), active.receiver());
         let event_parts = parts.clone();
-        let action = active.on_ptv(from, round, parts)?;
+        let action = active.on_ptv(from, round, parts, now)?;
         self.journal.record(
             now,
             AdaptEvent::RelocationStep {

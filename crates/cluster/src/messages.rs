@@ -36,6 +36,12 @@ pub struct GroupTransfer {
     pub snapshot: SpilledGroup,
     /// Carried cumulative output count.
     pub output_count: u64,
+    /// Cluster-wide purge protection: the sender holds disk-resident
+    /// spill segments for this partition (or inherited protection from
+    /// an earlier relocation), so the receiver must never window-purge
+    /// the group's memory tuples — they still owe cross-slice cleanup
+    /// results against segments living on another engine.
+    pub purge_protect: bool,
 }
 
 /// Messages delivered *to* a query engine.
@@ -83,9 +89,17 @@ pub enum ToEngine {
         groups: Vec<GroupTransfer>,
     },
     /// Step 8: the relocation round is over; return to normal mode.
+    ///
+    /// Carries the purge watermark that was held back while the round's
+    /// partitions sat paused at the splits: every buffered tuple has
+    /// been replayed (in timestamp order, ahead of post-resume
+    /// arrivals), so engines may now catch up their window purge to
+    /// `watermark`.
     Resume {
         /// Relocation round id.
         round: u64,
+        /// The released purge horizon — safe to purge up to this time.
+        watermark: VirtualTime,
     },
     /// Active-disk force spill (`start_ss`, Algorithm 2).
     StartSpill {
@@ -99,8 +113,13 @@ pub enum ToEngine {
     },
     /// Drive the engine's local `ss_timer` (threaded runtime pulse).
     Tick {
-        /// Current virtual time.
+        /// Current virtual time (drives spill checks and stats).
         now: VirtualTime,
+        /// Watermark-driven purge horizon: `min(admitted watermark,
+        /// oldest timestamp still buffered in-flight at any split)`.
+        /// While a relocation holds tuples paused at the splits this
+        /// lags `now`, deferring window purges until replay lands.
+        horizon: VirtualTime,
     },
     /// Distributed cleanup, phase 1: end of input. Forward every
     /// locally-spilled segment whose partition is owned elsewhere to
@@ -195,7 +214,13 @@ mod tests {
         let g = GroupTransfer {
             snapshot: SpilledGroup::empty(PartitionId(1), 3),
             output_count: 42,
+            purge_protect: false,
         };
         assert_eq!(g.output_count, 42);
+        let m = ToEngine::Tick {
+            now: VirtualTime::from_millis(100),
+            horizon: VirtualTime::from_millis(40),
+        };
+        assert!(format!("{m:?}").contains("horizon"));
     }
 }

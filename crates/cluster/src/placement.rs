@@ -12,6 +12,7 @@
 use dcape_common::error::{DcapeError, Result};
 use dcape_common::hash::FxHashMap;
 use dcape_common::ids::{EngineId, PartitionId};
+use dcape_common::time::VirtualTime;
 use dcape_common::tuple::Tuple;
 
 /// How partitions are initially distributed over engines.
@@ -76,6 +77,10 @@ pub struct PlacementMap {
     owners: Vec<EngineId>,
     /// Buffered tuples per paused partition, in arrival order.
     paused: FxHashMap<PartitionId, Vec<Tuple>>,
+    /// Oldest timestamp of any tuple currently buffered at a paused
+    /// split — the split-side contribution to the purge watermark.
+    /// `None` when nothing is buffered.
+    oldest_buffered: Option<VirtualTime>,
     version: u64,
 }
 
@@ -94,6 +99,7 @@ impl PlacementMap {
         Ok(PlacementMap {
             owners: spec.assign(num_partitions, num_engines)?,
             paused: FxHashMap::default(),
+            oldest_buffered: None,
             version: 0,
         })
     }
@@ -131,10 +137,33 @@ impl PlacementMap {
     pub fn route(&mut self, pid: PartitionId, tuple: Tuple) -> Result<Route> {
         let owner = self.owner(pid)?;
         if let Some(buf) = self.paused.get_mut(&pid) {
+            self.oldest_buffered = Some(match self.oldest_buffered {
+                Some(t) => t.min(tuple.ts()),
+                None => tuple.ts(),
+            });
             buf.push(tuple);
             return Ok(Route::Buffered);
         }
         Ok(Route::Deliver(owner, tuple))
+    }
+
+    /// Oldest timestamp still buffered at any paused split, if any.
+    pub fn oldest_buffered_ts(&self) -> Option<VirtualTime> {
+        self.oldest_buffered
+    }
+
+    /// The watermark-driven purge horizon: the admitted watermark `now`,
+    /// clamped by the oldest tuple still buffered in-flight at any
+    /// split. Purging at this horizon can never drop a join partner of
+    /// a tuple that has yet to be delivered: buffered tuples replay
+    /// ahead of any purge pulse stamped later than them, and the
+    /// generator's timestamps are nondecreasing, so every future
+    /// delivery carries `ts >= horizon`.
+    pub fn purge_horizon(&self, now: VirtualTime) -> VirtualTime {
+        match self.oldest_buffered {
+            Some(t) => t.min(now),
+            None => now,
+        }
     }
 
     /// Pause the given partitions (start of a relocation round).
@@ -183,6 +212,15 @@ impl PlacementMap {
             let buffered = self.paused.remove(pid).expect("validated above");
             released.push((*pid, buffered));
         }
+        // Recompute the held watermark over whatever remains buffered
+        // (buffers are arrival-ordered with nondecreasing timestamps,
+        // so each buffer's minimum is its first element).
+        self.oldest_buffered = self
+            .paused
+            .values()
+            .filter_map(|buf| buf.first())
+            .map(Tuple::ts)
+            .min();
         self.version += 1;
         Ok(released)
     }
@@ -279,6 +317,38 @@ mod tests {
             vec![10, 11]
         );
         assert!(m.paused_partitions().is_empty());
+    }
+
+    #[test]
+    fn purge_horizon_clamps_to_oldest_buffered_and_releases() {
+        let ts_tuple = |seq: u64, ms: u64| {
+            TupleBuilder::new(StreamId(0))
+                .seq(seq)
+                .ts(VirtualTime::from_millis(ms))
+                .value(1i64)
+                .build()
+        };
+        let mut m = PlacementMap::new(&PlacementSpec::RoundRobin, 4, 2).unwrap();
+        let now = VirtualTime::from_millis(500);
+        // Nothing buffered: the horizon is the admitted watermark.
+        assert_eq!(m.oldest_buffered_ts(), None);
+        assert_eq!(m.purge_horizon(now), now);
+        m.pause(&[PartitionId(1), PartitionId(3)]).unwrap();
+        // Still nothing buffered right after the pause.
+        assert_eq!(m.purge_horizon(now), now);
+        m.route(PartitionId(1), ts_tuple(0, 120)).unwrap();
+        m.route(PartitionId(3), ts_tuple(1, 90)).unwrap();
+        m.route(PartitionId(1), ts_tuple(2, 200)).unwrap();
+        // The horizon is held at the oldest buffered timestamp.
+        assert_eq!(m.oldest_buffered_ts(), Some(VirtualTime::from_millis(90)));
+        assert_eq!(m.purge_horizon(now), VirtualTime::from_millis(90));
+        // Releasing one partition re-derives the hold from the rest.
+        m.remap_and_release(&[PartitionId(3)], EngineId(0)).unwrap();
+        assert_eq!(m.oldest_buffered_ts(), Some(VirtualTime::from_millis(120)));
+        // Releasing everything clears the hold entirely.
+        m.remap_and_release(&[PartitionId(1)], EngineId(0)).unwrap();
+        assert_eq!(m.oldest_buffered_ts(), None);
+        assert_eq!(m.purge_horizon(now), now);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 use dcape_common::error::{DcapeError, Result};
 use dcape_common::ids::{EngineId, PartitionId};
+use dcape_common::time::VirtualTime;
 
 /// Phases of one relocation round.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,6 +45,10 @@ pub enum Action {
         parts: Vec<PartitionId>,
         /// Their new owner.
         receiver: EngineId,
+        /// When the partitions were paused (step 3) — i.e. since when
+        /// the purge watermark has been held back for this round. The
+        /// driver journals `now - held_since` as `watermark_held_ms`.
+        held_since: VirtualTime,
     },
     /// The sender had nothing to move (e.g. everything already spilled);
     /// abort the round and resume immediately.
@@ -59,6 +64,8 @@ pub struct RelocationRound {
     amount: u64,
     parts: Vec<PartitionId>,
     phase: Phase,
+    /// Virtual time of step 3 (partitions paused at the splits).
+    paused_at: VirtualTime,
 }
 
 impl RelocationRound {
@@ -77,6 +84,7 @@ impl RelocationRound {
             amount,
             parts: Vec::new(),
             phase: Phase::WaitPtv,
+            paused_at: VirtualTime::ZERO,
         })
     }
 
@@ -110,12 +118,15 @@ impl RelocationRound {
         &self.parts
     }
 
-    /// Step 2 arrived: the sender chose `parts`.
+    /// Step 2 arrived: the sender chose `parts`. `now` stamps the
+    /// pause (step 3 follows immediately), marking when the purge
+    /// watermark starts being held for this round.
     pub fn on_ptv(
         &mut self,
         from: EngineId,
         round: u64,
         parts: Vec<PartitionId>,
+        now: VirtualTime,
     ) -> Result<Action> {
         self.expect_phase(Phase::WaitPtv, "ptv")?;
         self.expect_round(round, "ptv")?;
@@ -131,6 +142,7 @@ impl RelocationRound {
         }
         self.parts = parts.clone();
         self.phase = Phase::WaitAck;
+        self.paused_at = now;
         Ok(Action::PauseAndTransfer {
             parts,
             sender: self.sender,
@@ -152,6 +164,7 @@ impl RelocationRound {
         Ok(Action::RemapAndResume {
             parts: self.parts.clone(),
             receiver: self.receiver,
+            held_since: self.paused_at,
         })
     }
 
@@ -196,7 +209,9 @@ mod tests {
         assert_eq!(r.round(), 7);
         assert_eq!(r.amount(), 1000);
 
-        let action = r.on_ptv(EngineId(0), 7, pids(&[3, 5])).unwrap();
+        let action = r
+            .on_ptv(EngineId(0), 7, pids(&[3, 5]), VirtualTime::from_millis(250))
+            .unwrap();
         assert_eq!(
             action,
             Action::PauseAndTransfer {
@@ -214,6 +229,7 @@ mod tests {
             Action::RemapAndResume {
                 parts: pids(&[3, 5]),
                 receiver: EngineId(1),
+                held_since: VirtualTime::from_millis(250),
             }
         );
         assert!(r.is_done());
@@ -222,7 +238,10 @@ mod tests {
     #[test]
     fn empty_ptv_aborts() {
         let mut r = RelocationRound::begin(1, EngineId(0), EngineId(1), 10).unwrap();
-        assert_eq!(r.on_ptv(EngineId(0), 1, vec![]).unwrap(), Action::Abort);
+        assert_eq!(
+            r.on_ptv(EngineId(0), 1, vec![], VirtualTime::ZERO).unwrap(),
+            Action::Abort
+        );
         assert!(r.is_done());
     }
 
@@ -230,22 +249,32 @@ mod tests {
     fn wrong_order_rejected() {
         let mut r = RelocationRound::begin(1, EngineId(0), EngineId(1), 10).unwrap();
         assert!(r.on_transfer_ack(EngineId(1), 1).is_err(), "ack before ptv");
-        r.on_ptv(EngineId(0), 1, pids(&[1])).unwrap();
-        assert!(r.on_ptv(EngineId(0), 1, pids(&[1])).is_err(), "double ptv");
+        r.on_ptv(EngineId(0), 1, pids(&[1]), VirtualTime::ZERO)
+            .unwrap();
+        assert!(
+            r.on_ptv(EngineId(0), 1, pids(&[1]), VirtualTime::ZERO)
+                .is_err(),
+            "double ptv"
+        );
     }
 
     #[test]
     fn wrong_party_rejected() {
         let mut r = RelocationRound::begin(1, EngineId(0), EngineId(1), 10).unwrap();
-        assert!(r.on_ptv(EngineId(1), 1, pids(&[1])).is_err());
-        r.on_ptv(EngineId(0), 1, pids(&[1])).unwrap();
+        assert!(r
+            .on_ptv(EngineId(1), 1, pids(&[1]), VirtualTime::ZERO)
+            .is_err());
+        r.on_ptv(EngineId(0), 1, pids(&[1]), VirtualTime::ZERO)
+            .unwrap();
         assert!(r.on_transfer_ack(EngineId(0), 1).is_err());
     }
 
     #[test]
     fn wrong_round_rejected() {
         let mut r = RelocationRound::begin(2, EngineId(0), EngineId(1), 10).unwrap();
-        assert!(r.on_ptv(EngineId(0), 3, pids(&[1])).is_err());
+        assert!(r
+            .on_ptv(EngineId(0), 3, pids(&[1]), VirtualTime::ZERO)
+            .is_err());
     }
 
     #[test]

@@ -240,7 +240,7 @@ struct InFlightTransfer {
     round: u64,
     receiver: EngineId,
     parts: Vec<PartitionId>,
-    groups: Vec<(SpilledGroup, u64)>,
+    groups: Vec<(SpilledGroup, u64, bool)>,
     sender: EngineId,
     bytes: u64,
     complete_at: VirtualTime,
@@ -456,9 +456,18 @@ impl SimDriver {
                 self.complete_transfer()?;
             }
         }
-        // Local spill pulses + opportunistic reactivation.
+        // Local spill pulses + opportunistic reactivation. Window
+        // purges run at the watermark-driven horizon, not the clock:
+        // tuples buffered at paused splits hold the horizon back, so a
+        // relocation can never purge the partners of tuples it is
+        // holding.
+        let watermark = self.split.admitted_watermark();
+        let horizon = self.placement.purge_horizon(watermark);
+        if self.cfg.engine.join.window.is_some() && horizon < watermark {
+            self.journal.add_purges_deferred(1);
+        }
         for e in &mut self.engines {
-            e.tick(self.now)?;
+            e.tick_with_horizon(self.now, horizon)?;
             e.maybe_reactivate(&mut self.sink)?;
         }
         self.mirror_engine_spills();
@@ -587,7 +596,8 @@ impl SimDriver {
                         self.engines[receiver.index()]
                             .set_mode(dcape_engine::controller::Mode::Relocation);
                         let groups = self.engines[sender.index()].extract_groups(&parts);
-                        let bytes: u64 = groups.iter().map(|(g, _)| g.state_bytes() as u64).sum();
+                        let bytes: u64 =
+                            groups.iter().map(|(g, _, _)| g.state_bytes() as u64).sum();
                         self.record_step(round, 4, sender, receiver, &parts, bytes, 0);
                         self.journal.add_relocation_bytes(bytes);
                         let cost =
@@ -618,7 +628,12 @@ impl SimDriver {
         self.record_step(t.round, 5, t.sender, t.receiver, &t.parts, t.bytes, 0);
         // Step 6: ack; coordinator answers with remap-and-resume.
         let action = self.gc.on_transfer_ack(t.receiver, t.round, self.now)?;
-        let Action::RemapAndResume { parts, receiver } = action else {
+        let Action::RemapAndResume {
+            parts,
+            receiver,
+            held_since,
+        } = action
+        else {
             return Err(DcapeError::protocol("expected remap after ack"));
         };
         // Step 7: remap and flush buffered tuples to the new owner.
@@ -648,6 +663,9 @@ impl SimDriver {
         }
         self.record_step(t.round, 7, t.sender, t.receiver, &parts, 0, buffered as u64);
         self.journal.sub_buffered_in_flight(buffered as u64);
+        self.journal.add_replayed_in_order(buffered as u64);
+        self.journal
+            .add_watermark_held_ms(self.now.as_millis().saturating_sub(held_since.as_millis()));
         // Step 8: resume.
         self.engines[t.sender.index()].set_mode(dcape_engine::controller::Mode::Normal);
         self.engines[t.receiver.index()].set_mode(dcape_engine::controller::Mode::Normal);

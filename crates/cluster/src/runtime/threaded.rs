@@ -218,8 +218,21 @@ pub fn run_threaded(cfg: SimConfig, deadline: VirtualTime) -> Result<ThreadedRep
         }
         if tick_timer.expired(now) {
             tick_timer.reset(now);
+            // Watermark-driven purge horizon: while a relocation holds
+            // tuples buffered at the splits, the horizon stays at the
+            // oldest buffered timestamp, so no engine can purge the
+            // join partners of a tuple that has yet to replay.
+            let watermark = split.admitted_watermark();
+            let horizon = placement.purge_horizon(watermark);
+            if cfg.engine.join.window.is_some() && horizon < watermark {
+                journal.add_purges_deferred(1);
+            }
             for i in 0..cfg.num_engines {
-                send_to(&to_engines, EngineId(i as u16), ToEngine::Tick { now })?;
+                send_to(
+                    &to_engines,
+                    EngineId(i as u16),
+                    ToEngine::Tick { now, horizon },
+                )?;
             }
         }
         if stats_timer.expired(now) && !awaiting_stats && !gc.relocation_active() {
@@ -252,6 +265,7 @@ pub fn run_threaded(cfg: SimConfig, deadline: VirtualTime) -> Result<ThreadedRep
                 &mut relocations,
                 &journal,
                 now,
+                split.admitted_watermark(),
                 cfg.batch,
             )?;
         }
@@ -279,13 +293,17 @@ pub fn run_threaded(cfg: SimConfig, deadline: VirtualTime) -> Result<ThreadedRep
             &mut relocations,
             &journal,
             deadline,
+            split.admitted_watermark(),
             cfg.batch,
         )?;
     }
 
     // Flush any tuples still buffered (there should be none once no
-    // relocation is active — assert the protocol invariant).
+    // relocation is active — assert the protocol invariant). Draining
+    // the last round also released the held watermark: nothing may
+    // remain buffered at the splits after quiesce.
     debug_assert!(placement.paused_partitions().is_empty());
+    debug_assert!(placement.oldest_buffered_ts().is_none());
 
     // Distributed cleanup, phase 1: every engine forwards its non-owned
     // segments to the partition's owner (the paper's cleanup runs where
@@ -403,6 +421,7 @@ fn handle_coordinator_msg(
     relocations: &mut u64,
     journal: &JournalHandle,
     now: VirtualTime,
+    watermark: VirtualTime,
     batch_mode: bool,
 ) -> Result<()> {
     let send = |e: EngineId, m: ToEngine| -> Result<()> {
@@ -437,7 +456,9 @@ fn handle_coordinator_msg(
             engine,
             parts,
         } => match gc.on_ptv(engine, round, parts, now)? {
-            Action::Abort => send(engine, ToEngine::Resume { round }),
+            // Aborted rounds paused nothing, so the full admitted
+            // watermark is already safe to release.
+            Action::Abort => send(engine, ToEngine::Resume { round, watermark }),
             Action::PauseAndTransfer {
                 parts,
                 sender,
@@ -477,7 +498,11 @@ fn handle_coordinator_msg(
             let sender = gc.active_round_info().map(|(_, s, ..)| s).unwrap_or(engine);
             journal.add_relocation_bytes(bytes);
             match gc.on_transfer_ack(engine, round, now)? {
-                Action::RemapAndResume { parts, receiver } => {
+                Action::RemapAndResume {
+                    parts,
+                    receiver,
+                    held_since,
+                } => {
                     // Step 7: flush the split-side buffers to the new
                     // owner — as one batch in batch mode (per-pid lists
                     // arrive in order; batching is a stable reordering).
@@ -516,12 +541,21 @@ fn handle_coordinator_msg(
                         },
                     );
                     journal.sub_buffered_in_flight(buffered);
+                    journal.add_replayed_in_order(buffered);
+                    journal.add_watermark_held_ms(
+                        now.as_millis().saturating_sub(held_since.as_millis()),
+                    );
                     *relocations += 1;
-                    // Step 8: resume both parties. The sender is derivable
-                    // from the completed round's parts' previous owner; we
-                    // broadcast Resume — engines ignore stale rounds.
+                    // Step 8: resume both parties, releasing the held
+                    // purge watermark. Every replayed tuple was sent
+                    // (FIFO) before this Resume and every later arrival
+                    // carries `ts >= watermark`, so engines may catch
+                    // their window purge up to `watermark` on receipt.
+                    // The sender is derivable from the completed
+                    // round's parts' previous owner; we broadcast
+                    // Resume — engines ignore stale rounds.
                     for (i, _) in to_engines.iter().enumerate() {
-                        send(EngineId(i as u16), ToEngine::Resume { round })?;
+                        send(EngineId(i as u16), ToEngine::Resume { round, watermark })?;
                     }
                     journal.record(
                         now,
@@ -623,9 +657,9 @@ fn engine_main(
                 ToEngine::DataBatch { tuples } => {
                     qe.process_batch(tuples, &mut sink)?;
                 }
-                ToEngine::Tick { now } => {
+                ToEngine::Tick { now, horizon } => {
                     last_now = now;
-                    qe.tick(now)?;
+                    qe.tick_with_horizon(now, horizon)?;
                 }
                 ToEngine::ReportStats { now } => {
                     last_now = now;
@@ -649,9 +683,10 @@ fn engine_main(
                     let groups: Vec<GroupTransfer> = qe
                         .extract_groups(&parts)
                         .into_iter()
-                        .map(|(snapshot, output_count)| GroupTransfer {
+                        .map(|(snapshot, output_count, purge_protect)| GroupTransfer {
                             snapshot,
                             output_count,
+                            purge_protect,
                         })
                         .collect();
                     let bytes: u64 = groups.iter().map(|g| g.snapshot.state_bytes() as u64).sum();
@@ -687,7 +722,7 @@ fn engine_main(
                     qe.install_groups(
                         groups
                             .into_iter()
-                            .map(|g| (g.snapshot, g.output_count))
+                            .map(|g| (g.snapshot, g.output_count, g.purge_protect))
                             .collect(),
                     )?;
                     qe.journal().record(
@@ -709,8 +744,14 @@ fn engine_main(
                         bytes,
                     });
                 }
-                ToEngine::Resume { .. } => {
+                ToEngine::Resume { watermark, .. } => {
                     qe.set_mode(Mode::Normal);
+                    // Catch-up purge: the round's replay (if any) sits
+                    // earlier in this FIFO inbox, so it has been
+                    // processed; everything arriving later carries
+                    // `ts >= watermark`. Purge-only — no spill-trigger
+                    // side effects between protocol steps.
+                    qe.purge_at(watermark);
                 }
                 ToEngine::StartSpill { amount } => {
                     qe.force_spill(amount, last_now)?;

@@ -15,6 +15,7 @@
 use dcape_common::error::{DcapeError, Result};
 use dcape_common::ids::PartitionId;
 use dcape_common::partition::Partitioner;
+use dcape_common::time::VirtualTime;
 use dcape_common::tuple::Tuple;
 
 /// Classifies tuples of a partitioned operator's input streams into
@@ -25,6 +26,11 @@ pub struct SplitOperator {
     /// Join-column index per input stream.
     join_columns: Vec<usize>,
     classified: u64,
+    /// Highest timestamp admitted so far — the split-layer low
+    /// watermark. Stream generators emit nondecreasing timestamps, so
+    /// every tuple classified after this point carries `ts >=
+    /// admitted_watermark()`.
+    admitted_watermark: VirtualTime,
 }
 
 impl SplitOperator {
@@ -38,6 +44,7 @@ impl SplitOperator {
             partitioner,
             join_columns,
             classified: 0,
+            admitted_watermark: VirtualTime::ZERO,
         })
     }
 
@@ -52,12 +59,22 @@ impl SplitOperator {
             .get(column)
             .ok_or_else(|| DcapeError::state("tuple lacks join column"))?;
         self.classified += 1;
+        self.admitted_watermark = self.admitted_watermark.max(tuple.ts());
         Ok(self.partitioner.partition_of(key))
     }
 
     /// Tuples classified so far.
     pub fn classified(&self) -> u64 {
         self.classified
+    }
+
+    /// The per-stream low watermark admitted through this split: the
+    /// highest timestamp classified so far. Drivers combine it with
+    /// [`PlacementMap::purge_horizon`](crate::placement::PlacementMap::purge_horizon)
+    /// to derive the watermark-driven purge horizon
+    /// `min(admitted watermark, oldest buffered in-flight)`.
+    pub fn admitted_watermark(&self) -> VirtualTime {
+        self.admitted_watermark
     }
 
     /// The underlying partitioner.
@@ -88,6 +105,26 @@ mod tests {
         assert_eq!(split.classify(&t1).unwrap(), PartitionId(5));
         assert_eq!(split.classified(), 2);
         assert_eq!(split.partitioner().num_partitions(), 8);
+    }
+
+    #[test]
+    fn admitted_watermark_tracks_classified_timestamps() {
+        use dcape_common::time::VirtualTime;
+        let mut split = SplitOperator::new(Partitioner::modulo(8), vec![0]).unwrap();
+        assert_eq!(split.admitted_watermark(), VirtualTime::ZERO);
+        let t = TupleBuilder::new(StreamId(0))
+            .ts(VirtualTime::from_millis(120))
+            .value(1i64)
+            .build();
+        split.classify(&t).unwrap();
+        assert_eq!(split.admitted_watermark(), VirtualTime::from_millis(120));
+        // Nondecreasing: an equal-or-later tuple advances, never regresses.
+        let t2 = TupleBuilder::new(StreamId(0))
+            .ts(VirtualTime::from_millis(150))
+            .value(2i64)
+            .build();
+        split.classify(&t2).unwrap();
+        assert_eq!(split.admitted_watermark(), VirtualTime::from_millis(150));
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Property-based equivalence of count-first and enumerating delivery.
+//! Property-based equivalence of count-first and enumerating delivery,
+//! and of the threaded runtime against the deterministic sim.
 //!
 //! Count-first result delivery (span-based `emit_product` with product
 //! counting and window-pruned counting) is a pure performance
@@ -7,6 +8,14 @@
 //! the same per-group `P_output`, the same journal counter totals, and
 //! counts that agree exactly with the collected-result multiset of the
 //! enumerating path, on both the simulated and the threaded runtime.
+//!
+//! Windowed totals are asserted exactly on the threaded runtime too:
+//! window purges run at the watermark-driven horizon (`min(admitted
+//! watermark, oldest tuple still buffered at any split)`), so tuples
+//! buffered during a relocation always find their join partners alive
+//! when they replay, and every sound run — threaded or simulated, fast
+//! or slow, under any thread schedule — emits exactly the reference
+//! windowed join multiset.
 
 use proptest::prelude::*;
 
@@ -18,6 +27,27 @@ use dcape_common::ids::PartitionId;
 use dcape_common::time::{VirtualDuration, VirtualTime};
 use dcape_engine::config::EngineConfig;
 use dcape_streamgen::{ArrivalPattern, StreamSetSpec};
+
+/// Proptest case count, overridable for CI stress runs: an explicit
+/// `cases:` in `ProptestConfig` takes precedence over the
+/// `PROPTEST_CASES` env var, so read the var ourselves.
+fn cases(default: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// When `DCAPE_JOURNAL_DUMP` names a directory, write a run's journal
+/// there as JSONL (CI uploads the directory as an artifact on failure).
+fn dump_journal(name: &str, entries: &[dcape_metrics::journal::JournalEntry]) {
+    if let Ok(dir) = std::env::var("DCAPE_JOURNAL_DUMP") {
+        let path = std::path::Path::new(&dir).join(format!("{name}.jsonl"));
+        if let Err(e) = dcape_metrics::report::write_journal_jsonl(&path, entries) {
+            eprintln!("journal dump to {} failed: {e}", path.display());
+        }
+    }
+}
 
 /// The knobs a single equivalence case explores.
 #[derive(Debug, Clone)]
@@ -146,10 +176,10 @@ fn run_sim(
 }
 
 proptest! {
-    // Each case runs the full simulation three times; keep the count
-    // small.
+    // Each case runs the full simulation three times; keep the default
+    // count small (CI stress runs raise it via PROPTEST_CASES).
     #![proptest_config(ProptestConfig {
-        cases: 8,
+        cases: cases(8),
         ..ProptestConfig::default()
     })]
 
@@ -197,34 +227,30 @@ proptest! {
 }
 
 proptest! {
-    // Threaded runs spin up real threads; keep the count smaller still.
+    // Threaded runs spin up real threads; keep the default count
+    // smaller still (CI stress runs raise it via PROPTEST_CASES).
     #![proptest_config(ProptestConfig {
-        cases: 4,
+        cases: cases(4),
         ..ProptestConfig::default()
     })]
 
-    /// Threaded runtime: adaptation timing is scheduler-dependent, so
-    /// compare the invariants — total results and routed-tuple totals
-    /// match between the count-first and enumerating engine sinks, and
-    /// both match the deterministic sim.
-    ///
-    /// Exact totals are only asserted for unwindowed cases: windowed
-    /// threaded runs have a pre-existing (seed-reproducible,
-    /// count-first-independent) race where tuples buffered during a
-    /// relocation replay after later ticks whose purge already dropped
-    /// their window partners, making the total timing-dependent.
-    /// Windowed threaded runs still execute both sink arms end-to-end;
-    /// exact windowed equivalence is proven on the deterministic sim
-    /// above, down to the result multiset.
+    /// Threaded runtime: adaptation *timing* is scheduler-dependent,
+    /// but totals are not — windowed or unwindowed, the count-first
+    /// and enumerating sink arms and the deterministic sim must all
+    /// produce exactly the same total output. Watermark-driven purging
+    /// is what makes the windowed half of this claim hold: the purge
+    /// horizon is tied to data progress, so no thread schedule can
+    /// purge the partners of a tuple buffered during a relocation.
     #[test]
     fn threaded_count_first_preserves_totals(p in case_strategy()) {
-        let p = CaseParams { window_ms: None, ..p };
         let deadline = VirtualTime::from_mins(3);
         let fast =
             run_threaded(build_config(&p, false).with_count_first(true), deadline).unwrap();
         let slow =
             run_threaded(build_config(&p, false).with_count_first(false), deadline).unwrap();
 
+        dump_journal("threaded_count_first_preserves_totals.fast", &fast.journal);
+        dump_journal("threaded_count_first_preserves_totals.slow", &slow.journal);
         prop_assert_eq!(fast.total_output(), slow.total_output());
         prop_assert_eq!(
             fast.journal_counters.tuples_routed,
@@ -237,11 +263,13 @@ proptest! {
         prop_assert_eq!(fast.total_output(), sim.total_output());
     }
 
-    /// Windowed threaded smoke: both sink arms run end-to-end with a
-    /// sliding window (routing totals are generator-driven and must
-    /// match; output totals are timing-dependent — see above).
+    /// Windowed threaded equivalence, exact: both sink arms with a
+    /// sliding window always configured, asserted against each other,
+    /// against the deterministic sim, and against the collected result
+    /// multiset of the enumerating sim — the converted form of what
+    /// used to be a smoke-only pass.
     #[test]
-    fn threaded_windowed_arms_run_clean(p in case_strategy()) {
+    fn threaded_windowed_totals_are_exact(p in case_strategy()) {
         let p = CaseParams {
             window_ms: Some(p.window_ms.unwrap_or(45_000)),
             ..p
@@ -251,11 +279,128 @@ proptest! {
             run_threaded(build_config(&p, false).with_count_first(true), deadline).unwrap();
         let slow =
             run_threaded(build_config(&p, false).with_count_first(false), deadline).unwrap();
+        dump_journal("threaded_windowed_totals_are_exact.fast", &fast.journal);
+        dump_journal("threaded_windowed_totals_are_exact.slow", &slow.journal);
+
         prop_assert_eq!(
             fast.journal_counters.tuples_routed,
             slow.journal_counters.tuples_routed
         );
         prop_assert_eq!(fast.journal_counters.buffered_in_flight, 0);
         prop_assert_eq!(slow.journal_counters.buffered_in_flight, 0);
+        prop_assert_eq!(fast.total_output(), slow.total_output());
+
+        let (sim, _) = run_sim(&p, true, false, deadline);
+        let (collected, _) = run_sim(&p, false, true, deadline);
+        prop_assert_eq!(fast.total_output(), sim.total_output());
+        prop_assert_eq!(
+            fast.total_output(),
+            collected.runtime_results.as_ref().unwrap().len() as u64
+                + collected.cleanup_results.as_ref().unwrap().len() as u64,
+            "threaded windowed total vs collected multiset"
+        );
+    }
+}
+
+/// Minimized regression for the replay-after-purge race: a windowed,
+/// skewed, tight-memory, three-engine workload (shape found by the
+/// property above) with fat payloads and a short stats cadence. Fat
+/// state transfers make `InstallStates` and the backlog drain slow
+/// while the unthrottled driver keeps advancing virtual time, so
+/// clock ticks pile up in the receiving engine's inbox *between* the
+/// installed state and the replay of the tuples buffered during the
+/// pause. Before watermark-driven purging, those ticks purged the
+/// replayed tuples' freshly installed join partners — totals were
+/// schedule-dependent, disagreeing with the deterministic sim and
+/// across runs of the same workload. With the purge horizon held back
+/// to the oldest buffered tuple, four concurrent copies of the
+/// workload all produce exactly the sim's total, under every schedule.
+#[test]
+fn windowed_relocation_replay_matches_sim_exactly() {
+    for seed in [500u64, 501, 502] {
+        let p = CaseParams {
+            seed,
+            num_partitions: 29,
+            tuple_range: 1754,
+            payload_pad: 4096,
+            skewed: true,
+            tight_memory: true,
+            active_disk: false,
+            num_engines: 3,
+            window_ms: Some(45_000),
+        };
+        let deadline = VirtualTime::from_mins(2);
+        let mk = || {
+            build_config(&p, false)
+                .with_count_first(true)
+                .with_stats_interval(VirtualDuration::from_secs(5))
+        };
+        let mut sim_driver = SimDriver::new(mk()).unwrap();
+        sim_driver.run_until(deadline).unwrap();
+        let sim = sim_driver.finish().unwrap();
+        let runs: Vec<_> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let cfg = mk();
+                    s.spawn(move || run_threaded(cfg, deadline).unwrap())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        dump_journal(
+            &format!("windowed_relocation_replay_seed{seed}"),
+            &runs[0].journal,
+        );
+        assert!(
+            sim.relocations.len() + runs.iter().map(|r| r.relocations as usize).sum::<usize>() > 0,
+            "seed {seed} must exercise relocation"
+        );
+        for (i, threaded) in runs.iter().enumerate() {
+            assert_eq!(
+                threaded.total_output(),
+                sim.total_output(),
+                "seed {seed} run {i}: threaded windowed total diverged from sim"
+            );
+            assert_eq!(threaded.journal_counters.buffered_in_flight, 0);
+        }
+    }
+}
+
+/// Quiesce-path drain: with a window configured and a deadline short
+/// enough that relocations are regularly still in flight at shutdown,
+/// the quiesce loop must finish the round — replaying every buffered
+/// tuple and releasing the held watermark — before cleanup starts. No
+/// tuple may remain stranded (`buffered_in_flight == 0`) and the total
+/// must still match the deterministic sim exactly.
+#[test]
+fn quiesce_drains_buffer_and_releases_watermark() {
+    let p = CaseParams {
+        seed: 3,
+        num_partitions: 16,
+        tuple_range: 400,
+        payload_pad: 120,
+        skewed: true,
+        tight_memory: true,
+        active_disk: false,
+        num_engines: 2,
+        window_ms: Some(10_000),
+    };
+    // Deadlines just past the stats cadence land shutdown close to the
+    // relocation window of each round.
+    for deadline_s in [95u64, 125, 155] {
+        let deadline = VirtualTime::from_secs(deadline_s);
+        let threaded = run_threaded(build_config(&p, false), deadline).unwrap();
+        let mut driver = SimDriver::new(build_config(&p, false)).unwrap();
+        driver.run_until(deadline).unwrap();
+        let sim = driver.finish().unwrap();
+        assert_eq!(
+            threaded.journal_counters.buffered_in_flight, 0,
+            "deadline {deadline_s}s: tuples stranded in split buffers after quiesce"
+        );
+        assert_eq!(
+            threaded.total_output(),
+            sim.total_output(),
+            "deadline {deadline_s}s: quiesced threaded total diverged from sim"
+        );
     }
 }

@@ -275,6 +275,106 @@ fn threaded_journal_covers_relocations_and_merges_engine_rings() {
     assert!(report.journal_counters.relocation_bytes > 0);
 }
 
+/// The watermark-purge counters: a windowed run whose relocations hold
+/// the purge horizon back must journal the deferral (`purges_deferred`),
+/// the hold duration (`watermark_held_ms`), and the in-order replay
+/// volume (`replayed_in_order`) — on both runtimes — so a regression in
+/// watermark-driven purging is visible straight from `--journal` output.
+#[test]
+fn watermark_purge_counters_cover_both_runtimes() {
+    let deadline = VirtualTime::from_mins(8);
+    let group_a: Vec<PartitionId> = (0..6).map(PartitionId).collect();
+    let windowed_cfg = || {
+        let spec = small_workload(23).with_pattern(ArrivalPattern::AlternatingSkew {
+            group_a: group_a.clone(),
+            ratio: 10.0,
+            period: VirtualDuration::from_mins(2),
+        });
+        let mut engine = EngineConfig::three_way(1 << 30, 1 << 29);
+        engine.join = engine.join.with_window(VirtualDuration::from_secs(20));
+        let mut cfg = SimConfig::new(
+            2,
+            engine,
+            spec,
+            StrategyConfig::LazyDisk {
+                theta_r: 0.9,
+                tau_m: VirtualDuration::from_secs(45),
+            },
+        )
+        .with_placement(PlacementSpec::Fractions(vec![0.5, 0.5]))
+        .with_stats_interval(VirtualDuration::from_secs(30))
+        .with_journal();
+        // A slow network stretches transfers over many clock pulses, so
+        // the held horizon demonstrably defers purges mid-transfer.
+        cfg.network = dcape_cluster::netmodel::NetworkModel::slow_wan();
+        cfg
+    };
+
+    let mut driver = SimDriver::new(windowed_cfg()).unwrap();
+    driver.run_until(deadline).unwrap();
+    let sim = driver.finish().unwrap();
+    assert!(!sim.relocations.is_empty(), "skew must trigger relocations");
+    let c = sim.journal_counters;
+    assert!(
+        c.purges_deferred > 0,
+        "held horizon must defer purge pulses"
+    );
+    assert!(c.watermark_held_ms > 0, "hold duration must accumulate");
+    assert!(c.replayed_in_order > 0, "buffered tuples must replay");
+    assert_eq!(c.buffered_in_flight, 0, "gauge must return to zero");
+
+    // Threaded runtime: the same counters flow through the channel
+    // fabric (hold duration and replay volume are journaled at step 7).
+    // A short stats interval triggers the relocation while the engine
+    // inboxes are still shallow (so the pause lands mid-run, not in the
+    // quiesce drain), and fat payloads with a long window make the
+    // state transfer take real wall-time — the driver keeps generating
+    // while the partitions are held, so tuples demonstrably buffer and
+    // replay. Whether a given schedule buffers anything is still up to
+    // the OS scheduler, so retry across seeds: a real emission
+    // regression fails every attempt.
+    let threaded_arm = |seed: u64| {
+        let group_a: Vec<PartitionId> = (0..6).map(PartitionId).collect();
+        let spec = StreamSetSpec::uniform(24, 2400, 1, VirtualDuration::from_millis(30))
+            .with_payload_pad(8192)
+            .with_seed(seed)
+            .with_pattern(ArrivalPattern::AlternatingSkew {
+                group_a,
+                ratio: 10.0,
+                period: VirtualDuration::from_mins(2),
+            });
+        let mut engine = EngineConfig::three_way(1 << 30, 1 << 29);
+        engine.join = engine.join.with_window(VirtualDuration::from_secs(60));
+        let cfg = SimConfig::new(
+            2,
+            engine,
+            spec,
+            StrategyConfig::LazyDisk {
+                theta_r: 0.9,
+                tau_m: VirtualDuration::from_secs(45),
+            },
+        )
+        .with_placement(PlacementSpec::Fractions(vec![0.5, 0.5]))
+        .with_stats_interval(VirtualDuration::from_secs(5))
+        .with_journal();
+        run_threaded(cfg, VirtualTime::from_mins(1)).unwrap()
+    };
+    let mut last = None;
+    for seed in [23, 24, 25, 26, 27] {
+        let threaded = threaded_arm(seed);
+        let t = threaded.journal_counters;
+        assert_eq!(t.buffered_in_flight, 0, "gauge must return to zero");
+        let hit = threaded.relocations > 0 && t.watermark_held_ms > 0 && t.replayed_in_order > 0;
+        last = Some(t);
+        if hit {
+            break;
+        }
+    }
+    let t = last.unwrap();
+    assert!(t.watermark_held_ms > 0, "hold duration must accumulate");
+    assert!(t.replayed_in_order > 0, "buffered tuples must replay");
+}
+
 #[test]
 fn journal_off_by_default_keeps_reports_empty() {
     let group_a: Vec<PartitionId> = (0..6).map(PartitionId).collect();

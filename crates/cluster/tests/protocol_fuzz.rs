@@ -8,6 +8,7 @@ use proptest::prelude::*;
 use dcape_cluster::placement::{PlacementMap, PlacementSpec, Route};
 use dcape_cluster::relocation::{Action, Phase, RelocationRound};
 use dcape_common::ids::{EngineId, PartitionId, StreamId};
+use dcape_common::time::VirtualTime;
 use dcape_common::tuple::TupleBuilder;
 
 /// An abstract protocol event for fuzzing.
@@ -47,7 +48,7 @@ proptest! {
                 Event::Ptv { from, round: r, parts } => {
                     let parts: Vec<PartitionId> = parts.into_iter().map(PartitionId).collect();
                     let was_wait_ptv = *round.phase() == Phase::WaitPtv;
-                    let ok = round.on_ptv(EngineId(from), r, parts.clone());
+                    let ok = round.on_ptv(EngineId(from), r, parts.clone(), VirtualTime::ZERO);
                     let legal = was_wait_ptv && from == 0 && r == 1;
                     prop_assert_eq!(ok.is_ok(), legal, "ptv legality mismatch");
                     if legal {

@@ -19,6 +19,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use dcape_common::error::{DcapeError, Result};
+use dcape_common::hash::FxHashSet;
 use dcape_common::ids::{EngineId, PartitionId};
 use dcape_common::mem::MemoryTracker;
 use dcape_common::time::{VirtualDuration, VirtualTime};
@@ -79,6 +80,12 @@ pub struct QueryEngine {
     /// Latest virtual time seen at a timed entry point; timestamps
     /// journal events from untimed paths (cleanup, reactivation).
     clock: VirtualTime,
+    /// Cluster-wide purge protection: partitions whose disk-resident
+    /// spill segments live on *another* engine (flagged during
+    /// relocation install). Their memory tuples still owe cross-slice
+    /// cleanup results, so the window purge must skip them just as it
+    /// skips locally-spilled partitions.
+    purge_protect: FxHashSet<PartitionId>,
 }
 
 impl QueryEngine {
@@ -105,6 +112,7 @@ impl QueryEngine {
             last_report_window: 0,
             journal: JournalHandle::disabled(),
             clock: VirtualTime::ZERO,
+            purge_protect: FxHashSet::default(),
         })
     }
 
@@ -197,13 +205,25 @@ impl QueryEngine {
     /// The `ss_timer` pulse: purge window-expired state (windowed
     /// queries only), then spill if memory exceeded the threshold and
     /// the engine is in normal mode (Algorithm 1, events at QE).
+    ///
+    /// Purges at `now` — callers that track an in-flight watermark use
+    /// [`QueryEngine::tick_with_horizon`] instead.
     pub fn tick(&mut self, now: VirtualTime) -> Result<Option<SpillOutcome>> {
+        self.tick_with_horizon(now, now)
+    }
+
+    /// The `ss_timer` pulse with a watermark-driven purge horizon:
+    /// purge window-expired state up to `horizon` (which lags `now`
+    /// while tuples sit buffered at paused splits), then run the spill
+    /// check at `now`. `horizon == now` is the plain clock-driven
+    /// behavior.
+    pub fn tick_with_horizon(
+        &mut self,
+        now: VirtualTime,
+        horizon: VirtualTime,
+    ) -> Result<Option<SpillOutcome>> {
         self.clock = self.clock.max(now);
-        if self.cfg.join.window.is_some() {
-            let skip: dcape_common::hash::FxHashSet<PartitionId> =
-                self.store.partitions_with_segments().into_iter().collect();
-            self.join.purge_expired(now, &skip);
-        }
+        self.purge_at(horizon);
         match self
             .controller
             .check_spill_trigger(now, self.tracker.used())
@@ -225,6 +245,28 @@ impl QueryEngine {
             }
             None => Ok(None),
         }
+    }
+
+    /// Purge window-expired state up to `horizon` only — no spill
+    /// check, no mode side effects. Used for the catch-up purge when a
+    /// relocation's `Resume` releases a held-back watermark. Returns
+    /// the number of tuples dropped (0 for unwindowed queries).
+    pub fn purge_at(&mut self, horizon: VirtualTime) -> usize {
+        if self.cfg.join.window.is_none() {
+            return 0;
+        }
+        let skip = self.purge_skip_set();
+        self.join.purge_expired(horizon, &skip)
+    }
+
+    /// Partitions the window purge must skip: those with disk-resident
+    /// segments *here*, plus those whose segments live on another
+    /// engine after a relocation (`purge_protect`).
+    fn purge_skip_set(&self) -> FxHashSet<PartitionId> {
+        let mut skip: FxHashSet<PartitionId> =
+            self.store.partitions_with_segments().into_iter().collect();
+        skip.extend(self.purge_protect.iter().copied());
+        skip
     }
 
     /// The active-disk `start_ss` command: spill `amount` bytes now,
@@ -291,15 +333,33 @@ impl QueryEngine {
     /// Extract the given groups for relocation (releases their memory).
     /// Unknown partitions are skipped — they may have been spilled
     /// between selection and extraction.
-    pub fn extract_groups(&mut self, pids: &[PartitionId]) -> Vec<(SpilledGroup, u64)> {
+    ///
+    /// The third element is the cluster-wide purge-protect flag: true
+    /// when this engine still holds disk-resident segments for the
+    /// partition (they stay behind — only memory state relocates), or
+    /// when the partition was itself installed here with protection
+    /// from an earlier round (protection is transitive across chained
+    /// relocations). The receiver must keep such partitions out of its
+    /// window purge until cleanup.
+    pub fn extract_groups(&mut self, pids: &[PartitionId]) -> Vec<(SpilledGroup, u64, bool)> {
         pids.iter()
-            .filter_map(|pid| self.join.extract_group(*pid))
+            .filter_map(|pid| {
+                let (snapshot, output) = self.join.extract_group(*pid)?;
+                let protect =
+                    !self.store.segments_of(*pid).is_empty() || self.purge_protect.remove(pid);
+                Some((snapshot, output, protect))
+            })
             .collect()
     }
 
-    /// Install relocated groups arriving from another engine.
-    pub fn install_groups(&mut self, groups: Vec<(SpilledGroup, u64)>) -> Result<()> {
-        for (snapshot, output) in groups {
+    /// Install relocated groups arriving from another engine. Groups
+    /// flagged purge-protected (segments left behind on the sender)
+    /// join this engine's protected set.
+    pub fn install_groups(&mut self, groups: Vec<(SpilledGroup, u64, bool)>) -> Result<()> {
+        for (snapshot, output, protect) in groups {
+            if protect {
+                self.purge_protect.insert(snapshot.partition);
+            }
             self.join.install_group(snapshot, output)?;
         }
         Ok(())
@@ -628,7 +688,7 @@ mod tests {
         assert!(!parts.is_empty());
         let groups = a.extract_groups(&parts);
         assert_eq!(groups.len(), parts.len());
-        let moved_bytes: u64 = groups.iter().map(|(g, _)| g.state_bytes() as u64).sum();
+        let moved_bytes: u64 = groups.iter().map(|(g, _, _)| g.state_bytes() as u64).sum();
         b.install_groups(groups).unwrap();
         assert!(moved_bytes > 0);
         a.assert_accounting_consistent().unwrap();

@@ -247,20 +247,30 @@ impl MJoinOperator {
         Ok(())
     }
 
-    /// Purge window-expired tuples (no-op without a configured window).
-    /// Empty groups are removed. Returns the accounted bytes freed.
+    /// Purge tuples that expired before the purge `horizon` (no-op
+    /// without a configured window). Empty groups are removed. Returns
+    /// the accounted bytes freed.
     ///
-    /// `skip` names partitions that must NOT be purged: partitions with
-    /// disk-resident spill segments, whose memory tuples may still owe
+    /// `horizon` is the watermark-driven purge horizon, not the wall
+    /// clock: callers pass `min(admitted watermark, oldest timestamp
+    /// still buffered in-flight at any split)`, so tuples held at
+    /// paused splits during a relocation can never find their join
+    /// partners already purged when they replay. Purging strictly by
+    /// clock time is what made windowed totals timing-dependent.
+    ///
+    /// `skip` names partitions that must NOT be purged: partitions
+    /// whose disk-resident spill segments live here *or on any other
+    /// engine* (tracked cluster-wide across relocations via the
+    /// engine's purge-protect set). Their memory tuples may still owe
     /// cross-slice results to spilled partners — dropping them would
     /// lose results, and retiring them to disk would break the cleanup
     /// merge's disjoint-co-residency-slice assumption. Purging a
     /// segment-free partition is always safe: every co-resident partner
-    /// already joined at insert time and every future arrival is out of
-    /// window.
+    /// already joined at insert time and every post-horizon arrival is
+    /// out of window.
     pub fn purge_expired(
         &mut self,
-        now: dcape_common::time::VirtualTime,
+        horizon: dcape_common::time::VirtualTime,
         skip: &dcape_common::hash::FxHashSet<PartitionId>,
     ) -> usize {
         if self.cfg.window.is_none() {
@@ -271,7 +281,7 @@ impl MJoinOperator {
             if skip.contains(pid) {
                 return true;
             }
-            freed += g.purge_expired(now);
+            freed += g.purge_expired(horizon);
             !g.is_empty()
         });
         self.tracker.release(freed);

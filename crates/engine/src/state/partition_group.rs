@@ -258,15 +258,19 @@ impl PartitionGroup {
         sink.emit_product(&ProbeSpans::new(lists, self.window, ts_sorted))
     }
 
-    /// Drop every tuple whose window has fully expired at `now`
-    /// (i.e. it can no longer join with any future arrival), rebuilding
-    /// the per-stream indexes. Returns the accounted bytes freed.
-    /// No-op for unwindowed groups.
-    pub fn purge_expired(&mut self, now: VirtualTime) -> usize {
+    /// Drop every tuple whose window has fully expired at the purge
+    /// `horizon` (i.e. it can no longer join with any arrival carrying
+    /// `ts >= horizon`), rebuilding the per-stream indexes. Callers
+    /// pass a watermark-driven horizon — never ahead of the oldest
+    /// tuple still in flight — so expiry is judged against data
+    /// progress, not the wall clock. Returns the accounted bytes
+    /// freed. No-op for unwindowed groups.
+    pub fn purge_expired(&mut self, horizon: VirtualTime) -> usize {
         let Some(window) = self.window else {
             return 0;
         };
-        let cutoff = VirtualTime::from_millis(now.as_millis().saturating_sub(window.as_millis()));
+        let cutoff =
+            VirtualTime::from_millis(horizon.as_millis().saturating_sub(window.as_millis()));
         let mut freed = 0usize;
         for (stream_index, sp) in self.streams.iter_mut().enumerate() {
             if sp.tuples.iter().all(|t| t.ts() >= cutoff) {

@@ -160,6 +160,9 @@ pub struct JournalCounters {
     spill_bytes: AtomicU64,
     relocation_bytes: AtomicU64,
     buffered_in_flight: AtomicU64,
+    purges_deferred: AtomicU64,
+    watermark_held_ms: AtomicU64,
+    replayed_in_order: AtomicU64,
     events_recorded: AtomicU64,
     events_dropped: AtomicU64,
 }
@@ -186,6 +189,26 @@ impl JournalCounters {
         self.buffered_in_flight.load(Ordering::Relaxed)
     }
 
+    /// Purge pulses that ran with a held-back horizon: tuples were
+    /// buffered at paused splits, so the purge horizon was clamped to
+    /// the oldest buffered timestamp instead of the current clock.
+    pub fn purges_deferred(&self) -> u64 {
+        self.purges_deferred.load(Ordering::Relaxed)
+    }
+
+    /// Total virtual milliseconds the purge watermark spent held back
+    /// by relocations (summed over rounds, accumulated at release).
+    pub fn watermark_held_ms(&self) -> u64 {
+        self.watermark_held_ms.load(Ordering::Relaxed)
+    }
+
+    /// Tuples replayed in timestamp order at step 7 of the relocation
+    /// protocol (buffered during the pause, flushed ahead of every
+    /// post-resume arrival).
+    pub fn replayed_in_order(&self) -> u64 {
+        self.replayed_in_order.load(Ordering::Relaxed)
+    }
+
     /// Events accepted into the ring.
     pub fn events_recorded(&self) -> u64 {
         self.events_recorded.load(Ordering::Relaxed)
@@ -203,6 +226,9 @@ impl JournalCounters {
             spill_bytes: self.spill_bytes(),
             relocation_bytes: self.relocation_bytes(),
             buffered_in_flight: self.buffered_in_flight(),
+            purges_deferred: self.purges_deferred(),
+            watermark_held_ms: self.watermark_held_ms(),
+            replayed_in_order: self.replayed_in_order(),
             events_recorded: self.events_recorded(),
             events_dropped: self.events_dropped(),
         }
@@ -220,6 +246,12 @@ pub struct CountersSnapshot {
     pub relocation_bytes: u64,
     /// Tuples still buffered at paused splits when sampled.
     pub buffered_in_flight: u64,
+    /// Purge pulses that ran with a relocation-held horizon.
+    pub purges_deferred: u64,
+    /// Virtual milliseconds the purge watermark was held back, total.
+    pub watermark_held_ms: u64,
+    /// Tuples replayed in timestamp order at step-7 flushes.
+    pub replayed_in_order: u64,
     /// Events accepted into the ring.
     pub events_recorded: u64,
     /// Events overwritten after the ring filled.
@@ -233,6 +265,9 @@ impl CountersSnapshot {
         self.spill_bytes += other.spill_bytes;
         self.relocation_bytes += other.relocation_bytes;
         self.buffered_in_flight += other.buffered_in_flight;
+        self.purges_deferred += other.purges_deferred;
+        self.watermark_held_ms += other.watermark_held_ms;
+        self.replayed_in_order += other.replayed_in_order;
         self.events_recorded += other.events_recorded;
         self.events_dropped += other.events_dropped;
     }
@@ -395,6 +430,35 @@ impl JournalHandle {
         }
     }
 
+    /// Count a purge pulse that ran with a held-back horizon (no-op
+    /// when disabled).
+    #[inline]
+    pub fn add_purges_deferred(&self, n: u64) {
+        if let Some(j) = &self.inner {
+            j.counters.purges_deferred.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Accumulate virtual milliseconds the purge watermark was held
+    /// back by a relocation round (no-op when disabled).
+    #[inline]
+    pub fn add_watermark_held_ms(&self, ms: u64) {
+        if let Some(j) = &self.inner {
+            j.counters
+                .watermark_held_ms
+                .fetch_add(ms, Ordering::Relaxed);
+        }
+    }
+
+    /// Count tuples replayed in timestamp order at a step-7 flush
+    /// (no-op when disabled).
+    #[inline]
+    pub fn add_replayed_in_order(&self, n: u64) {
+        if let Some(j) = &self.inner {
+            j.counters.replayed_in_order.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
     /// Lower the in-flight buffered-tuple gauge (step 7 flush).
     #[inline]
     pub fn sub_buffered_in_flight(&self, n: u64) {
@@ -503,6 +567,30 @@ mod tests {
         // Saturates rather than wrapping.
         handle.sub_buffered_in_flight(5);
         assert_eq!(handle.counters().unwrap().buffered_in_flight(), 0);
+    }
+
+    #[test]
+    fn watermark_counters_accumulate_and_absorb() {
+        let handle = JournalHandle::with_capacity(8);
+        handle.add_purges_deferred(3);
+        handle.add_watermark_held_ms(250);
+        handle.add_watermark_held_ms(50);
+        handle.add_replayed_in_order(17);
+        let c = handle.counters().unwrap();
+        assert_eq!(c.purges_deferred(), 3);
+        assert_eq!(c.watermark_held_ms(), 300);
+        assert_eq!(c.replayed_in_order(), 17);
+        let mut total = c.snapshot();
+        total.absorb(&c.snapshot());
+        assert_eq!(total.purges_deferred, 6);
+        assert_eq!(total.watermark_held_ms, 600);
+        assert_eq!(total.replayed_in_order, 34);
+        // Disabled handles stay no-ops.
+        let off = JournalHandle::disabled();
+        off.add_purges_deferred(1);
+        off.add_watermark_held_ms(1);
+        off.add_replayed_in_order(1);
+        assert!(off.counters().is_none());
     }
 
     #[test]

@@ -15,14 +15,92 @@
 //! feed it statistics and protocol events and execute the actions it
 //! returns.
 
-use dcape_common::error::{DcapeError, Result};
+use dcape_common::error::Result;
+use dcape_common::hash::FxHashMap;
 use dcape_common::ids::{EngineId, PartitionId};
-use dcape_common::time::VirtualTime;
+use dcape_common::time::{VirtualDuration, VirtualTime};
 use dcape_metrics::journal::{AdaptEvent, JournalHandle};
 
-use crate::relocation::{Action, RelocationRound};
+use crate::relocation::{Action, Phase, RelocationRound};
 use crate::stats::ClusterStats;
 use crate::strategy::{AdaptationStrategy, Decision, StrategyConfig};
+
+/// Per-phase timeout and bounded-retry policy for relocation rounds.
+///
+/// Without a policy the coordinator waits forever — correct on a
+/// reliable fabric and exactly the pre-chaos behaviour. With one, each
+/// protocol phase (WaitPtv, WaitAck) gets a deadline; on expiry the
+/// coordinator re-issues the phase's message up to `max_retries` times
+/// and then **aborts** the round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Virtual time allowed per phase attempt.
+    pub phase_timeout: VirtualDuration,
+    /// Re-sends per phase before the round is abandoned.
+    pub max_retries: u32,
+    /// Consecutive aborted rounds toward one receiver before the
+    /// coordinator declares the peer dead and degrades relocations to
+    /// local spills.
+    pub peer_death_threshold: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            phase_timeout: VirtualDuration::from_secs(2),
+            max_retries: 3,
+            peer_death_threshold: 3,
+        }
+    }
+}
+
+/// What the driver must do after a phase deadline expired.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TimeoutAction {
+    /// Re-send step 1 (`Cptv`) to the sender with the new attempt.
+    RetryCptv {
+        /// Round id.
+        round: u64,
+        /// The sender engine.
+        sender: EngineId,
+        /// Bytes to vacate.
+        amount: u64,
+        /// New delivery attempt number.
+        attempt: u32,
+    },
+    /// Re-send step 4 (`SendStates`) to the sender with the new
+    /// attempt; the sender re-ships its retained outbound copy.
+    RetrySendStates {
+        /// Round id.
+        round: u64,
+        /// The sender engine.
+        sender: EngineId,
+        /// The receiver engine.
+        receiver: EngineId,
+        /// Partitions being moved.
+        parts: Vec<PartitionId>,
+        /// New delivery attempt number.
+        attempt: u32,
+    },
+    /// Retries exhausted: abandon the round. The driver must send
+    /// `AbortRound` to sender and receiver, release the paused
+    /// partitions *without* remapping (`parts` is empty when the round
+    /// died in WaitPtv, before anything paused), replay their buffered
+    /// tuples to the original owner, and release the held watermark.
+    AbortRound {
+        /// Round id.
+        round: u64,
+        /// The sender engine.
+        sender: EngineId,
+        /// The receiver engine.
+        receiver: EngineId,
+        /// Paused partitions to release (empty if none were paused).
+        parts: Vec<PartitionId>,
+        /// When the partitions were paused (watermark-held accounting);
+        /// `None` if the round never reached the pause.
+        held_since: Option<VirtualTime>,
+    },
+}
 
 /// The global adaptation controller.
 #[derive(Debug)]
@@ -34,6 +112,17 @@ pub struct GlobalCoordinator {
     relocations_aborted: u64,
     force_spills_issued: u64,
     journal: JournalHandle,
+    /// Per-phase timeout policy; `None` waits forever (default).
+    retry: Option<RetryPolicy>,
+    /// Deadline for the current phase attempt, when a policy is set.
+    phase_deadline: Option<VirtualTime>,
+    /// Delivery attempt within the current phase (0 = first send).
+    attempt: u32,
+    /// Consecutive aborted rounds per receiver (reset on success).
+    consecutive_aborts: FxHashMap<EngineId, u32>,
+    /// Receivers declared dead: relocations toward them degrade to
+    /// local force-spills at the sender.
+    dead_peers: Vec<EngineId>,
 }
 
 impl GlobalCoordinator {
@@ -47,7 +136,23 @@ impl GlobalCoordinator {
             relocations_aborted: 0,
             force_spills_issued: 0,
             journal: JournalHandle::disabled(),
+            retry: None,
+            phase_deadline: None,
+            attempt: 0,
+            consecutive_aborts: FxHashMap::default(),
+            dead_peers: Vec::new(),
         }
+    }
+
+    /// Arm per-phase timeouts with bounded retry then abort. Without
+    /// this call phases never time out (the pre-chaos behaviour).
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = Some(policy);
+    }
+
+    /// Receivers declared dead after repeated aborted rounds.
+    pub fn dead_peers(&self) -> &[EngineId] {
+        &self.dead_peers
     }
 
     /// Attach a journal; the strategy shares it (recording a
@@ -92,7 +197,32 @@ impl GlobalCoordinator {
     /// [`GlobalCoordinator::on_ptv`] / \
     /// [`GlobalCoordinator::on_transfer_ack`].
     pub fn evaluate(&mut self, stats: &ClusterStats, now: VirtualTime) -> Result<Decision> {
-        let decision = self.strategy.decide(stats, now, self.relocation_active());
+        let mut decision = self.strategy.decide(stats, now, self.relocation_active());
+        // Graceful degradation: relocating toward a peer declared dead
+        // would just burn another timeout ladder — shed the memory
+        // pressure locally instead.
+        if let Decision::Relocate {
+            sender,
+            receiver,
+            amount,
+        } = decision
+        {
+            if self.dead_peers.contains(&receiver) {
+                self.journal.record(
+                    now,
+                    AdaptEvent::ProtocolWarning {
+                        code: "relocation_degraded_to_spill",
+                        engine: receiver,
+                        round: self.next_round,
+                        detail: amount,
+                    },
+                );
+                decision = Decision::ForceSpill {
+                    engine: sender,
+                    amount,
+                };
+            }
+        }
         match &decision {
             Decision::Relocate {
                 sender,
@@ -115,6 +245,7 @@ impl GlobalCoordinator {
                 );
                 self.next_round += 1;
                 self.active_round = Some(round);
+                self.arm_phase(now);
             }
             Decision::ForceSpill { .. } => {
                 self.force_spills_issued += 1;
@@ -124,6 +255,118 @@ impl GlobalCoordinator {
         Ok(decision)
     }
 
+    /// Start a fresh deadline/attempt ladder for the phase that just
+    /// began (no-op without a retry policy).
+    fn arm_phase(&mut self, now: VirtualTime) {
+        self.attempt = 0;
+        self.phase_deadline = self.retry.map(|p| now + p.phase_timeout);
+    }
+
+    /// The current phase's delivery attempt (0 = first send). Drivers
+    /// stamp outgoing protocol messages with this so the chaos layer's
+    /// decisions key on it.
+    pub fn current_attempt(&self) -> u32 {
+        self.attempt
+    }
+
+    /// The active phase's deadline, if a retry policy armed one.
+    /// Drivers use it to know how far to advance the clock when
+    /// draining the protocol at end of input.
+    pub fn phase_deadline(&self) -> Option<VirtualTime> {
+        self.phase_deadline
+    }
+
+    /// Poll the phase deadline. Returns the recovery action the driver
+    /// must execute if the current phase has timed out at `now`:
+    /// re-send the phase message (bounded) or abort the round. `None`
+    /// when no round is active, no policy is set, or the deadline has
+    /// not passed.
+    pub fn check_timeout(&mut self, now: VirtualTime) -> Option<TimeoutAction> {
+        let policy = self.retry?;
+        let deadline = self.phase_deadline?;
+        if now < deadline {
+            return None;
+        }
+        let active = self.active_round.as_ref()?;
+        let round = active.round();
+        let (sender, receiver) = (active.sender(), active.receiver());
+        let step: u64 = match active.phase() {
+            Phase::WaitPtv => 1,
+            Phase::WaitAck => 4,
+            Phase::Done => return None,
+        };
+        if self.attempt < policy.max_retries {
+            self.attempt += 1;
+            self.phase_deadline = Some(now + policy.phase_timeout);
+            self.journal.record(
+                now,
+                AdaptEvent::ProtocolWarning {
+                    code: "phase_timeout_retry",
+                    engine: sender,
+                    round,
+                    detail: step,
+                },
+            );
+            self.journal.add_msgs_retried(1);
+            let attempt = self.attempt;
+            return Some(match active.phase() {
+                Phase::WaitPtv => TimeoutAction::RetryCptv {
+                    round,
+                    sender,
+                    amount: active.amount(),
+                    attempt,
+                },
+                Phase::WaitAck => TimeoutAction::RetrySendStates {
+                    round,
+                    sender,
+                    receiver,
+                    parts: active.parts().to_vec(),
+                    attempt,
+                },
+                Phase::Done => unreachable!("filtered above"),
+            });
+        }
+        // Retries exhausted: abandon the round.
+        let (parts, held_since) = match active.phase() {
+            Phase::WaitAck => (active.parts().to_vec(), Some(active.paused_at())),
+            _ => (Vec::new(), None),
+        };
+        self.journal.record(
+            now,
+            AdaptEvent::ProtocolWarning {
+                code: "round_aborted",
+                engine: receiver,
+                round,
+                detail: step,
+            },
+        );
+        self.journal.add_rounds_aborted(1);
+        self.active_round = None;
+        self.phase_deadline = None;
+        self.relocations_aborted += 1;
+        let aborts = self.consecutive_aborts.entry(receiver).or_insert(0);
+        *aborts += 1;
+        if *aborts >= policy.peer_death_threshold && !self.dead_peers.contains(&receiver) {
+            self.dead_peers.push(receiver);
+            self.journal.record(
+                now,
+                AdaptEvent::ProtocolWarning {
+                    code: "peer_declared_dead",
+                    engine: receiver,
+                    round,
+                    detail: u64::from(*aborts),
+                },
+            );
+        }
+        Some(TimeoutAction::AbortRound {
+            round,
+            sender,
+            receiver,
+            parts,
+            held_since,
+        })
+    }
+
     /// The id and amount of the active round (for issuing `Cptv`).
     pub fn active_round_info(&self) -> Option<(u64, EngineId, EngineId, u64)> {
         self.active_round
@@ -131,19 +374,61 @@ impl GlobalCoordinator {
             .map(|r| (r.round(), r.sender(), r.receiver(), r.amount()))
     }
 
+    /// True if `round` names a round that already finished (completed
+    /// or aborted) — the signature of a late or duplicated message.
+    fn is_stale_round(&self, round: u64) -> bool {
+        round < self.next_round
+            && self
+                .active_round
+                .as_ref()
+                .is_none_or(|active| round != active.round())
+    }
+
+    /// Journal a tolerated protocol anomaly.
+    fn warn(
+        &self,
+        code: &'static str,
+        engine: EngineId,
+        round: u64,
+        detail: u64,
+        now: VirtualTime,
+    ) {
+        self.journal.record(
+            now,
+            AdaptEvent::ProtocolWarning {
+                code,
+                engine,
+                round,
+                detail,
+            },
+        );
+    }
+
     /// Step 2: the sender's partition list arrived at virtual time
     /// `now`.
+    ///
+    /// Returns `Ok(None)` for a late or duplicated message — a `Ptv`
+    /// for a round that already finished, or a re-delivered `Ptv` for
+    /// the active round — journaled as a warning instead of poisoning
+    /// the coordinator (a retried message must never wedge adaptation).
     pub fn on_ptv(
         &mut self,
         from: EngineId,
         round: u64,
         parts: Vec<PartitionId>,
         now: VirtualTime,
-    ) -> Result<Action> {
-        let active = self
-            .active_round
-            .as_mut()
-            .ok_or_else(|| DcapeError::protocol("ptv with no active relocation"))?;
+    ) -> Result<Option<Action>> {
+        if self.is_stale_round(round) || self.active_round.is_none() {
+            self.warn("stale_ptv", from, round, 2, now);
+            return Ok(None);
+        }
+        let active = self.active_round.as_mut().expect("checked above");
+        if *active.phase() != Phase::WaitPtv && from == active.sender() {
+            // Re-delivered Ptv for the round in flight: the first copy
+            // already advanced the phase; this one is a no-op.
+            self.warn("duplicate_ptv", from, round, 2, now);
+            return Ok(None);
+        }
         let (sender, receiver) = (active.sender(), active.receiver());
         let event_parts = parts.clone();
         let action = active.on_ptv(from, round, parts, now)?;
@@ -162,24 +447,33 @@ impl GlobalCoordinator {
         );
         if matches!(action, Action::Abort) {
             self.active_round = None;
+            self.phase_deadline = None;
             self.relocations_aborted += 1;
+        } else {
+            // Step 3 pauses immediately; the WaitAck phase starts now.
+            self.arm_phase(now);
         }
-        Ok(action)
+        Ok(Some(action))
     }
 
     /// Step 6: the receiver's transfer ack arrived at virtual time
     /// `now`. Returns the final remap-and-resume action and closes the
     /// round.
+    ///
+    /// Returns `Ok(None)` for a late or duplicated ack (a retried
+    /// transfer can deliver the same ack twice; the round may have
+    /// completed — or aborted — by the time the second copy lands).
     pub fn on_transfer_ack(
         &mut self,
         from: EngineId,
         round: u64,
         now: VirtualTime,
-    ) -> Result<Action> {
-        let active = self
-            .active_round
-            .as_mut()
-            .ok_or_else(|| DcapeError::protocol("transfer_ack with no active relocation"))?;
+    ) -> Result<Option<Action>> {
+        if self.is_stale_round(round) || self.active_round.is_none() {
+            self.warn("stale_transfer_ack", from, round, 6, now);
+            return Ok(None);
+        }
+        let active = self.active_round.as_mut().expect("checked above");
         let (sender, receiver) = (active.sender(), active.receiver());
         let action = active.on_transfer_ack(from, round)?;
         debug_assert!(active.is_done());
@@ -197,8 +491,11 @@ impl GlobalCoordinator {
             },
         );
         self.active_round = None;
+        self.phase_deadline = None;
         self.relocations_completed += 1;
-        Ok(action)
+        // A completed round proves the receiver is alive.
+        self.consecutive_aborts.insert(receiver, 0);
+        Ok(Some(action))
     }
 }
 
@@ -252,11 +549,11 @@ mod tests {
                 VirtualTime::from_secs(3),
             )
             .unwrap();
-        assert!(matches!(action, Action::PauseAndTransfer { .. }));
+        assert!(matches!(action, Some(Action::PauseAndTransfer { .. })));
         let action = gc
             .on_transfer_ack(receiver, round, VirtualTime::from_secs(4))
             .unwrap();
-        assert!(matches!(action, Action::RemapAndResume { .. }));
+        assert!(matches!(action, Some(Action::RemapAndResume { .. })));
         assert!(!gc.relocation_active());
         assert_eq!(gc.relocations_completed(), 1);
         assert_eq!(gc.relocations_aborted(), 0);
@@ -275,21 +572,200 @@ mod tests {
         let action = gc
             .on_ptv(sender, round, vec![], VirtualTime::from_secs(2))
             .unwrap();
-        assert_eq!(action, Action::Abort);
+        assert_eq!(action, Some(Action::Abort));
         assert!(!gc.relocation_active());
         assert_eq!(gc.relocations_aborted(), 1);
         assert_eq!(gc.relocations_completed(), 0);
     }
 
     #[test]
-    fn protocol_events_without_round_are_errors() {
+    fn stale_and_duplicate_messages_are_warnings_not_errors() {
         let mut gc = lazy();
-        assert!(gc
-            .on_ptv(EngineId(0), 0, vec![], VirtualTime::ZERO)
-            .is_err());
-        assert!(gc
-            .on_transfer_ack(EngineId(0), 0, VirtualTime::ZERO)
-            .is_err());
+        gc.set_journal(JournalHandle::with_capacity(64));
+        // No round at all: late messages are tolerated.
+        assert_eq!(
+            gc.on_ptv(EngineId(0), 0, vec![], VirtualTime::ZERO)
+                .unwrap(),
+            None
+        );
+        assert_eq!(
+            gc.on_transfer_ack(EngineId(0), 0, VirtualTime::ZERO)
+                .unwrap(),
+            None
+        );
+        // Run a full round, then replay its messages: both are stale.
+        let Decision::Relocate {
+            sender, receiver, ..
+        } = gc
+            .evaluate(&imbalanced(), VirtualTime::from_secs(1))
+            .unwrap()
+        else {
+            panic!()
+        };
+        let (round, ..) = gc.active_round_info().unwrap();
+        // Duplicate Ptv while the round is in WaitAck: no-op.
+        gc.on_ptv(
+            sender,
+            round,
+            vec![PartitionId(1)],
+            VirtualTime::from_secs(2),
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(
+            gc.on_ptv(
+                sender,
+                round,
+                vec![PartitionId(1)],
+                VirtualTime::from_secs(2)
+            )
+            .unwrap(),
+            None
+        );
+        gc.on_transfer_ack(receiver, round, VirtualTime::from_secs(3))
+            .unwrap()
+            .unwrap();
+        // Retried ack for the completed round: tolerated, still closed.
+        assert_eq!(
+            gc.on_transfer_ack(receiver, round, VirtualTime::from_secs(4))
+                .unwrap(),
+            None
+        );
+        assert_eq!(gc.relocations_completed(), 1);
+        let warnings: Vec<_> = gc
+            .journal
+            .snapshot()
+            .into_iter()
+            .filter(|e| e.event.kind() == "protocol_warning")
+            .collect();
+        assert_eq!(warnings.len(), 4);
+    }
+
+    #[test]
+    fn phase_timeout_retries_then_aborts() {
+        let mut gc = lazy();
+        gc.set_journal(JournalHandle::with_capacity(64));
+        gc.set_retry_policy(RetryPolicy {
+            phase_timeout: VirtualDuration::from_secs(1),
+            max_retries: 2,
+            peer_death_threshold: 2,
+        });
+        // Without an active round, no timeout fires.
+        assert_eq!(gc.check_timeout(VirtualTime::from_secs(100)), None);
+        let Decision::Relocate { sender, amount, .. } = gc
+            .evaluate(&imbalanced(), VirtualTime::from_secs(1))
+            .unwrap()
+        else {
+            panic!()
+        };
+        let (round, ..) = gc.active_round_info().unwrap();
+        // Before the deadline: nothing.
+        assert_eq!(gc.check_timeout(VirtualTime::from_millis(1500)), None);
+        // First expiry: retry Cptv with attempt 1.
+        assert_eq!(
+            gc.check_timeout(VirtualTime::from_secs(2)),
+            Some(TimeoutAction::RetryCptv {
+                round,
+                sender,
+                amount,
+                attempt: 1,
+            })
+        );
+        assert_eq!(gc.current_attempt(), 1);
+        // Second expiry: retry with attempt 2 (the cap).
+        assert!(matches!(
+            gc.check_timeout(VirtualTime::from_secs(3)),
+            Some(TimeoutAction::RetryCptv { attempt: 2, .. })
+        ));
+        // Third expiry: retries exhausted, round aborts in WaitPtv
+        // (nothing was paused).
+        let abort = gc.check_timeout(VirtualTime::from_secs(4)).unwrap();
+        assert!(matches!(
+            &abort,
+            TimeoutAction::AbortRound {
+                parts,
+                held_since: None,
+                ..
+            } if parts.is_empty()
+        ));
+        assert!(!gc.relocation_active());
+        assert_eq!(gc.relocations_aborted(), 1);
+        let c = gc.journal.counters().unwrap();
+        assert_eq!(c.msgs_retried(), 2);
+        assert_eq!(c.rounds_aborted(), 1);
+        // No round anymore: the poll goes quiet.
+        assert_eq!(gc.check_timeout(VirtualTime::from_secs(5)), None);
+    }
+
+    #[test]
+    fn wait_ack_timeout_aborts_with_paused_parts() {
+        let mut gc = lazy();
+        gc.set_retry_policy(RetryPolicy {
+            phase_timeout: VirtualDuration::from_secs(1),
+            max_retries: 0,
+            peer_death_threshold: 99,
+        });
+        let Decision::Relocate {
+            sender, receiver, ..
+        } = gc
+            .evaluate(&imbalanced(), VirtualTime::from_secs(1))
+            .unwrap()
+        else {
+            panic!()
+        };
+        let (round, ..) = gc.active_round_info().unwrap();
+        gc.on_ptv(
+            sender,
+            round,
+            vec![PartitionId(4)],
+            VirtualTime::from_secs(2),
+        )
+        .unwrap()
+        .unwrap();
+        // The WaitAck phase re-armed at the Ptv; zero retries allowed,
+        // so the first expiry aborts and carries the paused parts.
+        let abort = gc.check_timeout(VirtualTime::from_secs(3)).unwrap();
+        assert_eq!(
+            abort,
+            TimeoutAction::AbortRound {
+                round,
+                sender,
+                receiver,
+                parts: vec![PartitionId(4)],
+                held_since: Some(VirtualTime::from_secs(2)),
+            }
+        );
+    }
+
+    #[test]
+    fn repeated_aborts_declare_peer_dead_and_degrade_to_spill() {
+        let mut gc = lazy();
+        gc.set_retry_policy(RetryPolicy {
+            phase_timeout: VirtualDuration::from_secs(1),
+            max_retries: 0,
+            peer_death_threshold: 2,
+        });
+        let mut now = VirtualTime::from_secs(1);
+        for _ in 0..2 {
+            let Decision::Relocate { .. } = gc.evaluate(&imbalanced(), now).unwrap() else {
+                panic!()
+            };
+            now += VirtualDuration::from_secs(10);
+            assert!(matches!(
+                gc.check_timeout(now),
+                Some(TimeoutAction::AbortRound { .. })
+            ));
+            now += VirtualDuration::from_secs(10);
+        }
+        assert_eq!(gc.dead_peers().len(), 1);
+        // The same imbalance now degrades to a local force-spill at
+        // the overloaded sender.
+        let d = gc.evaluate(&imbalanced(), now).unwrap();
+        assert!(
+            matches!(d, Decision::ForceSpill { engine, .. } if engine == EngineId(0)),
+            "expected degraded spill, got {d:?}"
+        );
+        assert_eq!(gc.force_spills_issued(), 1);
     }
 
     #[test]

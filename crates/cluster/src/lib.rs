@@ -20,6 +20,7 @@
 //! [`coordinator`].
 
 pub mod coordinator;
+pub mod faults;
 pub mod messages;
 pub mod netmodel;
 pub mod placement;
@@ -30,6 +31,7 @@ pub mod stats;
 pub mod strategy;
 
 pub use coordinator::GlobalCoordinator;
+pub use faults::{FaultConfig, FaultDecision, FaultEdge, FaultPlan};
 pub use netmodel::NetworkModel;
 pub use placement::{PlacementMap, PlacementSpec};
 pub use runtime::sim::{SimConfig, SimDriver, SimReport};

@@ -68,6 +68,9 @@ pub enum ToEngine {
         round: u64,
         /// Bytes to vacate.
         amount: u64,
+        /// Delivery attempt (0 on first send; bumped per retry). Keys
+        /// the chaos layer's per-edge fault decisions.
+        attempt: u32,
     },
     /// Step 4: extract the listed partitions and ship them to
     /// `receiver`.
@@ -78,6 +81,8 @@ pub enum ToEngine {
         parts: Vec<PartitionId>,
         /// Destination engine.
         receiver: EngineId,
+        /// Delivery attempt (0 on first send; bumped per retry).
+        attempt: u32,
     },
     /// Step 5: install these relocated groups (sender → receiver).
     InstallStates {
@@ -87,6 +92,24 @@ pub enum ToEngine {
         sender: EngineId,
         /// The groups.
         groups: Vec<GroupTransfer>,
+        /// Delivery attempt, inherited from the driving `SendStates`.
+        attempt: u32,
+        /// Byte length the sender declares for `groups`. The receiver
+        /// recomputes and discards the transfer on mismatch (the chaos
+        /// layer's corrupt-length fault), forcing a retry.
+        declared_bytes: u64,
+    },
+    /// Abort an in-flight relocation round after retries were
+    /// exhausted: the sender reinstalls its retained outbound copy, the
+    /// receiver discards any uncommitted installation, and both leave
+    /// relocation mode. Ownership never changed, so the split's
+    /// buffered tuples replay to the original owner; a `Resume` follows
+    /// the replay to release the held watermark (commit/abort
+    /// notifications ride the reliable channel — see
+    /// `dcape-cluster::faults`).
+    AbortRound {
+        /// The aborted round id.
+        round: u64,
     },
     /// Step 8: the relocation round is over; return to normal mode.
     ///
@@ -203,8 +226,11 @@ mod tests {
         let m = ToEngine::Cptv {
             round: 1,
             amount: 1024,
+            attempt: 0,
         };
         assert!(format!("{m:?}").contains("Cptv"));
+        let m = ToEngine::AbortRound { round: 2 };
+        assert!(format!("{m:?}").contains("AbortRound"));
         let m = FromEngine::Ptv {
             round: 1,
             engine: EngineId(0),

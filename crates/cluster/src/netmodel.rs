@@ -60,6 +60,21 @@ impl NetworkModel {
     pub fn control_cost(&self) -> VirtualDuration {
         VirtualDuration::from_millis(self.latency_ms)
     }
+
+    /// End-to-end cost of one relocation round moving `bytes`: the
+    /// state transfer plus a control message for **every**
+    /// message-bearing protocol step — Cptv (1), Ptv (2), SendStates
+    /// (3/4), TransferAck (6) and Resume (7/8). Charging all of them
+    /// uniformly keeps the sim and threaded horizons in agreement under
+    /// high latency; charging only step 1 (the old behaviour) made
+    /// `slow_wan` rounds look 4 control-latencies cheaper in the sim
+    /// than on the wire.
+    pub fn relocation_round_cost(&self, bytes: u64) -> VirtualDuration {
+        const CONTROL_STEPS: u64 = 5;
+        VirtualDuration::from_millis(
+            self.transfer_cost(bytes).as_millis() + CONTROL_STEPS * self.latency_ms,
+        )
+    }
 }
 
 impl Default for NetworkModel {
@@ -91,6 +106,24 @@ mod tests {
         let n = NetworkModel::free();
         assert_eq!(n.transfer_cost(u64::MAX).as_millis(), 0);
         assert_eq!(n.control_cost().as_millis(), 0);
+    }
+
+    #[test]
+    fn round_cost_charges_every_control_step() {
+        // One transfer + five control messages (steps 1, 2, 3/4, 6,
+        // 7/8). Under slow_wan the difference is 4 × 50 ms per round —
+        // exactly the gap the sim horizon used to be short by.
+        let wan = NetworkModel::slow_wan();
+        let round = wan.relocation_round_cost(1_000_000).as_millis();
+        let old = (wan.transfer_cost(1_000_000) + wan.control_cost()).as_millis();
+        assert_eq!(round, old + 4 * wan.latency_ms);
+        // On a free network the round is still free.
+        assert_eq!(
+            NetworkModel::free()
+                .relocation_round_cost(1 << 30)
+                .as_millis(),
+            0
+        );
     }
 
     #[test]

@@ -225,6 +225,41 @@ impl PlacementMap {
         Ok(released)
     }
 
+    /// Abort a relocation round: unpause the partitions **without**
+    /// changing ownership and return the buffered tuples (in arrival
+    /// order) for redelivery to the original owner. The mirror of
+    /// [`PlacementMap::remap_and_release`] for the abort path — the
+    /// held watermark is re-derived and released exactly the same way,
+    /// only the owner reassignment is skipped.
+    pub fn release_paused(
+        &mut self,
+        pids: &[PartitionId],
+    ) -> Result<Vec<(PartitionId, Vec<Tuple>)>> {
+        for pid in pids {
+            if pid.index() >= self.owners.len() {
+                return Err(DcapeError::state(format!("unknown partition {pid}")));
+            }
+            if !self.paused.contains_key(pid) {
+                return Err(DcapeError::protocol(format!(
+                    "partition {pid} released without pause"
+                )));
+            }
+        }
+        let mut released = Vec::with_capacity(pids.len());
+        for pid in pids {
+            let buffered = self.paused.remove(pid).expect("validated above");
+            released.push((*pid, buffered));
+        }
+        self.oldest_buffered = self
+            .paused
+            .values()
+            .filter_map(|buf| buf.first())
+            .map(Tuple::ts)
+            .min();
+        self.version += 1;
+        Ok(released)
+    }
+
     /// Currently paused partitions (sorted, for assertions).
     pub fn paused_partitions(&self) -> Vec<PartitionId> {
         let mut pids: Vec<PartitionId> = self.paused.keys().copied().collect();
@@ -349,6 +384,36 @@ mod tests {
         m.remap_and_release(&[PartitionId(1)], EngineId(0)).unwrap();
         assert_eq!(m.oldest_buffered_ts(), None);
         assert_eq!(m.purge_horizon(now), now);
+    }
+
+    #[test]
+    fn release_paused_keeps_owner_and_frees_watermark() {
+        let ts_tuple = |seq: u64, ms: u64| {
+            TupleBuilder::new(StreamId(0))
+                .seq(seq)
+                .ts(VirtualTime::from_millis(ms))
+                .value(1i64)
+                .build()
+        };
+        let mut m = PlacementMap::new(&PlacementSpec::RoundRobin, 4, 2).unwrap();
+        let original = m.owner(PartitionId(1)).unwrap();
+        m.pause(&[PartitionId(1)]).unwrap();
+        m.route(PartitionId(1), ts_tuple(0, 100)).unwrap();
+        m.route(PartitionId(1), ts_tuple(1, 150)).unwrap();
+        let v0 = m.version();
+        let released = m.release_paused(&[PartitionId(1)]).unwrap();
+        // Owner unchanged, buffer returned in arrival order, watermark
+        // hold released, version bumped.
+        assert_eq!(m.owner(PartitionId(1)).unwrap(), original);
+        assert_eq!(
+            released[0].1.iter().map(|t| t.seq()).collect::<Vec<_>>(),
+            vec![0, 1]
+        );
+        assert_eq!(m.oldest_buffered_ts(), None);
+        assert!(m.paused_partitions().is_empty());
+        assert_eq!(m.version(), v0 + 1);
+        // Releasing an unpaused partition is still a protocol error.
+        assert!(m.release_paused(&[PartitionId(1)]).is_err());
     }
 
     #[test]

@@ -118,6 +118,12 @@ impl RelocationRound {
         &self.parts
     }
 
+    /// When the round's partitions were paused at the splits (step 3);
+    /// `VirtualTime::ZERO` before the pause happens.
+    pub fn paused_at(&self) -> VirtualTime {
+        self.paused_at
+    }
+
     /// Step 2 arrived: the sender chose `parts`. `now` stamps the
     /// pause (step 3 follows immediately), marking when the purge
     /// watermark starts being held for this round.

@@ -30,11 +30,14 @@ use dcape_streamgen::{StreamSetGenerator, StreamSetSpec};
 
 use crate::split::SplitOperator;
 
-use crate::coordinator::GlobalCoordinator;
+use crate::coordinator::{GlobalCoordinator, RetryPolicy, TimeoutAction};
+use crate::faults::{FaultDecision, FaultEdge, FaultPlan};
 use crate::netmodel::NetworkModel;
 use crate::placement::{PlacementMap, PlacementSpec, Route};
 use crate::relocation::Action;
 use crate::strategy::{Decision, StrategyConfig};
+
+use dcape_engine::controller::Mode;
 
 /// Configuration of one simulated cluster run.
 #[derive(Debug, Clone)]
@@ -73,6 +76,11 @@ pub struct SimConfig {
     /// and benchmarked. Ignored when `collect_results` is set (full
     /// results force enumeration).
     pub count_first: bool,
+    /// Deterministic fault injection over the relocation protocol's
+    /// message edges (see [`crate::faults`]). Disabled by default; an
+    /// active plan also arms the coordinator's per-phase
+    /// timeout/retry/abort policy.
+    pub faults: FaultPlan,
 }
 
 impl SimConfig {
@@ -97,7 +105,14 @@ impl SimConfig {
             journal: false,
             batch: true,
             count_first: true,
+            faults: FaultPlan::disabled(),
         }
+    }
+
+    /// Builder-style: inject deterministic faults from the given plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// Builder-style: enable or disable the batched dataflow.
@@ -234,7 +249,9 @@ impl SimReport {
     }
 }
 
-/// A relocation transfer in flight (between steps 5 and 6).
+/// A relocation transfer in flight (between steps 5 and 6). With the
+/// chaos layer there can be several at once (a duplicated
+/// `InstallStates` is two copies of the same payload in flight).
 #[derive(Debug)]
 struct InFlightTransfer {
     round: u64,
@@ -243,7 +260,46 @@ struct InFlightTransfer {
     groups: Vec<(SpilledGroup, u64, bool)>,
     sender: EngineId,
     bytes: u64,
+    /// Byte length the sender declared; differs from `bytes` when the
+    /// corrupt-length fault hit this copy — the receiver discards it.
+    declared_bytes: u64,
+    /// Delivery attempt the driving `SendStates` carried.
+    attempt: u32,
     complete_at: VirtualTime,
+}
+
+/// A control message the chaos layer delayed: redelivered from
+/// [`SimDriver::on_clock`] once the virtual clock passes its due time.
+#[derive(Debug)]
+enum DelayedEvent {
+    /// Step 1 toward the sender.
+    Cptv {
+        round: u64,
+        sender: EngineId,
+        amount: u64,
+        attempt: u32,
+    },
+    /// Step 2 toward the coordinator.
+    Ptv {
+        round: u64,
+        sender: EngineId,
+        parts: Vec<PartitionId>,
+    },
+    /// Step 4 toward the sender.
+    SendStates {
+        round: u64,
+        sender: EngineId,
+        receiver: EngineId,
+        parts: Vec<PartitionId>,
+        attempt: u32,
+    },
+    /// Step 6 toward the coordinator.
+    TransferAck {
+        round: u64,
+        sender: EngineId,
+        receiver: EngineId,
+        bytes: u64,
+    },
 }
 
 /// Counting/collecting output sink.
@@ -293,7 +349,10 @@ pub struct SimDriver {
     sample_timer: PeriodicTimer,
     recorder: Recorder,
     sink: SimSink,
-    in_flight: Option<InFlightTransfer>,
+    in_flight: Vec<InFlightTransfer>,
+    /// Chaos-delayed control messages, delivered once due (insertion
+    /// order among equal due times — deterministic).
+    pending: Vec<(VirtualTime, DelayedEvent)>,
     relocations: Vec<RelocationEvent>,
     journal: JournalHandle,
     /// Engine spill bytes already mirrored into the driver journal's
@@ -340,6 +399,12 @@ impl SimDriver {
         } else {
             JournalHandle::disabled()
         };
+        // An active fault plan implies bounded patience: arm the
+        // per-phase timeout/retry/abort ladder so dropped messages
+        // cannot wedge a round forever.
+        if cfg.faults.is_active() {
+            gc.set_retry_policy(RetryPolicy::default());
+        }
         let collect = cfg.collect_results.then(CollectingSink::new);
         Ok(SimDriver {
             stats_timer: PeriodicTimer::new(cfg.stats_interval, VirtualTime::ZERO),
@@ -350,7 +415,8 @@ impl SimDriver {
                 collect,
                 count_first: cfg.count_first,
             },
-            in_flight: None,
+            in_flight: Vec::new(),
+            pending: Vec::new(),
             relocations: Vec::new(),
             journal,
             mirrored_spill_bytes: 0,
@@ -450,12 +516,7 @@ impl SimDriver {
     /// transfer completion, engine `ss_timer`s, coordinator evaluation,
     /// series sampling.
     fn on_clock(&mut self) -> Result<()> {
-        // Complete an in-flight relocation transfer.
-        if let Some(t) = &self.in_flight {
-            if self.now >= t.complete_at {
-                self.complete_transfer()?;
-            }
-        }
+        self.pump_protocol()?;
         // Local spill pulses + opportunistic reactivation. Window
         // purges run at the watermark-driven horizon, not the clock:
         // tuples buffered at paused splits hold the horizon back, so a
@@ -553,89 +614,457 @@ impl SimDriver {
         );
     }
 
-    fn evaluate_coordinator(&mut self) -> Result<()> {
-        let reports: Vec<_> = self
-            .engines
-            .iter_mut()
-            .map(|e| e.report(self.now))
-            .collect();
-        let stats = crate::stats::ClusterStats::new(reports);
-        match self.gc.evaluate(&stats, self.now)? {
-            Decision::None => Ok(()),
-            Decision::ForceSpill { engine, amount } => {
-                self.engines[engine.index()].force_spill(amount, self.now)?;
-                Ok(())
-            }
-            Decision::Relocate {
+    /// Everything protocol-related the clock drives: due transfers
+    /// complete, chaos-delayed control messages deliver, and the
+    /// coordinator's phase deadline is polled (retry or abort).
+    fn pump_protocol(&mut self) -> Result<()> {
+        // Complete due in-flight transfers, in (complete_at, insertion)
+        // order — deterministic regardless of how they were queued.
+        while let Some(idx) = self
+            .in_flight
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| self.now >= t.complete_at)
+            .min_by_key(|(i, t)| (t.complete_at, *i))
+            .map(|(i, _)| i)
+        {
+            let t = self.in_flight.remove(idx);
+            self.complete_transfer(t)?;
+        }
+        // Deliver due delayed control messages, same ordering rule.
+        while let Some(idx) = self
+            .pending
+            .iter()
+            .enumerate()
+            .filter(|(_, (due, _))| self.now >= *due)
+            .min_by_key(|(i, (due, _))| (*due, *i))
+            .map(|(i, _)| i)
+        {
+            let (_, event) = self.pending.remove(idx);
+            self.deliver_delayed(event)?;
+        }
+        // Phase deadline: bounded retry, then abort. Each poll either
+        // re-arms the deadline in the future or closes the round, so
+        // this loop terminates.
+        while let Some(action) = self.gc.check_timeout(self.now) {
+            self.handle_timeout(action)?;
+        }
+        Ok(())
+    }
+
+    /// Consult the fault plan for one message edge and journal any
+    /// injected fault (the `faults_injected` accounting).
+    fn edge_decision(&mut self, edge: FaultEdge, round: u64, attempt: u32) -> FaultDecision {
+        let decision = self.cfg.faults.decide(edge, round, attempt);
+        if let Some(fault) = decision.fault_name() {
+            self.journal.add_faults_injected(1);
+            self.journal.record(
+                self.now,
+                AdaptEvent::FaultInjected {
+                    fault,
+                    edge: edge.name(),
+                    round,
+                    attempt,
+                },
+            );
+        }
+        decision
+    }
+
+    fn warn(&self, code: &'static str, engine: EngineId, round: u64, detail: u64) {
+        self.journal.record(
+            self.now,
+            AdaptEvent::ProtocolWarning {
+                code,
+                engine,
+                round,
+                detail,
+            },
+        );
+    }
+
+    fn deliver_delayed(&mut self, event: DelayedEvent) -> Result<()> {
+        match event {
+            DelayedEvent::Cptv {
+                round,
                 sender,
-                receiver: _,
                 amount,
-            } => {
-                // Step 1 (Cptv) + step 2 (Ptv), synchronous in the sim.
-                let (round, s, _r, _a) =
-                    self.gc.active_round_info().expect("relocation just opened");
-                debug_assert_eq!(s, sender);
-                self.engines[sender.index()].set_mode(dcape_engine::controller::Mode::Relocation);
-                let parts = self.engines[sender.index()].select_parts_to_move(amount);
-                match self.gc.on_ptv(sender, round, parts, self.now)? {
-                    Action::Abort => {
-                        self.engines[sender.index()]
-                            .set_mode(dcape_engine::controller::Mode::Normal);
-                        Ok(())
-                    }
-                    Action::PauseAndTransfer {
-                        parts,
+                attempt,
+            } => self.deliver_cptv(round, sender, amount, attempt),
+            DelayedEvent::Ptv {
+                round,
+                sender,
+                parts,
+            } => self.deliver_ptv(round, sender, parts),
+            DelayedEvent::SendStates {
+                round,
+                sender,
+                receiver,
+                parts,
+                attempt,
+            } => self.deliver_send_states(round, sender, receiver, parts, attempt),
+            DelayedEvent::TransferAck {
+                round,
+                sender,
+                receiver,
+                bytes,
+            } => self.deliver_transfer_ack(round, sender, receiver, bytes),
+        }
+    }
+
+    fn handle_timeout(&mut self, action: TimeoutAction) -> Result<()> {
+        match action {
+            TimeoutAction::RetryCptv {
+                round,
+                sender,
+                amount,
+                attempt,
+            } => self.send_cptv(round, sender, amount, attempt),
+            TimeoutAction::RetrySendStates {
+                round,
+                sender,
+                receiver,
+                parts,
+                attempt,
+            } => self.send_send_states(round, sender, receiver, parts, attempt),
+            TimeoutAction::AbortRound {
+                round,
+                sender,
+                receiver,
+                parts,
+                held_since,
+            } => self.abort_round(round, sender, receiver, &parts, held_since),
+        }
+    }
+
+    /// Step 1 across the faultable channel.
+    fn send_cptv(&mut self, round: u64, sender: EngineId, amount: u64, attempt: u32) -> Result<()> {
+        match self.edge_decision(FaultEdge::Cptv, round, attempt) {
+            FaultDecision::Deliver => self.deliver_cptv(round, sender, amount, attempt),
+            // A garbled control message is discarded on receipt — same
+            // outcome as a drop; the phase timeout re-sends it.
+            FaultDecision::Drop | FaultDecision::CorruptLength => Ok(()),
+            FaultDecision::Duplicate => {
+                self.deliver_cptv(round, sender, amount, attempt)?;
+                self.deliver_cptv(round, sender, amount, attempt)
+            }
+            FaultDecision::Delay(ms) => {
+                self.pending.push((
+                    self.now + VirtualDuration::from_millis(ms),
+                    DelayedEvent::Cptv {
+                        round,
                         sender,
-                        receiver,
-                    } => {
-                        // Step 3: pause at the splits.
-                        self.placement.pause(&parts)?;
-                        self.record_step(round, 3, sender, receiver, &parts, 0, 0);
-                        // Steps 4–5: extract and ship; the transfer
-                        // completes after the modeled network time.
-                        self.engines[receiver.index()]
-                            .set_mode(dcape_engine::controller::Mode::Relocation);
-                        let groups = self.engines[sender.index()].extract_groups(&parts);
-                        let bytes: u64 =
-                            groups.iter().map(|(g, _, _)| g.state_bytes() as u64).sum();
-                        self.record_step(round, 4, sender, receiver, &parts, bytes, 0);
-                        self.journal.add_relocation_bytes(bytes);
-                        let cost =
-                            self.cfg.network.transfer_cost(bytes) + self.cfg.network.control_cost();
-                        self.in_flight = Some(InFlightTransfer {
-                            round,
-                            receiver,
-                            parts,
-                            groups,
-                            sender,
-                            bytes,
-                            complete_at: self.now + cost,
-                        });
-                        Ok(())
-                    }
-                    Action::RemapAndResume { .. } => {
-                        Err(DcapeError::protocol("remap before transfer completed"))
-                    }
-                }
+                        amount,
+                        attempt,
+                    },
+                ));
+                Ok(())
             }
         }
     }
 
-    fn complete_transfer(&mut self) -> Result<()> {
-        let t = self.in_flight.take().expect("caller checked");
-        // Step 5 completes: install at the receiver.
-        self.engines[t.receiver.index()].install_groups(t.groups)?;
-        self.record_step(t.round, 5, t.sender, t.receiver, &t.parts, t.bytes, 0);
-        // Step 6: ack; coordinator answers with remap-and-resume.
-        let action = self.gc.on_transfer_ack(t.receiver, t.round, self.now)?;
-        let Action::RemapAndResume {
-            parts,
-            receiver,
-            held_since,
-        } = action
-        else {
-            return Err(DcapeError::protocol("expected remap after ack"));
-        };
+    /// Step 1 lands at the sender: compute the partition list and answer
+    /// with step 2.
+    fn deliver_cptv(
+        &mut self,
+        round: u64,
+        sender: EngineId,
+        amount: u64,
+        attempt: u32,
+    ) -> Result<()> {
+        if self.engines[sender.index()].is_stale_round(round) {
+            self.warn("stale_cptv", sender, round, 1);
+            return Ok(());
+        }
+        self.engines[sender.index()].set_mode(Mode::Relocation);
+        let parts = self.engines[sender.index()].select_parts_to_move(amount);
+        self.send_ptv(round, sender, parts, attempt)
+    }
+
+    /// Step 2 across the faultable channel (the attempt follows the
+    /// `Cptv` that prompted it).
+    fn send_ptv(
+        &mut self,
+        round: u64,
+        sender: EngineId,
+        parts: Vec<PartitionId>,
+        attempt: u32,
+    ) -> Result<()> {
+        match self.edge_decision(FaultEdge::Ptv, round, attempt) {
+            FaultDecision::Deliver => self.deliver_ptv(round, sender, parts),
+            FaultDecision::Drop | FaultDecision::CorruptLength => Ok(()),
+            FaultDecision::Duplicate => {
+                self.deliver_ptv(round, sender, parts.clone())?;
+                self.deliver_ptv(round, sender, parts)
+            }
+            FaultDecision::Delay(ms) => {
+                self.pending.push((
+                    self.now + VirtualDuration::from_millis(ms),
+                    DelayedEvent::Ptv {
+                        round,
+                        sender,
+                        parts,
+                    },
+                ));
+                Ok(())
+            }
+        }
+    }
+
+    /// Step 2 lands at the coordinator.
+    fn deliver_ptv(&mut self, round: u64, sender: EngineId, parts: Vec<PartitionId>) -> Result<()> {
+        match self.gc.on_ptv(sender, round, parts, self.now)? {
+            None => {
+                // Stale or duplicated. If the round it belonged to is
+                // gone, the sender must not stay wedged in relocation
+                // mode because a late Cptv re-entered it.
+                let active_sender = self.gc.active_round_info().map(|(_, s, _, _)| s);
+                if active_sender != Some(sender) {
+                    self.engines[sender.index()].set_mode(Mode::Normal);
+                }
+                Ok(())
+            }
+            Some(Action::Abort) => {
+                self.engines[sender.index()].set_mode(Mode::Normal);
+                Ok(())
+            }
+            Some(Action::PauseAndTransfer {
+                parts,
+                sender,
+                receiver,
+            }) => {
+                // Step 3: pause at the splits.
+                self.placement.pause(&parts)?;
+                self.record_step(round, 3, sender, receiver, &parts, 0, 0);
+                self.engines[receiver.index()].set_mode(Mode::Relocation);
+                // Step 4 starts its own attempt ladder (the WaitAck
+                // phase was just armed).
+                let attempt = self.gc.current_attempt();
+                self.send_send_states(round, sender, receiver, parts, attempt)
+            }
+            Some(Action::RemapAndResume { .. }) => {
+                Err(DcapeError::protocol("remap before transfer completed"))
+            }
+        }
+    }
+
+    /// Step 4 across the faultable channel.
+    fn send_send_states(
+        &mut self,
+        round: u64,
+        sender: EngineId,
+        receiver: EngineId,
+        parts: Vec<PartitionId>,
+        attempt: u32,
+    ) -> Result<()> {
+        match self.edge_decision(FaultEdge::SendStates, round, attempt) {
+            FaultDecision::Deliver => {
+                self.deliver_send_states(round, sender, receiver, parts, attempt)
+            }
+            FaultDecision::Drop | FaultDecision::CorruptLength => Ok(()),
+            FaultDecision::Duplicate => {
+                self.deliver_send_states(round, sender, receiver, parts.clone(), attempt)?;
+                self.deliver_send_states(round, sender, receiver, parts, attempt)
+            }
+            FaultDecision::Delay(ms) => {
+                self.pending.push((
+                    self.now + VirtualDuration::from_millis(ms),
+                    DelayedEvent::SendStates {
+                        round,
+                        sender,
+                        receiver,
+                        parts,
+                        attempt,
+                    },
+                ));
+                Ok(())
+            }
+        }
+    }
+
+    /// Step 4 lands at the sender: extract (first time) or re-ship the
+    /// retained copy, then put step 5 on the wire.
+    fn deliver_send_states(
+        &mut self,
+        round: u64,
+        sender: EngineId,
+        receiver: EngineId,
+        parts: Vec<PartitionId>,
+        attempt: u32,
+    ) -> Result<()> {
+        if self.engines[sender.index()].is_stale_round(round) {
+            self.warn("stale_send_states", sender, round, 4);
+            return Ok(());
+        }
+        let fresh = !self.engines[sender.index()].outbound_pending(round);
+        let groups = self.engines[sender.index()].begin_outbound(round, &parts);
+        let bytes: u64 = groups.iter().map(|(g, _, _)| g.state_bytes() as u64).sum();
+        if fresh {
+            // Journal the extraction once; retries re-ship the same
+            // copy and must not inflate the relocation volume.
+            self.record_step(round, 4, sender, receiver, &parts, bytes, 0);
+            self.journal.add_relocation_bytes(bytes);
+        }
+        // Step 5: the state transfer itself, over modeled network time
+        // (the whole round's control chatter is charged here — see
+        // `NetworkModel::relocation_round_cost`). A stall fault keeps
+        // the receiver unresponsive for a while on top.
+        let mut declared_bytes = bytes;
+        let mut cost = self.cfg.network.relocation_round_cost(bytes);
+        let stall = self
+            .cfg
+            .faults
+            .stall_ms(FaultEdge::InstallStates, round, attempt);
+        if stall > 0 {
+            self.journal.add_faults_injected(1);
+            self.journal.record(
+                self.now,
+                AdaptEvent::FaultInjected {
+                    fault: "stall",
+                    edge: FaultEdge::InstallStates.name(),
+                    round,
+                    attempt,
+                },
+            );
+            cost = cost + VirtualDuration::from_millis(stall);
+        }
+        let mut copies = 1u32;
+        match self.edge_decision(FaultEdge::InstallStates, round, attempt) {
+            FaultDecision::Deliver => {}
+            FaultDecision::Drop => return Ok(()),
+            FaultDecision::CorruptLength => {
+                declared_bytes = FaultPlan::corrupt_length(bytes);
+            }
+            FaultDecision::Delay(ms) => {
+                cost = cost + VirtualDuration::from_millis(ms);
+            }
+            FaultDecision::Duplicate => copies = 2,
+        }
+        for _ in 0..copies {
+            self.in_flight.push(InFlightTransfer {
+                round,
+                receiver,
+                parts: parts.clone(),
+                groups: groups.clone(),
+                sender,
+                bytes,
+                declared_bytes,
+                attempt,
+                complete_at: self.now + cost,
+            });
+        }
+        Ok(())
+    }
+
+    /// Step 5 lands at the receiver (transfer completed): verify,
+    /// maybe crash, install idempotently, then ack (step 6).
+    fn complete_transfer(&mut self, t: InFlightTransfer) -> Result<()> {
+        // Corrupt-length detection: the receiver recomputes the payload
+        // length and discards on mismatch — equivalent to a drop, healed
+        // by the phase timeout re-sending `SendStates`.
+        if t.declared_bytes != t.bytes {
+            self.warn(
+                "corrupt_transfer_discarded",
+                t.receiver,
+                t.round,
+                t.declared_bytes,
+            );
+            return Ok(());
+        }
+        // Crash-restart mid-install: the uncommitted installation is
+        // lost, no ack goes out; the sender's retained copy stays
+        // authoritative and the round retries or aborts.
+        if self.cfg.faults.crash_during_install(t.round, t.attempt) {
+            self.journal.add_faults_injected(1);
+            self.journal.record(
+                self.now,
+                AdaptEvent::FaultInjected {
+                    fault: "crash_restart",
+                    edge: FaultEdge::InstallStates.name(),
+                    round: t.round,
+                    attempt: t.attempt,
+                },
+            );
+            self.engines[t.receiver.index()].crash_restart()?;
+            return Ok(());
+        }
+        let installed =
+            self.engines[t.receiver.index()].install_groups_for_round(t.round, t.groups)?;
+        if installed {
+            self.record_step(t.round, 5, t.sender, t.receiver, &t.parts, t.bytes, 0);
+        } else {
+            // Duplicate (or stale) install: a no-op, but the ack must
+            // still go out — the first one may have been lost.
+            self.warn("duplicate_install", t.receiver, t.round, 5);
+        }
+        self.send_transfer_ack(t.round, t.sender, t.receiver, t.bytes, t.attempt)
+    }
+
+    /// Step 6 across the faultable channel.
+    fn send_transfer_ack(
+        &mut self,
+        round: u64,
+        sender: EngineId,
+        receiver: EngineId,
+        bytes: u64,
+        attempt: u32,
+    ) -> Result<()> {
+        match self.edge_decision(FaultEdge::TransferAck, round, attempt) {
+            FaultDecision::Deliver => self.deliver_transfer_ack(round, sender, receiver, bytes),
+            FaultDecision::Drop | FaultDecision::CorruptLength => Ok(()),
+            FaultDecision::Duplicate => {
+                self.deliver_transfer_ack(round, sender, receiver, bytes)?;
+                self.deliver_transfer_ack(round, sender, receiver, bytes)
+            }
+            FaultDecision::Delay(ms) => {
+                self.pending.push((
+                    self.now + VirtualDuration::from_millis(ms),
+                    DelayedEvent::TransferAck {
+                        round,
+                        sender,
+                        receiver,
+                        bytes,
+                    },
+                ));
+                Ok(())
+            }
+        }
+    }
+
+    /// Step 6 lands at the coordinator: close the round (steps 7–8).
+    fn deliver_transfer_ack(
+        &mut self,
+        round: u64,
+        sender: EngineId,
+        receiver: EngineId,
+        bytes: u64,
+    ) -> Result<()> {
+        match self.gc.on_transfer_ack(receiver, round, self.now)? {
+            // Stale or duplicated ack: already journaled by the
+            // coordinator; nothing to execute.
+            None => Ok(()),
+            Some(Action::RemapAndResume {
+                parts,
+                receiver,
+                held_since,
+            }) => self.finish_round(round, sender, receiver, parts, held_since, bytes),
+            Some(other) => Err(DcapeError::protocol(format!(
+                "unexpected action after ack: {other:?}"
+            ))),
+        }
+    }
+
+    /// Steps 7–8: remap, flush buffered tuples to the new owner, commit
+    /// both ends, resume.
+    fn finish_round(
+        &mut self,
+        round: u64,
+        sender: EngineId,
+        receiver: EngineId,
+        parts: Vec<PartitionId>,
+        held_since: VirtualTime,
+        bytes: u64,
+    ) -> Result<()> {
         // Step 7: remap and flush buffered tuples to the new owner.
         // `remap_and_release` yields per-pid lists in arrival order, so
         // the batched flush is a stable reordering by pid — identical
@@ -661,24 +1090,108 @@ impl SimDriver {
                 }
             }
         }
-        self.record_step(t.round, 7, t.sender, t.receiver, &parts, 0, buffered as u64);
+        self.record_step(round, 7, sender, receiver, &parts, 0, buffered as u64);
         self.journal.sub_buffered_in_flight(buffered as u64);
         self.journal.add_replayed_in_order(buffered as u64);
         self.journal
             .add_watermark_held_ms(self.now.as_millis().saturating_sub(held_since.as_millis()));
-        // Step 8: resume.
-        self.engines[t.sender.index()].set_mode(dcape_engine::controller::Mode::Normal);
-        self.engines[t.receiver.index()].set_mode(dcape_engine::controller::Mode::Normal);
-        self.record_step(t.round, 8, t.sender, t.receiver, &[], 0, 0);
+        // Step 8: resume; the round commits on both ends (the sender
+        // drops its retained copy, the receiver's installation becomes
+        // permanent, late messages for this round turn stale).
+        self.engines[sender.index()].commit_outbound(round);
+        self.engines[receiver.index()].commit_inbound(round);
+        self.engines[sender.index()].set_mode(Mode::Normal);
+        self.engines[receiver.index()].set_mode(Mode::Normal);
+        self.record_step(round, 8, sender, receiver, &[], 0, 0);
+        // Copies of this round still in flight are moot: the receiver
+        // would treat them as duplicates anyway; drop them to keep the
+        // in-flight set small.
+        self.in_flight.retain(|t| t.round != round);
         self.relocations.push(RelocationEvent {
             at: self.now,
-            sender: t.sender,
-            receiver: t.receiver,
-            parts: t.parts.len(),
-            bytes: t.bytes,
+            sender,
+            receiver,
+            parts: parts.len(),
+            bytes,
             buffered_tuples: buffered,
         });
         Ok(())
+    }
+
+    /// Retries exhausted: unwind the round. The sender reinstalls its
+    /// retained outbound copy, the receiver discards any uncommitted
+    /// installation, the paused partitions release **without** an owner
+    /// change (their buffered tuples replay to the original owner), and
+    /// the held purge watermark is freed.
+    fn abort_round(
+        &mut self,
+        round: u64,
+        sender: EngineId,
+        receiver: EngineId,
+        parts: &[PartitionId],
+        held_since: Option<VirtualTime>,
+    ) -> Result<()> {
+        self.in_flight.retain(|t| t.round != round);
+        self.engines[receiver.index()].abort_inbound(round)?;
+        self.engines[receiver.index()].set_mode(Mode::Normal);
+        let reinstalled = self.engines[sender.index()].abort_outbound(round)?;
+        self.engines[sender.index()].set_mode(Mode::Normal);
+        self.warn("round_unwound", sender, round, reinstalled as u64);
+        if !parts.is_empty() {
+            let released = self.placement.release_paused(parts)?;
+            let mut buffered = 0usize;
+            if self.cfg.batch {
+                let mut flush = TupleBatch::new();
+                for (pid, tuples) in released {
+                    buffered += tuples.len();
+                    for tuple in tuples {
+                        flush.push(pid, tuple);
+                    }
+                }
+                if !flush.is_empty() {
+                    self.engines[sender.index()].process_batch(flush, &mut self.sink)?;
+                }
+            } else {
+                for (pid, tuples) in released {
+                    buffered += tuples.len();
+                    for tuple in tuples {
+                        self.engines[sender.index()].process(pid, tuple, &mut self.sink)?;
+                    }
+                }
+            }
+            self.journal.sub_buffered_in_flight(buffered as u64);
+            self.journal.add_replayed_in_order(buffered as u64);
+            if let Some(held) = held_since {
+                self.journal
+                    .add_watermark_held_ms(self.now.as_millis().saturating_sub(held.as_millis()));
+            }
+            self.journal.add_watermark_released_on_abort(1);
+        }
+        Ok(())
+    }
+
+    fn evaluate_coordinator(&mut self) -> Result<()> {
+        let reports: Vec<_> = self
+            .engines
+            .iter_mut()
+            .map(|e| e.report(self.now))
+            .collect();
+        let stats = crate::stats::ClusterStats::new(reports);
+        match self.gc.evaluate(&stats, self.now)? {
+            Decision::None => Ok(()),
+            Decision::ForceSpill { engine, amount } => {
+                self.engines[engine.index()].force_spill(amount, self.now)?;
+                Ok(())
+            }
+            Decision::Relocate { sender, .. } => {
+                // Step 1: Cptv toward the sender, across the (possibly
+                // faulty) control channel.
+                let (round, s, _r, amount) =
+                    self.gc.active_round_info().expect("relocation just opened");
+                debug_assert_eq!(s, sender);
+                self.send_cptv(round, sender, amount, 0)
+            }
+        }
     }
 
     fn sample_series(&mut self) {
@@ -693,12 +1206,44 @@ impl SimDriver {
         }
     }
 
-    /// Finish the run: complete any pending transfer, then perform the
+    /// Advance virtual time through whatever the protocol still has in
+    /// flight — pending transfers, delayed messages, retry ladders —
+    /// until every relocation round has committed or aborted. Bounded:
+    /// each pass either delivers an event or fires a deadline, and the
+    /// retry ladder is finite.
+    fn drain_protocol(&mut self) -> Result<()> {
+        let mut passes = 0u32;
+        while !self.in_flight.is_empty() || !self.pending.is_empty() || self.gc.relocation_active()
+        {
+            passes += 1;
+            if passes > 100_000 {
+                return Err(DcapeError::protocol(
+                    "relocation protocol failed to quiesce at finish",
+                ));
+            }
+            let next = self
+                .in_flight
+                .iter()
+                .map(|t| t.complete_at)
+                .chain(self.pending.iter().map(|(due, _)| *due))
+                .chain(self.gc.phase_deadline())
+                .min();
+            let Some(next) = next else {
+                // A round is open but nothing can ever advance it (no
+                // retry policy and nothing in flight) — the pre-chaos
+                // degenerate case; leave it open.
+                break;
+            };
+            self.now = self.now.max(next);
+            self.pump_protocol()?;
+        }
+        Ok(())
+    }
+
+    /// Finish the run: drain the relocation protocol, then perform the
     /// cluster-wide cleanup phase and assemble the report.
     pub fn finish(mut self) -> Result<SimReport> {
-        if self.in_flight.is_some() {
-            self.complete_transfer()?;
-        }
+        self.drain_protocol()?;
         self.sample_series();
         self.mirror_engine_spills();
         let runtime_output = self.sink.count;
@@ -730,6 +1275,26 @@ impl SimDriver {
             let mut segments: Vec<SpilledGroup> = Vec::new();
             let mut io_ms = 0u64;
             let mut disk_bytes = 0u64;
+            // Chaos: a stalled segment shipment slows this partition's
+            // cleanup down (stall-only edge — cleanup messages ride the
+            // reliable channel, so content is never lost).
+            let stall = self
+                .cfg
+                .faults
+                .stall_ms(FaultEdge::CleanupSegments, u64::from(pid.0), 0);
+            if stall > 0 {
+                self.journal.add_faults_injected(1);
+                self.journal.record(
+                    self.now,
+                    AdaptEvent::FaultInjected {
+                        fault: "stall",
+                        edge: FaultEdge::CleanupSegments.name(),
+                        round: u64::from(pid.0),
+                        attempt: 0,
+                    },
+                );
+                io_ms += stall;
+            }
             for e in &mut self.engines {
                 for meta in e.spilled_segment_metas(pid) {
                     io_ms += cost_model.disk.io_cost(meta.state_bytes).as_millis();

@@ -22,13 +22,14 @@
 //!   the max — T-cleanup-2's comparison).
 
 use std::thread;
+use std::time::Duration;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 
 use dcape_common::batch::TupleBatch;
 use dcape_common::error::{DcapeError, Result};
 use dcape_common::ids::{EngineId, PartitionId};
-use dcape_common::time::{PeriodicTimer, VirtualTime};
+use dcape_common::time::{PeriodicTimer, VirtualDuration, VirtualTime};
 use dcape_engine::controller::Mode;
 use dcape_engine::engine::QueryEngine;
 use dcape_engine::probe::ProbeSpans;
@@ -38,13 +39,46 @@ use dcape_metrics::journal::{
 };
 use dcape_streamgen::StreamSetGenerator;
 
-use crate::coordinator::GlobalCoordinator;
+use crate::coordinator::{GlobalCoordinator, RetryPolicy, TimeoutAction};
+use crate::faults::{FaultDecision, FaultEdge, FaultPlan};
 use crate::messages::{FromEngine, GroupTransfer, ToEngine};
 use crate::placement::{PlacementMap, Route};
 use crate::relocation::Action;
 use crate::runtime::sim::SimConfig;
 use crate::stats::ClusterStats;
 use crate::strategy::Decision;
+
+/// Driver-held control messages the chaos layer delayed (`Cptv`,
+/// `SendStates`); released into the channels once the virtual clock
+/// passes the due time.
+type HeldSends = Vec<(VirtualTime, EngineId, ToEngine)>;
+
+/// Consult the fault plan for one message edge, journaling any injected
+/// fault (shared by the driver thread and the engine threads — both
+/// count into `faults_injected`, folded together at shutdown).
+fn edge_decision(
+    plan: &FaultPlan,
+    journal: &JournalHandle,
+    now: VirtualTime,
+    edge: FaultEdge,
+    round: u64,
+    attempt: u32,
+) -> FaultDecision {
+    let decision = plan.decide(edge, round, attempt);
+    if let Some(fault) = decision.fault_name() {
+        journal.add_faults_injected(1);
+        journal.record(
+            now,
+            AdaptEvent::FaultInjected {
+                fault,
+                edge: edge.name(),
+                round,
+                attempt,
+            },
+        );
+    }
+    decision
+}
 
 /// Outcome of one threaded run.
 #[derive(Debug)]
@@ -100,6 +134,12 @@ pub fn run_threaded(cfg: SimConfig, deadline: VirtualTime) -> Result<ThreadedRep
     } else {
         JournalHandle::disabled()
     };
+    // An active fault plan arms bounded patience — otherwise a single
+    // dropped protocol message would wedge the quiesce loop forever.
+    if cfg.faults.is_active() {
+        gc.set_retry_policy(RetryPolicy::default());
+    }
+    let mut held_sends: HeldSends = Vec::new();
 
     // Channel fabric.
     let mut to_engines: Vec<Sender<ToEngine>> = Vec::with_capacity(cfg.num_engines);
@@ -120,11 +160,21 @@ pub fn run_threaded(cfg: SimConfig, deadline: VirtualTime) -> Result<ThreadedRep
         let peers = to_engines.clone();
         let journal_on = cfg.journal;
         let count_first = cfg.count_first;
+        let plan = cfg.faults;
         handles.push(
             thread::Builder::new()
                 .name(format!("dcape-qe{i}"))
                 .spawn(move || {
-                    engine_main(id, engine_cfg, rx, to_gc, peers, journal_on, count_first)
+                    engine_main(
+                        id,
+                        engine_cfg,
+                        rx,
+                        to_gc,
+                        peers,
+                        journal_on,
+                        count_first,
+                        plan,
+                    )
                 })
                 .expect("spawn engine thread"),
         );
@@ -267,7 +317,31 @@ pub fn run_threaded(cfg: SimConfig, deadline: VirtualTime) -> Result<ThreadedRep
                 now,
                 split.admitted_watermark(),
                 cfg.batch,
+                &cfg.faults,
+                &mut held_sends,
             )?;
+        }
+
+        // Chaos: release driver-held delayed control messages whose due
+        // time passed, and poll the coordinator's phase deadline
+        // (bounded retry, then abort).
+        if cfg.faults.is_active() {
+            release_due(&mut held_sends, now, &to_engines)?;
+            while let Some(action) = gc.check_timeout(now) {
+                if cfg.batch {
+                    flush_pending(&mut engine_batches, &to_engines, &mut pending_ticks)?;
+                }
+                handle_timeout_action(
+                    action,
+                    &mut placement,
+                    &to_engines,
+                    &journal,
+                    now,
+                    cfg.batch,
+                    &cfg.faults,
+                    &mut held_sends,
+                )?;
+            }
         }
     }
 
@@ -277,25 +351,62 @@ pub fn run_threaded(cfg: SimConfig, deadline: VirtualTime) -> Result<ThreadedRep
         flush_pending(&mut engine_batches, &to_engines, &mut pending_ticks)?;
     }
 
-    // Quiesce: finish any in-flight relocation before shutdown so no
-    // state is lost mid-transfer.
-    while gc.relocation_active() || awaiting_stats {
-        let msg = from_engines
-            .recv()
-            .map_err(|_| DcapeError::Disconnected("engines hung up".into()))?;
-        handle_coordinator_msg(
-            msg,
-            &mut gc,
-            &mut placement,
-            &to_engines,
-            &mut pending_stats,
-            &mut awaiting_stats,
-            &mut relocations,
-            &journal,
-            deadline,
-            split.admitted_watermark(),
-            cfg.batch,
-        )?;
+    // Quiesce: finish (or abort) any in-flight relocation before
+    // shutdown so no state is lost mid-transfer. Under chaos, messages
+    // may be lost — a blocking receive could wait forever — so the loop
+    // advances a virtual clock on receive timeouts: phase deadlines
+    // fire (retry, then abort) and engine-held delayed messages release
+    // on the ticks we keep sending.
+    let mut vnow = deadline;
+    while gc.relocation_active() || awaiting_stats || !held_sends.is_empty() {
+        release_due(&mut held_sends, vnow, &to_engines)?;
+        match from_engines.recv_timeout(Duration::from_millis(5)) {
+            Ok(msg) => handle_coordinator_msg(
+                msg,
+                &mut gc,
+                &mut placement,
+                &to_engines,
+                &mut pending_stats,
+                &mut awaiting_stats,
+                &mut relocations,
+                &journal,
+                vnow,
+                split.admitted_watermark(),
+                cfg.batch,
+                &cfg.faults,
+                &mut held_sends,
+            )?,
+            Err(RecvTimeoutError::Timeout) => {
+                vnow += VirtualDuration::from_millis(200);
+                while let Some(action) = gc.check_timeout(vnow) {
+                    handle_timeout_action(
+                        action,
+                        &mut placement,
+                        &to_engines,
+                        &journal,
+                        vnow,
+                        cfg.batch,
+                        &cfg.faults,
+                        &mut held_sends,
+                    )?;
+                }
+                // Keep ticking so engines release their own held
+                // messages; the horizon honours anything still
+                // buffered at a paused split.
+                let watermark = split.admitted_watermark();
+                let horizon = placement.purge_horizon(watermark);
+                for i in 0..cfg.num_engines {
+                    send_to(
+                        &to_engines,
+                        EngineId(i as u16),
+                        ToEngine::Tick { now: vnow, horizon },
+                    )?;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                return Err(DcapeError::Disconnected("engines hung up".into()))
+            }
+        }
     }
 
     // Flush any tuples still buffered (there should be none once no
@@ -324,6 +435,31 @@ pub fn run_threaded(cfg: SimConfig, deadline: VirtualTime) -> Result<ThreadedRep
             .map_err(|_| DcapeError::Disconnected("engines hung up during cleanup".into()))?
         {
             FromEngine::CleanupReady { .. } => ready += 1,
+            // Chaos stragglers: a duplicated or delayed protocol message
+            // can still be queued when quiesce exits (the loop stops the
+            // moment no round is active, which is exactly when a second
+            // copy of the closing ack becomes redundant). No round can be
+            // live here, so these are stale by construction — journal and
+            // skip, consistent with the runtimes' stale-message handling.
+            FromEngine::Ptv { round, engine, .. } => journal.record(
+                vnow,
+                AdaptEvent::ProtocolWarning {
+                    code: "stale_ptv_after_quiesce",
+                    engine,
+                    round,
+                    detail: 2,
+                },
+            ),
+            FromEngine::TransferAck { round, engine, .. } => journal.record(
+                vnow,
+                AdaptEvent::ProtocolWarning {
+                    code: "stale_ack_after_quiesce",
+                    engine,
+                    round,
+                    detail: 6,
+                },
+            ),
+            FromEngine::Stats(_) => {}
             other => {
                 return Err(DcapeError::protocol(format!(
                     "unexpected message during cleanup prepare: {other:?}"
@@ -368,10 +504,17 @@ pub fn run_threaded(cfg: SimConfig, deadline: VirtualTime) -> Result<ThreadedRep
                 engine_journals.push(engine_journal);
                 // Spills happen engine-side here (unlike the sim's
                 // mirror); fold the engines' I/O volumes and ring
-                // accounting into the cluster-wide totals.
+                // accounting into the cluster-wide totals. The chaos
+                // counters fold too: engines inject faults on the
+                // edges they send (Ptv, InstallStates, TransferAck).
                 journal_counters.spill_bytes += engine_counters.spill_bytes;
                 journal_counters.events_recorded += engine_counters.events_recorded;
                 journal_counters.events_dropped += engine_counters.events_dropped;
+                journal_counters.faults_injected += engine_counters.faults_injected;
+                journal_counters.msgs_retried += engine_counters.msgs_retried;
+                journal_counters.rounds_aborted += engine_counters.rounds_aborted;
+                journal_counters.watermark_released_on_abort +=
+                    engine_counters.watermark_released_on_abort;
                 remaining -= 1;
             }
             other => {
@@ -408,6 +551,188 @@ pub fn run_threaded(cfg: SimConfig, deadline: VirtualTime) -> Result<ThreadedRep
     })
 }
 
+/// Release driver-held delayed control messages whose due time passed
+/// (insertion order among equal due times — FIFO per channel does the
+/// rest).
+fn release_due(
+    held: &mut HeldSends,
+    now: VirtualTime,
+    to_engines: &[Sender<ToEngine>],
+) -> Result<()> {
+    while let Some(idx) = held
+        .iter()
+        .enumerate()
+        .filter(|(_, (due, _, _))| now >= *due)
+        .min_by_key(|(i, (due, _, _))| (*due, *i))
+        .map(|(i, _)| i)
+    {
+        let (_, engine, msg) = held.remove(idx);
+        to_engines[engine.index()]
+            .send(msg)
+            .map_err(|_| DcapeError::Disconnected(format!("engine {engine} channel closed")))?;
+    }
+    Ok(())
+}
+
+/// Put a coordinator-originated control message (`Cptv`, `SendStates`)
+/// on the wire through the fault plan: deliver, drop, duplicate, delay
+/// or garble it per the seeded schedule.
+#[allow(clippy::too_many_arguments)]
+fn chaos_send(
+    plan: &FaultPlan,
+    journal: &JournalHandle,
+    now: VirtualTime,
+    edge: FaultEdge,
+    round: u64,
+    attempt: u32,
+    target: EngineId,
+    make: impl Fn() -> ToEngine,
+    to_engines: &[Sender<ToEngine>],
+    held: &mut HeldSends,
+) -> Result<()> {
+    let send = |m: ToEngine| -> Result<()> {
+        to_engines[target.index()]
+            .send(m)
+            .map_err(|_| DcapeError::Disconnected(format!("engine {target} channel closed")))
+    };
+    match edge_decision(plan, journal, now, edge, round, attempt) {
+        FaultDecision::Deliver => send(make()),
+        // A garbled control message is discarded on receipt — same
+        // outcome as a drop; the phase timeout re-sends it.
+        FaultDecision::Drop | FaultDecision::CorruptLength => Ok(()),
+        FaultDecision::Duplicate => {
+            send(make())?;
+            send(make())
+        }
+        FaultDecision::Delay(ms) => {
+            held.push((now + VirtualDuration::from_millis(ms), target, make()));
+            Ok(())
+        }
+    }
+}
+
+/// Execute a phase-timeout recovery decision: re-send the phase's
+/// message (again through the fault plan — a retry can be unlucky
+/// twice) or unwind the round.
+#[allow(clippy::too_many_arguments)]
+fn handle_timeout_action(
+    action: TimeoutAction,
+    placement: &mut PlacementMap,
+    to_engines: &[Sender<ToEngine>],
+    journal: &JournalHandle,
+    now: VirtualTime,
+    batch_mode: bool,
+    plan: &FaultPlan,
+    held: &mut HeldSends,
+) -> Result<()> {
+    let send = |e: EngineId, m: ToEngine| -> Result<()> {
+        to_engines[e.index()]
+            .send(m)
+            .map_err(|_| DcapeError::Disconnected(format!("engine {e} channel closed")))
+    };
+    match action {
+        TimeoutAction::RetryCptv {
+            round,
+            sender,
+            amount,
+            attempt,
+        } => chaos_send(
+            plan,
+            journal,
+            now,
+            FaultEdge::Cptv,
+            round,
+            attempt,
+            sender,
+            || ToEngine::Cptv {
+                round,
+                amount,
+                attempt,
+            },
+            to_engines,
+            held,
+        ),
+        TimeoutAction::RetrySendStates {
+            round,
+            sender,
+            receiver,
+            parts,
+            attempt,
+        } => chaos_send(
+            plan,
+            journal,
+            now,
+            FaultEdge::SendStates,
+            round,
+            attempt,
+            sender,
+            || ToEngine::SendStates {
+                round,
+                parts: parts.clone(),
+                receiver,
+                attempt,
+            },
+            to_engines,
+            held,
+        ),
+        TimeoutAction::AbortRound {
+            round,
+            sender,
+            receiver,
+            parts,
+            held_since,
+        } => {
+            // Any delayed copies of this round's control messages are
+            // moot — the engines treat them as stale if they do land,
+            // but don't even bother releasing them.
+            held.retain(|(_, _, m)| {
+                !matches!(m,
+                    ToEngine::Cptv { round: r, .. } | ToEngine::SendStates { round: r, .. }
+                    if *r == round)
+            });
+            // Abort notifications ride the reliable channel (an abort
+            // that can be lost is not an abort protocol). FIFO order:
+            // the sender reinstalls its retained copy before any
+            // replayed tuple reaches it.
+            send(receiver, ToEngine::AbortRound { round })?;
+            send(sender, ToEngine::AbortRound { round })?;
+            if !parts.is_empty() {
+                // Release without remapping: ownership never changed,
+                // so the buffered tuples replay to the original owner.
+                let released = placement.release_paused(&parts)?;
+                let mut buffered = 0u64;
+                if batch_mode {
+                    let mut flush = TupleBatch::new();
+                    for (pid, tuples) in released {
+                        buffered += tuples.len() as u64;
+                        for tuple in tuples {
+                            flush.push(pid, tuple);
+                        }
+                    }
+                    if !flush.is_empty() {
+                        send(sender, ToEngine::DataBatch { tuples: flush })?;
+                    }
+                } else {
+                    for (pid, tuples) in released {
+                        buffered += tuples.len() as u64;
+                        for tuple in tuples {
+                            send(sender, ToEngine::Data { pid, tuple })?;
+                        }
+                    }
+                }
+                journal.sub_buffered_in_flight(buffered);
+                journal.add_replayed_in_order(buffered);
+                if let Some(held_at) = held_since {
+                    journal
+                        .add_watermark_held_ms(now.as_millis().saturating_sub(held_at.as_millis()));
+                }
+                journal.add_watermark_released_on_abort(1);
+            }
+            Ok(())
+        }
+    }
+}
+
 /// Coordinator-side message handling (shared by the run loop and the
 /// quiesce loop).
 #[allow(clippy::too_many_arguments)]
@@ -423,6 +748,8 @@ fn handle_coordinator_msg(
     now: VirtualTime,
     watermark: VirtualTime,
     batch_mode: bool,
+    plan: &FaultPlan,
+    held: &mut HeldSends,
 ) -> Result<()> {
     let send = |e: EngineId, m: ToEngine| -> Result<()> {
         to_engines[e.index()]
@@ -445,7 +772,22 @@ fn handle_coordinator_msg(
                         let (round, s, _r, amount) =
                             gc.active_round_info().expect("round just opened");
                         debug_assert_eq!(s, sender);
-                        send(sender, ToEngine::Cptv { round, amount })?;
+                        chaos_send(
+                            plan,
+                            journal,
+                            now,
+                            FaultEdge::Cptv,
+                            round,
+                            0,
+                            sender,
+                            || ToEngine::Cptv {
+                                round,
+                                amount,
+                                attempt: 0,
+                            },
+                            to_engines,
+                            held,
+                        )?;
                     }
                 }
             }
@@ -456,14 +798,25 @@ fn handle_coordinator_msg(
             engine,
             parts,
         } => match gc.on_ptv(engine, round, parts, now)? {
+            // Stale or duplicated Ptv: already journaled. If its round
+            // is gone and the engine is not the sender of a live one, a
+            // Resume stops it idling in relocation mode after a late
+            // Cptv re-entered it.
+            None => {
+                let active_sender = gc.active_round_info().map(|(_, s, _, _)| s);
+                if active_sender != Some(engine) {
+                    send(engine, ToEngine::Resume { round, watermark })?;
+                }
+                Ok(())
+            }
             // Aborted rounds paused nothing, so the full admitted
             // watermark is already safe to release.
-            Action::Abort => send(engine, ToEngine::Resume { round, watermark }),
-            Action::PauseAndTransfer {
+            Some(Action::Abort) => send(engine, ToEngine::Resume { round, watermark }),
+            Some(Action::PauseAndTransfer {
                 parts,
                 sender,
                 receiver,
-            } => {
+            }) => {
                 placement.pause(&parts)?;
                 journal.record(
                     now,
@@ -478,16 +831,28 @@ fn handle_coordinator_msg(
                         load_ratio: 0.0,
                     },
                 );
-                send(
+                let attempt = gc.current_attempt();
+                chaos_send(
+                    plan,
+                    journal,
+                    now,
+                    FaultEdge::SendStates,
+                    round,
+                    attempt,
                     sender,
-                    ToEngine::SendStates {
+                    || ToEngine::SendStates {
                         round,
-                        parts,
+                        parts: parts.clone(),
                         receiver,
+                        attempt,
                     },
+                    to_engines,
+                    held,
                 )
             }
-            Action::RemapAndResume { .. } => Err(DcapeError::protocol("remap action out of order")),
+            Some(Action::RemapAndResume { .. }) => {
+                Err(DcapeError::protocol("remap action out of order"))
+            }
         },
         FromEngine::TransferAck {
             round,
@@ -496,13 +861,16 @@ fn handle_coordinator_msg(
         } => {
             // Capture the pair before the ack closes the round.
             let sender = gc.active_round_info().map(|(_, s, ..)| s).unwrap_or(engine);
-            journal.add_relocation_bytes(bytes);
             match gc.on_transfer_ack(engine, round, now)? {
-                Action::RemapAndResume {
+                // Stale or duplicated ack: already journaled; nothing
+                // to execute (and nothing to double-count).
+                None => Ok(()),
+                Some(Action::RemapAndResume {
                     parts,
                     receiver,
                     held_since,
-                } => {
+                }) => {
+                    journal.add_relocation_bytes(bytes);
                     // Step 7: flush the split-side buffers to the new
                     // owner — as one batch in batch mode (per-pid lists
                     // arrive in order; batching is a stable reordering).
@@ -629,6 +997,39 @@ impl ResultSink for EngineSink {
     }
 }
 
+/// An engine-held message the chaos layer delayed; released once a
+/// `Tick` advances the engine's virtual clock past the due time.
+enum Held {
+    ToGc(FromEngine),
+    ToPeer(usize, ToEngine),
+}
+
+/// Release engine-held delayed messages that are due (insertion order
+/// among equal due times).
+fn release_engine_held(
+    held: &mut Vec<(VirtualTime, Held)>,
+    now: VirtualTime,
+    to_gc: &Sender<FromEngine>,
+    peers: &[Sender<ToEngine>],
+) {
+    while let Some(idx) = held
+        .iter()
+        .enumerate()
+        .filter(|(_, (due, _))| now >= *due)
+        .min_by_key(|(i, (due, _))| (*due, *i))
+        .map(|(i, _)| i)
+    {
+        match held.remove(idx).1 {
+            Held::ToGc(m) => {
+                let _ = to_gc.send(m);
+            }
+            Held::ToPeer(target, m) => {
+                let _ = peers[target].send(m);
+            }
+        }
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn engine_main(
     id: EngineId,
@@ -638,6 +1039,7 @@ fn engine_main(
     peers: Vec<Sender<ToEngine>>,
     journal_on: bool,
     count_first: bool,
+    plan: FaultPlan,
 ) {
     let mut qe = match QueryEngine::in_memory(id, cfg) {
         Ok(qe) => qe,
@@ -648,6 +1050,7 @@ fn engine_main(
     }
     let mut sink = EngineSink::new(count_first);
     let mut last_now = VirtualTime::ZERO;
+    let mut held: Vec<(VirtualTime, Held)> = Vec::new();
     for msg in rx.iter() {
         let result: Result<bool> = (|| {
             match msg {
@@ -659,6 +1062,7 @@ fn engine_main(
                 }
                 ToEngine::Tick { now, horizon } => {
                     last_now = now;
+                    release_engine_held(&mut held, now, &to_gc, &peers);
                     qe.tick_with_horizon(now, horizon)?;
                 }
                 ToEngine::ReportStats { now } => {
@@ -666,85 +1070,308 @@ fn engine_main(
                     let report = qe.report(now);
                     let _ = to_gc.send(FromEngine::Stats(report));
                 }
-                ToEngine::Cptv { round, amount } => {
-                    qe.set_mode(Mode::Relocation);
-                    let parts = qe.select_parts_to_move(amount);
-                    let _ = to_gc.send(FromEngine::Ptv {
-                        round,
-                        engine: id,
-                        parts,
-                    });
+                ToEngine::Cptv {
+                    round,
+                    amount,
+                    attempt,
+                } => {
+                    if qe.is_stale_round(round) {
+                        qe.journal().record(
+                            last_now,
+                            AdaptEvent::ProtocolWarning {
+                                code: "stale_cptv",
+                                engine: id,
+                                round,
+                                detail: 1,
+                            },
+                        );
+                    } else {
+                        qe.set_mode(Mode::Relocation);
+                        let parts = qe.select_parts_to_move(amount);
+                        // Step 2 rides the faultable Ptv edge: the
+                        // coordinator's phase timeout covers a lost
+                        // reply by re-issuing Cptv with a new attempt.
+                        match edge_decision(
+                            &plan,
+                            qe.journal(),
+                            last_now,
+                            FaultEdge::Ptv,
+                            round,
+                            attempt,
+                        ) {
+                            FaultDecision::Deliver => {
+                                let _ = to_gc.send(FromEngine::Ptv {
+                                    round,
+                                    engine: id,
+                                    parts,
+                                });
+                            }
+                            FaultDecision::Drop | FaultDecision::CorruptLength => {}
+                            FaultDecision::Duplicate => {
+                                let _ = to_gc.send(FromEngine::Ptv {
+                                    round,
+                                    engine: id,
+                                    parts: parts.clone(),
+                                });
+                                let _ = to_gc.send(FromEngine::Ptv {
+                                    round,
+                                    engine: id,
+                                    parts,
+                                });
+                            }
+                            FaultDecision::Delay(ms) => held.push((
+                                last_now + VirtualDuration::from_millis(ms),
+                                Held::ToGc(FromEngine::Ptv {
+                                    round,
+                                    engine: id,
+                                    parts,
+                                }),
+                            )),
+                        }
+                    }
                 }
                 ToEngine::SendStates {
                     round,
                     parts,
                     receiver,
+                    attempt,
                 } => {
-                    let groups: Vec<GroupTransfer> = qe
-                        .extract_groups(&parts)
-                        .into_iter()
-                        .map(|(snapshot, output_count, purge_protect)| GroupTransfer {
-                            snapshot,
-                            output_count,
-                            purge_protect,
-                        })
-                        .collect();
-                    let bytes: u64 = groups.iter().map(|g| g.snapshot.state_bytes() as u64).sum();
-                    qe.journal().record(
+                    if qe.is_stale_round(round) {
+                        qe.journal().record(
+                            last_now,
+                            AdaptEvent::ProtocolWarning {
+                                code: "stale_send_states",
+                                engine: id,
+                                round,
+                                detail: 4,
+                            },
+                        );
+                        return Ok(true);
+                    }
+                    let fresh = !qe.outbound_pending(round);
+                    let groups_raw = qe.begin_outbound(round, &parts);
+                    let bytes: u64 = groups_raw
+                        .iter()
+                        .map(|(g, _, _)| g.state_bytes() as u64)
+                        .sum();
+                    if fresh {
+                        // Journal the extraction once; retries re-ship
+                        // the retained copy and must not inflate the
+                        // relocation volume.
+                        qe.journal().record(
+                            last_now,
+                            AdaptEvent::RelocationStep {
+                                round,
+                                step: 4,
+                                sender: id,
+                                receiver,
+                                parts: parts.clone(),
+                                bytes,
+                                buffered_tuples: 0,
+                                load_ratio: 0.0,
+                            },
+                        );
+                        qe.journal().add_relocation_bytes(bytes);
+                    }
+                    // A stall keeps the transfer from landing for a
+                    // while; a delay fault adds on top of it.
+                    let mut declared_bytes = bytes;
+                    let mut delay_ms = plan.stall_ms(FaultEdge::InstallStates, round, attempt);
+                    if delay_ms > 0 {
+                        qe.journal().add_faults_injected(1);
+                        qe.journal().record(
+                            last_now,
+                            AdaptEvent::FaultInjected {
+                                fault: "stall",
+                                edge: FaultEdge::InstallStates.name(),
+                                round,
+                                attempt,
+                            },
+                        );
+                    }
+                    let mut copies = 1u32;
+                    match edge_decision(
+                        &plan,
+                        qe.journal(),
                         last_now,
-                        AdaptEvent::RelocationStep {
-                            round,
-                            step: 4,
-                            sender: id,
-                            receiver,
-                            parts: parts.clone(),
-                            bytes,
-                            buffered_tuples: 0,
-                            load_ratio: 0.0,
-                        },
-                    );
-                    qe.journal().add_relocation_bytes(bytes);
-                    let _ = peers[receiver.index()].send(ToEngine::InstallStates {
+                        FaultEdge::InstallStates,
                         round,
-                        sender: id,
-                        groups,
-                    });
+                        attempt,
+                    ) {
+                        FaultDecision::Deliver => {}
+                        FaultDecision::Drop => copies = 0,
+                        FaultDecision::CorruptLength => {
+                            declared_bytes = FaultPlan::corrupt_length(bytes);
+                        }
+                        FaultDecision::Delay(ms) => delay_ms += ms,
+                        FaultDecision::Duplicate => copies = 2,
+                    }
+                    for _ in 0..copies {
+                        let groups: Vec<GroupTransfer> = groups_raw
+                            .iter()
+                            .cloned()
+                            .map(|(snapshot, output_count, purge_protect)| GroupTransfer {
+                                snapshot,
+                                output_count,
+                                purge_protect,
+                            })
+                            .collect();
+                        let m = ToEngine::InstallStates {
+                            round,
+                            sender: id,
+                            groups,
+                            attempt,
+                            declared_bytes,
+                        };
+                        if delay_ms > 0 {
+                            held.push((
+                                last_now + VirtualDuration::from_millis(delay_ms),
+                                Held::ToPeer(receiver.index(), m),
+                            ));
+                        } else {
+                            let _ = peers[receiver.index()].send(m);
+                        }
+                    }
                 }
                 ToEngine::InstallStates {
                     round,
                     sender,
                     groups,
+                    attempt,
+                    declared_bytes,
                 } => {
-                    qe.set_mode(Mode::Relocation);
                     let bytes: u64 = groups.iter().map(|g| g.snapshot.state_bytes() as u64).sum();
+                    // Corrupt-length detection: recompute the payload
+                    // size, discard on mismatch and send no ack — the
+                    // sender's phase timeout re-sends the transfer.
+                    if declared_bytes != bytes {
+                        qe.journal().record(
+                            last_now,
+                            AdaptEvent::ProtocolWarning {
+                                code: "corrupt_transfer_discarded",
+                                engine: id,
+                                round,
+                                detail: declared_bytes,
+                            },
+                        );
+                        return Ok(true);
+                    }
+                    if plan.crash_during_install(round, attempt) {
+                        qe.journal().add_faults_injected(1);
+                        qe.journal().record(
+                            last_now,
+                            AdaptEvent::FaultInjected {
+                                fault: "crash_restart",
+                                edge: FaultEdge::InstallStates.name(),
+                                round,
+                                attempt,
+                            },
+                        );
+                        qe.crash_restart()?;
+                        return Ok(true);
+                    }
+                    qe.set_mode(Mode::Relocation);
                     let parts: Vec<PartitionId> =
                         groups.iter().map(|g| g.snapshot.partition).collect();
-                    qe.install_groups(
+                    let installed = qe.install_groups_for_round(
+                        round,
                         groups
                             .into_iter()
                             .map(|g| (g.snapshot, g.output_count, g.purge_protect))
                             .collect(),
                     )?;
+                    if installed {
+                        qe.journal().record(
+                            last_now,
+                            AdaptEvent::RelocationStep {
+                                round,
+                                step: 5,
+                                sender,
+                                receiver: id,
+                                parts,
+                                bytes,
+                                buffered_tuples: 0,
+                                load_ratio: 0.0,
+                            },
+                        );
+                    } else {
+                        // Duplicate (or stale) install: a no-op, but
+                        // the ack must still go out — the first one
+                        // may have been lost.
+                        qe.journal().record(
+                            last_now,
+                            AdaptEvent::ProtocolWarning {
+                                code: "duplicate_install",
+                                engine: id,
+                                round,
+                                detail: 5,
+                            },
+                        );
+                        if qe.is_stale_round(round) {
+                            qe.set_mode(Mode::Normal);
+                        }
+                    }
+                    match edge_decision(
+                        &plan,
+                        qe.journal(),
+                        last_now,
+                        FaultEdge::TransferAck,
+                        round,
+                        attempt,
+                    ) {
+                        FaultDecision::Deliver => {
+                            let _ = to_gc.send(FromEngine::TransferAck {
+                                round,
+                                engine: id,
+                                bytes,
+                            });
+                        }
+                        FaultDecision::Drop | FaultDecision::CorruptLength => {}
+                        FaultDecision::Duplicate => {
+                            for _ in 0..2 {
+                                let _ = to_gc.send(FromEngine::TransferAck {
+                                    round,
+                                    engine: id,
+                                    bytes,
+                                });
+                            }
+                        }
+                        FaultDecision::Delay(ms) => held.push((
+                            last_now + VirtualDuration::from_millis(ms),
+                            Held::ToGc(FromEngine::TransferAck {
+                                round,
+                                engine: id,
+                                bytes,
+                            }),
+                        )),
+                    }
+                }
+                ToEngine::AbortRound { round } => {
+                    // Retries exhausted: unwind whichever side of the
+                    // round this engine played. The sender reinstalls
+                    // its retained copy (this message precedes any
+                    // replayed tuples on the same FIFO channel); the
+                    // receiver discards the uncommitted installation.
+                    let discarded = qe.abort_inbound(round)?;
+                    let reinstalled = qe.abort_outbound(round)?;
                     qe.journal().record(
                         last_now,
-                        AdaptEvent::RelocationStep {
+                        AdaptEvent::ProtocolWarning {
+                            code: "round_unwound",
+                            engine: id,
                             round,
-                            step: 5,
-                            sender,
-                            receiver: id,
-                            parts,
-                            bytes,
-                            buffered_tuples: 0,
-                            load_ratio: 0.0,
+                            detail: (discarded + reinstalled) as u64,
                         },
                     );
-                    let _ = to_gc.send(FromEngine::TransferAck {
-                        round,
-                        engine: id,
-                        bytes,
-                    });
+                    qe.set_mode(Mode::Normal);
                 }
-                ToEngine::Resume { watermark, .. } => {
+                ToEngine::Resume { round, watermark } => {
+                    // The round completed: the sender drops its
+                    // retained copy, the receiver makes the
+                    // installation permanent, and both close the round
+                    // so stragglers become stale no-ops.
+                    qe.commit_outbound(round);
+                    qe.commit_inbound(round);
                     qe.set_mode(Mode::Normal);
                     // Catch-up purge: the round's replay (if any) sits
                     // earlier in this FIFO inbox, so it has been

@@ -5,11 +5,16 @@
 
 use proptest::prelude::*;
 
+use dcape_cluster::faults::{FaultConfig, FaultPlan};
 use dcape_cluster::placement::{PlacementMap, PlacementSpec, Route};
 use dcape_cluster::relocation::{Action, Phase, RelocationRound};
+use dcape_cluster::runtime::sim::{SimConfig, SimDriver};
+use dcape_cluster::strategy::StrategyConfig;
 use dcape_common::ids::{EngineId, PartitionId, StreamId};
-use dcape_common::time::VirtualTime;
+use dcape_common::time::{VirtualDuration, VirtualTime};
 use dcape_common::tuple::TupleBuilder;
+use dcape_engine::config::EngineConfig;
+use dcape_streamgen::{ArrivalPattern, StreamSetSpec};
 
 /// An abstract protocol event for fuzzing.
 #[derive(Debug, Clone)]
@@ -137,5 +142,58 @@ proptest! {
             })
             .sum();
         prop_assert_eq!(delivered + released + still_buffered, routed);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 6, // each case is a full (small) chaos cluster run
+        ..ProptestConfig::default()
+    })]
+
+    /// Injected duplicates, drops, delays, corruptions, crashes and
+    /// stalls — at any rate, under any seed — must never panic the
+    /// protocol stack (errors are fine; panics are not), and whatever
+    /// survives must still produce the exact join: the driver itself
+    /// asserts per-engine accounting at shutdown, and the totals are
+    /// compared against the fault-free run of the same workload.
+    #[test]
+    fn chaos_at_any_rate_never_panics_and_keeps_totals(
+        seed in 0u64..10_000,
+        rate_pct in 0u32..101,
+    ) {
+        let rate = f64::from(rate_pct) / 100.0;
+        let group_a: Vec<PartitionId> = (0..6).map(PartitionId).collect();
+        let spec = StreamSetSpec::uniform(12, 1200, 1, VirtualDuration::from_millis(30))
+            .with_payload_pad(64)
+            .with_seed(seed)
+            .with_pattern(ArrivalPattern::AlternatingSkew {
+                group_a,
+                ratio: 10.0,
+                period: VirtualDuration::from_mins(1),
+            });
+        let deadline = VirtualTime::from_mins(3);
+        let cfg = |faults: FaultPlan| {
+            SimConfig::new(
+                2,
+                EngineConfig::three_way(1 << 30, 1 << 29),
+                spec.clone(),
+                StrategyConfig::LazyDisk {
+                    theta_r: 0.9,
+                    tau_m: VirtualDuration::from_secs(30),
+                },
+            )
+            .with_placement(PlacementSpec::Fractions(vec![0.5, 0.5]))
+            .with_stats_interval(VirtualDuration::from_secs(20))
+            .with_faults(faults)
+        };
+        let run = |faults: FaultPlan| -> u64 {
+            let mut driver = SimDriver::new(cfg(faults)).unwrap();
+            driver.run_until(deadline).unwrap();
+            driver.finish().unwrap().total_output()
+        };
+        let clean = run(FaultPlan::disabled());
+        let chaotic = run(FaultPlan::new(seed, FaultConfig::uniform(rate)));
+        prop_assert_eq!(chaotic, clean, "chaos at rate {} changed the total", rate);
     }
 }

@@ -64,6 +64,12 @@ pub struct CleanupReport {
     pub virtual_cost: VirtualDuration,
 }
 
+/// One partition group in transit during relocation: the state
+/// snapshot, its accumulated `P_output`, and whether the partition must
+/// stay purge-protected on the receiver (spill segments left behind on
+/// the sender still owe cross-slice cleanup results).
+pub type ExtractedGroup = (SpilledGroup, u64, bool);
+
 /// One machine's query engine.
 #[derive(Debug)]
 pub struct QueryEngine {
@@ -86,6 +92,17 @@ pub struct QueryEngine {
     /// cleanup results, so the window purge must skip them just as it
     /// skips locally-spilled partitions.
     purge_protect: FxHashSet<PartitionId>,
+    /// Relocation rounds below this id are closed; re-delivered protocol
+    /// messages for them are stale no-ops (chaos-layer idempotency).
+    min_live_round: u64,
+    /// Outbound relocation copy retained until the round commits, so an
+    /// abort (retries exhausted, peer dead) can reinstall the shipped
+    /// state — losing an `InstallStates` must never lose operator state.
+    pending_outbound: Option<(u64, Vec<ExtractedGroup>)>,
+    /// Uncommitted inbound installation: round id plus the partitions it
+    /// installed, so a duplicate install is detected (re-ack, no-op) and
+    /// an abort or crash can uninstall exactly what arrived.
+    inbound_round: Option<(u64, Vec<PartitionId>)>,
 }
 
 impl QueryEngine {
@@ -113,6 +130,9 @@ impl QueryEngine {
             journal: JournalHandle::disabled(),
             clock: VirtualTime::ZERO,
             purge_protect: FxHashSet::default(),
+            min_live_round: 0,
+            pending_outbound: None,
+            inbound_round: None,
         })
     }
 
@@ -341,7 +361,7 @@ impl QueryEngine {
     /// from an earlier round (protection is transitive across chained
     /// relocations). The receiver must keep such partitions out of its
     /// window purge until cleanup.
-    pub fn extract_groups(&mut self, pids: &[PartitionId]) -> Vec<(SpilledGroup, u64, bool)> {
+    pub fn extract_groups(&mut self, pids: &[PartitionId]) -> Vec<ExtractedGroup> {
         pids.iter()
             .filter_map(|pid| {
                 let (snapshot, output) = self.join.extract_group(*pid)?;
@@ -355,7 +375,7 @@ impl QueryEngine {
     /// Install relocated groups arriving from another engine. Groups
     /// flagged purge-protected (segments left behind on the sender)
     /// join this engine's protected set.
-    pub fn install_groups(&mut self, groups: Vec<(SpilledGroup, u64, bool)>) -> Result<()> {
+    pub fn install_groups(&mut self, groups: Vec<ExtractedGroup>) -> Result<()> {
         for (snapshot, output, protect) in groups {
             if protect {
                 self.purge_protect.insert(snapshot.partition);
@@ -363,6 +383,142 @@ impl QueryEngine {
             self.join.install_group(snapshot, output)?;
         }
         Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Relocation idempotency & crash recovery (chaos hardening).
+    //
+    // Every protocol step keys on a round id; a re-delivered message for
+    // a closed round is a no-op, a duplicate install for the live round
+    // re-acks without reinstalling, and an abort restores the exact
+    // pre-round state on both ends. The sender's shipped copy counts as
+    // stable (it survives a crash), the receiver's installation does not
+    // until committed.
+    // ------------------------------------------------------------------
+
+    /// Is `round` already closed on this engine? Stale (delayed or
+    /// duplicated) protocol messages for closed rounds must be ignored.
+    pub fn is_stale_round(&self, round: u64) -> bool {
+        round < self.min_live_round
+    }
+
+    /// Mark `round` closed (committed or aborted): later re-deliveries
+    /// of its messages become stale no-ops.
+    pub fn note_round_closed(&mut self, round: u64) {
+        self.min_live_round = self.min_live_round.max(round + 1);
+    }
+
+    /// Does this engine hold a retained outbound copy for `round`?
+    /// Drivers use it to journal the extraction exactly once — retries
+    /// re-ship the same copy.
+    pub fn outbound_pending(&self, round: u64) -> bool {
+        matches!(&self.pending_outbound, Some((r, _)) if *r == round)
+    }
+
+    /// Sender side of step 4: extract `pids` for shipment and retain a
+    /// copy until the round commits. Returns the groups to ship.
+    /// Re-invocations for the same round (a retried `SendStates`) re-ship
+    /// the retained copy instead of extracting again.
+    pub fn begin_outbound(&mut self, round: u64, pids: &[PartitionId]) -> Vec<ExtractedGroup> {
+        if let Some((r, groups)) = &self.pending_outbound {
+            if *r == round {
+                return groups.clone();
+            }
+        }
+        let groups = self.extract_groups(pids);
+        self.pending_outbound = Some((round, groups.clone()));
+        groups
+    }
+
+    /// Sender side of step 7/8: the round committed — drop the retained
+    /// outbound copy and close the round.
+    pub fn commit_outbound(&mut self, round: u64) {
+        if matches!(&self.pending_outbound, Some((r, _)) if *r == round) {
+            self.pending_outbound = None;
+        }
+        self.note_round_closed(round);
+    }
+
+    /// Sender side of an abort: reinstall the retained outbound copy —
+    /// the partitions never changed owner, so their state must be back
+    /// here before buffered tuples replay. Returns the number of groups
+    /// reinstalled (0 if nothing was pending for `round`).
+    pub fn abort_outbound(&mut self, round: u64) -> Result<usize> {
+        let reinstalled = match self.pending_outbound.take() {
+            Some((r, groups)) if r == round => {
+                let n = groups.len();
+                self.install_groups(groups)?;
+                n
+            }
+            other => {
+                self.pending_outbound = other;
+                0
+            }
+        };
+        self.note_round_closed(round);
+        Ok(reinstalled)
+    }
+
+    /// Receiver side of step 5, idempotent: install `groups` for
+    /// `round`. Returns `Ok(false)` — a no-op that should still be
+    /// re-acked — when the round is stale or the same round was already
+    /// installed (a duplicated `InstallStates`); `Ok(true)` on first
+    /// installation.
+    pub fn install_groups_for_round(
+        &mut self,
+        round: u64,
+        groups: Vec<ExtractedGroup>,
+    ) -> Result<bool> {
+        if self.is_stale_round(round) {
+            return Ok(false);
+        }
+        if matches!(&self.inbound_round, Some((r, _)) if *r == round) {
+            return Ok(false);
+        }
+        let pids: Vec<PartitionId> = groups.iter().map(|(g, _, _)| g.partition).collect();
+        self.install_groups(groups)?;
+        self.inbound_round = Some((round, pids));
+        Ok(true)
+    }
+
+    /// Receiver side of step 7/8: the round committed — the installed
+    /// groups are now permanently this engine's; close the round.
+    pub fn commit_inbound(&mut self, round: u64) {
+        if matches!(&self.inbound_round, Some((r, _)) if *r == round) {
+            self.inbound_round = None;
+        }
+        self.note_round_closed(round);
+    }
+
+    /// Receiver side of an abort: uninstall whatever `round` installed
+    /// (the sender reinstalls its retained copy; keeping both would
+    /// double state and double outputs). Returns the number of groups
+    /// discarded.
+    pub fn abort_inbound(&mut self, round: u64) -> Result<usize> {
+        let discarded = match self.inbound_round.take() {
+            Some((r, pids)) if r == round => self.extract_groups(&pids).len(),
+            other => {
+                self.inbound_round = other;
+                0
+            }
+        };
+        self.note_round_closed(round);
+        Ok(discarded)
+    }
+
+    /// Crash-restart this engine mid-protocol: an uncommitted inbound
+    /// installation is lost (it never reached stable storage — the
+    /// sender's retained copy is the source of truth and the round will
+    /// abort or retry), the retained outbound copy survives (stable),
+    /// and the engine restarts in normal mode. Returns the number of
+    /// inbound groups the crash wiped.
+    pub fn crash_restart(&mut self) -> Result<usize> {
+        let wiped = match self.inbound_round.take() {
+            Some((_, pids)) => self.extract_groups(&pids).len(),
+            None => 0,
+        };
+        self.controller.set_mode(Mode::Normal);
+        Ok(wiped)
     }
 
     /// Produce the periodic statistics report for the coordinator and

@@ -124,6 +124,37 @@ pub enum AdaptEvent {
         /// The engine's budget.
         budget: u64,
     },
+    /// The chaos layer injected a fault at a message edge (deterministic
+    /// seeded schedule; see `dcape-cluster::faults`).
+    FaultInjected {
+        /// Which fault fired: `drop`, `duplicate`, `delay`,
+        /// `corrupt_length`, `stall`, or `crash`.
+        fault: &'static str,
+        /// Message edge the fault hit (stable snake_case, e.g.
+        /// `install_states`).
+        edge: &'static str,
+        /// Relocation round the message belonged to (zero when the edge
+        /// is not round-scoped).
+        round: u64,
+        /// Delivery attempt the fault applied to (first send is 0).
+        attempt: u32,
+    },
+    /// A protocol anomaly that was tolerated and journaled instead of
+    /// poisoning the coordinator: stale or duplicate round messages,
+    /// phase timeouts, retries, aborts, peers declared dead.
+    ProtocolWarning {
+        /// Stable snake_case warning code, e.g. `stale_ptv`,
+        /// `duplicate_transfer_ack`, `phase_timeout`, `round_aborted`.
+        code: &'static str,
+        /// Engine the anomalous message came from (for timeouts, the
+        /// round's sender).
+        engine: EngineId,
+        /// Round id the message referenced.
+        round: u64,
+        /// Code-dependent detail (protocol step for timeouts, retry
+        /// attempt for retries, zero otherwise).
+        detail: u64,
+    },
 }
 
 impl AdaptEvent {
@@ -135,6 +166,8 @@ impl AdaptEvent {
             AdaptEvent::CleanupPhase { .. } => "cleanup_phase",
             AdaptEvent::StatsSample { .. } => "stats_sample",
             AdaptEvent::MemoryPressure { .. } => "memory_pressure",
+            AdaptEvent::FaultInjected { .. } => "fault_injected",
+            AdaptEvent::ProtocolWarning { .. } => "protocol_warning",
         }
     }
 }
@@ -163,6 +196,10 @@ pub struct JournalCounters {
     purges_deferred: AtomicU64,
     watermark_held_ms: AtomicU64,
     replayed_in_order: AtomicU64,
+    faults_injected: AtomicU64,
+    msgs_retried: AtomicU64,
+    rounds_aborted: AtomicU64,
+    watermark_released_on_abort: AtomicU64,
     events_recorded: AtomicU64,
     events_dropped: AtomicU64,
 }
@@ -209,6 +246,29 @@ impl JournalCounters {
         self.replayed_in_order.load(Ordering::Relaxed)
     }
 
+    /// Faults the chaos layer injected (drops, duplicates, delays,
+    /// corruptions, stalls, crashes), summed across all edges.
+    pub fn faults_injected(&self) -> u64 {
+        self.faults_injected.load(Ordering::Relaxed)
+    }
+
+    /// Protocol messages re-sent after a phase timeout.
+    pub fn msgs_retried(&self) -> u64 {
+        self.msgs_retried.load(Ordering::Relaxed)
+    }
+
+    /// Relocation rounds abandoned after retries were exhausted (the
+    /// sender resumed its paused partitions locally).
+    pub fn rounds_aborted(&self) -> u64 {
+        self.rounds_aborted.load(Ordering::Relaxed)
+    }
+
+    /// Held purge watermarks released by the abort path rather than a
+    /// step-7 Resume (one per aborted round that was holding one).
+    pub fn watermark_released_on_abort(&self) -> u64 {
+        self.watermark_released_on_abort.load(Ordering::Relaxed)
+    }
+
     /// Events accepted into the ring.
     pub fn events_recorded(&self) -> u64 {
         self.events_recorded.load(Ordering::Relaxed)
@@ -229,6 +289,10 @@ impl JournalCounters {
             purges_deferred: self.purges_deferred(),
             watermark_held_ms: self.watermark_held_ms(),
             replayed_in_order: self.replayed_in_order(),
+            faults_injected: self.faults_injected(),
+            msgs_retried: self.msgs_retried(),
+            rounds_aborted: self.rounds_aborted(),
+            watermark_released_on_abort: self.watermark_released_on_abort(),
             events_recorded: self.events_recorded(),
             events_dropped: self.events_dropped(),
         }
@@ -252,6 +316,14 @@ pub struct CountersSnapshot {
     pub watermark_held_ms: u64,
     /// Tuples replayed in timestamp order at step-7 flushes.
     pub replayed_in_order: u64,
+    /// Faults injected by the chaos layer.
+    pub faults_injected: u64,
+    /// Protocol messages re-sent after phase timeouts.
+    pub msgs_retried: u64,
+    /// Relocation rounds abandoned after retry exhaustion.
+    pub rounds_aborted: u64,
+    /// Held watermarks released by the abort path.
+    pub watermark_released_on_abort: u64,
     /// Events accepted into the ring.
     pub events_recorded: u64,
     /// Events overwritten after the ring filled.
@@ -268,6 +340,10 @@ impl CountersSnapshot {
         self.purges_deferred += other.purges_deferred;
         self.watermark_held_ms += other.watermark_held_ms;
         self.replayed_in_order += other.replayed_in_order;
+        self.faults_injected += other.faults_injected;
+        self.msgs_retried += other.msgs_retried;
+        self.rounds_aborted += other.rounds_aborted;
+        self.watermark_released_on_abort += other.watermark_released_on_abort;
         self.events_recorded += other.events_recorded;
         self.events_dropped += other.events_dropped;
     }
@@ -459,6 +535,43 @@ impl JournalHandle {
         }
     }
 
+    /// Count faults injected by the chaos layer (no-op when disabled).
+    #[inline]
+    pub fn add_faults_injected(&self, n: u64) {
+        if let Some(j) = &self.inner {
+            j.counters.faults_injected.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Count protocol messages re-sent after a phase timeout (no-op
+    /// when disabled).
+    #[inline]
+    pub fn add_msgs_retried(&self, n: u64) {
+        if let Some(j) = &self.inner {
+            j.counters.msgs_retried.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Count relocation rounds abandoned after retry exhaustion (no-op
+    /// when disabled).
+    #[inline]
+    pub fn add_rounds_aborted(&self, n: u64) {
+        if let Some(j) = &self.inner {
+            j.counters.rounds_aborted.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Count a held watermark released by the abort path instead of a
+    /// step-7 Resume (no-op when disabled).
+    #[inline]
+    pub fn add_watermark_released_on_abort(&self, n: u64) {
+        if let Some(j) = &self.inner {
+            j.counters
+                .watermark_released_on_abort
+                .fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
     /// Lower the in-flight buffered-tuple gauge (step 7 flush).
     #[inline]
     pub fn sub_buffered_in_flight(&self, n: u64) {
@@ -590,6 +703,33 @@ mod tests {
         off.add_purges_deferred(1);
         off.add_watermark_held_ms(1);
         off.add_replayed_in_order(1);
+        assert!(off.counters().is_none());
+    }
+
+    #[test]
+    fn chaos_counters_accumulate_and_absorb() {
+        let handle = JournalHandle::with_capacity(8);
+        handle.add_faults_injected(4);
+        handle.add_msgs_retried(2);
+        handle.add_rounds_aborted(1);
+        handle.add_watermark_released_on_abort(1);
+        let c = handle.counters().unwrap();
+        assert_eq!(c.faults_injected(), 4);
+        assert_eq!(c.msgs_retried(), 2);
+        assert_eq!(c.rounds_aborted(), 1);
+        assert_eq!(c.watermark_released_on_abort(), 1);
+        let mut total = c.snapshot();
+        total.absorb(&c.snapshot());
+        assert_eq!(total.faults_injected, 8);
+        assert_eq!(total.msgs_retried, 4);
+        assert_eq!(total.rounds_aborted, 2);
+        assert_eq!(total.watermark_released_on_abort, 2);
+        // Disabled handles stay no-ops.
+        let off = JournalHandle::disabled();
+        off.add_faults_injected(1);
+        off.add_msgs_retried(1);
+        off.add_rounds_aborted(1);
+        off.add_watermark_released_on_abort(1);
         assert!(off.counters().is_none());
     }
 

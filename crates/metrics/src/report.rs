@@ -249,6 +249,30 @@ pub fn journal_entry_to_json(entry: &JournalEntry) -> String {
                 engine.0, used, budget
             );
         }
+        AdaptEvent::FaultInjected {
+            fault,
+            edge,
+            round,
+            attempt,
+        } => {
+            let _ = write!(
+                s,
+                ",\"fault\":\"{fault}\",\"edge\":\"{edge}\",\"round\":{round},\
+                 \"attempt\":{attempt}"
+            );
+        }
+        AdaptEvent::ProtocolWarning {
+            code,
+            engine,
+            round,
+            detail,
+        } => {
+            let _ = write!(
+                s,
+                ",\"code\":\"{code}\",\"engine\":{},\"round\":{round},\"detail\":{detail}",
+                engine.0
+            );
+        }
     }
     s.push('}');
     s
@@ -363,6 +387,28 @@ pub fn render_journal(entries: &[JournalEntry]) -> String {
                     out,
                     "pressure  {engine} at {used}/{budget} B ({:.0}%)",
                     *used as f64 / (*budget).max(1) as f64 * 100.0
+                );
+            }
+            AdaptEvent::FaultInjected {
+                fault,
+                edge,
+                round,
+                attempt,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "fault     {fault} injected at {edge} [round={round}, attempt={attempt}]"
+                );
+            }
+            AdaptEvent::ProtocolWarning {
+                code,
+                engine,
+                round,
+                detail,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "warning   {code} from {engine} [round={round}, detail={detail}]"
                 );
             }
         }
@@ -513,6 +559,44 @@ mod tests {
         assert!(text.contains("step 1/8"));
         assert!(text.contains("pause routing"));
         assert!(text.contains("engines resume"));
+    }
+
+    #[test]
+    fn fault_and_warning_events_export_cleanly() {
+        use crate::journal::{AdaptEvent, JournalEntry};
+        use dcape_common::ids::EngineId;
+        let entries = vec![
+            JournalEntry {
+                at: VirtualTime::from_millis(3),
+                seq: 0,
+                event: AdaptEvent::FaultInjected {
+                    fault: "drop",
+                    edge: "install_states",
+                    round: 4,
+                    attempt: 1,
+                },
+            },
+            JournalEntry {
+                at: VirtualTime::from_millis(7),
+                seq: 1,
+                event: AdaptEvent::ProtocolWarning {
+                    code: "stale_transfer_ack",
+                    engine: EngineId(2),
+                    round: 3,
+                    detail: 6,
+                },
+            },
+        ];
+        let jsonl = journal_to_jsonl(&entries);
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert!(lines[0].contains("\"kind\":\"fault_injected\""));
+        assert!(lines[0].contains("\"fault\":\"drop\""));
+        assert!(lines[0].contains("\"edge\":\"install_states\""));
+        assert!(lines[1].contains("\"kind\":\"protocol_warning\""));
+        assert!(lines[1].contains("\"code\":\"stale_transfer_ack\""));
+        let text = render_journal(&entries);
+        assert!(text.contains("fault     drop injected at install_states"));
+        assert!(text.contains("warning   stale_transfer_ack from QE2"));
     }
 
     #[test]

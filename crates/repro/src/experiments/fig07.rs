@@ -87,7 +87,8 @@ fn run_policy(
         heterogeneous_workload(),
         StrategyConfig::NoAdaptation,
     )
-    .with_sample_interval(VirtualDuration::from_secs(if opts.fast { 20 } else { 60 }));
+    .with_sample_interval(VirtualDuration::from_secs(if opts.fast { 20 } else { 60 }))
+    .with_faults(opts.fault_plan());
     let mut driver = SimDriver::new(cfg)?;
     driver.run_until(duration)?;
     let report = driver.finish()?;

@@ -76,7 +76,8 @@ fn run_theta(
     let mut cfg = SimConfig::new(2, engine, alternating_workload(opts.fast), strategy)
         .with_placement(PlacementSpec::Fractions(vec![0.5, 0.5]))
         .with_stats_interval(VirtualDuration::from_secs(45))
-        .with_sample_interval(VirtualDuration::from_secs(if opts.fast { 20 } else { 60 }));
+        .with_sample_interval(VirtualDuration::from_secs(if opts.fast { 20 } else { 60 }))
+        .with_faults(opts.fault_plan());
     if opts.journal_enabled() {
         cfg = cfg.with_journal();
     }

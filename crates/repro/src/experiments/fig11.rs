@@ -63,7 +63,8 @@ fn run_one(
     let mut cfg = SimConfig::new(3, engine, scale::paper_workload(), strategy)
         .with_placement(PlacementSpec::Fractions(vec![0.6, 0.2, 0.2]))
         .with_stats_interval(VirtualDuration::from_secs(45))
-        .with_sample_interval(VirtualDuration::from_secs(if opts.fast { 20 } else { 60 }));
+        .with_sample_interval(VirtualDuration::from_secs(if opts.fast { 20 } else { 60 }))
+        .with_faults(opts.fault_plan());
     if opts.journal_enabled() {
         cfg = cfg.with_journal();
     }

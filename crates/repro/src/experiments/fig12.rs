@@ -80,7 +80,8 @@ fn run_one(
             1.0 / 6.0,
         ]))
         .with_stats_interval(VirtualDuration::from_secs(45))
-        .with_sample_interval(VirtualDuration::from_secs(if opts.fast { 20 } else { 60 }));
+        .with_sample_interval(VirtualDuration::from_secs(if opts.fast { 20 } else { 60 }))
+        .with_faults(opts.fault_plan());
     if opts.journal_enabled() {
         cfg = cfg.with_journal();
     }

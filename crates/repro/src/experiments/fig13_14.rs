@@ -117,7 +117,8 @@ fn run_one(
             1.0 / 3.0,
         ]))
         .with_stats_interval(VirtualDuration::from_secs(45))
-        .with_sample_interval(VirtualDuration::from_secs(if opts.fast { 20 } else { 60 }));
+        .with_sample_interval(VirtualDuration::from_secs(if opts.fast { 20 } else { 60 }))
+        .with_faults(opts.fault_plan());
     let mut driver = SimDriver::new(cfg)?;
     driver.run_until(duration)?;
     let relocations = driver.relocations().len();

@@ -87,7 +87,8 @@ pub fn run(opts: &RunOpts) -> Result<Vec<VerifyRow>> {
     for (name, strategy) in &strategies {
         let cfg = SimConfig::new(3, engine.clone(), spec.clone(), strategy.clone())
             .with_placement(PlacementSpec::Fractions(vec![0.6, 0.2, 0.2]))
-            .with_stats_interval(VirtualDuration::from_secs(30));
+            .with_stats_interval(VirtualDuration::from_secs(30))
+            .with_faults(opts.fault_plan());
         // Sim driver.
         let mut driver = SimDriver::new(cfg.clone())?;
         driver.run_until(deadline)?;

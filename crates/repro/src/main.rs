@@ -10,6 +10,12 @@
 //! --journal PATH  record adaptation-event journals and write them as
 //!                 JSON lines, one file per instrumented run, named
 //!                 after PATH
+//! --chaos-seed N  arm the deterministic fault-injection layer with
+//!                 seed N: messages of the relocation protocol are
+//!                 dropped/duplicated/delayed/corrupted per a schedule
+//!                 that is a pure function of the seed
+//! --fault-rate R  per-edge fault rate for the chaos layer
+//!                 (default 0.05; only meaningful with --chaos-seed)
 //! ```
 //!
 //! Figures sharing a run are grouped: `fig5`/`fig6` both run the k%
@@ -24,7 +30,7 @@ use dcape_repro::experiments::{
 };
 use dcape_repro::RunOpts;
 
-const USAGE: &str = "usage: repro [fig5|fig6|fig7|cleanup1|fig9|fig10|fig11|fig12|cleanup2|fig13|fig14|ablations|verify|all ...] [--fast] [--out DIR] [--journal PATH] [--bench-json PATH]";
+const USAGE: &str = "usage: repro [fig5|fig6|fig7|cleanup1|fig9|fig10|fig11|fig12|cleanup2|fig13|fig14|ablations|verify|all ...] [--fast] [--out DIR] [--journal PATH] [--bench-json PATH] [--chaos-seed N] [--fault-rate R]";
 
 fn main() -> ExitCode {
     let mut opts = RunOpts::default();
@@ -45,6 +51,20 @@ fn main() -> ExitCode {
                 Some(path) => opts.journal = Some(path.into()),
                 None => {
                     eprintln!("--journal requires a path\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--chaos-seed" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(seed) => opts.chaos_seed = Some(seed),
+                None => {
+                    eprintln!("--chaos-seed requires an integer seed\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--fault-rate" => match args.next().and_then(|s| s.parse::<f64>().ok()) {
+                Some(rate) if (0.0..=1.0).contains(&rate) => opts.fault_rate = rate,
+                _ => {
+                    eprintln!("--fault-rate requires a number in [0, 1]\n{USAGE}");
                     return ExitCode::FAILURE;
                 }
             },

@@ -16,6 +16,14 @@ pub struct RunOpts {
     /// instrumented experiments record an event journal and write it as
     /// JSON lines, one file per run, named after this path.
     pub journal: Option<PathBuf>,
+    /// Seed for the deterministic fault-injection layer
+    /// (`--chaos-seed`). When set, every experiment run consults a
+    /// seeded `FaultPlan` at each protocol message edge; the same seed
+    /// reproduces the same fault schedule bit-for-bit.
+    pub chaos_seed: Option<u64>,
+    /// Per-edge fault rate for the chaos layer (`--fault-rate`,
+    /// 0.0–1.0). Only meaningful with `--chaos-seed`.
+    pub fault_rate: f64,
 }
 
 impl Default for RunOpts {
@@ -25,6 +33,8 @@ impl Default for RunOpts {
             out_dir: PathBuf::from("results"),
             quiet: false,
             journal: None,
+            chaos_seed: None,
+            fault_rate: 0.05,
         }
     }
 }
@@ -37,12 +47,24 @@ impl RunOpts {
             quiet: true,
             out_dir: std::env::temp_dir().join("dcape-repro-fast"),
             journal: None,
+            chaos_seed: None,
+            fault_rate: 0.05,
         }
     }
 
     /// True when `--journal` was given.
     pub fn journal_enabled(&self) -> bool {
         self.journal.is_some()
+    }
+
+    /// The fault plan the CLI flags describe: disabled without
+    /// `--chaos-seed`, a seeded uniform-rate plan with it.
+    pub fn fault_plan(&self) -> dcape_cluster::faults::FaultPlan {
+        use dcape_cluster::faults::{FaultConfig, FaultPlan};
+        match self.chaos_seed {
+            Some(seed) => FaultPlan::new(seed, FaultConfig::uniform(self.fault_rate)),
+            None => FaultPlan::disabled(),
+        }
     }
 
     /// Write one run's journal as JSON lines (no-op without

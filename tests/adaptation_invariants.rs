@@ -10,12 +10,14 @@ use std::collections::HashMap;
 
 use proptest::prelude::*;
 
+use dcape::cluster::faults::{FaultConfig, FaultPlan};
 use dcape::cluster::runtime::sim::{SimConfig, SimDriver};
 use dcape::cluster::strategy::StrategyConfig;
 use dcape::cluster::PlacementSpec;
+use dcape::common::ids::PartitionId;
 use dcape::common::time::{VirtualDuration, VirtualTime};
 use dcape::engine::config::EngineConfig;
-use dcape::streamgen::{StreamSetGenerator, StreamSetSpec};
+use dcape::streamgen::{ArrivalPattern, StreamSetGenerator, StreamSetSpec};
 
 fn reference_count(spec: &StreamSetSpec, deadline: VirtualTime) -> u64 {
     let mut gen = StreamSetGenerator::new(spec.clone()).unwrap();
@@ -51,6 +53,70 @@ fn strategy_from(idx: u8) -> StrategyConfig {
             force_spill_cap: 1 << 20,
         },
     }
+}
+
+/// A relocation-hungry run where **every** `InstallStates` crash-restarts
+/// the receiver after step 5: state shipped and installed, ack never
+/// sent. Retries re-ship, crash again, and the coordinator aborts.
+fn run_with_certain_install_crash(seed: u64) -> (dcape::cluster::runtime::sim::SimReport, u64) {
+    let group_a: Vec<PartitionId> = (0..6).map(PartitionId).collect();
+    let spec = StreamSetSpec::uniform(18, 1800, 1, VirtualDuration::from_millis(30))
+        .with_payload_pad(128)
+        .with_seed(seed)
+        .with_pattern(ArrivalPattern::AlternatingSkew {
+            group_a,
+            ratio: 10.0,
+            period: VirtualDuration::from_mins(2),
+        });
+    let deadline = VirtualTime::from_mins(5);
+    let reference = reference_count(&spec, deadline);
+    let crash_always = FaultConfig {
+        crash_rate: 1.0,
+        ..FaultConfig::none()
+    };
+    let cfg = SimConfig::new(
+        2,
+        EngineConfig::three_way(1 << 30, 1 << 29),
+        spec,
+        StrategyConfig::LazyDisk {
+            theta_r: 0.9,
+            tau_m: VirtualDuration::from_secs(45),
+        },
+    )
+    .with_placement(PlacementSpec::Fractions(vec![0.5, 0.5]))
+    .with_stats_interval(VirtualDuration::from_secs(30))
+    .with_journal()
+    .with_faults(FaultPlan::new(seed, crash_always));
+    let mut driver = SimDriver::new(cfg).unwrap();
+    driver.run_until(deadline).unwrap();
+    (driver.finish().unwrap(), reference)
+}
+
+/// The deterministic crash-restart scenario of the fault model: the
+/// receiver dies mid-relocation *after* the state landed (the ack is
+/// lost), restarts empty, and the round aborts. The abort must leave
+/// zero buffered tuples behind and produce no duplicate outputs — the
+/// sender's retained copy is the single source of truth.
+#[test]
+fn crash_after_install_aborts_without_loss_or_duplication() {
+    let (report, reference) = run_with_certain_install_crash(23);
+    // Every attempted round died: no relocation ever completed…
+    assert!(report.relocations.is_empty(), "no round may survive");
+    let c = &report.journal_counters;
+    assert!(c.faults_injected > 0, "crashes must have been injected");
+    assert!(c.msgs_retried > 0, "timeouts must have retried first");
+    assert!(c.rounds_aborted > 0, "retry exhaustion must abort");
+    // …every abort released its held watermark and replayed its
+    // buffered tuples; nothing is left parked at a paused split.
+    assert_eq!(c.watermark_released_on_abort, c.rounds_aborted);
+    assert_eq!(c.buffered_in_flight, 0, "abort left tuples buffered");
+    // And the answer is still exact: nothing lost to the crashes,
+    // nothing double-counted from re-shipped state.
+    assert_eq!(
+        report.total_output(),
+        reference,
+        "crash-abort cycle changed the join result"
+    );
 }
 
 proptest! {
@@ -99,6 +165,15 @@ proptest! {
             report.runtime_output,
             report.cleanup_output
         );
+    }
+
+    #[test]
+    fn crashed_installs_abort_cleanly_for_any_seed(
+        seed in 0u64..1000,
+    ) {
+        let (report, reference) = run_with_certain_install_crash(seed);
+        prop_assert_eq!(report.total_output(), reference);
+        prop_assert_eq!(report.journal_counters.buffered_in_flight, 0);
     }
 
     #[test]

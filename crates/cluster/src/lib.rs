@@ -10,7 +10,10 @@
 //!   engine/strategy code);
 //! * [`runtime::threaded`] — one OS thread per query engine connected by
 //!   crossbeam channels, exercising the full asynchronous message
-//!   protocol, standing in for the paper's PC cluster.
+//!   protocol, standing in for the paper's PC cluster;
+//! * [`runtime::socket`] — one OS *process* per query engine, exchanging
+//!   the same protocol as length-framed binary messages over TCP
+//!   ([`wire`]), with crash-restart as real process kill + respawn.
 //!
 //! Supporting modules: [`placement`] (partition → engine map with the
 //! split operator's pause/buffer behaviour), [`netmodel`] (virtual-time
@@ -29,6 +32,7 @@ pub mod runtime;
 pub mod split;
 pub mod stats;
 pub mod strategy;
+pub mod wire;
 
 pub use coordinator::GlobalCoordinator;
 pub use faults::{FaultConfig, FaultDecision, FaultEdge, FaultPlan};

@@ -1,0 +1,439 @@
+//! Coordinator-side protocol logic shared by the [`super::threaded`] and
+//! [`super::socket`] drivers.
+//!
+//! Both drivers run the same loop — source, splits, global coordinator —
+//! and differ only in how a `ToEngine` message reaches its engine (a
+//! crossbeam channel vs. a framed TCP connection). Everything here is
+//! therefore generic over a `send(engine, msg)` function; the chaos
+//! layer (fault decisions, held/delayed messages, timeout recovery) and
+//! the coordinator's half of the relocation state machine live on this
+//! side of that seam.
+
+use dcape_common::batch::TupleBatch;
+use dcape_common::error::{DcapeError, Result};
+use dcape_common::ids::EngineId;
+use dcape_common::time::{VirtualDuration, VirtualTime};
+use dcape_metrics::journal::{AdaptEvent, JournalHandle};
+
+use crate::coordinator::{GlobalCoordinator, TimeoutAction};
+use crate::faults::{FaultDecision, FaultEdge, FaultPlan};
+use crate::messages::{FromEngine, ToEngine};
+use crate::placement::PlacementMap;
+use crate::relocation::Action;
+use crate::stats::ClusterStats;
+use crate::strategy::Decision;
+
+/// How a driver puts a message on the wire to one engine.
+pub(crate) type SendFn<'a> = dyn FnMut(EngineId, ToEngine) -> Result<()> + 'a;
+
+/// Driver-held control messages the chaos layer delayed (`Cptv`,
+/// `SendStates`); released into the transport once the virtual clock
+/// passes the due time.
+pub(crate) type HeldSends = Vec<(VirtualTime, EngineId, ToEngine)>;
+
+/// Consult the fault plan for one message edge, journaling any injected
+/// fault (shared by the driver and the engines — both count into
+/// `faults_injected`, folded together at shutdown).
+pub(crate) fn edge_decision(
+    plan: &FaultPlan,
+    journal: &JournalHandle,
+    now: VirtualTime,
+    edge: FaultEdge,
+    round: u64,
+    attempt: u32,
+) -> FaultDecision {
+    let decision = plan.decide(edge, round, attempt);
+    if let Some(fault) = decision.fault_name() {
+        journal.add_faults_injected(1);
+        journal.record(
+            now,
+            AdaptEvent::FaultInjected {
+                fault,
+                edge: edge.name(),
+                round,
+                attempt,
+            },
+        );
+    }
+    decision
+}
+
+/// Release driver-held delayed control messages whose due time passed
+/// (insertion order among equal due times — FIFO per transport does the
+/// rest).
+pub(crate) fn release_due(held: &mut HeldSends, now: VirtualTime, send: &mut SendFn) -> Result<()> {
+    while let Some(idx) = held
+        .iter()
+        .enumerate()
+        .filter(|(_, (due, _, _))| now >= *due)
+        .min_by_key(|(i, (due, _, _))| (*due, *i))
+        .map(|(i, _)| i)
+    {
+        let (_, engine, msg) = held.remove(idx);
+        send(engine, msg)?;
+    }
+    Ok(())
+}
+
+/// Put a coordinator-originated control message (`Cptv`, `SendStates`)
+/// on the wire through the fault plan: deliver, drop, duplicate, delay
+/// or garble it per the seeded schedule.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn chaos_send(
+    plan: &FaultPlan,
+    journal: &JournalHandle,
+    now: VirtualTime,
+    edge: FaultEdge,
+    round: u64,
+    attempt: u32,
+    target: EngineId,
+    make: impl Fn() -> ToEngine,
+    send: &mut SendFn,
+    held: &mut HeldSends,
+) -> Result<()> {
+    match edge_decision(plan, journal, now, edge, round, attempt) {
+        FaultDecision::Deliver => send(target, make()),
+        // A garbled control message is discarded on receipt — same
+        // outcome as a drop; the phase timeout re-sends it.
+        FaultDecision::Drop | FaultDecision::CorruptLength => Ok(()),
+        FaultDecision::Duplicate => {
+            send(target, make())?;
+            send(target, make())
+        }
+        FaultDecision::Delay(ms) => {
+            held.push((now + VirtualDuration::from_millis(ms), target, make()));
+            Ok(())
+        }
+    }
+}
+
+/// Execute a phase-timeout recovery decision: re-send the phase's
+/// message (again through the fault plan — a retry can be unlucky
+/// twice) or unwind the round.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn handle_timeout_action(
+    action: TimeoutAction,
+    placement: &mut PlacementMap,
+    send: &mut SendFn,
+    journal: &JournalHandle,
+    now: VirtualTime,
+    batch_mode: bool,
+    plan: &FaultPlan,
+    held: &mut HeldSends,
+) -> Result<()> {
+    match action {
+        TimeoutAction::RetryCptv {
+            round,
+            sender,
+            amount,
+            attempt,
+        } => chaos_send(
+            plan,
+            journal,
+            now,
+            FaultEdge::Cptv,
+            round,
+            attempt,
+            sender,
+            || ToEngine::Cptv {
+                round,
+                amount,
+                attempt,
+            },
+            send,
+            held,
+        ),
+        TimeoutAction::RetrySendStates {
+            round,
+            sender,
+            receiver,
+            parts,
+            attempt,
+        } => chaos_send(
+            plan,
+            journal,
+            now,
+            FaultEdge::SendStates,
+            round,
+            attempt,
+            sender,
+            || ToEngine::SendStates {
+                round,
+                parts: parts.clone(),
+                receiver,
+                attempt,
+            },
+            send,
+            held,
+        ),
+        TimeoutAction::AbortRound {
+            round,
+            sender,
+            receiver,
+            parts,
+            held_since,
+        } => {
+            // Any delayed copies of this round's control messages are
+            // moot — the engines treat them as stale if they do land,
+            // but don't even bother releasing them.
+            held.retain(|(_, _, m)| {
+                !matches!(m,
+                    ToEngine::Cptv { round: r, .. } | ToEngine::SendStates { round: r, .. }
+                    if *r == round)
+            });
+            // Abort notifications ride the reliable channel (an abort
+            // that can be lost is not an abort protocol). FIFO order:
+            // the sender reinstalls its retained copy before any
+            // replayed tuple reaches it.
+            send(receiver, ToEngine::AbortRound { round })?;
+            send(sender, ToEngine::AbortRound { round })?;
+            if !parts.is_empty() {
+                // Release without remapping: ownership never changed,
+                // so the buffered tuples replay to the original owner.
+                let released = placement.release_paused(&parts)?;
+                let mut buffered = 0u64;
+                if batch_mode {
+                    let mut flush = TupleBatch::new();
+                    for (pid, tuples) in released {
+                        buffered += tuples.len() as u64;
+                        for tuple in tuples {
+                            flush.push(pid, tuple);
+                        }
+                    }
+                    if !flush.is_empty() {
+                        send(sender, ToEngine::DataBatch { tuples: flush })?;
+                    }
+                } else {
+                    for (pid, tuples) in released {
+                        buffered += tuples.len() as u64;
+                        for tuple in tuples {
+                            send(sender, ToEngine::Data { pid, tuple })?;
+                        }
+                    }
+                }
+                journal.sub_buffered_in_flight(buffered);
+                journal.add_replayed_in_order(buffered);
+                if let Some(held_at) = held_since {
+                    journal
+                        .add_watermark_held_ms(now.as_millis().saturating_sub(held_at.as_millis()));
+                }
+                journal.add_watermark_released_on_abort(1);
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Coordinator-side message handling (shared by the run loop and the
+/// quiesce loop of both drivers).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn handle_coordinator_msg(
+    msg: FromEngine,
+    gc: &mut GlobalCoordinator,
+    placement: &mut PlacementMap,
+    send: &mut SendFn,
+    num_engines: usize,
+    pending_stats: &mut [Option<dcape_engine::stats::EngineStatsReport>],
+    awaiting_stats: &mut bool,
+    relocations: &mut u64,
+    journal: &JournalHandle,
+    now: VirtualTime,
+    watermark: VirtualTime,
+    batch_mode: bool,
+    plan: &FaultPlan,
+    held: &mut HeldSends,
+) -> Result<()> {
+    match msg {
+        FromEngine::Stats(report) => {
+            let idx = report.engine.index();
+            pending_stats[idx] = Some(report);
+            if *awaiting_stats && pending_stats.iter().all(Option::is_some) {
+                *awaiting_stats = false;
+                let stats = ClusterStats::new(pending_stats.iter().flatten().copied().collect());
+                match gc.evaluate(&stats, now)? {
+                    Decision::None => {}
+                    Decision::ForceSpill { engine, amount } => {
+                        send(engine, ToEngine::StartSpill { amount })?;
+                    }
+                    Decision::Relocate { sender, .. } => {
+                        let (round, s, _r, amount) =
+                            gc.active_round_info().expect("round just opened");
+                        debug_assert_eq!(s, sender);
+                        chaos_send(
+                            plan,
+                            journal,
+                            now,
+                            FaultEdge::Cptv,
+                            round,
+                            0,
+                            sender,
+                            || ToEngine::Cptv {
+                                round,
+                                amount,
+                                attempt: 0,
+                            },
+                            send,
+                            held,
+                        )?;
+                    }
+                }
+            }
+            Ok(())
+        }
+        FromEngine::Ptv {
+            round,
+            engine,
+            parts,
+        } => match gc.on_ptv(engine, round, parts, now)? {
+            // Stale or duplicated Ptv: already journaled. If its round
+            // is gone and the engine is not the sender of a live one, a
+            // Resume stops it idling in relocation mode after a late
+            // Cptv re-entered it.
+            None => {
+                let active_sender = gc.active_round_info().map(|(_, s, _, _)| s);
+                if active_sender != Some(engine) {
+                    send(engine, ToEngine::Resume { round, watermark })?;
+                }
+                Ok(())
+            }
+            // Aborted rounds paused nothing, so the full admitted
+            // watermark is already safe to release.
+            Some(Action::Abort) => send(engine, ToEngine::Resume { round, watermark }),
+            Some(Action::PauseAndTransfer {
+                parts,
+                sender,
+                receiver,
+            }) => {
+                placement.pause(&parts)?;
+                journal.record(
+                    now,
+                    AdaptEvent::RelocationStep {
+                        round,
+                        step: 3,
+                        sender,
+                        receiver,
+                        parts: parts.clone(),
+                        bytes: 0,
+                        buffered_tuples: 0,
+                        load_ratio: 0.0,
+                    },
+                );
+                let attempt = gc.current_attempt();
+                chaos_send(
+                    plan,
+                    journal,
+                    now,
+                    FaultEdge::SendStates,
+                    round,
+                    attempt,
+                    sender,
+                    || ToEngine::SendStates {
+                        round,
+                        parts: parts.clone(),
+                        receiver,
+                        attempt,
+                    },
+                    send,
+                    held,
+                )
+            }
+            Some(Action::RemapAndResume { .. }) => {
+                Err(DcapeError::protocol("remap action out of order"))
+            }
+        },
+        FromEngine::TransferAck {
+            round,
+            engine,
+            bytes,
+        } => {
+            // Capture the pair before the ack closes the round.
+            let sender = gc.active_round_info().map(|(_, s, ..)| s).unwrap_or(engine);
+            match gc.on_transfer_ack(engine, round, now)? {
+                // Stale or duplicated ack: already journaled; nothing
+                // to execute (and nothing to double-count).
+                None => Ok(()),
+                Some(Action::RemapAndResume {
+                    parts,
+                    receiver,
+                    held_since,
+                }) => {
+                    journal.add_relocation_bytes(bytes);
+                    // Step 7: flush the split-side buffers to the new
+                    // owner — as one batch in batch mode (per-pid lists
+                    // arrive in order; batching is a stable reordering).
+                    let released = placement.remap_and_release(&parts, receiver)?;
+                    let mut buffered = 0u64;
+                    if batch_mode {
+                        let mut flush = TupleBatch::new();
+                        for (pid, tuples) in released {
+                            buffered += tuples.len() as u64;
+                            for tuple in tuples {
+                                flush.push(pid, tuple);
+                            }
+                        }
+                        if !flush.is_empty() {
+                            send(receiver, ToEngine::DataBatch { tuples: flush })?;
+                        }
+                    } else {
+                        for (pid, tuples) in released {
+                            buffered += tuples.len() as u64;
+                            for tuple in tuples {
+                                send(receiver, ToEngine::Data { pid, tuple })?;
+                            }
+                        }
+                    }
+                    journal.record(
+                        now,
+                        AdaptEvent::RelocationStep {
+                            round,
+                            step: 7,
+                            sender,
+                            receiver,
+                            parts,
+                            bytes: 0,
+                            buffered_tuples: buffered,
+                            load_ratio: 0.0,
+                        },
+                    );
+                    journal.sub_buffered_in_flight(buffered);
+                    journal.add_replayed_in_order(buffered);
+                    journal.add_watermark_held_ms(
+                        now.as_millis().saturating_sub(held_since.as_millis()),
+                    );
+                    *relocations += 1;
+                    // Step 8: resume both parties, releasing the held
+                    // purge watermark. Every replayed tuple was sent
+                    // (FIFO) before this Resume and every later arrival
+                    // carries `ts >= watermark`, so engines may catch
+                    // their window purge up to `watermark` on receipt.
+                    // The sender is derivable from the completed
+                    // round's parts' previous owner; we broadcast
+                    // Resume — engines ignore stale rounds.
+                    for i in 0..num_engines {
+                        send(EngineId(i as u16), ToEngine::Resume { round, watermark })?;
+                    }
+                    journal.record(
+                        now,
+                        AdaptEvent::RelocationStep {
+                            round,
+                            step: 8,
+                            sender,
+                            receiver,
+                            parts: Vec::new(),
+                            bytes: 0,
+                            buffered_tuples: 0,
+                            load_ratio: 0.0,
+                        },
+                    );
+                    Ok(())
+                }
+                other => Err(DcapeError::protocol(format!(
+                    "unexpected action after ack: {other:?}"
+                ))),
+            }
+        }
+        FromEngine::CleanupReady { .. } | FromEngine::CleanupDone { .. } => {
+            Err(DcapeError::protocol("cleanup message before shutdown"))
+        }
+    }
+}

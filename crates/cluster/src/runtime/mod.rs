@@ -5,7 +5,15 @@
 //! * [`sim`] — deterministic, virtual-time, single-threaded; used by the
 //!   experiment harness to replay the paper's hour-long runs in seconds;
 //! * [`threaded`] — one OS thread per engine over crossbeam channels,
-//!   running the full asynchronous protocol of Figure 8.
+//!   running the full asynchronous protocol of Figure 8;
+//! * [`socket`] — one OS process per engine over loopback (or real) TCP,
+//!   the same protocol as length-framed binary messages.
+//!
+//! [`driver`] and [`engine_core`] hold the coordinator-side and
+//! engine-side protocol logic shared by the threaded and socket drivers.
 
+pub mod driver;
+pub mod engine_core;
 pub mod sim;
+pub mod socket;
 pub mod threaded;

@@ -1,0 +1,1269 @@
+//! The socket cluster runtime: one OS **process** per query engine.
+//!
+//! This is the closest driver to the paper's deployment: the
+//! coordinator process runs the source, splits, and global coordinator
+//! (exactly the loop of [`super::threaded`], via [`super::driver`]),
+//! while each engine lives in its own `dcape-node` worker process and
+//! exchanges the [`crate::messages`] protocol as length-framed binary
+//! messages ([`crate::wire`]) over TCP.
+//!
+//! ## Topology and ordering
+//!
+//! Star: every worker holds exactly one connection to the coordinator.
+//! Engine-to-engine messages (`InstallStates`, `ForwardedSegments`) are
+//! wrapped in [`WireMsg::Relay`] and re-framed by the coordinator's main
+//! loop onto the target's sequenced stream. A single FIFO connection
+//! per worker is strictly stronger than the threaded driver's
+//! per-channel FIFO, so every ordering argument (replay-before-Resume,
+//! forwards-before-StartCleanup) carries over.
+//!
+//! ## Crash-restart and replay
+//!
+//! Every coordinator→worker frame carries a sequence number and is
+//! retained for the lifetime of the run. A worker that dies (a
+//! chaos-injected `std::process::exit(86)`, or a real `kill -9` from a
+//! [`KillPlan`]) is respawned and replays its **entire** history: the
+//! fresh process rebuilds join state, sink counts, and protocol state
+//! deterministically by reprocessing the same frames in the same order.
+//! The `Welcome` handshake tells the worker how much of the stream is
+//! replayed history (`replay_until`); fault-plan consults are
+//! suppressed for those frames — the faults on them already happened in
+//! a previous life, and re-firing a deterministically scheduled crash
+//! would loop forever. Duplicate worker→coordinator messages produced
+//! by the replay (`Ptv`, `TransferAck`, `Stats`) are exactly the
+//! stale/duplicate cases the hardened coordinator already tolerates.
+//!
+//! Retention is unbounded by design (a run's full frame history); the
+//! test-scale workloads this driver serves keep it tens of megabytes.
+
+use std::io::{BufReader, Write as IoWrite};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+
+use dcape_common::batch::TupleBatch;
+use dcape_common::error::{DcapeError, Result};
+use dcape_common::ids::{EngineId, PartitionId};
+use dcape_common::time::{PeriodicTimer, VirtualDuration, VirtualTime};
+use dcape_metrics::journal::{
+    merge_journals, AdaptEvent, CountersSnapshot, JournalEntry, JournalHandle,
+};
+use dcape_streamgen::StreamSetGenerator;
+
+use crate::coordinator::{GlobalCoordinator, RetryPolicy};
+use crate::faults::{FaultConfig, FaultPlan};
+use crate::messages::{FromEngine, ToEngine};
+use crate::placement::{PlacementMap, Route};
+use crate::runtime::driver::{
+    handle_coordinator_msg, handle_timeout_action, release_due, HeldSends,
+};
+use crate::runtime::engine_core::{EngineCore, EngineFlow, EngineTx};
+use crate::runtime::sim::SimConfig;
+use crate::runtime::threaded::ThreadedReport;
+use crate::wire::{
+    frame_bytes, msg_kind_name, read_frame, write_frame, Hello, Welcome, WireMsg, CRASH_EXIT,
+};
+
+/// Respawn budget per engine; beyond this the run fails (a worker
+/// crash-looping is a bug, not chaos).
+pub const MAX_RESPAWNS: u32 = 10;
+
+/// Test hook: hard-kill one worker process (`SIGKILL` — no exit
+/// handler, no flush) after its `after_stats`-th `Stats` report, then
+/// let the respawn/replay machinery prove exactly-once recovery.
+#[derive(Debug, Clone, Copy)]
+pub struct KillPlan {
+    /// Which engine's worker to kill.
+    pub engine: EngineId,
+    /// Kill after this many `Stats` messages from that engine.
+    pub after_stats: u32,
+}
+
+/// Where the workers come from.
+#[derive(Debug, Clone)]
+pub enum SocketMode {
+    /// Single-machine mode: bind an ephemeral loopback port and spawn
+    /// `node_bin` as one child process per engine. Crashed workers are
+    /// respawned.
+    Spawn {
+        /// Path to the `dcape-node` binary.
+        node_bin: PathBuf,
+    },
+    /// Bind `addr` and wait for externally started workers
+    /// (`dcape-node --connect <addr> --engine-id <i>`). No respawn: a
+    /// disconnected worker fails the run.
+    Listen {
+        /// Address to listen on, e.g. `"0.0.0.0:7431"`.
+        addr: String,
+    },
+}
+
+/// Configuration of one socket-runtime run.
+#[derive(Debug, Clone)]
+pub struct SocketConfig {
+    /// The experiment, identical to what the sim/threaded drivers take.
+    pub sim: SimConfig,
+    /// Worker provisioning.
+    pub mode: SocketMode,
+    /// Optional hard-kill fault injection (spawn mode only).
+    pub kill: Option<KillPlan>,
+}
+
+/// Resolve the worker binary for spawn mode: `DCAPE_NODE_BIN` if set,
+/// else a `dcape-node` sibling of the current executable (which is
+/// where cargo puts it for both `repro` and integration tests).
+pub fn default_node_bin() -> PathBuf {
+    if let Ok(p) = std::env::var("DCAPE_NODE_BIN") {
+        return PathBuf::from(p);
+    }
+    let mut p = std::env::current_exe().unwrap_or_default();
+    p.pop();
+    // Integration-test binaries live one level below target/<profile>/.
+    if p.ends_with("deps") {
+        p.pop();
+    }
+    p.push("dcape-node");
+    p
+}
+
+// ---------------------------------------------------------------------
+// Connection fabric (coordinator side).
+
+/// Mutable connection state of one worker, shared between the acceptor
+/// thread (attach on handshake) and the outbox thread (writes).
+struct SlotState {
+    /// Live stream, if connected.
+    stream: Option<TcpStream>,
+    /// Bumped on every (re)attach; guards stale disconnect events.
+    epoch: u64,
+    /// Frame index the outbox must rewind to for this epoch.
+    resume_from: u64,
+}
+
+struct ConnSlot {
+    state: Mutex<SlotState>,
+    /// Next frame sequence number (1-based) — assigned by the main
+    /// thread at enqueue, so retention order equals seq order.
+    next_seq: AtomicU64,
+}
+
+impl ConnSlot {
+    fn new() -> Self {
+        ConnSlot {
+            state: Mutex::new(SlotState {
+                stream: None,
+                epoch: 0,
+                resume_from: 0,
+            }),
+            next_seq: AtomicU64::new(1),
+        }
+    }
+}
+
+/// What reader/acceptor threads post to the coordinator main loop.
+enum Event {
+    /// A protocol message from a worker.
+    Msg(FromEngine),
+    /// A worker-originated peer message to forward.
+    Relay { to: EngineId, msg: ToEngine },
+    /// A worker connection ended (EOF or I/O error).
+    Disconnected { engine: EngineId, epoch: u64 },
+    /// A worker sent an undecodable or out-of-protocol frame.
+    Fatal { engine: EngineId, error: String },
+}
+
+/// The coordinator's transport: per-engine outbox channels feeding
+/// writer threads, with full frame retention for crash replay.
+struct Net {
+    slots: Vec<Arc<ConnSlot>>,
+    outboxes: Vec<Sender<Vec<u8>>>,
+    /// Per-engine frame logs (`DCAPE_FRAME_LOG_DIR`), if enabled.
+    logs: Option<Vec<std::fs::File>>,
+}
+
+impl Net {
+    /// Frame, sequence, log and enqueue one engine-bound message.
+    /// Never fails on a dead connection — frames accumulate in
+    /// retention and reach the worker (or its respawn) when it is back.
+    fn send(&self, e: EngineId, msg: ToEngine) -> Result<()> {
+        let slot = &self.slots[e.index()];
+        let seq = slot.next_seq.fetch_add(1, Ordering::SeqCst);
+        let wire = WireMsg::Engine(msg);
+        let frame = frame_bytes(seq, &wire)?;
+        if let Some(logs) = &self.logs {
+            let mut f = &logs[e.index()];
+            let _ = writeln!(
+                f,
+                "tx seq={seq} kind={} len={}",
+                msg_kind_name(&wire),
+                frame.len()
+            );
+        }
+        self.outboxes[e.index()]
+            .send(frame)
+            .map_err(|_| DcapeError::Disconnected(format!("outbox for engine {e} closed")))
+    }
+
+    fn log_rx(&self, e: EngineId, kind: &str) {
+        if let Some(logs) = &self.logs {
+            let mut f = &logs[e.index()];
+            let _ = writeln!(f, "rx kind={kind}");
+        }
+    }
+}
+
+/// Outbox writer for one worker: drains the channel into the retention
+/// log and writes every retained frame, in order, to whatever stream
+/// the slot currently holds — rewinding to `resume_from` when the
+/// acceptor attaches a new epoch. Write errors only detach the local
+/// stream copy; the reader thread's EOF drives the actual respawn.
+fn outbox_thread(slot: Arc<ConnSlot>, rx: Receiver<Vec<u8>>) {
+    let mut retention: Vec<Vec<u8>> = Vec::new();
+    let mut sent_idx = 0usize;
+    let mut cur: Option<TcpStream> = None;
+    let mut cur_epoch = 0u64;
+    let mut closed = false;
+    loop {
+        match rx.recv_timeout(Duration::from_millis(10)) {
+            Ok(f) => {
+                retention.push(f);
+                while let Ok(f) = rx.try_recv() {
+                    retention.push(f);
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => closed = true,
+        }
+        {
+            let st = slot.state.lock().expect("slot lock");
+            if st.epoch != cur_epoch {
+                cur_epoch = st.epoch;
+                cur = st.stream.as_ref().and_then(|s| s.try_clone().ok());
+                sent_idx = st.resume_from as usize;
+            } else if st.stream.is_none() {
+                cur = None;
+            }
+        }
+        if let Some(s) = cur.as_mut() {
+            let mut broken = false;
+            while sent_idx < retention.len() {
+                if s.write_all(&retention[sent_idx]).is_err() {
+                    broken = true;
+                    break;
+                }
+                sent_idx += 1;
+            }
+            if broken {
+                cur = None;
+            } else {
+                let _ = s.flush();
+            }
+        }
+        if closed && (sent_idx >= retention.len() || cur.is_none()) {
+            // The main loop hung up and everything deliverable was
+            // delivered (a worker that already exited cleanly does not
+            // need the rest).
+            return;
+        }
+    }
+}
+
+/// Everything the acceptor needs to answer a `Hello`.
+struct WelcomeTemplate {
+    num_engines: u16,
+    config: dcape_engine::config::EngineConfig,
+    journal: bool,
+    count_first: bool,
+    fault_seed: u64,
+    faults: FaultConfig,
+}
+
+/// Accept loop: handshake (`Hello` in, `Welcome` out — written
+/// synchronously on the new stream *before* it is attached to the
+/// outbox, so the worker always sees `Welcome` first), then attach the
+/// stream and spawn its reader thread.
+fn acceptor_thread(
+    listener: TcpListener,
+    slots: Vec<Arc<ConnSlot>>,
+    tmpl: Arc<WelcomeTemplate>,
+    events: Sender<Event>,
+    shutdown: Arc<AtomicBool>,
+) {
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(conn) => conn,
+            Err(_) => continue,
+        };
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        // A wedged client must not block the acceptor forever.
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+        let hello = match read_frame(&mut (&stream)) {
+            Ok(Some((_, WireMsg::Hello(h)))) => h,
+            _ => continue, // not one of ours; drop it
+        };
+        let _ = stream.set_read_timeout(None);
+        let Some(slot) = slots.get(hello.engine.index()) else {
+            continue;
+        };
+        let replay_until = slot.next_seq.load(Ordering::SeqCst).saturating_sub(1);
+        let welcome = Welcome {
+            engine: hello.engine,
+            num_engines: tmpl.num_engines,
+            config: tmpl.config.clone(),
+            journal: tmpl.journal,
+            count_first: tmpl.count_first,
+            fault_seed: tmpl.fault_seed,
+            faults: tmpl.faults,
+            replay_until,
+        };
+        if write_frame(&mut (&stream), 0, &WireMsg::Welcome(Box::new(welcome))).is_err() {
+            continue;
+        }
+        let epoch = {
+            let mut st = slot.state.lock().expect("slot lock");
+            st.epoch += 1;
+            st.resume_from = hello.resume_from;
+            st.stream = stream.try_clone().ok();
+            st.epoch
+        };
+        let engine = hello.engine;
+        let tx = events.clone();
+        let _ = thread::Builder::new()
+            .name(format!("dcape-rx-e{}", engine.index()))
+            .spawn(move || reader_thread(stream, engine, epoch, tx));
+    }
+}
+
+/// Per-connection reader: decode frames into events until EOF/error.
+fn reader_thread(stream: TcpStream, engine: EngineId, epoch: u64, tx: Sender<Event>) {
+    let mut r = BufReader::new(stream);
+    loop {
+        match read_frame(&mut r) {
+            Ok(Some((_, WireMsg::Coord(m)))) => {
+                if tx.send(Event::Msg(m)).is_err() {
+                    return;
+                }
+            }
+            Ok(Some((_, WireMsg::Relay { to, msg }))) => {
+                if tx.send(Event::Relay { to, msg }).is_err() {
+                    return;
+                }
+            }
+            Ok(Some((_, other))) => {
+                let _ = tx.send(Event::Fatal {
+                    engine,
+                    error: format!("unexpected frame from worker: {}", msg_kind_name(&other)),
+                });
+                return;
+            }
+            Ok(None) => {
+                let _ = tx.send(Event::Disconnected { engine, epoch });
+                return;
+            }
+            Err(DcapeError::Io(_)) => {
+                // Connection reset — a killed worker looks like this.
+                let _ = tx.send(Event::Disconnected { engine, epoch });
+                return;
+            }
+            Err(e) => {
+                let _ = tx.send(Event::Fatal {
+                    engine,
+                    error: e.to_string(),
+                });
+                return;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Worker lifecycle (spawn mode).
+
+struct SpawnCtl {
+    node_bin: PathBuf,
+    addr: String,
+    children: Vec<Option<Child>>,
+    respawns: Vec<u32>,
+}
+
+impl SpawnCtl {
+    fn spawn_worker(&mut self, engine: EngineId) -> Result<()> {
+        // `--once`: spawned children are scoped to this run — without
+        // it the worker serve-loops waiting for the next run, and
+        // teardown would block on reaping it.
+        let child = Command::new(&self.node_bin)
+            .arg("--connect")
+            .arg(&self.addr)
+            .arg("--engine-id")
+            .arg(engine.index().to_string())
+            .arg("--once")
+            .spawn()
+            .map_err(|e| {
+                DcapeError::Disconnected(format!(
+                    "failed to spawn worker {} ({}): {e}",
+                    engine,
+                    self.node_bin.display()
+                ))
+            })?;
+        self.children[engine.index()] = Some(child);
+        Ok(())
+    }
+}
+
+/// The coordinator's view of the cluster: transport + worker processes
+/// + crash bookkeeping.
+struct Cluster {
+    net: Net,
+    spawn: Option<SpawnCtl>,
+    done: Vec<bool>,
+    journal: JournalHandle,
+    kill: Option<KillPlan>,
+    kill_stats_seen: u32,
+    kill_fired: bool,
+}
+
+impl Cluster {
+    /// Classify one event. Returns the protocol message the caller
+    /// should feed to the coordinator logic, if any; relays, respawns
+    /// and the kill hook are handled here.
+    fn triage(&mut self, ev: Event, now: VirtualTime) -> Result<Option<FromEngine>> {
+        match ev {
+            Event::Msg(m) => {
+                self.net.log_rx(m.engine(), from_engine_kind(&m));
+                if let (Some(kp), false) = (self.kill, self.kill_fired) {
+                    if matches!(&m, FromEngine::Stats(r) if r.engine == kp.engine) {
+                        self.kill_stats_seen += 1;
+                        if self.kill_stats_seen >= kp.after_stats {
+                            self.kill_fired = true;
+                            if let Some(ctl) = self.spawn.as_mut() {
+                                if let Some(child) = ctl.children[kp.engine.index()].as_mut() {
+                                    // SIGKILL: no exit handler runs in
+                                    // the worker, no state survives.
+                                    let _ = child.kill();
+                                }
+                            }
+                        }
+                    }
+                }
+                Ok(Some(m))
+            }
+            Event::Relay { to, msg } => {
+                self.net.send(to, msg)?;
+                Ok(None)
+            }
+            Event::Disconnected { engine, epoch } => {
+                self.on_disconnect(engine, epoch, now)?;
+                Ok(None)
+            }
+            Event::Fatal { engine, error } => Err(DcapeError::codec(format!(
+                "worker {engine} connection: {error}"
+            ))),
+        }
+    }
+
+    fn on_disconnect(&mut self, engine: EngineId, epoch: u64, now: VirtualTime) -> Result<()> {
+        {
+            let slot = &self.net.slots[engine.index()];
+            let mut st = slot.state.lock().expect("slot lock");
+            if st.epoch != epoch {
+                // A newer connection already replaced this one.
+                return Ok(());
+            }
+            st.stream = None;
+        }
+        if self.done[engine.index()] {
+            // Normal exit after CleanupDone.
+            return Ok(());
+        }
+        let Some(ctl) = self.spawn.as_mut() else {
+            return Err(DcapeError::Disconnected(format!(
+                "worker {engine} disconnected (manual --listen mode cannot respawn)"
+            )));
+        };
+        let status = match ctl.children[engine.index()].take() {
+            Some(mut child) => child.wait().map_err(DcapeError::Io)?,
+            None => {
+                return Err(DcapeError::Disconnected(format!(
+                    "worker {engine} disconnected but no child process is tracked"
+                )))
+            }
+        };
+        // Respawn only crash-shaped deaths: a signal (kill -9) or the
+        // chaos crash exit code. Anything else (a panic, exit 0 before
+        // CleanupDone) is a worker bug and fails the run.
+        let crashed = match status.code() {
+            None => true, // killed by signal
+            Some(c) => c == CRASH_EXIT,
+        };
+        if !crashed {
+            return Err(DcapeError::Disconnected(format!(
+                "worker {engine} exited unexpectedly ({status})"
+            )));
+        }
+        let count = {
+            let r = &mut ctl.respawns[engine.index()];
+            *r += 1;
+            *r
+        };
+        if count > MAX_RESPAWNS {
+            return Err(DcapeError::Disconnected(format!(
+                "worker {engine} exceeded {MAX_RESPAWNS} respawns"
+            )));
+        }
+        self.journal.record(
+            now,
+            AdaptEvent::ProtocolWarning {
+                code: "worker_respawned",
+                engine,
+                round: 0,
+                detail: count as u64,
+            },
+        );
+        ctl.spawn_worker(engine)
+    }
+}
+
+fn from_engine_kind(m: &FromEngine) -> &'static str {
+    match m {
+        FromEngine::Ptv { .. } => "ptv",
+        FromEngine::TransferAck { .. } => "transfer_ack",
+        FromEngine::Stats(_) => "stats",
+        FromEngine::CleanupReady { .. } => "cleanup_ready",
+        FromEngine::CleanupDone { .. } => "cleanup_done",
+    }
+}
+
+impl FromEngine {
+    /// The reporting engine (every variant carries one).
+    fn engine(&self) -> EngineId {
+        match self {
+            FromEngine::Ptv { engine, .. }
+            | FromEngine::TransferAck { engine, .. }
+            | FromEngine::CleanupReady { engine, .. }
+            | FromEngine::CleanupDone { engine, .. } => *engine,
+            FromEngine::Stats(r) => r.engine,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The coordinator run loop.
+
+/// Run a complete experiment across worker processes until `deadline`
+/// of virtual time, then quiesce, run the distributed cleanup, and fold
+/// the per-worker reports — same contract and report shape as
+/// [`super::threaded::run_threaded`].
+pub fn run_socket(cfg: SocketConfig, deadline: VirtualTime) -> Result<ThreadedReport> {
+    let sim = &cfg.sim;
+    if sim.num_engines == 0 {
+        return Err(DcapeError::config("need at least one engine"));
+    }
+    if sim.num_engines > u16::MAX as usize {
+        return Err(DcapeError::config("too many engines for the wire format"));
+    }
+    if cfg.kill.is_some() && !matches!(cfg.mode, SocketMode::Spawn { .. }) {
+        return Err(DcapeError::config("kill plans need spawn mode"));
+    }
+
+    let mut gen = StreamSetGenerator::new(sim.workload.clone())?;
+    let mut split = crate::split::SplitOperator::new(
+        gen.partitioner(),
+        vec![StreamSetGenerator::JOIN_COLUMN; sim.workload.num_streams],
+    )?;
+    let mut placement =
+        PlacementMap::new(&sim.placement, sim.workload.num_partitions, sim.num_engines)?;
+    let mut gc = GlobalCoordinator::new(&sim.strategy);
+    let journal = if sim.journal {
+        let handle = JournalHandle::enabled();
+        gc.set_journal(handle.clone());
+        handle
+    } else {
+        JournalHandle::disabled()
+    };
+    // Bounded patience when anything can kill or lose a message: chaos
+    // faults, or the kill plan (a worker dying mid-round needs the
+    // phase timeout to re-drive the round against its respawn).
+    if sim.faults.is_active() || cfg.kill.is_some() {
+        gc.set_retry_policy(RetryPolicy::default());
+    }
+    let mut held_sends: HeldSends = Vec::new();
+
+    // Transport fabric.
+    let listen_addr = match &cfg.mode {
+        SocketMode::Spawn { .. } => "127.0.0.1:0".to_string(),
+        SocketMode::Listen { addr } => addr.clone(),
+    };
+    let listener = TcpListener::bind(&listen_addr).map_err(DcapeError::Io)?;
+    let local_addr = listener.local_addr().map_err(DcapeError::Io)?.to_string();
+
+    let slots: Vec<Arc<ConnSlot>> = (0..sim.num_engines)
+        .map(|_| Arc::new(ConnSlot::new()))
+        .collect();
+    let mut outbox_txs = Vec::with_capacity(sim.num_engines);
+    let mut outbox_handles = Vec::with_capacity(sim.num_engines);
+    for (i, slot) in slots.iter().enumerate() {
+        let (tx, rx) = unbounded::<Vec<u8>>();
+        outbox_txs.push(tx);
+        let slot = Arc::clone(slot);
+        outbox_handles.push(
+            thread::Builder::new()
+                .name(format!("dcape-tx-e{i}"))
+                .spawn(move || outbox_thread(slot, rx))
+                .expect("spawn outbox thread"),
+        );
+    }
+    let logs = match std::env::var("DCAPE_FRAME_LOG_DIR") {
+        Ok(dir) if !dir.is_empty() => {
+            let dir = PathBuf::from(dir);
+            std::fs::create_dir_all(&dir).map_err(DcapeError::Io)?;
+            let files: Vec<std::fs::File> = (0..sim.num_engines)
+                .map(|i| std::fs::File::create(dir.join(format!("frames-coord-e{i}.log"))))
+                .collect::<std::io::Result<_>>()
+                .map_err(DcapeError::Io)?;
+            Some(files)
+        }
+        _ => None,
+    };
+
+    let (events_tx, events) = unbounded::<Event>();
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let tmpl = Arc::new(WelcomeTemplate {
+        num_engines: sim.num_engines as u16,
+        config: sim.engine.clone(),
+        journal: sim.journal,
+        count_first: sim.count_first,
+        fault_seed: sim.faults.seed(),
+        faults: *sim.faults.config(),
+    });
+    let acceptor = {
+        let slots = slots.clone();
+        let tmpl = Arc::clone(&tmpl);
+        let events_tx = events_tx.clone();
+        let shutdown = Arc::clone(&shutdown);
+        thread::Builder::new()
+            .name("dcape-accept".into())
+            .spawn(move || acceptor_thread(listener, slots, tmpl, events_tx, shutdown))
+            .expect("spawn acceptor thread")
+    };
+
+    // Workers.
+    let spawn_ctl = match &cfg.mode {
+        SocketMode::Spawn { node_bin } => {
+            let mut ctl = SpawnCtl {
+                node_bin: node_bin.clone(),
+                addr: local_addr.clone(),
+                children: (0..sim.num_engines).map(|_| None).collect(),
+                respawns: vec![0; sim.num_engines],
+            };
+            for i in 0..sim.num_engines {
+                ctl.spawn_worker(EngineId(i as u16))?;
+            }
+            Some(ctl)
+        }
+        SocketMode::Listen { .. } => {
+            eprintln!(
+                "dcape coordinator listening on {local_addr}; waiting for {} worker(s)",
+                sim.num_engines
+            );
+            None
+        }
+    };
+    let mut cluster = Cluster {
+        net: Net {
+            slots,
+            outboxes: outbox_txs,
+            logs,
+        },
+        spawn: spawn_ctl,
+        done: vec![false; sim.num_engines],
+        journal: journal.clone(),
+        kill: cfg.kill,
+        kill_stats_seen: 0,
+        kill_fired: false,
+    };
+
+    // Driver loop — mirrors run_threaded statement for statement; the
+    // only structural difference is event triage (relays, respawns).
+    let mut stats_timer = PeriodicTimer::new(sim.stats_interval, VirtualTime::ZERO);
+    let mut tick_timer = PeriodicTimer::new(VirtualDuration::from_secs(1), VirtualTime::ZERO);
+    let mut pending_stats: Vec<Option<dcape_engine::stats::EngineStatsReport>> =
+        vec![None; sim.num_engines];
+    let mut awaiting_stats = false;
+    let mut relocations = 0u64;
+
+    const MAX_BATCH_TICKS: u32 = 64;
+    let mut tick_buf: Vec<dcape_common::tuple::Tuple> = Vec::new();
+    let mut engine_batches: Vec<TupleBatch> =
+        (0..sim.num_engines).map(|_| TupleBatch::new()).collect();
+    let mut pending_ticks = 0u32;
+    let flush_pending = |batches: &mut Vec<TupleBatch>, net: &Net, ticks: &mut u32| -> Result<()> {
+        *ticks = 0;
+        for (i, pending) in batches.iter_mut().enumerate() {
+            if pending.is_empty() {
+                continue;
+            }
+            let tuples = std::mem::replace(pending, TupleBatch::with_capacity(pending.len()));
+            net.send(EngineId(i as u16), ToEngine::DataBatch { tuples })?;
+        }
+        Ok(())
+    };
+
+    while gen.now() < deadline {
+        let now = gen.now();
+        if sim.batch {
+            gen.tick_batch(&mut tick_buf);
+            journal.add_tuples_routed(tick_buf.len() as u64);
+            for tuple in tick_buf.drain(..) {
+                let pid = split.classify(&tuple)?;
+                match placement.route(pid, tuple)? {
+                    Route::Buffered => {
+                        journal.add_buffered_in_flight(1);
+                    }
+                    Route::Deliver(engine, tuple) => {
+                        engine_batches[engine.index()].push(pid, tuple);
+                    }
+                }
+            }
+            pending_ticks += 1;
+            if pending_ticks >= MAX_BATCH_TICKS
+                || tick_timer.expired(now)
+                || stats_timer.expired(now)
+            {
+                flush_pending(&mut engine_batches, &cluster.net, &mut pending_ticks)?;
+            }
+        } else {
+            let batch = gen.generate_ticks(1);
+            for tuple in batch {
+                let pid = split.classify(&tuple)?;
+                journal.add_tuples_routed(1);
+                match placement.route(pid, tuple)? {
+                    Route::Buffered => {
+                        journal.add_buffered_in_flight(1);
+                    }
+                    Route::Deliver(engine, tuple) => {
+                        cluster.net.send(engine, ToEngine::Data { pid, tuple })?;
+                    }
+                }
+            }
+        }
+        if tick_timer.expired(now) {
+            tick_timer.reset(now);
+            let watermark = split.admitted_watermark();
+            let horizon = placement.purge_horizon(watermark);
+            if sim.engine.join.window.is_some() && horizon < watermark {
+                journal.add_purges_deferred(1);
+            }
+            for i in 0..sim.num_engines {
+                cluster
+                    .net
+                    .send(EngineId(i as u16), ToEngine::Tick { now, horizon })?;
+            }
+        }
+        if stats_timer.expired(now) && !awaiting_stats && !gc.relocation_active() {
+            stats_timer.reset(now);
+            awaiting_stats = true;
+            pending_stats.iter_mut().for_each(|s| *s = None);
+            for i in 0..sim.num_engines {
+                cluster
+                    .net
+                    .send(EngineId(i as u16), ToEngine::ReportStats { now })?;
+            }
+        }
+
+        // Drain the event inbox without blocking the data path.
+        while let Ok(ev) = events.try_recv() {
+            let Some(msg) = cluster.triage(ev, now)? else {
+                continue;
+            };
+            // Deliver already-routed tuples before acting on anything
+            // that might pause or re-home their partitions.
+            if sim.batch {
+                flush_pending(&mut engine_batches, &cluster.net, &mut pending_ticks)?;
+            }
+            let net = &cluster.net;
+            let mut send = |e: EngineId, m: ToEngine| net.send(e, m);
+            handle_coordinator_msg(
+                msg,
+                &mut gc,
+                &mut placement,
+                &mut send,
+                sim.num_engines,
+                &mut pending_stats,
+                &mut awaiting_stats,
+                &mut relocations,
+                &journal,
+                now,
+                split.admitted_watermark(),
+                sim.batch,
+                &sim.faults,
+                &mut held_sends,
+            )?;
+        }
+
+        if sim.faults.is_active() || cluster.kill.is_some() {
+            {
+                let net = &cluster.net;
+                let mut send = |e: EngineId, m: ToEngine| net.send(e, m);
+                release_due(&mut held_sends, now, &mut send)?;
+            }
+            while let Some(action) = gc.check_timeout(now) {
+                if sim.batch {
+                    flush_pending(&mut engine_batches, &cluster.net, &mut pending_ticks)?;
+                }
+                let net = &cluster.net;
+                let mut send = |e: EngineId, m: ToEngine| net.send(e, m);
+                handle_timeout_action(
+                    action,
+                    &mut placement,
+                    &mut send,
+                    &journal,
+                    now,
+                    sim.batch,
+                    &sim.faults,
+                    &mut held_sends,
+                )?;
+            }
+        }
+    }
+
+    if sim.batch {
+        flush_pending(&mut engine_batches, &cluster.net, &mut pending_ticks)?;
+    }
+
+    // Quiesce (see run_threaded): virtual time keeps advancing on
+    // receive timeouts so phase deadlines and held messages fire.
+    let mut vnow = deadline;
+    while gc.relocation_active() || awaiting_stats || !held_sends.is_empty() {
+        {
+            let net = &cluster.net;
+            let mut send = |e: EngineId, m: ToEngine| net.send(e, m);
+            release_due(&mut held_sends, vnow, &mut send)?;
+        }
+        match events.recv_timeout(Duration::from_millis(5)) {
+            Ok(ev) => {
+                if let Some(msg) = cluster.triage(ev, vnow)? {
+                    let net = &cluster.net;
+                    let mut send = |e: EngineId, m: ToEngine| net.send(e, m);
+                    handle_coordinator_msg(
+                        msg,
+                        &mut gc,
+                        &mut placement,
+                        &mut send,
+                        sim.num_engines,
+                        &mut pending_stats,
+                        &mut awaiting_stats,
+                        &mut relocations,
+                        &journal,
+                        vnow,
+                        split.admitted_watermark(),
+                        sim.batch,
+                        &sim.faults,
+                        &mut held_sends,
+                    )?;
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                vnow += VirtualDuration::from_millis(200);
+                while let Some(action) = gc.check_timeout(vnow) {
+                    let net = &cluster.net;
+                    let mut send = |e: EngineId, m: ToEngine| net.send(e, m);
+                    handle_timeout_action(
+                        action,
+                        &mut placement,
+                        &mut send,
+                        &journal,
+                        vnow,
+                        sim.batch,
+                        &sim.faults,
+                        &mut held_sends,
+                    )?;
+                }
+                let watermark = split.admitted_watermark();
+                let horizon = placement.purge_horizon(watermark);
+                for i in 0..sim.num_engines {
+                    cluster
+                        .net
+                        .send(EngineId(i as u16), ToEngine::Tick { now: vnow, horizon })?;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                return Err(DcapeError::Disconnected("event channel closed".into()))
+            }
+        }
+    }
+
+    debug_assert!(placement.paused_partitions().is_empty());
+    debug_assert!(placement.oldest_buffered_ts().is_none());
+
+    // Distributed cleanup, phase 1 (see run_threaded). Forwarded
+    // segments arrive here as Relay events and are re-framed to their
+    // owners strictly before the StartCleanup broadcast below: each
+    // worker sends its relays before CleanupReady on its FIFO
+    // connection, and the event channel preserves that order.
+    let owners: Vec<EngineId> = (0..placement.num_partitions())
+        .map(|i| placement.owner(PartitionId(i)))
+        .collect::<Result<_>>()?;
+    for i in 0..sim.num_engines {
+        cluster.net.send(
+            EngineId(i as u16),
+            ToEngine::PrepareCleanup {
+                owners: owners.clone(),
+            },
+        )?;
+    }
+    let mut ready = vec![false; sim.num_engines];
+    while ready.iter().any(|r| !r) {
+        let ev = events
+            .recv_timeout(Duration::from_secs(120))
+            .map_err(|_| DcapeError::Disconnected("timed out awaiting CleanupReady".into()))?;
+        match cluster.triage(ev, vnow)? {
+            None => {}
+            // A respawned worker's replay can repeat CleanupReady;
+            // setting the flag twice is harmless.
+            Some(FromEngine::CleanupReady { engine, .. }) => {
+                ready[engine.index()] = true;
+            }
+            // Chaos stragglers, as in run_threaded's prepare loop.
+            Some(FromEngine::Ptv { round, engine, .. }) => journal.record(
+                vnow,
+                AdaptEvent::ProtocolWarning {
+                    code: "stale_ptv_after_quiesce",
+                    engine,
+                    round,
+                    detail: 2,
+                },
+            ),
+            Some(FromEngine::TransferAck { round, engine, .. }) => journal.record(
+                vnow,
+                AdaptEvent::ProtocolWarning {
+                    code: "stale_ack_after_quiesce",
+                    engine,
+                    round,
+                    detail: 6,
+                },
+            ),
+            Some(FromEngine::Stats(_)) => {}
+            Some(other) => {
+                return Err(DcapeError::protocol(format!(
+                    "unexpected message during cleanup prepare: {other:?}"
+                )))
+            }
+        }
+    }
+    for i in 0..sim.num_engines {
+        cluster
+            .net
+            .send(EngineId(i as u16), ToEngine::StartCleanup)?;
+    }
+
+    let mut runtime_output = 0u64;
+    let mut cleanup_output = 0u64;
+    let mut cleanup_wall_ms = 0u64;
+    let mut spill_counts = vec![0u64; sim.num_engines];
+    let mut engine_journals: Vec<Vec<JournalEntry>> = Vec::with_capacity(sim.num_engines);
+    let mut journal_counters = CountersSnapshot::default();
+    while cluster.done.iter().any(|d| !d) {
+        let ev = events
+            .recv_timeout(Duration::from_secs(120))
+            .map_err(|_| DcapeError::Disconnected("timed out awaiting CleanupDone".into()))?;
+        match cluster.triage(ev, vnow)? {
+            None => {}
+            Some(FromEngine::CleanupDone {
+                engine,
+                runtime_output: out,
+                cleanup_output: missed,
+                spill_count,
+                cleanup_cost_ms,
+                journal: engine_journal,
+                journal_counters: engine_counters,
+            }) => {
+                if cluster.done[engine.index()] {
+                    continue; // duplicate from an implausibly late replay
+                }
+                cluster.done[engine.index()] = true;
+                runtime_output += out;
+                cleanup_output += missed;
+                cleanup_wall_ms = cleanup_wall_ms.max(cleanup_cost_ms);
+                spill_counts[engine.index()] = spill_count;
+                engine_journals.push(engine_journal);
+                journal_counters.spill_bytes += engine_counters.spill_bytes;
+                journal_counters.events_recorded += engine_counters.events_recorded;
+                journal_counters.events_dropped += engine_counters.events_dropped;
+                journal_counters.faults_injected += engine_counters.faults_injected;
+                journal_counters.msgs_retried += engine_counters.msgs_retried;
+                journal_counters.rounds_aborted += engine_counters.rounds_aborted;
+                journal_counters.watermark_released_on_abort +=
+                    engine_counters.watermark_released_on_abort;
+            }
+            Some(FromEngine::Stats(_)) => {}
+            Some(other) => {
+                return Err(DcapeError::protocol(format!(
+                    "unexpected message during merge: {other:?}"
+                )))
+            }
+        }
+    }
+
+    // Teardown: stop the outboxes (they drain whatever is still
+    // deliverable), wake the acceptor, reap the children.
+    drop(cluster.net.outboxes);
+    for h in outbox_handles {
+        let _ = h.join();
+    }
+    shutdown.store(true, Ordering::SeqCst);
+    let _ = TcpStream::connect(&local_addr); // unblock accept()
+    let _ = acceptor.join();
+    if let Some(ctl) = cluster.spawn.as_mut() {
+        for (i, child) in ctl.children.iter_mut().enumerate() {
+            if let Some(mut c) = child.take() {
+                let status = c.wait().map_err(DcapeError::Io)?;
+                if !status.success() {
+                    return Err(DcapeError::Disconnected(format!(
+                        "worker {i} exited with {status} after cleanup"
+                    )));
+                }
+            }
+        }
+    }
+
+    let merged = if sim.journal {
+        engine_journals.push(journal.snapshot());
+        merge_journals(engine_journals)
+    } else {
+        Vec::new()
+    };
+    if let Some(c) = journal.counters() {
+        journal_counters.absorb(&c.snapshot());
+    }
+
+    Ok(ThreadedReport {
+        runtime_output,
+        cleanup_output,
+        relocations,
+        spill_counts,
+        force_spills: gc.force_spills_issued(),
+        cleanup_wall_ms,
+        journal: merged,
+        journal_counters,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Worker side.
+
+/// Framed-TCP transport for a worker's [`EngineCore`]: replies and
+/// relayed peer messages all go up the single coordinator connection.
+struct WorkerTx<'a> {
+    stream: &'a TcpStream,
+    log: Option<&'a std::fs::File>,
+}
+
+impl WorkerTx<'_> {
+    fn write(&mut self, wire: &WireMsg) -> Result<()> {
+        if let Some(mut f) = self.log {
+            let _ = writeln!(f, "tx kind={}", msg_kind_name(wire));
+        }
+        write_frame(&mut self.stream, 0, wire)
+    }
+}
+
+impl EngineTx for WorkerTx<'_> {
+    fn to_gc(&mut self, m: FromEngine) -> Result<()> {
+        self.write(&WireMsg::Coord(m))
+    }
+
+    fn to_peer(&mut self, target: EngineId, m: ToEngine) -> Result<()> {
+        self.write(&WireMsg::Relay { to: target, msg: m })
+    }
+}
+
+/// How a worker session came to an end (short of a hard error).
+enum SessionEnd {
+    /// The run completed: `StartCleanup` was processed to `CleanupDone`.
+    Finished,
+    /// The connection died before `Welcome` arrived: the coordinator
+    /// was tearing down the previous run's listener when we raced in.
+    HandshakeLost,
+}
+
+/// Entry point of a spawn-mode (`--once`) worker process: connect,
+/// handshake, then run the engine loop until `StartCleanup` completes
+/// (exit 0), a chaos crash fires (exit [`CRASH_EXIT`]), or an error
+/// occurs.
+pub fn worker_main(addr: &str, engine: EngineId) -> Result<()> {
+    let stream = TcpStream::connect(addr).map_err(DcapeError::Io)?;
+    match worker_session(stream, engine)? {
+        SessionEnd::Finished => Ok(()),
+        SessionEnd::HandshakeLost => Err(DcapeError::Disconnected(
+            "coordinator closed the connection before Welcome".into(),
+        )),
+    }
+}
+
+/// Connect with a bounded retry grace: between successive runs (one
+/// figure configuration each) the coordinator tears its listener down
+/// and re-binds it, and at startup the worker may beat the coordinator
+/// to the address. `None` once the grace period expires.
+fn connect_with_retry(addr: &str) -> Option<TcpStream> {
+    for attempt in 0..50 {
+        if attempt > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(200));
+        }
+        if let Ok(s) = TcpStream::connect(addr) {
+            return Some(s);
+        }
+    }
+    None
+}
+
+/// Entry point of a manually started `dcape-node`: serve coordinator
+/// runs in a loop — a listen-mode harness executes one `run_socket`
+/// per figure configuration, each needing a fresh session — and return
+/// the number served once the coordinator stops listening for good.
+pub fn worker_serve(addr: &str, engine: EngineId) -> Result<u32> {
+    let mut served = 0u32;
+    loop {
+        let stream = match connect_with_retry(addr) {
+            Some(s) => s,
+            None if served > 0 => return Ok(served),
+            None => {
+                return Err(DcapeError::Disconnected(format!(
+                    "could not reach coordinator at {addr}"
+                )))
+            }
+        };
+        match worker_session(stream, engine)? {
+            SessionEnd::Finished => served += 1,
+            SessionEnd::HandshakeLost => {}
+        }
+    }
+}
+
+/// One full worker session over an established connection: handshake,
+/// then the engine loop until the run finishes.
+fn worker_session(stream: TcpStream, engine: EngineId) -> Result<SessionEnd> {
+    stream.set_nodelay(true).map_err(DcapeError::Io)?;
+    if write_frame(
+        &mut (&stream),
+        0,
+        &WireMsg::Hello(Hello {
+            engine,
+            resume_from: 0,
+        }),
+    )
+    .is_err()
+    {
+        // The accepted connection was already dead (listener teardown
+        // race): no Welcome was ever coming.
+        return Ok(SessionEnd::HandshakeLost);
+    }
+    let mut reader = BufReader::new(stream.try_clone().map_err(DcapeError::Io)?);
+    let welcome = match read_frame(&mut reader) {
+        Ok(Some((_, WireMsg::Welcome(w)))) => *w,
+        Ok(None) | Err(DcapeError::Io(_)) => return Ok(SessionEnd::HandshakeLost),
+        Ok(Some(other)) => {
+            return Err(DcapeError::protocol(format!(
+                "expected Welcome, got {other:?}"
+            )))
+        }
+        Err(e) => return Err(e),
+    };
+    if welcome.engine != engine {
+        return Err(DcapeError::protocol("welcome for a different engine"));
+    }
+    let log_file = match std::env::var("DCAPE_FRAME_LOG_DIR") {
+        Ok(dir) if !dir.is_empty() => {
+            let dir = PathBuf::from(dir);
+            std::fs::create_dir_all(&dir).map_err(DcapeError::Io)?;
+            Some(
+                std::fs::File::create(dir.join(format!(
+                    "frames-worker-e{}-pid{}.log",
+                    engine.index(),
+                    std::process::id()
+                )))
+                .map_err(DcapeError::Io)?,
+            )
+        }
+        _ => None,
+    };
+
+    let mut core = EngineCore::new(engine, welcome.config, welcome.journal, welcome.count_first)?;
+    let plan = FaultPlan::new(welcome.fault_seed, welcome.faults);
+    let replay_plan = FaultPlan::disabled();
+    let mut expected_seq = 1u64;
+    loop {
+        let (seq, wire) = match read_frame(&mut reader)? {
+            Some(frame) => frame,
+            None => {
+                // The coordinator hung up before StartCleanup: it
+                // failed (or was killed); nothing left to do here.
+                return Err(DcapeError::Disconnected(
+                    "coordinator closed the connection".into(),
+                ));
+            }
+        };
+        if seq != expected_seq {
+            return Err(DcapeError::protocol(format!(
+                "frame sequence gap: expected {expected_seq}, got {seq}"
+            )));
+        }
+        expected_seq += 1;
+        if let Some(mut f) = log_file.as_ref() {
+            let _ = writeln!(f, "rx seq={seq} kind={}", msg_kind_name(&wire));
+        }
+        let msg = match wire {
+            WireMsg::Engine(m) => m,
+            other => {
+                return Err(DcapeError::protocol(format!(
+                    "unexpected frame kind: {}",
+                    msg_kind_name(&other)
+                )))
+            }
+        };
+        // Replayed history is processed fault-free: those faults
+        // already happened in a previous life of this engine.
+        let active_plan = if seq <= welcome.replay_until {
+            &replay_plan
+        } else {
+            &plan
+        };
+        let mut tx = WorkerTx {
+            stream: &stream,
+            log: log_file.as_ref(),
+        };
+        match core.handle(msg, active_plan, &mut tx)? {
+            EngineFlow::Continue => {}
+            EngineFlow::CrashRequested => {
+                // A real crash: the OS process dies, taking every bit
+                // of in-memory state (and this life's journal) with it.
+                // The coordinator respawns us and replays history.
+                std::process::exit(CRASH_EXIT);
+            }
+            EngineFlow::Finished => {
+                if let Ok(dir) = std::env::var("DCAPE_JOURNAL_DUMP") {
+                    if !dir.is_empty() {
+                        let path = PathBuf::from(dir).join(format!(
+                            "worker-e{}-pid{}.jsonl",
+                            engine.index(),
+                            std::process::id()
+                        ));
+                        let _ = dcape_metrics::report::write_journal_jsonl(
+                            &path,
+                            &core.qe.journal().snapshot(),
+                        );
+                    }
+                }
+                return Ok(SessionEnd::Finished);
+            }
+        }
+    }
+}

@@ -8,6 +8,11 @@
 //! plays the roles of stream source, split operators, and global
 //! coordinator.
 //!
+//! The protocol logic itself lives in [`super::driver`]
+//! (coordinator side) and [`super::engine_core`] (engine side), shared
+//! with the multi-process [`super::socket`] driver; this module supplies
+//! the crossbeam-channel transport and the thread lifecycle.
+//!
 //! Differences from the paper's deployment, by design:
 //!
 //! * Virtual time still paces timers (determinism of *decisions* is not
@@ -30,55 +35,20 @@ use dcape_common::batch::TupleBatch;
 use dcape_common::error::{DcapeError, Result};
 use dcape_common::ids::{EngineId, PartitionId};
 use dcape_common::time::{PeriodicTimer, VirtualDuration, VirtualTime};
-use dcape_engine::controller::Mode;
-use dcape_engine::engine::QueryEngine;
-use dcape_engine::probe::ProbeSpans;
-use dcape_engine::sink::{CountingSink, EnumeratingSink, ResultSink};
 use dcape_metrics::journal::{
     merge_journals, AdaptEvent, CountersSnapshot, JournalEntry, JournalHandle,
 };
 use dcape_streamgen::StreamSetGenerator;
 
-use crate::coordinator::{GlobalCoordinator, RetryPolicy, TimeoutAction};
-use crate::faults::{FaultDecision, FaultEdge, FaultPlan};
-use crate::messages::{FromEngine, GroupTransfer, ToEngine};
+use crate::coordinator::{GlobalCoordinator, RetryPolicy};
+use crate::faults::FaultPlan;
+use crate::messages::{FromEngine, ToEngine};
 use crate::placement::{PlacementMap, Route};
-use crate::relocation::Action;
+use crate::runtime::driver::{
+    handle_coordinator_msg, handle_timeout_action, release_due, HeldSends,
+};
+use crate::runtime::engine_core::{EngineCore, EngineFlow, EngineTx};
 use crate::runtime::sim::SimConfig;
-use crate::stats::ClusterStats;
-use crate::strategy::Decision;
-
-/// Driver-held control messages the chaos layer delayed (`Cptv`,
-/// `SendStates`); released into the channels once the virtual clock
-/// passes the due time.
-type HeldSends = Vec<(VirtualTime, EngineId, ToEngine)>;
-
-/// Consult the fault plan for one message edge, journaling any injected
-/// fault (shared by the driver thread and the engine threads — both
-/// count into `faults_injected`, folded together at shutdown).
-fn edge_decision(
-    plan: &FaultPlan,
-    journal: &JournalHandle,
-    now: VirtualTime,
-    edge: FaultEdge,
-    round: u64,
-    attempt: u32,
-) -> FaultDecision {
-    let decision = plan.decide(edge, round, attempt);
-    if let Some(fault) = decision.fault_name() {
-        journal.add_faults_injected(1);
-        journal.record(
-            now,
-            AdaptEvent::FaultInjected {
-                fault,
-                edge: edge.name(),
-                round,
-                attempt,
-            },
-        );
-    }
-    decision
-}
 
 /// Outcome of one threaded run.
 #[derive(Debug)]
@@ -192,8 +162,10 @@ pub fn run_threaded(cfg: SimConfig, deadline: VirtualTime) -> Result<ThreadedRep
     let mut awaiting_stats = false;
     let mut relocations = 0u64;
 
-    let send_to = |txs: &[Sender<ToEngine>], e: EngineId, msg: ToEngine| -> Result<()> {
-        txs[e.index()]
+    // All coordinator-side protocol helpers send through this closure;
+    // the socket driver substitutes one that frames onto TCP.
+    let mut send = |e: EngineId, msg: ToEngine| -> Result<()> {
+        to_engines[e.index()]
             .send(msg)
             .map_err(|_| DcapeError::Disconnected(format!("engine {e} channel closed")))
     };
@@ -261,7 +233,7 @@ pub fn run_threaded(cfg: SimConfig, deadline: VirtualTime) -> Result<ThreadedRep
                         journal.add_buffered_in_flight(1);
                     }
                     Route::Deliver(engine, tuple) => {
-                        send_to(&to_engines, engine, ToEngine::Data { pid, tuple })?;
+                        send(engine, ToEngine::Data { pid, tuple })?;
                     }
                 }
             }
@@ -278,11 +250,7 @@ pub fn run_threaded(cfg: SimConfig, deadline: VirtualTime) -> Result<ThreadedRep
                 journal.add_purges_deferred(1);
             }
             for i in 0..cfg.num_engines {
-                send_to(
-                    &to_engines,
-                    EngineId(i as u16),
-                    ToEngine::Tick { now, horizon },
-                )?;
+                send(EngineId(i as u16), ToEngine::Tick { now, horizon })?;
             }
         }
         if stats_timer.expired(now) && !awaiting_stats && !gc.relocation_active() {
@@ -290,11 +258,7 @@ pub fn run_threaded(cfg: SimConfig, deadline: VirtualTime) -> Result<ThreadedRep
             awaiting_stats = true;
             pending_stats.iter_mut().for_each(|s| *s = None);
             for i in 0..cfg.num_engines {
-                send_to(
-                    &to_engines,
-                    EngineId(i as u16),
-                    ToEngine::ReportStats { now },
-                )?;
+                send(EngineId(i as u16), ToEngine::ReportStats { now })?;
             }
         }
 
@@ -309,7 +273,8 @@ pub fn run_threaded(cfg: SimConfig, deadline: VirtualTime) -> Result<ThreadedRep
                 msg,
                 &mut gc,
                 &mut placement,
-                &to_engines,
+                &mut send,
+                cfg.num_engines,
                 &mut pending_stats,
                 &mut awaiting_stats,
                 &mut relocations,
@@ -326,7 +291,7 @@ pub fn run_threaded(cfg: SimConfig, deadline: VirtualTime) -> Result<ThreadedRep
         // time passed, and poll the coordinator's phase deadline
         // (bounded retry, then abort).
         if cfg.faults.is_active() {
-            release_due(&mut held_sends, now, &to_engines)?;
+            release_due(&mut held_sends, now, &mut send)?;
             while let Some(action) = gc.check_timeout(now) {
                 if cfg.batch {
                     flush_pending(&mut engine_batches, &to_engines, &mut pending_ticks)?;
@@ -334,7 +299,7 @@ pub fn run_threaded(cfg: SimConfig, deadline: VirtualTime) -> Result<ThreadedRep
                 handle_timeout_action(
                     action,
                     &mut placement,
-                    &to_engines,
+                    &mut send,
                     &journal,
                     now,
                     cfg.batch,
@@ -359,13 +324,14 @@ pub fn run_threaded(cfg: SimConfig, deadline: VirtualTime) -> Result<ThreadedRep
     // on the ticks we keep sending.
     let mut vnow = deadline;
     while gc.relocation_active() || awaiting_stats || !held_sends.is_empty() {
-        release_due(&mut held_sends, vnow, &to_engines)?;
+        release_due(&mut held_sends, vnow, &mut send)?;
         match from_engines.recv_timeout(Duration::from_millis(5)) {
             Ok(msg) => handle_coordinator_msg(
                 msg,
                 &mut gc,
                 &mut placement,
-                &to_engines,
+                &mut send,
+                cfg.num_engines,
                 &mut pending_stats,
                 &mut awaiting_stats,
                 &mut relocations,
@@ -382,7 +348,7 @@ pub fn run_threaded(cfg: SimConfig, deadline: VirtualTime) -> Result<ThreadedRep
                     handle_timeout_action(
                         action,
                         &mut placement,
-                        &to_engines,
+                        &mut send,
                         &journal,
                         vnow,
                         cfg.batch,
@@ -396,11 +362,7 @@ pub fn run_threaded(cfg: SimConfig, deadline: VirtualTime) -> Result<ThreadedRep
                 let watermark = split.admitted_watermark();
                 let horizon = placement.purge_horizon(watermark);
                 for i in 0..cfg.num_engines {
-                    send_to(
-                        &to_engines,
-                        EngineId(i as u16),
-                        ToEngine::Tick { now: vnow, horizon },
-                    )?;
+                    send(EngineId(i as u16), ToEngine::Tick { now: vnow, horizon })?;
                 }
             }
             Err(RecvTimeoutError::Disconnected) => {
@@ -551,485 +513,28 @@ pub fn run_threaded(cfg: SimConfig, deadline: VirtualTime) -> Result<ThreadedRep
     })
 }
 
-/// Release driver-held delayed control messages whose due time passed
-/// (insertion order among equal due times — FIFO per channel does the
-/// rest).
-fn release_due(
-    held: &mut HeldSends,
-    now: VirtualTime,
-    to_engines: &[Sender<ToEngine>],
-) -> Result<()> {
-    while let Some(idx) = held
-        .iter()
-        .enumerate()
-        .filter(|(_, (due, _, _))| now >= *due)
-        .min_by_key(|(i, (due, _, _))| (*due, *i))
-        .map(|(i, _)| i)
-    {
-        let (_, engine, msg) = held.remove(idx);
-        to_engines[engine.index()]
-            .send(msg)
-            .map_err(|_| DcapeError::Disconnected(format!("engine {engine} channel closed")))?;
-    }
-    Ok(())
+/// Channel transport for an engine thread: replies go to the
+/// coordinator's inbox, peer messages straight into the peer's channel.
+/// Send errors are ignored — a closed channel only happens in shutdown
+/// races, where the message is moot.
+struct ChannelTx {
+    to_gc: Sender<FromEngine>,
+    peers: Vec<Sender<ToEngine>>,
 }
 
-/// Put a coordinator-originated control message (`Cptv`, `SendStates`)
-/// on the wire through the fault plan: deliver, drop, duplicate, delay
-/// or garble it per the seeded schedule.
-#[allow(clippy::too_many_arguments)]
-fn chaos_send(
-    plan: &FaultPlan,
-    journal: &JournalHandle,
-    now: VirtualTime,
-    edge: FaultEdge,
-    round: u64,
-    attempt: u32,
-    target: EngineId,
-    make: impl Fn() -> ToEngine,
-    to_engines: &[Sender<ToEngine>],
-    held: &mut HeldSends,
-) -> Result<()> {
-    let send = |m: ToEngine| -> Result<()> {
-        to_engines[target.index()]
-            .send(m)
-            .map_err(|_| DcapeError::Disconnected(format!("engine {target} channel closed")))
-    };
-    match edge_decision(plan, journal, now, edge, round, attempt) {
-        FaultDecision::Deliver => send(make()),
-        // A garbled control message is discarded on receipt — same
-        // outcome as a drop; the phase timeout re-sends it.
-        FaultDecision::Drop | FaultDecision::CorruptLength => Ok(()),
-        FaultDecision::Duplicate => {
-            send(make())?;
-            send(make())
-        }
-        FaultDecision::Delay(ms) => {
-            held.push((now + VirtualDuration::from_millis(ms), target, make()));
-            Ok(())
-        }
+impl EngineTx for ChannelTx {
+    fn to_gc(&mut self, m: FromEngine) -> Result<()> {
+        let _ = self.to_gc.send(m);
+        Ok(())
+    }
+
+    fn to_peer(&mut self, target: EngineId, m: ToEngine) -> Result<()> {
+        let _ = self.peers[target.index()].send(m);
+        Ok(())
     }
 }
 
-/// Execute a phase-timeout recovery decision: re-send the phase's
-/// message (again through the fault plan — a retry can be unlucky
-/// twice) or unwind the round.
-#[allow(clippy::too_many_arguments)]
-fn handle_timeout_action(
-    action: TimeoutAction,
-    placement: &mut PlacementMap,
-    to_engines: &[Sender<ToEngine>],
-    journal: &JournalHandle,
-    now: VirtualTime,
-    batch_mode: bool,
-    plan: &FaultPlan,
-    held: &mut HeldSends,
-) -> Result<()> {
-    let send = |e: EngineId, m: ToEngine| -> Result<()> {
-        to_engines[e.index()]
-            .send(m)
-            .map_err(|_| DcapeError::Disconnected(format!("engine {e} channel closed")))
-    };
-    match action {
-        TimeoutAction::RetryCptv {
-            round,
-            sender,
-            amount,
-            attempt,
-        } => chaos_send(
-            plan,
-            journal,
-            now,
-            FaultEdge::Cptv,
-            round,
-            attempt,
-            sender,
-            || ToEngine::Cptv {
-                round,
-                amount,
-                attempt,
-            },
-            to_engines,
-            held,
-        ),
-        TimeoutAction::RetrySendStates {
-            round,
-            sender,
-            receiver,
-            parts,
-            attempt,
-        } => chaos_send(
-            plan,
-            journal,
-            now,
-            FaultEdge::SendStates,
-            round,
-            attempt,
-            sender,
-            || ToEngine::SendStates {
-                round,
-                parts: parts.clone(),
-                receiver,
-                attempt,
-            },
-            to_engines,
-            held,
-        ),
-        TimeoutAction::AbortRound {
-            round,
-            sender,
-            receiver,
-            parts,
-            held_since,
-        } => {
-            // Any delayed copies of this round's control messages are
-            // moot — the engines treat them as stale if they do land,
-            // but don't even bother releasing them.
-            held.retain(|(_, _, m)| {
-                !matches!(m,
-                    ToEngine::Cptv { round: r, .. } | ToEngine::SendStates { round: r, .. }
-                    if *r == round)
-            });
-            // Abort notifications ride the reliable channel (an abort
-            // that can be lost is not an abort protocol). FIFO order:
-            // the sender reinstalls its retained copy before any
-            // replayed tuple reaches it.
-            send(receiver, ToEngine::AbortRound { round })?;
-            send(sender, ToEngine::AbortRound { round })?;
-            if !parts.is_empty() {
-                // Release without remapping: ownership never changed,
-                // so the buffered tuples replay to the original owner.
-                let released = placement.release_paused(&parts)?;
-                let mut buffered = 0u64;
-                if batch_mode {
-                    let mut flush = TupleBatch::new();
-                    for (pid, tuples) in released {
-                        buffered += tuples.len() as u64;
-                        for tuple in tuples {
-                            flush.push(pid, tuple);
-                        }
-                    }
-                    if !flush.is_empty() {
-                        send(sender, ToEngine::DataBatch { tuples: flush })?;
-                    }
-                } else {
-                    for (pid, tuples) in released {
-                        buffered += tuples.len() as u64;
-                        for tuple in tuples {
-                            send(sender, ToEngine::Data { pid, tuple })?;
-                        }
-                    }
-                }
-                journal.sub_buffered_in_flight(buffered);
-                journal.add_replayed_in_order(buffered);
-                if let Some(held_at) = held_since {
-                    journal
-                        .add_watermark_held_ms(now.as_millis().saturating_sub(held_at.as_millis()));
-                }
-                journal.add_watermark_released_on_abort(1);
-            }
-            Ok(())
-        }
-    }
-}
-
-/// Coordinator-side message handling (shared by the run loop and the
-/// quiesce loop).
-#[allow(clippy::too_many_arguments)]
-fn handle_coordinator_msg(
-    msg: FromEngine,
-    gc: &mut GlobalCoordinator,
-    placement: &mut PlacementMap,
-    to_engines: &[Sender<ToEngine>],
-    pending_stats: &mut [Option<dcape_engine::stats::EngineStatsReport>],
-    awaiting_stats: &mut bool,
-    relocations: &mut u64,
-    journal: &JournalHandle,
-    now: VirtualTime,
-    watermark: VirtualTime,
-    batch_mode: bool,
-    plan: &FaultPlan,
-    held: &mut HeldSends,
-) -> Result<()> {
-    let send = |e: EngineId, m: ToEngine| -> Result<()> {
-        to_engines[e.index()]
-            .send(m)
-            .map_err(|_| DcapeError::Disconnected(format!("engine {e} channel closed")))
-    };
-    match msg {
-        FromEngine::Stats(report) => {
-            let idx = report.engine.index();
-            pending_stats[idx] = Some(report);
-            if *awaiting_stats && pending_stats.iter().all(Option::is_some) {
-                *awaiting_stats = false;
-                let stats = ClusterStats::new(pending_stats.iter().flatten().copied().collect());
-                match gc.evaluate(&stats, now)? {
-                    Decision::None => {}
-                    Decision::ForceSpill { engine, amount } => {
-                        send(engine, ToEngine::StartSpill { amount })?;
-                    }
-                    Decision::Relocate { sender, .. } => {
-                        let (round, s, _r, amount) =
-                            gc.active_round_info().expect("round just opened");
-                        debug_assert_eq!(s, sender);
-                        chaos_send(
-                            plan,
-                            journal,
-                            now,
-                            FaultEdge::Cptv,
-                            round,
-                            0,
-                            sender,
-                            || ToEngine::Cptv {
-                                round,
-                                amount,
-                                attempt: 0,
-                            },
-                            to_engines,
-                            held,
-                        )?;
-                    }
-                }
-            }
-            Ok(())
-        }
-        FromEngine::Ptv {
-            round,
-            engine,
-            parts,
-        } => match gc.on_ptv(engine, round, parts, now)? {
-            // Stale or duplicated Ptv: already journaled. If its round
-            // is gone and the engine is not the sender of a live one, a
-            // Resume stops it idling in relocation mode after a late
-            // Cptv re-entered it.
-            None => {
-                let active_sender = gc.active_round_info().map(|(_, s, _, _)| s);
-                if active_sender != Some(engine) {
-                    send(engine, ToEngine::Resume { round, watermark })?;
-                }
-                Ok(())
-            }
-            // Aborted rounds paused nothing, so the full admitted
-            // watermark is already safe to release.
-            Some(Action::Abort) => send(engine, ToEngine::Resume { round, watermark }),
-            Some(Action::PauseAndTransfer {
-                parts,
-                sender,
-                receiver,
-            }) => {
-                placement.pause(&parts)?;
-                journal.record(
-                    now,
-                    AdaptEvent::RelocationStep {
-                        round,
-                        step: 3,
-                        sender,
-                        receiver,
-                        parts: parts.clone(),
-                        bytes: 0,
-                        buffered_tuples: 0,
-                        load_ratio: 0.0,
-                    },
-                );
-                let attempt = gc.current_attempt();
-                chaos_send(
-                    plan,
-                    journal,
-                    now,
-                    FaultEdge::SendStates,
-                    round,
-                    attempt,
-                    sender,
-                    || ToEngine::SendStates {
-                        round,
-                        parts: parts.clone(),
-                        receiver,
-                        attempt,
-                    },
-                    to_engines,
-                    held,
-                )
-            }
-            Some(Action::RemapAndResume { .. }) => {
-                Err(DcapeError::protocol("remap action out of order"))
-            }
-        },
-        FromEngine::TransferAck {
-            round,
-            engine,
-            bytes,
-        } => {
-            // Capture the pair before the ack closes the round.
-            let sender = gc.active_round_info().map(|(_, s, ..)| s).unwrap_or(engine);
-            match gc.on_transfer_ack(engine, round, now)? {
-                // Stale or duplicated ack: already journaled; nothing
-                // to execute (and nothing to double-count).
-                None => Ok(()),
-                Some(Action::RemapAndResume {
-                    parts,
-                    receiver,
-                    held_since,
-                }) => {
-                    journal.add_relocation_bytes(bytes);
-                    // Step 7: flush the split-side buffers to the new
-                    // owner — as one batch in batch mode (per-pid lists
-                    // arrive in order; batching is a stable reordering).
-                    let released = placement.remap_and_release(&parts, receiver)?;
-                    let mut buffered = 0u64;
-                    if batch_mode {
-                        let mut flush = TupleBatch::new();
-                        for (pid, tuples) in released {
-                            buffered += tuples.len() as u64;
-                            for tuple in tuples {
-                                flush.push(pid, tuple);
-                            }
-                        }
-                        if !flush.is_empty() {
-                            send(receiver, ToEngine::DataBatch { tuples: flush })?;
-                        }
-                    } else {
-                        for (pid, tuples) in released {
-                            buffered += tuples.len() as u64;
-                            for tuple in tuples {
-                                send(receiver, ToEngine::Data { pid, tuple })?;
-                            }
-                        }
-                    }
-                    journal.record(
-                        now,
-                        AdaptEvent::RelocationStep {
-                            round,
-                            step: 7,
-                            sender,
-                            receiver,
-                            parts,
-                            bytes: 0,
-                            buffered_tuples: buffered,
-                            load_ratio: 0.0,
-                        },
-                    );
-                    journal.sub_buffered_in_flight(buffered);
-                    journal.add_replayed_in_order(buffered);
-                    journal.add_watermark_held_ms(
-                        now.as_millis().saturating_sub(held_since.as_millis()),
-                    );
-                    *relocations += 1;
-                    // Step 8: resume both parties, releasing the held
-                    // purge watermark. Every replayed tuple was sent
-                    // (FIFO) before this Resume and every later arrival
-                    // carries `ts >= watermark`, so engines may catch
-                    // their window purge up to `watermark` on receipt.
-                    // The sender is derivable from the completed
-                    // round's parts' previous owner; we broadcast
-                    // Resume — engines ignore stale rounds.
-                    for (i, _) in to_engines.iter().enumerate() {
-                        send(EngineId(i as u16), ToEngine::Resume { round, watermark })?;
-                    }
-                    journal.record(
-                        now,
-                        AdaptEvent::RelocationStep {
-                            round,
-                            step: 8,
-                            sender,
-                            receiver,
-                            parts: Vec::new(),
-                            bytes: 0,
-                            buffered_tuples: 0,
-                            load_ratio: 0.0,
-                        },
-                    );
-                    Ok(())
-                }
-                other => Err(DcapeError::protocol(format!(
-                    "unexpected action after ack: {other:?}"
-                ))),
-            }
-        }
-        FromEngine::CleanupReady { .. } | FromEngine::CleanupDone { .. } => {
-            Err(DcapeError::protocol("cleanup message before shutdown"))
-        }
-    }
-}
-
-/// The engine thread body.
-/// The engine thread's counting sink, honoring `SimConfig::count_first`:
-/// either the span-based fast path (product counting / window pruning)
-/// or the per-combination enumerating baseline, so the two arms can be
-/// benchmarked and proven equivalent on the threaded driver too.
-#[derive(Debug)]
-enum EngineSink {
-    CountFirst(CountingSink),
-    PerCombination(EnumeratingSink<CountingSink>),
-}
-
-impl EngineSink {
-    fn new(count_first: bool) -> Self {
-        if count_first {
-            EngineSink::CountFirst(CountingSink::new())
-        } else {
-            EngineSink::PerCombination(EnumeratingSink(CountingSink::new()))
-        }
-    }
-
-    fn count(&self) -> u64 {
-        match self {
-            EngineSink::CountFirst(s) => s.count(),
-            EngineSink::PerCombination(s) => s.0.count(),
-        }
-    }
-}
-
-impl ResultSink for EngineSink {
-    #[inline]
-    fn emit(&mut self, parts: &[&dcape_common::tuple::Tuple]) {
-        match self {
-            EngineSink::CountFirst(s) => s.emit(parts),
-            EngineSink::PerCombination(s) => s.emit(parts),
-        }
-    }
-
-    #[inline]
-    fn emit_product(&mut self, spans: &ProbeSpans<'_, '_>) -> u64 {
-        match self {
-            EngineSink::CountFirst(s) => s.emit_product(spans),
-            EngineSink::PerCombination(s) => s.emit_product(spans),
-        }
-    }
-}
-
-/// An engine-held message the chaos layer delayed; released once a
-/// `Tick` advances the engine's virtual clock past the due time.
-enum Held {
-    ToGc(FromEngine),
-    ToPeer(usize, ToEngine),
-}
-
-/// Release engine-held delayed messages that are due (insertion order
-/// among equal due times).
-fn release_engine_held(
-    held: &mut Vec<(VirtualTime, Held)>,
-    now: VirtualTime,
-    to_gc: &Sender<FromEngine>,
-    peers: &[Sender<ToEngine>],
-) {
-    while let Some(idx) = held
-        .iter()
-        .enumerate()
-        .filter(|(_, (due, _))| now >= *due)
-        .min_by_key(|(i, (due, _))| (*due, *i))
-        .map(|(i, _)| i)
-    {
-        match held.remove(idx).1 {
-            Held::ToGc(m) => {
-                let _ = to_gc.send(m);
-            }
-            Held::ToPeer(target, m) => {
-                let _ = peers[target].send(m);
-            }
-        }
-    }
-}
-
+/// The engine thread body: a thin receive loop around [`EngineCore`].
 #[allow(clippy::too_many_arguments)]
 fn engine_main(
     id: EngineId,
@@ -1041,397 +546,23 @@ fn engine_main(
     count_first: bool,
     plan: FaultPlan,
 ) {
-    let mut qe = match QueryEngine::in_memory(id, cfg) {
-        Ok(qe) => qe,
+    let mut core = match EngineCore::new(id, cfg, journal_on, count_first) {
+        Ok(core) => core,
         Err(e) => panic!("engine {id} failed to start: {e}"),
     };
-    if journal_on {
-        qe.set_journal(JournalHandle::enabled());
-    }
-    let mut sink = EngineSink::new(count_first);
-    let mut last_now = VirtualTime::ZERO;
-    let mut held: Vec<(VirtualTime, Held)> = Vec::new();
+    let mut tx = ChannelTx { to_gc, peers };
     for msg in rx.iter() {
-        let result: Result<bool> = (|| {
-            match msg {
-                ToEngine::Data { pid, tuple } => {
-                    qe.process(pid, tuple, &mut sink)?;
-                }
-                ToEngine::DataBatch { tuples } => {
-                    qe.process_batch(tuples, &mut sink)?;
-                }
-                ToEngine::Tick { now, horizon } => {
-                    last_now = now;
-                    release_engine_held(&mut held, now, &to_gc, &peers);
-                    qe.tick_with_horizon(now, horizon)?;
-                }
-                ToEngine::ReportStats { now } => {
-                    last_now = now;
-                    let report = qe.report(now);
-                    let _ = to_gc.send(FromEngine::Stats(report));
-                }
-                ToEngine::Cptv {
-                    round,
-                    amount,
-                    attempt,
-                } => {
-                    if qe.is_stale_round(round) {
-                        qe.journal().record(
-                            last_now,
-                            AdaptEvent::ProtocolWarning {
-                                code: "stale_cptv",
-                                engine: id,
-                                round,
-                                detail: 1,
-                            },
-                        );
-                    } else {
-                        qe.set_mode(Mode::Relocation);
-                        let parts = qe.select_parts_to_move(amount);
-                        // Step 2 rides the faultable Ptv edge: the
-                        // coordinator's phase timeout covers a lost
-                        // reply by re-issuing Cptv with a new attempt.
-                        match edge_decision(
-                            &plan,
-                            qe.journal(),
-                            last_now,
-                            FaultEdge::Ptv,
-                            round,
-                            attempt,
-                        ) {
-                            FaultDecision::Deliver => {
-                                let _ = to_gc.send(FromEngine::Ptv {
-                                    round,
-                                    engine: id,
-                                    parts,
-                                });
-                            }
-                            FaultDecision::Drop | FaultDecision::CorruptLength => {}
-                            FaultDecision::Duplicate => {
-                                let _ = to_gc.send(FromEngine::Ptv {
-                                    round,
-                                    engine: id,
-                                    parts: parts.clone(),
-                                });
-                                let _ = to_gc.send(FromEngine::Ptv {
-                                    round,
-                                    engine: id,
-                                    parts,
-                                });
-                            }
-                            FaultDecision::Delay(ms) => held.push((
-                                last_now + VirtualDuration::from_millis(ms),
-                                Held::ToGc(FromEngine::Ptv {
-                                    round,
-                                    engine: id,
-                                    parts,
-                                }),
-                            )),
-                        }
-                    }
-                }
-                ToEngine::SendStates {
-                    round,
-                    parts,
-                    receiver,
-                    attempt,
-                } => {
-                    if qe.is_stale_round(round) {
-                        qe.journal().record(
-                            last_now,
-                            AdaptEvent::ProtocolWarning {
-                                code: "stale_send_states",
-                                engine: id,
-                                round,
-                                detail: 4,
-                            },
-                        );
-                        return Ok(true);
-                    }
-                    let fresh = !qe.outbound_pending(round);
-                    let groups_raw = qe.begin_outbound(round, &parts);
-                    let bytes: u64 = groups_raw
-                        .iter()
-                        .map(|(g, _, _)| g.state_bytes() as u64)
-                        .sum();
-                    if fresh {
-                        // Journal the extraction once; retries re-ship
-                        // the retained copy and must not inflate the
-                        // relocation volume.
-                        qe.journal().record(
-                            last_now,
-                            AdaptEvent::RelocationStep {
-                                round,
-                                step: 4,
-                                sender: id,
-                                receiver,
-                                parts: parts.clone(),
-                                bytes,
-                                buffered_tuples: 0,
-                                load_ratio: 0.0,
-                            },
-                        );
-                        qe.journal().add_relocation_bytes(bytes);
-                    }
-                    // A stall keeps the transfer from landing for a
-                    // while; a delay fault adds on top of it.
-                    let mut declared_bytes = bytes;
-                    let mut delay_ms = plan.stall_ms(FaultEdge::InstallStates, round, attempt);
-                    if delay_ms > 0 {
-                        qe.journal().add_faults_injected(1);
-                        qe.journal().record(
-                            last_now,
-                            AdaptEvent::FaultInjected {
-                                fault: "stall",
-                                edge: FaultEdge::InstallStates.name(),
-                                round,
-                                attempt,
-                            },
-                        );
-                    }
-                    let mut copies = 1u32;
-                    match edge_decision(
-                        &plan,
-                        qe.journal(),
-                        last_now,
-                        FaultEdge::InstallStates,
-                        round,
-                        attempt,
-                    ) {
-                        FaultDecision::Deliver => {}
-                        FaultDecision::Drop => copies = 0,
-                        FaultDecision::CorruptLength => {
-                            declared_bytes = FaultPlan::corrupt_length(bytes);
-                        }
-                        FaultDecision::Delay(ms) => delay_ms += ms,
-                        FaultDecision::Duplicate => copies = 2,
-                    }
-                    for _ in 0..copies {
-                        let groups: Vec<GroupTransfer> = groups_raw
-                            .iter()
-                            .cloned()
-                            .map(|(snapshot, output_count, purge_protect)| GroupTransfer {
-                                snapshot,
-                                output_count,
-                                purge_protect,
-                            })
-                            .collect();
-                        let m = ToEngine::InstallStates {
-                            round,
-                            sender: id,
-                            groups,
-                            attempt,
-                            declared_bytes,
-                        };
-                        if delay_ms > 0 {
-                            held.push((
-                                last_now + VirtualDuration::from_millis(delay_ms),
-                                Held::ToPeer(receiver.index(), m),
-                            ));
-                        } else {
-                            let _ = peers[receiver.index()].send(m);
-                        }
-                    }
-                }
-                ToEngine::InstallStates {
-                    round,
-                    sender,
-                    groups,
-                    attempt,
-                    declared_bytes,
-                } => {
-                    let bytes: u64 = groups.iter().map(|g| g.snapshot.state_bytes() as u64).sum();
-                    // Corrupt-length detection: recompute the payload
-                    // size, discard on mismatch and send no ack — the
-                    // sender's phase timeout re-sends the transfer.
-                    if declared_bytes != bytes {
-                        qe.journal().record(
-                            last_now,
-                            AdaptEvent::ProtocolWarning {
-                                code: "corrupt_transfer_discarded",
-                                engine: id,
-                                round,
-                                detail: declared_bytes,
-                            },
-                        );
-                        return Ok(true);
-                    }
-                    if plan.crash_during_install(round, attempt) {
-                        qe.journal().add_faults_injected(1);
-                        qe.journal().record(
-                            last_now,
-                            AdaptEvent::FaultInjected {
-                                fault: "crash_restart",
-                                edge: FaultEdge::InstallStates.name(),
-                                round,
-                                attempt,
-                            },
-                        );
-                        qe.crash_restart()?;
-                        return Ok(true);
-                    }
-                    qe.set_mode(Mode::Relocation);
-                    let parts: Vec<PartitionId> =
-                        groups.iter().map(|g| g.snapshot.partition).collect();
-                    let installed = qe.install_groups_for_round(
-                        round,
-                        groups
-                            .into_iter()
-                            .map(|g| (g.snapshot, g.output_count, g.purge_protect))
-                            .collect(),
-                    )?;
-                    if installed {
-                        qe.journal().record(
-                            last_now,
-                            AdaptEvent::RelocationStep {
-                                round,
-                                step: 5,
-                                sender,
-                                receiver: id,
-                                parts,
-                                bytes,
-                                buffered_tuples: 0,
-                                load_ratio: 0.0,
-                            },
-                        );
-                    } else {
-                        // Duplicate (or stale) install: a no-op, but
-                        // the ack must still go out — the first one
-                        // may have been lost.
-                        qe.journal().record(
-                            last_now,
-                            AdaptEvent::ProtocolWarning {
-                                code: "duplicate_install",
-                                engine: id,
-                                round,
-                                detail: 5,
-                            },
-                        );
-                        if qe.is_stale_round(round) {
-                            qe.set_mode(Mode::Normal);
-                        }
-                    }
-                    match edge_decision(
-                        &plan,
-                        qe.journal(),
-                        last_now,
-                        FaultEdge::TransferAck,
-                        round,
-                        attempt,
-                    ) {
-                        FaultDecision::Deliver => {
-                            let _ = to_gc.send(FromEngine::TransferAck {
-                                round,
-                                engine: id,
-                                bytes,
-                            });
-                        }
-                        FaultDecision::Drop | FaultDecision::CorruptLength => {}
-                        FaultDecision::Duplicate => {
-                            for _ in 0..2 {
-                                let _ = to_gc.send(FromEngine::TransferAck {
-                                    round,
-                                    engine: id,
-                                    bytes,
-                                });
-                            }
-                        }
-                        FaultDecision::Delay(ms) => held.push((
-                            last_now + VirtualDuration::from_millis(ms),
-                            Held::ToGc(FromEngine::TransferAck {
-                                round,
-                                engine: id,
-                                bytes,
-                            }),
-                        )),
-                    }
-                }
-                ToEngine::AbortRound { round } => {
-                    // Retries exhausted: unwind whichever side of the
-                    // round this engine played. The sender reinstalls
-                    // its retained copy (this message precedes any
-                    // replayed tuples on the same FIFO channel); the
-                    // receiver discards the uncommitted installation.
-                    let discarded = qe.abort_inbound(round)?;
-                    let reinstalled = qe.abort_outbound(round)?;
-                    qe.journal().record(
-                        last_now,
-                        AdaptEvent::ProtocolWarning {
-                            code: "round_unwound",
-                            engine: id,
-                            round,
-                            detail: (discarded + reinstalled) as u64,
-                        },
-                    );
-                    qe.set_mode(Mode::Normal);
-                }
-                ToEngine::Resume { round, watermark } => {
-                    // The round completed: the sender drops its
-                    // retained copy, the receiver makes the
-                    // installation permanent, and both close the round
-                    // so stragglers become stale no-ops.
-                    qe.commit_outbound(round);
-                    qe.commit_inbound(round);
-                    qe.set_mode(Mode::Normal);
-                    // Catch-up purge: the round's replay (if any) sits
-                    // earlier in this FIFO inbox, so it has been
-                    // processed; everything arriving later carries
-                    // `ts >= watermark`. Purge-only — no spill-trigger
-                    // side effects between protocol steps.
-                    qe.purge_at(watermark);
-                }
-                ToEngine::StartSpill { amount } => {
-                    qe.force_spill(amount, last_now)?;
-                }
-                ToEngine::PrepareCleanup { owners } => {
-                    // Forward segments of partitions owned elsewhere.
-                    let mut forwarded = 0usize;
-                    for pid in qe.spilled_partitions() {
-                        let owner = owners
-                            .get(pid.index())
-                            .copied()
-                            .ok_or_else(|| DcapeError::state(format!("no owner for {pid}")))?;
-                        if owner == id {
-                            continue;
-                        }
-                        let segments = qe.take_spilled_segments(pid)?;
-                        forwarded += segments.len();
-                        let _ = peers[owner.index()]
-                            .send(ToEngine::ForwardedSegments { pid, segments });
-                    }
-                    let _ = to_gc.send(FromEngine::CleanupReady {
-                        engine: id,
-                        forwarded,
-                    });
-                }
-                ToEngine::ForwardedSegments { segments, .. } => {
-                    qe.import_segments(segments)?;
-                }
-                ToEngine::StartCleanup => {
-                    // Local parallel merge over owned partitions.
-                    let mut sink = EngineSink::new(count_first);
-                    let report = qe.cleanup(&mut sink)?;
-                    let _ = to_gc.send(FromEngine::CleanupDone {
-                        engine: id,
-                        runtime_output: qe.total_output(),
-                        cleanup_output: sink.count(),
-                        spill_count: qe.spill_history().len() as u64,
-                        cleanup_cost_ms: report.virtual_cost.as_millis(),
-                        journal: qe.journal().snapshot(),
-                        journal_counters: qe
-                            .journal()
-                            .counters()
-                            .map(|c| c.snapshot())
-                            .unwrap_or_default(),
-                    });
-                    return Ok(false);
+        match core.handle(msg, &plan, &mut tx) {
+            Ok(EngineFlow::Continue) => {}
+            // In-process crash-restart: drop all transient state, keep
+            // the process (thread) alive — the socket driver's worker
+            // exits the real OS process here instead.
+            Ok(EngineFlow::CrashRequested) => {
+                if let Err(e) = core.qe.crash_restart() {
+                    panic!("engine {id} failed to crash-restart: {e}");
                 }
             }
-            Ok(true)
-        })();
-        match result {
-            Ok(true) => {}
-            Ok(false) => break,
+            Ok(EngineFlow::Finished) => break,
             Err(e) => panic!("engine {id} failed: {e}"),
         }
     }

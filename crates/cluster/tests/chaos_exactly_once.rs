@@ -108,9 +108,12 @@ fn mixed_cfg(spec: StreamSetSpec) -> SimConfig {
 
 /// When `DCAPE_JOURNAL_DUMP` names a directory, write a run's journal
 /// there as JSONL (CI uploads the directory as an artifact on failure).
+/// Pid-qualified: socket-runtime workers share the directory, and two
+/// test binaries running in parallel must not clobber each other.
 fn dump_journal(name: &str, entries: &[dcape_metrics::journal::JournalEntry]) {
     if let Ok(dir) = std::env::var("DCAPE_JOURNAL_DUMP") {
-        let path = std::path::Path::new(&dir).join(format!("{name}.jsonl"));
+        let path =
+            std::path::Path::new(&dir).join(format!("{name}-pid{}.jsonl", std::process::id()));
         if let Err(e) = dcape_metrics::report::write_journal_jsonl(&path, entries) {
             eprintln!("journal dump to {} failed: {e}", path.display());
         }

@@ -42,7 +42,8 @@ fn cases(default: u32) -> u32 {
 /// there as JSONL (CI uploads the directory as an artifact on failure).
 fn dump_journal(name: &str, entries: &[dcape_metrics::journal::JournalEntry]) {
     if let Ok(dir) = std::env::var("DCAPE_JOURNAL_DUMP") {
-        let path = std::path::Path::new(&dir).join(format!("{name}.jsonl"));
+        let path =
+            std::path::Path::new(&dir).join(format!("{name}-pid{}.jsonl", std::process::id()));
         if let Err(e) = dcape_metrics::report::write_journal_jsonl(&path, entries) {
             eprintln!("journal dump to {} failed: {e}", path.display());
         }

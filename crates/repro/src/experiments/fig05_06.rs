@@ -12,13 +12,15 @@
 //!   ⇒ fewer, deeper zags.
 
 use dcape_cluster::runtime::sim::{SimConfig, SimDriver};
+use dcape_cluster::runtime::socket::{run_socket, SocketConfig};
+use dcape_cluster::runtime::threaded::run_threaded;
 use dcape_cluster::strategy::StrategyConfig;
 use dcape_common::error::Result;
 use dcape_common::time::VirtualDuration;
 use dcape_engine::VictimPolicy;
 use dcape_metrics::{render_series_table, Recorder, Table};
 
-use crate::opts::RunOpts;
+use crate::opts::{RunOpts, RuntimeKind};
 use crate::scale;
 
 /// Result of the k% sweep.
@@ -55,31 +57,54 @@ fn run_one(
     )
     .with_sample_interval(VirtualDuration::from_secs(if opts.fast { 20 } else { 60 }))
     .with_faults(opts.fault_plan());
-    let mut driver = SimDriver::new(cfg)?;
-    driver.run_until(duration)?;
-    let report = driver.finish()?;
-    let throughput = report
-        .recorder
-        .series("output/total")
-        .cloned()
-        .unwrap_or_default();
-    let memory = report
-        .recorder
-        .series("mem/QE0")
-        .cloned()
-        .unwrap_or_default();
-    let peak_mem = memory.max().unwrap_or(0.0);
-    for (t, v) in throughput.points() {
-        recorder.record(&format!("throughput/{label}"), *t, *v);
+    match opts.runtime {
+        RuntimeKind::Sim => {
+            let mut driver = SimDriver::new(cfg)?;
+            driver.run_until(duration)?;
+            let report = driver.finish()?;
+            let throughput = report
+                .recorder
+                .series("output/total")
+                .cloned()
+                .unwrap_or_default();
+            let memory = report
+                .recorder
+                .series("mem/QE0")
+                .cloned()
+                .unwrap_or_default();
+            let peak_mem = memory.max().unwrap_or(0.0);
+            for (t, v) in throughput.points() {
+                recorder.record(&format!("throughput/{label}"), *t, *v);
+            }
+            for (t, v) in memory.points() {
+                recorder.record(&format!("mem/{label}"), *t, *v);
+            }
+            Ok((
+                report.runtime_output,
+                report.spill_counts.iter().sum(),
+                peak_mem,
+            ))
+        }
+        // The concurrent drivers produce totals, not time series: the
+        // figures keep their sim-recorded curves; the summary rows (and
+        // the cross-runtime equivalence checks) come from real
+        // execution.
+        RuntimeKind::Threaded => {
+            let report = run_threaded(cfg, duration)?;
+            Ok((report.runtime_output, report.spill_counts.iter().sum(), 0.0))
+        }
+        RuntimeKind::Socket => {
+            let report = run_socket(
+                SocketConfig {
+                    sim: cfg,
+                    mode: opts.socket_mode(),
+                    kill: None,
+                },
+                duration,
+            )?;
+            Ok((report.runtime_output, report.spill_counts.iter().sum(), 0.0))
+        }
     }
-    for (t, v) in memory.points() {
-        recorder.record(&format!("mem/{label}"), *t, *v);
-    }
-    Ok((
-        report.runtime_output,
-        report.spill_counts.iter().sum(),
-        peak_mem,
-    ))
 }
 
 /// Run the sweep for both figures.

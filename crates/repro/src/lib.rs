@@ -22,4 +22,4 @@ pub mod experiments;
 pub mod opts;
 pub mod scale;
 
-pub use opts::RunOpts;
+pub use opts::{RunOpts, RuntimeKind};

@@ -16,6 +16,16 @@
 //!                 that is a pure function of the seed
 //! --fault-rate R  per-edge fault rate for the chaos layer
 //!                 (default 0.05; only meaningful with --chaos-seed)
+//! --runtime KIND  driver for the cluster runs: sim (default,
+//!                 virtual-time simulation), threaded (one OS thread
+//!                 per engine), or socket (one OS process per engine,
+//!                 framed TCP; spawns dcape-node workers on loopback).
+//!                 threaded/socket produce totals rather than time
+//!                 series and currently drive the fig5/fig6 k-sweep
+//!                 only; other figures require the sim driver
+//! --listen ADDR   with --runtime socket: listen on ADDR and wait for
+//!                 externally started dcape-node workers instead of
+//!                 spawning them
 //! ```
 //!
 //! Figures sharing a run are grouped: `fig5`/`fig6` both run the k%
@@ -30,7 +40,7 @@ use dcape_repro::experiments::{
 };
 use dcape_repro::RunOpts;
 
-const USAGE: &str = "usage: repro [fig5|fig6|fig7|cleanup1|fig9|fig10|fig11|fig12|cleanup2|fig13|fig14|ablations|verify|all ...] [--fast] [--out DIR] [--journal PATH] [--bench-json PATH] [--chaos-seed N] [--fault-rate R]";
+const USAGE: &str = "usage: repro [fig5|fig6|fig7|cleanup1|fig9|fig10|fig11|fig12|cleanup2|fig13|fig14|ablations|verify|all ...] [--fast] [--out DIR] [--journal PATH] [--bench-json PATH] [--chaos-seed N] [--fault-rate R] [--runtime sim|threaded|socket] [--listen ADDR]";
 
 fn main() -> ExitCode {
     let mut opts = RunOpts::default();
@@ -65,6 +75,22 @@ fn main() -> ExitCode {
                 Some(rate) if (0.0..=1.0).contains(&rate) => opts.fault_rate = rate,
                 _ => {
                     eprintln!("--fault-rate requires a number in [0, 1]\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--runtime" => match args.next().as_deref() {
+                Some("sim") => opts.runtime = dcape_repro::RuntimeKind::Sim,
+                Some("threaded") => opts.runtime = dcape_repro::RuntimeKind::Threaded,
+                Some("socket") => opts.runtime = dcape_repro::RuntimeKind::Socket,
+                _ => {
+                    eprintln!("--runtime requires one of sim|threaded|socket\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--listen" => match args.next() {
+                Some(addr) => opts.listen = Some(addr),
+                None => {
+                    eprintln!("--listen requires an address\n{USAGE}");
                     return ExitCode::FAILURE;
                 }
             },
@@ -134,6 +160,10 @@ fn main() -> ExitCode {
             }
         }
     }
+    if opts.listen.is_some() && opts.runtime != dcape_repro::RuntimeKind::Socket {
+        eprintln!("--listen only makes sense with --runtime socket\n{USAGE}");
+        return ExitCode::FAILURE;
+    }
     if picks.is_empty() {
         picks.extend([
             "k-sweep",
@@ -145,6 +175,13 @@ fn main() -> ExitCode {
             "fig14",
             "ablations",
         ]);
+    }
+    // The concurrent runtimes produce totals, not the virtual-time
+    // series the other figures plot; refuse rather than silently fall
+    // back to the sim.
+    if opts.runtime != dcape_repro::RuntimeKind::Sim && picks.iter().any(|p| *p != "k-sweep") {
+        eprintln!("--runtime threaded|socket currently drives the fig5/fig6 k-sweep only\n{USAGE}");
+        return ExitCode::FAILURE;
     }
 
     println!(

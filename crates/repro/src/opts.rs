@@ -2,6 +2,19 @@
 
 use std::path::PathBuf;
 
+/// Which driver executes an experiment's cluster runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuntimeKind {
+    /// Deterministic virtual-time simulation (default; the only driver
+    /// that records time series for the figures).
+    Sim,
+    /// One OS thread per engine, real channel messages.
+    Threaded,
+    /// One OS process per engine, framed TCP messages
+    /// (`dcape-node` workers; see `--listen` for multi-machine runs).
+    Socket,
+}
+
 /// Options shared by all experiment runners.
 #[derive(Debug, Clone)]
 pub struct RunOpts {
@@ -24,6 +37,12 @@ pub struct RunOpts {
     /// Per-edge fault rate for the chaos layer (`--fault-rate`,
     /// 0.0–1.0). Only meaningful with `--chaos-seed`.
     pub fault_rate: f64,
+    /// Which driver runs the experiments (`--runtime`).
+    pub runtime: RuntimeKind,
+    /// With `--runtime socket`: listen on this address and wait for
+    /// externally started `dcape-node` workers instead of spawning
+    /// them on loopback (`--listen`).
+    pub listen: Option<String>,
 }
 
 impl Default for RunOpts {
@@ -35,6 +54,8 @@ impl Default for RunOpts {
             journal: None,
             chaos_seed: None,
             fault_rate: 0.05,
+            runtime: RuntimeKind::Sim,
+            listen: None,
         }
     }
 }
@@ -49,6 +70,21 @@ impl RunOpts {
             journal: None,
             chaos_seed: None,
             fault_rate: 0.05,
+            runtime: RuntimeKind::Sim,
+            listen: None,
+        }
+    }
+
+    /// The socket-runtime provisioning mode the CLI flags describe:
+    /// manual listen when `--listen` was given, loopback spawn
+    /// otherwise.
+    pub fn socket_mode(&self) -> dcape_cluster::runtime::socket::SocketMode {
+        use dcape_cluster::runtime::socket::{default_node_bin, SocketMode};
+        match &self.listen {
+            Some(addr) => SocketMode::Listen { addr: addr.clone() },
+            None => SocketMode::Spawn {
+                node_bin: default_node_bin(),
+            },
         }
     }
 

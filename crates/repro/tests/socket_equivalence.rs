@@ -1,0 +1,332 @@
+//! Cross-runtime equivalence: the multi-process socket driver must
+//! compute exactly what the threaded driver computes — identical result
+//! totals, per-engine spill counts, and deterministic journal counters —
+//! on spill-only, windowed, and relocation-heavy configurations; and it
+//! must keep the chaos suite's exactly-once invariants over real TCP
+//! sockets, including a real `kill -9` + respawn of a worker process.
+//!
+//! Workers are the actual `dcape-node` binary (cargo builds it for this
+//! test; `CARGO_BIN_EXE_dcape-node` points at it), spawned on loopback.
+//!
+//! Counters asserted for equality are only the cross-runtime
+//! deterministic ones: `events_recorded`/`events_dropped` depend on how
+//! many wall-clock stats samples each run took and are never compared.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+use dcape_cluster::faults::{FaultConfig, FaultPlan};
+use dcape_cluster::runtime::sim::SimConfig;
+use dcape_cluster::runtime::socket::{run_socket, KillPlan, SocketConfig, SocketMode};
+use dcape_cluster::runtime::threaded::{run_threaded, ThreadedReport};
+use dcape_cluster::strategy::StrategyConfig;
+use dcape_cluster::PlacementSpec;
+use dcape_common::ids::{EngineId, PartitionId};
+use dcape_common::time::{VirtualDuration, VirtualTime};
+use dcape_engine::config::EngineConfig;
+use dcape_metrics::journal::AdaptEvent;
+use dcape_streamgen::{ArrivalPattern, StreamSetGenerator, StreamSetSpec};
+
+/// The worker binary cargo built alongside this test.
+fn node_bin() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_dcape-node"))
+}
+
+fn socket_cfg(sim: SimConfig) -> SocketConfig {
+    SocketConfig {
+        sim,
+        mode: SocketMode::Spawn {
+            node_bin: node_bin(),
+        },
+        kill: None,
+    }
+}
+
+/// Seeds to sweep: CI passes one per job via `DCAPE_CHAOS_SEED`;
+/// locally a fixed short list keeps the suite fast.
+fn seeds() -> Vec<u64> {
+    match std::env::var("DCAPE_CHAOS_SEED") {
+        Ok(s) => vec![s
+            .trim()
+            .parse()
+            .expect("DCAPE_CHAOS_SEED must be an unsigned integer")],
+        Err(_) => vec![7, 42, 0x00C0_FFEE],
+    }
+}
+
+/// Reference join count for a spec consumed up to `deadline`.
+fn reference_result_count(spec: &StreamSetSpec, deadline: VirtualTime) -> u64 {
+    let mut gen = StreamSetGenerator::new(spec.clone()).unwrap();
+    let tuples = gen.generate_until(deadline);
+    let mut counts: HashMap<(u8, i64), u64> = HashMap::new();
+    for t in &tuples {
+        let key = t.values()[0].as_int().unwrap();
+        *counts.entry((t.stream().0, key)).or_default() += 1;
+    }
+    let keys: std::collections::HashSet<i64> = counts.keys().map(|(_, k)| *k).collect();
+    let mut total = 0u64;
+    for key in keys {
+        let mut product = 1u64;
+        for s in 0..spec.num_streams as u8 {
+            product *= counts.get(&(s, key)).copied().unwrap_or(0);
+        }
+        total += product;
+    }
+    total
+}
+
+/// Alternating skew on roomy engines: relocation-heavy, spill-free.
+fn relocation_workload(seed: u64) -> StreamSetSpec {
+    let group_a: Vec<PartitionId> = (0..6).map(PartitionId).collect();
+    StreamSetSpec::uniform(24, 2400, 1, VirtualDuration::from_millis(30))
+        .with_payload_pad(200)
+        .with_seed(seed)
+        .with_pattern(ArrivalPattern::AlternatingSkew {
+            group_a,
+            ratio: 10.0,
+            period: VirtualDuration::from_mins(2),
+        })
+}
+
+fn relocation_cfg(spec: StreamSetSpec) -> SimConfig {
+    SimConfig::new(
+        2,
+        EngineConfig::three_way(1 << 30, 1 << 29),
+        spec,
+        StrategyConfig::LazyDisk {
+            theta_r: 0.9,
+            tau_m: VirtualDuration::from_secs(45),
+        },
+    )
+    .with_placement(PlacementSpec::Fractions(vec![0.5, 0.5]))
+    .with_stats_interval(VirtualDuration::from_secs(30))
+    .with_journal()
+}
+
+/// Tight memory, no adaptation strategy: pure spill + cleanup — the
+/// regime where both runtimes are fully deterministic, down to the
+/// per-engine spill counts and routed-tuple counters.
+fn spill_cfg(spec: StreamSetSpec) -> SimConfig {
+    SimConfig::new(
+        2,
+        EngineConfig::three_way(1 << 22, 600 << 10).with_spill_fraction(0.4),
+        spec,
+        StrategyConfig::NoAdaptation,
+    )
+    .with_placement(PlacementSpec::Fractions(vec![0.5, 0.5]))
+    .with_stats_interval(VirtualDuration::from_secs(30))
+    .with_journal()
+}
+
+/// When `DCAPE_JOURNAL_DUMP` names a directory, write a run's journal
+/// there as JSONL (CI uploads the directory as an artifact on failure).
+/// Pid-qualified: socket-runtime workers dump their own journals from
+/// their own processes into the same directory.
+fn dump_journal(name: &str, entries: &[dcape_metrics::journal::JournalEntry]) {
+    if let Ok(dir) = std::env::var("DCAPE_JOURNAL_DUMP") {
+        let path =
+            std::path::Path::new(&dir).join(format!("{name}-pid{}.jsonl", std::process::id()));
+        if let Err(e) = dcape_metrics::report::write_journal_jsonl(&path, entries) {
+            eprintln!("journal dump to {} failed: {e}", path.display());
+        }
+    }
+}
+
+/// The chaos suite's journal invariants, applied to a socket run.
+fn assert_chaos_invariants(
+    journal: &[dcape_metrics::journal::JournalEntry],
+    counters: &dcape_metrics::journal::CountersSnapshot,
+) {
+    let journaled_faults = journal
+        .iter()
+        .filter(|e| matches!(e.event, AdaptEvent::FaultInjected { .. }))
+        .count() as u64;
+    assert_eq!(
+        counters.faults_injected, journaled_faults,
+        "every injected fault must be journaled exactly once"
+    );
+    let retries = journal
+        .iter()
+        .filter(
+            |e| matches!(e.event, AdaptEvent::ProtocolWarning { code, .. } if code == "phase_timeout_retry"),
+        )
+        .count() as u64;
+    assert_eq!(counters.msgs_retried, retries, "retry accounting");
+    let aborts = journal
+        .iter()
+        .filter(
+            |e| matches!(e.event, AdaptEvent::ProtocolWarning { code, .. } if code == "round_aborted"),
+        )
+        .count() as u64;
+    assert_eq!(counters.rounds_aborted, aborts, "abort accounting");
+    assert!(
+        counters.watermark_released_on_abort <= counters.rounds_aborted,
+        "a watermark release needs an abort"
+    );
+    assert_eq!(
+        counters.buffered_in_flight, 0,
+        "no tuple may stay buffered at a paused split after shutdown"
+    );
+}
+
+/// Equality of everything that is deterministic across the two
+/// concurrent runtimes on a fault-free, adaptation-free run.
+fn assert_deterministic_equivalence(t: &ThreadedReport, s: &ThreadedReport, what: &str) {
+    assert_eq!(t.total_output(), s.total_output(), "{what}: total output");
+    assert_eq!(
+        t.runtime_output, s.runtime_output,
+        "{what}: runtime-phase output"
+    );
+    assert_eq!(
+        t.cleanup_output, s.cleanup_output,
+        "{what}: cleanup-phase output"
+    );
+    assert_eq!(t.spill_counts, s.spill_counts, "{what}: per-engine spills");
+    let (tc, sc) = (&t.journal_counters, &s.journal_counters);
+    assert_eq!(tc.tuples_routed, sc.tuples_routed, "{what}: tuples routed");
+    assert_eq!(tc.spill_bytes, sc.spill_bytes, "{what}: spill bytes");
+    for (name, tv, sv) in [
+        ("relocation_bytes", tc.relocation_bytes, sc.relocation_bytes),
+        (
+            "buffered_in_flight",
+            tc.buffered_in_flight,
+            sc.buffered_in_flight,
+        ),
+        (
+            "replayed_in_order",
+            tc.replayed_in_order,
+            sc.replayed_in_order,
+        ),
+        ("faults_injected", tc.faults_injected, sc.faults_injected),
+        ("msgs_retried", tc.msgs_retried, sc.msgs_retried),
+        ("rounds_aborted", tc.rounds_aborted, sc.rounds_aborted),
+    ] {
+        assert_eq!(tv, 0, "{what}: threaded {name} must be zero on this run");
+        assert_eq!(sv, 0, "{what}: socket {name} must be zero on this run");
+    }
+}
+
+#[test]
+fn spill_run_is_equivalent_across_runtimes() {
+    let deadline = VirtualTime::from_mins(4);
+    let spec = relocation_workload(55).with_pattern(ArrivalPattern::Uniform);
+
+    let threaded = run_threaded(spill_cfg(spec.clone()), deadline).unwrap();
+    dump_journal("socketeq-spill-threaded", &threaded.journal);
+    assert!(
+        threaded.spill_counts.iter().sum::<u64>() > 0,
+        "the spill regime must actually spill"
+    );
+    assert_eq!(
+        threaded.total_output(),
+        reference_result_count(&spec, deadline)
+    );
+
+    let socket = run_socket(socket_cfg(spill_cfg(spec)), deadline).unwrap();
+    dump_journal("socketeq-spill-socket", &socket.journal);
+    assert_deterministic_equivalence(&threaded, &socket, "spill run");
+}
+
+#[test]
+fn windowed_run_is_equivalent_across_runtimes() {
+    let deadline = VirtualTime::from_mins(4);
+    let spec = relocation_workload(91).with_pattern(ArrivalPattern::Uniform);
+    let windowed = |spec: StreamSetSpec| {
+        let mut cfg = spill_cfg(spec);
+        cfg.engine.join = cfg.engine.join.with_window(VirtualDuration::from_secs(60));
+        cfg
+    };
+
+    let threaded = run_threaded(windowed(spec.clone()), deadline).unwrap();
+    dump_journal("socketeq-windowed-threaded", &threaded.journal);
+    let socket = run_socket(socket_cfg(windowed(spec)), deadline).unwrap();
+    dump_journal("socketeq-windowed-socket", &socket.journal);
+    assert!(
+        threaded.total_output() > 0,
+        "windowed run must produce results"
+    );
+    assert_deterministic_equivalence(&threaded, &socket, "windowed run");
+}
+
+#[test]
+fn relocation_run_matches_threaded_and_reference() {
+    let deadline = VirtualTime::from_mins(5);
+    let spec = relocation_workload(77);
+    let reference = reference_result_count(&spec, deadline);
+
+    let threaded = run_threaded(relocation_cfg(spec.clone()), deadline).unwrap();
+    dump_journal("socketeq-reloc-threaded", &threaded.journal);
+    assert!(threaded.relocations > 0, "threaded baseline must relocate");
+    assert_eq!(threaded.total_output(), reference);
+
+    let socket = run_socket(socket_cfg(relocation_cfg(spec)), deadline).unwrap();
+    dump_journal("socketeq-reloc-socket", &socket.journal);
+    assert!(
+        socket.relocations > 0,
+        "the socket run must exercise the relocation protocol (relayed \
+         InstallStates over TCP) for this test to mean anything"
+    );
+    assert_eq!(
+        socket.total_output(),
+        reference,
+        "relocations over real sockets changed the total"
+    );
+    assert_eq!(socket.journal_counters.faults_injected, 0);
+    assert_eq!(socket.journal_counters.buffered_in_flight, 0);
+}
+
+#[test]
+fn chaos_totals_survive_real_sockets() {
+    let deadline = VirtualTime::from_mins(5);
+    let spec = relocation_workload(77);
+    let reference = reference_result_count(&spec, deadline);
+
+    for seed in seeds() {
+        let plan = FaultPlan::new(seed, FaultConfig::uniform(0.2));
+        let report = run_socket(
+            socket_cfg(relocation_cfg(spec.clone()).with_faults(plan)),
+            deadline,
+        )
+        .unwrap_or_else(|e| panic!("seed {seed}: socket chaos run failed: {e}"));
+        dump_journal(&format!("socketeq-chaos-seed{seed}"), &report.journal);
+        assert_eq!(
+            report.total_output(),
+            reference,
+            "seed {seed}: chaos over real sockets changed the total"
+        );
+        assert_chaos_invariants(&report.journal, &report.journal_counters);
+    }
+}
+
+#[test]
+fn kill_nine_and_respawn_is_exactly_once() {
+    let deadline = VirtualTime::from_mins(5);
+    let spec = relocation_workload(42);
+    let reference = reference_result_count(&spec, deadline);
+
+    let mut cfg = socket_cfg(relocation_cfg(spec));
+    cfg.kill = Some(KillPlan {
+        engine: EngineId(1),
+        after_stats: 2,
+    });
+    let report = run_socket(cfg, deadline).unwrap();
+    dump_journal("socketeq-kill9", &report.journal);
+
+    let respawns = report
+        .journal
+        .iter()
+        .filter(
+            |e| matches!(e.event, AdaptEvent::ProtocolWarning { code, .. } if code == "worker_respawned"),
+        )
+        .count();
+    assert!(
+        respawns >= 1,
+        "the kill plan must actually kill and respawn a worker"
+    );
+    assert_eq!(
+        report.total_output(),
+        reference,
+        "kill -9 + full-history replay must keep the totals exactly once"
+    );
+    assert_eq!(report.journal_counters.buffered_in_flight, 0);
+}

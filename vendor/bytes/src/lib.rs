@@ -69,6 +69,19 @@ impl<B: Buf + ?Sized> Buf for &mut B {
     }
 }
 
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of buffer");
+        *self = &self[cnt..];
+    }
+}
+
 /// Write sink for bytes (subset of `bytes::BufMut`).
 pub trait BufMut {
     /// Append raw bytes.

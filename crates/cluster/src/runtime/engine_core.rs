@@ -85,6 +85,14 @@ impl EngineSink {
 
 impl ResultSink for EngineSink {
     #[inline]
+    fn wants_rows(&self) -> bool {
+        match self {
+            EngineSink::CountFirst(s) => s.wants_rows(),
+            EngineSink::PerCombination(s) => s.wants_rows(),
+        }
+    }
+
+    #[inline]
     fn emit(&mut self, parts: &[&dcape_common::tuple::Tuple]) {
         match self {
             EngineSink::CountFirst(s) => s.emit(parts),
@@ -288,6 +296,14 @@ impl EngineCore {
                         },
                     );
                     self.qe.journal().add_relocation_bytes(bytes);
+                    // Wire volume in encoded (column-block) form — what
+                    // the transfer actually costs on the network.
+                    let codec = self.qe.config().spill_codec;
+                    let encoded: u64 = groups_raw
+                        .iter()
+                        .map(|(g, _, _)| g.encode_with(codec).len() as u64)
+                        .sum();
+                    self.qe.journal().add_transfer_bytes(encoded);
                 }
                 // A stall keeps the transfer from landing for a
                 // while; a delay fault adds on top of it.

@@ -313,6 +313,13 @@ struct SimSink {
 }
 
 impl ResultSink for SimSink {
+    fn wants_rows(&self) -> bool {
+        // Mirror of the count-fast-path condition in `emit_product`:
+        // when whole products are only counted, columnar state may skip
+        // materializing rows entirely.
+        !(self.count_first && self.collect.is_none())
+    }
+
     fn emit(&mut self, parts: &[&Tuple]) {
         self.count += 1;
         if let Some(c) = &mut self.collect {
@@ -358,6 +365,10 @@ pub struct SimDriver {
     /// Engine spill bytes already mirrored into the driver journal's
     /// counters (strategies read cluster-wide totals mid-run).
     mirrored_spill_bytes: u64,
+    /// Encoded spill write volume already mirrored (see above).
+    mirrored_spill_written: u64,
+    /// Encoded spill read-back volume already mirrored (see above).
+    mirrored_spill_read: u64,
     /// Reusable one-tick generator buffer (batched dataflow).
     tick_buf: Vec<Tuple>,
     /// Reusable per-engine routed batches (batched dataflow).
@@ -420,6 +431,8 @@ impl SimDriver {
             relocations: Vec::new(),
             journal,
             mirrored_spill_bytes: 0,
+            mirrored_spill_written: 0,
+            mirrored_spill_read: 0,
             tick_buf: Vec::new(),
             engine_batches: (0..cfg.num_engines).map(|_| TupleBatch::new()).collect(),
             now: VirtualTime::ZERO,
@@ -573,16 +586,26 @@ impl SimDriver {
         if !self.journal.is_enabled() {
             return;
         }
-        let total: u64 = self
-            .engines
-            .iter()
-            .filter_map(|e| e.journal().counters())
-            .map(|c| c.spill_bytes())
-            .sum();
+        let (mut total, mut written, mut read) = (0u64, 0u64, 0u64);
+        for c in self.engines.iter().filter_map(|e| e.journal().counters()) {
+            total += c.spill_bytes();
+            written += c.spill_bytes_written();
+            read += c.spill_bytes_read();
+        }
         let delta = total - self.mirrored_spill_bytes;
         if delta > 0 {
             self.journal.add_spill_bytes(delta);
             self.mirrored_spill_bytes = total;
+        }
+        let delta = written - self.mirrored_spill_written;
+        if delta > 0 {
+            self.journal.add_spill_bytes_written(delta);
+            self.mirrored_spill_written = written;
+        }
+        let delta = read - self.mirrored_spill_read;
+        if delta > 0 {
+            self.journal.add_spill_bytes_read(delta);
+            self.mirrored_spill_read = read;
         }
     }
 
@@ -904,6 +927,14 @@ impl SimDriver {
             // copy and must not inflate the relocation volume.
             self.record_step(round, 4, sender, receiver, &parts, bytes, 0);
             self.journal.add_relocation_bytes(bytes);
+            // Wire volume: what the transfer costs in encoded form
+            // (the column-block codec typically shrinks this well
+            // below the accounted state bytes).
+            let encoded: u64 = groups
+                .iter()
+                .map(|(g, _, _)| g.encode_with(self.cfg.engine.spill_codec).len() as u64)
+                .sum();
+            self.journal.add_transfer_bytes(encoded);
         }
         // Step 5: the state transfer itself, over modeled network time
         // (the whole round's control chatter is charged here — see
@@ -1325,6 +1356,10 @@ impl SimDriver {
                 + outcome.missing_results * cost_model.cleanup_emit_us_per_result;
             cost_ms[owner.index()] += io_ms + compute_us / 1000;
         }
+
+        // Cleanup read the spilled segments back through the engines'
+        // journaled spill paths — mirror the final byte volumes.
+        self.mirror_engine_spills();
 
         let journal = if self.journal.is_enabled() {
             let mut rings = vec![self.journal.snapshot()];

@@ -996,6 +996,9 @@ pub fn run_socket(cfg: SocketConfig, deadline: VirtualTime) -> Result<ThreadedRe
                 spill_counts[engine.index()] = spill_count;
                 engine_journals.push(engine_journal);
                 journal_counters.spill_bytes += engine_counters.spill_bytes;
+                journal_counters.spill_bytes_written += engine_counters.spill_bytes_written;
+                journal_counters.spill_bytes_read += engine_counters.spill_bytes_read;
+                journal_counters.transfer_bytes += engine_counters.transfer_bytes;
                 journal_counters.events_recorded += engine_counters.events_recorded;
                 journal_counters.events_dropped += engine_counters.events_dropped;
                 journal_counters.faults_injected += engine_counters.faults_injected;

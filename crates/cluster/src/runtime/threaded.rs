@@ -470,6 +470,9 @@ pub fn run_threaded(cfg: SimConfig, deadline: VirtualTime) -> Result<ThreadedRep
                 // counters fold too: engines inject faults on the
                 // edges they send (Ptv, InstallStates, TransferAck).
                 journal_counters.spill_bytes += engine_counters.spill_bytes;
+                journal_counters.spill_bytes_written += engine_counters.spill_bytes_written;
+                journal_counters.spill_bytes_read += engine_counters.spill_bytes_read;
+                journal_counters.transfer_bytes += engine_counters.transfer_bytes;
                 journal_counters.events_recorded += engine_counters.events_recorded;
                 journal_counters.events_dropped += engine_counters.events_dropped;
                 journal_counters.faults_injected += engine_counters.faults_injected;

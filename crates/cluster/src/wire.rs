@@ -37,13 +37,13 @@ use dcape_common::error::{DcapeError, Result};
 use dcape_common::ids::{EngineId, PartitionId};
 use dcape_common::time::{VirtualDuration, VirtualTime};
 use dcape_common::tuple::Tuple;
-use dcape_engine::config::{CostModel, EngineConfig, MJoinConfig};
+use dcape_engine::config::{CostModel, EngineConfig, MJoinConfig, StateLayout};
 use dcape_engine::spill::policy::VictimPolicy;
 use dcape_engine::state::productivity::ProductivityEstimator;
 use dcape_engine::stats::EngineStatsReport;
 use dcape_metrics::journal::{AdaptEvent, CountersSnapshot, JournalEntry, SpillTrigger};
 use dcape_storage::codec::{decode_tuple, encode_tuple, get_varint, put_varint};
-use dcape_storage::{DiskModel, SpilledGroup};
+use dcape_storage::{DiskModel, SegmentCodec, SpilledGroup};
 
 use crate::faults::FaultConfig;
 use crate::messages::{FromEngine, GroupTransfer, ToEngine};
@@ -379,7 +379,10 @@ fn put_counters(buf: &mut Vec<u8>, c: &CountersSnapshot) {
     for v in [
         c.tuples_routed,
         c.spill_bytes,
+        c.spill_bytes_written,
+        c.spill_bytes_read,
         c.relocation_bytes,
+        c.transfer_bytes,
         c.buffered_in_flight,
         c.purges_deferred,
         c.watermark_held_ms,
@@ -399,7 +402,10 @@ fn get_counters(buf: &mut &[u8]) -> Result<CountersSnapshot> {
     Ok(CountersSnapshot {
         tuples_routed: get_varint(buf)?,
         spill_bytes: get_varint(buf)?,
+        spill_bytes_written: get_varint(buf)?,
+        spill_bytes_read: get_varint(buf)?,
         relocation_bytes: get_varint(buf)?,
+        transfer_bytes: get_varint(buf)?,
         buffered_in_flight: get_varint(buf)?,
         purges_deferred: get_varint(buf)?,
         watermark_held_ms: get_varint(buf)?,
@@ -651,6 +657,14 @@ fn put_engine_config(buf: &mut Vec<u8>, c: &EngineConfig) {
             put_f64(buf, w);
         }
     }
+    buf.push(match c.join.layout {
+        StateLayout::Row => 0,
+        StateLayout::Columnar => 1,
+    });
+    buf.push(match c.spill_codec {
+        SegmentCodec::Rows => 0,
+        SegmentCodec::Columns => 1,
+    });
 }
 
 fn get_engine_config(buf: &mut &[u8]) -> Result<EngineConfig> {
@@ -697,11 +711,22 @@ fn get_engine_config(buf: &mut &[u8]) -> Result<EngineConfig> {
     } else {
         None
     };
+    let layout = match get_u8(buf)? {
+        0 => StateLayout::Row,
+        1 => StateLayout::Columnar,
+        t => return Err(DcapeError::codec(format!("wire: bad state layout {t}"))),
+    };
+    let spill_codec = match get_u8(buf)? {
+        0 => SegmentCodec::Rows,
+        1 => SegmentCodec::Columns,
+        t => return Err(DcapeError::codec(format!("wire: bad spill codec {t}"))),
+    };
     Ok(EngineConfig {
         join: MJoinConfig {
             num_streams,
             join_columns,
             window,
+            layout,
         },
         memory_budget,
         spill_threshold,
@@ -711,6 +736,7 @@ fn get_engine_config(buf: &mut &[u8]) -> Result<EngineConfig> {
         cost,
         estimator,
         reactivate_watermark,
+        spill_codec,
     })
 }
 
@@ -1431,7 +1457,10 @@ mod tests {
                 journal_counters: CountersSnapshot {
                     tuples_routed: 1,
                     spill_bytes: 2,
+                    spill_bytes_written: 14,
+                    spill_bytes_read: 15,
                     relocation_bytes: 3,
+                    transfer_bytes: 16,
                     buffered_in_flight: 4,
                     purges_deferred: 5,
                     watermark_held_ms: 6,

@@ -113,6 +113,10 @@ fn sim_relocation_emits_all_eight_steps_in_order() {
     let c = report.journal_counters;
     assert!(c.tuples_routed > 0);
     assert!(c.relocation_bytes > 0);
+    assert!(
+        c.transfer_bytes > 0,
+        "relocations must journal encoded wire volume"
+    );
     assert_eq!(c.buffered_in_flight, 0, "gauge must return to zero");
     assert_eq!(c.events_recorded, report.journal.len() as u64);
     assert_eq!(c.events_dropped, 0);
@@ -229,7 +233,25 @@ fn sim_forced_spill_pairs_decision_with_cleanup_groups() {
             "threshold spill without a preceding memory-pressure event"
         );
     }
-    assert!(report.journal_counters.spill_bytes > 0);
+    // Byte-volume counters: spills journal both the accounted state
+    // volume and the encoded write volume; cleanup reads the segments
+    // back; the column-block codec (the default) writes fewer bytes
+    // than the state it encodes, so the derived compression ratio is
+    // present and > 1.
+    let c = report.journal_counters;
+    assert!(c.spill_bytes > 0);
+    assert!(
+        c.spill_bytes_written > 0,
+        "spills must journal encoded writes"
+    );
+    assert!(c.spill_bytes_read > 0, "cleanup must journal encoded reads");
+    let ratio = c
+        .spill_compression_ratio()
+        .expect("written > 0 must derive a ratio");
+    assert!(
+        ratio > 1.0,
+        "column-block codec should compress: ratio {ratio}"
+    );
 }
 
 #[test]
@@ -273,6 +295,10 @@ fn threaded_journal_covers_relocations_and_merges_engine_rings() {
     assert_eq!(complete, report.relocations);
     assert!(report.journal_counters.tuples_routed > 0);
     assert!(report.journal_counters.relocation_bytes > 0);
+    assert!(
+        report.journal_counters.transfer_bytes > 0,
+        "engine-side SendStates must journal encoded wire volume"
+    );
 }
 
 /// The watermark-purge counters: a windowed run whose relocations hold

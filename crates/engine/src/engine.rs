@@ -121,7 +121,7 @@ impl QueryEngine {
             rng: StdRng::seed_from_u64(0xE_0DD + id.0 as u64),
             id,
             join,
-            store: SpillStore::new(backend),
+            store: SpillStore::with_codec(backend, cfg.spill_codec),
             tracker,
             controller,
             cfg,
@@ -327,6 +327,7 @@ impl QueryEngine {
         }
         self.controller.set_mode(Mode::Normal);
         self.journal.add_spill_bytes(outcome.state_bytes);
+        self.journal.add_spill_bytes_written(outcome.encoded_bytes);
         self.journal.record(
             now,
             AdaptEvent::SpillDecision {
@@ -559,7 +560,17 @@ impl QueryEngine {
     /// segments may live on a different engine than its current owner
     /// after relocations.
     pub fn take_spilled_segments(&mut self, pid: PartitionId) -> Result<Vec<SpilledGroup>> {
-        self.store.take_segments(pid)
+        self.take_segments_journaled(pid)
+    }
+
+    /// [`SpillStore::take_segments`] with the physically read encoded
+    /// bytes journaled (every disk read-back path funnels through here).
+    fn take_segments_journaled(&mut self, pid: PartitionId) -> Result<Vec<SpilledGroup>> {
+        let before = self.store.stats().encoded_bytes_read;
+        let groups = self.store.take_segments(pid)?;
+        self.journal
+            .add_spill_bytes_read(self.store.stats().encoded_bytes_read - before);
+        Ok(groups)
     }
 
     /// Read access to a partition's segment metadata (cost accounting).
@@ -580,7 +591,8 @@ impl QueryEngine {
     /// co-residency epochs.
     pub fn import_segments(&mut self, segments: Vec<SpilledGroup>) -> Result<()> {
         for segment in segments {
-            self.store.spill_group(&segment)?;
+            let meta = self.store.spill_group(&segment)?;
+            self.journal.add_spill_bytes_written(meta.encoded_bytes);
         }
         Ok(())
     }
@@ -599,7 +611,7 @@ impl QueryEngine {
                 pid_disk_bytes += meta.state_bytes;
             }
             report.disk_state_bytes_read += pid_disk_bytes;
-            let mut segments = self.store.take_segments(pid)?;
+            let mut segments = self.take_segments_journaled(pid)?;
             if let Some((resident, _output)) = self.join.extract_group(pid) {
                 segments.push(resident);
             }
@@ -652,7 +664,7 @@ impl QueryEngine {
             report.virtual_cost = report.virtual_cost + cost.disk.io_cost(meta.state_bytes);
             report.disk_state_bytes_read += meta.state_bytes;
         }
-        let mut segments = self.store.take_segments(pid)?;
+        let mut segments = self.take_segments_journaled(pid)?;
         let mut carried_output = 0;
         if let Some((resident, output)) = self.join.extract_group(pid) {
             carried_output = output;

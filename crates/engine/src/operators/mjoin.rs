@@ -76,7 +76,12 @@ impl MJoinOperator {
         sink: &mut dyn ResultSink,
     ) -> Result<u64> {
         let group = self.groups.entry(pid).or_insert_with(|| {
-            PartitionGroup::new(pid, Arc::clone(&self.join_columns), self.cfg.window)
+            PartitionGroup::new(
+                pid,
+                Arc::clone(&self.join_columns),
+                self.cfg.window,
+                self.cfg.layout,
+            )
         });
         let (emitted, added_bytes) = group.insert(tuple, sink)?;
         self.tracker.allocate(added_bytes);
@@ -90,7 +95,9 @@ impl MJoinOperator {
     ///
     /// The group lookup is paid once per *run* of consecutive
     /// same-partition tuples instead of once per tuple, and
-    /// tracker/window updates are paid once per batch. Arrival order is
+    /// tracker/window updates are paid once per batch. Each run is
+    /// handed to [`PartitionGroup::insert_run`], which hashes the run's
+    /// join keys in one batched pass before probing. Arrival order is
     /// preserved: one generator tick emits one tuple per stream for the
     /// same key, so runs of consecutive equal partition IDs arise
     /// naturally without sorting, and tuples of different partitions
@@ -100,23 +107,28 @@ impl MJoinOperator {
         let mut emitted_total = 0u64;
         let mut added_total = 0usize;
         let mut failed = None;
+        let mut run_buf: Vec<Tuple> = Vec::new();
         let mut items = batch.into_iter().peekable();
-        'runs: while let Some(run_pid) = items.peek().map(|(p, _)| *p) {
-            let group = self.groups.entry(run_pid).or_insert_with(|| {
-                PartitionGroup::new(run_pid, Arc::clone(&self.join_columns), self.cfg.window)
-            });
+        while let Some(run_pid) = items.peek().map(|(p, _)| *p) {
+            run_buf.clear();
             while items.peek().map(|(p, _)| *p) == Some(run_pid) {
                 let (_, tuple) = items.next().expect("peeked");
-                match group.insert(tuple, sink) {
-                    Ok((emitted, added)) => {
-                        emitted_total += emitted;
-                        added_total += added;
-                    }
-                    Err(e) => {
-                        failed = Some(e);
-                        break 'runs;
-                    }
-                }
+                run_buf.push(tuple);
+            }
+            let group = self.groups.entry(run_pid).or_insert_with(|| {
+                PartitionGroup::new(
+                    run_pid,
+                    Arc::clone(&self.join_columns),
+                    self.cfg.window,
+                    self.cfg.layout,
+                )
+            });
+            let (emitted, added, status) = group.insert_run(&mut run_buf, sink);
+            emitted_total += emitted;
+            added_total += added;
+            if let Err(e) = status {
+                failed = Some(e);
+                break;
             }
         }
         // Account for everything inserted even when a mid-batch tuple
@@ -240,6 +252,7 @@ impl MJoinOperator {
             Arc::clone(&self.join_columns),
             self.cfg.window,
             output_count,
+            self.cfg.layout,
         )?;
         self.tracker.allocate(group.bytes());
         self.state_bytes += group.bytes();
@@ -485,6 +498,47 @@ mod tests {
         assert_eq!(op.state_bytes(), op.recompute_state_bytes());
         op.install_group(snap2, carried).unwrap();
         assert_eq!(op.state_bytes(), op.recompute_state_bytes());
+    }
+
+    #[test]
+    fn layouts_produce_identical_operator_behavior() {
+        use crate::config::StateLayout;
+        let mk = |layout| {
+            MJoinOperator::new(
+                MJoinConfig::same_column(3, 0).with_layout(layout),
+                MemoryTracker::new(10 << 20),
+            )
+            .unwrap()
+        };
+        let mut row = mk(StateLayout::Row);
+        let mut col = mk(StateLayout::Columnar);
+        let mut sink_r = CollectingSink::new();
+        let mut sink_c = CollectingSink::new();
+        let mut batch_r = TupleBatch::new();
+        let mut batch_c = TupleBatch::new();
+        let mut seq = 0u64;
+        for s in 0..3u8 {
+            for k in 0..6i64 {
+                let pid = PartitionId((k % 2) as u32);
+                let t = tpl(s, seq, k % 3);
+                batch_r.push(pid, t.clone());
+                batch_c.push(pid, t);
+                seq += 1;
+            }
+        }
+        let er = row.process_batch(batch_r, &mut sink_r).unwrap();
+        let ec = col.process_batch(batch_c, &mut sink_c).unwrap();
+        assert_eq!(er, ec);
+        assert_eq!(sink_r.identities(), sink_c.identities());
+        assert_eq!(row.state_bytes(), col.state_bytes());
+        assert_eq!(col.state_bytes(), col.recompute_state_bytes());
+        // Drained snapshots are identical rows in identical order.
+        for pid in [PartitionId(0), PartitionId(1)] {
+            let (sr, fr) = row.drain_group(pid).unwrap();
+            let (sc, fc) = col.drain_group(pid).unwrap();
+            assert_eq!(sr, sc);
+            assert_eq!(fr, fc);
+        }
     }
 
     #[test]

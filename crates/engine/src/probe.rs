@@ -12,7 +12,7 @@
 //! semantics through [`ProbeSpans::for_each_valid`], which walks the
 //! same odometer order as the pre-span code.
 
-use dcape_common::time::VirtualDuration;
+use dcape_common::time::{VirtualDuration, VirtualTime};
 use dcape_common::tuple::Tuple;
 
 /// Streams per join that the stack-allocated probe machinery covers
@@ -38,6 +38,18 @@ pub enum SpanList<'a> {
         /// Positions of the matching tuples, in arrival order.
         positions: &'a [u32],
     },
+    /// Match positions into a columnar partition's timestamp column —
+    /// no row storage behind it. Producers hand this to sinks that
+    /// answered [`wants_rows() == false`](crate::sink::ResultSink::wants_rows):
+    /// counting needs only lengths and timestamps, so the columnar
+    /// state never materializes rows. Calling [`SpanList::get`] on it
+    /// is a contract violation and panics.
+    TsOnly {
+        /// The stream's full timestamp column.
+        ts: &'a [VirtualTime],
+        /// Positions of the matching tuples, in arrival order.
+        positions: &'a [u32],
+    },
 }
 
 impl<'a> SpanList<'a> {
@@ -47,7 +59,9 @@ impl<'a> SpanList<'a> {
         match self {
             SpanList::One(_) => 1,
             SpanList::Slice(s) => s.len(),
-            SpanList::Indexed { positions, .. } => positions.len(),
+            SpanList::Indexed { positions, .. } | SpanList::TsOnly { positions, .. } => {
+                positions.len()
+            }
         }
     }
 
@@ -57,19 +71,28 @@ impl<'a> SpanList<'a> {
         self.len() == 0
     }
 
-    /// The `i`-th candidate tuple.
+    /// The `i`-th candidate tuple. Panics on [`SpanList::TsOnly`]
+    /// (counting sinks promised through
+    /// [`wants_rows`](crate::sink::ResultSink::wants_rows) never to
+    /// enumerate).
     #[inline]
     pub fn get(&self, i: usize) -> &'a Tuple {
         match self {
             SpanList::One(t) => t,
             SpanList::Slice(s) => &s[i],
             SpanList::Indexed { tuples, positions } => &tuples[positions[i] as usize],
+            SpanList::TsOnly { .. } => {
+                panic!("SpanList::TsOnly has no rows: sink broke its wants_rows() == false promise")
+            }
         }
     }
 
     #[inline]
     fn ts_at(&self, i: usize) -> u64 {
-        self.get(i).ts().as_millis()
+        match self {
+            SpanList::TsOnly { ts, positions } => ts[positions[i] as usize].as_millis(),
+            _ => self.get(i).ts().as_millis(),
+        }
     }
 
     /// Min/max timestamp and ts-nondecreasing flag over the whole list,
@@ -499,6 +522,51 @@ mod tests {
             };
             check(&refs, window, sorted);
         }
+    }
+
+    #[test]
+    fn ts_only_counts_match_row_spans() {
+        // The same candidate sets expressed as row-backed Indexed lists
+        // and as rowless TsOnly lists must count identically, windowed
+        // and not, sorted and not.
+        for (tss, window, sorted) in [
+            (vec![vec![0u64, 5, 10, 20], vec![8, 15, 30]], Some(10), true),
+            (vec![vec![1, 2, 3], vec![2, 3, 4]], Some(2), true),
+            (vec![vec![20, 0, 10], vec![9, 12, 3]], Some(5), false),
+            (vec![vec![1, 2], vec![3]], None, true),
+        ] {
+            let lists = make_lists(&tss.iter().map(Vec::as_slice).collect::<Vec<_>>());
+            let cols: Vec<Vec<VirtualTime>> = tss
+                .iter()
+                .map(|l| l.iter().map(|&t| VirtualTime::from_millis(t)).collect())
+                .collect();
+            let positions: Vec<Vec<u32>> =
+                tss.iter().map(|l| (0..l.len() as u32).collect()).collect();
+            let row_spans: Vec<SpanList> = lists.iter().map(|l| SpanList::Slice(l)).collect();
+            let ts_spans: Vec<SpanList> = cols
+                .iter()
+                .zip(&positions)
+                .map(|(ts, pos)| SpanList::TsOnly { ts, positions: pos })
+                .collect();
+            let window = window.map(VirtualDuration::from_millis);
+            assert_eq!(
+                ProbeSpans::new(&row_spans, window, sorted).count_valid(),
+                ProbeSpans::new(&ts_spans, window, sorted).count_valid(),
+                "tss={tss:?} window={window:?}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "wants_rows")]
+    fn ts_only_get_panics() {
+        let ts = [VirtualTime::from_millis(1)];
+        let positions = [0u32];
+        let list = SpanList::TsOnly {
+            ts: &ts,
+            positions: &positions,
+        };
+        let _ = list.get(0);
     }
 
     #[test]

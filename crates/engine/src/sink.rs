@@ -37,6 +37,15 @@ pub trait ResultSink {
         });
         emitted
     }
+
+    /// Does this sink ever dereference result tuples? Count-only sinks
+    /// return `false`, letting a columnar state probe deliver
+    /// timestamp-only span lists without materializing rows. A sink
+    /// answering `false` must not call [`crate::probe::SpanList::get`]
+    /// (i.e. must not enumerate through `emit`).
+    fn wants_rows(&self) -> bool {
+        true
+    }
 }
 
 /// Counts results without materializing them.
@@ -70,6 +79,11 @@ impl ResultSink for CountingSink {
         let n = spans.count_valid();
         self.count += n;
         n
+    }
+
+    #[inline]
+    fn wants_rows(&self) -> bool {
+        false
     }
 }
 

@@ -11,17 +11,32 @@
 //! Insertion implements the symmetric hash join step: probe the other
 //! streams' indexes with the new tuple's join key, emit the full
 //! cartesian combination of matches, then index the tuple.
+//!
+//! Two in-memory layouts implement that contract
+//! ([`StateLayout`](crate::config::StateLayout)):
+//!
+//! * **Row** — `Vec<Tuple>` per stream, the original layout, kept as the
+//!   equivalence reference;
+//! * **Columnar** — struct-of-arrays per stream: contiguous timestamp,
+//!   sequence, hash, and join-key columns plus one packed payload arena.
+//!   The probe path touches only the columns (a count-only sink gets
+//!   [`SpanList::TsOnly`] lists and never sees a row); rows are
+//!   materialized from the arena only at the sink or spill boundary.
 
 use dcape_common::error::{DcapeError, Result};
 use dcape_common::hash::{fx_hash, FxHashMap};
-use dcape_common::ids::PartitionId;
+use dcape_common::ids::{PartitionId, StreamId};
 use dcape_common::mem::HeapSize;
 use dcape_common::time::{VirtualDuration, VirtualTime};
 use dcape_common::tuple::Tuple;
 use dcape_common::value::Value;
+use dcape_storage::codec::{
+    decode_value, encode_value, encoded_value_len, get_varint, put_varint, varint_len,
+};
 use dcape_storage::SpilledGroup;
 use std::sync::Arc;
 
+use crate::config::StateLayout;
 use crate::probe::{ProbeSpans, SpanList, INLINE_STREAMS};
 use crate::sink::ResultSink;
 use crate::state::productivity::DecayState;
@@ -105,11 +120,199 @@ impl StreamPartition {
     }
 }
 
+/// Per-row bookkeeping that is only read at materialization, purge, or
+/// accounting time — packed into one vector so the insert hot path
+/// touches a single cache line for all three fields (a dedicated
+/// vector per field measurably hurt insert throughput under random
+/// partition access).
+#[derive(Debug, Clone, Copy)]
+struct RowMeta {
+    /// Arrival sequence number.
+    seq: u64,
+    /// Accounted heap size captured at insert, so byte accounting is
+    /// bit-identical to the row layout.
+    acct: u64,
+    /// End offset (exclusive) of the row's arena slice; the start is
+    /// the previous row's `end` (0 for the first row).
+    end: u32,
+}
+
+/// Struct-of-arrays state of one stream inside one partition group.
+///
+/// Row `i` is scattered across parallel stores: the dense timestamp
+/// column `ts[i]` (probes window-filter by binary search over it, and
+/// count-only sinks read it directly through [`SpanList::TsOnly`]),
+/// the packed [`RowMeta`] record `meta[i]`, and the payload arena slice
+/// `meta[i-1].end..meta[i].end` holding the codec-encoded column
+/// values (arity varint + one [`encode_value`] per column). The join
+/// key lives only in the `index` — purge compacts the stores in place
+/// and remaps the index's positions, so no per-row key copy is ever
+/// stored. `end` is `u32`: one stream partition's arena is capped at
+/// 4 GiB, enforced *before* any result is emitted.
+#[derive(Debug)]
+struct ColumnarPartition {
+    ts: Vec<VirtualTime>,
+    meta: Vec<RowMeta>,
+    /// Packed encoded payloads of all rows, in insertion order.
+    arena: Vec<u8>,
+    /// join key (with precomputed hash) -> positions in the columns.
+    index: FxHashMap<HashedKey, Vec<u32>>,
+    /// Same meaning as [`StreamPartition::ts_sorted`].
+    ts_sorted: bool,
+}
+
+impl Default for ColumnarPartition {
+    fn default() -> Self {
+        ColumnarPartition {
+            ts: Vec::new(),
+            meta: Vec::new(),
+            arena: Vec::new(),
+            index: FxHashMap::default(),
+            ts_sorted: true,
+        }
+    }
+}
+
+impl ColumnarPartition {
+    fn len(&self) -> usize {
+        self.meta.len()
+    }
+
+    /// Arena bytes one tuple's payload will occupy (exact; walks every
+    /// value).
+    fn payload_len(tuple: &Tuple) -> usize {
+        varint_len(tuple.arity() as u64)
+            + tuple.values().iter().map(encoded_value_len).sum::<usize>()
+    }
+
+    /// Reject an insert whose payload would push the arena past the
+    /// `u32` offset range. Checked before the probe so no results are
+    /// emitted for a tuple that is then refused. The fast path is an
+    /// O(1) over-estimate from the tuple's cached heap size (which
+    /// bounds every Text/Blob content length; fixed-width values encode
+    /// in ≤ 11 bytes each); only near the 4 GiB edge does the exact
+    /// per-value walk run.
+    fn check_capacity(&self, tuple: &Tuple) -> Result<()> {
+        let bound = 10 + 11 * tuple.arity() + tuple.heap_size();
+        if self.arena.len() + bound > u32::MAX as usize
+            && self.arena.len() + Self::payload_len(tuple) > u32::MAX as usize
+        {
+            return Err(DcapeError::state(
+                "columnar arena exceeds 4 GiB for one stream partition",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Append one row. Infallible: callers run [`check_capacity`]
+    /// first.
+    fn insert(&mut self, key: HashedKey, tuple: &Tuple) {
+        if let Some(&last) = self.ts.last() {
+            self.ts_sorted &= tuple.ts() >= last;
+        }
+        let pos = self.meta.len() as u32;
+        self.ts.push(tuple.ts());
+        put_varint(&mut self.arena, tuple.arity() as u64);
+        for v in tuple.values() {
+            encode_value(&mut self.arena, v);
+        }
+        self.meta.push(RowMeta {
+            seq: tuple.seq(),
+            acct: tuple.heap_size() as u64,
+            end: self.arena.len() as u32,
+        });
+        self.index.entry(key).or_default().push(pos);
+    }
+
+    fn matches(&self, key: &HashedKey) -> &[u32] {
+        self.index.get(key).map_or(&[], Vec::as_slice)
+    }
+
+    /// Rebuild row `i` from its columns and arena slice. The arena is
+    /// self-encoded at insert, so decode failures are impossible.
+    fn materialize(&self, stream: StreamId, i: usize) -> Tuple {
+        let start = if i == 0 {
+            0
+        } else {
+            self.meta[i - 1].end as usize
+        };
+        let mut buf = &self.arena[start..self.meta[i].end as usize];
+        let arity = get_varint(&mut buf).expect("arena: self-encoded") as usize;
+        let mut values = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            values.push(decode_value(&mut buf).expect("arena: self-encoded"));
+        }
+        Tuple::new(stream, self.meta[i].seq, self.ts[i], values)
+    }
+
+    /// Drop all rows with `ts < cutoff`, compacting every column and the
+    /// arena **in place** and remapping the index's positions through a
+    /// survivor table — no re-hashing, no key clones, no row
+    /// materialization. Returns the accounted bytes freed.
+    fn purge(&mut self, cutoff: VirtualTime) -> usize {
+        if self.ts.iter().all(|&t| t >= cutoff) {
+            return 0;
+        }
+        const DEAD: u32 = u32::MAX;
+        let mut remap = vec![DEAD; self.len()];
+        let mut freed = 0usize;
+        let mut kept = 0usize;
+        let mut arena_w = 0usize;
+        let mut prev_end = 0usize;
+        // Survivors keep their relative order, so sortedness is
+        // recomputed over the kept subsequence — a partition that went
+        // unsorted recovers the pruning shortcut once the offending
+        // rows expire.
+        let mut sorted = true;
+        let mut prev_ts = VirtualTime::from_millis(0);
+        for (i, slot) in remap.iter_mut().enumerate() {
+            let start = prev_end;
+            let end = self.meta[i].end as usize;
+            prev_end = end;
+            if self.ts[i] < cutoff {
+                freed += self.meta[i].acct as usize + PER_TUPLE_OVERHEAD;
+                continue;
+            }
+            *slot = kept as u32;
+            self.ts[kept] = self.ts[i];
+            self.arena.copy_within(start..end, arena_w);
+            arena_w += end - start;
+            self.meta[kept] = RowMeta {
+                end: arena_w as u32,
+                ..self.meta[i]
+            };
+            sorted &= kept == 0 || self.ts[kept] >= prev_ts;
+            prev_ts = self.ts[kept];
+            kept += 1;
+        }
+        self.ts.truncate(kept);
+        self.meta.truncate(kept);
+        self.arena.truncate(arena_w);
+        self.ts_sorted = sorted;
+        self.index.retain(|_, positions| {
+            positions.retain_mut(|p| {
+                let n = remap[*p as usize];
+                *p = n;
+                n != DEAD
+            });
+            !positions.is_empty()
+        });
+        freed
+    }
+}
+
+/// The layout-selected per-stream state of one group.
+#[derive(Debug)]
+enum StateStore {
+    Row(Vec<StreamPartition>),
+    Columnar(Vec<ColumnarPartition>),
+}
+
 /// In-memory join state for one partition ID across all input streams.
 #[derive(Debug)]
 pub struct PartitionGroup {
     pid: PartitionId,
-    streams: Vec<StreamPartition>,
+    state: StateStore,
     /// Shared across all groups of one operator — creating a group is
     /// an `Arc` bump, not a `Vec` clone.
     join_columns: Arc<[usize]>,
@@ -117,26 +320,44 @@ pub struct PartitionGroup {
     bytes: usize,
     output_count: u64,
     decay: DecayState,
+    /// Reused per-stream row-materialization buffers for columnar
+    /// probes feeding row-wanting sinks (no per-probe allocation once
+    /// warm).
+    scratch: Vec<Vec<Tuple>>,
+    /// Reused key buffer for [`insert_run`](Self::insert_run).
+    key_scratch: Vec<HashedKey>,
 }
 
 impl PartitionGroup {
     /// New empty group. `join_columns[s]` is the join-column index of
-    /// stream `s`; `window` enables sliding-window semantics.
+    /// stream `s`; `window` enables sliding-window semantics; `layout`
+    /// selects the in-memory representation.
     pub fn new(
         pid: PartitionId,
         join_columns: impl Into<Arc<[usize]>>,
         window: Option<VirtualDuration>,
+        layout: StateLayout,
     ) -> Self {
         let join_columns = join_columns.into();
         let n = join_columns.len();
+        let state = match layout {
+            StateLayout::Row => {
+                StateStore::Row((0..n).map(|_| StreamPartition::default()).collect())
+            }
+            StateLayout::Columnar => {
+                StateStore::Columnar((0..n).map(|_| ColumnarPartition::default()).collect())
+            }
+        };
         PartitionGroup {
             pid,
-            streams: (0..n).map(|_| StreamPartition::default()).collect(),
+            state,
             join_columns,
             window,
             bytes: 0,
             output_count: 0,
             decay: DecayState::default(),
+            scratch: Vec::new(),
+            key_scratch: Vec::new(),
         }
     }
 
@@ -172,14 +393,25 @@ impl PartitionGroup {
         self.output_count as f64 / self.bytes.max(1) as f64
     }
 
+    /// The group's in-memory layout.
+    pub fn layout(&self) -> StateLayout {
+        match self.state {
+            StateStore::Row(_) => StateLayout::Row,
+            StateStore::Columnar(_) => StateLayout::Columnar,
+        }
+    }
+
     /// Total tuples across all streams.
     pub fn tuple_count(&self) -> usize {
-        self.streams.iter().map(|s| s.tuples.len()).sum()
+        match &self.state {
+            StateStore::Row(streams) => streams.iter().map(|s| s.tuples.len()).sum(),
+            StateStore::Columnar(cols) => cols.iter().map(ColumnarPartition::len).sum(),
+        }
     }
 
     /// True if no tuples are stored.
     pub fn is_empty(&self) -> bool {
-        self.streams.iter().all(|s| s.tuples.is_empty())
+        self.tuple_count() == 0
     }
 
     /// Symmetric-hash-join step: emit all new results formed with
@@ -191,38 +423,112 @@ impl PartitionGroup {
     /// [`ResultSink::emit_product`] call over borrowed span lists — no
     /// per-insert allocation (the span array lives on the stack for up
     /// to [`INLINE_STREAMS`] streams) and no per-combination virtual
-    /// dispatch for count-only sinks.
+    /// dispatch for count-only sinks. Under the columnar layout a sink
+    /// answering [`ResultSink::wants_rows`]` == false` is served
+    /// [`SpanList::TsOnly`] lists straight off the timestamp columns —
+    /// no row is materialized at all.
     pub fn insert(&mut self, tuple: Tuple, sink: &mut dyn ResultSink) -> Result<(u64, usize)> {
+        let key = self.key_of(&tuple)?;
+        self.insert_hashed(key, tuple, sink)
+    }
+
+    /// Validate stream range and join-column presence, returning the
+    /// hashed join key.
+    fn key_of(&self, tuple: &Tuple) -> Result<HashedKey> {
         let s = tuple.stream().index();
-        if s >= self.streams.len() {
+        if s >= self.join_columns.len() {
             return Err(DcapeError::state(format!(
                 "stream {} out of range for {}-way join",
                 tuple.stream(),
-                self.streams.len()
+                self.join_columns.len()
             )));
         }
-        let key = HashedKey::new(
+        Ok(HashedKey::new(
             tuple
                 .get(self.join_columns[s])
                 .ok_or_else(|| DcapeError::state("tuple lacks join column"))?
                 .clone(),
-        );
+        ))
+    }
 
-        let m = self.streams.len();
+    /// Insert a whole same-partition run of tuples, hashing keys in one
+    /// batched pass before probing (the vectorized entry used by
+    /// [`MJoinOperator::process_batch`](crate::operators::mjoin::MJoinOperator::process_batch)).
+    ///
+    /// Drains `run` (leaving it empty for reuse) and returns
+    /// `(results_emitted, bytes_added, status)`. On an invalid tuple the
+    /// valid prefix is inserted — and accounted in the first two fields —
+    /// the remainder is dropped, and `status` carries the error: exactly
+    /// the per-tuple path's semantics when a batch aborts mid-run.
+    pub fn insert_run(
+        &mut self,
+        run: &mut Vec<Tuple>,
+        sink: &mut dyn ResultSink,
+    ) -> (u64, usize, Result<()>) {
+        let mut keys = std::mem::take(&mut self.key_scratch);
+        keys.clear();
+        let mut status = Ok(());
+        for t in run.iter() {
+            match self.key_of(t) {
+                Ok(k) => keys.push(k),
+                Err(e) => {
+                    status = Err(e);
+                    break;
+                }
+            }
+        }
+        let valid = keys.len();
+        let mut emitted_total = 0u64;
+        let mut added_total = 0usize;
+        for (tuple, key) in run.drain(..).zip(keys.drain(..)).take(valid) {
+            match self.insert_hashed(key, tuple, sink) {
+                Ok((emitted, added)) => {
+                    emitted_total += emitted;
+                    added_total += added;
+                }
+                Err(e) => {
+                    status = Err(e);
+                    break;
+                }
+            }
+        }
+        self.key_scratch = keys;
+        (emitted_total, added_total, status)
+    }
+
+    fn insert_hashed(
+        &mut self,
+        key: HashedKey,
+        tuple: Tuple,
+        sink: &mut dyn ResultSink,
+    ) -> Result<(u64, usize)> {
+        let s = tuple.stream().index();
+        if let StateStore::Columnar(cols) = &self.state {
+            cols[s].check_capacity(&tuple)?;
+        }
+        let m = self.join_columns.len();
         let emitted = if m >= 2 {
-            if m <= INLINE_STREAMS {
-                let mut lists = [SpanList::One(&tuple); INLINE_STREAMS];
-                self.probe(s, &key, &mut lists[..m], sink)
-            } else {
-                let mut lists = vec![SpanList::One(&tuple); m];
-                self.probe(s, &key, &mut lists, sink)
+            match self.state {
+                StateStore::Columnar(_) => self.probe_columnar(s, &key, &tuple, sink),
+                StateStore::Row(_) => {
+                    if m <= INLINE_STREAMS {
+                        let mut lists = [SpanList::One(&tuple); INLINE_STREAMS];
+                        self.probe_row(s, &key, &mut lists[..m], sink)
+                    } else {
+                        let mut lists = vec![SpanList::One(&tuple); m];
+                        self.probe_row(s, &key, &mut lists, sink)
+                    }
+                }
             }
         } else {
             0
         };
 
         let added = tuple.heap_size() + PER_TUPLE_OVERHEAD;
-        self.streams[s].insert(key, tuple);
+        match &mut self.state {
+            StateStore::Row(streams) => streams[s].insert(key, tuple),
+            StateStore::Columnar(cols) => cols[s].insert(key, &tuple),
+        }
         self.bytes += added;
         self.output_count += emitted;
         self.decay.window_output += emitted;
@@ -233,15 +539,18 @@ impl PartitionGroup {
     /// holds the probing tuple) and deliver the product. Bails early on
     /// any empty side. The span lists borrow the stream state directly;
     /// all borrows end before the caller stores the tuple.
-    fn probe<'a>(
+    fn probe_row<'a>(
         &'a self,
         s: usize,
         key: &HashedKey,
         lists: &mut [SpanList<'a>],
         sink: &mut dyn ResultSink,
     ) -> u64 {
+        let StateStore::Row(streams) = &self.state else {
+            unreachable!("probe_row on columnar state");
+        };
         let mut ts_sorted = true;
-        for (i, sp) in self.streams.iter().enumerate() {
+        for (i, sp) in streams.iter().enumerate() {
             if i == s {
                 continue;
             }
@@ -258,6 +567,109 @@ impl PartitionGroup {
         sink.emit_product(&ProbeSpans::new(lists, self.window, ts_sorted))
     }
 
+    /// Columnar probe entry: splits `self`'s fields so the span lists
+    /// can borrow the columns and (for row-wanting sinks) the reused
+    /// scratch buffers simultaneously.
+    fn probe_columnar(
+        &mut self,
+        s: usize,
+        key: &HashedKey,
+        tuple: &Tuple,
+        sink: &mut dyn ResultSink,
+    ) -> u64 {
+        let m = self.join_columns.len();
+        let window = self.window;
+        let PartitionGroup { state, scratch, .. } = self;
+        let StateStore::Columnar(cols) = &*state else {
+            unreachable!("probe_columnar on row state");
+        };
+        if m <= INLINE_STREAMS {
+            let mut lists = [SpanList::One(tuple); INLINE_STREAMS];
+            let mut pos: [&[u32]; INLINE_STREAMS] = [&[]; INLINE_STREAMS];
+            Self::probe_columnar_into(
+                cols,
+                scratch,
+                window,
+                s,
+                key,
+                &mut pos[..m],
+                &mut lists[..m],
+                sink,
+            )
+        } else {
+            let mut lists = vec![SpanList::One(tuple); m];
+            let mut pos: Vec<&[u32]> = vec![&[]; m];
+            Self::probe_columnar_into(cols, scratch, window, s, key, &mut pos, &mut lists, sink)
+        }
+    }
+
+    /// Vectorized columnar probe. Pass A checks every other stream for a
+    /// non-empty match list (hash computed once, one lookup per stream —
+    /// the position slices are kept for pass B) and bails before
+    /// touching any payload. Pass B then builds the span lists:
+    /// timestamp-only views for count-only sinks, materialized row
+    /// slices (into the reused scratch buffers) for sinks that
+    /// enumerate.
+    #[allow(clippy::too_many_arguments)]
+    fn probe_columnar_into<'a>(
+        cols: &'a [ColumnarPartition],
+        scratch: &'a mut Vec<Vec<Tuple>>,
+        window: Option<VirtualDuration>,
+        s: usize,
+        key: &HashedKey,
+        pos: &mut [&'a [u32]],
+        lists: &mut [SpanList<'a>],
+        sink: &mut dyn ResultSink,
+    ) -> u64 {
+        let mut ts_sorted = true;
+        for (i, cp) in cols.iter().enumerate() {
+            if i == s {
+                continue;
+            }
+            let p = cp.matches(key);
+            if p.is_empty() {
+                return 0;
+            }
+            pos[i] = p;
+            ts_sorted &= cp.ts_sorted;
+        }
+        if sink.wants_rows() {
+            if scratch.len() < cols.len() {
+                scratch.resize_with(cols.len(), Vec::new);
+            }
+            for (i, cp) in cols.iter().enumerate() {
+                if i == s {
+                    continue;
+                }
+                let buf = &mut scratch[i];
+                buf.clear();
+                buf.extend(
+                    pos[i]
+                        .iter()
+                        .map(|&p| cp.materialize(StreamId(i as u8), p as usize)),
+                );
+            }
+            let scratch: &'a [Vec<Tuple>] = scratch;
+            for (i, rows) in scratch.iter().enumerate().take(cols.len()) {
+                if i == s {
+                    continue;
+                }
+                lists[i] = SpanList::Slice(rows);
+            }
+        } else {
+            for (i, cp) in cols.iter().enumerate() {
+                if i == s {
+                    continue;
+                }
+                lists[i] = SpanList::TsOnly {
+                    ts: &cp.ts,
+                    positions: pos[i],
+                };
+            }
+        }
+        sink.emit_product(&ProbeSpans::new(lists, window, ts_sorted))
+    }
+
     /// Drop every tuple whose window has fully expired at the purge
     /// `horizon` (i.e. it can no longer join with any arrival carrying
     /// `ts >= horizon`), rebuilding the per-stream indexes. Callers
@@ -272,23 +684,33 @@ impl PartitionGroup {
         let cutoff =
             VirtualTime::from_millis(horizon.as_millis().saturating_sub(window.as_millis()));
         let mut freed = 0usize;
-        for (stream_index, sp) in self.streams.iter_mut().enumerate() {
-            if sp.tuples.iter().all(|t| t.ts() >= cutoff) {
-                continue;
+        match &mut self.state {
+            StateStore::Row(streams) => {
+                for (stream_index, sp) in streams.iter_mut().enumerate() {
+                    if sp.tuples.iter().all(|t| t.ts() >= cutoff) {
+                        continue;
+                    }
+                    let old = std::mem::take(&mut sp.tuples);
+                    sp.index.clear();
+                    // Re-inserting recomputes sortedness from scratch, so a
+                    // group that went unsorted can recover the pruning
+                    // shortcut once the offending tuples expire.
+                    sp.ts_sorted = true;
+                    let column = self.join_columns[stream_index];
+                    for t in old {
+                        if t.ts() >= cutoff {
+                            let key =
+                                HashedKey::new(t.get(column).expect("validated at insert").clone());
+                            sp.insert(key, t);
+                        } else {
+                            freed += t.heap_size() + PER_TUPLE_OVERHEAD;
+                        }
+                    }
+                }
             }
-            let old = std::mem::take(&mut sp.tuples);
-            sp.index.clear();
-            // Re-inserting recomputes sortedness from scratch, so a
-            // group that went unsorted can recover the pruning shortcut
-            // once the offending tuples expire.
-            sp.ts_sorted = true;
-            let column = self.join_columns[stream_index];
-            for t in old {
-                if t.ts() >= cutoff {
-                    let key = HashedKey::new(t.get(column).expect("validated at insert").clone());
-                    sp.insert(key, t);
-                } else {
-                    freed += t.heap_size() + PER_TUPLE_OVERHEAD;
+            StateStore::Columnar(cols) => {
+                for cp in cols.iter_mut() {
+                    freed += cp.purge(cutoff);
                 }
             }
         }
@@ -298,9 +720,22 @@ impl PartitionGroup {
 
     /// Consume the group into a serializable snapshot plus its output
     /// count (relocation carries the count; spill discards it because a
-    /// fresh group restarts its productivity history).
+    /// fresh group restarts its productivity history). Columnar state is
+    /// materialized in insertion order, so both layouts snapshot to the
+    /// same rows in the same order.
     pub fn into_snapshot(self) -> (SpilledGroup, u64) {
-        let per_stream = self.streams.into_iter().map(|s| s.tuples).collect();
+        let per_stream = match self.state {
+            StateStore::Row(streams) => streams.into_iter().map(|s| s.tuples).collect(),
+            StateStore::Columnar(cols) => cols
+                .iter()
+                .enumerate()
+                .map(|(s, cp)| {
+                    (0..cp.len())
+                        .map(|i| cp.materialize(StreamId(s as u8), i))
+                        .collect()
+                })
+                .collect(),
+        };
         (
             SpilledGroup {
                 partition: self.pid,
@@ -317,6 +752,7 @@ impl PartitionGroup {
         join_columns: impl Into<Arc<[usize]>>,
         window: Option<VirtualDuration>,
         output_count: u64,
+        layout: StateLayout,
     ) -> Result<Self> {
         let join_columns = join_columns.into();
         if snapshot.per_stream.len() != join_columns.len() {
@@ -326,7 +762,7 @@ impl PartitionGroup {
                 join_columns.len()
             )));
         }
-        let mut group = PartitionGroup::new(snapshot.partition, join_columns, window);
+        let mut group = PartitionGroup::new(snapshot.partition, join_columns, window, layout);
         for (s, tuples) in snapshot.per_stream.into_iter().enumerate() {
             for t in tuples {
                 let key = HashedKey::new(
@@ -334,8 +770,27 @@ impl PartitionGroup {
                         .ok_or_else(|| DcapeError::state("snapshot tuple lacks join column"))?
                         .clone(),
                 );
-                group.bytes += t.heap_size() + PER_TUPLE_OVERHEAD;
-                group.streams[s].insert(key, t);
+                match &mut group.state {
+                    StateStore::Row(streams) => {
+                        group.bytes += t.heap_size() + PER_TUPLE_OVERHEAD;
+                        streams[s].insert(key, t);
+                    }
+                    StateStore::Columnar(cols) => {
+                        // Columnar state regenerates stream IDs from the
+                        // slot index at materialization; a mismatched
+                        // snapshot would silently relabel rows, so refuse
+                        // it instead.
+                        if t.stream().index() != s {
+                            return Err(DcapeError::state(format!(
+                                "snapshot slot {s} holds a tuple from stream {}",
+                                t.stream()
+                            )));
+                        }
+                        cols[s].check_capacity(&t)?;
+                        group.bytes += t.heap_size() + PER_TUPLE_OVERHEAD;
+                        cols[s].insert(key, &t);
+                    }
+                }
             }
         }
         group.output_count = output_count;
@@ -345,19 +800,62 @@ impl PartitionGroup {
     /// Clone the group's content as a snapshot without consuming it
     /// (used by tests and the drift checker).
     pub fn snapshot(&self) -> SpilledGroup {
+        let per_stream = match &self.state {
+            StateStore::Row(streams) => streams.iter().map(|s| s.tuples.clone()).collect(),
+            StateStore::Columnar(cols) => cols
+                .iter()
+                .enumerate()
+                .map(|(s, cp)| {
+                    (0..cp.len())
+                        .map(|i| cp.materialize(StreamId(s as u8), i))
+                        .collect()
+                })
+                .collect(),
+        };
         SpilledGroup {
             partition: self.pid,
-            per_stream: self.streams.iter().map(|s| s.tuples.clone()).collect(),
+            per_stream,
         }
     }
 
     /// Recompute accounted bytes from scratch (drift detection).
+    /// Columnar rows are re-materialized from the arena, so this checks
+    /// the stored `acct` column against ground truth too.
     pub fn recompute_bytes(&self) -> usize {
-        self.streams
-            .iter()
-            .flat_map(|s| s.tuples.iter())
-            .map(|t| t.heap_size() + PER_TUPLE_OVERHEAD)
-            .sum()
+        match &self.state {
+            StateStore::Row(streams) => streams
+                .iter()
+                .flat_map(|s| s.tuples.iter())
+                .map(|t| t.heap_size() + PER_TUPLE_OVERHEAD)
+                .sum(),
+            StateStore::Columnar(cols) => cols
+                .iter()
+                .enumerate()
+                .flat_map(|(s, cp)| {
+                    (0..cp.len()).map(move |i| {
+                        cp.materialize(StreamId(s as u8), i).heap_size() + PER_TUPLE_OVERHEAD
+                    })
+                })
+                .sum(),
+        }
+    }
+
+    /// Test-only: the ts-sorted flag of stream `s`.
+    #[cfg(test)]
+    fn ts_sorted_of(&self, s: usize) -> bool {
+        match &self.state {
+            StateStore::Row(streams) => streams[s].ts_sorted,
+            StateStore::Columnar(cols) => cols[s].ts_sorted,
+        }
+    }
+
+    /// Test-only: tuple count of stream `s`.
+    #[cfg(test)]
+    fn stream_len(&self, s: usize) -> usize {
+        match &self.state {
+            StateStore::Row(streams) => streams[s].tuples.len(),
+            StateStore::Columnar(cols) => cols[s].len(),
+        }
     }
 }
 
@@ -369,6 +867,8 @@ mod tests {
     use dcape_common::time::VirtualTime;
     use dcape_common::tuple::TupleBuilder;
 
+    const LAYOUTS: [StateLayout; 2] = [StateLayout::Row, StateLayout::Columnar];
+
     fn tpl(stream: u8, seq: u64, key: i64) -> Tuple {
         TupleBuilder::new(StreamId(stream))
             .seq(seq)
@@ -377,30 +877,32 @@ mod tests {
             .build()
     }
 
-    fn group3() -> PartitionGroup {
-        PartitionGroup::new(PartitionId(0), vec![0, 0, 0], None)
+    fn group3(layout: StateLayout) -> PartitionGroup {
+        PartitionGroup::new(PartitionId(0), vec![0, 0, 0], None, layout)
     }
 
     #[test]
     fn three_way_join_produces_cartesian_results() {
-        let mut g = group3();
-        let mut sink = CollectingSink::new();
-        // 2 tuples on stream 0, 2 on stream 1, then 1 on stream 2: the
-        // stream-2 insert sees 2x2 combinations.
-        g.insert(tpl(0, 0, 7), &mut sink).unwrap();
-        g.insert(tpl(0, 1, 7), &mut sink).unwrap();
-        g.insert(tpl(1, 0, 7), &mut sink).unwrap();
-        g.insert(tpl(1, 1, 7), &mut sink).unwrap();
-        assert!(sink.is_empty(), "no stream-2 tuple yet, no results");
-        let (n, _) = g.insert(tpl(2, 0, 7), &mut sink).unwrap();
-        assert_eq!(n, 4);
-        assert_eq!(sink.len(), 4);
-        assert_eq!(g.output_count(), 4);
-        // Every result has one tuple per stream, in stream order.
-        for r in sink.results() {
-            assert_eq!(r.len(), 3);
-            for (s, t) in r.iter().enumerate() {
-                assert_eq!(t.stream().index(), s);
+        for layout in LAYOUTS {
+            let mut g = group3(layout);
+            let mut sink = CollectingSink::new();
+            // 2 tuples on stream 0, 2 on stream 1, then 1 on stream 2: the
+            // stream-2 insert sees 2x2 combinations.
+            g.insert(tpl(0, 0, 7), &mut sink).unwrap();
+            g.insert(tpl(0, 1, 7), &mut sink).unwrap();
+            g.insert(tpl(1, 0, 7), &mut sink).unwrap();
+            g.insert(tpl(1, 1, 7), &mut sink).unwrap();
+            assert!(sink.is_empty(), "no stream-2 tuple yet, no results");
+            let (n, _) = g.insert(tpl(2, 0, 7), &mut sink).unwrap();
+            assert_eq!(n, 4);
+            assert_eq!(sink.len(), 4);
+            assert_eq!(g.output_count(), 4);
+            // Every result has one tuple per stream, in stream order.
+            for r in sink.results() {
+                assert_eq!(r.len(), 3);
+                for (s, t) in r.iter().enumerate() {
+                    assert_eq!(t.stream().index(), s);
+                }
             }
         }
     }
@@ -408,96 +910,174 @@ mod tests {
     #[test]
     fn results_match_multiplicity_cube() {
         // f tuples per stream with one shared key => f^3 total results.
-        let f = 4u64;
-        let mut g = group3();
-        let mut sink = CountingSink::new();
-        for rep in 0..f {
-            for s in 0..3u8 {
-                g.insert(tpl(s, rep, 1), &mut sink).unwrap();
+        for layout in LAYOUTS {
+            let f = 4u64;
+            let mut g = group3(layout);
+            let mut sink = CountingSink::new();
+            for rep in 0..f {
+                for s in 0..3u8 {
+                    g.insert(tpl(s, rep, 1), &mut sink).unwrap();
+                }
             }
+            assert_eq!(sink.count(), f * f * f);
+            assert_eq!(g.output_count(), f * f * f);
+            assert_eq!(g.tuple_count(), (3 * f) as usize);
         }
-        assert_eq!(sink.count(), f * f * f);
-        assert_eq!(g.output_count(), f * f * f);
-        assert_eq!(g.tuple_count(), (3 * f) as usize);
     }
 
     #[test]
     fn different_keys_do_not_join() {
-        let mut g = group3();
-        let mut sink = CountingSink::new();
-        g.insert(tpl(0, 0, 1), &mut sink).unwrap();
-        g.insert(tpl(1, 0, 2), &mut sink).unwrap();
-        g.insert(tpl(2, 0, 3), &mut sink).unwrap();
-        assert_eq!(sink.count(), 0);
-        assert_eq!(g.productivity(), 0.0);
+        for layout in LAYOUTS {
+            let mut g = group3(layout);
+            let mut sink = CountingSink::new();
+            g.insert(tpl(0, 0, 1), &mut sink).unwrap();
+            g.insert(tpl(1, 0, 2), &mut sink).unwrap();
+            g.insert(tpl(2, 0, 3), &mut sink).unwrap();
+            assert_eq!(sink.count(), 0);
+            assert_eq!(g.productivity(), 0.0);
+        }
     }
 
     #[test]
     fn two_way_join_works() {
-        let mut g = PartitionGroup::new(PartitionId(1), vec![0, 0], None);
-        let mut sink = CountingSink::new();
-        g.insert(tpl(0, 0, 5), &mut sink).unwrap();
-        g.insert(tpl(1, 0, 5), &mut sink).unwrap();
-        g.insert(tpl(1, 1, 5), &mut sink).unwrap();
-        assert_eq!(sink.count(), 2);
+        for layout in LAYOUTS {
+            let mut g = PartitionGroup::new(PartitionId(1), vec![0, 0], None, layout);
+            let mut sink = CountingSink::new();
+            g.insert(tpl(0, 0, 5), &mut sink).unwrap();
+            g.insert(tpl(1, 0, 5), &mut sink).unwrap();
+            g.insert(tpl(1, 1, 5), &mut sink).unwrap();
+            assert_eq!(sink.count(), 2);
+        }
     }
 
     #[test]
     fn bytes_accounting_matches_recompute() {
-        let mut g = group3();
-        let mut sink = CountingSink::new();
-        for s in 0..3u8 {
-            for i in 0..10 {
-                g.insert(tpl(s, i, (i % 3) as i64), &mut sink).unwrap();
+        for layout in LAYOUTS {
+            let mut g = group3(layout);
+            let mut sink = CountingSink::new();
+            for s in 0..3u8 {
+                for i in 0..10 {
+                    g.insert(tpl(s, i, (i % 3) as i64), &mut sink).unwrap();
+                }
             }
+            assert_eq!(g.bytes(), g.recompute_bytes());
+            assert!(g.bytes() > 0);
         }
-        assert_eq!(g.bytes(), g.recompute_bytes());
-        assert!(g.bytes() > 0);
     }
 
     #[test]
     fn snapshot_round_trip_preserves_state_and_stats() {
-        let mut g = group3();
-        let mut sink = CountingSink::new();
-        for s in 0..3u8 {
-            for i in 0..5 {
-                g.insert(tpl(s, i, 1), &mut sink).unwrap();
+        for layout in LAYOUTS {
+            for restore_layout in LAYOUTS {
+                let mut g = group3(layout);
+                let mut sink = CountingSink::new();
+                for s in 0..3u8 {
+                    for i in 0..5 {
+                        g.insert(tpl(s, i, 1), &mut sink).unwrap();
+                    }
+                }
+                let bytes_before = g.bytes();
+                let output_before = g.output_count();
+                let (snap, carried) = g.into_snapshot();
+                assert_eq!(carried, output_before);
+                let g2 = PartitionGroup::from_snapshot(
+                    snap,
+                    vec![0, 0, 0],
+                    None,
+                    carried,
+                    restore_layout,
+                )
+                .unwrap();
+                assert_eq!(g2.bytes(), bytes_before);
+                assert_eq!(g2.output_count(), output_before);
+                // Restored group continues joining correctly.
+                let mut g2 = g2;
+                let mut sink2 = CountingSink::new();
+                g2.insert(tpl(0, 99, 1), &mut sink2).unwrap();
+                // 5 on stream 1 x 5 on stream 2.
+                assert_eq!(sink2.count(), 25);
             }
         }
-        let bytes_before = g.bytes();
-        let output_before = g.output_count();
-        let (snap, carried) = g.into_snapshot();
-        assert_eq!(carried, output_before);
-        let g2 = PartitionGroup::from_snapshot(snap, vec![0, 0, 0], None, carried).unwrap();
-        assert_eq!(g2.bytes(), bytes_before);
-        assert_eq!(g2.output_count(), output_before);
-        // Restored group continues joining correctly.
-        let mut g2 = g2;
-        let mut sink2 = CountingSink::new();
-        g2.insert(tpl(0, 99, 1), &mut sink2).unwrap();
-        // 5 on stream 1 x 5 on stream 2.
-        assert_eq!(sink2.count(), 25);
     }
 
     #[test]
     fn from_snapshot_validates_stream_count() {
-        let snap = SpilledGroup::empty(PartitionId(0), 2);
-        assert!(PartitionGroup::from_snapshot(snap, vec![0, 0, 0], None, 0).is_err());
+        for layout in LAYOUTS {
+            let snap = SpilledGroup::empty(PartitionId(0), 2);
+            assert!(PartitionGroup::from_snapshot(snap, vec![0, 0, 0], None, 0, layout).is_err());
+        }
+    }
+
+    #[test]
+    fn columnar_from_snapshot_rejects_misfiled_stream() {
+        let mut snap = SpilledGroup::empty(PartitionId(0), 3);
+        snap.per_stream[1].push(tpl(0, 0, 1)); // stream-0 tuple in slot 1
+        assert!(
+            PartitionGroup::from_snapshot(snap, vec![0, 0, 0], None, 0, StateLayout::Columnar)
+                .is_err()
+        );
     }
 
     #[test]
     fn insert_rejects_out_of_range_stream() {
-        let mut g = group3();
-        let mut sink = CountingSink::new();
-        assert!(g.insert(tpl(7, 0, 1), &mut sink).is_err());
+        for layout in LAYOUTS {
+            let mut g = group3(layout);
+            let mut sink = CountingSink::new();
+            assert!(g.insert(tpl(7, 0, 1), &mut sink).is_err());
+        }
     }
 
     #[test]
     fn insert_rejects_missing_join_column() {
-        let mut g = PartitionGroup::new(PartitionId(0), vec![2, 2, 2], None);
-        let mut sink = CountingSink::new();
-        // Tuple has only one column; join column 2 is missing.
-        assert!(g.insert(tpl(0, 0, 1), &mut sink).is_err());
+        for layout in LAYOUTS {
+            let mut g = PartitionGroup::new(PartitionId(0), vec![2, 2, 2], None, layout);
+            let mut sink = CountingSink::new();
+            // Tuple has only one column; join column 2 is missing.
+            assert!(g.insert(tpl(0, 0, 1), &mut sink).is_err());
+        }
+    }
+
+    #[test]
+    fn insert_run_matches_per_tuple_inserts() {
+        for layout in LAYOUTS {
+            let mut batched = group3(layout);
+            let mut single = group3(layout);
+            let mut bsink = CountingSink::new();
+            let mut ssink = CountingSink::new();
+            let tuples: Vec<Tuple> = (0..18u64)
+                .map(|i| tpl((i % 3) as u8, i, (i % 2) as i64))
+                .collect();
+            let mut run = tuples.clone();
+            let (emitted, added, status) = batched.insert_run(&mut run, &mut bsink);
+            assert!(status.is_ok());
+            assert!(run.is_empty(), "insert_run drains the batch");
+            let mut s_emitted = 0u64;
+            let mut s_added = 0usize;
+            for t in tuples {
+                let (e, a) = single.insert(t, &mut ssink).unwrap();
+                s_emitted += e;
+                s_added += a;
+            }
+            assert_eq!(emitted, s_emitted);
+            assert_eq!(added, s_added);
+            assert_eq!(bsink.count(), ssink.count());
+            assert_eq!(batched.bytes(), single.bytes());
+        }
+    }
+
+    #[test]
+    fn insert_run_inserts_valid_prefix_then_errors() {
+        for layout in LAYOUTS {
+            let mut g = group3(layout);
+            let mut sink = CountingSink::new();
+            let mut run = vec![tpl(0, 0, 1), tpl(1, 0, 1), tpl(7, 0, 1), tpl(2, 0, 1)];
+            let (_, added, status) = g.insert_run(&mut run, &mut sink);
+            assert!(status.is_err(), "out-of-range stream reported");
+            assert!(run.is_empty());
+            assert_eq!(g.tuple_count(), 2, "valid prefix inserted, tail dropped");
+            assert!(added > 0);
+            assert_eq!(g.bytes(), g.recompute_bytes());
+        }
     }
 
     #[test]
@@ -505,81 +1085,163 @@ mod tests {
         // Same inserts into two groups: the CountingSink takes the
         // product/window-pruned path, the CollectingSink enumerates.
         // Timestamps arrive in order (the live-stream case).
-        let window = Some(VirtualDuration::from_millis(3));
-        let mut fast = PartitionGroup::new(PartitionId(0), vec![0, 0, 0], window);
-        let mut slow = PartitionGroup::new(PartitionId(0), vec![0, 0, 0], window);
-        let mut count = CountingSink::new();
-        let mut collect = CollectingSink::new();
-        for i in 0..24u64 {
-            let t = tpl((i % 3) as u8, i, 1);
-            let (nf, _) = fast.insert(t.clone(), &mut count).unwrap();
-            let before = collect.len();
-            let (ns, _) = slow.insert(t, &mut collect).unwrap();
-            assert_eq!(nf, ns, "per-insert emitted counts diverge at {i}");
-            assert_eq!(collect.len() - before, ns as usize);
+        for layout in LAYOUTS {
+            let window = Some(VirtualDuration::from_millis(3));
+            let mut fast = PartitionGroup::new(PartitionId(0), vec![0, 0, 0], window, layout);
+            let mut slow = PartitionGroup::new(PartitionId(0), vec![0, 0, 0], window, layout);
+            let mut count = CountingSink::new();
+            let mut collect = CollectingSink::new();
+            for i in 0..24u64 {
+                let t = tpl((i % 3) as u8, i, 1);
+                let (nf, _) = fast.insert(t.clone(), &mut count).unwrap();
+                let before = collect.len();
+                let (ns, _) = slow.insert(t, &mut collect).unwrap();
+                assert_eq!(nf, ns, "per-insert emitted counts diverge at {i}");
+                assert_eq!(collect.len() - before, ns as usize);
+            }
+            assert_eq!(count.count(), collect.len() as u64);
+            assert_eq!(fast.output_count(), slow.output_count());
+            assert!(count.count() > 0);
         }
-        assert_eq!(count.count(), collect.len() as u64);
-        assert_eq!(fast.output_count(), slow.output_count());
-        assert!(count.count() > 0);
     }
 
     #[test]
     fn out_of_order_arrivals_fall_back_and_stay_exact() {
         // Shuffled timestamps break the ts-sorted promise; the count
         // path must detect it and still match enumeration.
-        let window = Some(VirtualDuration::from_millis(4));
-        let mut fast = PartitionGroup::new(PartitionId(0), vec![0, 0, 0], window);
-        let mut slow = PartitionGroup::new(PartitionId(0), vec![0, 0, 0], window);
-        let mut count = CountingSink::new();
-        let mut collect = CollectingSink::new();
-        let ts_order = [9u64, 2, 14, 0, 7, 7, 3, 11, 1, 5, 13, 4];
-        for (i, &ts) in ts_order.iter().enumerate() {
-            let t = TupleBuilder::new(StreamId((i % 3) as u8))
-                .seq(i as u64)
-                .ts(VirtualTime::from_millis(ts))
-                .value(1i64)
-                .build();
-            let (nf, _) = fast.insert(t.clone(), &mut count).unwrap();
-            let (ns, _) = slow.insert(t, &mut collect).unwrap();
-            assert_eq!(nf, ns, "per-insert emitted counts diverge at {i}");
+        for layout in LAYOUTS {
+            let window = Some(VirtualDuration::from_millis(4));
+            let mut fast = PartitionGroup::new(PartitionId(0), vec![0, 0, 0], window, layout);
+            let mut slow = PartitionGroup::new(PartitionId(0), vec![0, 0, 0], window, layout);
+            let mut count = CountingSink::new();
+            let mut collect = CollectingSink::new();
+            let ts_order = [9u64, 2, 14, 0, 7, 7, 3, 11, 1, 5, 13, 4];
+            for (i, &ts) in ts_order.iter().enumerate() {
+                let t = TupleBuilder::new(StreamId((i % 3) as u8))
+                    .seq(i as u64)
+                    .ts(VirtualTime::from_millis(ts))
+                    .value(1i64)
+                    .build();
+                let (nf, _) = fast.insert(t.clone(), &mut count).unwrap();
+                let (ns, _) = slow.insert(t, &mut collect).unwrap();
+                assert_eq!(nf, ns, "per-insert emitted counts diverge at {i}");
+            }
+            assert_eq!(count.count(), collect.len() as u64);
+            assert!(count.count() > 0);
         }
-        assert_eq!(count.count(), collect.len() as u64);
-        assert!(count.count() > 0);
     }
 
     #[test]
     fn purge_restores_sorted_flag() {
-        let window = Some(VirtualDuration::from_millis(5));
-        let mut g = PartitionGroup::new(PartitionId(0), vec![0, 0, 0], window);
-        let mut sink = CountingSink::new();
-        // An out-of-order early tuple, then in-order late ones.
-        for (seq, ts) in [(0u64, 50u64), (1, 1), (2, 100), (3, 101)] {
-            let t = TupleBuilder::new(StreamId(0))
-                .seq(seq)
-                .ts(VirtualTime::from_millis(ts))
-                .value(1i64)
-                .build();
-            g.insert(t, &mut sink).unwrap();
+        for layout in LAYOUTS {
+            let window = Some(VirtualDuration::from_millis(5));
+            let mut g = PartitionGroup::new(PartitionId(0), vec![0, 0, 0], window, layout);
+            let mut sink = CountingSink::new();
+            // An out-of-order early tuple, then in-order late ones.
+            for (seq, ts) in [(0u64, 50u64), (1, 1), (2, 100), (3, 101)] {
+                let t = TupleBuilder::new(StreamId(0))
+                    .seq(seq)
+                    .ts(VirtualTime::from_millis(ts))
+                    .value(1i64)
+                    .build();
+                g.insert(t, &mut sink).unwrap();
+            }
+            assert!(!g.ts_sorted_of(0));
+            g.purge_expired(VirtualTime::from_millis(103));
+            assert!(g.ts_sorted_of(0), "rebuild recomputes sortedness");
+            assert_eq!(g.stream_len(0), 2);
         }
-        assert!(!g.streams[0].ts_sorted);
-        g.purge_expired(VirtualTime::from_millis(103));
-        assert!(g.streams[0].ts_sorted, "rebuild recomputes sortedness");
-        assert_eq!(g.streams[0].tuples.len(), 2);
+    }
+
+    #[test]
+    fn purge_keeps_layouts_equivalent() {
+        let window = Some(VirtualDuration::from_millis(5));
+        let mut row = PartitionGroup::new(PartitionId(0), vec![0, 0, 0], window, StateLayout::Row);
+        let mut col =
+            PartitionGroup::new(PartitionId(0), vec![0, 0, 0], window, StateLayout::Columnar);
+        let mut s1 = CountingSink::new();
+        let mut s2 = CountingSink::new();
+        for i in 0..30u64 {
+            let t = tpl((i % 3) as u8, i, (i % 2) as i64);
+            row.insert(t.clone(), &mut s1).unwrap();
+            col.insert(t, &mut s2).unwrap();
+        }
+        let fr = row.purge_expired(VirtualTime::from_millis(25));
+        let fc = col.purge_expired(VirtualTime::from_millis(25));
+        assert_eq!(fr, fc, "purge frees the same accounted bytes");
+        assert!(fr > 0);
+        assert_eq!(row.bytes(), col.bytes());
+        assert_eq!(row.snapshot(), col.snapshot());
+        assert_eq!(col.bytes(), col.recompute_bytes());
+    }
+
+    #[test]
+    fn columnar_matches_row_reference() {
+        // The central equivalence claim: both layouts produce identical
+        // results, accounting, and snapshots under both sink kinds.
+        let window = Some(VirtualDuration::from_millis(7));
+        let mut row = PartitionGroup::new(PartitionId(3), vec![0, 0, 0], window, StateLayout::Row);
+        let mut col =
+            PartitionGroup::new(PartitionId(3), vec![0, 0, 0], window, StateLayout::Columnar);
+        let mut row_collect = CollectingSink::new();
+        let mut col_collect = CollectingSink::new();
+        let mut row_count = CountingSink::new();
+        let mut col_count = CountingSink::new();
+        // Mixed-type tuples: int key plus a text payload column.
+        for i in 0..36u64 {
+            let t = TupleBuilder::new(StreamId((i % 3) as u8))
+                .seq(i)
+                .ts(VirtualTime::from_millis(i / 2))
+                .value((i % 2) as i64)
+                .value(["alpha", "beta", "gamma", "delta"][(i % 4) as usize])
+                .build();
+            let (re, ra) = row.insert(t.clone(), &mut row_collect).unwrap();
+            let (ce, ca) = col.insert(t, &mut col_collect).unwrap();
+            assert_eq!(re, ce, "emitted diverges at {i}");
+            assert_eq!(ra, ca, "added bytes diverge at {i}");
+            assert_eq!(row.snapshot(), col.snapshot(), "snapshots diverge at {i}");
+        }
+        assert_eq!(row_collect.identities(), col_collect.identities());
+        assert_eq!(row.bytes(), col.bytes());
+        assert_eq!(row.output_count(), col.output_count());
+        // Counting sinks on replicas agree with enumeration.
+        let (snap_r, out_r) = row.into_snapshot();
+        let rr =
+            PartitionGroup::from_snapshot(snap_r, vec![0, 0, 0], window, out_r, StateLayout::Row)
+                .unwrap();
+        let (snap_c, out_c) = col.into_snapshot();
+        let cc = PartitionGroup::from_snapshot(
+            snap_c,
+            vec![0, 0, 0],
+            window,
+            out_c,
+            StateLayout::Columnar,
+        )
+        .unwrap();
+        let mut rr = rr;
+        let mut cc = cc;
+        let t = tpl(0, 999, 0);
+        let (nr, _) = rr.insert(t.clone(), &mut row_count).unwrap();
+        let (nc, _) = cc.insert(t, &mut col_count).unwrap();
+        assert_eq!(nr, nc);
+        assert_eq!(row_count.count(), col_count.count());
     }
 
     #[test]
     fn productivity_reflects_output_per_byte() {
-        let mut hot = group3();
-        let mut cold = group3();
-        let mut sink = CountingSink::new();
-        for s in 0..3u8 {
-            for i in 0..6 {
-                hot.insert(tpl(s, i, 1), &mut sink).unwrap(); // all same key
-                cold.insert(tpl(s, i, i as i64 * 3 + s as i64), &mut sink)
-                    .unwrap(); // no joins
+        for layout in LAYOUTS {
+            let mut hot = group3(layout);
+            let mut cold = group3(layout);
+            let mut sink = CountingSink::new();
+            for s in 0..3u8 {
+                for i in 0..6 {
+                    hot.insert(tpl(s, i, 1), &mut sink).unwrap(); // all same key
+                    cold.insert(tpl(s, i, i as i64 * 3 + s as i64), &mut sink)
+                        .unwrap(); // no joins
+                }
             }
+            assert!(hot.productivity() > cold.productivity());
+            assert_eq!(cold.output_count(), 0);
         }
-        assert!(hot.productivity() > cold.productivity());
-        assert_eq!(cold.output_count(), 0);
     }
 }

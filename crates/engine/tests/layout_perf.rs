@@ -1,0 +1,132 @@
+//! Ignored-by-default perf probes for the row vs columnar layouts.
+//!
+//! Not assertions — these print per-phase wall times so a layout
+//! regression can be localized to insert vs probe cost:
+//!
+//! ```text
+//! cargo test -q -p dcape-engine --release --test layout_perf -- --ignored --nocapture
+//! ```
+
+use std::time::Instant;
+
+use dcape_common::ids::{PartitionId, StreamId};
+use dcape_common::mem::MemoryTracker;
+use dcape_common::time::{VirtualDuration, VirtualTime};
+use dcape_common::tuple::{Tuple, TupleBuilder};
+use dcape_engine::config::{MJoinConfig, StateLayout};
+use dcape_engine::operators::mjoin::MJoinOperator;
+use dcape_engine::sink::CountingSink;
+
+fn tpl(stream: u8, seq: u64, key: i64) -> Tuple {
+    TupleBuilder::new(StreamId(stream))
+        .seq(seq)
+        .ts(VirtualTime::from_millis(seq * 30))
+        .value(key)
+        .build()
+}
+
+/// Prebuilt workload, cloned per pass — keeps tuple construction and
+/// allocator effects out of the timed region (the row arm retains
+/// tuples while the columnar arm frees them, so in-loop construction
+/// costs would differ per arm and poison the comparison).
+fn workload(join_keys: bool, rounds: u64) -> Vec<(PartitionId, Tuple)> {
+    let mut out = Vec::with_capacity(rounds as usize * 3);
+    for seq in 0..rounds {
+        // Disjoint keys per stream = pure insert (probes bail on empty
+        // sides); shared keys = insert + probe/count.
+        for s in 0..3u8 {
+            let key = if join_keys {
+                (seq % 150) as i64
+            } else {
+                (seq % 150) as i64 * 3 + i64::from(s)
+            };
+            out.push((PartitionId((key as u32) % 120), tpl(s, seq, key)));
+        }
+    }
+    out
+}
+
+fn run(layout: StateLayout, windowed: bool, tuples: &[(PartitionId, Tuple)]) -> (f64, u64) {
+    let mut cfg = MJoinConfig::same_column(3, 0).with_layout(layout);
+    if windowed {
+        cfg = cfg.with_window(VirtualDuration::from_secs(90));
+    }
+    let mut op = MJoinOperator::new(cfg, MemoryTracker::new(u64::MAX)).unwrap();
+    let mut sink = CountingSink::new();
+    let start = Instant::now();
+    for (pid, t) in tuples {
+        op.process(*pid, t.clone(), &mut sink).unwrap();
+    }
+    (start.elapsed().as_secs_f64(), sink.count())
+}
+
+/// Paper-shaped workload: uniform keys over a 10k space (join rate 3 on
+/// a 30k tuple range), `Pad(1024)` payloads, 120 partitions — the state
+/// shape of the fig5 paper-scale end-to-end point.
+#[test]
+#[ignore = "perf probe, run manually with --nocapture"]
+fn paper_shape() {
+    const ROUNDS: u64 = 40_000;
+    let mut tuples = Vec::with_capacity(ROUNDS as usize * 3);
+    let mut rng: u64 = 0x9E37_79B9_7F4A_7C15;
+    for variant in ["join", "disjoint", "join-nopad", "disjoint-nopad"] {
+        let join = variant.starts_with("join");
+        let pad = !variant.ends_with("nopad");
+        tuples.clear();
+        for seq in 0..ROUNDS {
+            for s in 0..3u8 {
+                rng = rng
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let mut key = ((rng >> 33) % 10_000) as i64;
+                if !join {
+                    key = key * 3 + i64::from(s);
+                }
+                let mut b = TupleBuilder::new(StreamId(s))
+                    .seq(seq)
+                    .ts(VirtualTime::from_millis(seq * 30))
+                    .value(key);
+                if pad {
+                    b = b.pad(1024);
+                }
+                tuples.push((PartitionId((key as u32) % 120), b.build()));
+            }
+        }
+        for layout in [StateLayout::Row, StateLayout::Columnar] {
+            run(layout, false, &tuples);
+            let mut best = f64::MAX;
+            let mut count = 0;
+            for _ in 0..5 {
+                let (t, c) = run(layout, false, &tuples);
+                best = best.min(t);
+                count = c;
+            }
+            println!("paper-shape {variant:>14} {layout:?}: {best:.4}s (results {count})");
+        }
+    }
+}
+
+#[test]
+#[ignore = "perf probe, run manually with --nocapture"]
+fn phase_times() {
+    const ROUNDS: u64 = 24_000;
+    for (label, windowed, join_keys) in [
+        ("insert-only (disjoint keys)", false, false),
+        ("insert+count unwindowed", false, true),
+        ("insert+count windowed 90s", true, true),
+    ] {
+        let tuples = workload(join_keys, ROUNDS);
+        for layout in [StateLayout::Row, StateLayout::Columnar] {
+            // Warm-up then measure best-of-5.
+            run(layout, windowed, &tuples);
+            let mut best = f64::MAX;
+            let mut count = 0;
+            for _ in 0..5 {
+                let (t, c) = run(layout, windowed, &tuples);
+                best = best.min(t);
+                count = c;
+            }
+            println!("{label:>28} {layout:?}: {best:.4}s (results {count})");
+        }
+    }
+}

@@ -191,7 +191,10 @@ pub struct JournalEntry {
 pub struct JournalCounters {
     tuples_routed: AtomicU64,
     spill_bytes: AtomicU64,
+    spill_bytes_written: AtomicU64,
+    spill_bytes_read: AtomicU64,
     relocation_bytes: AtomicU64,
+    transfer_bytes: AtomicU64,
     buffered_in_flight: AtomicU64,
     purges_deferred: AtomicU64,
     watermark_held_ms: AtomicU64,
@@ -215,9 +218,30 @@ impl JournalCounters {
         self.spill_bytes.load(Ordering::Relaxed)
     }
 
+    /// Physically encoded bytes written to disk by spills (what hit the
+    /// backend, after segment-codec compression; compare with
+    /// [`spill_bytes`](Self::spill_bytes), the accounted state volume).
+    pub fn spill_bytes_written(&self) -> u64 {
+        self.spill_bytes_written.load(Ordering::Relaxed)
+    }
+
+    /// Physically encoded bytes read back from disk (cleanup merges,
+    /// run-time reactivation, segment forwarding).
+    pub fn spill_bytes_read(&self) -> u64 {
+        self.spill_bytes_read.load(Ordering::Relaxed)
+    }
+
     /// Total state bytes shipped between engines by relocation.
     pub fn relocation_bytes(&self) -> u64 {
         self.relocation_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Physically encoded bytes shipped between engines by relocation
+    /// `SendStates` transfers (wire volume after segment-codec
+    /// compression; compare with
+    /// [`relocation_bytes`](Self::relocation_bytes)).
+    pub fn transfer_bytes(&self) -> u64 {
+        self.transfer_bytes.load(Ordering::Relaxed)
     }
 
     /// Tuples currently buffered at paused splits (steps 4–7 of the
@@ -284,7 +308,10 @@ impl JournalCounters {
         CountersSnapshot {
             tuples_routed: self.tuples_routed(),
             spill_bytes: self.spill_bytes(),
+            spill_bytes_written: self.spill_bytes_written(),
+            spill_bytes_read: self.spill_bytes_read(),
             relocation_bytes: self.relocation_bytes(),
+            transfer_bytes: self.transfer_bytes(),
             buffered_in_flight: self.buffered_in_flight(),
             purges_deferred: self.purges_deferred(),
             watermark_held_ms: self.watermark_held_ms(),
@@ -306,8 +333,14 @@ pub struct CountersSnapshot {
     pub tuples_routed: u64,
     /// Total state bytes pushed to disk by spills.
     pub spill_bytes: u64,
+    /// Physically encoded bytes written to disk by spills.
+    pub spill_bytes_written: u64,
+    /// Physically encoded bytes read back from disk.
+    pub spill_bytes_read: u64,
     /// Total state bytes shipped between engines by relocation.
     pub relocation_bytes: u64,
+    /// Physically encoded bytes shipped by relocation transfers.
+    pub transfer_bytes: u64,
     /// Tuples still buffered at paused splits when sampled.
     pub buffered_in_flight: u64,
     /// Purge pulses that ran with a relocation-held horizon.
@@ -335,7 +368,10 @@ impl CountersSnapshot {
     pub fn absorb(&mut self, other: &CountersSnapshot) {
         self.tuples_routed += other.tuples_routed;
         self.spill_bytes += other.spill_bytes;
+        self.spill_bytes_written += other.spill_bytes_written;
+        self.spill_bytes_read += other.spill_bytes_read;
         self.relocation_bytes += other.relocation_bytes;
+        self.transfer_bytes += other.transfer_bytes;
         self.buffered_in_flight += other.buffered_in_flight;
         self.purges_deferred += other.purges_deferred;
         self.watermark_held_ms += other.watermark_held_ms;
@@ -346,6 +382,15 @@ impl CountersSnapshot {
         self.watermark_released_on_abort += other.watermark_released_on_abort;
         self.events_recorded += other.events_recorded;
         self.events_dropped += other.events_dropped;
+    }
+
+    /// Spill compression ratio: accounted state bytes spilled per
+    /// encoded byte physically written (`None` before any encoded
+    /// write). A row-codec run of plain-payload tuples sits near 1; the
+    /// column-block codec on regular data pushes this well above 2.
+    pub fn spill_compression_ratio(&self) -> Option<f64> {
+        (self.spill_bytes_written > 0)
+            .then(|| self.spill_bytes as f64 / self.spill_bytes_written as f64)
     }
 }
 
@@ -488,11 +533,38 @@ impl JournalHandle {
         }
     }
 
+    /// Add physically encoded spill-write bytes (no-op when disabled).
+    #[inline]
+    pub fn add_spill_bytes_written(&self, n: u64) {
+        if let Some(j) = &self.inner {
+            j.counters
+                .spill_bytes_written
+                .fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Add physically encoded spill-read bytes (no-op when disabled).
+    #[inline]
+    pub fn add_spill_bytes_read(&self, n: u64) {
+        if let Some(j) = &self.inner {
+            j.counters.spill_bytes_read.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
     /// Add relocated state bytes to the counter (no-op when disabled).
     #[inline]
     pub fn add_relocation_bytes(&self, n: u64) {
         if let Some(j) = &self.inner {
             j.counters.relocation_bytes.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Add physically encoded relocation-transfer bytes (no-op when
+    /// disabled).
+    #[inline]
+    pub fn add_transfer_bytes(&self, n: u64) {
+        if let Some(j) = &self.inner {
+            j.counters.transfer_bytes.fetch_add(n, Ordering::Relaxed);
         }
     }
 
@@ -730,6 +802,34 @@ mod tests {
         off.add_msgs_retried(1);
         off.add_rounds_aborted(1);
         off.add_watermark_released_on_abort(1);
+        assert!(off.counters().is_none());
+    }
+
+    #[test]
+    fn byte_volume_counters_accumulate_and_derive_ratio() {
+        let handle = JournalHandle::with_capacity(8);
+        handle.add_spill_bytes(1000);
+        handle.add_spill_bytes_written(250);
+        handle.add_spill_bytes_read(250);
+        handle.add_relocation_bytes(600);
+        handle.add_transfer_bytes(150);
+        let c = handle.counters().unwrap();
+        assert_eq!(c.spill_bytes_written(), 250);
+        assert_eq!(c.spill_bytes_read(), 250);
+        assert_eq!(c.transfer_bytes(), 150);
+        let snap = c.snapshot();
+        assert_eq!(snap.spill_compression_ratio(), Some(4.0));
+        let mut total = snap;
+        total.absorb(&snap);
+        assert_eq!(total.spill_bytes_written, 500);
+        assert_eq!(total.spill_bytes_read, 500);
+        assert_eq!(total.transfer_bytes, 300);
+        // No encoded writes yet => no ratio (never a division by zero).
+        assert_eq!(CountersSnapshot::default().spill_compression_ratio(), None);
+        let off = JournalHandle::disabled();
+        off.add_spill_bytes_written(1);
+        off.add_spill_bytes_read(1);
+        off.add_transfer_bytes(1);
         assert!(off.counters().is_none());
     }
 

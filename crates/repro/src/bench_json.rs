@@ -1,27 +1,32 @@
 //! `--bench-json PATH`: the machine-readable benchmark trajectory.
 //!
-//! Measures count-first result delivery against the per-combination
-//! enumerating path on two levels and writes one JSON document:
+//! Measures the columnar partition-group state against the row layout
+//! on three levels and writes one JSON document:
 //!
-//! * `probe_enumeration` — the `MJoinOperator` hot loop in isolation on
-//!   an output-bound workload (high join multiplicity), with a
-//!   count-first `CountingSink` vs the same sink wrapped in
-//!   `EnumeratingSink` (which keeps the default per-combination
-//!   `emit_product`);
+//! * `probe_micro` — the `MJoinOperator` hot loop in isolation on a
+//!   windowed workload (binary-search window pruning active), with the
+//!   count-first `CountingSink` on both arms, toggling only the state
+//!   layout;
 //! * `fig5_end_to_end_threaded_*` — fig5-style runs (paper workload,
-//!   spill threshold, no adaptation) on the threaded runtime with the
-//!   PR2 batched data path in both arms, toggling only
-//!   `count_first`, reporting steady-state tuples/sec of wall-clock
-//!   time.
+//!   spill threshold, no adaptation) on the threaded runtime with
+//!   PR2 batching and PR3 count-first delivery on in both arms,
+//!   toggling only the state layout, reporting steady-state tuples/sec
+//!   of wall-clock time — the row arm reproduces `BENCH_pr3`'s
+//!   count-first arm, so the ratio is directly comparable;
+//! * `spill_heavy` — deterministic sim runs with real `Value::Blob`
+//!   payloads under tight memory, per adaptation strategy, reporting
+//!   the encoded spill volume of the verbatim row codec vs the
+//!   column-block codec (`spill_bytes_written` journal counter).
 //!
-//! Wall-clock numbers are per-machine; the committed `BENCH_pr3.json`
-//! records the before/after ratio on the machine that produced it.
+//! Wall-clock numbers are per-machine; the committed `BENCH_pr8.json`
+//! records the ratios on the machine that produced it. The spill-byte
+//! numbers are deterministic.
 
 use std::io::Write as _;
 use std::path::Path;
 use std::time::Instant;
 
-use dcape_cluster::runtime::sim::SimConfig;
+use dcape_cluster::runtime::sim::{SimConfig, SimDriver};
 use dcape_cluster::runtime::threaded::run_threaded;
 use dcape_cluster::strategy::StrategyConfig;
 use dcape_common::error::{DcapeError, Result};
@@ -29,9 +34,11 @@ use dcape_common::ids::{PartitionId, StreamId};
 use dcape_common::mem::MemoryTracker;
 use dcape_common::time::{VirtualDuration, VirtualTime};
 use dcape_common::tuple::{Tuple, TupleBuilder};
-use dcape_engine::config::MJoinConfig;
+use dcape_engine::config::{MJoinConfig, StateLayout};
 use dcape_engine::operators::mjoin::MJoinOperator;
-use dcape_engine::sink::{CountingSink, EnumeratingSink, ResultSink};
+use dcape_engine::sink::{CountingSink, ResultSink};
+use dcape_storage::SegmentCodec;
+use dcape_streamgen::StreamSetSpec;
 
 use crate::scale;
 
@@ -44,18 +51,18 @@ pub struct Arm {
     pub tuples_per_sec: f64,
 }
 
-/// One end-to-end measurement point: both arms plus the run's invariant
-/// totals.
+/// One end-to-end measurement point: both layout arms plus the run's
+/// invariant totals.
 #[derive(Debug)]
 pub struct E2ePoint {
     /// Human-readable workload description (embedded in the JSON).
     pub workload: String,
     /// Virtual run duration in minutes.
     pub virtual_minutes: u64,
-    /// Per-combination enumerating delivery (the PR2 batched path).
-    pub per_combination: Arm,
-    /// Count-first delivery (span-based `emit_product`).
-    pub count_first: Arm,
+    /// Row-layout state (the PR3 count-first baseline).
+    pub row: Arm,
+    /// Columnar state (this PR).
+    pub columnar: Arm,
     /// Results produced (equal on both arms).
     pub output: u64,
     /// Tuples routed (equal on both arms).
@@ -63,34 +70,59 @@ pub struct E2ePoint {
 }
 
 impl E2ePoint {
-    /// Count-first / per-combination throughput ratio.
+    /// Columnar / row throughput ratio.
     pub fn speedup(&self) -> f64 {
-        self.count_first.tuples_per_sec / self.per_combination.tuples_per_sec
+        self.columnar.tuples_per_sec / self.row.tuples_per_sec
+    }
+}
+
+/// One spill-heavy strategy arm: deterministic encoded-volume counters
+/// for both spill codecs over the same workload and adaptation history.
+#[derive(Debug)]
+pub struct SpillPoint {
+    /// Strategy label (embedded in the JSON).
+    pub strategy: String,
+    /// Accounted (pre-encoding) spill volume — equal across codecs.
+    pub spill_bytes: u64,
+    /// Encoded bytes written by the verbatim row codec.
+    pub rows_written: u64,
+    /// Encoded bytes written by the column-block codec.
+    pub columns_written: u64,
+}
+
+impl SpillPoint {
+    /// Row-codec / column-codec written-byte ratio (the headline
+    /// reduction this PR claims).
+    pub fn reduction(&self) -> f64 {
+        self.rows_written as f64 / self.columns_written as f64
+    }
+
+    /// Accounted state bytes per encoded column-block byte.
+    pub fn compression_ratio(&self) -> f64 {
+        self.spill_bytes as f64 / self.columns_written as f64
     }
 }
 
 /// The full trajectory, returned for tests and rendered to JSON.
 #[derive(Debug)]
 pub struct BenchReport {
-    /// Probe-enumeration microbench: per-combination arm.
-    pub probe_per_combination: Arm,
-    /// Probe-enumeration microbench: count-first arm.
-    pub probe_count_first: Arm,
-    /// Fast fig5-style run: low join multiplicity, so per-tuple routing
-    /// and channel costs dominate and there is little enumeration to
-    /// skip.
+    /// Probe microbench: row-layout arm.
+    pub probe_row: Arm,
+    /// Probe microbench: columnar arm.
+    pub probe_columnar: Arm,
+    /// Fast fig5-style run (6 virtual minutes).
     pub e2e_fast: E2ePoint,
-    /// Paper-scale fig5-style run: output-bound (each tuple emits ~50
-    /// results) — the point PR2's batching could not move, and the
-    /// headline number for count-first delivery.
+    /// Paper-scale fig5-style run (60 virtual minutes, output-bound) —
+    /// whose row arm is BENCH_pr3's count-first arm re-measured.
     pub e2e_paper: E2ePoint,
+    /// Spill-heavy real-payload arms, one per adaptation strategy.
+    pub spill_heavy: Vec<SpillPoint>,
 }
 
 impl BenchReport {
-    /// Count-first / per-combination throughput ratio of the probe
-    /// microbench.
+    /// Columnar / row throughput ratio of the probe microbench.
     pub fn probe_speedup(&self) -> f64 {
-        self.probe_count_first.tuples_per_sec / self.probe_per_combination.tuples_per_sec
+        self.probe_columnar.tuples_per_sec / self.probe_row.tuples_per_sec
     }
 
     /// Render the hand-rolled JSON document.
@@ -103,23 +135,40 @@ impl BenchReport {
         };
         let e2e = |p: &E2ePoint| {
             format!(
-                "{{\n    \"workload\": \"{}\",\n    \"virtual_minutes\": {},\n    \"tuples_routed\": {},\n    \"total_output\": {},\n    \"per_combination\": {},\n    \"count_first\": {},\n    \"speedup\": {:.3}\n  }}",
+                "{{\n    \"workload\": \"{}\",\n    \"virtual_minutes\": {},\n    \"tuples_routed\": {},\n    \"total_output\": {},\n    \"row\": {},\n    \"columnar\": {},\n    \"speedup\": {:.3}\n  }}",
                 p.workload,
                 p.virtual_minutes,
                 p.tuples,
                 p.output,
-                arm(&p.per_combination),
-                arm(&p.count_first),
+                arm(&p.row),
+                arm(&p.columnar),
                 p.speedup(),
             )
         };
+        let spills = self
+            .spill_heavy
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\n      \"strategy\": \"{}\",\n      \"spill_bytes\": {},\n      \"rows_written\": {},\n      \"columns_written\": {},\n      \"reduction\": {:.3},\n      \"compression_ratio\": {:.3}\n    }}",
+                    s.strategy,
+                    s.spill_bytes,
+                    s.rows_written,
+                    s.columns_written,
+                    s.reduction(),
+                    s.compression_ratio(),
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n    ");
         format!(
-            "{{\n  \"pr\": 3,\n  \"description\": \"count-first join output: per-combination enumeration vs span-based product counting\",\n  \"probe_enumeration\": {{\n    \"per_combination\": {},\n    \"count_first\": {},\n    \"speedup\": {:.3}\n  }},\n  \"fig5_end_to_end_threaded_fast\": {},\n  \"fig5_end_to_end_threaded_paper_scale\": {}\n}}\n",
-            arm(&self.probe_per_combination),
-            arm(&self.probe_count_first),
+            "{{\n  \"pr\": 8,\n  \"description\": \"columnar partition-group state and column-block spill codec vs the row layout and verbatim row codec\",\n  \"probe_micro\": {{\n    \"row\": {},\n    \"columnar\": {},\n    \"speedup\": {:.3}\n  }},\n  \"fig5_end_to_end_threaded_fast\": {},\n  \"fig5_end_to_end_threaded_paper_scale\": {},\n  \"spill_heavy\": {{\n    \"workload\": \"24 partitions, 1 KiB blob payloads, 4 MiB budget, 2 engines, 6 virtual minutes\",\n    \"strategies\": [{}]\n  }}\n}}\n",
+            arm(&self.probe_row),
+            arm(&self.probe_columnar),
             self.probe_speedup(),
             e2e(&self.e2e_fast),
             e2e(&self.e2e_paper),
+            spills,
         )
     }
 }
@@ -127,25 +176,23 @@ impl BenchReport {
 fn tpl(stream: u8, seq: u64, key: i64) -> Tuple {
     TupleBuilder::new(StreamId(stream))
         .seq(seq)
-        .ts(VirtualTime::from_millis(seq))
+        .ts(VirtualTime::from_millis(seq * 30))
         .value(key)
         .build()
 }
 
-/// Tick-shaped join workload: rounds of one tuple per stream.
-fn join_workload(rounds: u64, multiplicity: u64) -> Vec<(PartitionId, Tuple)> {
+/// Windowed join workload: keys recur cyclically, so each partition's
+/// state grows over the whole run while the sliding window keeps only
+/// the recent matches valid — probing must window-filter every list.
+fn windowed_workload(rounds: u64, keys: u64) -> Vec<(PartitionId, Tuple)> {
     let mut out = Vec::with_capacity(rounds as usize * 3);
     for seq in 0..rounds {
-        let key = (seq / multiplicity) as i64;
+        let key = (seq % keys) as i64;
         for s in 0..3u8 {
             out.push((PartitionId((key as u32) % 120), tpl(s, seq, key)));
         }
     }
     out
-}
-
-fn fresh_join() -> Result<MJoinOperator> {
-    MJoinOperator::new(MJoinConfig::same_column(3, 0), MemoryTracker::new(u64::MAX))
 }
 
 /// One timed pass of `body`, in seconds.
@@ -155,56 +202,63 @@ fn time_once<F: FnMut() -> Result<u64>>(mut body: F) -> Result<f64> {
     Ok(start.elapsed().as_secs_f64())
 }
 
-/// Which per-arm statistic summarizes the repeated samples.
-#[derive(Clone, Copy)]
-enum Stat {
-    /// Least-disturbed pass — right for sub-100ms microbench bodies.
-    Min,
-    /// Robust to one arm luckily landing in a quiet scheduling window —
-    /// right for ~1s end-to-end runs on a shared vCPU.
-    Median,
-}
-
-fn summarize(mut samples: Vec<f64>, stat: Stat) -> f64 {
-    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    match stat {
-        Stat::Min => samples[0],
-        Stat::Median => samples[samples.len() / 2],
-    }
-}
-
-/// Interleaved timing of two arms over `repeats` rounds. Alternating
-/// the arms keeps a drifting machine (shared vCPU, frequency scaling)
-/// from biasing whichever arm happens to run later.
-fn time_pair<A, B>(tuples: u64, repeats: u32, stat: Stat, mut a: A, mut b: B) -> Result<(Arm, Arm)>
+/// Time two arms over `rounds` alternating blocks; each block is one
+/// untimed warm-up pass followed by `samples` timed passes, and each
+/// arm reports its best pass overall.
+///
+/// Both block structure and alternation matter on a shared vCPU. The
+/// two arms free wildly different heaps when a pass finishes (row
+/// layout tuple graphs vs columnar arenas), so timing a pass right
+/// after the *other* arm's pass charges the allocator's re-adaptation
+/// to whichever arm runs second — measured at up to 1.5x distortion on
+/// the 60-minute point; the per-block warm-up absorbs that. And the
+/// machine drifts between fast and slow phases on multi-second scales,
+/// so alternating blocks (rather than two big contiguous ones) gives
+/// each arm samples from the same phases before the best is taken.
+fn time_pair<A, B>(tuples: u64, rounds: u32, samples: u32, mut a: A, mut b: B) -> Result<(Arm, Arm)>
 where
     A: FnMut() -> Result<u64>,
     B: FnMut() -> Result<u64>,
 {
-    let (mut walls_a, mut walls_b) = (Vec::new(), Vec::new());
-    for _ in 0..repeats {
-        walls_a.push(time_once(&mut a)?);
-        walls_b.push(time_once(&mut b)?);
+    let (mut best_a, mut best_b) = (f64::MAX, f64::MAX);
+    for _ in 0..rounds {
+        a()?;
+        for _ in 0..samples {
+            best_a = best_a.min(time_once(&mut a)?);
+        }
+        b()?;
+        for _ in 0..samples {
+            best_b = best_b.min(time_once(&mut b)?);
+        }
     }
     let arm = |wall: f64| Arm {
         wall_seconds: wall,
         tuples_per_sec: tuples as f64 / wall,
     };
-    Ok((arm(summarize(walls_a, stat)), arm(summarize(walls_b, stat))))
+    Ok((arm(best_a), arm(best_b)))
 }
 
 fn probe_microbench() -> Result<(Arm, Arm)> {
-    // Output-bound regime: multiplicity 48, so by the end of each key
-    // run every insert probes two ~48-tuple lists (~2.3K combinations).
-    // The count-first arm counts each probe as a product in O(m); the
-    // enumerating arm (EnumeratingSink keeps the default per-combination
-    // emit_product) walks the full odometer.
-    const ROUNDS: u64 = 1_920;
-    const MULTIPLICITY: u64 = 48;
-    let tuples = join_workload(ROUNDS, MULTIPLICITY);
+    // Windowed, state-intensive regime: 150 cyclic keys over 24 000
+    // rounds build ~160-tuple lists per (stream, key) while a 90 s
+    // window keeps only the ~20 most recent valid — every probe pays
+    // for window filtering over a long timestamp column, which is
+    // exactly where the columnar binary search replaces the row scan.
+    const ROUNDS: u64 = 24_000;
+    const KEYS: u64 = 150;
+    let tuples = windowed_workload(ROUNDS, KEYS);
+    let window = VirtualDuration::from_secs(90);
 
-    fn replay(tuples: &[(PartitionId, Tuple)], sink: &mut impl ResultSink) -> Result<u64> {
-        let mut op = fresh_join()?;
+    fn replay(
+        tuples: &[(PartitionId, Tuple)],
+        layout: StateLayout,
+        window: VirtualDuration,
+        sink: &mut impl ResultSink,
+    ) -> Result<u64> {
+        let cfg = MJoinConfig::same_column(3, 0)
+            .with_window(window)
+            .with_layout(layout);
+        let mut op = MJoinOperator::new(cfg, MemoryTracker::new(u64::MAX))?;
         for (pid, t) in tuples {
             op.process(*pid, t.clone(), sink)?;
         }
@@ -212,69 +266,75 @@ fn probe_microbench() -> Result<(Arm, Arm)> {
     }
 
     // Both arms must count the same results.
-    let mut fast = CountingSink::new();
-    let mut slow = EnumeratingSink(CountingSink::new());
-    replay(&tuples, &mut fast)?;
-    replay(&tuples, &mut slow)?;
-    if fast.count() != slow.0.count() || fast.count() == 0 {
+    let mut row = CountingSink::new();
+    let mut col = CountingSink::new();
+    replay(&tuples, StateLayout::Row, window, &mut row)?;
+    replay(&tuples, StateLayout::Columnar, window, &mut col)?;
+    if row.count() != col.count() || row.count() == 0 {
         return Err(DcapeError::state(format!(
-            "probe microbench arms disagree: count-first {} vs enumerating {}",
-            fast.count(),
-            slow.0.count()
+            "probe microbench arms disagree: row {} vs columnar {}",
+            row.count(),
+            col.count()
         )));
     }
 
-    // First closure is the per-combination arm, matching the
-    // (per_combination, count_first) return order.
+    // First closure is the row arm, matching the (row, columnar)
+    // return order.
     time_pair(
         tuples.len() as u64,
-        9,
-        Stat::Min,
+        3,
+        3,
         || {
-            let mut sink = EnumeratingSink(CountingSink::new());
-            replay(&tuples, &mut sink)?;
-            Ok(sink.0.count())
+            let mut sink = CountingSink::new();
+            replay(&tuples, StateLayout::Row, window, &mut sink)?;
+            Ok(sink.count())
         },
         || {
             let mut sink = CountingSink::new();
-            replay(&tuples, &mut sink)?;
+            replay(&tuples, StateLayout::Columnar, window, &mut sink)?;
             Ok(sink.count())
         },
     )
 }
 
-fn e2e_config(count_first: bool, num_engines: usize, threshold: u64) -> SimConfig {
-    // Both arms keep PR2's batched data path on; only the result
-    // delivery differs, so the ratio isolates the count-first win.
+fn e2e_config(layout: StateLayout, num_engines: usize, threshold: u64) -> SimConfig {
+    // Both arms keep PR2's batching and PR3's count-first delivery on;
+    // only the state layout differs, so the ratio isolates the
+    // columnar win over the committed BENCH_pr3 count-first numbers.
     SimConfig::new(
         num_engines,
-        scale::engine_with_threshold(threshold),
+        scale::engine_with_threshold(threshold).with_layout(layout),
         scale::paper_workload(),
         StrategyConfig::NoAdaptation,
     )
     .with_stats_interval(VirtualDuration::from_secs(30))
     .with_journal()
     .with_batching(true)
-    .with_count_first(count_first)
+    .with_count_first(true)
 }
 
 /// Measure one end-to-end point: interleaved repeats of the threaded
-/// runtime with count-first delivery off vs on, totals cross-checked.
+/// runtime with the row vs the columnar layout, totals cross-checked.
 fn measure_e2e(
     workload: &str,
     virtual_minutes: u64,
     num_engines: usize,
     threshold: u64,
-    repeats: u32,
+    rounds: u32,
     inner: u32,
 ) -> Result<E2ePoint> {
     let deadline = VirtualTime::from_mins(virtual_minutes);
     let totals = std::cell::RefCell::new([None::<(u64, u64)>; 2]);
-    let run_e2e = |count_first: bool| -> Result<u64> {
-        let report = run_threaded(e2e_config(count_first, num_engines, threshold), deadline)?;
+    let run_e2e = |columnar: bool| -> Result<u64> {
+        let layout = if columnar {
+            StateLayout::Columnar
+        } else {
+            StateLayout::Row
+        };
+        let report = run_threaded(e2e_config(layout, num_engines, threshold), deadline)?;
         let pair = (report.total_output(), report.journal_counters.tuples_routed);
         let mut totals = totals.borrow_mut();
-        let slot = &mut totals[count_first as usize];
+        let slot = &mut totals[columnar as usize];
         if let Some(prev) = *slot {
             if prev != pair {
                 return Err(DcapeError::state(format!(
@@ -287,71 +347,127 @@ fn measure_e2e(
     };
     // Back-to-back runs per timed sample, so each sample is long enough
     // to ride out scheduler noise on a shared vCPU.
-    let run_n = |count_first: bool| -> Result<u64> {
+    let run_n = |columnar: bool| -> Result<u64> {
         let mut tuples = 0;
         for _ in 0..inner {
-            tuples = run_e2e(count_first)?;
+            tuples = run_e2e(columnar)?;
         }
         Ok(tuples)
     };
     // Establish the routed-tuple count (equal on both arms) first.
     let tuples = run_e2e(false)? * u64::from(inner);
-    let (per_combination, count_first) = time_pair(
-        tuples,
-        repeats,
-        Stat::Median,
-        || run_n(false),
-        || run_n(true),
-    )?;
+    let (row, columnar) = time_pair(tuples, rounds, 2, || run_n(false), || run_n(true))?;
     let (out_a, tuples_a) = totals.borrow()[0].expect("ran");
     let (out_b, tuples_b) = totals.borrow()[1].expect("ran");
     if out_a != out_b || tuples_a != tuples_b {
         return Err(DcapeError::state(format!(
-            "count-first end-to-end run diverged: output {out_a} vs {out_b}, routed {tuples_a} vs {tuples_b}"
+            "layout end-to-end run diverged: output {out_a} vs {out_b}, routed {tuples_a} vs {tuples_b}"
         )));
     }
     Ok(E2ePoint {
         workload: workload.to_string(),
         virtual_minutes,
-        per_combination,
-        count_first,
+        row,
+        columnar,
         output: out_b,
         tuples: tuples_b,
     })
 }
 
+/// One deterministic spill-heavy sim run; returns the journal's
+/// `(spill_bytes, spill_bytes_written)`.
+fn spill_run(strategy: StrategyConfig, codec: SegmentCodec) -> Result<(u64, u64)> {
+    let spec = StreamSetSpec::uniform(24, 2400, 1, VirtualDuration::from_millis(30))
+        .with_payload_blob(1024)
+        .with_seed(7);
+    let engine = dcape_engine::config::EngineConfig::three_way(1 << 22, 600 << 10)
+        .with_spill_fraction(0.4)
+        .with_layout(StateLayout::Columnar)
+        .with_spill_codec(codec);
+    let cfg = SimConfig::new(2, engine, spec, strategy)
+        .with_stats_interval(VirtualDuration::from_secs(30))
+        .with_journal();
+    let mut driver = SimDriver::new(cfg)?;
+    driver.run_until(VirtualTime::from_mins(6))?;
+    let report = driver.finish()?;
+    let c = report.journal_counters;
+    if c.spill_bytes_written == 0 {
+        return Err(DcapeError::state(
+            "spill-heavy bench config produced no spills".to_string(),
+        ));
+    }
+    Ok((c.spill_bytes, c.spill_bytes_written))
+}
+
+/// Spill volumes per adaptation strategy, both codecs over identical
+/// (deterministic) runs.
+fn measure_spill_heavy() -> Result<Vec<SpillPoint>> {
+    type StrategyCtor = fn() -> StrategyConfig;
+    let strategies: [(&str, StrategyCtor); 2] = [
+        ("lazy_disk", || StrategyConfig::LazyDisk {
+            theta_r: 0.8,
+            tau_m: VirtualDuration::from_secs(45),
+        }),
+        ("active_disk", || StrategyConfig::ActiveDisk {
+            theta_r: 0.8,
+            tau_m: VirtualDuration::from_secs(45),
+            lambda: 1.5,
+            spill_fraction: 0.3,
+            force_spill_cap: 1 << 20,
+        }),
+    ];
+    strategies
+        .iter()
+        .map(|(name, mk)| {
+            let (state_rows, rows_written) = spill_run(mk(), SegmentCodec::Rows)?;
+            let (state_cols, columns_written) = spill_run(mk(), SegmentCodec::Columns)?;
+            if state_rows != state_cols {
+                return Err(DcapeError::state(format!(
+                    "spill-heavy arms diverged: accounted {state_rows} vs {state_cols}"
+                )));
+            }
+            Ok(SpillPoint {
+                strategy: name.to_string(),
+                spill_bytes: state_cols,
+                rows_written,
+                columns_written,
+            })
+        })
+        .collect()
+}
+
 /// Run the full trajectory.
 pub fn measure() -> Result<BenchReport> {
-    let (probe_per_combination, probe_count_first) = probe_microbench()?;
-    // Fast point: 6 virtual minutes keeps the join multiplicity low
-    // (~1 match per key per stream), so per-tuple routing/channel costs
-    // dominate and there is little enumeration to skip. Single engine
-    // like the fig5 experiment itself; threshold above total state.
+    let (probe_row, probe_columnar) = probe_microbench()?;
+    // Fast point: 6 virtual minutes keeps the join multiplicity low, so
+    // per-tuple routing/insert costs dominate. Single engine like the
+    // fig5 experiment itself; threshold above total state.
     let e2e_fast = measure_e2e(
         "paper uniform, 120 partitions, pad 1024, 1 engine, no adaptation, all-mem (fast)",
         scale::default_duration(true).as_millis() / 60_000,
         1,
         scale::THRESHOLD_200MB,
-        9,
+        3,
         8,
     )?;
     // Paper-scale point: 60 virtual minutes, output-bound (each tuple
-    // emits ~50 results) — exactly the point PR2's batching measured at
-    // 0.99x, now served by product counting. All-mem regime across 3
-    // engines.
+    // emits ~50 results) — BENCH_pr3's count-first arm re-measured as
+    // the row baseline. All-mem regime across 3 engines.
     let e2e_paper = measure_e2e(
         "paper uniform, 120 partitions, pad 1024, 3 engines, no adaptation, all-mem (paper scale)",
         60,
         3,
         scale::THRESHOLD_200MB,
-        9,
-        1,
+        3,
+        2,
     )?;
+    let spill_heavy = measure_spill_heavy()?;
     Ok(BenchReport {
-        probe_per_combination,
-        probe_count_first,
+        probe_row,
+        probe_columnar,
         e2e_fast,
         e2e_paper,
+        spill_heavy,
     })
 }
 
@@ -363,11 +479,14 @@ pub fn run(path: &Path) -> Result<()> {
         .map_err(|e| DcapeError::state(format!("create {}: {e}", path.display())))?;
     f.write_all(json.as_bytes())
         .map_err(|e| DcapeError::state(format!("write {}: {e}", path.display())))?;
+    let spill = &report.spill_heavy[0];
     println!(
-        "bench-json: probe enumeration {:.2}x, fig5-style threaded end-to-end {:.2}x fast / {:.2}x paper-scale -> {}",
+        "bench-json: probe micro {:.2}x, fig5 e2e {:.2}x fast / {:.2}x paper-scale, spill bytes written {:.2}x smaller ({} strategy) -> {}",
         report.probe_speedup(),
         report.e2e_fast.speedup(),
         report.e2e_paper.speedup(),
+        spill.reduction(),
+        spill.strategy,
         path.display()
     );
     Ok(())
@@ -383,34 +502,38 @@ mod tests {
             wall_seconds: 1.5,
             tuples_per_sec: 1000.0,
         };
+        let fast_arm = Arm {
+            wall_seconds: 1.0,
+            tuples_per_sec: 1500.0,
+        };
         let point = |mins: u64, output: u64, tuples: u64| E2ePoint {
             workload: "test workload".into(),
             virtual_minutes: mins,
-            per_combination: arm,
-            count_first: Arm {
-                wall_seconds: 1.0,
-                tuples_per_sec: 1500.0,
-            },
+            row: arm,
+            columnar: fast_arm,
             output,
             tuples,
         };
         let r = BenchReport {
-            probe_per_combination: arm,
-            probe_count_first: Arm {
-                wall_seconds: 1.0,
-                tuples_per_sec: 1500.0,
-            },
+            probe_row: arm,
+            probe_columnar: fast_arm,
             e2e_fast: point(6, 42, 99),
             e2e_paper: point(60, 43, 100),
+            spill_heavy: vec![SpillPoint {
+                strategy: "lazy_disk".into(),
+                spill_bytes: 4000,
+                rows_written: 3000,
+                columns_written: 1000,
+            }],
         };
         let json = r.to_json();
         for key in [
-            "\"pr\": 3",
-            "\"probe_enumeration\"",
+            "\"pr\": 8",
+            "\"probe_micro\"",
             "\"fig5_end_to_end_threaded_fast\"",
             "\"fig5_end_to_end_threaded_paper_scale\"",
-            "\"per_combination\"",
-            "\"count_first\"",
+            "\"row\"",
+            "\"columnar\"",
             "\"speedup\"",
             "\"tuples_routed\": 99",
             "\"total_output\": 42",
@@ -418,10 +541,39 @@ mod tests {
             "\"total_output\": 43",
             "\"virtual_minutes\": 6",
             "\"virtual_minutes\": 60",
+            "\"spill_heavy\"",
+            "\"strategy\": \"lazy_disk\"",
+            "\"spill_bytes\": 4000",
+            "\"rows_written\": 3000",
+            "\"columns_written\": 1000",
+            "\"reduction\": 3.000",
+            "\"compression_ratio\": 4.000",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
         assert!((r.probe_speedup() - 1.5).abs() < 1e-9);
         assert!((r.e2e_fast.speedup() - 1.5).abs() < 1e-9);
+        assert!((r.spill_heavy[0].reduction() - 3.0).abs() < 1e-9);
+    }
+
+    /// The spill-heavy bench regime must actually spill and must show
+    /// the column-block codec writing less than the row codec — this is
+    /// the acceptance gate for the PR, kept as a test so a codec
+    /// regression fails CI rather than silently shrinking the ratio.
+    #[test]
+    fn spill_heavy_reduction_holds() {
+        let points = measure_spill_heavy().unwrap();
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            assert!(p.spill_bytes > 0 && p.rows_written > 0 && p.columns_written > 0);
+            assert!(
+                p.reduction() >= 2.0,
+                "{}: column blocks must halve spill writes: rows {} vs columns {} ({:.2}x)",
+                p.strategy,
+                p.rows_written,
+                p.columns_written,
+                p.reduction()
+            );
+        }
     }
 }

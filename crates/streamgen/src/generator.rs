@@ -49,6 +49,10 @@ pub struct StreamSetGenerator {
     pending: VecDeque<Tuple>,
     arrivals: Vec<u64>,
     ticks: u64,
+    /// Pre-built blob payload templates (`spec.payload_blob > 0`);
+    /// tuples cycle through them by sequence number, off the rng stream,
+    /// so enabling blobs never perturbs the generated join values.
+    blob_templates: Vec<bytes::Bytes>,
 }
 
 impl StreamSetGenerator {
@@ -74,7 +78,27 @@ impl StreamSetGenerator {
                     .collect()
             })
             .collect();
+        let blob_templates = if spec.payload_blob > 0 {
+            // Eight deterministic variants: realistic-looking header
+            // text followed by a variant-dependent byte fill. Low
+            // whole-value cardinality (8 distinct blobs) is the point —
+            // it is what dictionary-based spill codecs exploit.
+            (0u8..8)
+                .map(|v| {
+                    let mut b = Vec::with_capacity(spec.payload_blob as usize);
+                    b.extend_from_slice(format!("sensor-{v}/reading;unit=C;payload=").as_bytes());
+                    while b.len() < spec.payload_blob as usize {
+                        b.push(b'a' + (v + (b.len() % 13) as u8) % 26);
+                    }
+                    b.truncate(spec.payload_blob as usize);
+                    bytes::Bytes::from(b)
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         let mut gen = StreamSetGenerator {
+            blob_templates,
             rng: StdRng::seed_from_u64(spec.seed ^ 0xC0FF_EE00_D00D_F00D),
             seqs: vec![0; spec.num_streams],
             arrivals: vec![0; n],
@@ -194,6 +218,10 @@ impl StreamSetGenerator {
             values.push(Value::Int(join_value));
             if self.spec.payload_pad > 0 {
                 values.push(Value::Pad(self.spec.payload_pad));
+            }
+            if !self.blob_templates.is_empty() {
+                let i = (self.seqs[s] % self.blob_templates.len() as u64) as usize;
+                values.push(Value::Blob(self.blob_templates[i].clone()));
             }
             let stream = StreamId(s as u8);
             let tuple = Tuple::new(stream, self.seqs[s], self.now, values);
@@ -318,6 +346,29 @@ mod tests {
         let t = gen.next().unwrap();
         assert_eq!(t.arity(), 2);
         assert_eq!(t.values()[1], Value::Pad(256));
+    }
+
+    #[test]
+    fn payload_blob_is_real_and_rng_neutral() {
+        let base: Vec<Tuple> = StreamSetGenerator::new(small_spec())
+            .unwrap()
+            .generate_ticks(200);
+        let blobbed: Vec<Tuple> = StreamSetGenerator::new(small_spec().with_payload_blob(512))
+            .unwrap()
+            .generate_ticks(200);
+        let mut distinct = std::collections::HashSet::new();
+        for (a, b) in base.iter().zip(&blobbed) {
+            // The blob rides along without perturbing the join values.
+            assert_eq!(a.values()[0], b.values()[0]);
+            let Value::Blob(bytes) = &b.values()[1] else {
+                panic!("expected a blob payload, got {:?}", b.values()[1]);
+            };
+            assert_eq!(bytes.len(), 512);
+            distinct.insert(bytes.clone());
+        }
+        // Low whole-value cardinality: the template set, nothing more.
+        assert!(distinct.len() <= 8, "too many variants: {}", distinct.len());
+        assert!(distinct.len() > 1, "variants must actually cycle");
     }
 
     #[test]

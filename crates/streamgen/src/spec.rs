@@ -50,6 +50,11 @@ pub struct StreamSetSpec {
     /// Accounting-only payload bytes added to every tuple, so scaled
     /// experiments exhibit paper-scale state growth.
     pub payload_pad: u32,
+    /// Physically real payload bytes ([`dcape_common::value::Value::Blob`])
+    /// added to every tuple, drawn from a small set of deterministic
+    /// templates (low whole-value cardinality, so columnar spill codecs
+    /// can measure honest compression ratios). Zero disables it.
+    pub payload_blob: u32,
     /// Partition classes; must cover all partitions.
     pub classes: Vec<PartitionClass>,
     /// Which partitions receive tuples over time.
@@ -72,6 +77,7 @@ impl StreamSetSpec {
             num_partitions,
             inter_arrival,
             payload_pad: 0,
+            payload_blob: 0,
             classes: vec![PartitionClass {
                 assignment: ClassAssignment::Fraction(1.0),
                 join_rate,
@@ -85,6 +91,12 @@ impl StreamSetSpec {
     /// Builder-style: set the payload pad.
     pub fn with_payload_pad(mut self, pad: u32) -> Self {
         self.payload_pad = pad;
+        self
+    }
+
+    /// Builder-style: attach real blob payloads of `bytes` each.
+    pub fn with_payload_blob(mut self, bytes: u32) -> Self {
+        self.payload_blob = bytes;
         self
     }
 

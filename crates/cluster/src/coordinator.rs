@@ -15,15 +15,104 @@
 //! feed it statistics and protocol events and execute the actions it
 //! returns.
 
-use dcape_common::error::Result;
+use dcape_common::error::{DcapeError, Result};
 use dcape_common::hash::FxHashMap;
 use dcape_common::ids::{EngineId, PartitionId};
 use dcape_common::time::{VirtualDuration, VirtualTime};
 use dcape_metrics::journal::{AdaptEvent, JournalHandle};
 
-use crate::relocation::{Action, Phase, RelocationRound};
+use crate::relocation::{Action, Phase, RelocationRound, RoundPurpose};
 use crate::stats::ClusterStats;
-use crate::strategy::{AdaptationStrategy, Decision, StrategyConfig};
+use crate::strategy::{AdaptationStrategy, Decision, RebalancePlanner, StrategyConfig};
+
+/// Consecutive aborted drain rounds before the coordinator stops trying
+/// to relocate off the draining engine and degrades to a forced spill
+/// (the segments still reach their new owners through the cleanup
+/// hand-off, so the drain terminates under any chaos schedule).
+const DRAIN_ABORTS_TO_DEGRADE: u32 = 3;
+
+/// Lifecycle of one engine in the elastic membership.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineState {
+    /// Slot provisioned (capacity pre-sized) but the engine has not
+    /// been admitted yet.
+    NotJoined,
+    /// Full member: owns partitions, receives placements.
+    Active,
+    /// Fenced and shedding state via drain relocation rounds.
+    Draining,
+    /// Owns nothing; handing its spilled segments to the new owners
+    /// (mid-run `PrepareCleanup`/`StartCleanup` exchange).
+    DrainCleanup,
+    /// Gone: counters folded, clean exit.
+    Drained,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Member {
+    state: EngineState,
+    /// `JoinReady` received — the engine is up and reachable, so the
+    /// rebalance planner may move state toward it.
+    ready: bool,
+    /// Admitted after the run started (journal/report bookkeeping).
+    mid_run_joiner: bool,
+}
+
+/// Book-keeping for the (single) drain in progress.
+#[derive(Debug)]
+struct DrainCtl {
+    engine: EngineId,
+    /// Elastic moves executed for this drain (rounds + final remap).
+    moves: u64,
+    consecutive_aborts: u32,
+    degraded: bool,
+    /// `drain_degraded_to_spill` journaled (once).
+    degrade_warned: bool,
+}
+
+/// What the driver must do after feeding a [`FromEngine::DrainState`]
+/// report into [`GlobalCoordinator::on_drain_state`].
+///
+/// [`FromEngine::DrainState`]: crate::messages::FromEngine
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DrainStep {
+    /// Nothing right now (a relocation round is still in flight, or the
+    /// report was stale). The driver re-polls with `BeginDrain` when
+    /// the round ends.
+    Wait,
+    /// A drain relocation round was opened: send `Cptv(amount)` to the
+    /// draining engine (step 1).
+    Relocate {
+        /// Round id.
+        round: u64,
+        /// The draining engine (sender).
+        sender: EngineId,
+        /// Target engine for the shed state.
+        receiver: EngineId,
+        /// Bytes to vacate (all resident state).
+        amount: u64,
+    },
+    /// Drain rounds keep aborting: force the engine to spill everything
+    /// to disk instead. The segments reach their owners in the cleanup
+    /// hand-off after the final remap.
+    ForceSpill {
+        /// The draining engine.
+        engine: EngineId,
+        /// Bytes to spill (`u64::MAX` = everything).
+        amount: u64,
+    },
+    /// No resident state left: pause + remap the engine's remaining
+    /// (zero-state) partitions straight to `receiver`, then start the
+    /// cleanup hand-off (`StartSpill(MAX)` + `PrepareCleanup` to the
+    /// draining engine). The driver reports back via
+    /// [`GlobalCoordinator::drain_finalized`].
+    FinalizeRemap {
+        /// The draining engine.
+        engine: EngineId,
+        /// New owner for its remaining partitions.
+        receiver: EngineId,
+    },
+}
 
 /// Per-phase timeout and bounded-retry policy for relocation rounds.
 ///
@@ -123,6 +212,19 @@ pub struct GlobalCoordinator {
     /// Receivers declared dead: relocations toward them degrade to
     /// local force-spills at the sender.
     dead_peers: Vec<EngineId>,
+    /// Elastic membership, indexed by engine id. Empty = legacy mode
+    /// (fixed engine set, every engine implicitly active).
+    members: Vec<Member>,
+    /// Last known memory load per engine (from the stats feed); drain
+    /// rounds pick the least-loaded active engine as receiver.
+    last_loads: Vec<Option<u64>>,
+    /// Join-time rebalancing planner.
+    rebalance: RebalancePlanner,
+    /// The drain in progress, if any (at most one at a time).
+    drain: Option<DrainCtl>,
+    /// Drain requested while a relocation round targeted the engine;
+    /// started as soon as that round ends.
+    pending_drain: Option<EngineId>,
 }
 
 impl GlobalCoordinator {
@@ -141,6 +243,11 @@ impl GlobalCoordinator {
             attempt: 0,
             consecutive_aborts: FxHashMap::default(),
             dead_peers: Vec::new(),
+            members: Vec::new(),
+            last_loads: Vec::new(),
+            rebalance: RebalancePlanner::default(),
+            drain: None,
+            pending_drain: None,
         }
     }
 
@@ -154,6 +261,321 @@ impl GlobalCoordinator {
     pub fn dead_peers(&self) -> &[EngineId] {
         &self.dead_peers
     }
+
+    // ---- elastic membership -------------------------------------------
+
+    /// Enable the elastic membership: `initial` engines start active,
+    /// slots up to `capacity` (initial + scheduled joins) are
+    /// provisioned but not joined. Without this call the coordinator
+    /// runs in the legacy fixed-set mode.
+    pub fn init_membership(&mut self, initial: usize, capacity: usize) {
+        let capacity = capacity.max(initial);
+        self.members = (0..capacity)
+            .map(|i| Member {
+                state: if i < initial {
+                    EngineState::Active
+                } else {
+                    EngineState::NotJoined
+                },
+                ready: false,
+                mid_run_joiner: false,
+            })
+            .collect();
+        self.last_loads = vec![None; capacity];
+    }
+
+    /// Lifecycle state of `engine`. Legacy mode (no membership) reports
+    /// every engine active.
+    pub fn engine_state(&self, engine: EngineId) -> EngineState {
+        if self.members.is_empty() {
+            return EngineState::Active;
+        }
+        self.members
+            .get(engine.index())
+            .map_or(EngineState::NotJoined, |m| m.state)
+    }
+
+    /// Engines in [`EngineState::Active`], ascending.
+    pub fn active_engines(&self) -> Vec<EngineId> {
+        self.members
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.state == EngineState::Active)
+            .map(|(i, _)| EngineId(i as u16))
+            .collect()
+    }
+
+    /// Engines that still participate in the protocol (active,
+    /// draining, or in the cleanup hand-off) — the broadcast set.
+    pub fn participating_engines(&self) -> Vec<EngineId> {
+        self.members
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| {
+                matches!(
+                    m.state,
+                    EngineState::Active | EngineState::Draining | EngineState::DrainCleanup
+                )
+            })
+            .map(|(i, _)| EngineId(i as u16))
+            .collect()
+    }
+
+    /// Admit a provisioned engine (scale-out event): it becomes active
+    /// and a rebalance target once its `JoinReady` arrives.
+    pub fn admit_engine(&mut self, engine: EngineId, now: VirtualTime) -> Result<()> {
+        let m = self
+            .members
+            .get_mut(engine.index())
+            .ok_or_else(|| DcapeError::state(format!("admit of unprovisioned engine {engine}")))?;
+        if m.state != EngineState::NotJoined {
+            return Err(DcapeError::protocol(format!(
+                "engine {engine} admitted twice"
+            )));
+        }
+        m.state = EngineState::Active;
+        m.mid_run_joiner = true;
+        self.last_loads[engine.index()] = Some(0);
+        let members = self.participating_engines().len() as u32;
+        self.journal
+            .record(now, AdaptEvent::EngineJoined { engine, members });
+        Ok(())
+    }
+
+    /// An engine announced it is up and connected. Idempotent: the
+    /// second copy (e.g. after a crash-restart mid-admission) is
+    /// journaled as `duplicate_join_ready` and ignored.
+    pub fn on_join_ready(&mut self, engine: EngineId, now: VirtualTime) {
+        let Some(m) = self.members.get_mut(engine.index()) else {
+            return;
+        };
+        if m.ready {
+            self.warn("duplicate_join_ready", engine, self.next_round, 0, now);
+        } else {
+            m.ready = true;
+        }
+    }
+
+    /// Mid-run joiners that are active and ready — the rebalance
+    /// planner's receiver candidates.
+    fn ready_joiners(&self) -> Vec<EngineId> {
+        self.members
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.state == EngineState::Active && m.ready && m.mid_run_joiner)
+            .map(|(i, _)| EngineId(i as u16))
+            .collect()
+    }
+
+    /// Is a drain in progress (any phase)?
+    pub fn drain_in_progress(&self) -> bool {
+        self.drain.is_some() || self.pending_drain.is_some()
+    }
+
+    /// The engine currently shedding state — the driver's `BeginDrain`
+    /// poll target. `None` once the drain reaches the cleanup hand-off.
+    pub fn draining_engine(&self) -> Option<EngineId> {
+        self.drain
+            .as_ref()
+            .filter(|d| self.engine_state(d.engine) == EngineState::Draining)
+            .map(|d| d.engine)
+    }
+
+    /// Request a drain (scale-in event). Returns `true` when the drain
+    /// started immediately — the driver must fence the engine in the
+    /// placement map, broadcast `FenceNotice`, and send `BeginDrain`.
+    /// Returns `false` when an in-flight relocation round targets the
+    /// engine: the drain is deferred, and
+    /// [`GlobalCoordinator::poll_pending_drain`] hands it back once the
+    /// round ends.
+    pub fn request_drain(&mut self, engine: EngineId, now: VirtualTime) -> Result<bool> {
+        if self.members.is_empty() {
+            return Err(DcapeError::state("drain requires elastic membership"));
+        }
+        if self.drain_in_progress() {
+            return Err(DcapeError::protocol(format!(
+                "drain of {engine} requested while another drain is in progress"
+            )));
+        }
+        if self.engine_state(engine) != EngineState::Active {
+            return Err(DcapeError::protocol(format!(
+                "drain of non-active engine {engine}"
+            )));
+        }
+        if self.active_engines().len() < 2 {
+            return Err(DcapeError::state("cannot drain the last active engine"));
+        }
+        let deferred = self
+            .active_round
+            .as_ref()
+            .is_some_and(|r| r.receiver() == engine);
+        if deferred {
+            self.pending_drain = Some(engine);
+            return Ok(false);
+        }
+        self.start_drain(engine, now);
+        Ok(true)
+    }
+
+    /// Start a deferred drain once the blocking round is gone. The
+    /// driver calls this after every round completion/abort; a returned
+    /// engine needs the same fencing + `BeginDrain` as an immediate
+    /// [`GlobalCoordinator::request_drain`].
+    pub fn poll_pending_drain(&mut self, now: VirtualTime) -> Option<EngineId> {
+        if self.relocation_active() {
+            return None;
+        }
+        let engine = self.pending_drain.take()?;
+        self.start_drain(engine, now);
+        Some(engine)
+    }
+
+    fn start_drain(&mut self, engine: EngineId, now: VirtualTime) {
+        self.members[engine.index()].state = EngineState::Draining;
+        self.warn("drain_started", engine, self.next_round, 0, now);
+        self.drain = Some(DrainCtl {
+            engine,
+            moves: 0,
+            consecutive_aborts: 0,
+            degraded: false,
+            degrade_warned: false,
+        });
+    }
+
+    /// The least-loaded active engine other than `exclude` — the drain
+    /// receiver (fresh joiners sit at load 0, so they are naturally
+    /// preferred; ties break to the lowest id).
+    fn min_load_receiver(&self, exclude: EngineId) -> Option<EngineId> {
+        self.active_engines()
+            .into_iter()
+            .filter(|e| *e != exclude)
+            .min_by_key(|e| (self.last_loads[e.index()].unwrap_or(0), *e))
+    }
+
+    /// A `DrainState` report arrived: decide the next drain step.
+    pub fn on_drain_state(
+        &mut self,
+        engine: EngineId,
+        resident_bytes: u64,
+        now: VirtualTime,
+    ) -> Result<DrainStep> {
+        if self.engine_state(engine) != EngineState::Draining
+            || self.drain.as_ref().is_none_or(|d| d.engine != engine)
+        {
+            self.warn(
+                "stale_drain_state",
+                engine,
+                self.next_round,
+                resident_bytes,
+                now,
+            );
+            return Ok(DrainStep::Wait);
+        }
+        if self.relocation_active() {
+            return Ok(DrainStep::Wait);
+        }
+        let Some(receiver) = self.min_load_receiver(engine) else {
+            return Err(DcapeError::state(format!(
+                "no active receiver left for drain of {engine}"
+            )));
+        };
+        if resident_bytes == 0 {
+            return Ok(DrainStep::FinalizeRemap { engine, receiver });
+        }
+        let ctl = self.drain.as_mut().expect("checked above");
+        if ctl.degraded {
+            if !ctl.degrade_warned {
+                ctl.degrade_warned = true;
+                self.warn(
+                    "drain_degraded_to_spill",
+                    engine,
+                    self.next_round,
+                    resident_bytes,
+                    now,
+                );
+            }
+            self.force_spills_issued += 1;
+            return Ok(DrainStep::ForceSpill {
+                engine,
+                amount: u64::MAX,
+            });
+        }
+        let round = RelocationRound::begin_with_purpose(
+            self.next_round,
+            engine,
+            receiver,
+            resident_bytes,
+            RoundPurpose::Drain,
+        )?;
+        self.journal.record(
+            now,
+            AdaptEvent::RelocationStep {
+                round: round.round(),
+                step: 1,
+                sender: engine,
+                receiver,
+                parts: Vec::new(),
+                bytes: resident_bytes,
+                buffered_tuples: 0,
+                load_ratio: 0.0,
+            },
+        );
+        let id = round.round();
+        self.next_round += 1;
+        self.active_round = Some(round);
+        self.arm_phase(now);
+        Ok(DrainStep::Relocate {
+            round: id,
+            sender: engine,
+            receiver,
+            amount: resident_bytes,
+        })
+    }
+
+    /// The driver executed [`DrainStep::FinalizeRemap`], remapping
+    /// `remapped_parts` partitions (possibly zero). The drain enters
+    /// the cleanup hand-off; the driver follows with `StartSpill(MAX)`
+    /// and `PrepareCleanup` to the engine and routes its `CleanupReady`
+    /// / `CleanupDone` through [`GlobalCoordinator::finish_drain`].
+    pub fn drain_finalized(&mut self, engine: EngineId, remapped_parts: usize, now: VirtualTime) {
+        debug_assert_eq!(self.engine_state(engine), EngineState::Draining);
+        if remapped_parts > 0 {
+            if let Some(ctl) = self.drain.as_mut() {
+                ctl.moves += 1;
+            }
+            self.journal.add_rebalance_moves(1);
+            self.warn(
+                "drain_remainder_remapped",
+                engine,
+                self.next_round,
+                remapped_parts as u64,
+                now,
+            );
+        }
+        self.members[engine.index()].state = EngineState::DrainCleanup;
+    }
+
+    /// The drained engine's `CleanupDone` arrived: close the drain,
+    /// journal [`AdaptEvent::EngineDrained`], and return the move count.
+    pub fn finish_drain(&mut self, engine: EngineId, now: VirtualTime) -> u64 {
+        debug_assert_eq!(self.engine_state(engine), EngineState::DrainCleanup);
+        self.members[engine.index()].state = EngineState::Drained;
+        let moves = self.drain.take().map_or(0, |d| d.moves);
+        self.journal
+            .record(now, AdaptEvent::EngineDrained { engine, moves });
+        moves
+    }
+
+    /// Record the latest loads (for drain receiver selection).
+    fn note_loads(&mut self, stats: &ClusterStats) {
+        for r in stats.reports() {
+            if let Some(slot) = self.last_loads.get_mut(r.engine.index()) {
+                *slot = Some(r.memory_used);
+            }
+        }
+    }
+
+    // ---- end elastic membership ---------------------------------------
 
     /// Attach a journal; the strategy shares it (recording a
     /// `StatsSample` per evaluation), and the coordinator records the
@@ -197,6 +619,48 @@ impl GlobalCoordinator {
     /// [`GlobalCoordinator::on_ptv`] / \
     /// [`GlobalCoordinator::on_transfer_ack`].
     pub fn evaluate(&mut self, stats: &ClusterStats, now: VirtualTime) -> Result<Decision> {
+        self.note_loads(stats);
+        // A drain owns the single round slot until it completes; the
+        // strategy and the join planner stay quiet meanwhile.
+        if self.drain_in_progress() {
+            return Ok(Decision::None);
+        }
+        // Join-time rebalancing outranks the strategy: a fresh engine
+        // is idle capacity, and the planner's hysteresis band keeps it
+        // from fighting the strategy's own moves.
+        if !self.relocation_active() {
+            let joiners = self.ready_joiners();
+            if let Some(mv) = self.rebalance.plan(stats, &joiners, now) {
+                let round = RelocationRound::begin_with_purpose(
+                    self.next_round,
+                    mv.sender,
+                    mv.receiver,
+                    mv.amount,
+                    RoundPurpose::JoinRebalance,
+                )?;
+                self.journal.record(
+                    now,
+                    AdaptEvent::RelocationStep {
+                        round: round.round(),
+                        step: 1,
+                        sender: mv.sender,
+                        receiver: mv.receiver,
+                        parts: Vec::new(),
+                        bytes: mv.amount,
+                        buffered_tuples: 0,
+                        load_ratio: stats.load_ratio(),
+                    },
+                );
+                self.next_round += 1;
+                self.active_round = Some(round);
+                self.arm_phase(now);
+                return Ok(Decision::Relocate {
+                    sender: mv.sender,
+                    receiver: mv.receiver,
+                    amount: mv.amount,
+                });
+            }
+        }
         let mut decision = self.strategy.decide(stats, now, self.relocation_active());
         // Graceful degradation: relocating toward a peer declared dead
         // would just burn another timeout ladder — shed the memory
@@ -327,6 +791,7 @@ impl GlobalCoordinator {
             });
         }
         // Retries exhausted: abandon the round.
+        let purpose = active.purpose();
         let (parts, held_since) = match active.phase() {
             Phase::WaitAck => (active.parts().to_vec(), Some(active.paused_at())),
             _ => (Vec::new(), None),
@@ -344,19 +809,26 @@ impl GlobalCoordinator {
         self.active_round = None;
         self.phase_deadline = None;
         self.relocations_aborted += 1;
-        let aborts = self.consecutive_aborts.entry(receiver).or_insert(0);
-        *aborts += 1;
-        if *aborts >= policy.peer_death_threshold && !self.dead_peers.contains(&receiver) {
-            self.dead_peers.push(receiver);
-            self.journal.record(
-                now,
-                AdaptEvent::ProtocolWarning {
-                    code: "peer_declared_dead",
-                    engine: receiver,
-                    round,
-                    detail: u64::from(*aborts),
-                },
-            );
+        if purpose == RoundPurpose::Drain {
+            // Drain-round aborts almost always mean the *sender* (the
+            // draining engine) is sick, not the receiver — count them
+            // toward the spill degradation instead of peer death.
+            self.note_drain_abort();
+        } else {
+            let aborts = self.consecutive_aborts.entry(receiver).or_insert(0);
+            *aborts += 1;
+            if *aborts >= policy.peer_death_threshold && !self.dead_peers.contains(&receiver) {
+                self.dead_peers.push(receiver);
+                self.journal.record(
+                    now,
+                    AdaptEvent::ProtocolWarning {
+                        code: "peer_declared_dead",
+                        engine: receiver,
+                        round,
+                        detail: u64::from(*aborts),
+                    },
+                );
+            }
         }
         Some(TimeoutAction::AbortRound {
             round,
@@ -446,9 +918,16 @@ impl GlobalCoordinator {
             },
         );
         if matches!(action, Action::Abort) {
+            let purpose = self
+                .active_round
+                .as_ref()
+                .map_or(RoundPurpose::Balance, RelocationRound::purpose);
             self.active_round = None;
             self.phase_deadline = None;
             self.relocations_aborted += 1;
+            if purpose == RoundPurpose::Drain {
+                self.note_drain_abort();
+            }
         } else {
             // Step 3 pauses immediately; the WaitAck phase starts now.
             self.arm_phase(now);
@@ -475,6 +954,7 @@ impl GlobalCoordinator {
         }
         let active = self.active_round.as_mut().expect("checked above");
         let (sender, receiver) = (active.sender(), active.receiver());
+        let purpose = active.purpose();
         let action = active.on_transfer_ack(from, round)?;
         debug_assert!(active.is_done());
         self.journal.record(
@@ -495,7 +975,28 @@ impl GlobalCoordinator {
         self.relocations_completed += 1;
         // A completed round proves the receiver is alive.
         self.consecutive_aborts.insert(receiver, 0);
+        match purpose {
+            RoundPurpose::Drain => {
+                if let Some(ctl) = self.drain.as_mut() {
+                    ctl.moves += 1;
+                    ctl.consecutive_aborts = 0;
+                }
+                self.journal.add_rebalance_moves(1);
+            }
+            RoundPurpose::JoinRebalance => self.journal.add_rebalance_moves(1),
+            RoundPurpose::Balance => {}
+        }
         Ok(Some(action))
+    }
+
+    /// Count a drain-round abort toward the forced-spill degradation.
+    fn note_drain_abort(&mut self) {
+        if let Some(ctl) = self.drain.as_mut() {
+            ctl.consecutive_aborts += 1;
+            if ctl.consecutive_aborts >= DRAIN_ABORTS_TO_DEGRADE {
+                ctl.degraded = true;
+            }
+        }
     }
 }
 

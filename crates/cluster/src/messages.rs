@@ -163,6 +163,21 @@ pub enum ToEngine {
     /// Distributed cleanup, phase 2: every engine is ready — run the
     /// local merge for owned partitions, report, and stop.
     StartCleanup,
+    /// Elastic drain: enter drain mode and report resident state. Rides
+    /// the reliable channel (never faulted) and is idempotent — the
+    /// coordinator re-sends it after every drain round to poll
+    /// progress, and the engine always answers with a fresh
+    /// [`FromEngine::DrainState`].
+    BeginDrain,
+    /// Elastic membership: `engine` is fenced (draining or drained).
+    /// Receivers must never ship relocation state toward it; a stale or
+    /// chaos-delayed `SendStates` naming it as receiver is dropped with
+    /// a `send_to_fenced_dropped` warning instead of re-populating the
+    /// drained engine.
+    FenceNotice {
+        /// The fenced engine.
+        engine: EngineId,
+    },
 }
 
 /// Messages delivered *from* a query engine to the coordinator.
@@ -214,6 +229,24 @@ pub enum FromEngine {
         journal: Vec<JournalEntry>,
         /// The engine's final journal counters.
         journal_counters: CountersSnapshot,
+    },
+    /// Elastic drain: answer to [`ToEngine::BeginDrain`] — how much
+    /// relocatable state the draining engine still holds in memory. The
+    /// coordinator plans the next drain round from this (fresher than
+    /// the periodic stats), finalizes the drain at zero, or degrades to
+    /// a forced spill when rounds keep aborting.
+    DrainState {
+        /// The draining engine.
+        engine: EngineId,
+        /// In-memory state bytes still resident.
+        resident_bytes: u64,
+    },
+    /// Elastic join: the engine process/thread is up and connected
+    /// (sent once at startup). The coordinator defers rebalance moves
+    /// toward a scheduled joiner until its `JoinReady` arrives.
+    JoinReady {
+        /// The joining engine.
+        engine: EngineId,
     },
 }
 

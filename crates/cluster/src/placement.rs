@@ -71,7 +71,9 @@ impl PlacementSpec {
 }
 
 /// The live partition → engine map, including pause/buffer state for
-/// in-flight relocations.
+/// in-flight relocations and the elastic membership (engines can join
+/// after construction, and draining engines are *fenced*: still owners
+/// of what they hold, but never the target of a remap).
 #[derive(Debug)]
 pub struct PlacementMap {
     owners: Vec<EngineId>,
@@ -81,6 +83,9 @@ pub struct PlacementMap {
     /// split — the split-side contribution to the purge watermark.
     /// `None` when nothing is buffered.
     oldest_buffered: Option<VirtualTime>,
+    /// Per-engine fenced flag (index = engine id). Grows with
+    /// [`PlacementMap::add_engine`].
+    fenced: Vec<bool>,
     version: u64,
 }
 
@@ -100,6 +105,7 @@ impl PlacementMap {
             owners: spec.assign(num_partitions, num_engines)?,
             paused: FxHashMap::default(),
             oldest_buffered: None,
+            fenced: vec![false; num_engines],
             version: 0,
         })
     }
@@ -107,6 +113,57 @@ impl PlacementMap {
     /// Number of partitions.
     pub fn num_partitions(&self) -> u32 {
         self.owners.len() as u32
+    }
+
+    /// Number of engines ever admitted (initial set plus joins; fenced
+    /// and drained engines keep their slot — ids are never reused).
+    pub fn num_engines(&self) -> usize {
+        self.fenced.len()
+    }
+
+    /// Admit a new engine: it gets the next dense id, owns nothing, and
+    /// is unfenced. The rebalancing planner moves state toward it via
+    /// ordinary relocation rounds.
+    pub fn add_engine(&mut self) -> Result<EngineId> {
+        if self.fenced.len() >= u16::MAX as usize {
+            return Err(DcapeError::config("too many engines"));
+        }
+        let id = EngineId(self.fenced.len() as u16);
+        self.fenced.push(false);
+        self.version += 1;
+        Ok(id)
+    }
+
+    /// Fence an engine (start of a drain): it may keep shedding the
+    /// partitions it owns, but no remap may ever target it again.
+    /// Fencing twice is a no-op.
+    pub fn fence_engine(&mut self, engine: EngineId) -> Result<()> {
+        let slot = self
+            .fenced
+            .get_mut(engine.index())
+            .ok_or_else(|| DcapeError::state(format!("unknown engine {engine}")))?;
+        if !*slot {
+            *slot = true;
+            self.version += 1;
+        }
+        Ok(())
+    }
+
+    /// Whether `engine` is fenced (unknown engines read as fenced: they
+    /// must never be a placement target either).
+    pub fn is_fenced(&self, engine: EngineId) -> bool {
+        self.fenced.get(engine.index()).copied().unwrap_or(true)
+    }
+
+    /// Engines currently eligible as placement targets (unfenced),
+    /// ascending.
+    pub fn unfenced_engines(&self) -> Vec<EngineId> {
+        self.fenced
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| !**f)
+            .map(|(i, _)| EngineId(i as u16))
+            .collect()
     }
 
     /// Current owner of a partition.
@@ -196,6 +253,11 @@ impl PlacementMap {
         new_owner: EngineId,
     ) -> Result<Vec<(PartitionId, Vec<Tuple>)>> {
         // Validate first so the map never ends half-updated.
+        if self.is_fenced(new_owner) {
+            return Err(DcapeError::protocol(format!(
+                "remap targets fenced engine {new_owner}"
+            )));
+        }
         for pid in pids {
             if pid.index() >= self.owners.len() {
                 return Err(DcapeError::state(format!("unknown partition {pid}")));

@@ -55,6 +55,19 @@ pub enum Action {
     Abort,
 }
 
+/// Why a relocation round was opened. The 8-step protocol is identical
+/// for all three; the purpose only changes the coordinator's accounting
+/// (drain-round abort counting, `rebalance_moves`) and journaling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoundPurpose {
+    /// Ordinary load-balancing round chosen by the adaptation strategy.
+    Balance,
+    /// Elastic drain: shedding state off a fenced engine.
+    Drain,
+    /// Elastic join: moving state toward a freshly-admitted engine.
+    JoinRebalance,
+}
+
 /// One in-flight relocation round.
 #[derive(Debug)]
 pub struct RelocationRound {
@@ -62,6 +75,7 @@ pub struct RelocationRound {
     sender: EngineId,
     receiver: EngineId,
     amount: u64,
+    purpose: RoundPurpose,
     parts: Vec<PartitionId>,
     phase: Phase,
     /// Virtual time of step 3 (partitions paused at the splits).
@@ -72,6 +86,18 @@ impl RelocationRound {
     /// Begin a round: the coordinator has already sent `Cptv(amount)`
     /// to the sender (step 1).
     pub fn begin(round: u64, sender: EngineId, receiver: EngineId, amount: u64) -> Result<Self> {
+        Self::begin_with_purpose(round, sender, receiver, amount, RoundPurpose::Balance)
+    }
+
+    /// [`RelocationRound::begin`] with an explicit purpose (elastic
+    /// drain / join-rebalance rounds).
+    pub fn begin_with_purpose(
+        round: u64,
+        sender: EngineId,
+        receiver: EngineId,
+        amount: u64,
+        purpose: RoundPurpose,
+    ) -> Result<Self> {
         if sender == receiver {
             return Err(DcapeError::protocol(
                 "relocation sender and receiver must differ",
@@ -82,6 +108,7 @@ impl RelocationRound {
             sender,
             receiver,
             amount,
+            purpose,
             parts: Vec::new(),
             phase: Phase::WaitPtv,
             paused_at: VirtualTime::ZERO,
@@ -91,6 +118,11 @@ impl RelocationRound {
     /// Round id.
     pub fn round(&self) -> u64 {
         self.round
+    }
+
+    /// Why the round was opened.
+    pub fn purpose(&self) -> RoundPurpose {
+        self.purpose
     }
 
     /// The sender engine.

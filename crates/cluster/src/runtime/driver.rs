@@ -13,9 +13,11 @@ use dcape_common::batch::TupleBatch;
 use dcape_common::error::{DcapeError, Result};
 use dcape_common::ids::EngineId;
 use dcape_common::time::{VirtualDuration, VirtualTime};
-use dcape_metrics::journal::{AdaptEvent, JournalHandle};
+use dcape_metrics::journal::{AdaptEvent, CountersSnapshot, JournalEntry, JournalHandle};
 
-use crate::coordinator::{GlobalCoordinator, TimeoutAction};
+use dcape_common::ids::PartitionId;
+
+use crate::coordinator::{DrainStep, EngineState, GlobalCoordinator, TimeoutAction};
 use crate::faults::{FaultDecision, FaultEdge, FaultPlan};
 use crate::messages::{FromEngine, ToEngine};
 use crate::placement::PlacementMap;
@@ -25,6 +27,75 @@ use crate::strategy::Decision;
 
 /// How a driver puts a message on the wire to one engine.
 pub(crate) type SendFn<'a> = dyn FnMut(EngineId, ToEngine) -> Result<()> + 'a;
+
+/// Results folded out of engines that drained and exited *mid-run*
+/// (their `CleanupDone` arrives long before the final shutdown merge).
+#[derive(Debug, Default)]
+pub(crate) struct DrainFold {
+    pub(crate) runtime_output: u64,
+    pub(crate) cleanup_output: u64,
+    pub(crate) cleanup_wall_ms: u64,
+    pub(crate) spill_counts: Vec<(EngineId, u64)>,
+    pub(crate) journals: Vec<Vec<JournalEntry>>,
+    pub(crate) counters: CountersSnapshot,
+}
+
+/// Fold one engine's shutdown counters into a cluster-wide snapshot.
+/// Spills happen engine-side in the live runtimes (unlike the sim's
+/// mirror); the chaos counters fold too: engines inject faults on the
+/// edges they send (Ptv, InstallStates, TransferAck).
+pub(crate) fn fold_engine_counters(dst: &mut CountersSnapshot, src: &CountersSnapshot) {
+    dst.spill_bytes += src.spill_bytes;
+    dst.spill_bytes_written += src.spill_bytes_written;
+    dst.spill_bytes_read += src.spill_bytes_read;
+    dst.transfer_bytes += src.transfer_bytes;
+    dst.events_recorded += src.events_recorded;
+    dst.events_dropped += src.events_dropped;
+    dst.faults_injected += src.faults_injected;
+    dst.msgs_retried += src.msgs_retried;
+    dst.rounds_aborted += src.rounds_aborted;
+    dst.watermark_released_on_abort += src.watermark_released_on_abort;
+}
+
+/// Intercept the drain-shutdown handshake of an engine in
+/// `DrainCleanup`: its `CleanupReady`/`CleanupDone` arrive mid-run,
+/// where the shared coordinator handler treats them as protocol errors.
+/// Returns the message back when it is not part of a drain shutdown.
+pub(crate) fn intercept_drain_cleanup(
+    msg: FromEngine,
+    gc: &mut GlobalCoordinator,
+    send: &mut impl FnMut(EngineId, ToEngine) -> Result<()>,
+    fold: &mut DrainFold,
+    now: VirtualTime,
+) -> Result<Option<FromEngine>> {
+    match msg {
+        FromEngine::CleanupReady { engine, .. }
+            if gc.engine_state(engine) == EngineState::DrainCleanup =>
+        {
+            send(engine, ToEngine::StartCleanup)?;
+            Ok(None)
+        }
+        FromEngine::CleanupDone {
+            engine,
+            runtime_output,
+            cleanup_output,
+            spill_count,
+            cleanup_cost_ms,
+            journal,
+            journal_counters,
+        } if gc.engine_state(engine) == EngineState::DrainCleanup => {
+            fold.runtime_output += runtime_output;
+            fold.cleanup_output += cleanup_output;
+            fold.cleanup_wall_ms = fold.cleanup_wall_ms.max(cleanup_cost_ms);
+            fold.spill_counts.push((engine, spill_count));
+            fold.journals.push(journal);
+            fold_engine_counters(&mut fold.counters, &journal_counters);
+            gc.finish_drain(engine, now);
+            Ok(None)
+        }
+        other => Ok(Some(other)),
+    }
+}
 
 /// Driver-held control messages the chaos layer delayed (`Cptv`,
 /// `SendStates`); released into the transport once the virtual clock
@@ -107,12 +178,146 @@ pub(crate) fn chaos_send(
     }
 }
 
+/// Fence a draining engine: mark it in the placement map, tell every
+/// other participant (so stale relocations toward it are dropped), and
+/// start the `BeginDrain`/`DrainState` poll loop.
+pub(crate) fn start_drain_fencing(
+    gc: &mut GlobalCoordinator,
+    placement: &mut PlacementMap,
+    send: &mut SendFn,
+    engine: EngineId,
+) -> Result<()> {
+    placement.fence_engine(engine)?;
+    for peer in gc.participating_engines() {
+        if peer != engine {
+            send(peer, ToEngine::FenceNotice { engine })?;
+        }
+    }
+    send(engine, ToEngine::BeginDrain)
+}
+
+/// Process a scale-in event: request the drain and, unless it was
+/// deferred behind an in-flight round targeting the engine, fence it
+/// immediately.
+pub(crate) fn begin_drain_event(
+    gc: &mut GlobalCoordinator,
+    placement: &mut PlacementMap,
+    send: &mut SendFn,
+    engine: EngineId,
+    now: VirtualTime,
+) -> Result<()> {
+    if gc.request_drain(engine, now)? {
+        start_drain_fencing(gc, placement, send, engine)?;
+    }
+    Ok(())
+}
+
+/// Keep a drain moving after a relocation round ended (completed or
+/// aborted): start a deferred drain, or re-poll the draining engine
+/// with `BeginDrain` now that the round slot is free.
+pub(crate) fn drain_continue(
+    gc: &mut GlobalCoordinator,
+    placement: &mut PlacementMap,
+    send: &mut SendFn,
+    now: VirtualTime,
+) -> Result<()> {
+    if let Some(engine) = gc.poll_pending_drain(now) {
+        return start_drain_fencing(gc, placement, send, engine);
+    }
+    if !gc.relocation_active() {
+        if let Some(engine) = gc.draining_engine() {
+            send(engine, ToEngine::BeginDrain)?;
+        }
+    }
+    Ok(())
+}
+
+/// Execute [`DrainStep::FinalizeRemap`]: move the draining engine's
+/// remaining (zero-state) partitions straight to `receiver` — pause and
+/// remap back-to-back, so nothing can buffer in between — then start
+/// the cleanup hand-off: flush any residual resident state to disk and
+/// have the engine forward every spilled segment to the new owners.
+pub(crate) fn finalize_drain_remap(
+    gc: &mut GlobalCoordinator,
+    placement: &mut PlacementMap,
+    send: &mut SendFn,
+    engine: EngineId,
+    receiver: EngineId,
+    now: VirtualTime,
+) -> Result<()> {
+    let parts = placement.partitions_of(engine);
+    if !parts.is_empty() {
+        placement.pause(&parts)?;
+        let released = placement.remap_and_release(&parts, receiver)?;
+        for (pid, tuples) in released {
+            for tuple in tuples {
+                send(receiver, ToEngine::Data { pid, tuple })?;
+            }
+        }
+    }
+    gc.drain_finalized(engine, parts.len(), now);
+    send(engine, ToEngine::StartSpill { amount: u64::MAX })?;
+    let owners: Vec<EngineId> = (0..placement.num_partitions())
+        .map(|p| placement.owner(PartitionId(p)))
+        .collect::<Result<_>>()?;
+    send(engine, ToEngine::PrepareCleanup { owners })
+}
+
+/// Execute a drain step returned by
+/// [`GlobalCoordinator::on_drain_state`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn handle_drain_step(
+    step: DrainStep,
+    gc: &mut GlobalCoordinator,
+    placement: &mut PlacementMap,
+    send: &mut SendFn,
+    journal: &JournalHandle,
+    now: VirtualTime,
+    plan: &FaultPlan,
+    held: &mut HeldSends,
+) -> Result<()> {
+    match step {
+        DrainStep::Wait => Ok(()),
+        DrainStep::ForceSpill { engine, amount } => {
+            // The spill and the re-poll ride the reliable channel in
+            // order, so the next DrainState reflects the spill.
+            send(engine, ToEngine::StartSpill { amount })?;
+            send(engine, ToEngine::BeginDrain)
+        }
+        DrainStep::Relocate {
+            round,
+            sender,
+            amount,
+            ..
+        } => chaos_send(
+            plan,
+            journal,
+            now,
+            FaultEdge::Cptv,
+            round,
+            0,
+            sender,
+            || ToEngine::Cptv {
+                round,
+                amount,
+                attempt: 0,
+            },
+            send,
+            held,
+        ),
+        DrainStep::FinalizeRemap { engine, receiver } => {
+            finalize_drain_remap(gc, placement, send, engine, receiver, now)
+        }
+    }
+}
+
 /// Execute a phase-timeout recovery decision: re-send the phase's
 /// message (again through the fault plan — a retry can be unlucky
 /// twice) or unwind the round.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn handle_timeout_action(
     action: TimeoutAction,
+    gc: &mut GlobalCoordinator,
     placement: &mut PlacementMap,
     send: &mut SendFn,
     journal: &JournalHandle,
@@ -219,7 +424,8 @@ pub(crate) fn handle_timeout_action(
                 }
                 journal.add_watermark_released_on_abort(1);
             }
-            Ok(())
+            // The round slot is free again — keep any drain moving.
+            drain_continue(gc, placement, send, now)
         }
     }
 }
@@ -232,7 +438,6 @@ pub(crate) fn handle_coordinator_msg(
     gc: &mut GlobalCoordinator,
     placement: &mut PlacementMap,
     send: &mut SendFn,
-    num_engines: usize,
     pending_stats: &mut [Option<dcape_engine::stats::EngineStatsReport>],
     awaiting_stats: &mut bool,
     relocations: &mut u64,
@@ -247,9 +452,26 @@ pub(crate) fn handle_coordinator_msg(
         FromEngine::Stats(report) => {
             let idx = report.engine.index();
             pending_stats[idx] = Some(report);
-            if *awaiting_stats && pending_stats.iter().all(Option::is_some) {
+            // Completeness over the *active* set: draining engines may
+            // exit mid-cycle, and the strategy must not pick them as
+            // sender or receiver anyway.
+            let active = gc.active_engines();
+            let complete = if active.is_empty() {
+                pending_stats.iter().all(Option::is_some)
+            } else {
+                active.iter().all(|e| pending_stats[e.index()].is_some())
+            };
+            if *awaiting_stats && complete {
                 *awaiting_stats = false;
-                let stats = ClusterStats::new(pending_stats.iter().flatten().copied().collect());
+                let reports = if active.is_empty() {
+                    pending_stats.iter().flatten().copied().collect()
+                } else {
+                    active
+                        .iter()
+                        .filter_map(|e| pending_stats[e.index()])
+                        .collect()
+                };
+                let stats = ClusterStats::new(reports);
                 match gc.evaluate(&stats, now)? {
                     Decision::None => {}
                     Decision::ForceSpill { engine, amount } => {
@@ -298,7 +520,10 @@ pub(crate) fn handle_coordinator_msg(
             }
             // Aborted rounds paused nothing, so the full admitted
             // watermark is already safe to release.
-            Some(Action::Abort) => send(engine, ToEngine::Resume { round, watermark }),
+            Some(Action::Abort) => {
+                send(engine, ToEngine::Resume { round, watermark })?;
+                drain_continue(gc, placement, send, now)
+            }
             Some(Action::PauseAndTransfer {
                 parts,
                 sender,
@@ -409,8 +634,8 @@ pub(crate) fn handle_coordinator_msg(
                     // The sender is derivable from the completed
                     // round's parts' previous owner; we broadcast
                     // Resume — engines ignore stale rounds.
-                    for i in 0..num_engines {
-                        send(EngineId(i as u16), ToEngine::Resume { round, watermark })?;
+                    for peer in broadcast_set(gc, pending_stats.len()) {
+                        send(peer, ToEngine::Resume { round, watermark })?;
                     }
                     journal.record(
                         now,
@@ -425,15 +650,42 @@ pub(crate) fn handle_coordinator_msg(
                             load_ratio: 0.0,
                         },
                     );
-                    Ok(())
+                    // The round slot is free again — keep any drain
+                    // moving.
+                    drain_continue(gc, placement, send, now)
                 }
                 other => Err(DcapeError::protocol(format!(
                     "unexpected action after ack: {other:?}"
                 ))),
             }
         }
+        FromEngine::DrainState {
+            engine,
+            resident_bytes,
+        } => {
+            let step = gc.on_drain_state(engine, resident_bytes, now)?;
+            handle_drain_step(step, gc, placement, send, journal, now, plan, held)
+        }
+        FromEngine::JoinReady { engine } => {
+            gc.on_join_ready(engine, now);
+            Ok(())
+        }
+        // Mid-run cleanup traffic belongs to a drain hand-off; the
+        // drivers intercept it (they own the counter accumulators) and
+        // only a misrouted message lands here.
         FromEngine::CleanupReady { .. } | FromEngine::CleanupDone { .. } => {
             Err(DcapeError::protocol("cleanup message before shutdown"))
         }
+    }
+}
+
+/// The engines a protocol broadcast must reach: the participating
+/// membership, or every provisioned slot in legacy mode.
+pub(crate) fn broadcast_set(gc: &GlobalCoordinator, capacity: usize) -> Vec<EngineId> {
+    let members = gc.participating_engines();
+    if members.is_empty() {
+        (0..capacity).map(|i| EngineId(i as u16)).collect()
+    } else {
+        members
     }
 }

@@ -124,6 +124,9 @@ pub(crate) struct EngineCore {
     pub(crate) last_now: VirtualTime,
     held: Vec<(VirtualTime, Held)>,
     count_first: bool,
+    /// Peers announced as fenced (draining/drained): relocation state
+    /// must never be shipped toward them, however stale the command.
+    fenced_peers: Vec<EngineId>,
 }
 
 impl EngineCore {
@@ -144,6 +147,7 @@ impl EngineCore {
             last_now: VirtualTime::ZERO,
             held: Vec::new(),
             count_first,
+            fenced_peers: Vec::new(),
         })
     }
 
@@ -266,6 +270,21 @@ impl EngineCore {
                         AdaptEvent::ProtocolWarning {
                             code: "stale_send_states",
                             engine: id,
+                            round,
+                            detail: 4,
+                        },
+                    );
+                    return Ok(EngineFlow::Continue);
+                }
+                if self.fenced_peers.contains(&receiver) {
+                    // A chaos-delayed copy naming a now-fenced receiver
+                    // must not re-populate a draining engine; the
+                    // coordinator's phase timeout aborts the round.
+                    self.qe.journal().record(
+                        self.last_now,
+                        AdaptEvent::ProtocolWarning {
+                            code: "send_to_fenced_dropped",
+                            engine: receiver,
                             round,
                             detail: 4,
                         },
@@ -512,6 +531,19 @@ impl EngineCore {
             }
             ToEngine::StartSpill { amount } => {
                 self.qe.force_spill(amount, self.last_now)?;
+            }
+            ToEngine::BeginDrain => {
+                // Reliable-channel drain poll: report how much movable
+                // state is still resident. Idempotent by construction.
+                tx.to_gc(FromEngine::DrainState {
+                    engine: id,
+                    resident_bytes: self.qe.memory_used(),
+                })?;
+            }
+            ToEngine::FenceNotice { engine } => {
+                if !self.fenced_peers.contains(&engine) {
+                    self.fenced_peers.push(engine);
+                }
             }
             ToEngine::PrepareCleanup { owners } => {
                 // Forward segments of partitions owned elsewhere.

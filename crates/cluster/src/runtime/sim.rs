@@ -30,7 +30,7 @@ use dcape_streamgen::{StreamSetGenerator, StreamSetSpec};
 
 use crate::split::SplitOperator;
 
-use crate::coordinator::{GlobalCoordinator, RetryPolicy, TimeoutAction};
+use crate::coordinator::{DrainStep, GlobalCoordinator, RetryPolicy, TimeoutAction};
 use crate::faults::{FaultDecision, FaultEdge, FaultPlan};
 use crate::netmodel::NetworkModel;
 use crate::placement::{PlacementMap, PlacementSpec, Route};
@@ -38,6 +38,54 @@ use crate::relocation::Action;
 use crate::strategy::{Decision, StrategyConfig};
 
 use dcape_engine::controller::Mode;
+
+/// An elastic membership change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleAction {
+    /// Admit a new engine (scale-out). It gets the next dense id; the
+    /// rebalance planner moves state toward it.
+    AddEngine,
+    /// Drain an engine (scale-in): fence it and relocate its state away
+    /// until it owns nothing, then let it exit. `None` picks the
+    /// highest-id active engine at fire time.
+    DrainEngine(Option<EngineId>),
+}
+
+/// A scheduled membership change, applied when the virtual clock
+/// reaches `at`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScaleEvent {
+    /// Virtual time of the change.
+    pub at: VirtualTime,
+    /// What happens.
+    pub action: ScaleAction,
+}
+
+impl ScaleEvent {
+    /// A join at `at`.
+    pub fn add(at: VirtualTime) -> Self {
+        ScaleEvent {
+            at,
+            action: ScaleAction::AddEngine,
+        }
+    }
+
+    /// A drain of the highest-id active engine at `at`.
+    pub fn drain(at: VirtualTime) -> Self {
+        ScaleEvent {
+            at,
+            action: ScaleAction::DrainEngine(None),
+        }
+    }
+
+    /// A drain of a specific engine at `at`.
+    pub fn drain_engine(at: VirtualTime, engine: EngineId) -> Self {
+        ScaleEvent {
+            at,
+            action: ScaleAction::DrainEngine(Some(engine)),
+        }
+    }
+}
 
 /// Configuration of one simulated cluster run.
 #[derive(Debug, Clone)]
@@ -81,6 +129,10 @@ pub struct SimConfig {
     /// active plan also arms the coordinator's per-phase
     /// timeout/retry/abort policy.
     pub faults: FaultPlan,
+    /// Scheduled elastic membership changes (joins and drains), applied
+    /// when the virtual clock reaches each event's time. Empty by
+    /// default (a static engine set).
+    pub scale_events: Vec<ScaleEvent>,
 }
 
 impl SimConfig {
@@ -106,6 +158,7 @@ impl SimConfig {
             batch: true,
             count_first: true,
             faults: FaultPlan::disabled(),
+            scale_events: Vec::new(),
         }
     }
 
@@ -155,6 +208,25 @@ impl SimConfig {
     pub fn with_journal(mut self) -> Self {
         self.journal = true;
         self
+    }
+
+    /// Builder-style: schedule elastic membership changes.
+    pub fn with_scale_events(mut self, events: Vec<ScaleEvent>) -> Self {
+        self.scale_events = events;
+        self
+    }
+
+    /// Peak engine-slot count this run can reach: the initial engines
+    /// plus every scheduled join. Runtimes provision channel fabrics,
+    /// outboxes and counters at this capacity up front so joins never
+    /// reshape shared structures mid-run.
+    pub fn capacity(&self) -> usize {
+        self.num_engines
+            + self
+                .scale_events
+                .iter()
+                .filter(|e| e.action == ScaleAction::AddEngine)
+                .count()
     }
 }
 
@@ -373,6 +445,10 @@ pub struct SimDriver {
     tick_buf: Vec<Tuple>,
     /// Reusable per-engine routed batches (batched dataflow).
     engine_batches: Vec<TupleBatch>,
+    /// Scheduled membership changes, sorted by time; `next_scale`
+    /// indexes the first not-yet-applied one.
+    scale_events: Vec<ScaleEvent>,
+    next_scale: usize,
     now: VirtualTime,
 }
 
@@ -398,6 +474,9 @@ impl SimDriver {
             .map(|i| QueryEngine::in_memory(EngineId(i as u16), cfg.engine.clone()))
             .collect::<Result<Vec<_>>>()?;
         let mut gc = GlobalCoordinator::new(&cfg.strategy);
+        gc.init_membership(cfg.num_engines, cfg.capacity());
+        let mut scale_events = cfg.scale_events.clone();
+        scale_events.sort_by_key(|e| e.at);
         // Each engine keeps its own journal; the driver, coordinator and
         // strategy share one more. `finish` merges them by virtual time.
         let journal = if cfg.journal {
@@ -435,6 +514,8 @@ impl SimDriver {
             mirrored_spill_read: 0,
             tick_buf: Vec::new(),
             engine_batches: (0..cfg.num_engines).map(|_| TupleBatch::new()).collect(),
+            scale_events,
+            next_scale: 0,
             now: VirtualTime::ZERO,
             cfg,
             engines,
@@ -468,6 +549,11 @@ impl SimDriver {
     /// Completed relocations so far.
     pub fn relocations(&self) -> &[RelocationEvent] {
         &self.relocations
+    }
+
+    /// The global coordinator (read access for tests).
+    pub fn coordinator(&self) -> &GlobalCoordinator {
+        &self.gc
     }
 
     /// Run until the virtual deadline.
@@ -529,7 +615,9 @@ impl SimDriver {
     /// transfer completion, engine `ss_timer`s, coordinator evaluation,
     /// series sampling.
     fn on_clock(&mut self) -> Result<()> {
+        self.process_scale_events()?;
         self.pump_protocol()?;
+        self.pump_drain()?;
         // Local spill pulses + opportunistic reactivation. Window
         // purges run at the watermark-driven horizon, not the clock:
         // tuples buffered at paused splits hold the horizon back, so a
@@ -542,7 +630,13 @@ impl SimDriver {
         }
         for e in &mut self.engines {
             e.tick_with_horizon(self.now, horizon)?;
-            e.maybe_reactivate(&mut self.sink)?;
+            // A fenced engine is being emptied: reactivating spilled
+            // state back into memory would race the drain (and after
+            // the final remap would strand tuples outside the cleanup
+            // gather). Its segments stay on disk instead.
+            if !self.placement.is_fenced(e.id()) {
+                e.maybe_reactivate(&mut self.sink)?;
+            }
         }
         self.mirror_engine_spills();
         // Coordinator evaluation.
@@ -578,6 +672,104 @@ impl SimDriver {
                 Ok(())
             }
         }
+    }
+
+    /// Apply scheduled membership changes whose time has come.
+    fn process_scale_events(&mut self) -> Result<()> {
+        while self.next_scale < self.scale_events.len()
+            && self.scale_events[self.next_scale].at <= self.now
+        {
+            let event = self.scale_events[self.next_scale];
+            self.next_scale += 1;
+            match event.action {
+                ScaleAction::AddEngine => {
+                    let id = self.placement.add_engine()?;
+                    let mut qe = QueryEngine::in_memory(id, self.cfg.engine.clone())?;
+                    if self.journal.is_enabled() {
+                        qe.set_journal(JournalHandle::enabled());
+                    }
+                    self.engines.push(qe);
+                    self.engine_batches.push(TupleBatch::new());
+                    self.gc.admit_engine(id, self.now)?;
+                    // In-process joiners are ready the instant they
+                    // exist — the rebalance planner may target them
+                    // from the next evaluation on.
+                    self.gc.on_join_ready(id, self.now);
+                }
+                ScaleAction::DrainEngine(target) => {
+                    let engine = match target {
+                        Some(e) => e,
+                        None => self
+                            .gc
+                            .active_engines()
+                            .into_iter()
+                            .max()
+                            .ok_or_else(|| DcapeError::config("no active engine to drain"))?,
+                    };
+                    if self.gc.request_drain(engine, self.now)? {
+                        self.placement.fence_engine(engine)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Advance an in-progress drain: promote a deferred drain once the
+    /// round blocking it closed, then poll the draining engine's
+    /// resident state and execute the resulting step. The socket and
+    /// threaded runtimes do the same over `BeginDrain`/`DrainState`
+    /// messages; here the poll is a direct call.
+    fn pump_drain(&mut self) -> Result<()> {
+        if let Some(engine) = self.gc.poll_pending_drain(self.now) {
+            self.placement.fence_engine(engine)?;
+        }
+        let Some(engine) = self.gc.draining_engine() else {
+            return Ok(());
+        };
+        if self.gc.relocation_active() {
+            return Ok(());
+        }
+        let resident = self.engines[engine.index()].memory_used();
+        match self.gc.on_drain_state(engine, resident, self.now)? {
+            DrainStep::Wait => Ok(()),
+            DrainStep::Relocate {
+                round,
+                sender,
+                amount,
+                ..
+            } => self.send_cptv(round, sender, amount, 0),
+            DrainStep::ForceSpill { engine, amount } => {
+                self.engines[engine.index()].force_spill(amount, self.now)?;
+                Ok(())
+            }
+            DrainStep::FinalizeRemap { engine, receiver } => self.finalize_drain(engine, receiver),
+        }
+    }
+
+    /// The draining engine's resident state hit zero: remap whatever
+    /// zero-state partitions it still owns straight to `receiver`
+    /// (nothing to ship — no 8-step round needed), spill any residual
+    /// state to disk and retire the engine. Its segments stay in the
+    /// engine vector, so the finish-time cleanup gathers them exactly
+    /// like the live runtimes' segment forwarding does.
+    fn finalize_drain(&mut self, engine: EngineId, receiver: EngineId) -> Result<()> {
+        let parts = self.placement.partitions_of(engine);
+        if !parts.is_empty() {
+            self.placement.pause(&parts)?;
+            let released = self.placement.remap_and_release(&parts, receiver)?;
+            for (pid, tuples) in released {
+                for tuple in tuples {
+                    self.journal.sub_buffered_in_flight(1);
+                    self.journal.add_replayed_in_order(1);
+                    self.engines[receiver.index()].process(pid, tuple, &mut self.sink)?;
+                }
+            }
+        }
+        self.gc.drain_finalized(engine, parts.len(), self.now);
+        self.engines[engine.index()].force_spill(u64::MAX, self.now)?;
+        self.gc.finish_drain(engine, self.now);
+        Ok(())
     }
 
     /// Mirror engine spill volume into the shared driver journal so the
@@ -919,6 +1111,14 @@ impl SimDriver {
             self.warn("stale_send_states", sender, round, 4);
             return Ok(());
         }
+        // A chaos-delayed SendStates can name a receiver that was
+        // fenced for draining after the round opened; shipping state to
+        // it would repopulate an engine being emptied. Drop it — the
+        // phase timeout aborts the round.
+        if self.placement.is_fenced(receiver) {
+            self.warn("send_to_fenced_dropped", receiver, round, 4);
+            return Ok(());
+        }
         let fresh = !self.engines[sender.index()].outbound_pending(round);
         let groups = self.engines[sender.index()].begin_outbound(round, &parts);
         let bytes: u64 = groups.iter().map(|(g, _, _)| g.state_bytes() as u64).sum();
@@ -1000,6 +1200,13 @@ impl SimDriver {
                 t.round,
                 t.declared_bytes,
             );
+            return Ok(());
+        }
+        // Fenced mid-flight: the receiver started draining while the
+        // transfer was on the wire. Discard without acking; the sender's
+        // retained copy is reinstalled when the round aborts.
+        if self.placement.is_fenced(t.receiver) {
+            self.warn("send_to_fenced_dropped", t.receiver, t.round, 5);
             return Ok(());
         }
         // Crash-restart mid-install: the uncommitted installation is
@@ -1202,11 +1409,13 @@ impl SimDriver {
     }
 
     fn evaluate_coordinator(&mut self) -> Result<()> {
-        let reports: Vec<_> = self
-            .engines
-            .iter_mut()
-            .map(|e| e.report(self.now))
-            .collect();
+        // Statistics come from active members only — a draining engine
+        // must not be picked as a relocation receiver, and a drained
+        // one is gone.
+        let mut reports = Vec::new();
+        for e in self.gc.active_engines() {
+            reports.push(self.engines[e.index()].report(self.now));
+        }
         let stats = crate::stats::ClusterStats::new(reports);
         match self.gc.evaluate(&stats, self.now)? {
             Decision::None => Ok(()),
@@ -1271,10 +1480,29 @@ impl SimDriver {
         Ok(())
     }
 
+    /// Input ended mid-drain: keep alternating drain polls with
+    /// protocol quiescence until the engine is empty and retired. Each
+    /// pass either completes a round (moving resident state off), hits
+    /// the abort ladder (which bounds to the forced-spill degrade) or
+    /// finalizes, so this terminates.
+    fn complete_elastic_drain(&mut self) -> Result<()> {
+        let mut passes = 0u32;
+        while self.gc.drain_in_progress() {
+            passes += 1;
+            if passes > 10_000 {
+                return Err(DcapeError::protocol("drain failed to complete at finish"));
+            }
+            self.pump_drain()?;
+            self.drain_protocol()?;
+        }
+        Ok(())
+    }
+
     /// Finish the run: drain the relocation protocol, then perform the
     /// cluster-wide cleanup phase and assemble the report.
     pub fn finish(mut self) -> Result<SimReport> {
         self.drain_protocol()?;
+        self.complete_elastic_drain()?;
         self.sample_series();
         self.mirror_engine_spills();
         let runtime_output = self.sink.count;

@@ -56,15 +56,16 @@ use dcape_metrics::journal::{
 };
 use dcape_streamgen::StreamSetGenerator;
 
-use crate::coordinator::{GlobalCoordinator, RetryPolicy};
+use crate::coordinator::{EngineState, GlobalCoordinator, RetryPolicy};
 use crate::faults::{FaultConfig, FaultPlan};
 use crate::messages::{FromEngine, ToEngine};
 use crate::placement::{PlacementMap, Route};
 use crate::runtime::driver::{
-    handle_coordinator_msg, handle_timeout_action, release_due, HeldSends,
+    begin_drain_event, fold_engine_counters, handle_coordinator_msg, handle_timeout_action,
+    intercept_drain_cleanup, release_due, DrainFold, HeldSends,
 };
 use crate::runtime::engine_core::{EngineCore, EngineFlow, EngineTx};
-use crate::runtime::sim::SimConfig;
+use crate::runtime::sim::{ScaleAction, SimConfig};
 use crate::runtime::threaded::ThreadedReport;
 use crate::wire::{
     frame_bytes, msg_kind_name, read_frame, write_frame, Hello, Welcome, WireMsg, CRASH_EXIT,
@@ -440,7 +441,12 @@ impl Cluster {
             Event::Msg(m) => {
                 self.net.log_rx(m.engine(), from_engine_kind(&m));
                 if let (Some(kp), false) = (self.kill, self.kill_fired) {
-                    if matches!(&m, FromEngine::Stats(r) if r.engine == kp.engine) {
+                    // Drain polls count like stats reports: a kill plan
+                    // aimed at a draining engine fires mid-drain, which
+                    // is exactly the SIGKILL-during-drain chaos case.
+                    let counts = matches!(&m, FromEngine::Stats(r) if r.engine == kp.engine)
+                        || matches!(&m, FromEngine::DrainState { engine, .. } if *engine == kp.engine);
+                    if counts {
                         self.kill_stats_seen += 1;
                         if self.kill_stats_seen >= kp.after_stats {
                             self.kill_fired = true;
@@ -539,6 +545,8 @@ fn from_engine_kind(m: &FromEngine) -> &'static str {
         FromEngine::Stats(_) => "stats",
         FromEngine::CleanupReady { .. } => "cleanup_ready",
         FromEngine::CleanupDone { .. } => "cleanup_done",
+        FromEngine::DrainState { .. } => "drain_state",
+        FromEngine::JoinReady { .. } => "join_ready",
     }
 }
 
@@ -549,7 +557,9 @@ impl FromEngine {
             FromEngine::Ptv { engine, .. }
             | FromEngine::TransferAck { engine, .. }
             | FromEngine::CleanupReady { engine, .. }
-            | FromEngine::CleanupDone { engine, .. } => *engine,
+            | FromEngine::CleanupDone { engine, .. }
+            | FromEngine::DrainState { engine, .. }
+            | FromEngine::JoinReady { engine } => *engine,
             FromEngine::Stats(r) => r.engine,
         }
     }
@@ -567,12 +577,26 @@ pub fn run_socket(cfg: SocketConfig, deadline: VirtualTime) -> Result<ThreadedRe
     if sim.num_engines == 0 {
         return Err(DcapeError::config("need at least one engine"));
     }
-    if sim.num_engines > u16::MAX as usize {
+    let capacity = sim.capacity();
+    if capacity > u16::MAX as usize {
         return Err(DcapeError::config("too many engines for the wire format"));
     }
     if cfg.kill.is_some() && !matches!(cfg.mode, SocketMode::Spawn { .. }) {
         return Err(DcapeError::config("kill plans need spawn mode"));
     }
+    if sim
+        .scale_events
+        .iter()
+        .any(|e| e.action == ScaleAction::AddEngine)
+        && !matches!(cfg.mode, SocketMode::Spawn { .. })
+    {
+        return Err(DcapeError::config(
+            "scale-out events need spawn mode (cannot start workers in --listen mode)",
+        ));
+    }
+    let mut scale_events = sim.scale_events.clone();
+    scale_events.sort_by_key(|e| e.at);
+    let mut next_scale = 0usize;
 
     let mut gen = StreamSetGenerator::new(sim.workload.clone())?;
     let mut split = crate::split::SplitOperator::new(
@@ -582,6 +606,7 @@ pub fn run_socket(cfg: SocketConfig, deadline: VirtualTime) -> Result<ThreadedRe
     let mut placement =
         PlacementMap::new(&sim.placement, sim.workload.num_partitions, sim.num_engines)?;
     let mut gc = GlobalCoordinator::new(&sim.strategy);
+    gc.init_membership(sim.num_engines, capacity);
     let journal = if sim.journal {
         let handle = JournalHandle::enabled();
         gc.set_journal(handle.clone());
@@ -605,11 +630,12 @@ pub fn run_socket(cfg: SocketConfig, deadline: VirtualTime) -> Result<ThreadedRe
     let listener = TcpListener::bind(&listen_addr).map_err(DcapeError::Io)?;
     let local_addr = listener.local_addr().map_err(DcapeError::Io)?.to_string();
 
-    let slots: Vec<Arc<ConnSlot>> = (0..sim.num_engines)
-        .map(|_| Arc::new(ConnSlot::new()))
-        .collect();
-    let mut outbox_txs = Vec::with_capacity(sim.num_engines);
-    let mut outbox_handles = Vec::with_capacity(sim.num_engines);
+    // Slots, outboxes and logs are provisioned at peak capacity: a
+    // joiner's connection slot exists before its process does, so its
+    // late `Hello` lands in the ordinary acceptor path.
+    let slots: Vec<Arc<ConnSlot>> = (0..capacity).map(|_| Arc::new(ConnSlot::new())).collect();
+    let mut outbox_txs = Vec::with_capacity(capacity);
+    let mut outbox_handles = Vec::with_capacity(capacity);
     for (i, slot) in slots.iter().enumerate() {
         let (tx, rx) = unbounded::<Vec<u8>>();
         outbox_txs.push(tx);
@@ -625,7 +651,7 @@ pub fn run_socket(cfg: SocketConfig, deadline: VirtualTime) -> Result<ThreadedRe
         Ok(dir) if !dir.is_empty() => {
             let dir = PathBuf::from(dir);
             std::fs::create_dir_all(&dir).map_err(DcapeError::Io)?;
-            let files: Vec<std::fs::File> = (0..sim.num_engines)
+            let files: Vec<std::fs::File> = (0..capacity)
                 .map(|i| std::fs::File::create(dir.join(format!("frames-coord-e{i}.log"))))
                 .collect::<std::io::Result<_>>()
                 .map_err(DcapeError::Io)?;
@@ -637,7 +663,7 @@ pub fn run_socket(cfg: SocketConfig, deadline: VirtualTime) -> Result<ThreadedRe
     let (events_tx, events) = unbounded::<Event>();
     let shutdown = Arc::new(AtomicBool::new(false));
     let tmpl = Arc::new(WelcomeTemplate {
-        num_engines: sim.num_engines as u16,
+        num_engines: capacity as u16,
         config: sim.engine.clone(),
         journal: sim.journal,
         count_first: sim.count_first,
@@ -661,9 +687,11 @@ pub fn run_socket(cfg: SocketConfig, deadline: VirtualTime) -> Result<ThreadedRe
             let mut ctl = SpawnCtl {
                 node_bin: node_bin.clone(),
                 addr: local_addr.clone(),
-                children: (0..sim.num_engines).map(|_| None).collect(),
-                respawns: vec![0; sim.num_engines],
+                children: (0..capacity).map(|_| None).collect(),
+                respawns: vec![0; capacity],
             };
+            // Initial engines only; joiner processes start when their
+            // scale event fires.
             for i in 0..sim.num_engines {
                 ctl.spawn_worker(EngineId(i as u16))?;
             }
@@ -684,7 +712,7 @@ pub fn run_socket(cfg: SocketConfig, deadline: VirtualTime) -> Result<ThreadedRe
             logs,
         },
         spawn: spawn_ctl,
-        done: vec![false; sim.num_engines],
+        done: vec![false; capacity],
         journal: journal.clone(),
         kill: cfg.kill,
         kill_stats_seen: 0,
@@ -696,14 +724,14 @@ pub fn run_socket(cfg: SocketConfig, deadline: VirtualTime) -> Result<ThreadedRe
     let mut stats_timer = PeriodicTimer::new(sim.stats_interval, VirtualTime::ZERO);
     let mut tick_timer = PeriodicTimer::new(VirtualDuration::from_secs(1), VirtualTime::ZERO);
     let mut pending_stats: Vec<Option<dcape_engine::stats::EngineStatsReport>> =
-        vec![None; sim.num_engines];
+        vec![None; capacity];
     let mut awaiting_stats = false;
     let mut relocations = 0u64;
+    let mut drain_fold = DrainFold::default();
 
     const MAX_BATCH_TICKS: u32 = 64;
     let mut tick_buf: Vec<dcape_common::tuple::Tuple> = Vec::new();
-    let mut engine_batches: Vec<TupleBatch> =
-        (0..sim.num_engines).map(|_| TupleBatch::new()).collect();
+    let mut engine_batches: Vec<TupleBatch> = (0..capacity).map(|_| TupleBatch::new()).collect();
     let mut pending_ticks = 0u32;
     let flush_pending = |batches: &mut Vec<TupleBatch>, net: &Net, ticks: &mut u32| -> Result<()> {
         *ticks = 0;
@@ -719,6 +747,39 @@ pub fn run_socket(cfg: SocketConfig, deadline: VirtualTime) -> Result<ThreadedRe
 
     while gen.now() < deadline {
         let now = gen.now();
+        // Elastic membership changes whose time has come.
+        while next_scale < scale_events.len() && scale_events[next_scale].at <= now {
+            let event = scale_events[next_scale];
+            next_scale += 1;
+            match event.action {
+                ScaleAction::AddEngine => {
+                    let id = placement.add_engine()?;
+                    cluster
+                        .spawn
+                        .as_mut()
+                        .expect("scale-out validated to spawn mode")
+                        .spawn_worker(id)?;
+                    gc.admit_engine(id, now)?;
+                    // A stats collection begun against the old
+                    // membership can never complete against the new
+                    // one; restart it at the next timer expiry.
+                    awaiting_stats = false;
+                }
+                ScaleAction::DrainEngine(target) => {
+                    let engine = match target {
+                        Some(e) => e,
+                        None => gc
+                            .active_engines()
+                            .into_iter()
+                            .max()
+                            .ok_or_else(|| DcapeError::config("no active engine to drain"))?,
+                    };
+                    let net = &cluster.net;
+                    let mut send = |e: EngineId, m: ToEngine| net.send(e, m);
+                    begin_drain_event(&mut gc, &mut placement, &mut send, engine, now)?;
+                }
+            }
+        }
         if sim.batch {
             gen.tick_batch(&mut tick_buf);
             journal.add_tuples_routed(tick_buf.len() as u64);
@@ -762,20 +823,16 @@ pub fn run_socket(cfg: SocketConfig, deadline: VirtualTime) -> Result<ThreadedRe
             if sim.engine.join.window.is_some() && horizon < watermark {
                 journal.add_purges_deferred(1);
             }
-            for i in 0..sim.num_engines {
-                cluster
-                    .net
-                    .send(EngineId(i as u16), ToEngine::Tick { now, horizon })?;
+            for e in gc.participating_engines() {
+                cluster.net.send(e, ToEngine::Tick { now, horizon })?;
             }
         }
         if stats_timer.expired(now) && !awaiting_stats && !gc.relocation_active() {
             stats_timer.reset(now);
             awaiting_stats = true;
             pending_stats.iter_mut().for_each(|s| *s = None);
-            for i in 0..sim.num_engines {
-                cluster
-                    .net
-                    .send(EngineId(i as u16), ToEngine::ReportStats { now })?;
+            for e in gc.active_engines() {
+                cluster.net.send(e, ToEngine::ReportStats { now })?;
             }
         }
 
@@ -789,14 +846,25 @@ pub fn run_socket(cfg: SocketConfig, deadline: VirtualTime) -> Result<ThreadedRe
             if sim.batch {
                 flush_pending(&mut engine_batches, &cluster.net, &mut pending_ticks)?;
             }
+            // A drained worker exits cleanly right after its mid-run
+            // CleanupDone: mark it done *before* the disconnect event
+            // lands, so the exit is not treated as a crash.
+            if let FromEngine::CleanupDone { engine, .. } = &msg {
+                if gc.engine_state(*engine) == EngineState::DrainCleanup {
+                    cluster.done[engine.index()] = true;
+                }
+            }
             let net = &cluster.net;
             let mut send = |e: EngineId, m: ToEngine| net.send(e, m);
+            let Some(msg) = intercept_drain_cleanup(msg, &mut gc, &mut send, &mut drain_fold, now)?
+            else {
+                continue;
+            };
             handle_coordinator_msg(
                 msg,
                 &mut gc,
                 &mut placement,
                 &mut send,
-                sim.num_engines,
                 &mut pending_stats,
                 &mut awaiting_stats,
                 &mut relocations,
@@ -823,6 +891,7 @@ pub fn run_socket(cfg: SocketConfig, deadline: VirtualTime) -> Result<ThreadedRe
                 let mut send = |e: EngineId, m: ToEngine| net.send(e, m);
                 handle_timeout_action(
                     action,
+                    &mut gc,
                     &mut placement,
                     &mut send,
                     &journal,
@@ -842,7 +911,11 @@ pub fn run_socket(cfg: SocketConfig, deadline: VirtualTime) -> Result<ThreadedRe
     // Quiesce (see run_threaded): virtual time keeps advancing on
     // receive timeouts so phase deadlines and held messages fire.
     let mut vnow = deadline;
-    while gc.relocation_active() || awaiting_stats || !held_sends.is_empty() {
+    while gc.relocation_active()
+        || gc.drain_in_progress()
+        || awaiting_stats
+        || !held_sends.is_empty()
+    {
         {
             let net = &cluster.net;
             let mut send = |e: EngineId, m: ToEngine| net.send(e, m);
@@ -851,14 +924,23 @@ pub fn run_socket(cfg: SocketConfig, deadline: VirtualTime) -> Result<ThreadedRe
         match events.recv_timeout(Duration::from_millis(5)) {
             Ok(ev) => {
                 if let Some(msg) = cluster.triage(ev, vnow)? {
+                    if let FromEngine::CleanupDone { engine, .. } = &msg {
+                        if gc.engine_state(*engine) == EngineState::DrainCleanup {
+                            cluster.done[engine.index()] = true;
+                        }
+                    }
                     let net = &cluster.net;
                     let mut send = |e: EngineId, m: ToEngine| net.send(e, m);
+                    let Some(msg) =
+                        intercept_drain_cleanup(msg, &mut gc, &mut send, &mut drain_fold, vnow)?
+                    else {
+                        continue;
+                    };
                     handle_coordinator_msg(
                         msg,
                         &mut gc,
                         &mut placement,
                         &mut send,
-                        sim.num_engines,
                         &mut pending_stats,
                         &mut awaiting_stats,
                         &mut relocations,
@@ -878,6 +960,7 @@ pub fn run_socket(cfg: SocketConfig, deadline: VirtualTime) -> Result<ThreadedRe
                     let mut send = |e: EngineId, m: ToEngine| net.send(e, m);
                     handle_timeout_action(
                         action,
+                        &mut gc,
                         &mut placement,
                         &mut send,
                         &journal,
@@ -889,10 +972,8 @@ pub fn run_socket(cfg: SocketConfig, deadline: VirtualTime) -> Result<ThreadedRe
                 }
                 let watermark = split.admitted_watermark();
                 let horizon = placement.purge_horizon(watermark);
-                for i in 0..sim.num_engines {
-                    cluster
-                        .net
-                        .send(EngineId(i as u16), ToEngine::Tick { now: vnow, horizon })?;
+                for e in gc.participating_engines() {
+                    cluster.net.send(e, ToEngine::Tick { now: vnow, horizon })?;
                 }
             }
             Err(RecvTimeoutError::Disconnected) => {
@@ -912,15 +993,27 @@ pub fn run_socket(cfg: SocketConfig, deadline: VirtualTime) -> Result<ThreadedRe
     let owners: Vec<EngineId> = (0..placement.num_partitions())
         .map(|i| placement.owner(PartitionId(i)))
         .collect::<Result<_>>()?;
-    for i in 0..sim.num_engines {
+    // Cleanup runs over the *final* membership: drained engines already
+    // exited after their mid-run CleanupDone, and capacity slots whose
+    // AddEngine event never fired were never spawned at all.
+    let final_engines = gc.active_engines();
+    let mut ready = vec![true; capacity];
+    for e in &final_engines {
+        ready[e.index()] = false;
+    }
+    for (i, done) in cluster.done.iter_mut().enumerate() {
+        if !final_engines.iter().any(|e| e.index() == i) {
+            *done = true;
+        }
+    }
+    for e in &final_engines {
         cluster.net.send(
-            EngineId(i as u16),
+            *e,
             ToEngine::PrepareCleanup {
                 owners: owners.clone(),
             },
         )?;
     }
-    let mut ready = vec![false; sim.num_engines];
     while ready.iter().any(|r| !r) {
         let ev = events
             .recv_timeout(Duration::from_secs(120))
@@ -951,7 +1044,9 @@ pub fn run_socket(cfg: SocketConfig, deadline: VirtualTime) -> Result<ThreadedRe
                     detail: 6,
                 },
             ),
-            Some(FromEngine::Stats(_)) => {}
+            Some(FromEngine::Stats(_))
+            | Some(FromEngine::DrainState { .. })
+            | Some(FromEngine::JoinReady { .. }) => {}
             Some(other) => {
                 return Err(DcapeError::protocol(format!(
                     "unexpected message during cleanup prepare: {other:?}"
@@ -959,18 +1054,22 @@ pub fn run_socket(cfg: SocketConfig, deadline: VirtualTime) -> Result<ThreadedRe
             }
         }
     }
-    for i in 0..sim.num_engines {
-        cluster
-            .net
-            .send(EngineId(i as u16), ToEngine::StartCleanup)?;
+    for e in &final_engines {
+        cluster.net.send(*e, ToEngine::StartCleanup)?;
     }
 
-    let mut runtime_output = 0u64;
-    let mut cleanup_output = 0u64;
-    let mut cleanup_wall_ms = 0u64;
-    let mut spill_counts = vec![0u64; sim.num_engines];
-    let mut engine_journals: Vec<Vec<JournalEntry>> = Vec::with_capacity(sim.num_engines);
+    // Seed the totals with the contributions folded in when drained
+    // engines completed their mid-run cleanup.
+    let mut runtime_output = drain_fold.runtime_output;
+    let mut cleanup_output = drain_fold.cleanup_output;
+    let mut cleanup_wall_ms = drain_fold.cleanup_wall_ms;
+    let mut spill_counts = vec![0u64; capacity];
+    for (e, n) in &drain_fold.spill_counts {
+        spill_counts[e.index()] = *n;
+    }
+    let mut engine_journals: Vec<Vec<JournalEntry>> = std::mem::take(&mut drain_fold.journals);
     let mut journal_counters = CountersSnapshot::default();
+    fold_engine_counters(&mut journal_counters, &drain_fold.counters);
     while cluster.done.iter().any(|d| !d) {
         let ev = events
             .recv_timeout(Duration::from_secs(120))
@@ -995,19 +1094,33 @@ pub fn run_socket(cfg: SocketConfig, deadline: VirtualTime) -> Result<ThreadedRe
                 cleanup_wall_ms = cleanup_wall_ms.max(cleanup_cost_ms);
                 spill_counts[engine.index()] = spill_count;
                 engine_journals.push(engine_journal);
-                journal_counters.spill_bytes += engine_counters.spill_bytes;
-                journal_counters.spill_bytes_written += engine_counters.spill_bytes_written;
-                journal_counters.spill_bytes_read += engine_counters.spill_bytes_read;
-                journal_counters.transfer_bytes += engine_counters.transfer_bytes;
-                journal_counters.events_recorded += engine_counters.events_recorded;
-                journal_counters.events_dropped += engine_counters.events_dropped;
-                journal_counters.faults_injected += engine_counters.faults_injected;
-                journal_counters.msgs_retried += engine_counters.msgs_retried;
-                journal_counters.rounds_aborted += engine_counters.rounds_aborted;
-                journal_counters.watermark_released_on_abort +=
-                    engine_counters.watermark_released_on_abort;
+                fold_engine_counters(&mut journal_counters, &engine_counters);
             }
-            Some(FromEngine::Stats(_)) => {}
+            // A worker respawned late in the run (e.g. a joiner killed
+            // mid-admission) replays its whole outbound history, so the
+            // closing messages of already-settled rounds can trail into
+            // the merge — stale by construction, like the prepare loop.
+            Some(FromEngine::Ptv { round, engine, .. }) => journal.record(
+                vnow,
+                AdaptEvent::ProtocolWarning {
+                    code: "stale_ptv_after_quiesce",
+                    engine,
+                    round,
+                    detail: 2,
+                },
+            ),
+            Some(FromEngine::TransferAck { round, engine, .. }) => journal.record(
+                vnow,
+                AdaptEvent::ProtocolWarning {
+                    code: "stale_ack_after_quiesce",
+                    engine,
+                    round,
+                    detail: 6,
+                },
+            ),
+            Some(FromEngine::Stats(_))
+            | Some(FromEngine::DrainState { .. })
+            | Some(FromEngine::JoinReady { .. }) => {}
             Some(other) => {
                 return Err(DcapeError::protocol(format!(
                     "unexpected message during merge: {other:?}"
@@ -1200,6 +1313,17 @@ fn worker_session(stream: TcpStream, engine: EngineId) -> Result<SessionEnd> {
     };
 
     let mut core = EngineCore::new(engine, welcome.config, welcome.journal, welcome.count_first)?;
+    // Announce liveness: a late joiner's rebalancing is deferred until
+    // this arrives; announcements from the initial engines are absorbed
+    // quietly. Resent on respawn, which is how a joiner that crashed
+    // mid-admission completes its join after replay.
+    {
+        let mut tx = WorkerTx {
+            stream: &stream,
+            log: log_file.as_ref(),
+        };
+        tx.to_gc(FromEngine::JoinReady { engine })?;
+    }
     let plan = FaultPlan::new(welcome.fault_seed, welcome.faults);
     let replay_plan = FaultPlan::disabled();
     let mut expected_seq = 1u64;

@@ -45,10 +45,11 @@ use crate::faults::FaultPlan;
 use crate::messages::{FromEngine, ToEngine};
 use crate::placement::{PlacementMap, Route};
 use crate::runtime::driver::{
-    handle_coordinator_msg, handle_timeout_action, release_due, HeldSends,
+    begin_drain_event, fold_engine_counters, handle_coordinator_msg, handle_timeout_action,
+    intercept_drain_cleanup, release_due, DrainFold, HeldSends,
 };
 use crate::runtime::engine_core::{EngineCore, EngineFlow, EngineTx};
-use crate::runtime::sim::SimConfig;
+use crate::runtime::sim::{ScaleAction, SimConfig};
 
 /// Outcome of one threaded run.
 #[derive(Debug)]
@@ -94,7 +95,12 @@ pub fn run_threaded(cfg: SimConfig, deadline: VirtualTime) -> Result<ThreadedRep
     )?;
     let mut placement =
         PlacementMap::new(&cfg.placement, cfg.workload.num_partitions, cfg.num_engines)?;
+    let capacity = cfg.capacity();
+    let mut scale_events = cfg.scale_events.clone();
+    scale_events.sort_by_key(|e| e.at);
+    let mut next_scale = 0usize;
     let mut gc = GlobalCoordinator::new(&cfg.strategy);
+    gc.init_membership(cfg.num_engines, capacity);
     // Coordinator-side journal; each engine thread keeps its own and
     // ships it back with `CleanupDone` for the final merge.
     let journal = if cfg.journal {
@@ -111,45 +117,26 @@ pub fn run_threaded(cfg: SimConfig, deadline: VirtualTime) -> Result<ThreadedRep
     }
     let mut held_sends: HeldSends = Vec::new();
 
-    // Channel fabric.
-    let mut to_engines: Vec<Sender<ToEngine>> = Vec::with_capacity(cfg.num_engines);
-    let mut engine_rxs: Vec<Receiver<ToEngine>> = Vec::with_capacity(cfg.num_engines);
-    for _ in 0..cfg.num_engines {
+    // Channel fabric, provisioned at peak capacity up front: a joiner's
+    // channel pair already exists before its thread does, so nothing
+    // shared reshapes mid-run and peers can address it the moment the
+    // coordinator admits it.
+    let mut to_engines: Vec<Sender<ToEngine>> = Vec::with_capacity(capacity);
+    let mut engine_rxs: Vec<Option<Receiver<ToEngine>>> = Vec::with_capacity(capacity);
+    for _ in 0..capacity {
         let (tx, rx) = unbounded();
         to_engines.push(tx);
-        engine_rxs.push(rx);
+        engine_rxs.push(Some(rx));
     }
     let (to_gc, from_engines) = unbounded::<FromEngine>();
 
-    // Spawn engine threads.
-    let mut handles = Vec::with_capacity(cfg.num_engines);
-    for (i, rx) in engine_rxs.into_iter().enumerate() {
-        let id = EngineId(i as u16);
-        let engine_cfg = cfg.engine.clone();
-        let to_gc = to_gc.clone();
-        let peers = to_engines.clone();
-        let journal_on = cfg.journal;
-        let count_first = cfg.count_first;
-        let plan = cfg.faults;
-        handles.push(
-            thread::Builder::new()
-                .name(format!("dcape-qe{i}"))
-                .spawn(move || {
-                    engine_main(
-                        id,
-                        engine_cfg,
-                        rx,
-                        to_gc,
-                        peers,
-                        journal_on,
-                        count_first,
-                        plan,
-                    )
-                })
-                .expect("spawn engine thread"),
-        );
+    // Spawn the initial engine threads; joiners spawn when their scale
+    // event fires.
+    let mut handles = Vec::with_capacity(capacity);
+    for (i, slot) in engine_rxs.iter_mut().enumerate().take(cfg.num_engines) {
+        let rx = slot.take().expect("initial slot unspawned");
+        handles.push(spawn_engine(i, &cfg, rx, &to_gc, &to_engines));
     }
-    drop(to_gc);
 
     // Driver loop: source + splits + coordinator.
     let mut stats_timer = PeriodicTimer::new(cfg.stats_interval, VirtualTime::ZERO);
@@ -158,9 +145,10 @@ pub fn run_threaded(cfg: SimConfig, deadline: VirtualTime) -> Result<ThreadedRep
         VirtualTime::ZERO,
     );
     let mut pending_stats: Vec<Option<dcape_engine::stats::EngineStatsReport>> =
-        vec![None; cfg.num_engines];
+        vec![None; capacity];
     let mut awaiting_stats = false;
     let mut relocations = 0u64;
+    let mut drain_fold = DrainFold::default();
 
     // All coordinator-side protocol helpers send through this closure;
     // the socket driver substitutes one that frames onto TCP.
@@ -180,8 +168,7 @@ pub fn run_threaded(cfg: SimConfig, deadline: VirtualTime) -> Result<ThreadedRep
     // of a `SendStates`/remap that could re-home its partition.
     const MAX_BATCH_TICKS: u32 = 64;
     let mut tick_buf: Vec<dcape_common::tuple::Tuple> = Vec::new();
-    let mut engine_batches: Vec<TupleBatch> =
-        (0..cfg.num_engines).map(|_| TupleBatch::new()).collect();
+    let mut engine_batches: Vec<TupleBatch> = (0..capacity).map(|_| TupleBatch::new()).collect();
     let mut pending_ticks = 0u32;
     let flush_pending =
         |batches: &mut Vec<TupleBatch>, txs: &[Sender<ToEngine>], ticks: &mut u32| -> Result<()> {
@@ -202,6 +189,36 @@ pub fn run_threaded(cfg: SimConfig, deadline: VirtualTime) -> Result<ThreadedRep
 
     while gen.now() < deadline {
         let now = gen.now();
+        // Elastic membership changes whose time has come.
+        while next_scale < scale_events.len() && scale_events[next_scale].at <= now {
+            let event = scale_events[next_scale];
+            next_scale += 1;
+            match event.action {
+                ScaleAction::AddEngine => {
+                    let id = placement.add_engine()?;
+                    let rx = engine_rxs[id.index()]
+                        .take()
+                        .expect("joiner slot unspawned");
+                    handles.push(spawn_engine(id.index(), &cfg, rx, &to_gc, &to_engines));
+                    gc.admit_engine(id, now)?;
+                    // A stats collection begun against the old
+                    // membership can never complete against the new
+                    // one; restart it at the next timer expiry.
+                    awaiting_stats = false;
+                }
+                ScaleAction::DrainEngine(target) => {
+                    let engine = match target {
+                        Some(e) => e,
+                        None => gc
+                            .active_engines()
+                            .into_iter()
+                            .max()
+                            .ok_or_else(|| DcapeError::config("no active engine to drain"))?,
+                    };
+                    begin_drain_event(&mut gc, &mut placement, &mut send, engine, now)?;
+                }
+            }
+        }
         if cfg.batch {
             gen.tick_batch(&mut tick_buf);
             journal.add_tuples_routed(tick_buf.len() as u64);
@@ -249,16 +266,16 @@ pub fn run_threaded(cfg: SimConfig, deadline: VirtualTime) -> Result<ThreadedRep
             if cfg.engine.join.window.is_some() && horizon < watermark {
                 journal.add_purges_deferred(1);
             }
-            for i in 0..cfg.num_engines {
-                send(EngineId(i as u16), ToEngine::Tick { now, horizon })?;
+            for e in gc.participating_engines() {
+                send(e, ToEngine::Tick { now, horizon })?;
             }
         }
         if stats_timer.expired(now) && !awaiting_stats && !gc.relocation_active() {
             stats_timer.reset(now);
             awaiting_stats = true;
             pending_stats.iter_mut().for_each(|s| *s = None);
-            for i in 0..cfg.num_engines {
-                send(EngineId(i as u16), ToEngine::ReportStats { now })?;
+            for e in gc.active_engines() {
+                send(e, ToEngine::ReportStats { now })?;
             }
         }
 
@@ -269,12 +286,15 @@ pub fn run_threaded(cfg: SimConfig, deadline: VirtualTime) -> Result<ThreadedRep
             if cfg.batch {
                 flush_pending(&mut engine_batches, &to_engines, &mut pending_ticks)?;
             }
+            let Some(msg) = intercept_drain_cleanup(msg, &mut gc, &mut send, &mut drain_fold, now)?
+            else {
+                continue;
+            };
             handle_coordinator_msg(
                 msg,
                 &mut gc,
                 &mut placement,
                 &mut send,
-                cfg.num_engines,
                 &mut pending_stats,
                 &mut awaiting_stats,
                 &mut relocations,
@@ -298,6 +318,7 @@ pub fn run_threaded(cfg: SimConfig, deadline: VirtualTime) -> Result<ThreadedRep
                 }
                 handle_timeout_action(
                     action,
+                    &mut gc,
                     &mut placement,
                     &mut send,
                     &journal,
@@ -309,6 +330,10 @@ pub fn run_threaded(cfg: SimConfig, deadline: VirtualTime) -> Result<ThreadedRep
             }
         }
     }
+
+    // No more joins can fire: drop the master inbox sender so engine
+    // hang-ups surface as disconnects in the loops below.
+    drop(to_gc);
 
     // The deadline passed: deliver any coalesced batches before the
     // quiesce/cleanup phases.
@@ -323,30 +348,41 @@ pub fn run_threaded(cfg: SimConfig, deadline: VirtualTime) -> Result<ThreadedRep
     // fire (retry, then abort) and engine-held delayed messages release
     // on the ticks we keep sending.
     let mut vnow = deadline;
-    while gc.relocation_active() || awaiting_stats || !held_sends.is_empty() {
+    while gc.relocation_active()
+        || gc.drain_in_progress()
+        || awaiting_stats
+        || !held_sends.is_empty()
+    {
         release_due(&mut held_sends, vnow, &mut send)?;
         match from_engines.recv_timeout(Duration::from_millis(5)) {
-            Ok(msg) => handle_coordinator_msg(
-                msg,
-                &mut gc,
-                &mut placement,
-                &mut send,
-                cfg.num_engines,
-                &mut pending_stats,
-                &mut awaiting_stats,
-                &mut relocations,
-                &journal,
-                vnow,
-                split.admitted_watermark(),
-                cfg.batch,
-                &cfg.faults,
-                &mut held_sends,
-            )?,
+            Ok(msg) => {
+                let Some(msg) =
+                    intercept_drain_cleanup(msg, &mut gc, &mut send, &mut drain_fold, vnow)?
+                else {
+                    continue;
+                };
+                handle_coordinator_msg(
+                    msg,
+                    &mut gc,
+                    &mut placement,
+                    &mut send,
+                    &mut pending_stats,
+                    &mut awaiting_stats,
+                    &mut relocations,
+                    &journal,
+                    vnow,
+                    split.admitted_watermark(),
+                    cfg.batch,
+                    &cfg.faults,
+                    &mut held_sends,
+                )?
+            }
             Err(RecvTimeoutError::Timeout) => {
                 vnow += VirtualDuration::from_millis(200);
                 while let Some(action) = gc.check_timeout(vnow) {
                     handle_timeout_action(
                         action,
+                        &mut gc,
                         &mut placement,
                         &mut send,
                         &journal,
@@ -361,8 +397,8 @@ pub fn run_threaded(cfg: SimConfig, deadline: VirtualTime) -> Result<ThreadedRep
                 // buffered at a paused split.
                 let watermark = split.admitted_watermark();
                 let horizon = placement.purge_horizon(watermark);
-                for i in 0..cfg.num_engines {
-                    send(EngineId(i as u16), ToEngine::Tick { now: vnow, horizon })?;
+                for e in gc.participating_engines() {
+                    send(e, ToEngine::Tick { now: vnow, horizon })?;
                 }
             }
             Err(RecvTimeoutError::Disconnected) => {
@@ -384,14 +420,20 @@ pub fn run_threaded(cfg: SimConfig, deadline: VirtualTime) -> Result<ThreadedRep
     let owners: Vec<EngineId> = (0..placement.num_partitions())
         .map(|i| placement.owner(PartitionId(i)))
         .collect::<Result<_>>()?;
-    for tx in &to_engines {
-        tx.send(ToEngine::PrepareCleanup {
-            owners: owners.clone(),
-        })
-        .map_err(|_| DcapeError::Disconnected("engine channel closed".into()))?;
+    // Only the surviving engines participate in the final cleanup:
+    // drained ones already forwarded their segments and exited, and
+    // never-joined slots have no thread.
+    let final_engines = gc.active_engines();
+    for e in &final_engines {
+        send(
+            *e,
+            ToEngine::PrepareCleanup {
+                owners: owners.clone(),
+            },
+        )?;
     }
     let mut ready = 0usize;
-    while ready < cfg.num_engines {
+    while ready < final_engines.len() {
         match from_engines
             .recv()
             .map_err(|_| DcapeError::Disconnected("engines hung up during cleanup".into()))?
@@ -422,6 +464,9 @@ pub fn run_threaded(cfg: SimConfig, deadline: VirtualTime) -> Result<ThreadedRep
                 },
             ),
             FromEngine::Stats(_) => {}
+            // A duplicated/delayed drain poll reply can trail the
+            // drain's completion — stale by construction here.
+            FromEngine::DrainState { .. } | FromEngine::JoinReady { .. } => {}
             other => {
                 return Err(DcapeError::protocol(format!(
                     "unexpected message during cleanup prepare: {other:?}"
@@ -433,18 +478,22 @@ pub fn run_threaded(cfg: SimConfig, deadline: VirtualTime) -> Result<ThreadedRep
     // engine's FIFO inbox (each engine forwarded before reporting
     // ready, and we send StartCleanup only after every ready) — the
     // merge can begin.
-    for tx in &to_engines {
-        tx.send(ToEngine::StartCleanup)
-            .map_err(|_| DcapeError::Disconnected("engine channel closed".into()))?;
+    for e in &final_engines {
+        send(*e, ToEngine::StartCleanup)?;
     }
 
-    let mut runtime_output = 0u64;
-    let mut cleanup_output = 0u64;
-    let mut cleanup_wall_ms = 0u64;
-    let mut spill_counts = vec![0u64; cfg.num_engines];
-    let mut engine_journals: Vec<Vec<JournalEntry>> = Vec::with_capacity(cfg.num_engines);
-    let mut journal_counters = CountersSnapshot::default();
-    let mut remaining = cfg.num_engines;
+    // Mid-run drained engines already contributed their outputs,
+    // journals and counters through the interception fold.
+    let mut runtime_output = drain_fold.runtime_output;
+    let mut cleanup_output = drain_fold.cleanup_output;
+    let mut cleanup_wall_ms = drain_fold.cleanup_wall_ms;
+    let mut spill_counts = vec![0u64; capacity];
+    for (engine, count) in &drain_fold.spill_counts {
+        spill_counts[engine.index()] = *count;
+    }
+    let mut engine_journals: Vec<Vec<JournalEntry>> = std::mem::take(&mut drain_fold.journals);
+    let mut journal_counters = drain_fold.counters;
+    let mut remaining = final_engines.len();
     while remaining > 0 {
         match from_engines
             .recv()
@@ -464,23 +513,30 @@ pub fn run_threaded(cfg: SimConfig, deadline: VirtualTime) -> Result<ThreadedRep
                 cleanup_wall_ms = cleanup_wall_ms.max(cleanup_cost_ms);
                 spill_counts[engine.index()] = spill_count;
                 engine_journals.push(engine_journal);
-                // Spills happen engine-side here (unlike the sim's
-                // mirror); fold the engines' I/O volumes and ring
-                // accounting into the cluster-wide totals. The chaos
-                // counters fold too: engines inject faults on the
-                // edges they send (Ptv, InstallStates, TransferAck).
-                journal_counters.spill_bytes += engine_counters.spill_bytes;
-                journal_counters.spill_bytes_written += engine_counters.spill_bytes_written;
-                journal_counters.spill_bytes_read += engine_counters.spill_bytes_read;
-                journal_counters.transfer_bytes += engine_counters.transfer_bytes;
-                journal_counters.events_recorded += engine_counters.events_recorded;
-                journal_counters.events_dropped += engine_counters.events_dropped;
-                journal_counters.faults_injected += engine_counters.faults_injected;
-                journal_counters.msgs_retried += engine_counters.msgs_retried;
-                journal_counters.rounds_aborted += engine_counters.rounds_aborted;
-                journal_counters.watermark_released_on_abort +=
-                    engine_counters.watermark_released_on_abort;
+                fold_engine_counters(&mut journal_counters, &engine_counters);
                 remaining -= 1;
+            }
+            // Chaos duplicates of already-settled rounds can trail into
+            // the merge — stale by construction, like the prepare loop.
+            FromEngine::Ptv { round, engine, .. } => journal.record(
+                vnow,
+                AdaptEvent::ProtocolWarning {
+                    code: "stale_ptv_after_quiesce",
+                    engine,
+                    round,
+                    detail: 2,
+                },
+            ),
+            FromEngine::TransferAck { round, engine, .. } => journal.record(
+                vnow,
+                AdaptEvent::ProtocolWarning {
+                    code: "stale_ack_after_quiesce",
+                    engine,
+                    round,
+                    detail: 6,
+                },
+            ),
+            FromEngine::Stats(_) | FromEngine::DrainState { .. } | FromEngine::JoinReady { .. } => {
             }
             other => {
                 return Err(DcapeError::protocol(format!(
@@ -514,6 +570,39 @@ pub fn run_threaded(cfg: SimConfig, deadline: VirtualTime) -> Result<ThreadedRep
         journal: merged,
         journal_counters,
     })
+}
+
+/// Spawn one engine thread on slot `i` (initial engines at startup,
+/// joiners when their scale event fires).
+fn spawn_engine(
+    i: usize,
+    cfg: &SimConfig,
+    rx: Receiver<ToEngine>,
+    to_gc: &Sender<FromEngine>,
+    to_engines: &[Sender<ToEngine>],
+) -> thread::JoinHandle<()> {
+    let id = EngineId(i as u16);
+    let engine_cfg = cfg.engine.clone();
+    let to_gc = to_gc.clone();
+    let peers = to_engines.to_vec();
+    let journal_on = cfg.journal;
+    let count_first = cfg.count_first;
+    let plan = cfg.faults;
+    thread::Builder::new()
+        .name(format!("dcape-qe{i}"))
+        .spawn(move || {
+            engine_main(
+                id,
+                engine_cfg,
+                rx,
+                to_gc,
+                peers,
+                journal_on,
+                count_first,
+                plan,
+            )
+        })
+        .expect("spawn engine thread")
 }
 
 /// Channel transport for an engine thread: replies go to the
@@ -554,6 +643,10 @@ fn engine_main(
         Err(e) => panic!("engine {id} failed to start: {e}"),
     };
     let mut tx = ChannelTx { to_gc, peers };
+    // Announce readiness: for a mid-run joiner this is what unlocks
+    // rebalance moves toward it; for initial engines it is a quiet
+    // no-op at the coordinator.
+    let _ = tx.to_gc.send(FromEngine::JoinReady { engine: id });
     for msg in rx.iter() {
         match core.handle(msg, &plan, &mut tx) {
             Ok(EngineFlow::Continue) => {}

@@ -22,11 +22,13 @@ mod active_disk;
 mod lazy_disk;
 mod no_adaptation;
 pub mod planner;
+pub mod rebalance;
 
 pub use active_disk::ActiveDisk;
 pub use lazy_disk::LazyDisk;
 pub use no_adaptation::NoAdaptation;
 pub use planner::{RelocationPlanner, RelocationScheme};
+pub use rebalance::{RebalanceMove, RebalancePlanner};
 
 use dcape_common::ids::EngineId;
 use dcape_common::time::{VirtualDuration, VirtualTime};

@@ -75,12 +75,16 @@ const K_TICK: u8 = 0x0A;
 const K_PREPARE_CLEANUP: u8 = 0x0B;
 const K_FORWARDED_SEGMENTS: u8 = 0x0C;
 const K_START_CLEANUP: u8 = 0x0D;
+const K_BEGIN_DRAIN: u8 = 0x0E;
+const K_FENCE_NOTICE: u8 = 0x0F;
 // Worker → coordinator (unsequenced):
 const K_PTV: u8 = 0x20;
 const K_TRANSFER_ACK: u8 = 0x21;
 const K_STATS: u8 = 0x22;
 const K_CLEANUP_READY: u8 = 0x23;
 const K_CLEANUP_DONE: u8 = 0x24;
+const K_DRAIN_STATE: u8 = 0x25;
+const K_JOIN_READY: u8 = 0x26;
 // Session:
 const K_HELLO: u8 = 0x30;
 const K_WELCOME: u8 = 0x31;
@@ -284,14 +288,20 @@ fn intern(s: String) -> &'static str {
         "cleanup_segments",
         // Protocol warning codes.
         "corrupt_transfer_discarded",
+        "drain_degraded_to_spill",
+        "drain_remainder_remapped",
+        "drain_started",
         "duplicate_install",
+        "duplicate_join_ready",
         "peer_declared_dead",
         "phase_timeout_retry",
         "relocation_degraded_to_spill",
         "round_aborted",
         "round_unwound",
+        "send_to_fenced_dropped",
         "stale_ack_after_quiesce",
         "stale_cptv",
+        "stale_drain_state",
         "stale_ptv_after_quiesce",
         "stale_send_states",
         "stale_transfer_ack",
@@ -391,6 +401,7 @@ fn put_counters(buf: &mut Vec<u8>, c: &CountersSnapshot) {
         c.msgs_retried,
         c.rounds_aborted,
         c.watermark_released_on_abort,
+        c.rebalance_moves,
         c.events_recorded,
         c.events_dropped,
     ] {
@@ -414,6 +425,7 @@ fn get_counters(buf: &mut &[u8]) -> Result<CountersSnapshot> {
         msgs_retried: get_varint(buf)?,
         rounds_aborted: get_varint(buf)?,
         watermark_released_on_abort: get_varint(buf)?,
+        rebalance_moves: get_varint(buf)?,
         events_recorded: get_varint(buf)?,
         events_dropped: get_varint(buf)?,
     })
@@ -528,6 +540,16 @@ fn put_event(buf: &mut Vec<u8>, e: &AdaptEvent) {
             put_varint(buf, *round);
             put_varint(buf, *detail);
         }
+        AdaptEvent::EngineJoined { engine, members } => {
+            buf.push(7);
+            put_engine(buf, *engine);
+            put_varint(buf, *members as u64);
+        }
+        AdaptEvent::EngineDrained { engine, moves } => {
+            buf.push(8);
+            put_engine(buf, *engine);
+            put_varint(buf, *moves);
+        }
     }
 }
 
@@ -588,6 +610,14 @@ fn get_event(buf: &mut &[u8]) -> Result<AdaptEvent> {
             engine: get_engine(buf)?,
             round: get_varint(buf)?,
             detail: get_varint(buf)?,
+        },
+        7 => AdaptEvent::EngineJoined {
+            engine: get_engine(buf)?,
+            members: get_varint(buf)? as u32,
+        },
+        8 => AdaptEvent::EngineDrained {
+            engine: get_engine(buf)?,
+            moves: get_varint(buf)?,
         },
         t => return Err(DcapeError::codec(format!("wire: bad event tag {t}"))),
     })
@@ -857,6 +887,11 @@ fn put_to_engine(buf: &mut Vec<u8>, msg: &ToEngine) {
             }
         }
         ToEngine::StartCleanup => buf.push(K_START_CLEANUP),
+        ToEngine::BeginDrain => buf.push(K_BEGIN_DRAIN),
+        ToEngine::FenceNotice { engine } => {
+            buf.push(K_FENCE_NOTICE);
+            put_engine(buf, *engine);
+        }
     }
 }
 
@@ -939,6 +974,10 @@ fn get_to_engine(kind: u8, buf: &mut &[u8]) -> Result<ToEngine> {
             ToEngine::ForwardedSegments { pid, segments }
         }
         K_START_CLEANUP => ToEngine::StartCleanup,
+        K_BEGIN_DRAIN => ToEngine::BeginDrain,
+        K_FENCE_NOTICE => ToEngine::FenceNotice {
+            engine: get_engine(buf)?,
+        },
         t => return Err(DcapeError::codec(format!("wire: bad ToEngine kind {t:#x}"))),
     })
 }
@@ -992,6 +1031,18 @@ fn put_from_engine(buf: &mut Vec<u8>, msg: &FromEngine) {
             put_journal(buf, journal);
             put_counters(buf, journal_counters);
         }
+        FromEngine::DrainState {
+            engine,
+            resident_bytes,
+        } => {
+            buf.push(K_DRAIN_STATE);
+            put_engine(buf, *engine);
+            put_varint(buf, *resident_bytes);
+        }
+        FromEngine::JoinReady { engine } => {
+            buf.push(K_JOIN_READY);
+            put_engine(buf, *engine);
+        }
     }
 }
 
@@ -1020,6 +1071,13 @@ fn get_from_engine(kind: u8, buf: &mut &[u8]) -> Result<FromEngine> {
             cleanup_cost_ms: get_varint(buf)?,
             journal: get_journal(buf)?,
             journal_counters: get_counters(buf)?,
+        },
+        K_DRAIN_STATE => FromEngine::DrainState {
+            engine: get_engine(buf)?,
+            resident_bytes: get_varint(buf)?,
+        },
+        K_JOIN_READY => FromEngine::JoinReady {
+            engine: get_engine(buf)?,
         },
         t => {
             return Err(DcapeError::codec(format!(
@@ -1062,8 +1120,8 @@ pub fn encode_msg(msg: &WireMsg, buf: &mut Vec<u8>) {
 pub fn decode_msg(buf: &mut &[u8]) -> Result<WireMsg> {
     let kind = get_u8(buf)?;
     Ok(match kind {
-        K_DATA..=K_START_CLEANUP => WireMsg::Engine(get_to_engine(kind, buf)?),
-        K_PTV..=K_CLEANUP_DONE => WireMsg::Coord(get_from_engine(kind, buf)?),
+        K_DATA..=K_FENCE_NOTICE => WireMsg::Engine(get_to_engine(kind, buf)?),
+        K_PTV..=K_JOIN_READY => WireMsg::Coord(get_from_engine(kind, buf)?),
         K_HELLO => WireMsg::Hello(Hello {
             engine: get_engine(buf)?,
             resume_from: get_varint(buf)?,
@@ -1098,7 +1156,7 @@ pub fn decode_msg(buf: &mut &[u8]) -> Result<WireMsg> {
         K_RELAY => {
             let to = get_engine(buf)?;
             let inner_kind = get_u8(buf)?;
-            if !(K_DATA..=K_START_CLEANUP).contains(&inner_kind) {
+            if !(K_DATA..=K_FENCE_NOTICE).contains(&inner_kind) {
                 return Err(DcapeError::codec(format!(
                     "wire: bad relayed kind {inner_kind:#x}"
                 )));
@@ -1200,6 +1258,8 @@ pub fn msg_kind_name(msg: &WireMsg) -> &'static str {
             ToEngine::PrepareCleanup { .. } => "prepare_cleanup",
             ToEngine::ForwardedSegments { .. } => "forwarded_segments",
             ToEngine::StartCleanup => "start_cleanup",
+            ToEngine::BeginDrain => "begin_drain",
+            ToEngine::FenceNotice { .. } => "fence_notice",
         },
         WireMsg::Coord(m) => match m {
             FromEngine::Ptv { .. } => "ptv",
@@ -1207,6 +1267,8 @@ pub fn msg_kind_name(msg: &WireMsg) -> &'static str {
             FromEngine::Stats(_) => "stats",
             FromEngine::CleanupReady { .. } => "cleanup_ready",
             FromEngine::CleanupDone { .. } => "cleanup_done",
+            FromEngine::DrainState { .. } => "drain_state",
+            FromEngine::JoinReady { .. } => "join_ready",
         },
         WireMsg::Hello(_) => "hello",
         WireMsg::Welcome(_) => "welcome",
@@ -1300,6 +1362,10 @@ mod tests {
                 segments: vec![group(), SpilledGroup::empty(PartitionId(7), 3)],
             },
             ToEngine::StartCleanup,
+            ToEngine::BeginDrain,
+            ToEngine::FenceNotice {
+                engine: EngineId(2),
+            },
         ]
     }
 
@@ -1453,6 +1519,22 @@ mod tests {
                             budget: 100,
                         },
                     },
+                    JournalEntry {
+                        at: VirtualTime::from_secs(17),
+                        seq: 8,
+                        event: AdaptEvent::EngineJoined {
+                            engine: EngineId(2),
+                            members: 3,
+                        },
+                    },
+                    JournalEntry {
+                        at: VirtualTime::from_secs(18),
+                        seq: 9,
+                        event: AdaptEvent::EngineDrained {
+                            engine: EngineId(1),
+                            moves: 4,
+                        },
+                    },
                 ],
                 journal_counters: CountersSnapshot {
                     tuples_routed: 1,
@@ -1469,9 +1551,17 @@ mod tests {
                     msgs_retried: 9,
                     rounds_aborted: 10,
                     watermark_released_on_abort: 11,
+                    rebalance_moves: 17,
                     events_recorded: 12,
                     events_dropped: 13,
                 },
+            },
+            FromEngine::DrainState {
+                engine: EngineId(1),
+                resident_bytes: 1 << 20,
+            },
+            FromEngine::JoinReady {
+                engine: EngineId(2),
             },
         ];
         for msg in msgs {

@@ -74,9 +74,9 @@ fn relocation_workload(seed: u64) -> StreamSetSpec {
         })
 }
 
-fn relocation_cfg(spec: StreamSetSpec) -> SimConfig {
+fn relocation_cfg(spec: StreamSetSpec, engines: usize) -> SimConfig {
     SimConfig::new(
-        2,
+        engines,
         EngineConfig::three_way(1 << 30, 1 << 29),
         spec,
         StrategyConfig::LazyDisk {
@@ -84,16 +84,25 @@ fn relocation_cfg(spec: StreamSetSpec) -> SimConfig {
             tau_m: VirtualDuration::from_secs(45),
         },
     )
-    .with_placement(PlacementSpec::Fractions(vec![0.5, 0.5]))
+    .with_placement(PlacementSpec::Fractions(vec![
+        1.0 / engines as f64;
+        engines
+    ]))
     .with_stats_interval(VirtualDuration::from_secs(30))
     .with_journal()
 }
 
-/// Tight memory on three engines: spills, relocations, and a real
-/// cleanup phase — the regime where the multiset oracle bites.
-fn mixed_cfg(spec: StreamSetSpec) -> SimConfig {
+/// Tight memory on a skewed cluster: spills, relocations, and a real
+/// cleanup phase — the regime where the multiset oracle bites. The
+/// first engine starts with 60% of the partitions, the rest share the
+/// remainder evenly (the 3-engine instance is Figure 11's [0.6, 0.2,
+/// 0.2] placement).
+fn mixed_cfg(spec: StreamSetSpec, engines: usize) -> SimConfig {
+    assert!(engines >= 2);
+    let mut fractions = vec![0.4 / (engines - 1) as f64; engines];
+    fractions[0] = 0.6;
     SimConfig::new(
-        3,
+        engines,
         EngineConfig::three_way(1 << 22, 600 << 10).with_spill_fraction(0.4),
         spec,
         StrategyConfig::LazyDisk {
@@ -101,7 +110,7 @@ fn mixed_cfg(spec: StreamSetSpec) -> SimConfig {
             tau_m: VirtualDuration::from_secs(45),
         },
     )
-    .with_placement(PlacementSpec::Fractions(vec![0.6, 0.2, 0.2]))
+    .with_placement(PlacementSpec::Fractions(fractions))
     .with_stats_interval(VirtualDuration::from_secs(30))
     .with_journal()
 }
@@ -192,7 +201,7 @@ fn sim_relocation_totals_survive_chaos() {
     let reference = reference_result_count(&spec, deadline);
 
     let baseline = run_sim(
-        relocation_cfg(spec.clone()),
+        relocation_cfg(spec.clone(), 2),
         deadline,
         "sim-relocation-baseline",
     );
@@ -207,7 +216,7 @@ fn sim_relocation_totals_survive_chaos() {
         for rate in [0.1, 0.3] {
             let plan = FaultPlan::new(seed, FaultConfig::uniform(rate));
             let report = run_sim(
-                relocation_cfg(spec.clone()).with_faults(plan),
+                relocation_cfg(spec.clone(), 2).with_faults(plan),
                 deadline,
                 &format!("sim-relocation-seed{seed}-rate{rate}"),
             );
@@ -228,7 +237,7 @@ fn sim_spill_cleanup_multisets_survive_chaos() {
     let reference = reference_result_count(&spec, deadline);
 
     let baseline = run_sim(
-        mixed_cfg(spec.clone()).collecting(),
+        mixed_cfg(spec.clone(), 3).collecting(),
         deadline,
         "sim-mixed-baseline",
     );
@@ -244,7 +253,7 @@ fn sim_spill_cleanup_multisets_survive_chaos() {
     for seed in seeds() {
         let plan = FaultPlan::new(seed, FaultConfig::uniform(0.2));
         let report = run_sim(
-            mixed_cfg(spec.clone()).with_faults(plan).collecting(),
+            mixed_cfg(spec.clone(), 3).with_faults(plan).collecting(),
             deadline,
             &format!("sim-mixed-seed{seed}"),
         );
@@ -270,7 +279,7 @@ fn same_seed_reproduces_the_same_fault_schedule() {
     let seed = seeds()[0];
     let run = || {
         run_sim(
-            relocation_cfg(spec.clone())
+            relocation_cfg(spec.clone(), 2)
                 .with_faults(FaultPlan::new(seed, FaultConfig::uniform(0.3))),
             deadline,
             &format!("sim-repro-seed{seed}"),
@@ -297,7 +306,7 @@ fn different_seeds_give_different_schedules() {
     let spec = relocation_workload(23);
     let run = |seed: u64| {
         run_sim(
-            relocation_cfg(spec.clone())
+            relocation_cfg(spec.clone(), 2)
                 .with_faults(FaultPlan::new(seed, FaultConfig::uniform(0.3))),
             deadline,
             &format!("sim-distinct-seed{seed}"),
@@ -322,13 +331,13 @@ fn threaded_totals_survive_chaos() {
     let spec = relocation_workload(77);
     let reference = reference_result_count(&spec, deadline);
 
-    let baseline = run_threaded(relocation_cfg(spec.clone()), deadline).unwrap();
+    let baseline = run_threaded(relocation_cfg(spec.clone(), 2), deadline).unwrap();
     assert!(baseline.relocations > 0, "baseline must relocate");
     assert_eq!(baseline.total_output(), reference);
 
     for seed in seeds() {
         let plan = FaultPlan::new(seed, FaultConfig::uniform(0.2));
-        let report = run_threaded(relocation_cfg(spec.clone()).with_faults(plan), deadline)
+        let report = run_threaded(relocation_cfg(spec.clone(), 2).with_faults(plan), deadline)
             .unwrap_or_else(|e| panic!("seed {seed}: threaded chaos run failed: {e}"));
         assert_eq!(
             report.total_output(),
@@ -345,13 +354,13 @@ fn threaded_spill_cleanup_survives_chaos() {
     let spec = relocation_workload(91).with_pattern(ArrivalPattern::Uniform);
     let reference = reference_result_count(&spec, deadline);
 
-    let baseline = run_threaded(mixed_cfg(spec.clone()), deadline).unwrap();
+    let baseline = run_threaded(mixed_cfg(spec.clone(), 3), deadline).unwrap();
     assert!(baseline.spill_counts.iter().sum::<u64>() > 0);
     assert_eq!(baseline.total_output(), reference);
 
     let seed = seeds()[0];
     let plan = FaultPlan::new(seed, FaultConfig::uniform(0.2));
-    let report = run_threaded(mixed_cfg(spec).with_faults(plan), deadline).unwrap();
+    let report = run_threaded(mixed_cfg(spec, 3).with_faults(plan), deadline).unwrap();
     assert_eq!(report.total_output(), reference, "seed {seed}");
     assert_chaos_invariants(&report.journal, &report.journal_counters);
 }

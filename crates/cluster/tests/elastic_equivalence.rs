@@ -1,0 +1,474 @@
+//! Elastic runs must compute exactly what static runs compute: a live
+//! engine join (scale-out) or drain (scale-in) mid-run may change *how*
+//! the cluster spreads its state, never *what* it outputs. Every test
+//! pits an elastic run against the generator-level reference count
+//! and/or a static run of the identical workload and asserts the output
+//! totals (and, where collected, the result multisets) are unchanged —
+//! with and without the chaos layer garbling the relocation rounds the
+//! drain and join rebalancing ride on.
+//!
+//! The socket arm lives in `crates/repro/tests/socket_equivalence.rs`,
+//! where cargo builds the real `dcape-node` worker binary; here a
+//! smoke-level socket run is gated on `DCAPE_NODE_BIN` pointing at a
+//! prebuilt worker (CI sets it; local runs without it skip the arm).
+
+use std::collections::HashMap;
+
+use dcape_cluster::coordinator::EngineState;
+use dcape_cluster::faults::{FaultConfig, FaultPlan};
+use dcape_cluster::runtime::sim::{ScaleEvent, SimConfig, SimDriver, SimReport};
+use dcape_cluster::runtime::socket::{run_socket, SocketConfig, SocketMode};
+use dcape_cluster::runtime::threaded::run_threaded;
+use dcape_cluster::strategy::StrategyConfig;
+use dcape_cluster::PlacementSpec;
+use dcape_common::ids::{EngineId, PartitionId};
+use dcape_common::time::{VirtualDuration, VirtualTime};
+use dcape_engine::config::EngineConfig;
+use dcape_metrics::journal::AdaptEvent;
+use dcape_streamgen::{ArrivalPattern, StreamSetGenerator, StreamSetSpec};
+
+/// Seeds to sweep: CI passes one per job via `DCAPE_CHAOS_SEED`;
+/// locally a fixed short list keeps the suite fast.
+fn seeds() -> Vec<u64> {
+    match std::env::var("DCAPE_CHAOS_SEED") {
+        Ok(s) => vec![s
+            .trim()
+            .parse()
+            .expect("DCAPE_CHAOS_SEED must be an unsigned integer")],
+        Err(_) => vec![7, 42, 0x00C0_FFEE],
+    }
+}
+
+/// Reference join count for a spec consumed up to `deadline`.
+fn reference_result_count(spec: &StreamSetSpec, deadline: VirtualTime) -> u64 {
+    let mut gen = StreamSetGenerator::new(spec.clone()).unwrap();
+    let tuples = gen.generate_until(deadline);
+    let mut counts: HashMap<(u8, i64), u64> = HashMap::new();
+    for t in &tuples {
+        let key = t.values()[0].as_int().unwrap();
+        *counts.entry((t.stream().0, key)).or_default() += 1;
+    }
+    let keys: std::collections::HashSet<i64> = counts.keys().map(|(_, k)| *k).collect();
+    let mut total = 0u64;
+    for key in keys {
+        let mut product = 1u64;
+        for s in 0..spec.num_streams as u8 {
+            product *= counts.get(&(s, key)).copied().unwrap_or(0);
+        }
+        total += product;
+    }
+    total
+}
+
+/// Alternating skew: relocation pressure for the drain/join rounds to
+/// contend with.
+fn skewed_workload(seed: u64) -> StreamSetSpec {
+    let group_a: Vec<PartitionId> = (0..6).map(PartitionId).collect();
+    StreamSetSpec::uniform(24, 2400, 1, VirtualDuration::from_millis(30))
+        .with_payload_pad(200)
+        .with_seed(seed)
+        .with_pattern(ArrivalPattern::AlternatingSkew {
+            group_a,
+            ratio: 10.0,
+            period: VirtualDuration::from_mins(2),
+        })
+}
+
+/// Overloaded two-engine start: tight memory, spill-heavy — the regime
+/// a scale-out is for.
+fn overloaded_cfg(spec: StreamSetSpec, engines: usize) -> SimConfig {
+    let fractions = match engines {
+        2 => vec![0.5, 0.5],
+        3 => vec![0.6, 0.2, 0.2],
+        n => vec![1.0 / n as f64; n],
+    };
+    SimConfig::new(
+        engines,
+        EngineConfig::three_way(1 << 22, 600 << 10).with_spill_fraction(0.4),
+        spec,
+        StrategyConfig::LazyDisk {
+            theta_r: 0.8,
+            tau_m: VirtualDuration::from_secs(45),
+        },
+    )
+    .with_placement(PlacementSpec::Fractions(fractions))
+    .with_stats_interval(VirtualDuration::from_secs(30))
+    .with_journal()
+}
+
+/// Roomy engines: relocation-capable but spill-free, so drains finish
+/// through relocation rounds rather than forced spills.
+fn roomy_cfg(spec: StreamSetSpec, engines: usize) -> SimConfig {
+    let fractions = vec![1.0 / engines as f64; engines];
+    SimConfig::new(
+        engines,
+        EngineConfig::three_way(1 << 30, 1 << 29),
+        spec,
+        StrategyConfig::LazyDisk {
+            theta_r: 0.9,
+            tau_m: VirtualDuration::from_secs(45),
+        },
+    )
+    .with_placement(PlacementSpec::Fractions(fractions))
+    .with_stats_interval(VirtualDuration::from_secs(30))
+    .with_journal()
+}
+
+/// When `DCAPE_JOURNAL_DUMP` names a directory, write a run's journal
+/// there as JSONL (CI uploads the directory as an artifact on failure).
+/// Pid-qualified so parallel test binaries never clobber each other.
+fn dump_journal(name: &str, entries: &[dcape_metrics::journal::JournalEntry]) {
+    if let Ok(dir) = std::env::var("DCAPE_JOURNAL_DUMP") {
+        let path =
+            std::path::Path::new(&dir).join(format!("{name}-pid{}.jsonl", std::process::id()));
+        if let Err(e) = dcape_metrics::report::write_journal_jsonl(&path, entries) {
+            eprintln!("journal dump to {} failed: {e}", path.display());
+        }
+    }
+}
+
+fn count_events(
+    journal: &[dcape_metrics::journal::JournalEntry],
+    pred: impl Fn(&AdaptEvent) -> bool,
+) -> usize {
+    journal.iter().filter(|e| pred(&e.event)).count()
+}
+
+/// The chaos suite's journal invariants (see `chaos_exactly_once.rs`).
+fn assert_chaos_invariants(
+    journal: &[dcape_metrics::journal::JournalEntry],
+    counters: &dcape_metrics::journal::CountersSnapshot,
+) {
+    let journaled_faults = count_events(journal, |e| matches!(e, AdaptEvent::FaultInjected { .. }));
+    assert_eq!(
+        counters.faults_injected, journaled_faults as u64,
+        "every injected fault must be journaled exactly once"
+    );
+    assert_eq!(
+        counters.buffered_in_flight, 0,
+        "no tuple may stay buffered at a paused split after shutdown"
+    );
+}
+
+/// Drive an elastic sim run to `deadline`, assert the mid-run membership
+/// transitions actually happened, then finish and return the report.
+fn run_elastic_sim(
+    cfg: SimConfig,
+    deadline: VirtualTime,
+    label: &str,
+    expect_joined: &[EngineId],
+    expect_drained: &[EngineId],
+) -> SimReport {
+    let mut driver = SimDriver::new(cfg).unwrap();
+    driver.run_until(deadline).unwrap();
+    for e in expect_joined {
+        assert_eq!(
+            driver.coordinator().engine_state(*e),
+            EngineState::Active,
+            "{label}: joiner {e} must be active before shutdown"
+        );
+        assert!(
+            !driver.placement().partitions_of(*e).is_empty(),
+            "{label}: joiner {e} must own partition groups before shutdown"
+        );
+    }
+    for e in expect_drained {
+        assert_eq!(
+            driver.coordinator().engine_state(*e),
+            EngineState::Drained,
+            "{label}: {e} must finish draining before shutdown"
+        );
+        // The drained engine's books are empty: nothing owned, nothing
+        // resident, nothing buffered for it in flight.
+        assert!(
+            driver.placement().partitions_of(*e).is_empty(),
+            "{label}: drained {e} still owns partition groups"
+        );
+        assert_eq!(
+            driver.engines()[e.index()].memory_used(),
+            0,
+            "{label}: drained {e} still holds resident state"
+        );
+    }
+    let report = driver.finish().unwrap();
+    dump_journal(label, &report.journal);
+    report
+}
+
+// ---- sim ----------------------------------------------------------------
+
+#[test]
+fn sim_join_keeps_totals_and_takes_load() {
+    let deadline = VirtualTime::from_mins(5);
+    let spec = skewed_workload(23).with_pattern(ArrivalPattern::Uniform);
+    let reference = reference_result_count(&spec, deadline);
+
+    let static_run = {
+        let mut d = SimDriver::new(overloaded_cfg(spec.clone(), 2).collecting()).unwrap();
+        d.run_until(deadline).unwrap();
+        d.finish().unwrap()
+    };
+    assert_eq!(static_run.total_output(), reference);
+    assert!(
+        static_run.spill_counts.iter().sum::<u64>() > 0,
+        "the overloaded baseline must spill for the join to matter"
+    );
+
+    let elastic = run_elastic_sim(
+        overloaded_cfg(spec, 2)
+            .collecting()
+            .with_scale_events(vec![ScaleEvent::add(VirtualTime::from_secs(90))]),
+        deadline,
+        "elastic-sim-join",
+        &[EngineId(2)],
+        &[],
+    );
+    assert_eq!(
+        elastic.total_output(),
+        reference,
+        "a live join changed the windowed total"
+    );
+    assert_eq!(
+        count_events(&elastic.journal, |e| matches!(
+            e,
+            AdaptEvent::EngineJoined { .. }
+        )),
+        1,
+        "the join must be journaled exactly once"
+    );
+    assert!(
+        elastic.journal_counters.rebalance_moves > 0,
+        "the rebalancing planner must move state toward the joiner"
+    );
+
+    // Same input, same answers: the union multiset of runtime + cleanup
+    // results is identical between the static and the elastic run.
+    let multiset = |r: &SimReport| {
+        let mut ids = r.runtime_results.as_ref().unwrap().identities();
+        ids.extend(r.cleanup_results.as_ref().unwrap().identities());
+        ids.sort();
+        ids
+    };
+    assert_eq!(
+        multiset(&static_run),
+        multiset(&elastic),
+        "a live join changed the result multiset"
+    );
+}
+
+#[test]
+fn sim_drain_retires_engine_empty_and_keeps_totals() {
+    let deadline = VirtualTime::from_mins(6);
+    let spec = skewed_workload(55);
+    let reference = reference_result_count(&spec, deadline);
+
+    let static_run = {
+        let mut d = SimDriver::new(roomy_cfg(spec.clone(), 3).collecting()).unwrap();
+        d.run_until(deadline).unwrap();
+        d.finish().unwrap()
+    };
+    assert_eq!(static_run.total_output(), reference);
+
+    let elastic = run_elastic_sim(
+        roomy_cfg(spec, 3)
+            .collecting()
+            .with_scale_events(vec![ScaleEvent::drain(VirtualTime::from_mins(2))]),
+        deadline,
+        "elastic-sim-drain",
+        &[],
+        &[EngineId(2)],
+    );
+    assert_eq!(
+        elastic.total_output(),
+        reference,
+        "a live drain changed the windowed total"
+    );
+    assert_eq!(
+        count_events(&elastic.journal, |e| matches!(
+            e,
+            AdaptEvent::EngineDrained { .. }
+        )),
+        1,
+        "the drain must be journaled exactly once"
+    );
+    assert_eq!(elastic.journal_counters.buffered_in_flight, 0);
+
+    let multiset = |r: &SimReport| {
+        let mut ids = r.runtime_results.as_ref().unwrap().identities();
+        ids.extend(r.cleanup_results.as_ref().unwrap().identities());
+        ids.sort();
+        ids
+    };
+    assert_eq!(
+        multiset(&static_run),
+        multiset(&elastic),
+        "a live drain changed the result multiset"
+    );
+}
+
+#[test]
+fn sim_elastic_totals_survive_chaos() {
+    let deadline = VirtualTime::from_mins(6);
+    let spec = skewed_workload(77);
+    let reference = reference_result_count(&spec, deadline);
+    let events = vec![
+        ScaleEvent::add(VirtualTime::from_secs(60)),
+        ScaleEvent::drain_engine(VirtualTime::from_mins(3), EngineId(1)),
+    ];
+
+    for seed in seeds() {
+        let plan = FaultPlan::new(seed, FaultConfig::uniform(0.2));
+        let report = run_elastic_sim(
+            roomy_cfg(spec.clone(), 2)
+                .with_scale_events(events.clone())
+                .with_faults(plan),
+            deadline,
+            &format!("elastic-sim-chaos-seed{seed}"),
+            &[EngineId(2)],
+            &[EngineId(1)],
+        );
+        assert_eq!(
+            report.total_output(),
+            reference,
+            "seed {seed}: chaos over an elastic run changed the total"
+        );
+        assert_chaos_invariants(&report.journal, &report.journal_counters);
+        assert_eq!(
+            count_events(&report.journal, |e| matches!(
+                e,
+                AdaptEvent::EngineJoined { .. }
+            )),
+            1,
+            "seed {seed}"
+        );
+        assert_eq!(
+            count_events(&report.journal, |e| matches!(
+                e,
+                AdaptEvent::EngineDrained { .. }
+            )),
+            1,
+            "seed {seed}"
+        );
+    }
+}
+
+// ---- threaded -----------------------------------------------------------
+
+#[test]
+fn threaded_join_and_drain_keep_totals() {
+    let deadline = VirtualTime::from_mins(5);
+    let spec = skewed_workload(91);
+    let reference = reference_result_count(&spec, deadline);
+
+    let static_run = run_threaded(roomy_cfg(spec.clone(), 2), deadline).unwrap();
+    assert_eq!(static_run.total_output(), reference);
+
+    let elastic = run_threaded(
+        roomy_cfg(spec, 2).with_scale_events(vec![
+            ScaleEvent::add(VirtualTime::from_secs(60)),
+            ScaleEvent::drain_engine(VirtualTime::from_mins(3), EngineId(0)),
+        ]),
+        deadline,
+    )
+    .unwrap();
+    dump_journal("elastic-threaded", &elastic.journal);
+    assert_eq!(
+        elastic.total_output(),
+        reference,
+        "threaded join+drain changed the total"
+    );
+    assert_eq!(
+        count_events(&elastic.journal, |e| matches!(
+            e,
+            AdaptEvent::EngineJoined { .. }
+        )),
+        1
+    );
+    assert_eq!(
+        count_events(&elastic.journal, |e| matches!(
+            e,
+            AdaptEvent::EngineDrained { .. }
+        )),
+        1
+    );
+    assert_eq!(elastic.journal_counters.buffered_in_flight, 0);
+}
+
+#[test]
+fn threaded_elastic_survives_chaos() {
+    let deadline = VirtualTime::from_mins(5);
+    let spec = skewed_workload(42);
+    let reference = reference_result_count(&spec, deadline);
+    let seed = seeds()[0];
+    let plan = FaultPlan::new(seed, FaultConfig::uniform(0.2));
+
+    let report = run_threaded(
+        roomy_cfg(spec, 2)
+            .with_scale_events(vec![
+                ScaleEvent::add(VirtualTime::from_secs(60)),
+                ScaleEvent::drain_engine(VirtualTime::from_mins(3), EngineId(1)),
+            ])
+            .with_faults(plan),
+        deadline,
+    )
+    .unwrap_or_else(|e| panic!("seed {seed}: threaded elastic chaos run failed: {e}"));
+    dump_journal(
+        &format!("elastic-threaded-chaos-seed{seed}"),
+        &report.journal,
+    );
+    assert_eq!(
+        report.total_output(),
+        reference,
+        "seed {seed}: chaos over a threaded elastic run changed the total"
+    );
+    assert_chaos_invariants(&report.journal, &report.journal_counters);
+}
+
+// ---- socket (smoke; the full matrix lives in socket_equivalence.rs) -----
+
+#[test]
+fn socket_elastic_smoke() {
+    let Ok(bin) = std::env::var("DCAPE_NODE_BIN") else {
+        eprintln!("DCAPE_NODE_BIN not set; skipping the socket elastic smoke run");
+        return;
+    };
+    let deadline = VirtualTime::from_mins(4);
+    let spec = skewed_workload(7);
+    let reference = reference_result_count(&spec, deadline);
+
+    let report = run_socket(
+        SocketConfig {
+            sim: roomy_cfg(spec, 2).with_scale_events(vec![
+                ScaleEvent::add(VirtualTime::from_secs(60)),
+                ScaleEvent::drain_engine(VirtualTime::from_mins(2), EngineId(0)),
+            ]),
+            mode: SocketMode::Spawn {
+                node_bin: bin.into(),
+            },
+            kill: None,
+        },
+        deadline,
+    )
+    .unwrap();
+    dump_journal("elastic-socket-smoke", &report.journal);
+    assert_eq!(
+        report.total_output(),
+        reference,
+        "socket join+drain changed the total"
+    );
+    assert_eq!(
+        count_events(&report.journal, |e| matches!(
+            e,
+            AdaptEvent::EngineJoined { .. }
+        )),
+        1
+    );
+    assert_eq!(
+        count_events(&report.journal, |e| matches!(
+            e,
+            AdaptEvent::EngineDrained { .. }
+        )),
+        1
+    );
+    assert_eq!(report.journal_counters.buffered_in_flight, 0);
+}

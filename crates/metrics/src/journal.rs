@@ -155,6 +155,26 @@ pub enum AdaptEvent {
         /// attempt for retries, zero otherwise).
         detail: u64,
     },
+    /// An engine was admitted into the live membership: it now
+    /// participates in placement and the rebalancing planner may drain
+    /// partition groups toward it.
+    EngineJoined {
+        /// The admitted engine.
+        engine: EngineId,
+        /// Engines in the membership after admission (active plus
+        /// draining; excludes engines already fully drained).
+        members: u32,
+    },
+    /// An engine finished draining: it owns zero partition groups, its
+    /// spilled segments were forwarded to the new owners, and it may
+    /// exit.
+    EngineDrained {
+        /// The drained engine.
+        engine: EngineId,
+        /// Relocation rounds (plus any final zero-state remap) it took
+        /// to empty the engine.
+        moves: u64,
+    },
 }
 
 impl AdaptEvent {
@@ -168,6 +188,8 @@ impl AdaptEvent {
             AdaptEvent::MemoryPressure { .. } => "memory_pressure",
             AdaptEvent::FaultInjected { .. } => "fault_injected",
             AdaptEvent::ProtocolWarning { .. } => "protocol_warning",
+            AdaptEvent::EngineJoined { .. } => "engine_joined",
+            AdaptEvent::EngineDrained { .. } => "engine_drained",
         }
     }
 }
@@ -203,6 +225,7 @@ pub struct JournalCounters {
     msgs_retried: AtomicU64,
     rounds_aborted: AtomicU64,
     watermark_released_on_abort: AtomicU64,
+    rebalance_moves: AtomicU64,
     events_recorded: AtomicU64,
     events_dropped: AtomicU64,
 }
@@ -293,6 +316,13 @@ impl JournalCounters {
         self.watermark_released_on_abort.load(Ordering::Relaxed)
     }
 
+    /// Relocation moves issued by the elastic rebalancing planner
+    /// (join rebalances plus drain rounds), as opposed to moves chosen
+    /// by the load-balancing strategies.
+    pub fn rebalance_moves(&self) -> u64 {
+        self.rebalance_moves.load(Ordering::Relaxed)
+    }
+
     /// Events accepted into the ring.
     pub fn events_recorded(&self) -> u64 {
         self.events_recorded.load(Ordering::Relaxed)
@@ -320,6 +350,7 @@ impl JournalCounters {
             msgs_retried: self.msgs_retried(),
             rounds_aborted: self.rounds_aborted(),
             watermark_released_on_abort: self.watermark_released_on_abort(),
+            rebalance_moves: self.rebalance_moves(),
             events_recorded: self.events_recorded(),
             events_dropped: self.events_dropped(),
         }
@@ -357,6 +388,8 @@ pub struct CountersSnapshot {
     pub rounds_aborted: u64,
     /// Held watermarks released by the abort path.
     pub watermark_released_on_abort: u64,
+    /// Relocation moves issued by the elastic rebalancing planner.
+    pub rebalance_moves: u64,
     /// Events accepted into the ring.
     pub events_recorded: u64,
     /// Events overwritten after the ring filled.
@@ -380,6 +413,7 @@ impl CountersSnapshot {
         self.msgs_retried += other.msgs_retried;
         self.rounds_aborted += other.rounds_aborted;
         self.watermark_released_on_abort += other.watermark_released_on_abort;
+        self.rebalance_moves += other.rebalance_moves;
         self.events_recorded += other.events_recorded;
         self.events_dropped += other.events_dropped;
     }
@@ -641,6 +675,15 @@ impl JournalHandle {
             j.counters
                 .watermark_released_on_abort
                 .fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Count relocation moves issued by the elastic rebalancing planner
+    /// (no-op when disabled).
+    #[inline]
+    pub fn add_rebalance_moves(&self, n: u64) {
+        if let Some(j) = &self.inner {
+            j.counters.rebalance_moves.fetch_add(n, Ordering::Relaxed);
         }
     }
 

@@ -273,6 +273,12 @@ pub fn journal_entry_to_json(entry: &JournalEntry) -> String {
                 engine.0
             );
         }
+        AdaptEvent::EngineJoined { engine, members } => {
+            let _ = write!(s, ",\"engine\":{},\"members\":{members}", engine.0);
+        }
+        AdaptEvent::EngineDrained { engine, moves } => {
+            let _ = write!(s, ",\"engine\":{},\"moves\":{moves}", engine.0);
+        }
     }
     s.push('}');
     s
@@ -410,6 +416,12 @@ pub fn render_journal(entries: &[JournalEntry]) -> String {
                     out,
                     "warning   {code} from {engine} [round={round}, detail={detail}]"
                 );
+            }
+            AdaptEvent::EngineJoined { engine, members } => {
+                let _ = writeln!(out, "join      {engine} admitted ({members} member(s))");
+            }
+            AdaptEvent::EngineDrained { engine, moves } => {
+                let _ = writeln!(out, "drain     {engine} emptied after {moves} move(s)");
             }
         }
     }

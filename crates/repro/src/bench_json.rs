@@ -16,17 +16,23 @@
 //! * `spill_heavy` — deterministic sim runs with real `Value::Blob`
 //!   payloads under tight memory, per adaptation strategy, reporting
 //!   the encoded spill volume of the verbatim row codec vs the
-//!   column-block codec (`spill_bytes_written` journal counter).
+//!   column-block codec (`spill_bytes_written` journal counter);
+//! * `elasticity` — the same overloaded two-engine spill-heavy regime
+//!   run static vs with a third engine joining mid-run via the elastic
+//!   membership path, reporting the `spill_bytes_written` reduction the
+//!   extra memory buys and the relocation overhead
+//!   (`rebalance_moves`, `relocation_bytes`, `transfer_bytes`) the
+//!   rebalancing rounds cost.
 //!
-//! Wall-clock numbers are per-machine; the committed `BENCH_pr8.json`
+//! Wall-clock numbers are per-machine; the committed `BENCH_pr10.json`
 //! records the ratios on the machine that produced it. The spill-byte
-//! numbers are deterministic.
+//! and elasticity numbers are deterministic.
 
 use std::io::Write as _;
 use std::path::Path;
 use std::time::Instant;
 
-use dcape_cluster::runtime::sim::{SimConfig, SimDriver};
+use dcape_cluster::runtime::sim::{ScaleEvent, SimConfig, SimDriver};
 use dcape_cluster::runtime::threaded::run_threaded;
 use dcape_cluster::strategy::StrategyConfig;
 use dcape_common::error::{DcapeError, Result};
@@ -103,6 +109,48 @@ impl SpillPoint {
     }
 }
 
+/// Elasticity point: the overloaded two-engine spill-heavy arm run
+/// static vs with a third engine joining mid-run. Both runs are
+/// deterministic sims over the identical input; only the membership
+/// schedule differs, so the spill-write delta is exactly what the
+/// joined engine's memory buys and the relocation counters are exactly
+/// what admitting it cost.
+#[derive(Debug)]
+pub struct ElasticPoint {
+    /// Human-readable workload description (embedded in the JSON).
+    pub workload: String,
+    /// Encoded spill bytes written by the static two-engine run.
+    pub static_spill_written: u64,
+    /// Encoded spill bytes written with the mid-run join.
+    pub elastic_spill_written: u64,
+    /// Runtime output of the static run.
+    pub static_output: u64,
+    /// Runtime output of the elastic run.
+    pub elastic_output: u64,
+    /// Relocation rounds the rebalancing planner issued to load the
+    /// joiner.
+    pub rebalance_moves: u64,
+    /// Accounted state bytes shipped between engines by those rounds.
+    pub relocation_bytes: u64,
+    /// Physically encoded bytes shipped on the wire.
+    pub transfer_bytes: u64,
+}
+
+impl ElasticPoint {
+    /// Static / elastic spill-write ratio (the headline reduction the
+    /// join buys).
+    pub fn spill_reduction(&self) -> f64 {
+        self.static_spill_written as f64 / self.elastic_spill_written as f64
+    }
+
+    /// Encoded relocation traffic per encoded spill byte the static
+    /// arm paid — how much wire volume the join cost relative to the
+    /// disk volume it was competing with.
+    pub fn relocation_overhead(&self) -> f64 {
+        self.transfer_bytes as f64 / self.static_spill_written as f64
+    }
+}
+
 /// The full trajectory, returned for tests and rendered to JSON.
 #[derive(Debug)]
 pub struct BenchReport {
@@ -117,6 +165,8 @@ pub struct BenchReport {
     pub e2e_paper: E2ePoint,
     /// Spill-heavy real-payload arms, one per adaptation strategy.
     pub spill_heavy: Vec<SpillPoint>,
+    /// Elasticity point: static overload vs mid-run join.
+    pub elasticity: ElasticPoint,
 }
 
 impl BenchReport {
@@ -161,14 +211,29 @@ impl BenchReport {
             })
             .collect::<Vec<_>>()
             .join(",\n    ");
+        let el = &self.elasticity;
+        let elasticity = format!(
+            "{{\n    \"workload\": \"{}\",\n    \"static\": {{\"spill_bytes_written\": {}, \"runtime_output\": {}}},\n    \"join_mid_run\": {{\"spill_bytes_written\": {}, \"runtime_output\": {}, \"rebalance_moves\": {}, \"relocation_bytes\": {}, \"transfer_bytes\": {}}},\n    \"spill_write_reduction\": {:.3},\n    \"relocation_overhead_vs_static_spill\": {:.4}\n  }}",
+            el.workload,
+            el.static_spill_written,
+            el.static_output,
+            el.elastic_spill_written,
+            el.elastic_output,
+            el.rebalance_moves,
+            el.relocation_bytes,
+            el.transfer_bytes,
+            el.spill_reduction(),
+            el.relocation_overhead(),
+        );
         format!(
-            "{{\n  \"pr\": 8,\n  \"description\": \"columnar partition-group state and column-block spill codec vs the row layout and verbatim row codec\",\n  \"probe_micro\": {{\n    \"row\": {},\n    \"columnar\": {},\n    \"speedup\": {:.3}\n  }},\n  \"fig5_end_to_end_threaded_fast\": {},\n  \"fig5_end_to_end_threaded_paper_scale\": {},\n  \"spill_heavy\": {{\n    \"workload\": \"24 partitions, 1 KiB blob payloads, 4 MiB budget, 2 engines, 6 virtual minutes\",\n    \"strategies\": [{}]\n  }}\n}}\n",
+            "{{\n  \"pr\": 10,\n  \"description\": \"columnar partition-group state and column-block spill codec vs the row layout and verbatim row codec, plus the elastic join's spill relief vs relocation cost\",\n  \"probe_micro\": {{\n    \"row\": {},\n    \"columnar\": {},\n    \"speedup\": {:.3}\n  }},\n  \"fig5_end_to_end_threaded_fast\": {},\n  \"fig5_end_to_end_threaded_paper_scale\": {},\n  \"spill_heavy\": {{\n    \"workload\": \"24 partitions, 1 KiB blob payloads, 4 MiB budget, 2 engines, 6 virtual minutes\",\n    \"strategies\": [{}]\n  }},\n  \"elasticity\": {}\n}}\n",
             arm(&self.probe_row),
             arm(&self.probe_columnar),
             self.probe_speedup(),
             e2e(&self.e2e_fast),
             e2e(&self.e2e_paper),
             spills,
+            elasticity,
         )
     }
 }
@@ -436,6 +501,64 @@ fn measure_spill_heavy() -> Result<Vec<SpillPoint>> {
         .collect()
 }
 
+/// One arm of the elasticity point: the spill-heavy workload on two
+/// tight-memory engines, optionally with a third engine joining
+/// mid-run through the elastic membership path. Deterministic sim.
+fn elastic_arm(
+    join_at: Option<VirtualTime>,
+) -> Result<(u64, dcape_metrics::journal::CountersSnapshot)> {
+    let spec = StreamSetSpec::uniform(24, 2400, 1, VirtualDuration::from_millis(30))
+        .with_payload_blob(1024)
+        .with_seed(7);
+    let engine = dcape_engine::config::EngineConfig::three_way(1 << 22, 600 << 10)
+        .with_spill_fraction(0.4)
+        .with_layout(StateLayout::Columnar)
+        .with_spill_codec(SegmentCodec::Columns);
+    let strategy = StrategyConfig::LazyDisk {
+        theta_r: 0.8,
+        tau_m: VirtualDuration::from_secs(45),
+    };
+    let mut cfg = SimConfig::new(2, engine, spec, strategy)
+        .with_stats_interval(VirtualDuration::from_secs(30))
+        .with_journal();
+    if let Some(at) = join_at {
+        cfg = cfg.with_scale_events(vec![ScaleEvent::add(at)]);
+    }
+    let mut driver = SimDriver::new(cfg)?;
+    driver.run_until(VirtualTime::from_mins(6))?;
+    let report = driver.finish()?;
+    Ok((report.runtime_output, report.journal_counters))
+}
+
+/// The elasticity point: static overload vs the same run with a third
+/// engine joining at the two-minute mark.
+fn measure_elasticity() -> Result<ElasticPoint> {
+    let (static_output, s) = elastic_arm(None)?;
+    let (elastic_output, e) = elastic_arm(Some(VirtualTime::from_mins(2)))?;
+    if s.spill_bytes_written == 0 {
+        return Err(DcapeError::state(
+            "elasticity bench static arm produced no spills".to_string(),
+        ));
+    }
+    if e.rebalance_moves == 0 {
+        return Err(DcapeError::state(
+            "elasticity bench join arm issued no rebalance moves".to_string(),
+        ));
+    }
+    Ok(ElasticPoint {
+        workload: "24 partitions, 1 KiB blob payloads, 4 MiB budget, lazy-disk, \
+                   2 engines + join at 2 min, 6 virtual minutes"
+            .to_string(),
+        static_spill_written: s.spill_bytes_written,
+        elastic_spill_written: e.spill_bytes_written,
+        static_output,
+        elastic_output,
+        rebalance_moves: e.rebalance_moves,
+        relocation_bytes: e.relocation_bytes,
+        transfer_bytes: e.transfer_bytes,
+    })
+}
+
 /// Run the full trajectory.
 pub fn measure() -> Result<BenchReport> {
     let (probe_row, probe_columnar) = probe_microbench()?;
@@ -462,12 +585,14 @@ pub fn measure() -> Result<BenchReport> {
         2,
     )?;
     let spill_heavy = measure_spill_heavy()?;
+    let elasticity = measure_elasticity()?;
     Ok(BenchReport {
         probe_row,
         probe_columnar,
         e2e_fast,
         e2e_paper,
         spill_heavy,
+        elasticity,
     })
 }
 
@@ -481,12 +606,14 @@ pub fn run(path: &Path) -> Result<()> {
         .map_err(|e| DcapeError::state(format!("write {}: {e}", path.display())))?;
     let spill = &report.spill_heavy[0];
     println!(
-        "bench-json: probe micro {:.2}x, fig5 e2e {:.2}x fast / {:.2}x paper-scale, spill bytes written {:.2}x smaller ({} strategy) -> {}",
+        "bench-json: probe micro {:.2}x, fig5 e2e {:.2}x fast / {:.2}x paper-scale, spill bytes written {:.2}x smaller ({} strategy), mid-run join cuts spill writes {:.2}x for {:.3}x relocation overhead -> {}",
         report.probe_speedup(),
         report.e2e_fast.speedup(),
         report.e2e_paper.speedup(),
         spill.reduction(),
         spill.strategy,
+        report.elasticity.spill_reduction(),
+        report.elasticity.relocation_overhead(),
         path.display()
     );
     Ok(())
@@ -525,10 +652,20 @@ mod tests {
                 rows_written: 3000,
                 columns_written: 1000,
             }],
+            elasticity: ElasticPoint {
+                workload: "elastic test workload".into(),
+                static_spill_written: 8000,
+                elastic_spill_written: 2000,
+                static_output: 55,
+                elastic_output: 66,
+                rebalance_moves: 4,
+                relocation_bytes: 900,
+                transfer_bytes: 400,
+            },
         };
         let json = r.to_json();
         for key in [
-            "\"pr\": 8",
+            "\"pr\": 10",
             "\"probe_micro\"",
             "\"fig5_end_to_end_threaded_fast\"",
             "\"fig5_end_to_end_threaded_paper_scale\"",
@@ -548,12 +685,19 @@ mod tests {
             "\"columns_written\": 1000",
             "\"reduction\": 3.000",
             "\"compression_ratio\": 4.000",
+            "\"elasticity\"",
+            "\"static\": {\"spill_bytes_written\": 8000, \"runtime_output\": 55}",
+            "\"join_mid_run\": {\"spill_bytes_written\": 2000, \"runtime_output\": 66, \"rebalance_moves\": 4, \"relocation_bytes\": 900, \"transfer_bytes\": 400}",
+            "\"spill_write_reduction\": 4.000",
+            "\"relocation_overhead_vs_static_spill\": 0.0500",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
         assert!((r.probe_speedup() - 1.5).abs() < 1e-9);
         assert!((r.e2e_fast.speedup() - 1.5).abs() < 1e-9);
         assert!((r.spill_heavy[0].reduction() - 3.0).abs() < 1e-9);
+        assert!((r.elasticity.spill_reduction() - 4.0).abs() < 1e-9);
+        assert!((r.elasticity.relocation_overhead() - 0.05).abs() < 1e-9);
     }
 
     /// The spill-heavy bench regime must actually spill and must show
@@ -575,5 +719,31 @@ mod tests {
                 p.reduction()
             );
         }
+    }
+
+    /// The elasticity acceptance gate: the mid-run join arm must spill
+    /// measurably fewer encoded bytes than the static overloaded arm,
+    /// via real rebalance moves, at a relocation cost below the spill
+    /// traffic it displaces. Deterministic, so a regression in the
+    /// planner or the drain/join path fails CI rather than silently
+    /// eroding the benefit.
+    #[test]
+    fn elastic_join_reduces_spill_writes() {
+        let p = measure_elasticity().unwrap();
+        assert!(p.static_spill_written > 0 && p.elastic_spill_written > 0);
+        assert!(p.rebalance_moves > 0, "join arm must rebalance state");
+        assert!(
+            p.spill_reduction() >= 1.1,
+            "mid-run join must cut spill writes by >= 10%: static {} vs elastic {} ({:.3}x)",
+            p.static_spill_written,
+            p.elastic_spill_written,
+            p.spill_reduction()
+        );
+        assert!(
+            p.relocation_overhead() < 1.0,
+            "relocation traffic must stay below the static spill volume: {} transfer vs {} spill",
+            p.transfer_bytes,
+            p.static_spill_written
+        );
     }
 }

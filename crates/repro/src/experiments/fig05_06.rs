@@ -57,6 +57,7 @@ fn run_one(
     )
     .with_sample_interval(VirtualDuration::from_secs(if opts.fast { 20 } else { 60 }))
     .with_faults(opts.fault_plan());
+    let cfg = opts.with_scale_events(cfg);
     match opts.runtime {
         RuntimeKind::Sim => {
             let mut driver = SimDriver::new(cfg)?;

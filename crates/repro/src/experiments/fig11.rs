@@ -68,6 +68,7 @@ fn run_one(
     if opts.journal_enabled() {
         cfg = cfg.with_journal();
     }
+    let cfg = opts.with_scale_events(cfg);
     let mut driver = SimDriver::new(cfg)?;
     driver.run_until(duration)?;
     let relocations = driver.relocations().len();

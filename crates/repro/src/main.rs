@@ -26,6 +26,12 @@
 //! --listen ADDR   with --runtime socket: listen on ADDR and wait for
 //!                 externally started dcape-node workers instead of
 //!                 spawning them
+//! --scale-event add@T|drain@T  elastic membership change at virtual
+//!                 second T (repeatable): add spawns and admits a fresh
+//!                 engine mid-run, drain retires the highest-id active
+//!                 engine by relocating its state away. Applies to every
+//!                 cluster run the selected experiments execute; add
+//!                 requires spawn-capable runtimes (not --listen)
 //! ```
 //!
 //! Figures sharing a run are grouped: `fig5`/`fig6` both run the k%
@@ -40,7 +46,7 @@ use dcape_repro::experiments::{
 };
 use dcape_repro::RunOpts;
 
-const USAGE: &str = "usage: repro [fig5|fig6|fig7|cleanup1|fig9|fig10|fig11|fig12|cleanup2|fig13|fig14|ablations|verify|all ...] [--fast] [--out DIR] [--journal PATH] [--bench-json PATH] [--chaos-seed N] [--fault-rate R] [--runtime sim|threaded|socket] [--listen ADDR]";
+const USAGE: &str = "usage: repro [fig5|fig6|fig7|cleanup1|fig9|fig10|fig11|fig12|cleanup2|fig13|fig14|ablations|verify|all ...] [--fast] [--out DIR] [--journal PATH] [--bench-json PATH] [--chaos-seed N] [--fault-rate R] [--runtime sim|threaded|socket] [--listen ADDR] [--scale-event add@T|drain@T ...]";
 
 fn main() -> ExitCode {
     let mut opts = RunOpts::default();
@@ -94,6 +100,15 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--scale-event" => {
+                match args.next().as_deref().and_then(RunOpts::parse_scale_event) {
+                    Some(event) => opts.scale_events.push(event),
+                    None => {
+                        eprintln!("--scale-event requires add@T or drain@T (T in virtual seconds)\n{USAGE}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--bench-json" => match args.next() {
                 Some(path) => {
                     // A measurement mode of its own: run the batched
@@ -162,6 +177,17 @@ fn main() -> ExitCode {
     }
     if opts.listen.is_some() && opts.runtime != dcape_repro::RuntimeKind::Socket {
         eprintln!("--listen only makes sense with --runtime socket\n{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    if opts.listen.is_some()
+        && opts.scale_events.iter().any(|e| {
+            matches!(
+                e.action,
+                dcape_cluster::runtime::sim::ScaleAction::AddEngine
+            )
+        })
+    {
+        eprintln!("--scale-event add@T needs spawn mode: workers cannot be started under --listen\n{USAGE}");
         return ExitCode::FAILURE;
     }
     if picks.is_empty() {

@@ -43,6 +43,12 @@ pub struct RunOpts {
     /// externally started `dcape-node` workers instead of spawning
     /// them on loopback (`--listen`).
     pub listen: Option<String>,
+    /// Elastic scale events (`--scale-event add@T` / `--scale-event
+    /// drain@T`, repeatable; `T` in virtual seconds). An `add` admits a
+    /// fresh engine mid-run; a `drain` retires the highest-id active
+    /// engine via relocation rounds. Applied to every cluster run the
+    /// selected experiments execute.
+    pub scale_events: Vec<dcape_cluster::runtime::sim::ScaleEvent>,
 }
 
 impl Default for RunOpts {
@@ -56,6 +62,7 @@ impl Default for RunOpts {
             fault_rate: 0.05,
             runtime: RuntimeKind::Sim,
             listen: None,
+            scale_events: Vec::new(),
         }
     }
 }
@@ -72,6 +79,34 @@ impl RunOpts {
             fault_rate: 0.05,
             runtime: RuntimeKind::Sim,
             listen: None,
+            scale_events: Vec::new(),
+        }
+    }
+
+    /// Parse one `--scale-event` value: `add@T` or `drain@T`, `T` in
+    /// virtual seconds.
+    pub fn parse_scale_event(s: &str) -> Option<dcape_cluster::runtime::sim::ScaleEvent> {
+        use dcape_cluster::runtime::sim::ScaleEvent;
+        use dcape_common::time::VirtualTime;
+        let (kind, at) = s.split_once('@')?;
+        let at = VirtualTime::from_secs(at.trim().parse().ok()?);
+        match kind.trim() {
+            "add" => Some(ScaleEvent::add(at)),
+            "drain" => Some(ScaleEvent::drain(at)),
+            _ => None,
+        }
+    }
+
+    /// Attach the CLI's scale events to a cluster run config (no-op
+    /// without `--scale-event`).
+    pub fn with_scale_events(
+        &self,
+        cfg: dcape_cluster::runtime::sim::SimConfig,
+    ) -> dcape_cluster::runtime::sim::SimConfig {
+        if self.scale_events.is_empty() {
+            cfg
+        } else {
+            cfg.with_scale_events(self.scale_events.clone())
         }
     }
 

@@ -16,7 +16,7 @@ use std::collections::HashMap;
 use std::path::PathBuf;
 
 use dcape_cluster::faults::{FaultConfig, FaultPlan};
-use dcape_cluster::runtime::sim::SimConfig;
+use dcape_cluster::runtime::sim::{ScaleEvent, SimConfig};
 use dcape_cluster::runtime::socket::{run_socket, KillPlan, SocketConfig, SocketMode};
 use dcape_cluster::runtime::threaded::{run_threaded, ThreadedReport};
 use dcape_cluster::strategy::StrategyConfig;
@@ -88,9 +88,9 @@ fn relocation_workload(seed: u64) -> StreamSetSpec {
         })
 }
 
-fn relocation_cfg(spec: StreamSetSpec) -> SimConfig {
+fn relocation_cfg(spec: StreamSetSpec, engines: usize) -> SimConfig {
     SimConfig::new(
-        2,
+        engines,
         EngineConfig::three_way(1 << 30, 1 << 29),
         spec,
         StrategyConfig::LazyDisk {
@@ -98,7 +98,10 @@ fn relocation_cfg(spec: StreamSetSpec) -> SimConfig {
             tau_m: VirtualDuration::from_secs(45),
         },
     )
-    .with_placement(PlacementSpec::Fractions(vec![0.5, 0.5]))
+    .with_placement(PlacementSpec::Fractions(vec![
+        1.0 / engines as f64;
+        engines
+    ]))
     .with_stats_interval(VirtualDuration::from_secs(30))
     .with_journal()
 }
@@ -106,14 +109,17 @@ fn relocation_cfg(spec: StreamSetSpec) -> SimConfig {
 /// Tight memory, no adaptation strategy: pure spill + cleanup — the
 /// regime where both runtimes are fully deterministic, down to the
 /// per-engine spill counts and routed-tuple counters.
-fn spill_cfg(spec: StreamSetSpec) -> SimConfig {
+fn spill_cfg(spec: StreamSetSpec, engines: usize) -> SimConfig {
     SimConfig::new(
-        2,
+        engines,
         EngineConfig::three_way(1 << 22, 600 << 10).with_spill_fraction(0.4),
         spec,
         StrategyConfig::NoAdaptation,
     )
-    .with_placement(PlacementSpec::Fractions(vec![0.5, 0.5]))
+    .with_placement(PlacementSpec::Fractions(vec![
+        1.0 / engines as f64;
+        engines
+    ]))
     .with_stats_interval(VirtualDuration::from_secs(30))
     .with_journal()
 }
@@ -211,7 +217,7 @@ fn spill_run_is_equivalent_across_runtimes() {
     let deadline = VirtualTime::from_mins(4);
     let spec = relocation_workload(55).with_pattern(ArrivalPattern::Uniform);
 
-    let threaded = run_threaded(spill_cfg(spec.clone()), deadline).unwrap();
+    let threaded = run_threaded(spill_cfg(spec.clone(), 2), deadline).unwrap();
     dump_journal("socketeq-spill-threaded", &threaded.journal);
     assert!(
         threaded.spill_counts.iter().sum::<u64>() > 0,
@@ -222,7 +228,7 @@ fn spill_run_is_equivalent_across_runtimes() {
         reference_result_count(&spec, deadline)
     );
 
-    let socket = run_socket(socket_cfg(spill_cfg(spec)), deadline).unwrap();
+    let socket = run_socket(socket_cfg(spill_cfg(spec, 2)), deadline).unwrap();
     dump_journal("socketeq-spill-socket", &socket.journal);
     assert_deterministic_equivalence(&threaded, &socket, "spill run");
 }
@@ -232,7 +238,7 @@ fn windowed_run_is_equivalent_across_runtimes() {
     let deadline = VirtualTime::from_mins(4);
     let spec = relocation_workload(91).with_pattern(ArrivalPattern::Uniform);
     let windowed = |spec: StreamSetSpec| {
-        let mut cfg = spill_cfg(spec);
+        let mut cfg = spill_cfg(spec, 2);
         cfg.engine.join = cfg.engine.join.with_window(VirtualDuration::from_secs(60));
         cfg
     };
@@ -254,12 +260,12 @@ fn relocation_run_matches_threaded_and_reference() {
     let spec = relocation_workload(77);
     let reference = reference_result_count(&spec, deadline);
 
-    let threaded = run_threaded(relocation_cfg(spec.clone()), deadline).unwrap();
+    let threaded = run_threaded(relocation_cfg(spec.clone(), 2), deadline).unwrap();
     dump_journal("socketeq-reloc-threaded", &threaded.journal);
     assert!(threaded.relocations > 0, "threaded baseline must relocate");
     assert_eq!(threaded.total_output(), reference);
 
-    let socket = run_socket(socket_cfg(relocation_cfg(spec)), deadline).unwrap();
+    let socket = run_socket(socket_cfg(relocation_cfg(spec, 2)), deadline).unwrap();
     dump_journal("socketeq-reloc-socket", &socket.journal);
     assert!(
         socket.relocations > 0,
@@ -284,7 +290,7 @@ fn chaos_totals_survive_real_sockets() {
     for seed in seeds() {
         let plan = FaultPlan::new(seed, FaultConfig::uniform(0.2));
         let report = run_socket(
-            socket_cfg(relocation_cfg(spec.clone()).with_faults(plan)),
+            socket_cfg(relocation_cfg(spec.clone(), 2).with_faults(plan)),
             deadline,
         )
         .unwrap_or_else(|e| panic!("seed {seed}: socket chaos run failed: {e}"));
@@ -304,7 +310,7 @@ fn kill_nine_and_respawn_is_exactly_once() {
     let spec = relocation_workload(42);
     let reference = reference_result_count(&spec, deadline);
 
-    let mut cfg = socket_cfg(relocation_cfg(spec));
+    let mut cfg = socket_cfg(relocation_cfg(spec, 2));
     cfg.kill = Some(KillPlan {
         engine: EngineId(1),
         after_stats: 2,
@@ -327,6 +333,190 @@ fn kill_nine_and_respawn_is_exactly_once() {
         report.total_output(),
         reference,
         "kill -9 + full-history replay must keep the totals exactly once"
+    );
+    assert_eq!(report.journal_counters.buffered_in_flight, 0);
+}
+
+// ---- elasticity over real sockets ---------------------------------------
+
+fn count_events(
+    journal: &[dcape_metrics::journal::JournalEntry],
+    pred: impl Fn(&AdaptEvent) -> bool,
+) -> usize {
+    journal.iter().filter(|e| pred(&e.event)).count()
+}
+
+/// A worker process joins mid-run (late `Hello` on the live acceptor),
+/// takes state through rebalancing rounds, and another drains out and
+/// exits cleanly — and the totals still match both the threaded runtime
+/// and the generator-level reference.
+#[test]
+fn elastic_join_and_drain_match_threaded_and_reference() {
+    let deadline = VirtualTime::from_mins(5);
+    let spec = relocation_workload(13);
+    let reference = reference_result_count(&spec, deadline);
+    let elastic = |spec: StreamSetSpec| {
+        relocation_cfg(spec, 2).with_scale_events(vec![
+            ScaleEvent::add(VirtualTime::from_secs(60)),
+            ScaleEvent::drain_engine(VirtualTime::from_mins(3), EngineId(0)),
+        ])
+    };
+
+    let threaded = run_threaded(elastic(spec.clone()), deadline).unwrap();
+    dump_journal("socketeq-elastic-threaded", &threaded.journal);
+    assert_eq!(threaded.total_output(), reference);
+
+    let socket = run_socket(socket_cfg(elastic(spec)), deadline).unwrap();
+    dump_journal("socketeq-elastic-socket", &socket.journal);
+    assert_eq!(
+        socket.total_output(),
+        reference,
+        "join+drain over real sockets changed the total"
+    );
+    for report in [&threaded, &socket] {
+        assert_eq!(
+            count_events(&report.journal, |e| matches!(
+                e,
+                AdaptEvent::EngineJoined { .. }
+            )),
+            1,
+            "the join must be journaled exactly once"
+        );
+        assert_eq!(
+            count_events(&report.journal, |e| matches!(
+                e,
+                AdaptEvent::EngineDrained { .. }
+            )),
+            1,
+            "the drain must be journaled exactly once"
+        );
+        assert_eq!(report.journal_counters.buffered_in_flight, 0);
+    }
+}
+
+/// `kill -9` of the *draining* worker mid-drain: the respawned process
+/// replays its history, the drain resumes, and the books still close
+/// exactly once.
+#[test]
+fn kill_nine_mid_drain_is_exactly_once() {
+    let deadline = VirtualTime::from_mins(5);
+    let spec = relocation_workload(42);
+    let reference = reference_result_count(&spec, deadline);
+
+    let mut cfg =
+        socket_cfg(
+            relocation_cfg(spec, 2).with_scale_events(vec![ScaleEvent::drain_engine(
+                VirtualTime::from_secs(90),
+                EngineId(1),
+            )]),
+        );
+    // Stats land every 30 virtual seconds, so engine 1 has sent three
+    // stats reports when its drain starts at 90s — the fourth counted
+    // message is its first `DrainState`, i.e. the SIGKILL lands with
+    // the drain (and usually a drain relocation round) in flight.
+    cfg.kill = Some(KillPlan {
+        engine: EngineId(1),
+        after_stats: 4,
+    });
+    let report = run_socket(cfg, deadline).unwrap();
+    dump_journal("socketeq-kill9-mid-drain", &report.journal);
+
+    let respawns = report
+        .journal
+        .iter()
+        .filter(
+            |e| matches!(e.event, AdaptEvent::ProtocolWarning { code, .. } if code == "worker_respawned"),
+        )
+        .count();
+    assert!(
+        respawns >= 1,
+        "the kill plan must kill and respawn a worker"
+    );
+    let drain_started_at = report
+        .journal
+        .iter()
+        .find_map(|e| match e.event {
+            AdaptEvent::ProtocolWarning {
+                code: "drain_started",
+                ..
+            } => Some(e.at),
+            _ => None,
+        })
+        .expect("the drain must have started");
+    assert!(
+        report.journal.iter().any(|e| matches!(
+            e.event,
+            AdaptEvent::ProtocolWarning { code, .. } if code == "worker_respawned"
+        ) && e.at >= drain_started_at),
+        "the kill must land after the drain began (mid-drain)"
+    );
+    assert_eq!(
+        count_events(&report.journal, |e| matches!(
+            e,
+            AdaptEvent::EngineDrained { .. }
+        )),
+        1,
+        "the drain must still run to completion after the respawn"
+    );
+    assert_eq!(
+        report.total_output(),
+        reference,
+        "kill -9 mid-drain must keep the totals exactly once"
+    );
+    assert_eq!(report.journal_counters.buffered_in_flight, 0);
+}
+
+/// `kill -9` of a freshly-joined worker while the rebalancer is still
+/// moving state toward it: the respawn replays the joiner's short
+/// history (its `JoinReady` resend is absorbed as a duplicate) and the
+/// join completes with exactly-once totals.
+#[test]
+fn joiner_crash_restart_mid_admission_is_exactly_once() {
+    let deadline = VirtualTime::from_mins(5);
+    let spec = relocation_workload(23);
+    let reference = reference_result_count(&spec, deadline);
+
+    let mut cfg = socket_cfg(
+        relocation_cfg(spec, 2)
+            .with_scale_events(vec![ScaleEvent::add(VirtualTime::from_secs(60))]),
+    );
+    // The joiner's first counted message is its first stats report,
+    // sent moments after admission — the SIGKILL hits while it is
+    // still being filled by join-rebalancing rounds.
+    cfg.kill = Some(KillPlan {
+        engine: EngineId(2),
+        after_stats: 1,
+    });
+    let report = run_socket(cfg, deadline).unwrap();
+    dump_journal("socketeq-kill9-joiner", &report.journal);
+
+    let respawns = report
+        .journal
+        .iter()
+        .filter(
+            |e| matches!(e.event, AdaptEvent::ProtocolWarning { code, .. } if code == "worker_respawned"),
+        )
+        .count();
+    assert!(
+        respawns >= 1,
+        "the kill plan must kill and respawn the joiner"
+    );
+    assert_eq!(
+        count_events(&report.journal, |e| matches!(
+            e,
+            AdaptEvent::EngineJoined { .. }
+        )),
+        1,
+        "the join must be journaled exactly once despite the crash"
+    );
+    assert!(
+        report.journal_counters.rebalance_moves > 0,
+        "state must still move toward the restarted joiner"
+    );
+    assert_eq!(
+        report.total_output(),
+        reference,
+        "a joiner crash-restart mid-admission must keep the totals exactly once"
     );
     assert_eq!(report.journal_counters.buffered_in_flight, 0);
 }
